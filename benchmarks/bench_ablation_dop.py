@@ -1,0 +1,76 @@
+"""Ablation D — degree of parallelism (paper §II-B folding knob).
+
+Sweeps the PE/SIMD folding of (a) the soft-demapper core's distance bank
+and (b) the AE-inference accelerator, reporting the II / latency / area /
+power / energy trade-off.  The model's trends must be monotone: more
+parallelism -> lower II, higher area/power, lower energy per symbol.
+"""
+
+import pytest
+
+from repro.fpga import build_ae_inference_accelerator, build_soft_demapper_core
+from repro.utils.tables import format_table
+
+
+def test_soft_demapper_dop_sweep(benchmark, capsys):
+    def sweep():
+        rows = []
+        for units in (1, 2, 4, 8, 16):
+            pipe, rep = build_soft_demapper_core(distance_units=units)
+            rows.append((units, pipe.ii, rep.throughput_per_s, rep.resources.lut,
+                         rep.power_w, rep.energy_per_symbol_j))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["units", "II", "tput [sym/s]", "LUT", "power [W]", "energy [J/sym]"],
+            [list(r) for r in rows], float_fmt=".3g",
+            title="soft-demapper DOP sweep",
+        ))
+    # monotone trends
+    for (u1, ii1, t1, l1, p1, e1), (u2, ii2, t2, l2, p2, e2) in zip(rows, rows[1:]):
+        assert ii2 <= ii1
+        assert t2 >= t1
+        assert l2 > l1
+        assert p2 > p1
+        assert e2 < e1
+
+
+def test_ae_inference_folding_sweep(benchmark, capsys):
+    foldings = {
+        "min  (pe=1, simd=1 hidden)": [(1, 2), (1, 1), (1, 1), (1, 1)],
+        "low  (pe=1, simd=4 hidden)": [(1, 2), (1, 4), (1, 4), (1, 4)],
+        "paper (II=12, 352 DSP)":     None,  # calibrated default
+        "max  (fully parallel)":      [(16, 2), (16, 16), (16, 16), (4, 16)],
+    }
+
+    def sweep():
+        rows = []
+        for name, folding in foldings.items():
+            _, rep = build_ae_inference_accelerator(folding=folding)
+            rows.append((name, rep.throughput_per_s, round(rep.resources.dsp),
+                         rep.power_w, rep.energy_per_symbol_j))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["folding", "tput [sym/s]", "DSP", "power [W]", "energy [J/sym]"],
+            [list(r) for r in rows], float_fmt=".3g",
+            title="AE-inference folding sweep (fully-parallel exceeds the ZU3EG: 'limited by the amount of available DSPs')",
+        ))
+    by_name = {r[0]: r for r in rows}
+    # the fully-parallel design needs more DSPs than the ZU3EG has --
+    # exactly why the paper folds to II=12/352 DSP
+    from repro.fpga import ZU3EG
+
+    assert by_name["max  (fully parallel)"][2] > ZU3EG.dsp
+    assert by_name["paper (II=12, 352 DSP)"][2] <= ZU3EG.dsp
+    # throughput ordering follows parallelism
+    assert (by_name["min  (pe=1, simd=1 hidden)"][1]
+            < by_name["low  (pe=1, simd=4 hidden)"][1]
+            < by_name["paper (II=12, 352 DSP)"][1]
+            <= by_name["max  (fully parallel)"][1])

@@ -1,0 +1,51 @@
+"""Ablation B — decision-region sampling resolution vs extraction quality.
+
+The extraction step samples the demapper on a resolution² grid (on-device,
+this is resolution² ANN inferences — it has a real hardware cost).  This
+bench sweeps the resolution and reports extraction time and resulting BER:
+how coarse can the grid be before communication performance degrades?
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel
+from repro.extraction import HybridDemapper
+from repro.link import simulate_ber
+from repro.utils.tables import format_table
+
+SNR_DB = 8.0
+
+_results: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("resolution", [32, 64, 128, 256])
+def test_grid_resolution(benchmark, resolution, bench_system_8db,
+                         bench_constellation_8db, capsys):
+    sigma2 = AWGNChannel(SNR_DB, 4).sigma2
+    hybrid = benchmark.pedantic(
+        HybridDemapper.extract,
+        args=(bench_system_8db.demapper, sigma2),
+        kwargs=dict(method="lsq", resolution=resolution,
+                    fallback=bench_constellation_8db),
+        rounds=3,
+        iterations=1,
+    )
+    ber = simulate_ber(
+        bench_constellation_8db,
+        AWGNChannel(SNR_DB, 4, rng=np.random.default_rng(60)),
+        hybrid.demap_bits, 300_000, rng=61, max_errors=2500,
+    ).ber
+    _results[resolution] = ber
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["resolution", "grid points (ANN inferences)", "BER @ 8 dB"],
+            [[resolution, resolution**2, ber]],
+            float_fmt=".4g",
+        ))
+    # even a very coarse grid must produce a working receiver
+    assert ber < 0.05
+    # from 64x64 upward the BER is at the conventional level
+    if resolution >= 64:
+        assert ber < 0.015

@@ -1,0 +1,54 @@
+"""Ablation C — fixed-point bit width of the demapper datapath vs BER.
+
+Sweeps the integer datapath's weight width (4..16 bits, per-layer scaled,
+calibrated activations) and measures the BER of the quantised demapper —
+the precision/area trade every FINN-style deployment must make.  Expected:
+8-bit weights are BER-free; 6-bit marginal; 4-bit visibly degraded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel
+from repro.fpga import FixedPointFormat, QuantizedDemapper
+from repro.modulation import Mapper, random_indices
+from repro.utils.complexmath import complex_to_real2
+from repro.utils.tables import format_table
+
+SNR_DB = 8.0
+
+
+@pytest.mark.parametrize("bits", [4, 6, 8, 12, 16])
+def test_quantization_bits(benchmark, bits, bench_system_8db,
+                           bench_constellation_8db, capsys):
+    rng = np.random.default_rng(70)
+    idx = random_indices(rng, 300_000, 16)
+    y2 = complex_to_real2(
+        AWGNChannel(SNR_DB, 4, rng=rng)(Mapper(bench_constellation_8db)(idx))
+    )
+    truth = bench_constellation_8db.bit_matrix[idx]
+
+    quantized = QuantizedDemapper(
+        bench_system_8db.demapper,
+        weight_format=FixedPointFormat(bits, max(0, bits - 2)),
+        activation_format=FixedPointFormat(bits + 4, max(0, bits - 2)),
+    )
+    # the timed quantity: integer inference over the whole stream
+    hard = benchmark.pedantic(quantized.hard_bits, args=(y2,), rounds=3, iterations=1)
+    ber_q = float(np.mean(hard != truth))
+    ber_f = float(np.mean(bench_system_8db.demapper.hard_bits(y2) != truth))
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["weight bits", "BER quantised", "BER float", "ratio", "weight memory [bits]"],
+            [[bits, ber_q, ber_f, ber_q / ber_f, quantized.weight_memory_bits]],
+            float_fmt=".4g",
+        ))
+
+    if bits >= 8:
+        assert ber_q < 1.1 * ber_f  # >= 8 bits: free
+    elif bits >= 6:
+        assert ber_q < 1.6 * ber_f  # 6 bits: marginal
+    else:
+        assert ber_q < 20 * ber_f   # 4 bits: degraded but functional

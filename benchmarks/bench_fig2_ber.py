@@ -1,0 +1,53 @@
+"""Fig. 2 regeneration bench — BER of demapping algorithms vs SNR.
+
+Reproduces the paper's Fig. 2 sweep (0..12 dB, conventional vs AE vs
+extracted centroids) and asserts its qualitative claims:
+
+* AE inference sits on the conventional curve ("on the level of the
+  conventional demapper for SNRs up to 10 dB"),
+* centroid demapping tracks it, with the paper-faithful vertex extractor
+  allowed a visible-but-small degradation at 12 dB.
+
+The timed quantity is the full experiment (training + extraction +
+Monte-Carlo BER for every point).
+"""
+
+import pytest
+
+from repro.experiments.fig2_ber import Fig2Config, run
+
+CFG = Fig2Config(
+    snr_dbs=(0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0),
+    train_steps=2500,
+    seed=1234,
+    max_symbols=1_500_000,
+    max_errors=2500,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return run(CFG)
+
+
+def test_fig2_full_sweep(benchmark, capsys):
+    result = benchmark.pedantic(run, args=(CFG,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.to_table())
+        print()
+        print(result.to_plot())
+
+    # paper shape assertions over the whole sweep
+    for i, snr in enumerate(result.snr_dbs):
+        conv = result.series["conventional"][i].ber
+        ae = result.series["ae"][i].ber
+        lsq = result.series["centroid_lsq"][i].ber
+        assert ae < conv * 1.5 + 1e-4, f"AE off the conventional curve at {snr} dB"
+        assert lsq < ae * 1.6 + 1e-3, f"lsq centroids off the AE curve at {snr} dB"
+
+    # conventional curve matches the analytic reference (calibration anchor)
+    for i in range(len(result.snr_dbs)):
+        conv = result.series["conventional"][i].ber
+        ref = result.analytic[i]
+        assert abs(conv - ref) / ref < 0.3

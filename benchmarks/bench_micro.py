@@ -1,0 +1,96 @@
+"""Micro-benchmarks — throughput of the computational hot paths.
+
+These time the *software* implementation (symbols/s in NumPy), a sanity
+complement to the architectural FPGA model: training steps, ANN inference,
+max-log demapping, exact log-MAP, quantised integer inference, and
+decision-region extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import AESystem, DemapperANN, MapperANN
+from repro.channels import AWGNChannel
+from repro.extraction import sample_decision_regions
+from repro.fpga import QuantizedDemapper
+from repro.modulation import (
+    ExactLogMAPDemapper,
+    Mapper,
+    MaxLogDemapper,
+    qam_constellation,
+    random_indices,
+)
+from repro.nn import Adam
+from repro.utils.complexmath import complex_to_real2
+
+N = 262_144  # symbols per timed call
+
+
+@pytest.fixture(scope="module")
+def stream(bench_constellation_8db):
+    rng = np.random.default_rng(42)
+    idx = random_indices(rng, N, 16)
+    y = AWGNChannel(8.0, 4, rng=rng)(Mapper(bench_constellation_8db)(idx))
+    return y, complex_to_real2(y)
+
+
+def test_maxlog_demapper_throughput(benchmark, stream):
+    y, _ = stream
+    qam = qam_constellation(16)
+    ml = MaxLogDemapper(qam)
+    benchmark(ml.llrs, y, 0.02)
+    rate = N / benchmark.stats["mean"]
+    assert rate > 3e5  # hundreds of ksym/s in NumPy (the FPGA core does 75M)
+
+
+def test_exact_logmap_throughput(benchmark, stream):
+    y, _ = stream
+    qam = qam_constellation(16)
+    ex = ExactLogMAPDemapper(qam)
+    benchmark(ex.llrs, y, 0.02)
+
+
+def test_ann_inference_throughput(benchmark, stream, bench_system_8db):
+    _, y2 = stream
+    benchmark(bench_system_8db.demapper.forward, y2)
+    rate = N / benchmark.stats["mean"]
+    assert rate > 1e6
+
+
+def test_quantized_inference_throughput(benchmark, stream, bench_system_8db):
+    _, y2 = stream
+    q = QuantizedDemapper(bench_system_8db.demapper)
+    benchmark(q.hard_bits, y2)
+
+
+def test_e2e_train_step(benchmark):
+    rng = np.random.default_rng(0)
+    mapper = MapperANN(16, rng=rng)
+    demapper = DemapperANN(4, rng=rng)
+    system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+    opt = Adam(mapper.parameters() + demapper.parameters(), lr=2e-3)
+
+    def step():
+        opt.zero_grad()
+        loss = system.train_step(rng, 512)
+        opt.step()
+        return loss
+
+    benchmark(step)
+
+
+def test_decision_region_sampling(benchmark, bench_system_8db):
+    fn = bench_system_8db.demapper.bit_probability_fn()
+    benchmark(sample_decision_regions, fn, extent=1.5, resolution=256)
+
+
+def test_full_extraction_lsq(benchmark, bench_system_8db, bench_constellation_8db):
+    from repro.extraction import HybridDemapper
+
+    sigma2 = AWGNChannel(8.0, 4).sigma2
+    benchmark.pedantic(
+        HybridDemapper.extract,
+        args=(bench_system_8db.demapper, sigma2),
+        kwargs=dict(method="lsq", fallback=bench_constellation_8db),
+        rounds=5, iterations=1,
+    )

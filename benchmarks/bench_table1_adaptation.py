@@ -1,0 +1,46 @@
+"""Table 1 regeneration bench — phase-offset adaptation BERs.
+
+Reproduces the paper's Table 1 (SNR −2 / 8 dB; baseline, AE and centroid
+BER before/after retraining under a π/4 offset) and asserts its claims:
+
+* before retraining, both AE and centroid receivers are catastrophic
+  (≈ 0.32 — the "upper bound ... without any adaption"),
+* after retraining both "nearly approach the baseline BER",
+* "there is no drawback of using the extracted centroids as compared to
+  the AE-inference".
+"""
+
+import pytest
+
+from repro.experiments import paper_values
+from repro.experiments.table1_adaptation import Table1Config, run
+
+CFG = Table1Config(
+    snr_dbs=(-2.0, 8.0),
+    train_steps=2500,
+    retrain_steps=1500,
+    seed=1234,
+    n_symbols=800_000,
+    max_errors=4000,
+)
+
+
+def test_table1_adaptation(benchmark, capsys):
+    result = benchmark.pedantic(run, args=(CFG,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.to_table())
+
+    for snr in CFG.snr_dbs:
+        m = result.measured[snr]
+        p = paper_values.TABLE1[snr]
+        # upper bound: unadapted receivers are catastrophic (paper ~0.32)
+        assert m["ae_before"] > 0.25
+        assert m["centroid_before"] > 0.25
+        # baseline matches the paper's lower bound within Monte-Carlo margin
+        assert abs(m["baseline"] - p["baseline"]) / p["baseline"] < 0.35
+        # adaptation: post-retraining BER approaches the baseline
+        assert m["ae_after"] < 2.5 * m["baseline"]
+        assert m["centroid_after"] < 2.5 * m["baseline"]
+        # no centroid drawback
+        assert m["centroid_after"] < m["ae_after"] * 1.6 + 1e-3

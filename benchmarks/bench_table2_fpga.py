@@ -1,0 +1,51 @@
+"""Table 2 regeneration bench — FPGA implementation comparison.
+
+Builds the paper's three ZU3EG designs with the calibrated architectural
+model, cross-validates the closed-form pipeline metrics against the
+cycle-accurate simulation, and asserts the table's headline ratios
+(LUT ~10×, DSP 352×, power ~10×, energy ~50×) plus the Gbps replication
+argument.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table2_fpga import Table2Config, run
+from repro.fpga.report import PAPER_TABLE2
+
+CFG = Table2Config()
+
+
+def test_table2_fpga(benchmark, capsys):
+    result = benchmark.pedantic(run, args=(CFG,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.to_table())
+
+    # paper-vs-model, row by row
+    for key, paper in PAPER_TABLE2.items():
+        model = result.reports[key]
+        assert abs(model.resources.lut - paper.lut) / paper.lut < 0.15, key
+        assert abs(model.resources.ff - paper.ff) / paper.ff < 0.15, key
+        assert abs(model.power_w - paper.power_w) / paper.power_w < 0.1, key
+        assert 0.4 < model.throughput_per_s / paper.throughput_per_s < 1.6, key
+        assert 0.5 < model.latency_s / paper.latency_s < 2.0, key
+
+    # DSP counts are structural: exact for the two inference designs
+    assert round(result.reports["soft_demapper"].resources.dsp) == 1
+    assert round(result.reports["ae_inference"].resources.dsp) == 352
+
+    # headline ratios
+    assert result.ratio("dsp") == 352
+    assert 8 < result.ratio("lut") < 13
+    assert 5 < result.ratio("power") < 12
+    assert 30 < result.ratio("energy") < 70
+
+    # cycle-accurate simulation agrees with the closed-form pipeline model
+    assert result.simulated_ii["soft_demapper"] == 2.0
+    assert result.simulated_latency_cycles["soft_demapper"] == 8
+    assert result.simulated_ii["ae_inference"] == 12.0
+
+    # Gbps replication (paper SIII-D)
+    assert result.replication.reaches_gbps
+    assert result.replication.aggregate_bits_per_s > 5e9

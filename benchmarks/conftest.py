@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Heavy experiment benches run exactly once per session
+(``benchmark.pedantic(rounds=1)``) and print paper-vs-measured tables into
+the captured output, so ``pytest benchmarks/ --benchmark-only`` regenerates
+every table and figure of the paper in one run.  Micro benches use regular
+multi-round timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import trained_ae_system
+
+
+#: Benchmarks reuse one moderately-trained AE (the experiment drivers train
+#: their own per-SNR systems through the same cache).
+@pytest.fixture(scope="session")
+def bench_system_8db():
+    return trained_ae_system(8.0, seed=1234, steps=2500)
+
+
+@pytest.fixture(scope="session")
+def bench_constellation_8db(bench_system_8db):
+    return bench_system_8db.mapper.constellation()
+
+
+@pytest.fixture
+def bench_rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Adaptive phase tracking — the paper's closed loop on a drifting channel.
+
+Scenario: an oscillator drift rotates the channel continuously (≈ π/4 every
+150k symbols).  The receiver runs the cheap hybrid demapper; pilot symbols
+in every frame feed a BER monitor; whenever the windowed pilot BER crosses
+the threshold the demapper ANN is retrained over the live channel (the
+paper's FPGA training design) and fresh centroids are extracted.  Note the
+retraining traffic itself advances the channel clock — time passes while
+the receiver adapts, exactly as on real hardware.
+
+Expected output: a sawtooth payload-BER trace — degradation as the phase
+drifts, sharp recovery at every RETRAIN event — and a final link that still
+runs near the 8 dB baseline (~1e-2) after a cumulative rotation that would
+have destroyed a static receiver (BER ≈ 0.3, paper Table 1).
+
+Run:  python examples/adaptive_phase_tracking.py
+"""
+
+import numpy as np
+
+from repro import AWGNChannel
+from repro.autoencoder import TrainingConfig
+from repro.channels import CompositeChannel, TimeVaryingPhaseChannel
+from repro.experiments.cache import trained_ae_system
+from repro.extraction import PilotBERMonitor
+from repro.link import AdaptiveReceiver, AdaptiveReceiverConfig, FrameConfig
+
+SNR_DB = 8.0
+SEED = 7
+DRIFT_RATE = (np.pi / 4) / 150_000  # radians per symbol
+
+
+def main() -> None:
+    base = trained_ae_system(SNR_DB, seed=SEED, steps=2500, copy=True)
+    constellation = base.mapper.constellation()
+    sigma2 = AWGNChannel(SNR_DB, 4).sigma2
+
+    frame_cfg = FrameConfig(pilot_symbols=128, payload_symbols=896)
+    drift = TimeVaryingPhaseChannel(lambda t: DRIFT_RATE * t)
+    channel = CompositeChannel([
+        drift,
+        AWGNChannel(SNR_DB, 4, rng=np.random.default_rng(SEED + 1)),
+    ])
+
+    receiver = AdaptiveReceiver(
+        base,
+        constellation,
+        sigma2,
+        PilotBERMonitor(threshold=0.05, window=2, cooldown=2),
+        AdaptiveReceiverConfig(
+            frame=frame_cfg,
+            retrain=TrainingConfig(steps=400, batch_size=256, lr=2e-3),
+            extraction_method="lsq",
+        ),
+    )
+
+    reports = receiver.run(channel, n_frames=160, rng=SEED + 2)
+
+    print("frame | pilot BER | payload BER | phase so far | event")
+    print("------+-----------+-------------+--------------+----------------------")
+    for r in reports:
+        if r.frame_index % 5 == 0 or r.retrained:
+            bar = "#" * min(40, int(r.payload_ber * 150))
+            event = "RETRAIN + RE-EXTRACT " if r.retrained else ""
+            print(f"{r.frame_index:5d} | {r.pilot_ber:9.4f} | {r.payload_ber:11.4f} "
+                  f"| {'':12s} | {event}{bar}")
+
+    total_phase = DRIFT_RATE * drift.symbols_elapsed
+    clean = np.mean([r.payload_ber for r in reports[:10]])
+    final = np.mean([r.payload_ber for r in reports[-10:]])
+    print(f"\ncumulative channel rotation     : {total_phase:.2f} rad "
+          f"({total_phase / np.pi:.2f} pi)")
+    print(f"payload BER, first 10 frames    : {clean:.4f}")
+    print(f"payload BER, last 10 frames     : {final:.4f}")
+    print(f"retraining events               : {receiver.retrain_count}")
+    print("\nA static receiver after this rotation would sit at BER ~0.3 "
+          "(paper Table 1 'before retraining').")
+    assert receiver.retrain_count >= 2, "expected repeated retraining under drift"
+    assert final < 0.08, "link should remain near the 8 dB baseline"
+
+
+if __name__ == "__main__":
+    main()

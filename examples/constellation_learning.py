@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Constellation learning across SNRs and channels (paper §II-A background).
+
+The E2E-trained mapper "is able to learn non-uniform constellations which
+increase the bitwise MI as compared to conventional QAM constellations for
+the underlying channel model" [Cammerer et al. 2020].  This example:
+
+1. trains the AE from *random* initialisation at several SNRs over AWGN and
+   prints the learned constellations (ASCII) with their bitwise mutual
+   information vs Gray 16-QAM;
+2. trains over a saturating Rapp power amplifier + AWGN, where the learned
+   constellation visibly backs off from the saturation region.
+
+Run:  python examples/constellation_learning.py
+"""
+
+import numpy as np
+
+from repro.autoencoder import (
+    AESystem,
+    DemapperANN,
+    E2ETrainer,
+    MapperANN,
+    TrainingConfig,
+    bitwise_mutual_information,
+)
+from repro.channels import AWGNChannel, CompositeChannel, RappPAChannel
+from repro.modulation import MaxLogDemapper, qam_constellation
+from repro.modulation.bits import indices_to_bits
+from repro.modulation.demapper import llrs_to_probabilities
+from repro.utils.ascii_plot import scatter_plot
+from repro.utils.tables import format_table
+
+SEED = 3
+
+
+def qam_mi(snr_db: float, n: int = 60_000) -> float:
+    """Bitwise MI of Gray 16-QAM with exact max-log demapping (baseline)."""
+    rng = np.random.default_rng(SEED)
+    qam = qam_constellation(16)
+    ch = AWGNChannel(snr_db, 4, rng=rng)
+    idx = rng.integers(0, 16, size=n)
+    llrs = MaxLogDemapper(qam).llrs(ch(qam.points[idx]), ch.sigma2)
+    return bitwise_mutual_information(llrs_to_probabilities(llrs), qam.bit_matrix[idx])
+
+
+def train_ae(channel, steps: int = 4000, seed: int = SEED):
+    rng = np.random.default_rng(seed)
+    mapper = MapperANN(16, init="random", rng=rng)  # paper's from-scratch setting
+    demapper = DemapperANN(4, rng=rng)
+    system = AESystem(mapper, demapper, channel)
+    E2ETrainer(system, TrainingConfig(steps=steps, batch_size=1024, lr=3e-3)).run(rng)
+    return system
+
+
+def ae_mi(system, n: int = 60_000) -> float:
+    rng = np.random.default_rng(SEED + 1)
+    idx = rng.integers(0, 16, size=n)
+    received = system.transmit(idx)
+    probs = llrs_to_probabilities(system.receive_logits(received))
+    return bitwise_mutual_information(probs, indices_to_bits(idx, 4))
+
+
+def main() -> None:
+    rows = []
+    print("=== AWGN: learned constellations per SNR (random init) ===\n")
+    for snr in (0.0, 6.0, 12.0):
+        system = train_ae(AWGNChannel(snr, 4, rng=np.random.default_rng(SEED)))
+        const = system.mapper.constellation()
+        print(scatter_plot(const.points, size=30,
+                           labels=np.arange(16),
+                           title=f"learned constellation @ {snr:g} dB"))
+        print()
+        rows.append([snr, ae_mi(system), qam_mi(snr)])
+    print(format_table(
+        ["SNR [dB]", "AE bitwise MI [bit/use]", "Gray 16-QAM MI [bit/use]"],
+        rows, float_fmt=".3f",
+        title="Bitwise mutual information: learned vs conventional",
+    ))
+
+    print("\n=== Nonlinear PA (Rapp, saturation at |x| = 1.1) + AWGN @ 12 dB ===\n")
+    pa_channel = CompositeChannel([
+        RappPAChannel(a_sat=1.1, p=2.0),
+        AWGNChannel(12.0, 4, rng=np.random.default_rng(SEED)),
+    ])
+    system = train_ae(pa_channel, steps=5000)
+    const = system.mapper.constellation()
+    print(scatter_plot(const.points, size=30, title="learned constellation under PA saturation"))
+    peak = np.abs(const.points).max()
+    print(f"\npeak learned amplitude: {peak:.3f} (QAM peak would be 1.342; "
+          f"the mapper backs off from the PA's compression region)")
+    print(f"AE bitwise MI over the PA channel: {ae_mi(system):.3f} bit/use")
+
+
+if __name__ == "__main__":
+    main()

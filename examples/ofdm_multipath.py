@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Hybrid demapping per OFDM subcarrier over a multipath channel.
+
+The paper evaluates a single-carrier flat link; real deployments face
+frequency-selective multipath.  Cyclic-prefix OFDM turns that channel into
+independent flat subchannels, so the *same* extracted-centroid demapper
+applies per subcarrier after a one-tap equaliser — with the per-subcarrier
+effective noise variance feeding the max-log LLR scale.
+
+This example builds a 64-subcarrier link over an 8-tap Rayleigh channel,
+estimates the subcarrier gains from pilots, and compares three receivers:
+
+* conventional max-log on Gray 16-QAM (per subcarrier),
+* hybrid (extracted centroids) per subcarrier,
+* a "no equaliser" strawman showing the channel really is hostile.
+
+Run:  python examples/ofdm_multipath.py
+"""
+
+import numpy as np
+
+from repro.channels import AWGNChannel
+from repro.channels.awgn import sigma2_from_snr
+from repro.experiments.cache import trained_ae_system
+from repro.extraction import HybridDemapper
+from repro.link import (
+    MultipathChannel,
+    OFDMConfig,
+    OFDMReceiver,
+    ofdm_demodulate,
+    ofdm_modulate,
+    subcarrier_gains,
+)
+from repro.modulation import MaxLogDemapper, qam_constellation, random_indices
+from repro.utils.tables import format_table
+
+SNR_DB = 16.0
+SEED = 21
+CFG = OFDMConfig(n_subcarriers=64, cp_length=16)
+N_FRAMES = 200
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    sigma2 = sigma2_from_snr(SNR_DB, 4)
+    taps = MultipathChannel.exponential_profile(8, decay=0.6, rng=SEED + 1)
+    h_true = subcarrier_gains(taps, CFG.n_subcarriers)
+    print(f"channel: 8 Rayleigh taps, subcarrier |H| range "
+          f"{np.abs(h_true).min():.2f} .. {np.abs(h_true).max():.2f} "
+          f"(deep fades are {20*np.log10(np.abs(h_true).min()):.1f} dB down)\n")
+
+    # the paper's receiver: AE trained on a flat channel, centroids extracted
+    system = trained_ae_system(8.0, seed=SEED, steps=2500)
+    const = system.mapper.constellation()
+    hybrid = HybridDemapper.extract(system.demapper, AWGNChannel(8.0, 4).sigma2,
+                                    method="lsq", fallback=const)
+
+    qam = qam_constellation(16)
+    receivers = {
+        "conventional max-log (Gray QAM)": (qam, MaxLogDemapper(qam).llrs),
+        "hybrid (extracted centroids)": (const, lambda y, s2: hybrid.with_sigma2(s2).llrs(y)),
+    }
+
+    rows = []
+    for name, (constellation, llr_fn) in receivers.items():
+        ch = MultipathChannel(taps, sigma2=sigma2, rng=SEED + 2)
+        receiver = OFDMReceiver(CFG, llr_fn, sigma2)
+        pilot_idx = random_indices(rng, 4 * CFG.n_subcarriers, 16)
+        pilots = constellation.points[pilot_idx].reshape(4, -1)
+        receiver.estimate(
+            pilots, ofdm_demodulate(ch.forward(ofdm_modulate(pilots, CFG)), CFG)
+        )
+        idx = random_indices(rng, N_FRAMES * CFG.n_subcarriers, 16)
+        tx = constellation.points[idx].reshape(N_FRAMES, -1)
+        rx = ofdm_demodulate(ch.forward(ofdm_modulate(tx, CFG)), CFG)
+        ber = float(np.mean(receiver.demap_bits(rx) != constellation.bit_matrix[idx]))
+        rows.append([name, ber])
+
+    # strawman: no equalisation at all
+    ch = MultipathChannel(taps, sigma2=sigma2, rng=SEED + 2)
+    idx = random_indices(rng, N_FRAMES * CFG.n_subcarriers, 16)
+    tx = qam.points[idx].reshape(N_FRAMES, -1)
+    rx = ofdm_demodulate(ch.forward(ofdm_modulate(tx, CFG)), CFG)
+    ml = MaxLogDemapper(qam)
+    ber_raw = float(np.mean(
+        (ml.llrs(rx.ravel(), sigma2) > 0).astype(np.int8) != qam.bit_matrix[idx]
+    ))
+    rows.append(["no equalisation (strawman)", ber_raw])
+
+    print(format_table(
+        ["receiver (per subcarrier)", f"BER @ {SNR_DB:g} dB Eb/N0"],
+        rows, float_fmt=".3e",
+        title=f"OFDM {CFG.n_subcarriers}-subcarrier link over 8-tap multipath",
+    ))
+    print("\nThe flat-channel hybrid demapper transfers unchanged to each "
+          "subcarrier;\ndeep fades dominate the residual BER for both receivers "
+          "(an outer FEC would close that gap — see repro.ecc).")
+
+
+if __name__ == "__main__":
+    main()

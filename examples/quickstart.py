@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's three steps in ~60 lines.
+
+1. **E2E training**: jointly train a 16-symbol mapper ANN and demapper ANN
+   over an AWGN channel (SNR = Eb/N0 = 8 dB).
+2. **Extraction**: sample the demapper's decision regions, extract one
+   Voronoi centroid per symbol.
+3. **Hybrid inference**: run the conventional max-log soft demapper on the
+   extracted centroids and compare its BER against AE inference and
+   conventional Gray-QAM demapping.
+
+Expected output: all three receivers land on (about) the analytic Gray
+16-QAM BER at 8 dB (~0.9e-2), demonstrating the paper's headline claim —
+ANN-level communication performance at conventional-demapper cost.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AESystem,
+    AWGNChannel,
+    DemapperANN,
+    E2ETrainer,
+    HybridDemapper,
+    MapperANN,
+    Mapper,
+    MaxLogDemapper,
+    TrainingConfig,
+    qam_constellation,
+    simulate_ber,
+)
+from repro.utils.complexmath import complex_to_real2
+from repro.utils.stats import gray_qam_ber_approx
+from repro.utils.tables import format_table
+
+SNR_DB = 8.0  # Eb/N0, the paper's convention
+SEED = 2024
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    # ---- step 1: end-to-end training over the AWGN channel model ----------
+    mapper = MapperANN(16, init="qam", rng=rng)
+    demapper = DemapperANN(bits_per_symbol=4, rng=rng)  # 2-16-16-16-4 MLP
+    system = AESystem(mapper, demapper, AWGNChannel(SNR_DB, 4, rng=rng))
+    history = E2ETrainer(system, TrainingConfig(steps=2500, batch_size=512)).run(rng)
+    print(f"E2E training: BCE {history.initial_loss:.3f} -> {history.final_loss:.4f}")
+
+    constellation = mapper.constellation()  # frozen transmit constellation
+    sigma2 = system.channel.sigma2
+
+    # ---- step 3: extract centroids, build the hybrid demapper -------------
+    hybrid = HybridDemapper.extract(
+        demapper, sigma2, method="lsq", fallback=constellation
+    )
+    print(f"extracted {hybrid.constellation.order} centroids "
+          f"({hybrid.centroids.n_missing} filled from fallback)")
+
+    # ---- measure all receivers --------------------------------------------
+    n_symbols, max_errors = 1_000_000, 4000
+
+    def measure(const, demap_fn, seed):
+        ch = AWGNChannel(SNR_DB, 4, rng=np.random.default_rng(seed))
+        return simulate_ber(const, ch, demap_fn, n_symbols,
+                            rng=seed + 1, max_errors=max_errors).ber
+
+    qam = qam_constellation(16)
+    conv = MaxLogDemapper(qam)
+    ber_conv = measure(qam, lambda y: conv.demap_bits(y, sigma2), 10)
+    ber_ae = measure(
+        constellation,
+        lambda y: (demapper.forward(complex_to_real2(y)) > 0).astype(np.int8),
+        20,
+    )
+    ber_hybrid = measure(constellation, hybrid.demap_bits, 30)
+
+    print()
+    print(format_table(
+        ["receiver", "BER @ 8 dB", "hardware cost (Table 2)"],
+        [
+            ["conventional max-log on Gray 16-QAM", ber_conv, "1 DSP / 1.1k LUT"],
+            ["AE inference (demapper ANN)", ber_ae, "352 DSP / 11.3k LUT"],
+            ["HYBRID: max-log on extracted centroids", ber_hybrid, "1 DSP / 1.1k LUT"],
+            ["analytic Gray 16-QAM reference", float(gray_qam_ber_approx(SNR_DB)), "-"],
+        ],
+        float_fmt=".3e",
+        title="Quickstart: communication performance of the three receivers",
+    ))
+    print("\nThe hybrid receiver keeps the AE's performance at ~1/350 the DSP cost.")
+
+
+if __name__ == "__main__":
+    main()

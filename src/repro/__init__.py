@@ -1,0 +1,78 @@
+"""repro — reproduction of "A Hybrid Approach combining ANN-based and
+Conventional Demapping in Communication for Efficient FPGA-Implementation"
+(J. Ney, B. Hammoud, N. Wehn, IEEE IPDPSW 2022, arXiv:2304.05042).
+
+Quick start (see ``examples/quickstart.py`` for the narrated version)::
+
+    import numpy as np
+    from repro import (AESystem, MapperANN, DemapperANN, E2ETrainer,
+                       TrainingConfig, AWGNChannel, HybridDemapper)
+
+    rng = np.random.default_rng(0)
+    mapper, demapper = MapperANN(16, rng=rng), DemapperANN(4, rng=rng)
+    system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+    E2ETrainer(system, TrainingConfig(steps=2000)).run(rng)      # step 1: E2E training
+    hybrid = HybridDemapper.extract(                              # step 3: extraction
+        demapper, system.channel.sigma2, fallback=mapper.constellation())
+    llrs = hybrid.llrs(system.transmit(np.arange(16)))            # cheap inference
+
+Subpackages: :mod:`repro.nn` (NumPy NN framework), :mod:`repro.modulation`
+(QAM/demappers), :mod:`repro.channels`, :mod:`repro.ecc`,
+:mod:`repro.autoencoder` (AE core), :mod:`repro.extraction` (the hybrid
+approach), :mod:`repro.fpga` (implementation model), :mod:`repro.link`,
+:mod:`repro.experiments` (paper artifacts).
+"""
+
+from repro.autoencoder import (
+    AESystem,
+    DemapperANN,
+    E2ETrainer,
+    MapperANN,
+    ReceiverFinetuner,
+    TrainingConfig,
+)
+from repro.channels import (
+    AWGNChannel,
+    CompositeChannel,
+    PhaseOffsetChannel,
+    sigma2_from_snr,
+)
+from repro.extraction import (
+    HybridDemapper,
+    extract_centroids,
+    sample_decision_regions,
+)
+from repro.link import AdaptiveReceiver, simulate_ber
+from repro.modulation import (
+    Constellation,
+    ExactLogMAPDemapper,
+    Mapper,
+    MaxLogDemapper,
+    qam_constellation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MapperANN",
+    "DemapperANN",
+    "AESystem",
+    "E2ETrainer",
+    "ReceiverFinetuner",
+    "TrainingConfig",
+    "AWGNChannel",
+    "PhaseOffsetChannel",
+    "CompositeChannel",
+    "sigma2_from_snr",
+    "HybridDemapper",
+    "sample_decision_regions",
+    "extract_centroids",
+    "Constellation",
+    "qam_constellation",
+    "Mapper",
+    "MaxLogDemapper",
+    "ExactLogMAPDemapper",
+    "AdaptiveReceiver",
+    "simulate_ber",
+]

@@ -1,0 +1,45 @@
+"""The autoencoder (AE) communication system — the paper's trainable core.
+
+* :class:`MapperANN` — "trainable embedding layer with 16 inputs and two
+  outputs as well as an average power normalization layer" (paper §III-A).
+* :class:`DemapperANN` — "two inputs ... three fully connected layers with 16
+  neurons each, followed by ReLU ... and a final sigmoid layer to receive
+  output probabilities for each of the four bits".
+* :class:`AESystem` — mapper + channel + demapper with a differentiable
+  end-to-end path (gradients flow through the channel models).
+* :class:`E2ETrainer` — paper step 1 (joint E2E training over AWGN).
+* :class:`ReceiverFinetuner` — paper step 2 (fix the mapper, retrain the
+  demapper over the *real* channel).
+* :mod:`repro.autoencoder.metrics` — BER / BLER / bitwise mutual information.
+"""
+
+from repro.autoencoder.demapper_ann import DemapperANN
+from repro.autoencoder.mapper_ann import MapperANN
+from repro.autoencoder.metrics import (
+    bit_error_rate,
+    bitwise_mutual_information,
+    block_error_rate,
+)
+from repro.autoencoder.symbolwise import SymbolwiseDemapperANN, train_symbolwise_receiver
+from repro.autoencoder.system import AESystem
+from repro.autoencoder.training import (
+    E2ETrainer,
+    ReceiverFinetuner,
+    TrainingConfig,
+    TrainingHistory,
+)
+
+__all__ = [
+    "MapperANN",
+    "DemapperANN",
+    "AESystem",
+    "E2ETrainer",
+    "ReceiverFinetuner",
+    "TrainingConfig",
+    "TrainingHistory",
+    "bit_error_rate",
+    "block_error_rate",
+    "bitwise_mutual_information",
+    "SymbolwiseDemapperANN",
+    "train_symbolwise_receiver",
+]

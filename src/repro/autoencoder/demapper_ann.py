@@ -1,0 +1,98 @@
+"""The demapper ANN (paper §III-A topology, configurable).
+
+A small MLP from the received 2-D symbol to one probability per bit:
+input 2 -> three hidden Dense(16) + ReLU -> Dense(k) logits -> sigmoid.
+Training operates on logits (with :class:`~repro.nn.losses.BCEWithLogitsLoss`)
+for numerical stability; inference exposes probabilities, LLR-compatible
+log-odds, and hard bits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sequential, Sigmoid
+from repro.nn.module import Module
+
+__all__ = ["DemapperANN"]
+
+
+class DemapperANN(Module):
+    """MLP demapper producing per-bit probabilities.
+
+    Parameters
+    ----------
+    bits_per_symbol:
+        Number of output bits k (4 for 16-QAM).
+    hidden:
+        Hidden-layer widths; paper uses ``(16, 16, 16)``.
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        bits_per_symbol: int = 4,
+        hidden: Sequence[int] = (16, 16, 16),
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if bits_per_symbol < 1:
+            raise ValueError("bits_per_symbol must be >= 1")
+        if not hidden:
+            raise ValueError("need at least one hidden layer")
+        self.bits_per_symbol = int(bits_per_symbol)
+        self.hidden = tuple(int(h) for h in hidden)
+        widths = [2, *self.hidden, self.bits_per_symbol]
+        self.net = Sequential.mlp(widths, hidden_activation=ReLU, rng=rng)
+
+    # -- differentiable path (logits) -----------------------------------------
+    def forward(self, received: np.ndarray) -> np.ndarray:
+        """Received 2-D symbols ``(B, 2)`` -> bit logits ``(B, k)``."""
+        return self.net.forward(received)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backprop through the MLP; returns dL/d(received) of shape ``(B, 2)``."""
+        return self.net.backward(grad_logits)
+
+    # -- inference views -------------------------------------------------------
+    def logits(self, received: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` for readability at call sites."""
+        return self.forward(received)
+
+    def probabilities(self, received: np.ndarray) -> np.ndarray:
+        """Per-bit probabilities P(b=1 | y) in [0, 1], shape ``(B, k)``."""
+        return Sigmoid.stable_sigmoid(self.forward(received))
+
+    def hard_bits(self, received: np.ndarray) -> np.ndarray:
+        """Hard bit decisions (threshold 0 on logits), shape ``(B, k)``, int8."""
+        return (self.forward(received) > 0).astype(np.int8)
+
+    def symbol_labels(self, received: np.ndarray) -> np.ndarray:
+        """Most-likely symbol label per sample (packing of the hard bits).
+
+        This is the quantity sampled over the 2-D plane by the extraction
+        step — "the learned symbol (ANN-output) for each complex input
+        sample" (paper §II-C).
+        """
+        bits = self.hard_bits(received)
+        weights = (1 << np.arange(self.bits_per_symbol - 1, -1, -1)).astype(np.int64)
+        return bits.astype(np.int64) @ weights
+
+    def bit_probability_fn(self) -> Callable[[np.ndarray], np.ndarray]:
+        """A plain function handle ``(N, 2) -> (N, k)`` for the extractor."""
+        return self.probabilities
+
+    def clone_untrained(self, rng: np.random.Generator | None = None) -> "DemapperANN":
+        """Fresh demapper with the same topology and new random weights."""
+        return DemapperANN(self.bits_per_symbol, self.hidden, rng=rng)
+
+    def copy(self) -> "DemapperANN":
+        """Deep copy (same topology and weights) — used to snapshot a trained
+        receiver before retraining experiments."""
+        dup = DemapperANN(self.bits_per_symbol, self.hidden)
+        dup.load_state_dict(self.state_dict())
+        return dup

@@ -1,0 +1,122 @@
+"""Trainable mapper: embedding table + average-power normalisation layer.
+
+The mapper of the paper (§III-A) is a lookup table ``E ∈ R^{M×2}`` (one 2-D
+point per symbol label) followed by normalisation to unit *average* power
+over the whole table:
+
+``y_b = E[idx_b] / sqrt(P)``,  ``P = (1/M) Σ_j ‖E_j‖²``.
+
+Because ``P`` depends on *all* rows, the backward pass has a rank-one
+correction beyond the plain embedding scatter:
+
+``∂L/∂E = scatter(s·g) − (Σ_b g_b·E[idx_b]) / (M·P^{3/2}) · E``,  ``s = P^{−1/2}``
+
+(derived in DESIGN.md §5 and verified by numerical gradient checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.constellations import Constellation, qam_constellation
+from repro.nn.module import Module, Parameter
+
+__all__ = ["MapperANN"]
+
+
+class MapperANN(Module):
+    """Trainable constellation mapper with table-wide power normalisation.
+
+    Parameters
+    ----------
+    order:
+        Constellation size M (16 for the paper's case study).
+    init:
+        ``"qam"`` warm-starts the table from Gray M-QAM (stable, removes the
+        seed lottery of joint training; the steady state is unchanged),
+        ``"random"`` draws points from a small Gaussian (paper's from-scratch
+        setting).
+    rng:
+        Generator for random initialisation.
+    """
+
+    def __init__(
+        self,
+        order: int = 16,
+        *,
+        init: str = "qam",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if order < 2 or (order & (order - 1)) != 0:
+            raise ValueError(f"order must be a power of two >= 2, got {order}")
+        self.order = order
+        rng = rng if rng is not None else np.random.default_rng()
+        if init == "qam":
+            try:
+                pts = qam_constellation(order).points
+            except ValueError as exc:  # non-square orders fall back to a ring
+                raise ValueError(
+                    f"init='qam' requires a square-QAM order, got {order}: {exc}"
+                ) from exc
+            table = np.stack([pts.real, pts.imag], axis=1)
+            # tiny jitter so symmetric saddle points are broken
+            table = table + rng.normal(0.0, 1e-3, size=table.shape)
+        elif init == "random":
+            table = rng.normal(0.0, 1.0, size=(order, 2))
+        else:
+            raise ValueError(f"init must be 'qam' or 'random', got {init!r}")
+        self.table = Parameter(table, name="constellation")
+        self._idx: np.ndarray | None = None
+        self._cache: tuple[float, float] | None = None  # (P, s)
+
+    # -- forward/backward ----------------------------------------------------
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        """Labels ``(B,)`` -> normalised 2-D symbols ``(B, 2)``."""
+        idx = np.asarray(indices)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError("mapper input must be integer labels")
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.order:
+            raise IndexError("label out of range")
+        e = self.table.data
+        p = float(np.mean(np.sum(e * e, axis=1)))
+        if p <= 0:
+            raise FloatingPointError("constellation collapsed to zero power")
+        s = p**-0.5
+        self._idx = idx
+        self._cache = (p, s)
+        return s * e[idx]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate dL/dE; returns zeros (no gradient w.r.t. integer labels)."""
+        if self._idx is None or self._cache is None:
+            raise RuntimeError("backward called before forward")
+        g = np.asarray(grad_out, dtype=np.float64)
+        idx = self._idx
+        p, s = self._cache
+        e = self.table.data
+        np.add.at(self.table.grad, idx, s * g)
+        # rank-one correction from the normalisation: -(Σ g_b·e_idx) E / (M P^{3/2})
+        coeff = float(np.sum(g * e[idx])) / (self.order * p**1.5)
+        self.table.grad -= coeff * e
+        return np.zeros(idx.shape, dtype=np.float64)
+
+    # -- views ----------------------------------------------------------------
+    def normalized_table(self) -> np.ndarray:
+        """Current unit-average-power constellation as a real ``(M, 2)`` array."""
+        e = self.table.data
+        p = np.mean(np.sum(e * e, axis=1))
+        return e / np.sqrt(p)
+
+    def constellation(self) -> Constellation:
+        """Current constellation as a labelled complex point set.
+
+        This is what the paper "fixes" after E2E training and what the
+        conventional transmitter uses from then on.
+        """
+        t = self.normalized_table()
+        return Constellation.from_points(t[:, 0] + 1j * t[:, 1], name=f"AE-{self.order}")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return int(np.log2(self.order))

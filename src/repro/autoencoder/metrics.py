@@ -1,0 +1,58 @@
+"""Communication metrics: BER, BLER, bitwise mutual information.
+
+The bitwise MI estimate is the quantity the E2E training maximises (paper
+§II-A: "trained ... to increase the bitwise mutual information by minimizing
+the binary cross-entropy loss"): for each bit position,
+
+``MI_k ≈ 1 − E[BCE_k] / log(2)``  (bits per channel use),
+
+so the sum over bit positions lower-bounds the achievable rate of the
+mapper/demapper pair (the "BMI" / generalised mutual information).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bit_error_rate", "block_error_rate", "bitwise_mutual_information"]
+
+
+def bit_error_rate(bits_hat: np.ndarray, bits_true: np.ndarray) -> float:
+    """Fraction of differing bits between two equal-shape 0/1 arrays."""
+    a = np.asarray(bits_hat)
+    b = np.asarray(bits_true)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("empty bit arrays")
+    return float(np.mean(a != b))
+
+
+def block_error_rate(bits_hat: np.ndarray, bits_true: np.ndarray) -> float:
+    """Fraction of rows (symbols/blocks) containing at least one bit error."""
+    a = np.asarray(bits_hat)
+    b = np.asarray(bits_true)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("expected equal (N, k) arrays")
+    return float(np.mean(np.any(a != b, axis=1)))
+
+
+def bitwise_mutual_information(
+    probs: np.ndarray,
+    bits_true: np.ndarray,
+    *,
+    eps: float = 1e-12,
+) -> float:
+    """Estimate the sum bitwise MI (bits/channel use) from P(b=1|y) samples.
+
+    ``probs`` and ``bits_true`` have shape ``(N, k)``.  Returns
+    ``Σ_k (1 − E[BCE_k]/ln 2)`` clipped below at 0.  A perfect demapper on a
+    noiseless channel approaches k; random guessing gives 0.
+    """
+    p = np.clip(np.asarray(probs, dtype=np.float64), eps, 1.0 - eps)
+    t = np.asarray(bits_true, dtype=np.float64)
+    if p.shape != t.shape or p.ndim != 2:
+        raise ValueError("probs and bits_true must both be (N, k)")
+    bce_per_bit = -(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)).mean(axis=0)  # nats
+    mi_per_bit = 1.0 - bce_per_bit / np.log(2.0)
+    return float(np.maximum(mi_per_bit, 0.0).sum())

@@ -1,0 +1,127 @@
+"""AESystem: mapper ANN + channel + demapper ANN, differentiable end to end.
+
+One object owns the full forward/backward path of paper step 1:
+
+``labels -> MapperANN -> complex symbols -> Channel -> DemapperANN -> logits``
+
+``train_step`` runs a full joint update; ``receiver_step`` updates only the
+demapper from externally supplied received samples (the retraining path,
+where the transmitter is frozen and physically remote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autoencoder.demapper_ann import DemapperANN
+from repro.autoencoder.mapper_ann import MapperANN
+from repro.autoencoder.metrics import bit_error_rate, bitwise_mutual_information
+from repro.channels.base import Channel
+from repro.modulation.bits import indices_to_bits
+from repro.nn.losses import BCEWithLogitsLoss
+from repro.utils.complexmath import complex_to_real2, real2_to_complex
+
+__all__ = ["AESystem"]
+
+
+class AESystem:
+    """End-to-end trainable communication system (mapper/channel/demapper)."""
+
+    def __init__(self, mapper: MapperANN, demapper: DemapperANN, channel: Channel):
+        if demapper.bits_per_symbol != mapper.bits_per_symbol:
+            raise ValueError(
+                f"mapper carries {mapper.bits_per_symbol} bits/symbol but demapper "
+                f"outputs {demapper.bits_per_symbol}"
+            )
+        self.mapper = mapper
+        self.demapper = demapper
+        self.channel = channel
+        self.loss = BCEWithLogitsLoss()
+
+    @property
+    def order(self) -> int:
+        return self.mapper.order
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.mapper.bits_per_symbol
+
+    # -- forward paths ---------------------------------------------------------
+    def transmit(self, indices: np.ndarray) -> np.ndarray:
+        """Map labels to complex symbols and push them through the channel."""
+        x2 = self.mapper.forward(np.asarray(indices))
+        return self.channel.forward(real2_to_complex(x2))
+
+    def receive_logits(self, received: np.ndarray) -> np.ndarray:
+        """Complex received samples -> demapper logits ``(N, k)``."""
+        return self.demapper.forward(complex_to_real2(np.asarray(received)))
+
+    # -- training --------------------------------------------------------------
+    def train_step(self, rng: np.random.Generator, batch_size: int) -> float:
+        """One joint E2E update pass; returns the batch BCE loss.
+
+        Gradients flow  loss -> demapper -> channel.backward -> mapper,
+        exactly the chain of paper step 1.  The caller owns the optimizer
+        (zero_grad before, step after).
+        """
+        idx = rng.integers(0, self.order, size=batch_size)
+        bits = indices_to_bits(idx, self.bits_per_symbol)
+        x2 = self.mapper.forward(idx)
+        y = self.channel.forward(real2_to_complex(x2))
+        logits = self.demapper.forward(complex_to_real2(y))
+        loss_val, dlogits = self.loss(logits, bits)
+        dy2 = self.demapper.backward(dlogits)
+        dx2 = self.channel.backward(dy2)
+        self.mapper.backward(dx2)
+        return loss_val
+
+    def receiver_step(self, received: np.ndarray, pilot_bits: np.ndarray) -> float:
+        """One demapper-only update from received pilots (paper step 2).
+
+        ``received`` are complex channel outputs of *known* pilot symbols;
+        ``pilot_bits`` their true bits.  Only demapper gradients accumulate.
+        """
+        logits = self.demapper.forward(complex_to_real2(np.asarray(received)))
+        loss_val, dlogits = self.loss(logits, np.asarray(pilot_bits))
+        self.demapper.backward(dlogits)
+        return loss_val
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate(
+        self,
+        rng: np.random.Generator,
+        n_symbols: int,
+        *,
+        batch_size: int = 65536,
+    ) -> dict[str, float]:
+        """Monte-Carlo BER / BCE / bitwise-MI of the current AE over its channel."""
+        if n_symbols < 1:
+            raise ValueError("n_symbols must be >= 1")
+        errors = 0
+        total_bits = 0
+        bce_sum = 0.0
+        mi_sum = 0.0
+        n_batches = 0
+        remaining = n_symbols
+        while remaining > 0:
+            n = min(batch_size, remaining)
+            remaining -= n
+            idx = rng.integers(0, self.order, size=n)
+            bits = indices_to_bits(idx, self.bits_per_symbol)
+            y = self.transmit(idx)
+            y2 = complex_to_real2(y)
+            logits = self.demapper.forward(y2)
+            hard = (logits > 0).astype(np.int8)
+            errors += int(np.count_nonzero(hard != bits))
+            total_bits += bits.size
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            bce_sum += BCEWithLogitsLoss.from_probabilities(probs, bits)
+            mi_sum += bitwise_mutual_information(probs, bits)
+            n_batches += 1
+        return {
+            "ber": errors / total_bits,
+            "bce": bce_sum / n_batches,
+            "mutual_information": mi_sum / n_batches,
+            "bit_errors": float(errors),
+            "bits": float(total_bits),
+        }

@@ -1,0 +1,41 @@
+"""Channel models (differentiable operators on complex symbol streams).
+
+E2E autoencoder training needs gradients *through* the channel
+(∂loss/∂constellation), so every channel implements both
+
+* ``forward(z)`` — complex samples in, complex samples out, and
+* ``backward(grad)`` — pull a real ``(N, 2)`` gradient back through the
+  channel's real-valued Jacobian transpose.
+
+AWGN's Jacobian is the identity (additive noise), a phase offset's is the
+inverse rotation, a complex gain's is multiplication by the conjugate, etc.
+The paper trains E2E over AWGN and illustrates "real channel" retraining
+with a fixed π/4 phase offset (:class:`PhaseOffsetChannel` over
+:class:`AWGNChannel`, composed with :class:`CompositeChannel`).
+"""
+
+from repro.channels.awgn import AWGNChannel, sigma2_from_snr
+from repro.channels.base import Channel, find_awgn
+from repro.channels.cfo import CFOChannel
+from repro.channels.composite import CompositeChannel
+from repro.channels.fading import RayleighFadingChannel, RicianFadingChannel
+from repro.channels.iq_imbalance import IQImbalanceChannel
+from repro.channels.nonlinear import RappPAChannel
+from repro.channels.phase import PhaseOffsetChannel, TimeVaryingPhaseChannel
+from repro.channels.phase_noise import WienerPhaseNoiseChannel
+
+__all__ = [
+    "Channel",
+    "find_awgn",
+    "AWGNChannel",
+    "sigma2_from_snr",
+    "PhaseOffsetChannel",
+    "TimeVaryingPhaseChannel",
+    "CFOChannel",
+    "IQImbalanceChannel",
+    "RayleighFadingChannel",
+    "RicianFadingChannel",
+    "RappPAChannel",
+    "CompositeChannel",
+    "WienerPhaseNoiseChannel",
+]

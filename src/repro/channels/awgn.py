@@ -1,0 +1,94 @@
+"""Additive white Gaussian noise channel with explicit SNR conventions.
+
+SNR convention (DESIGN.md §1): the paper's "SNR" is **Eb/N0**.  With unit
+average symbol energy Es and ``k`` bits/symbol,
+
+``N0 = Es / (k · Eb/N0)``   and   ``σ² = N0/2`` per real dimension,
+
+so ``sigma2_from_snr(snr_db, k)`` returns the per-dimension variance used
+both to draw noise and to scale LLRs (the ``1/(2σ²)`` factor in the paper's
+max-log formula).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+from repro.utils.rng import as_generator
+
+__all__ = ["AWGNChannel", "sigma2_from_snr"]
+
+
+def sigma2_from_snr(
+    snr_db: float,
+    bits_per_symbol: int,
+    *,
+    snr_type: str = "ebn0",
+    es: float = 1.0,
+) -> float:
+    """Per-real-dimension noise variance σ² = N0/2 for a given SNR.
+
+    Parameters
+    ----------
+    snr_db:
+        SNR in dB.  Interpreted as Eb/N0 (paper convention) or Es/N0
+        depending on ``snr_type``.
+    bits_per_symbol:
+        k (4 for the paper's 16-QAM case study).  Ignored for ``esn0``.
+    snr_type:
+        ``"ebn0"`` (default) or ``"esn0"``.
+    es:
+        Average symbol energy (1.0 for normalised constellations).
+    """
+    if es <= 0:
+        raise ValueError("es must be positive")
+    lin = 10.0 ** (snr_db / 10.0)
+    if snr_type == "ebn0":
+        if bits_per_symbol < 1:
+            raise ValueError("bits_per_symbol must be >= 1")
+        n0 = es / (bits_per_symbol * lin)
+    elif snr_type == "esn0":
+        n0 = es / lin
+    else:
+        raise ValueError(f"snr_type must be 'ebn0' or 'esn0', got {snr_type!r}")
+    return n0 / 2.0
+
+
+class AWGNChannel(Channel):
+    """y = x + n with n ~ CN(0, N0) (i.e. σ² = N0/2 per real dimension).
+
+    The Jacobian of additive noise is the identity, so ``backward`` passes
+    gradients through unchanged — this is what makes AWGN the standard
+    differentiable surrogate for E2E training.
+    """
+
+    def __init__(
+        self,
+        snr_db: float,
+        bits_per_symbol: int = 4,
+        *,
+        snr_type: str = "ebn0",
+        es: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.snr_db = float(snr_db)
+        self.bits_per_symbol = int(bits_per_symbol)
+        self.snr_type = snr_type
+        self.es = float(es)
+        self.sigma2 = sigma2_from_snr(snr_db, bits_per_symbol, snr_type=snr_type, es=es)
+        self.sigma = float(np.sqrt(self.sigma2))
+        self.rng = as_generator(rng)
+        self._n_last = 0
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        self._n_last = z.size
+        noise = self.rng.normal(0.0, self.sigma, size=(z.size, 2))
+        return z + noise[:, 0] + 1j * noise[:, 1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self._check_grad(grad, self._n_last)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AWGNChannel(snr_db={self.snr_db}, k={self.bits_per_symbol}, {self.snr_type})"

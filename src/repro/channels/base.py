@@ -1,0 +1,69 @@
+"""Channel interface: forward on complex symbols, backward on real gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Channel", "find_awgn"]
+
+
+class Channel:
+    """Base class for differentiable channel models.
+
+    ``forward`` maps complex samples ``(N,)`` to complex samples ``(N,)``
+    and caches whatever the backward pass needs.  ``backward`` maps the
+    gradient of the loss w.r.t. the channel *output* (real ``(N, 2)``,
+    columns = d/dRe, d/dIm) to the gradient w.r.t. the channel *input*, via
+    the transpose of the channel's real Jacobian.  Stochastic channels
+    (noise, fading) hold their own :class:`numpy.random.Generator`.
+    """
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        """Propagate complex samples through the channel."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Pull a real ``(N, 2)`` output-gradient back to the input."""
+        raise NotImplementedError
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        return self.forward(z)
+
+    def reset(self) -> None:
+        """Reset any per-stream state (e.g. symbol counters).  Default: no-op."""
+
+    @staticmethod
+    def _as_complex_vector(z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z)
+        if not np.iscomplexobj(z):
+            z = z.astype(np.complex128)
+        if z.ndim != 1:
+            raise ValueError(f"channel input must be 1-D complex, got shape {z.shape}")
+        return z
+
+    @staticmethod
+    def _check_grad(grad: np.ndarray, n: int) -> np.ndarray:
+        g = np.asarray(grad, dtype=np.float64)
+        if g.shape != (n, 2):
+            raise ValueError(f"gradient must have shape ({n}, 2), got {g.shape}")
+        return g
+
+
+def find_awgn(channel: Channel):
+    """Locate the AWGN component inside a (possibly composite) channel.
+
+    The receiver needs the noise variance σ² for soft demapping; this walks
+    composites and returns the first :class:`~repro.channels.awgn.AWGNChannel`
+    found, or ``None``.
+    """
+    from repro.channels.awgn import AWGNChannel
+    from repro.channels.composite import CompositeChannel
+
+    if isinstance(channel, AWGNChannel):
+        return channel
+    if isinstance(channel, CompositeChannel):
+        for stage in channel.stages:
+            found = find_awgn(stage)
+            if found is not None:
+                return found
+    return None

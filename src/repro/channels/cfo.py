@@ -1,0 +1,52 @@
+"""Carrier-frequency-offset channel (linearly growing phase).
+
+A residual CFO of normalised frequency ε rotates symbol ``t`` by
+``φ_t = 2π·ε·t + φ0``.  Unlike a fixed phase offset this cannot be absorbed
+by a single retraining pass — it is the stress-case for the paper's
+"trigger retraining when BER degrades" loop (the decision regions must be
+re-learned periodically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+
+__all__ = ["CFOChannel"]
+
+
+class CFOChannel(Channel):
+    """y_t = x_t · e^{j(2π ε t + φ0)} with a persistent symbol counter."""
+
+    def __init__(self, freq_offset: float, initial_phase: float = 0.0):
+        self.freq_offset = float(freq_offset)
+        self.initial_phase = float(initial_phase)
+        self._t = 0
+        self._last_rot: np.ndarray | None = None
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        t = np.arange(self._t, self._t + z.size, dtype=np.float64)
+        self._t += z.size
+        phases = 2.0 * np.pi * self.freq_offset * t + self.initial_phase
+        self._last_rot = np.exp(1j * phases)
+        return z * self._last_rot
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._last_rot is None:
+            raise RuntimeError("backward called before forward")
+        g = self._check_grad(grad, self._last_rot.size)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(self._last_rot)
+        out = np.empty_like(g)
+        out[:, 0] = gc.real
+        out[:, 1] = gc.imag
+        return out
+
+    def reset(self) -> None:
+        self._t = 0
+        self._last_rot = None
+
+    @property
+    def symbols_elapsed(self) -> int:
+        return self._t

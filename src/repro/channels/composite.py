@@ -1,0 +1,45 @@
+"""Channel composition: apply stages in order, back-propagate in reverse.
+
+The paper's retraining scenario is ``CompositeChannel([PhaseOffsetChannel(pi/4),
+AWGNChannel(snr)])`` — a deterministic impairment followed by noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.channels.base import Channel
+
+__all__ = ["CompositeChannel"]
+
+
+class CompositeChannel(Channel):
+    """Sequential composition of channels (first stage applied first)."""
+
+    def __init__(self, stages: Sequence[Channel]):
+        if not stages:
+            raise ValueError("CompositeChannel needs at least one stage")
+        for s in stages:
+            if not isinstance(s, Channel):
+                raise TypeError(f"stage {s!r} is not a Channel")
+        self.stages = list(stages)
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        for stage in self.stages:
+            z = stage.forward(z)
+        return z
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for stage in reversed(self.stages):
+            grad = stage.backward(grad)
+        return grad
+
+    def reset(self) -> None:
+        for stage in self.stages:
+            stage.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(repr(s) for s in self.stages)
+        return f"CompositeChannel([{inner}])"

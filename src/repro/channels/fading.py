@@ -1,0 +1,100 @@
+"""Flat block-fading channels (Rayleigh / Rician).
+
+A complex gain ``h`` is drawn per block of ``block_size`` symbols and held
+constant within the block (quasi-static flat fading).  ``coherent=True``
+divides the output by |h| (ideal amplitude tracking, residual phase error
+only) — the regime where the paper's demapper retraining is most effective,
+since the MLP can absorb a phase rotation but not per-symbol amplitude
+scintillation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+from repro.utils.rng import as_generator
+
+__all__ = ["RayleighFadingChannel", "RicianFadingChannel"]
+
+
+class RayleighFadingChannel(Channel):
+    """y = h·x with h ~ CN(0, 1) redrawn every ``block_size`` symbols."""
+
+    def __init__(
+        self,
+        block_size: int = 1024,
+        *,
+        coherent: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = int(block_size)
+        self.coherent = bool(coherent)
+        self.rng = as_generator(rng)
+        self._h: complex = 1.0 + 0.0j
+        self._symbols_in_block = self.block_size  # force draw on first use
+        self._last_gain: np.ndarray | None = None
+
+    def _draw_gain(self) -> complex:
+        re, im = self.rng.normal(0.0, np.sqrt(0.5), size=2)
+        return complex(re, im)
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        gains = np.empty(z.size, dtype=np.complex128)
+        pos = 0
+        while pos < z.size:
+            if self._symbols_in_block >= self.block_size:
+                self._h = self._draw_gain()
+                self._symbols_in_block = 0
+            take = min(z.size - pos, self.block_size - self._symbols_in_block)
+            gains[pos : pos + take] = self._h
+            self._symbols_in_block += take
+            pos += take
+        if self.coherent:
+            gains = gains / np.abs(gains)
+        self._last_gain = gains
+        return z * gains
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._last_gain is None:
+            raise RuntimeError("backward called before forward")
+        g = self._check_grad(grad, self._last_gain.size)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(self._last_gain)
+        out = np.empty_like(g)
+        out[:, 0] = gc.real
+        out[:, 1] = gc.imag
+        return out
+
+    def reset(self) -> None:
+        self._symbols_in_block = self.block_size
+        self._last_gain = None
+
+
+class RicianFadingChannel(RayleighFadingChannel):
+    """Rician fading with K-factor: h = sqrt(K/(K+1)) + CN(0, 1/(K+1)).
+
+    K → ∞ degenerates to a pure line-of-sight (AWGN-like) channel; K = 0 is
+    Rayleigh.
+    """
+
+    def __init__(
+        self,
+        k_factor: float = 4.0,
+        block_size: int = 1024,
+        *,
+        coherent: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if k_factor < 0:
+            raise ValueError("k_factor must be >= 0")
+        super().__init__(block_size, coherent=coherent, rng=rng)
+        self.k_factor = float(k_factor)
+
+    def _draw_gain(self) -> complex:
+        los = np.sqrt(self.k_factor / (self.k_factor + 1.0))
+        scatter_std = np.sqrt(0.5 / (self.k_factor + 1.0))
+        re, im = self.rng.normal(0.0, scatter_std, size=2)
+        return complex(los + re, im)

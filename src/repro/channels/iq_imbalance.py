@@ -1,0 +1,57 @@
+"""Receiver IQ-imbalance channel (gain and phase mismatch of the I/Q arms).
+
+Standard widely-linear model:  ``y = μ·z + ν·conj(z)`` with
+
+``μ = (1 + g·e^{-jθ}) / 2``,  ``ν = (1 − g·e^{jθ}) / 2``,
+
+where ``g`` is the amplitude mismatch (linear) and ``θ`` the phase mismatch.
+Perfect balance (g=1, θ=0) gives μ=1, ν=0.  The conj term makes the channel
+widely linear (not complex-linear), which is why the real 2×2 Jacobian is
+kept explicitly for the backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+
+__all__ = ["IQImbalanceChannel"]
+
+
+class IQImbalanceChannel(Channel):
+    """Widely-linear IQ mismatch; learnable by the demapper ANN on retraining."""
+
+    def __init__(self, amplitude_imbalance_db: float = 0.0, phase_imbalance: float = 0.0):
+        self.amplitude_imbalance_db = float(amplitude_imbalance_db)
+        self.phase_imbalance = float(phase_imbalance)
+        g = 10.0 ** (amplitude_imbalance_db / 20.0)
+        theta = phase_imbalance
+        self.mu = 0.5 * (1.0 + g * np.exp(-1j * theta))
+        self.nu = 0.5 * (1.0 - g * np.exp(1j * theta))
+        # Real Jacobian of y = mu*z + nu*conj(z):
+        #   [Re y]   [mu_r + nu_r,  -mu_i + nu_i] [Re z]
+        #   [Im y] = [mu_i + nu_i,   mu_r - nu_r] [Im z]
+        self._jac = np.array(
+            [
+                [self.mu.real + self.nu.real, -self.mu.imag + self.nu.imag],
+                [self.mu.imag + self.nu.imag, self.mu.real - self.nu.real],
+            ],
+            dtype=np.float64,
+        )
+        self._n_last = 0
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        self._n_last = z.size
+        return self.mu * z + self.nu * np.conj(z)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self._check_grad(grad, self._n_last)
+        return g @ self._jac  # (Jᵀ gᵀ)ᵀ = g J since J is applied per-row
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IQImbalanceChannel(amp={self.amplitude_imbalance_db}dB, "
+            f"phase={self.phase_imbalance:.4g})"
+        )

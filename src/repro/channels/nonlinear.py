@@ -1,0 +1,69 @@
+"""Memoryless nonlinear power-amplifier distortion (Rapp model).
+
+AM/AM compression: ``|y| = |x| / (1 + (|x|/A_sat)^{2p})^{1/(2p)}``, phase
+preserved.  This is the canonical saturating-PA model; the AE's ability to
+learn constellations that back off from the saturation region is one of the
+motivating use cases for trainable mappers [Cammerer et al. 2020].  The
+backward pass uses the analytic Jacobian ``g(r)·I + (g'(r)/r)·x xᵀ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+
+__all__ = ["RappPAChannel"]
+
+
+class RappPAChannel(Channel):
+    """Rapp solid-state PA: smoothness ``p`` (≥1), saturation amplitude ``a_sat``."""
+
+    def __init__(self, a_sat: float = 1.0, p: float = 2.0):
+        if a_sat <= 0:
+            raise ValueError("a_sat must be positive")
+        if p < 0.5:
+            raise ValueError("smoothness p must be >= 0.5")
+        self.a_sat = float(a_sat)
+        self.p = float(p)
+        self._x: np.ndarray | None = None
+
+    def _gain(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (g(r), g'(r)) with g(r)=|y|/|x|; safe at r=0."""
+        u = (r / self.a_sat) ** (2.0 * self.p)
+        base = 1.0 + u
+        g = base ** (-1.0 / (2.0 * self.p))
+        # g'(r) = -(u/r) * (1+u)^{-1/(2p) - 1}; at r=0, u=0 so g'=0.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gp = np.where(r > 0, -(u / np.where(r > 0, r, 1.0)) * base ** (-1.0 / (2.0 * self.p) - 1.0), 0.0)
+        return g, gp
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        self._x = z
+        r = np.abs(z)
+        g, _ = self._gain(r)
+        return z * g
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        g_out = self._check_grad(grad, self._x.size)
+        x = np.empty((self._x.size, 2))
+        x[:, 0] = self._x.real
+        x[:, 1] = self._x.imag
+        r = np.abs(self._x)
+        g, gp = self._gain(r)
+        # J = g(r) I + (g'(r)/r) x xᵀ  (symmetric, so Jᵀ = J)
+        dot = (x * g_out).sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            coeff = np.where(r > 0, gp / np.where(r > 0, r, 1.0), 0.0)
+        return g[:, None] * g_out + (coeff * dot)[:, None] * x
+
+    @property
+    def input_p1db(self) -> float:
+        """Input amplitude at which the gain is compressed by 1 dB."""
+        target = 10.0 ** (-1.0 / 20.0)
+        # solve (1+u)^{-1/(2p)} = target -> u = target^{-2p} - 1
+        u = target ** (-2.0 * self.p) - 1.0
+        return self.a_sat * u ** (1.0 / (2.0 * self.p))

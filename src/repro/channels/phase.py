@@ -1,0 +1,91 @@
+"""Phase-offset channels: the paper's "changing environmental condition".
+
+:class:`PhaseOffsetChannel` applies a fixed rotation e^{jφ} (the paper uses
+φ = π/4 to demonstrate retraining).  :class:`TimeVaryingPhaseChannel` applies
+a per-symbol phase given by a schedule function — used by the adaptive
+receiver scenarios where the channel drifts mid-stream and retraining must
+be re-triggered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.channels.base import Channel
+
+__all__ = ["PhaseOffsetChannel", "TimeVaryingPhaseChannel"]
+
+
+class PhaseOffsetChannel(Channel):
+    """y = x · e^{jφ}.  Backward rotates gradients by −φ (Jacobian transpose)."""
+
+    def __init__(self, phase: float):
+        self.phase = float(phase)
+        self._rot = np.exp(1j * self.phase)
+        self._n_last = 0
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        self._n_last = z.size
+        return z * self._rot
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self._check_grad(grad, self._n_last)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(self._rot)
+        out = np.empty_like(g)
+        out[:, 0] = gc.real
+        out[:, 1] = gc.imag
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PhaseOffsetChannel(phase={self.phase:.4g})"
+
+
+class TimeVaryingPhaseChannel(Channel):
+    """Per-symbol phase φ(t) from a vectorised schedule function.
+
+    ``phase_fn(t)`` receives the absolute symbol indices (int64 array) of the
+    current block and returns one phase per symbol.  The symbol counter
+    persists across calls (a stream), so successive blocks see a continuous
+    schedule; :meth:`reset` rewinds to t = 0.
+
+    Example — a sudden π/4 jump after 10k symbols::
+
+        ch = TimeVaryingPhaseChannel(lambda t: np.where(t < 10_000, 0.0, np.pi/4))
+    """
+
+    def __init__(self, phase_fn: Callable[[np.ndarray], np.ndarray]):
+        self.phase_fn = phase_fn
+        self._t = 0
+        self._last_rot: np.ndarray | None = None
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        t = np.arange(self._t, self._t + z.size, dtype=np.int64)
+        self._t += z.size
+        phases = np.asarray(self.phase_fn(t), dtype=np.float64)
+        if phases.shape != (z.size,):
+            raise ValueError(f"phase_fn must return shape ({z.size},), got {phases.shape}")
+        self._last_rot = np.exp(1j * phases)
+        return z * self._last_rot
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._last_rot is None:
+            raise RuntimeError("backward called before forward")
+        g = self._check_grad(grad, self._last_rot.size)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(self._last_rot)
+        out = np.empty_like(g)
+        out[:, 0] = gc.real
+        out[:, 1] = gc.imag
+        return out
+
+    def reset(self) -> None:
+        self._t = 0
+        self._last_rot = None
+
+    @property
+    def symbols_elapsed(self) -> int:
+        """Number of symbols that have passed through the stream so far."""
+        return self._t

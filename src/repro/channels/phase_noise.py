@@ -1,0 +1,74 @@
+"""Wiener (random-walk) phase noise — the oscillator impairment.
+
+A free-running oscillator's phase drifts as a Wiener process:
+``φ_{t+1} = φ_t + w_t``, ``w_t ~ N(0, σ_φ²)``.  Unlike the fixed offset of
+the paper's §III-C this never settles, so the adaptive receiver must keep
+re-triggering (or keep a tracker running) — the stress case for the
+monitor/retrain loop, complementing :class:`~repro.channels.cfo.CFOChannel`
+(deterministic drift) with a stochastic one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.base import Channel
+from repro.utils.rng import as_generator
+
+__all__ = ["WienerPhaseNoiseChannel"]
+
+
+class WienerPhaseNoiseChannel(Channel):
+    """y_t = x_t · e^{jφ_t} with φ a Wiener process (persistent across calls).
+
+    Parameters
+    ----------
+    linewidth_sigma:
+        Per-symbol phase-increment standard deviation σ_φ (radians).
+        Typical laser/oscillator values are 1e-3..1e-1 rad/symbol.
+    initial_phase:
+        φ_0.
+    """
+
+    def __init__(
+        self,
+        linewidth_sigma: float,
+        *,
+        initial_phase: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if linewidth_sigma < 0:
+            raise ValueError("linewidth_sigma must be >= 0")
+        self.linewidth_sigma = float(linewidth_sigma)
+        self.initial_phase = float(initial_phase)
+        self.rng = as_generator(rng)
+        self._phase = float(initial_phase)
+        self._last_rot: np.ndarray | None = None
+
+    @property
+    def current_phase(self) -> float:
+        """Phase after the last processed symbol."""
+        return self._phase
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = self._as_complex_vector(z)
+        steps = self.rng.normal(0.0, self.linewidth_sigma, size=z.size)
+        phases = self._phase + np.cumsum(steps)
+        if z.size:
+            self._phase = float(phases[-1])
+        self._last_rot = np.exp(1j * phases)
+        return z * self._last_rot
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._last_rot is None:
+            raise RuntimeError("backward called before forward")
+        g = self._check_grad(grad, self._last_rot.size)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(self._last_rot)
+        out = np.empty_like(g)
+        out[:, 0] = gc.real
+        out[:, 1] = gc.imag
+        return out
+
+    def reset(self) -> None:
+        self._phase = self.initial_phase
+        self._last_rot = None

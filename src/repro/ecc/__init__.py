@@ -1,0 +1,32 @@
+"""Error-correction substrate used for retraining triggers (paper ref [9]).
+
+The paper proposes detecting channel changes either via pilot-BER or via the
+number of bit flips corrected by an outer ECC (Schibisch et al. 2018).  This
+package provides the outer code machinery:
+
+* :class:`HammingCode` — Hamming(2^r−1, 2^r−1−r) with single-error
+  correction; decode reports the number of corrected flips (the trigger
+  statistic).
+* :class:`ExtendedHammingCode` — SECDED variant (detects double errors).
+* :class:`RepetitionCode` — trivial majority-vote code (testing/teaching).
+* CRC-8/16 frame checks, block/random interleavers.
+"""
+
+from repro.ecc.convolutional import ConvolutionalCode, ViterbiResult
+from repro.ecc.crc import Crc, CRC8_CCITT, CRC16_CCITT
+from repro.ecc.hamming import ExtendedHammingCode, HammingCode
+from repro.ecc.interleaver import BlockInterleaver, RandomInterleaver
+from repro.ecc.repetition import RepetitionCode
+
+__all__ = [
+    "ConvolutionalCode",
+    "ViterbiResult",
+    "HammingCode",
+    "ExtendedHammingCode",
+    "RepetitionCode",
+    "Crc",
+    "CRC8_CCITT",
+    "CRC16_CCITT",
+    "BlockInterleaver",
+    "RandomInterleaver",
+]

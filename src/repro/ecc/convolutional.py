@@ -1,0 +1,175 @@
+"""Convolutional coding with hard/soft Viterbi decoding.
+
+Extends the ECC substrate beyond block codes: a rate-1/n feed-forward
+convolutional encoder and a Viterbi decoder that accepts either hard bits
+(Hamming branch metric) or **LLRs** (correlation metric).  The soft decoder
+is what makes this interesting for the paper's pipeline: coded performance
+depends on the *quality* of the demapper's soft outputs, so it
+discriminates between exact log-MAP, max-log on the true constellation,
+and max-log on extracted centroids (see ``benchmarks/bench_ext_coded_ber.py``).
+
+LLR convention matches :mod:`repro.modulation.demapper`: ``llr > 0`` ⇒ bit 1,
+so the correlation metric for a branch emitting coded bits ``c ∈ {0,1}ⁿ``
+is ``Σ_j c_j · llr_j`` (the constant term is path-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConvolutionalCode", "ViterbiResult"]
+
+
+@dataclass(frozen=True)
+class ViterbiResult:
+    """Decoded information bits plus the winning path metric."""
+
+    data: np.ndarray
+    path_metric: float
+
+
+class ConvolutionalCode:
+    """Rate-1/n feed-forward convolutional code with terminated blocks.
+
+    Parameters
+    ----------
+    generators:
+        Generator polynomials as integers; bit ``i`` (LSB = current input)
+        taps shift-register position ``i``.  The classic K=3 code is
+        ``(0b111, 0b101)`` (octal 7,5).
+    constraint_length:
+        K = number of taps (register length + 1).  States = 2^(K-1).
+
+    Encoding appends ``K-1`` zero tail bits so every block terminates in
+    state 0 (standard trellis termination — the decoder exploits it).
+    """
+
+    def __init__(self, generators: tuple[int, ...] = (0b111, 0b101), constraint_length: int = 3):
+        if constraint_length < 2 or constraint_length > 10:
+            raise ValueError("constraint_length must lie in [2, 10]")
+        if len(generators) < 2:
+            raise ValueError("need at least two generator polynomials (rate <= 1/2)")
+        for g in generators:
+            if g <= 0 or g >= (1 << constraint_length):
+                raise ValueError(f"generator {g:#o} out of range for K={constraint_length}")
+        self.generators = tuple(int(g) for g in generators)
+        self.k = int(constraint_length)
+        self.n_out = len(generators)
+        self.n_states = 1 << (self.k - 1)
+
+        # Precompute the trellis: for state s and input bit b, the register
+        # content is (b << (K-1)) | s read as [newest ... oldest]; outputs
+        # are parities of generator taps; next state drops the oldest bit.
+        states = np.arange(self.n_states)
+        self._next_state = np.empty((self.n_states, 2), dtype=np.int64)
+        self._outputs = np.empty((self.n_states, 2, self.n_out), dtype=np.int8)
+        for b in (0, 1):
+            register = (states << 1) | b  # newest bit in LSB, oldest in MSB
+            self._next_state[:, b] = register & (self.n_states - 1)
+            for j, g in enumerate(self.generators):
+                taps = register & g
+                # parity via vectorised popcount
+                parity = np.zeros_like(taps)
+                t = taps.copy()
+                while np.any(t):
+                    parity ^= t & 1
+                    t >>= 1
+                self._outputs[:, b, j] = parity.astype(np.int8)
+
+    # -- encode -----------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Asymptotic code rate 1/n (termination overhead excluded)."""
+        return 1.0 / self.n_out
+
+    def encoded_length(self, n_info: int) -> int:
+        """Coded bits produced for ``n_info`` information bits (with tail)."""
+        return (n_info + self.k - 1) * self.n_out
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode a flat 0/1 bit array; returns the terminated coded stream."""
+        d = np.asarray(data)
+        if d.ndim != 1:
+            raise ValueError("data must be a flat bit array")
+        if not np.all((d == 0) | (d == 1)):
+            raise ValueError("bits must be 0/1 valued")
+        bits = np.concatenate([d.astype(np.int8), np.zeros(self.k - 1, dtype=np.int8)])
+        out = np.empty((bits.size, self.n_out), dtype=np.int8)
+        state = 0
+        for t, b in enumerate(bits.tolist()):
+            out[t] = self._outputs[state, b]
+            state = self._next_state[state, b]
+        assert state == 0  # termination invariant
+        return out.ravel()
+
+    # -- decode -----------------------------------------------------------------
+    def _transition_tables(self):
+        """Transitions grouped by destination: for every next state exactly
+        two (source state, input bit) arrivals.  Returns ``(src, inb)`` of
+        shape ``(n_states, 2)`` such that
+        ``next_state[src[ns, i], inb[ns, i]] == ns``."""
+        states = np.arange(self.n_states)
+        src_all = np.repeat(states, 2)
+        inb_all = np.tile(np.array([0, 1]), self.n_states)
+        dst_all = self._next_state[src_all, inb_all]
+        order = np.argsort(dst_all, kind="stable")
+        src = src_all[order].reshape(self.n_states, 2)
+        inb = inb_all[order].reshape(self.n_states, 2)
+        return src, inb
+
+    def _viterbi(self, branch_metrics: np.ndarray) -> ViterbiResult:
+        """Max-metric Viterbi over per-step branch metrics.
+
+        ``branch_metrics[t, s, b]`` is the metric of leaving state ``s``
+        with input ``b`` at step ``t``.  Starts and ends in state 0
+        (terminated blocks).  Note the trellis structure gives input bit =
+        LSB of the destination state, so only predecessor states need to be
+        stored for traceback.
+        """
+        n_steps = branch_metrics.shape[0]
+        src, inb = self._transition_tables()
+        metric = np.full(self.n_states, -np.inf)
+        metric[0] = 0.0
+        prev_state = np.empty((n_steps, self.n_states), dtype=np.int64)
+        for t in range(n_steps):
+            arrivals = metric[src] + branch_metrics[t][src, inb]  # (S, 2)
+            winner = np.argmax(arrivals, axis=1)
+            metric = arrivals[np.arange(self.n_states), winner]
+            prev_state[t] = src[np.arange(self.n_states), winner]
+
+        # traceback from state 0 (terminated)
+        state = 0
+        bits = np.empty(n_steps, dtype=np.int8)
+        for t in range(n_steps - 1, -1, -1):
+            bits[t] = state & 1  # input bit that led INTO `state`
+            state = prev_state[t, state]
+        info = bits[: n_steps - (self.k - 1)]
+        final = metric[0]
+        return ViterbiResult(data=info, path_metric=float(final))
+
+    def decode_hard(self, coded: np.ndarray) -> ViterbiResult:
+        """Hard-decision Viterbi (maximise bit agreements)."""
+        c = np.asarray(coded)
+        if c.size % self.n_out != 0:
+            raise ValueError(f"coded length {c.size} not a multiple of {self.n_out}")
+        r = c.reshape(-1, self.n_out).astype(np.float64)
+        # metric = agreements: Σ_j [c_j == r_j] = Σ_j (2r-1)(2c-1)/2 + const
+        return self.decode_soft((2.0 * r - 1.0) * 4.0)  # pseudo-LLRs, llr>0 <=> bit 1
+
+    def decode_soft(self, llrs: np.ndarray) -> ViterbiResult:
+        """Soft-decision Viterbi from LLRs (llr > 0 ⇒ coded bit 1)."""
+        l = np.asarray(llrs, dtype=np.float64)
+        if l.ndim != 1 and not (l.ndim == 2 and l.shape[1] == self.n_out):
+            l = l.ravel()
+        if l.ndim == 1:
+            if l.size % self.n_out != 0:
+                raise ValueError(f"LLR length {l.size} not a multiple of {self.n_out}")
+            l = l.reshape(-1, self.n_out)
+        n_steps = l.shape[0]
+        # branch metric: Σ_j out_bit * llr_j  (out_bits precomputed per (s,b))
+        out = self._outputs.astype(np.float64)  # (S, 2, n)
+        bm = np.einsum("tj,sbj->tsb", l, out)
+        result = self._viterbi(bm)
+        return result

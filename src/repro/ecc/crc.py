@@ -1,0 +1,94 @@
+"""Table-driven CRC over bit arrays (byte-aligned frames).
+
+Used for frame integrity checks in the link layer: a failed CRC marks a
+frame as bad without needing the true payload, complementing the
+corrected-flip statistic from :mod:`repro.ecc.hamming`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Crc", "CRC8_CCITT", "CRC16_CCITT"]
+
+
+class Crc:
+    """Generic table-driven CRC with MSB-first bit order.
+
+    Parameters
+    ----------
+    width:
+        CRC width in bits (8 or 16 supported).
+    poly:
+        Generator polynomial (without the implicit leading 1).
+    init:
+        Initial register value.
+    xor_out:
+        Final XOR applied to the register.
+    """
+
+    def __init__(self, width: int, poly: int, *, init: int = 0, xor_out: int = 0, name: str = "crc"):
+        if width not in (8, 16):
+            raise ValueError("only widths 8 and 16 are supported")
+        self.width = width
+        self.poly = poly
+        self.init = init
+        self.xor_out = xor_out
+        self.name = name
+        self._mask = (1 << width) - 1
+        self._top = 1 << (width - 1)
+        self._table = self._build_table()
+
+    def _build_table(self) -> np.ndarray:
+        table = np.zeros(256, dtype=np.int64)
+        for byte in range(256):
+            reg = byte << (self.width - 8)
+            for _ in range(8):
+                if reg & self._top:
+                    reg = ((reg << 1) ^ self.poly) & self._mask
+                else:
+                    reg = (reg << 1) & self._mask
+            table[byte] = reg
+        return table
+
+    def compute_bytes(self, data: np.ndarray) -> int:
+        """CRC of a uint8 byte sequence."""
+        b = np.asarray(data, dtype=np.uint8).ravel()
+        reg = self.init
+        shift = self.width - 8
+        for byte in b.tolist():  # register recurrence is inherently sequential
+            idx = ((reg >> shift) ^ byte) & 0xFF
+            reg = ((reg << 8) & self._mask) ^ int(self._table[idx])
+        return (reg ^ self.xor_out) & self._mask
+
+    def compute_bits(self, bits: np.ndarray) -> int:
+        """CRC of a 0/1 bit array whose length is a multiple of 8 (MSB first)."""
+        b = np.asarray(bits)
+        if b.size % 8 != 0:
+            raise ValueError(f"bit count {b.size} must be a multiple of 8")
+        if not np.all((b == 0) | (b == 1)):
+            raise ValueError("bits must be 0/1 valued")
+        packed = np.packbits(b.astype(np.uint8))
+        return self.compute_bytes(packed)
+
+    def append(self, bits: np.ndarray) -> np.ndarray:
+        """Return ``bits`` with the CRC appended (MSB first)."""
+        crc = self.compute_bits(bits)
+        crc_bits = ((crc >> np.arange(self.width - 1, -1, -1)) & 1).astype(np.int8)
+        return np.concatenate([np.asarray(bits, dtype=np.int8), crc_bits])
+
+    def check(self, bits_with_crc: np.ndarray) -> bool:
+        """True iff the trailing CRC matches the payload."""
+        b = np.asarray(bits_with_crc)
+        if b.size < self.width:
+            raise ValueError("frame shorter than CRC width")
+        payload, tail = b[: -self.width], b[-self.width :]
+        crc = self.compute_bits(payload)
+        crc_bits = ((crc >> np.arange(self.width - 1, -1, -1)) & 1).astype(np.int8)
+        return bool(np.array_equal(tail.astype(np.int8), crc_bits))
+
+
+#: CRC-8/CCITT (poly 0x07)
+CRC8_CCITT = Crc(8, 0x07, name="CRC-8/CCITT")
+#: CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF)
+CRC16_CCITT = Crc(16, 0x1021, init=0xFFFF, name="CRC-16/CCITT-FALSE")

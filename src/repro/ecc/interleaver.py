@@ -1,0 +1,72 @@
+"""Bit interleavers (block and pseudo-random permutation).
+
+Interleaving decorrelates burst errors before the Hamming decoder — relevant
+for the fading channels in :mod:`repro.channels.fading`, where a deep fade
+corrupts contiguous runs of symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["BlockInterleaver", "RandomInterleaver"]
+
+
+class BlockInterleaver:
+    """Row-in/column-out block interleaver of size rows x cols."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.size = rows * cols
+        idx = np.arange(self.size).reshape(rows, cols)
+        self._perm = idx.T.ravel()           # write row-wise, read column-wise
+        self._inv = np.argsort(self._perm)
+
+    def interleave(self, bits: np.ndarray) -> np.ndarray:
+        """Permute a bit array whose length is a multiple of rows*cols."""
+        b = np.asarray(bits)
+        if b.size % self.size != 0:
+            raise ValueError(f"length {b.size} not a multiple of {self.size}")
+        blocks = b.reshape(-1, self.size)
+        return blocks[:, self._perm].reshape(b.shape)
+
+    def deinterleave(self, bits: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`interleave`."""
+        b = np.asarray(bits)
+        if b.size % self.size != 0:
+            raise ValueError(f"length {b.size} not a multiple of {self.size}")
+        blocks = b.reshape(-1, self.size)
+        return blocks[:, self._inv].reshape(b.shape)
+
+
+class RandomInterleaver:
+    """Fixed pseudo-random permutation of blocks of ``size`` bits."""
+
+    def __init__(self, size: int, rng: np.random.Generator | int | None = None):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        rng = as_generator(rng)
+        self._perm = rng.permutation(size)
+        self._inv = np.argsort(self._perm)
+
+    def interleave(self, bits: np.ndarray) -> np.ndarray:
+        """Permute a bit array whose length is a multiple of ``size``."""
+        b = np.asarray(bits)
+        if b.size % self.size != 0:
+            raise ValueError(f"length {b.size} not a multiple of {self.size}")
+        blocks = b.reshape(-1, self.size)
+        return blocks[:, self._perm].reshape(b.shape)
+
+    def deinterleave(self, bits: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`interleave`."""
+        b = np.asarray(bits)
+        if b.size % self.size != 0:
+            raise ValueError(f"length {b.size} not a multiple of {self.size}")
+        blocks = b.reshape(-1, self.size)
+        return blocks[:, self._inv].reshape(b.shape)

@@ -1,0 +1,47 @@
+"""Repetition code with majority-vote decoding (teaching/testing baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.hamming import DecodeResult
+
+__all__ = ["RepetitionCode"]
+
+
+class RepetitionCode:
+    """(n, 1) repetition code; n must be odd for unambiguous majority vote."""
+
+    def __init__(self, n: int = 3):
+        if n < 1 or n % 2 == 0:
+            raise ValueError("repetition factor must be odd and >= 1")
+        self.n = n
+        self.k = 1
+
+    @property
+    def rate(self) -> float:
+        """Code rate 1/n."""
+        return 1.0 / self.n
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Repeat every bit n times: ``(N,)`` or ``(N,1)`` -> ``(N, n)``."""
+        d = np.asarray(data)
+        if not np.all((d == 0) | (d == 1)):
+            raise ValueError("bits must be 0/1 valued")
+        d = d.reshape(-1)
+        return np.repeat(d[:, None], self.n, axis=1).astype(np.int8)
+
+    def decode(self, codewords: np.ndarray) -> DecodeResult:
+        """Majority vote; ``corrected`` counts minority bits overruled."""
+        cw = np.asarray(codewords)
+        if cw.ndim == 1:
+            if cw.size % self.n != 0:
+                raise ValueError(f"length {cw.size} not a multiple of {self.n}")
+            cw = cw.reshape(-1, self.n)
+        if cw.shape[1] != self.n:
+            raise ValueError(f"expected (N, {self.n}), got {cw.shape}")
+        ones = cw.sum(axis=1, dtype=np.int64)
+        decided = (ones > self.n // 2).astype(np.int8)
+        # flips corrected = number of received bits disagreeing with the vote
+        corrected = int(np.where(decided == 1, self.n - ones, ones).sum())
+        return DecodeResult(data=decided[:, None], corrected=corrected, detected_uncorrectable=0)

@@ -1,0 +1,20 @@
+"""Experiment drivers — one module per paper artifact.
+
+Each driver exposes ``run(config) -> result`` (pure, seedable) and a
+``main()`` console entry point that prints paper-vs-measured tables (and
+ASCII figures).  The pytest-benchmark harnesses in ``benchmarks/`` wrap the
+same ``run`` functions, so CLI runs and benchmark runs produce identical
+numbers for identical seeds.
+
+* :mod:`repro.experiments.fig2_ber` — Fig. 2 (BER vs SNR, 3 curves)
+* :mod:`repro.experiments.fig3_decision_regions` — Fig. 3 (DR + centroids
+  before/after retraining)
+* :mod:`repro.experiments.table1_adaptation` — Table 1 (phase-offset
+  adaptation)
+* :mod:`repro.experiments.table2_fpga` — Table 2 (FPGA implementation)
+"""
+
+from repro.experiments import paper_values
+from repro.experiments.cache import trained_ae_system
+
+__all__ = ["paper_values", "trained_ae_system"]

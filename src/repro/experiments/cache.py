@@ -1,0 +1,63 @@
+"""Process-level cache of trained AE systems.
+
+Several experiments and benchmarks need "the AE trained at SNR x"; training
+is cheap (~1-2 s) but not free, so identical (snr, seed, steps) requests
+share one trained system per process.  Results are deterministic in the
+seed, so caching does not change any measured number.
+
+The cache returns the *system* (mutable — retraining experiments modify the
+demapper), so callers that retrain must request ``copy=True`` to leave the
+cached instance pristine for other users.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.autoencoder.demapper_ann import DemapperANN
+from repro.autoencoder.mapper_ann import MapperANN
+from repro.autoencoder.system import AESystem
+from repro.autoencoder.training import E2ETrainer, TrainingConfig
+from repro.channels.awgn import AWGNChannel
+
+__all__ = ["trained_ae_system", "DEFAULT_TRAIN_STEPS", "DEFAULT_SEED"]
+
+DEFAULT_TRAIN_STEPS = 3000
+DEFAULT_SEED = 1234
+
+
+@lru_cache(maxsize=32)
+def _train(snr_db: float, seed: int, steps: int, batch_size: int, order: int) -> AESystem:
+    rng = np.random.default_rng(seed)
+    mapper = MapperANN(order, init="qam", rng=rng)
+    demapper = DemapperANN(mapper.bits_per_symbol, rng=rng)
+    channel = AWGNChannel(snr_db, mapper.bits_per_symbol, rng=rng)
+    system = AESystem(mapper, demapper, channel)
+    E2ETrainer(system, TrainingConfig(steps=steps, batch_size=batch_size)).run(rng)
+    return system
+
+
+def trained_ae_system(
+    snr_db: float,
+    *,
+    seed: int = DEFAULT_SEED,
+    steps: int = DEFAULT_TRAIN_STEPS,
+    batch_size: int = 512,
+    order: int = 16,
+    copy: bool = False,
+) -> AESystem:
+    """AE jointly trained over AWGN at ``snr_db`` (Eb/N0), cached per process.
+
+    With ``copy=True`` the demapper (and mapper) are deep-copied so the
+    caller may retrain freely without invalidating the cache.
+    """
+    system = _train(float(snr_db), int(seed), int(steps), int(batch_size), int(order))
+    if not copy:
+        return system
+    mapper = MapperANN(system.order, init="qam")
+    mapper.load_state_dict(system.mapper.state_dict())
+    demapper = system.demapper.copy()
+    channel = AWGNChannel(snr_db, mapper.bits_per_symbol, rng=np.random.default_rng(seed + 1))
+    return AESystem(mapper, demapper, channel)

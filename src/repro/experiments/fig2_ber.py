@@ -1,0 +1,154 @@
+"""Fig. 2 — BER of different demapping algorithms vs SNR.
+
+For each SNR in 0..12 dB (Eb/N0), the AE (mapper + demapper) is trained
+over AWGN; then four receivers are measured on fresh symbols:
+
+* ``conventional`` — max-log demapping of Gray 16-QAM (the paper's
+  conventional soft demapper),
+* ``ae`` — ANN demapper inference,
+* ``centroid_vertex`` — max-log on vertex-extracted centroids (the paper's
+  extraction algorithm),
+* ``centroid_lsq`` — max-log on Voronoi-inversion centroids (this repo's
+  extension).
+
+Expected shape (paper §III-B): AE and centroid curves sit on the
+conventional curve up to 10 dB; the (vertex) centroid curve degrades
+slightly at 12 dB.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channels.awgn import AWGNChannel
+from repro.experiments import paper_values
+from repro.experiments.cache import DEFAULT_SEED, DEFAULT_TRAIN_STEPS, trained_ae_system
+from repro.extraction.hybrid import HybridDemapper
+from repro.link.simulator import BERResult, simulate_ber
+from repro.modulation.constellations import qam_constellation
+from repro.modulation.demapper import MaxLogDemapper
+from repro.utils.ascii_plot import ber_curve_plot
+from repro.utils.complexmath import complex_to_real2
+from repro.utils.tables import format_table
+
+__all__ = ["Fig2Config", "Fig2Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Sweep parameters (defaults reproduce the paper's axis)."""
+
+    snr_dbs: tuple[float, ...] = paper_values.FIG2_SNR_DBS
+    train_steps: int = DEFAULT_TRAIN_STEPS
+    seed: int = DEFAULT_SEED
+    max_symbols: int = 2_000_000
+    max_errors: int = 2000
+    extraction_resolution: int = 256
+    extraction_extent: float = 1.5
+
+
+@dataclass
+class Fig2Result:
+    """BER per SNR per receiver, plus the analytic reference."""
+
+    snr_dbs: list[float] = field(default_factory=list)
+    series: dict[str, list[BERResult]] = field(default_factory=dict)
+    analytic: list[float] = field(default_factory=list)
+
+    def bers(self, name: str) -> list[float]:
+        return [r.ber for r in self.series[name]]
+
+    def to_table(self) -> str:
+        headers = ["SNR [dB]", "analytic(paper conv.)", "conventional", "ae",
+                   "centroid_vertex", "centroid_lsq"]
+        rows = []
+        for i, snr in enumerate(self.snr_dbs):
+            rows.append([
+                snr,
+                self.analytic[i],
+                self.series["conventional"][i].ber,
+                self.series["ae"][i].ber,
+                self.series["centroid_vertex"][i].ber,
+                self.series["centroid_lsq"][i].ber,
+            ])
+        return format_table(headers, rows, float_fmt=".3e", title="Fig. 2: BER of demapping algorithms")
+
+    def to_plot(self) -> str:
+        return ber_curve_plot(
+            self.snr_dbs,
+            {name: self.bers(name) for name in self.series},
+            title="Fig. 2: BER vs SNR (Eb/N0)",
+        )
+
+
+def run(config: Fig2Config | None = None) -> Fig2Result:
+    """Regenerate Fig. 2.  Deterministic in ``config.seed``."""
+    cfg = config if config is not None else Fig2Config()
+    result = Fig2Result()
+    qam = qam_constellation(16)
+    for snr in cfg.snr_dbs:
+        rng = np.random.default_rng(cfg.seed + int(round(snr * 10)))
+        system = trained_ae_system(snr, seed=cfg.seed, steps=cfg.train_steps)
+        learned = system.mapper.constellation()
+        sigma2 = AWGNChannel(snr, 4).sigma2
+
+        def fresh_channel() -> AWGNChannel:
+            return AWGNChannel(snr, 4, rng=np.random.default_rng(rng.integers(2**63)))
+
+        # conventional: Gray QAM + max-log
+        conv = MaxLogDemapper(qam)
+        r_conv = simulate_ber(
+            qam, fresh_channel(), lambda y: conv.demap_bits(y, sigma2),
+            cfg.max_symbols, rng=rng, max_errors=cfg.max_errors,
+        )
+
+        # AE inference on the learned constellation
+        demapper = system.demapper
+        r_ae = simulate_ber(
+            learned, fresh_channel(),
+            lambda y: (demapper.forward(complex_to_real2(y)) > 0).astype(np.int8),
+            cfg.max_symbols, rng=rng, max_errors=cfg.max_errors,
+        )
+
+        # extracted centroids (paper method + our lsq)
+        series_cent = {}
+        for method in ("vertex", "lsq"):
+            hybrid = HybridDemapper.extract(
+                demapper, sigma2,
+                extent=cfg.extraction_extent, resolution=cfg.extraction_resolution,
+                method=method, fallback=learned,
+            )
+            series_cent[method] = simulate_ber(
+                learned, fresh_channel(), hybrid.demap_bits,
+                cfg.max_symbols, rng=rng, max_errors=cfg.max_errors,
+            )
+
+        result.snr_dbs.append(snr)
+        result.series.setdefault("conventional", []).append(r_conv)
+        result.series.setdefault("ae", []).append(r_ae)
+        result.series.setdefault("centroid_vertex", []).append(series_cent["vertex"])
+        result.series.setdefault("centroid_lsq", []).append(series_cent["lsq"])
+        result.analytic.append(paper_values.fig2_conventional_reference(snr))
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: regenerate Fig. 2 and print the table + ASCII plot."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--train-steps", type=int, default=DEFAULT_TRAIN_STEPS)
+    parser.add_argument("--max-symbols", type=int, default=2_000_000)
+    args = parser.parse_args(argv)
+    cfg = Fig2Config(seed=args.seed, train_steps=args.train_steps, max_symbols=args.max_symbols)
+    result = run(cfg)
+    print(result.to_table())
+    print()
+    print(result.to_plot())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The hybrid approach: decision-region extraction and centroid demapping.
+
+This is the paper's primary contribution (§II-C "Inference"):
+
+1. sample the trained demapper ANN over the 2-D input plane to obtain its
+   decision regions (:func:`sample_decision_regions`);
+2. interpret the region diagram as a Voronoi partition and extract one
+   centroid per symbol — three estimators are provided:
+
+   * ``"vertex"``  — mean of each (clipped) Voronoi cell's vertices, the
+     paper's own method ("calculated based on the vertices of each Voronoi
+     cell");
+   * ``"mass"``    — mean of all sampled points in the cell;
+   * ``"lsq"``     — Voronoi inversion: least-squares fit of generators to
+     the sampled cell boundaries (this repo's extension; exact on ideal
+     Voronoi partitions up to grid quantisation);
+
+3. hand the centroids to the conventional max-log soft demapper
+   (:class:`~repro.modulation.demapper.MaxLogDemapper`) for cheap inference
+   — wrapped as :class:`HybridDemapper`;
+4. monitor link quality and re-trigger retraining + re-extraction
+   (:class:`PilotBERMonitor`, :class:`EccFlipMonitor`).
+"""
+
+from repro.extraction.centroids import CentroidSet, extract_centroids
+from repro.extraction.decision_regions import DecisionRegionGrid, sample_decision_regions
+from repro.extraction.hybrid import HybridDemapper
+from repro.extraction.monitor import DegradationMonitor, EccFlipMonitor, PilotBERMonitor
+from repro.extraction.region_metrics import (
+    labeling_consistency,
+    region_adjacency_graph,
+    region_connectedness,
+)
+from repro.extraction.tracking import CentroidTracker
+from repro.extraction.voronoi import (
+    boundary_midpoints,
+    region_vertices,
+    voronoi_inversion,
+)
+
+__all__ = [
+    "DecisionRegionGrid",
+    "sample_decision_regions",
+    "CentroidSet",
+    "extract_centroids",
+    "region_vertices",
+    "boundary_midpoints",
+    "voronoi_inversion",
+    "HybridDemapper",
+    "DegradationMonitor",
+    "PilotBERMonitor",
+    "EccFlipMonitor",
+    "CentroidTracker",
+    "region_adjacency_graph",
+    "labeling_consistency",
+    "region_connectedness",
+]

@@ -1,0 +1,163 @@
+"""Centroid extraction from decision-region grids.
+
+Three estimators for the per-symbol centroid ``c_i`` (paper §II-C):
+
+* ``"vertex"`` — the paper's method: mean of the cell's Voronoi vertices
+  (window-clipped).  Cheap and robust; slightly biased for cells whose
+  vertices are asymmetric around the generator.
+* ``"mass"``   — mean of all window samples in the cell.  Most robust to
+  ragged regions but biased for cells clipped by the window.
+* ``"lsq"``    — Voronoi inversion (:func:`repro.extraction.voronoi
+  .voronoi_inversion`): unbiased for ideal Voronoi partitions; our
+  extension, ablated in ``benchmarks/bench_ablation_extraction.py``.
+
+A region that never appears in the window (possible for a badly trained
+demapper at very low SNR) has no estimate; :meth:`CentroidSet.fill_missing`
+substitutes the transmitter's constellation point and records the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.extraction.decision_regions import DecisionRegionGrid
+from repro.extraction.voronoi import region_vertices, voronoi_inversion
+from repro.modulation.constellations import Constellation
+
+__all__ = ["CentroidSet", "extract_centroids"]
+
+_METHODS = ("vertex", "mass", "lsq")
+
+
+@dataclass
+class CentroidSet:
+    """Extracted centroids for all ``order`` symbol labels.
+
+    Attributes
+    ----------
+    points:
+        Complex array ``(order,)``; NaN where the label was absent from the
+        sampled window and not yet filled.
+    found:
+        Boolean mask ``(order,)`` — True where the estimate came from the
+        grid (False = missing or filled by fallback).
+    method:
+        Estimator name ("vertex" | "mass" | "lsq").
+    """
+
+    points: np.ndarray
+    found: np.ndarray
+    method: str
+
+    @property
+    def order(self) -> int:
+        return self.points.size
+
+    @property
+    def n_missing(self) -> int:
+        """Labels without a grid-derived estimate."""
+        return int(np.count_nonzero(~self.found))
+
+    def fill_missing(self, fallback: np.ndarray) -> "CentroidSet":
+        """Substitute ``fallback`` points (complex ``(order,)``) for missing labels."""
+        fb = np.asarray(fallback, dtype=np.complex128)
+        if fb.shape != (self.order,):
+            raise ValueError(f"fallback must have shape ({self.order},), got {fb.shape}")
+        pts = self.points.copy()
+        pts[~self.found] = fb[~self.found]
+        return CentroidSet(points=pts, found=self.found.copy(), method=self.method)
+
+    def as_constellation(self, name: str | None = None) -> Constellation:
+        """Wrap as a labelled point set for the conventional demapper.
+
+        Raises if any label is still missing (call :meth:`fill_missing`
+        first).
+        """
+        if np.any(np.isnan(self.points.real)):
+            raise ValueError(
+                f"{self.n_missing} labels missing from the sampled window; "
+                "call fill_missing() with the transmit constellation first"
+            )
+        return Constellation(
+            points=self.points.copy(),
+            name=name if name is not None else f"centroids-{self.method}",
+        )
+
+
+def _mass_centroids(grid: DecisionRegionGrid, order: int) -> tuple[np.ndarray, np.ndarray]:
+    flat = grid.labels.ravel()
+    pts = grid.points()
+    counts = np.bincount(flat, minlength=order)[:order].astype(np.float64)
+    sx = np.bincount(flat, weights=pts[:, 0], minlength=order)[:order]
+    sy = np.bincount(flat, weights=pts[:, 1], minlength=order)[:order]
+    found = counts > 0
+    safe = np.where(found, counts, 1.0)
+    centers = np.column_stack([sx / safe, sy / safe])
+    return centers, found
+
+
+def extract_centroids(
+    grid: DecisionRegionGrid,
+    order: int,
+    *,
+    method: str = "vertex",
+    density_scale: float | None = None,
+) -> CentroidSet:
+    """Extract one centroid per symbol label from a decision-region grid.
+
+    Parameters
+    ----------
+    grid:
+        Sampled decision regions (see :func:`sample_decision_regions`).
+    order:
+        Constellation size M; labels are ``0..M-1``.
+    method:
+        ``"vertex"`` (paper), ``"mass"``, or ``"lsq"``.
+    density_scale:
+        For ``"lsq"``: Gaussian weighting scale for boundary samples (see
+        :func:`repro.extraction.voronoi.voronoi_inversion`); ignored by the
+        other methods.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if order < 2:
+        raise ValueError("order must be >= 2")
+    if grid.labels.max(initial=0) >= order:
+        raise ValueError("grid contains labels outside 0..order-1")
+
+    centers = np.full((order, 2), np.nan)
+    found = np.zeros(order, dtype=bool)
+
+    if method == "mass":
+        mass, mass_found = _mass_centroids(grid, order)
+        centers[mass_found] = mass[mass_found]
+        found = mass_found
+    elif method == "vertex":
+        verts = region_vertices(grid)
+        for label, v in verts.items():
+            if 0 <= label < order and v.shape[0] > 0:
+                centers[label] = v.mean(axis=0)
+                found[label] = True
+        # a region entirely interior to one sample? fall back to mass for any
+        # present-but-vertexless label (degenerate, e.g. single-pixel region)
+        mass, mass_found = _mass_centroids(grid, order)
+        still = mass_found & ~found
+        centers[still] = mass[still]
+        found |= still
+    else:  # lsq
+        if grid.present_labels.size == 1:
+            # single region: inversion impossible; fall back to mass centroid
+            mass, mass_found = _mass_centroids(grid, order)
+            centers[mass_found] = mass[mass_found]
+            found = mass_found
+        else:
+            labels_present, inv = voronoi_inversion(grid, density_scale=density_scale)
+            for label, c in zip(labels_present.tolist(), inv):
+                if 0 <= label < order:
+                    centers[label] = c
+                    found[label] = True
+
+    points = centers[:, 0] + 1j * centers[:, 1]
+    return CentroidSet(points=points, found=found, method=method)

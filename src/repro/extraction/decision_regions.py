@@ -1,0 +1,134 @@
+"""Decision-region sampling over the demapper's 2-D input plane.
+
+Paper §II-C: "first, we sample over the two-dimensional input space of the
+demapper-ANN to get the learned symbol (ANN-output) for each complex input
+sample.  This gives us the decision regions (DRs) of each symbol."
+
+The grid is axis-aligned, square and symmetric about the origin; cell labels
+are the packed hard-bit outputs of the demapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["DecisionRegionGrid", "sample_decision_regions"]
+
+
+@dataclass(frozen=True)
+class DecisionRegionGrid:
+    """A sampled decision-region diagram.
+
+    Attributes
+    ----------
+    labels:
+        ``(resolution, resolution)`` int64 grid; ``labels[iy, ix]`` is the
+        symbol decided at ``(xs[ix], ys[iy])``.
+    extent:
+        Half-width of the sampled window (the window is ``[-extent, extent]²``).
+    xs, ys:
+        The 1-D sample coordinates (identical linspaces).
+    """
+
+    labels: np.ndarray
+    extent: float
+    xs: np.ndarray = field(repr=False)
+    ys: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        lbl = np.asarray(self.labels)
+        if lbl.ndim != 2 or lbl.shape[0] != lbl.shape[1]:
+            raise ValueError(f"labels must be a square grid, got {lbl.shape}")
+        if self.extent <= 0:
+            raise ValueError("extent must be positive")
+
+    @property
+    def resolution(self) -> int:
+        """Samples per axis."""
+        return self.labels.shape[0]
+
+    @property
+    def cell_size(self) -> float:
+        """Spacing between adjacent samples."""
+        return float(self.xs[1] - self.xs[0])
+
+    @property
+    def present_labels(self) -> np.ndarray:
+        """Sorted unique labels that claim at least one sample."""
+        return np.unique(self.labels)
+
+    def points(self) -> np.ndarray:
+        """All sample coordinates as ``(resolution², 2)`` (row-major by y)."""
+        gx, gy = np.meshgrid(self.xs, self.ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
+    def region_fractions(self, order: int) -> np.ndarray:
+        """Fraction of the window claimed by each label ``0..order-1``."""
+        counts = np.bincount(self.labels.ravel(), minlength=order)[:order]
+        return counts / self.labels.size
+
+    def label_at(self, points: np.ndarray) -> np.ndarray:
+        """Nearest-sample lookup of region labels for arbitrary points ``(N, 2)``."""
+        p = np.asarray(points, dtype=np.float64)
+        if p.ndim != 2 or p.shape[1] != 2:
+            raise ValueError("points must be (N, 2)")
+        n = self.resolution
+        scale = (n - 1) / (2.0 * self.extent)
+        ix = np.clip(np.round((p[:, 0] + self.extent) * scale), 0, n - 1).astype(np.int64)
+        iy = np.clip(np.round((p[:, 1] + self.extent) * scale), 0, n - 1).astype(np.int64)
+        return self.labels[iy, ix]
+
+
+def sample_decision_regions(
+    bit_probability_fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    extent: float = 2.0,
+    resolution: int = 256,
+    batch_rows: int = 64,
+    label_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> DecisionRegionGrid:
+    """Sample a demapper's decision regions on a square grid.
+
+    Parameters
+    ----------
+    bit_probability_fn:
+        ``(N, 2) -> (N, k)`` per-bit probabilities (or logits — only the
+        0.5/0 threshold matters).  Typically
+        ``DemapperANN.bit_probability_fn()``.
+    extent:
+        Half-width of the window; should comfortably cover the received
+        constellation plus noise (default 2.0 for unit-energy 16-QAM).
+    resolution:
+        Samples per axis (grid is resolution²).
+    batch_rows:
+        Rows evaluated per call, bounding peak memory for large grids.
+    label_fn:
+        Optional direct labelling function ``(N, 2) -> (N,)`` overriding the
+        bit-threshold path (used to build exact Voronoi references in tests).
+    """
+    if resolution < 4:
+        raise ValueError("resolution must be >= 4")
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    xs = np.linspace(-extent, extent, resolution)
+    ys = np.linspace(-extent, extent, resolution)
+    labels = np.empty((resolution, resolution), dtype=np.int64)
+    for start in range(0, resolution, batch_rows):
+        stop = min(start + batch_rows, resolution)
+        gx, gy = np.meshgrid(xs, ys[start:stop])
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        if label_fn is not None:
+            block = np.asarray(label_fn(pts), dtype=np.int64)
+        else:
+            probs = np.asarray(bit_probability_fn(pts))
+            if probs.ndim != 2 or probs.shape[0] != pts.shape[0]:
+                raise ValueError(f"bit_probability_fn returned bad shape {probs.shape}")
+            bits = (probs > 0.5).astype(np.int64)
+            k = bits.shape[1]
+            weights = (1 << np.arange(k - 1, -1, -1)).astype(np.int64)
+            block = bits @ weights
+        labels[start:stop, :] = block.reshape(stop - start, resolution)
+    return DecisionRegionGrid(labels=labels, extent=float(extent), xs=xs, ys=ys)

@@ -1,0 +1,107 @@
+"""Degradation monitors — when to trigger demapper retraining.
+
+Paper §II-C: "the performance of the system can be regularly evaluated,
+either by periodically sending pilot symbols to trigger retraining of the
+demapper if the bit error rate (BER) reaches a threshold or by using an
+outer error correction code (ECC) ... the number of bit flips that are
+corrected by the ECC can guide as performance metric".
+
+Both monitors share hysteresis logic: the trigger fires when the windowed
+statistic exceeds ``threshold`` and then stays silent for ``cooldown``
+observations (modelling the retraining latency during which measurements
+are stale).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DegradationMonitor", "PilotBERMonitor", "EccFlipMonitor"]
+
+
+class DegradationMonitor:
+    """Windowed-threshold trigger with cooldown.
+
+    Parameters
+    ----------
+    threshold:
+        Trigger level for the windowed mean statistic.
+    window:
+        Number of recent observations averaged.
+    cooldown:
+        Observations to ignore after a trigger before re-arming.
+    """
+
+    def __init__(self, threshold: float, *, window: int = 4, cooldown: int = 8):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.cooldown = int(cooldown)
+        self._values: deque[float] = deque(maxlen=window)
+        self._cooldown_left = 0
+        self.triggers = 0
+
+    def observe(self, value: float) -> bool:
+        """Feed one statistic observation; returns True iff retraining fires."""
+        if value < 0:
+            raise ValueError("statistic must be non-negative")
+        self._values.append(float(value))
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return False
+        if len(self._values) < self.window:
+            return False
+        if float(np.mean(self._values)) > self.threshold:
+            self.triggers += 1
+            self._cooldown_left = self.cooldown
+            self._values.clear()
+            return True
+        return False
+
+    @property
+    def current_level(self) -> float:
+        """Mean of the current window (NaN if empty)."""
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def reset(self) -> None:
+        """Clear the window and cooldown (e.g. after re-extraction)."""
+        self._values.clear()
+        self._cooldown_left = 0
+
+
+class PilotBERMonitor(DegradationMonitor):
+    """Trigger on pilot-measured BER.
+
+    ``observe_pilots(bits_hat, bits_true)`` computes the pilot BER and feeds
+    it to the windowed trigger.
+    """
+
+    def observe_pilots(self, bits_hat: np.ndarray, bits_true: np.ndarray) -> bool:
+        a = np.asarray(bits_hat)
+        b = np.asarray(bits_true)
+        if a.shape != b.shape or a.size == 0:
+            raise ValueError("pilot bit arrays must be equal-shape and non-empty")
+        return self.observe(float(np.mean(a != b)))
+
+
+class EccFlipMonitor(DegradationMonitor):
+    """Trigger on the rate of ECC-corrected bit flips (paper ref [9]).
+
+    ``observe_decode(corrected, total_bits)`` feeds corrected-flips per
+    transmitted bit.  Works with any decoder returning a
+    :class:`repro.ecc.hamming.DecodeResult`-style count.
+    """
+
+    def observe_decode(self, corrected: int, total_bits: int) -> bool:
+        if total_bits <= 0:
+            raise ValueError("total_bits must be positive")
+        if corrected < 0:
+            raise ValueError("corrected must be >= 0")
+        return self.observe(corrected / total_bits)

@@ -1,0 +1,90 @@
+"""Lightweight centroid tracking — adaptation without retraining.
+
+Full demapper retraining (paper step 2) costs hundreds of milliseconds of
+pilot traffic plus an FPGA reconfiguration.  For impairments that are *rigid
+motions of the constellation* (phase drift, gain drift) there is a much
+cheaper tier: estimate the motion from pilots and apply it directly to the
+stored centroids of the hybrid demapper — a handful of multiplies, no ANN
+involved at all.
+
+:class:`CentroidTracker` implements that tier and reports when the residual
+pilot error says a rigid update is *not* enough (the constellation warped —
+IQ imbalance, nonlinearity), at which point the caller should escalate to
+retraining + re-extraction.  This three-tier policy (track → re-extract →
+retrain) is a natural extension of the paper's two-tier loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extraction.hybrid import HybridDemapper
+from repro.link.estimation import estimate_complex_gain
+from repro.modulation.constellations import Constellation
+
+__all__ = ["CentroidTracker"]
+
+
+class CentroidTracker:
+    """Rigid (one-tap) tracking of a hybrid demapper's centroid set.
+
+    Parameters
+    ----------
+    hybrid:
+        The hybrid demapper whose centroids are tracked (replaced on update —
+        ``current`` always holds the newest instance).
+    residual_threshold:
+        Normalised residual power above which the rigid model is declared
+        insufficient (→ escalate to retraining).
+    """
+
+    def __init__(self, hybrid: HybridDemapper, *, residual_threshold: float = 0.35):
+        if residual_threshold <= 0:
+            raise ValueError("residual_threshold must be positive")
+        self.current = hybrid
+        self.residual_threshold = float(residual_threshold)
+        self.cumulative_gain: complex = 1.0 + 0.0j
+        self.updates = 0
+
+    def update(self, pilot_indices: np.ndarray, rx_pilots: np.ndarray) -> bool:
+        """One tracking step from a pilot block.
+
+        The *current centroids* are the receiver's model of where each
+        symbol lands; the incremental gain ``g`` is estimated between the
+        centroids of the pilot labels and the actually-received pilots
+        (``y ≈ g·c_idx``), then applied to the whole centroid set.  Returns
+        ``True`` if the post-fit residual is consistent with noise (the
+        rigid model suffices), ``False`` if the constellation has *warped*
+        beyond a rigid motion (⇒ escalate to retraining + re-extraction).
+        """
+        idx = np.asarray(pilot_indices)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError("pilot_indices must be integer labels")
+        y = np.asarray(rx_pilots, dtype=np.complex128).ravel()
+        x_ref = self.current.constellation.points[idx]
+        g = estimate_complex_gain(x_ref, y)
+        if g == 0:
+            raise ValueError("estimated zero gain")
+        # residual after the rigid fit vs the expected noise floor 2σ²N
+        resid_power = float(np.sum(np.abs(y - g * x_ref) ** 2))
+        noise_floor = 2.0 * self.current.sigma2 * y.size
+        rigid_ok = resid_power <= (1.0 + self.residual_threshold) * noise_floor
+
+        pts = self.current.constellation.points * g
+        self.current = HybridDemapper(
+            constellation=Constellation(points=pts, name="tracked-centroids"),
+            sigma2=self.current.sigma2,
+            grid=self.current.grid,
+            centroids=self.current.centroids,
+        )
+        self.cumulative_gain *= g
+        self.updates += 1
+        return rigid_ok
+
+    def demap_bits(self, received: np.ndarray) -> np.ndarray:
+        """Hard bits through the currently-tracked centroids."""
+        return self.current.demap_bits(received)
+
+    def llrs(self, received: np.ndarray) -> np.ndarray:
+        """LLRs through the currently-tracked centroids."""
+        return self.current.llrs(received)

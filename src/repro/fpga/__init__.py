@@ -1,0 +1,70 @@
+"""FPGA implementation model — the substrate replacing the Xilinx ZU3EG.
+
+The paper implements three designs on an Avnet Ultra96-V2 (Xilinx ZU3EG)
+with Vivado HLS 2019.2 and reports Table 2 (latency, throughput, BRAM, DSP,
+FF, LUT, power, energy/symbol).  Hardware cannot be synthesised here, so
+this package models the implementation at two levels (DESIGN.md §2):
+
+**Behavioural** — :mod:`repro.fpga.fixed_point` and
+:mod:`repro.fpga.quantized_mlp` implement a bit-accurate integer datapath
+(quantised weights/activations, integer MACs, LUT sigmoid) — the arithmetic
+an RTL datapath with the same formats would perform, verifiable against the
+float model.
+
+**Architectural** — :mod:`repro.fpga.hls` models a FINN-style dataflow
+pipeline (per-stage initiation interval, pipeline depth, cycle-accurate
+token simulation); :mod:`repro.fpga.layers` costs each stage in
+LUT/FF/DSP/BRAM as a function of the degree of parallelism (PE×SIMD
+folding, paper §II-B "flexible adjustment of the degree of parallelism");
+:mod:`repro.fpga.power` converts resources to power/energy with
+coefficients calibrated once against the paper's three Table-2 designs.
+
+Builders in :mod:`repro.fpga.accelerator` (AE inference / AE training) and
+:mod:`repro.fpga.soft_demapper_core` (centroid max-log core) assemble the
+three Table-2 designs; :mod:`repro.fpga.report` regenerates the table.
+"""
+
+from repro.fpga.accelerator import (
+    build_ae_inference_accelerator,
+    build_ae_training_accelerator,
+    ImplementationReport,
+)
+from repro.fpga.device import FPGADevice, ULTRA96_V2, ZU3EG
+from repro.fpga.fixed_point import FixedPointFormat
+from repro.fpga.hls import DataflowPipeline, PipelineStage
+from repro.fpga.hls_report import stage_report, utilization_report
+from repro.fpga.power import PowerModel
+from repro.fpga.quantized_mlp import QuantizedDemapper
+from repro.fpga.quantized_soft_demapper import QuantizedSoftDemapper
+from repro.fpga.reconfiguration import (
+    AdaptationBudget,
+    FpgaVsAsic,
+    ReconfigurationModel,
+    compare_fpga_vs_asic,
+)
+from repro.fpga.resources import ResourceVector
+from repro.fpga.soft_demapper_core import build_soft_demapper_core, replicate_for_throughput
+
+__all__ = [
+    "FPGADevice",
+    "ZU3EG",
+    "ULTRA96_V2",
+    "ResourceVector",
+    "FixedPointFormat",
+    "QuantizedDemapper",
+    "PipelineStage",
+    "DataflowPipeline",
+    "PowerModel",
+    "ImplementationReport",
+    "build_ae_inference_accelerator",
+    "build_ae_training_accelerator",
+    "build_soft_demapper_core",
+    "replicate_for_throughput",
+    "ReconfigurationModel",
+    "AdaptationBudget",
+    "FpgaVsAsic",
+    "compare_fpga_vs_asic",
+    "QuantizedSoftDemapper",
+    "stage_report",
+    "utilization_report",
+]

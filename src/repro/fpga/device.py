@@ -1,0 +1,65 @@
+"""FPGA device database and utilization checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.resources import ResourceVector
+
+__all__ = ["FPGADevice", "ZU3EG", "ULTRA96_V2"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity of an FPGA part.
+
+    Counts follow the vendor datasheet convention: ``bram_36`` is the
+    number of 36-Kb block-RAM tiles.
+    """
+
+    name: str
+    lut: int
+    ff: int
+    dsp: int
+    bram_36: int
+    default_clock_hz: float = 150e6
+
+    def utilization(self, used: ResourceVector) -> dict[str, float]:
+        """Fractional utilization per resource class (may exceed 1.0)."""
+        return {
+            "lut": used.lut / self.lut,
+            "ff": used.ff / self.ff,
+            "dsp": used.dsp / self.dsp,
+            "bram_36": used.bram_36 / self.bram_36,
+        }
+
+    def fits(self, used: ResourceVector, *, margin: float = 0.0) -> bool:
+        """True iff ``used`` fits within ``(1 - margin)`` of every resource."""
+        if not 0.0 <= margin < 1.0:
+            raise ValueError("margin must lie in [0, 1)")
+        cap = 1.0 - margin
+        return all(u <= cap for u in self.utilization(used).values())
+
+    def max_instances(self, per_instance: ResourceVector, *, margin: float = 0.0) -> int:
+        """How many copies of a module fit on the device."""
+        if not 0.0 <= margin < 1.0:
+            raise ValueError("margin must lie in [0, 1)")
+        cap = 1.0 - margin
+        limits = []
+        for used, avail in (
+            (per_instance.lut, self.lut),
+            (per_instance.ff, self.ff),
+            (per_instance.dsp, self.dsp),
+            (per_instance.bram_36, self.bram_36),
+        ):
+            if used > 0:
+                limits.append(int(cap * avail / used))
+        return min(limits) if limits else 0
+
+
+#: Xilinx Zynq UltraScale+ ZU3EG (the part on the Avnet Ultra96-V2 used by
+#: the paper): 70 560 LUTs, 141 120 FFs, 360 DSP48E2, 216 36-Kb BRAM tiles.
+ZU3EG = FPGADevice(name="xczu3eg", lut=70560, ff=141120, dsp=360, bram_36=216)
+
+#: Board alias used in the paper's §III-A setup description.
+ULTRA96_V2 = ZU3EG

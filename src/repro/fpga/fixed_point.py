@@ -1,0 +1,83 @@
+"""Fixed-point number formats: quantisation, saturation, integer views.
+
+``FixedPointFormat(total_bits, frac_bits)`` describes a signed two's-
+complement format with ``total_bits - frac_bits`` integer bits (including
+sign).  Quantisation uses round-half-to-even (the default FPGA/IEEE
+behaviour) and saturates at the representable range — matching what an HLS
+``ap_fixed<W, I, AP_RND_CONV, AP_SAT>`` datapath computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format ``Q(total_bits - frac_bits).frac_bits``."""
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.total_bits <= 32:
+            raise ValueError("total_bits must lie in [2, 32]")
+        if self.frac_bits < 0 or self.frac_bits >= self.total_bits:
+            raise ValueError("frac_bits must lie in [0, total_bits)")
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def int_bits(self) -> int:
+        """Integer bits including the sign bit."""
+        return self.total_bits - self.frac_bits
+
+    @property
+    def scale(self) -> float:
+        """LSB weight 2^-frac_bits."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        return self.min_int * self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.max_int * self.scale
+
+    # -- conversions -----------------------------------------------------------
+    def to_int(self, x: np.ndarray | float) -> np.ndarray:
+        """Quantise reals to the integer code (round-half-even, saturating)."""
+        arr = np.asarray(x, dtype=np.float64) / self.scale
+        codes = np.rint(arr)  # numpy rint = round half to even
+        return np.clip(codes, self.min_int, self.max_int).astype(np.int64)
+
+    def from_int(self, codes: np.ndarray | int) -> np.ndarray:
+        """Integer codes back to real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Round ``x`` onto the representable grid (returns floats)."""
+        return self.from_int(self.to_int(x))
+
+    def quantization_error_bound(self) -> float:
+        """Max |x - quantize(x)| for in-range x (half an LSB)."""
+        return 0.5 * self.scale
+
+    def saturate_int(self, codes: np.ndarray) -> np.ndarray:
+        """Clamp integer codes into the representable range."""
+        return np.clip(np.asarray(codes, dtype=np.int64), self.min_int, self.max_int)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"Q{self.int_bits}.{self.frac_bits}"

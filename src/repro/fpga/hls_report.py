@@ -1,0 +1,52 @@
+"""Per-stage HLS-style reports (the Vivado HLS "synthesis report" analogue).
+
+Render a :class:`~repro.fpga.hls.DataflowPipeline` the way designers read
+Vivado reports: one row per stage with II, depth, and resource breakdown,
+plus the pipeline totals and device utilization — used by the deployment
+example and golden-tested against the Table-2 designs.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.device import FPGADevice, ZU3EG
+from repro.fpga.hls import DataflowPipeline
+from repro.utils.tables import format_table
+
+__all__ = ["stage_report", "utilization_report"]
+
+
+def stage_report(pipeline: DataflowPipeline) -> str:
+    """Per-stage breakdown: II, depth, LUT/FF/DSP/BRAM, plus totals."""
+    rows: list[list[object]] = []
+    for s in pipeline.stages:
+        r = s.resources
+        rows.append([s.name, s.ii, s.depth, round(r.lut), round(r.ff),
+                     round(r.dsp), r.bram_36])
+    total = pipeline.resources
+    rows.append(["TOTAL (pipeline)", pipeline.ii, pipeline.depth,
+                 round(total.lut), round(total.ff), round(total.dsp), total.bram_36])
+    return format_table(
+        ["stage", "II [cyc]", "depth [cyc]", "LUT", "FF", "DSP", "BRAM36"],
+        rows,
+        title=(f"{pipeline.name} @ {pipeline.clock_hz / 1e6:.0f} MHz — "
+               f"latency {pipeline.latency_s * 1e9:.1f} ns, "
+               f"throughput {pipeline.throughput_per_s / 1e6:.2f} Msym/s"),
+    )
+
+
+def utilization_report(pipeline: DataflowPipeline, device: FPGADevice = ZU3EG) -> str:
+    """Device utilization of the pipeline on ``device``."""
+    used = pipeline.resources
+    util = device.utilization(used)
+    rows = [
+        ["LUT", round(used.lut), device.lut, f"{util['lut']:.1%}"],
+        ["FF", round(used.ff), device.ff, f"{util['ff']:.1%}"],
+        ["DSP", round(used.dsp), device.dsp, f"{util['dsp']:.1%}"],
+        ["BRAM36", used.bram_36, device.bram_36, f"{util['bram_36']:.1%}"],
+    ]
+    fits = "fits" if device.fits(used) else "DOES NOT FIT"
+    return format_table(
+        ["resource", "used", "available", "utilization"],
+        rows,
+        title=f"{pipeline.name} on {device.name}: {fits}",
+    )

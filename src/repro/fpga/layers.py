@@ -1,0 +1,200 @@
+"""HLS stage builders with area costing (FINN-style folding arithmetic).
+
+Every builder returns a :class:`~repro.fpga.hls.PipelineStage` whose II and
+depth follow from the degree of parallelism (DOP = PE×SIMD folding, paper
+§II-B) and whose LUT/FF/DSP/BRAM cost follows from per-element constants.
+
+Cost constants are **calibrated** against the paper's Vivado HLS 2019.2
+results (Table 2) — one calibration for the float32 MAC (the AE designs,
+which need float for on-device training) and one for the narrow fixed-point
+datapath of the soft-demapper core.  They are in the range published for
+Vivado HLS operator implementations (a float mul+add pipeline costs ~5 DSP
+and ~100-200 LUT/FF; an 8-12 bit LUT multiplier ~50-70 LUTs).  The same
+constants drive the DOP/quantisation ablations, so trends are
+self-consistent by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fpga.hls import PipelineStage
+from repro.fpga.resources import ResourceVector
+
+__all__ = [
+    "PrecisionSpec",
+    "FLOAT32",
+    "INT16",
+    "INT8",
+    "dense_stage",
+    "sigmoid_stage",
+    "distance_stage",
+    "min_tree_stage",
+    "llr_stage",
+]
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Datapath precision and its per-operator implementation cost.
+
+    ``mac_dsp/lut/ff``: cost of one multiply-accumulate unit.
+    ``sigmoid_dsp/lut/ff``: cost of one sigmoid evaluator (float: pipelined
+    expf; fixed point: 256-entry LUT).
+    ``fifo_bram``: 36-Kb blocks per inter-stage stream FIFO (wide float
+    streams need deeper/wider buffering).
+    """
+
+    name: str
+    bits: int
+    mac_dsp: float
+    mac_lut: float
+    mac_ff: float
+    sigmoid_dsp: float
+    sigmoid_lut: float
+    sigmoid_ff: float
+    fifo_bram: float
+
+
+#: 32-bit float datapath (Vivado HLS fadd/fmul) — required for on-device
+#: *training*; the paper's AE designs use it for inference too so the same
+#: weights serve both.  5 DSP per MAC (3 mul + 2 add), ~13 DSP per expf.
+FLOAT32 = PrecisionSpec(
+    name="float32", bits=32, mac_dsp=5.0, mac_lut=145.0, mac_ff=135.0,
+    sigmoid_dsp=13.0, sigmoid_lut=400.0, sigmoid_ff=500.0, fifo_bram=3.5,
+)
+
+#: 16-bit fixed point: one DSP48 per MAC, table sigmoid.
+INT16 = PrecisionSpec(
+    name="int16", bits=16, mac_dsp=1.0, mac_lut=30.0, mac_ff=48.0,
+    sigmoid_dsp=0.0, sigmoid_lut=180.0, sigmoid_ff=90.0, fifo_bram=0.5,
+)
+
+#: 8-bit fixed point: LUT multipliers (no DSP), table sigmoid.
+INT8 = PrecisionSpec(
+    name="int8", bits=8, mac_dsp=0.0, mac_lut=68.0, mac_ff=55.0,
+    sigmoid_dsp=0.0, sigmoid_lut=150.0, sigmoid_ff=80.0, fifo_bram=0.25,
+)
+
+#: Control/FSM + AXI-stream glue per stage (LUT, FF), calibrated.
+_STAGE_CTRL_LUT = 200.0
+_STAGE_CTRL_FF = 150.0
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def dense_stage(
+    name: str,
+    in_features: int,
+    out_features: int,
+    *,
+    pe: int,
+    simd: int,
+    precision: PrecisionSpec = FLOAT32,
+) -> PipelineStage:
+    """A folded fully-connected layer (matrix-vector unit).
+
+    ``pe`` output neurons and ``simd`` inputs are processed per cycle, so
+
+    * II    = ceil(in/simd) · ceil(out/pe)   cycles/input,
+    * depth = ceil(in/simd) + 2              (accumulate + output register),
+    * MAC units = pe · simd.
+
+    Weights live in BRAM when the layer exceeds ~18 Kb at the given
+    precision (HLS puts small arrays in LUTRAM/FF).
+    """
+    if in_features < 1 or out_features < 1:
+        raise ValueError("layer dimensions must be >= 1")
+    if not 1 <= pe <= out_features:
+        raise ValueError(f"pe must lie in [1, {out_features}]")
+    if not 1 <= simd <= in_features:
+        raise ValueError(f"simd must lie in [1, {in_features}]")
+    ii = _ceil_div(in_features, simd) * _ceil_div(out_features, pe)
+    depth = _ceil_div(in_features, simd) + 2
+    units = pe * simd
+    weight_bits = in_features * out_features * precision.bits
+    bram = math.ceil(weight_bits / 36864) if weight_bits > 18432 else 0
+    lutram_lut = 0.0 if bram else weight_bits / 64.0  # distributed RAM cost
+    res = ResourceVector(
+        lut=units * precision.mac_lut + _STAGE_CTRL_LUT + lutram_lut,
+        ff=units * precision.mac_ff + _STAGE_CTRL_FF,
+        dsp=units * precision.mac_dsp,
+        bram_36=bram + precision.fifo_bram,
+    )
+    return PipelineStage(name=name, ii=ii, depth=depth, resources=res)
+
+
+def sigmoid_stage(name: str, width: int, *, precision: PrecisionSpec = FLOAT32) -> PipelineStage:
+    """Per-bit sigmoid bank (``width`` parallel evaluators), II=1."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    res = ResourceVector(
+        lut=width * precision.sigmoid_lut + _STAGE_CTRL_LUT,
+        ff=width * precision.sigmoid_ff + _STAGE_CTRL_FF,
+        dsp=width * precision.sigmoid_dsp,
+        bram_36=precision.fifo_bram,
+    )
+    return PipelineStage(name=name, ii=1, depth=2, resources=res)
+
+
+# -- soft-demapper stages (narrow fixed point) ----------------------------------
+
+#: One squared-distance unit: 2 subtractors + 2 LUT squarers + adder, ~12-bit.
+_DIST_UNIT_LUT = 100.0
+_DIST_UNIT_FF = 90.0
+
+
+def distance_stage(name: str, n_points: int, *, units: int) -> PipelineStage:
+    """Squared Euclidean distances to ``n_points`` centroids, ``units`` in parallel.
+
+    Centroids are held in registers (counted in FF); no DSPs — the operands
+    are narrow enough for LUT squarers (this is what lets the paper's core
+    report DSP = 1 overall).
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    if not 1 <= units <= n_points:
+        raise ValueError(f"units must lie in [1, {n_points}]")
+    ii = _ceil_div(n_points, units)
+    centroid_regs_ff = n_points * 2 * 12 / 4.0  # 12-bit I/Q register file, packed
+    res = ResourceVector(
+        lut=units * _DIST_UNIT_LUT + 50.0,
+        ff=units * _DIST_UNIT_FF + centroid_regs_ff,
+        dsp=0.0,
+        bram_36=0.0,
+    )
+    return PipelineStage(name=name, ii=ii, depth=3, resources=res)
+
+
+def min_tree_stage(name: str, n_points: int, bits_per_symbol: int) -> PipelineStage:
+    """Running min₀/min₁ trees per bit position over the distance stream."""
+    if n_points < 2 or bits_per_symbol < 1:
+        raise ValueError("invalid min-tree geometry")
+    comparators = 2 * bits_per_symbol  # one (min0, min1) pair per bit
+    res = ResourceVector(
+        lut=comparators * 20.0,
+        ff=comparators * 18.0 + 2 * bits_per_symbol * 12,
+        dsp=0.0,
+        bram_36=0.0,
+    )
+    depth = max(2, math.ceil(math.log2(n_points)))
+    return PipelineStage(name=name, ii=1, depth=depth, resources=res)
+
+
+def llr_stage(name: str, bits_per_symbol: int) -> PipelineStage:
+    """Final LLR: per-bit subtraction and the 1/(2σ²) scaling multiply.
+
+    The scaling is the single DSP of the paper's soft-demapper row.
+    """
+    if bits_per_symbol < 1:
+        raise ValueError("bits_per_symbol must be >= 1")
+    res = ResourceVector(
+        lut=bits_per_symbol * 15.0 + 40.0,
+        ff=bits_per_symbol * 14.0 + 60.0,
+        dsp=1.0,
+        bram_36=0.0,
+    )
+    return PipelineStage(name=name, ii=1, depth=1, resources=res)

@@ -1,0 +1,86 @@
+"""Power and energy model (resource-proportional, calibrated).
+
+``P = P_static + a·(LUT) + a·(FF) + c·DSP + d·BRAM36``  at the reference
+clock (150 MHz); energy per symbol = P / throughput.
+
+The four coefficients are calibrated *once* by solving the linear system
+given by the paper's three Table-2 designs (soft demapper, AE inference, AE
+training) with the BRAM coefficient fixed at a datasheet-plausible
+0.5 mW/block — see ``tests/fpga/test_power.py`` which re-derives the fit.
+The resulting values are physically sensible for a Zynq UltraScale+ at
+150 MHz: ~4 µW per active LUT/FF, ~0.9 mW per DSP48, 45 mW static.
+
+For designs other than the calibration points (DOP/quantisation ablations,
+replicated cores) the model extrapolates linearly in resources — the
+standard assumption of early-phase FPGA power estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.resources import ResourceVector
+
+__all__ = ["PowerModel", "CALIBRATED_ZU3EG_150MHZ"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear resource-to-power model at a fixed reference clock."""
+
+    static_w: float
+    lut_ff_w: float      # watts per LUT and per FF (shared coefficient)
+    dsp_w: float         # watts per DSP48
+    bram_w: float        # watts per 36-Kb BRAM tile
+    clock_hz: float = 150e6
+
+    def __post_init__(self) -> None:
+        for name in ("static_w", "lut_ff_w", "dsp_w", "bram_w", "clock_hz"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def power(self, resources: ResourceVector, *, clock_hz: float | None = None) -> float:
+        """Total power in watts; dynamic part scales linearly with clock."""
+        f = self.clock_hz if clock_hz is None else float(clock_hz)
+        if f <= 0:
+            raise ValueError("clock must be positive")
+        dynamic = (
+            self.lut_ff_w * (resources.lut + resources.ff)
+            + self.dsp_w * resources.dsp
+            + self.bram_w * resources.bram_36
+        )
+        return self.static_w + dynamic * (f / self.clock_hz)
+
+    def energy_per_item(
+        self, resources: ResourceVector, throughput_per_s: float, *, clock_hz: float | None = None
+    ) -> float:
+        """Joules per processed item (symbol) at the given throughput."""
+        if throughput_per_s <= 0:
+            raise ValueError("throughput must be positive")
+        return self.power(resources, clock_hz=clock_hz) / throughput_per_s
+
+
+def _calibrate() -> PowerModel:
+    """Solve the 3-point calibration (documented in the module docstring).
+
+    Unknowns: static, lut_ff coefficient, dsp coefficient; BRAM fixed at
+    0.5 mW/block.  Exactly reproduces the paper's three power numbers on
+    the paper's own resource counts.
+    """
+    import numpy as np
+
+    bram_w = 0.5e-3
+    # paper rows: (lut+ff, dsp, bram36, power)
+    rows = [
+        (1107 + 1042, 1, 0.0, 5.5e-2),       # soft demapper w/ learned centroids
+        (11343 + 10895, 352, 18.5, 4.53e-1),  # AE inference
+        (19793 + 19013, 343, 89.0, 5.47e-1),  # AE training
+    ]
+    a = np.array([[1.0, lf, d] for lf, d, _, _ in rows])
+    b = np.array([p - bram_w * br for _, _, br, p in rows])
+    static, lut_ff, dsp = np.linalg.solve(a, b)
+    return PowerModel(static_w=float(static), lut_ff_w=float(lut_ff), dsp_w=float(dsp), bram_w=bram_w)
+
+
+#: The calibrated ZU3EG@150MHz model used by all Table-2 and ablation benches.
+CALIBRATED_ZU3EG_150MHZ = _calibrate()

@@ -1,0 +1,129 @@
+"""Bit-accurate integer datapath of the centroid soft demapper (Table 2 row 1).
+
+The architectural model (:mod:`repro.fpga.soft_demapper_core`) costs the
+core; this module computes what it *outputs*, bit for bit:
+
+* centroids quantised to a narrow fixed-point format (default Q2.10 —
+  12-bit I/Q registers, as costed in the distance stage);
+* received samples quantised by the input ADC format;
+* integer squared distances (LUT squarers in hardware — here exact integer
+  arithmetic with 64-bit headroom);
+* per-bit min₀/min₁ trees on integers;
+* the single scaling DSP: LLR = (min₀ − min₁) · round(2^s/(2σ²)) >> s,
+  i.e. multiply by a precomputed fixed-point reciprocal and shift;
+* LLR output saturated to a configurable width (what the FEC sees).
+
+``tests/fpga/test_quantized_soft_demapper.py`` verifies BER parity with the
+float max-log demapper and LLR-width effects on coded performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.fixed_point import FixedPointFormat
+from repro.modulation.constellations import Constellation
+
+__all__ = ["QuantizedSoftDemapper"]
+
+
+class QuantizedSoftDemapper:
+    """Integer max-log soft demapper over quantised centroids.
+
+    Parameters
+    ----------
+    constellation:
+        Centroid point set (bit labels implicit in ordering).
+    sigma2:
+        Per-real-dimension noise variance (baked into the scaling constant,
+        as on hardware where the host writes the register).
+    input_format:
+        ADC / input quantiser format for received I/Q (default Q2.10).
+    centroid_format:
+        Centroid register format (default Q2.10, the 12-bit registers of
+        the distance stage).
+    llr_format:
+        Output LLR format (default Q6.2 — 8-bit LLRs, a common FEC input
+        width).
+    scale_bits:
+        Fractional bits of the fixed-point reciprocal ``1/(2σ²)``.
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        sigma2: float,
+        *,
+        input_format: FixedPointFormat = FixedPointFormat(12, 10),
+        centroid_format: FixedPointFormat = FixedPointFormat(12, 10),
+        llr_format: FixedPointFormat = FixedPointFormat(8, 2),
+        scale_bits: int = 12,
+    ):
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        if not 1 <= scale_bits <= 24:
+            raise ValueError("scale_bits must lie in [1, 24]")
+        self.constellation = constellation
+        self.sigma2 = float(sigma2)
+        self.input_format = input_format
+        self.centroid_format = centroid_format
+        self.llr_format = llr_format
+        self.scale_bits = int(scale_bits)
+
+        pts = constellation.points
+        self._c_re = centroid_format.to_int(pts.real)
+        self._c_im = centroid_format.to_int(pts.imag)
+        # the register the host writes: round(2^s / (2 sigma^2)), combined
+        # with the distance scale (centroid LSB^2) to yield real-unit LLRs
+        self._recip = int(round((1 << scale_bits) / (2.0 * sigma2)))
+        if self._recip < 1:
+            raise ValueError("sigma2 too large for the chosen scale_bits")
+        bm = constellation.bit_matrix
+        k = constellation.bits_per_symbol
+        self._one_sets = [np.flatnonzero(bm[:, j] == 1) for j in range(k)]
+        self._zero_sets = [np.flatnonzero(bm[:, j] == 0) for j in range(k)]
+
+    # -- integer pipeline -------------------------------------------------------
+    def integer_distances(self, received: np.ndarray) -> np.ndarray:
+        """Integer squared distances ``(N, M)`` at centroid-LSB² scale."""
+        y = np.asarray(received, dtype=np.complex128).ravel()
+        # hardware quantises the input to the centroid grid (shared format
+        # keeps the subtractor aligned without a shifter)
+        y_re = self.input_format.to_int(y.real)
+        y_im = self.input_format.to_int(y.imag)
+        dre = y_re[:, None] - self._c_re[None, :]
+        dim = y_im[:, None] - self._c_im[None, :]
+        return dre * dre + dim * dim  # int64; 2*(2^11)^2 << 2^63
+
+    def integer_llrs(self, received: np.ndarray) -> np.ndarray:
+        """LLR codes ``(N, k)`` in the output format's integer domain."""
+        d2 = self.integer_distances(received)
+        k = self.constellation.bits_per_symbol
+        diff = np.empty((d2.shape[0], k), dtype=np.int64)
+        for j in range(k):
+            min0 = d2[:, self._zero_sets[j]].min(axis=1)
+            min1 = d2[:, self._one_sets[j]].min(axis=1)
+            diff[:, j] = min0 - min1
+        # scaling DSP: (diff * recip) >> scale_bits, then requantise to the
+        # LLR grid.  diff is at centroid-LSB^2 scale; fold that in exactly.
+        lsb2 = self.centroid_format.scale * self.centroid_format.scale
+        # combined real value = diff * lsb2 * recip / 2^s; map onto llr grid:
+        #   code = round(value / llr_scale)
+        scaled = diff * self._recip  # int64
+        value = scaled.astype(np.float64) * lsb2 / (1 << self.scale_bits)
+        codes = np.rint(value / self.llr_format.scale).astype(np.int64)
+        return self.llr_format.saturate_int(codes)
+
+    # -- float-facing views -------------------------------------------------------
+    def llrs(self, received: np.ndarray) -> np.ndarray:
+        """Dequantised LLRs ``(N, k)`` (what the FEC consumes)."""
+        return self.integer_llrs(received) * self.llr_format.scale
+
+    def demap_bits(self, received: np.ndarray) -> np.ndarray:
+        """Hard bits (sign of the integer LLRs, ties to 0)."""
+        return (self.integer_llrs(received) > 0).astype(np.int8)
+
+    @property
+    def centroid_memory_bits(self) -> int:
+        """Centroid register file size in bits."""
+        return 2 * self.constellation.order * self.centroid_format.total_bits

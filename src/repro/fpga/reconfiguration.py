@@ -1,0 +1,170 @@
+"""Reconfiguration timing and the FPGA-vs-ASIC argument (paper §III-D).
+
+The paper's closing argument: training hardware idles almost always (the
+inference/training duty cycle is extreme), so an ASIC carrying both
+datapaths wastes silicon, while an FPGA *reconfigures* between a
+maximum-parallelism inference design and a training design.  This module
+quantifies that argument:
+
+* :class:`ReconfigurationModel` — bitstream-size/bandwidth timing for full
+  and partial reconfiguration (defaults: ZU3EG-class 5.8 MB bitstream,
+  PCAP at ~125 MB/s, as on Zynq UltraScale+);
+* :class:`AdaptationBudget` — end-to-end latency of one adaptation event:
+  reconfigure to the training design → retrain on pilots → reconfigure
+  back → sample decision regions through the inference engine → compute
+  centroids (on the PS);
+* :func:`compare_fpga_vs_asic` — silicon-efficiency comparison at a given
+  adaptation rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.accelerator import ImplementationReport
+from repro.utils.tables import format_table
+
+__all__ = ["ReconfigurationModel", "AdaptationBudget", "FpgaVsAsic", "compare_fpga_vs_asic"]
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Configuration-port timing of a Zynq UltraScale+-class device."""
+
+    full_bitstream_bytes: float = 5.8e6   # ZU3EG-class PL bitstream
+    config_bandwidth_bytes_per_s: float = 125e6  # PCAP, practical rate
+
+    def __post_init__(self) -> None:
+        if self.full_bitstream_bytes <= 0 or self.config_bandwidth_bytes_per_s <= 0:
+            raise ValueError("bitstream size and bandwidth must be positive")
+
+    @property
+    def full_reconfiguration_s(self) -> float:
+        """Time to load a full bitstream."""
+        return self.full_bitstream_bytes / self.config_bandwidth_bytes_per_s
+
+    def partial_reconfiguration_s(self, area_fraction: float) -> float:
+        """Time to load a partial bitstream covering ``area_fraction`` of the PL."""
+        if not 0 < area_fraction <= 1:
+            raise ValueError("area_fraction must lie in (0, 1]")
+        return self.full_reconfiguration_s * area_fraction
+
+
+@dataclass(frozen=True)
+class AdaptationBudget:
+    """Latency decomposition of one retrain + re-extract adaptation event."""
+
+    reconfigure_to_training_s: float
+    retraining_s: float
+    reconfigure_to_inference_s: float
+    region_sampling_s: float
+    centroid_computation_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.reconfigure_to_training_s
+            + self.retraining_s
+            + self.reconfigure_to_inference_s
+            + self.region_sampling_s
+            + self.centroid_computation_s
+        )
+
+    def to_table(self) -> str:
+        rows = [
+            ["reconfigure -> training design", self.reconfigure_to_training_s],
+            ["retraining (pilot traffic)", self.retraining_s],
+            ["reconfigure -> inference design", self.reconfigure_to_inference_s],
+            ["decision-region sampling", self.region_sampling_s],
+            ["centroid computation (PS)", self.centroid_computation_s],
+            ["TOTAL adaptation latency", self.total_s],
+        ]
+        return format_table(["phase", "time [s]"], rows, float_fmt=".3g",
+                            title="Adaptation latency budget (one retrain event)")
+
+    @staticmethod
+    def estimate(
+        training: ImplementationReport,
+        inference: ImplementationReport,
+        *,
+        reconfig: ReconfigurationModel | None = None,
+        retrain_steps: int = 1500,
+        batch_size: int = 512,
+        extraction_resolution: int = 256,
+        centroid_computation_s: float = 2e-3,
+        partial: bool = True,
+        device_lut: float = 70560.0,
+    ) -> "AdaptationBudget":
+        """Build the budget from the Table-2 design reports.
+
+        Retraining processes ``steps × batch`` pilot symbols at the training
+        design's throughput; region sampling runs ``resolution²`` inferences
+        through the inference engine; reconfiguration is partial (region
+        sized by the larger design) unless ``partial=False``.
+        """
+        if retrain_steps < 1 or batch_size < 1 or extraction_resolution < 4:
+            raise ValueError("invalid retraining/extraction parameters")
+        rc = reconfig if reconfig is not None else ReconfigurationModel()
+        if partial:
+            frac = min(1.0, max(training.resources.lut, inference.resources.lut) / device_lut)
+            frac = max(frac, 0.05)  # partial regions are floorplanned generously
+            t_rc = rc.partial_reconfiguration_s(frac)
+        else:
+            t_rc = rc.full_reconfiguration_s
+        t_retrain = retrain_steps * batch_size / training.throughput_per_s
+        t_sample = extraction_resolution**2 / inference.throughput_per_s
+        return AdaptationBudget(
+            reconfigure_to_training_s=t_rc,
+            retraining_s=t_retrain,
+            reconfigure_to_inference_s=t_rc,
+            region_sampling_s=t_sample,
+            centroid_computation_s=centroid_computation_s,
+        )
+
+
+@dataclass(frozen=True)
+class FpgaVsAsic:
+    """Silicon-efficiency comparison at a given adaptation rate."""
+
+    fpga_resident_lut: float
+    asic_resident_lut: float
+    asic_training_idle_fraction: float
+    fpga_inference_availability: float
+
+    def to_table(self) -> str:
+        rows = [
+            ["resident logic, FPGA (reconfigured)", f"{self.fpga_resident_lut:.0f} LUT-eq"],
+            ["resident logic, ASIC (both datapaths)", f"{self.asic_resident_lut:.0f} LUT-eq"],
+            ["ASIC training-logic idle fraction", f"{self.asic_training_idle_fraction:.4%}"],
+            ["FPGA inference availability", f"{self.fpga_inference_availability:.4%}"],
+        ]
+        return format_table(["quantity", "value"], rows,
+                            title="FPGA vs ASIC (paper SIII-D argument, quantified)")
+
+
+def compare_fpga_vs_asic(
+    training: ImplementationReport,
+    inference: ImplementationReport,
+    budget: AdaptationBudget,
+    *,
+    adaptations_per_hour: float = 60.0,
+) -> FpgaVsAsic:
+    """Quantify §III-D: "high idle time of the training module on an ASIC".
+
+    On the FPGA only one design is resident at a time (max of the two); on
+    an ASIC both are always resident, and the training datapath is busy only
+    during the retraining slice of each adaptation event.
+    """
+    if adaptations_per_hour <= 0:
+        raise ValueError("adaptations_per_hour must be positive")
+    period_s = 3600.0 / adaptations_per_hour
+    if budget.total_s >= period_s:
+        raise ValueError("adaptation events overlap at this rate")
+    training_busy = budget.retraining_s / period_s
+    fpga_unavailable = budget.total_s / period_s
+    return FpgaVsAsic(
+        fpga_resident_lut=max(training.resources.lut, inference.resources.lut),
+        asic_resident_lut=training.resources.lut + inference.resources.lut,
+        asic_training_idle_fraction=1.0 - training_busy,
+        fpga_inference_availability=1.0 - fpga_unavailable,
+    )

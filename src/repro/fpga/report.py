@@ -1,0 +1,81 @@
+"""Table-2 regeneration: model results side by side with the paper's.
+
+``PAPER_TABLE2`` holds the published numbers; :func:`table2_rows` builds
+the three designs with the architectural model and returns aligned rows;
+:func:`format_table2` renders the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.accelerator import (
+    ImplementationReport,
+    build_ae_inference_accelerator,
+    build_ae_training_accelerator,
+)
+from repro.fpga.soft_demapper_core import build_soft_demapper_core
+from repro.utils.tables import format_table
+
+__all__ = ["PaperRow", "PAPER_TABLE2", "table2_rows", "format_table2"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 2."""
+
+    name: str
+    latency_s: float
+    throughput_per_s: float
+    bram: float
+    dsp: int
+    ff: int
+    lut: int
+    power_w: float
+    energy_per_symbol_j: float
+
+
+#: Published Table 2 (Ney et al. 2022).
+PAPER_TABLE2: dict[str, PaperRow] = {
+    "soft_demapper": PaperRow(
+        "Soft-demapper with learned centroids",
+        5.33e-8, 7.50e7, 0.0, 1, 1042, 1107, 5.5e-2, 7.33e-10,
+    ),
+    "ae_inference": PaperRow(
+        "AE-inference", 8.10e-8, 1.23e7, 18.5, 352, 10895, 11343, 4.53e-1, 3.67e-8
+    ),
+    "ae_training": PaperRow(
+        "AE-training", 2.67e-7, 3.75e6, 89.0, 343, 19013, 19793, 5.47e-1, 1.46e-7
+    ),
+}
+
+
+def table2_rows() -> dict[str, ImplementationReport]:
+    """Build the three designs with the architectural model."""
+    _, soft = build_soft_demapper_core()
+    _, inference = build_ae_inference_accelerator()
+    _, training = build_ae_training_accelerator()
+    return {"soft_demapper": soft, "ae_inference": inference, "ae_training": training}
+
+
+def format_table2(model_rows: dict[str, ImplementationReport] | None = None) -> str:
+    """Render paper-vs-model Table 2 as text."""
+    model_rows = model_rows if model_rows is not None else table2_rows()
+    headers = [
+        "design", "source", "Latency [s]", "Tput [sym/s]", "BRAM", "DSP", "FF", "LUT",
+        "Power [W]", "Energy [J/sym]",
+    ]
+    rows: list[list[object]] = []
+    for key, paper in PAPER_TABLE2.items():
+        model = model_rows[key]
+        rows.append(
+            [paper.name, "paper", paper.latency_s, paper.throughput_per_s, paper.bram,
+             paper.dsp, paper.ff, paper.lut, paper.power_w, paper.energy_per_symbol_j]
+        )
+        rows.append(
+            ["", "model", model.latency_s, model.throughput_per_s,
+             model.resources.bram_36, round(model.resources.dsp),
+             round(model.resources.ff), round(model.resources.lut),
+             model.power_w, model.energy_per_symbol_j]
+        )
+    return format_table(headers, rows, float_fmt=".3g", title="Table 2: AE-based inference vs conventional soft demapping")

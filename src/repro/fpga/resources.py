@@ -1,0 +1,53 @@
+"""Resource vectors: LUT / FF / DSP / BRAM accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceVector"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """FPGA resource usage of a module (or aggregate of modules).
+
+    BRAM is counted in 36-Kb blocks (``bram_36``), matching the paper's
+    Table 2 column (half blocks — 18-Kb — appear as .5).
+    """
+
+    lut: float = 0.0
+    ff: float = 0.0
+    dsp: float = 0.0
+    bram_36: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("lut", "ff", "dsp", "bram_36"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            dsp=self.dsp + other.dsp,
+            bram_36=self.bram_36 + other.bram_36,
+        )
+
+    def scale(self, k: float) -> "ResourceVector":
+        """Resource usage of ``k`` parallel instances."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        return ResourceVector(
+            lut=self.lut * k, ff=self.ff * k, dsp=self.dsp * k, bram_36=self.bram_36 * k
+        )
+
+    @staticmethod
+    def total(items: list["ResourceVector"]) -> "ResourceVector":
+        """Sum a list of resource vectors."""
+        acc = ResourceVector()
+        for it in items:
+            acc = acc + it
+        return acc
+
+    def as_dict(self) -> dict[str, float]:
+        return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp, "bram_36": self.bram_36}

@@ -1,0 +1,43 @@
+"""Link-level simulation: Monte-Carlo BER, framing, adaptive receiver.
+
+* :mod:`repro.link.simulator` — batched Monte-Carlo BER engine with
+  early stopping and Wilson confidence intervals;
+* :mod:`repro.link.frames` — pilot/payload framing;
+* :mod:`repro.link.adaptive` — the full closed loop of the paper: hybrid
+  demapping, pilot/ECC monitoring, triggered retraining and centroid
+  re-extraction on a drifting channel.
+"""
+
+from repro.link.adaptive import AdaptiveReceiver, AdaptiveReceiverConfig, FrameReport
+from repro.link.estimation import PhaseSyncReceiver, estimate_complex_gain, estimate_phase
+from repro.link.frames import Frame, FrameConfig, build_frame
+from repro.link.ofdm import (
+    MultipathChannel,
+    OFDMConfig,
+    OFDMReceiver,
+    ofdm_demodulate,
+    ofdm_modulate,
+    subcarrier_gains,
+)
+from repro.link.simulator import BERResult, simulate_ber, sweep_snr
+
+__all__ = [
+    "BERResult",
+    "simulate_ber",
+    "sweep_snr",
+    "Frame",
+    "FrameConfig",
+    "build_frame",
+    "AdaptiveReceiver",
+    "AdaptiveReceiverConfig",
+    "FrameReport",
+    "PhaseSyncReceiver",
+    "estimate_phase",
+    "estimate_complex_gain",
+    "OFDMConfig",
+    "OFDMReceiver",
+    "MultipathChannel",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "subcarrier_gains",
+]

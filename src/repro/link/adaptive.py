@@ -1,0 +1,183 @@
+"""The closed adaptive loop: TRACK -> (degrade) -> RETRAIN -> EXTRACT -> TRACK.
+
+This stitches the paper's three steps into a running receiver:
+
+1. **TRACK** — payload symbols are demapped by the cheap
+   :class:`~repro.extraction.hybrid.HybridDemapper`; each frame's pilots
+   measure the live BER, which feeds a
+   :class:`~repro.extraction.monitor.DegradationMonitor`.
+2. **RETRAIN** — when the monitor fires, the demapper ANN is retrained on
+   pilot transmissions over the *current* channel
+   (:class:`~repro.autoencoder.training.ReceiverFinetuner` — on the FPGA
+   this is the reconfigured training design of Table 2).
+3. **EXTRACT** — centroids are re-extracted from the retrained ANN and the
+   hybrid demapper swapped in; the monitor resets.
+
+``AdaptiveReceiver.run`` drives this over a (typically time-varying)
+channel and returns one :class:`FrameReport` per frame — the data behind
+the adaptive-tracking example and integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autoencoder.system import AESystem
+from repro.autoencoder.training import ReceiverFinetuner, TrainingConfig
+from repro.channels.base import Channel
+from repro.extraction.hybrid import HybridDemapper
+from repro.extraction.monitor import DegradationMonitor
+from repro.link.frames import FrameConfig, build_frame
+from repro.modulation.constellations import Constellation
+from repro.utils.rng import as_generator
+
+__all__ = ["AdaptiveReceiverConfig", "FrameReport", "AdaptiveReceiver"]
+
+
+@dataclass(frozen=True)
+class AdaptiveReceiverConfig:
+    """Tunables of the adaptive loop.
+
+    With ``tracking=True`` the receiver adds a cheap first tier: when the
+    monitor fires, it first attempts a *rigid centroid update* from the
+    frame's pilots (:class:`~repro.extraction.tracking.CentroidTracker` —
+    a handful of multiplies, no ANN, no reconfiguration) and only escalates
+    to full retraining + re-extraction when the tracker reports the
+    impairment is not a rigid motion.
+    """
+
+    frame: FrameConfig = field(default_factory=FrameConfig)
+    retrain: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(steps=600, batch_size=512, lr=2e-3)
+    )
+    extraction_method: str = "lsq"
+    extraction_extent: float = 1.5
+    extraction_resolution: int = 192
+    tracking: bool = False
+
+
+@dataclass(frozen=True)
+class FrameReport:
+    """Per-frame telemetry of the adaptive receiver."""
+
+    frame_index: int
+    pilot_ber: float
+    payload_ber: float
+    retrained: bool
+    monitor_level: float
+    tracked: bool = False
+
+
+class AdaptiveReceiver:
+    """Hybrid receiver with pilot-triggered retraining and re-extraction."""
+
+    def __init__(
+        self,
+        system: AESystem,
+        constellation: Constellation,
+        sigma2: float,
+        monitor: DegradationMonitor,
+        config: AdaptiveReceiverConfig | None = None,
+    ):
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        self.system = system
+        self.constellation = constellation
+        self.sigma2 = sigma2
+        self.monitor = monitor
+        self.config = config if config is not None else AdaptiveReceiverConfig()
+        self.hybrid = self._extract()
+        self.retrain_count = 0
+        self.track_count = 0
+
+    def _extract(self) -> HybridDemapper:
+        cfg = self.config
+        return HybridDemapper.extract(
+            self.system.demapper,
+            self.sigma2,
+            extent=cfg.extraction_extent,
+            resolution=cfg.extraction_resolution,
+            method=cfg.extraction_method,
+            fallback=self.constellation,
+        )
+
+    def _retrain(self, channel: Channel, rng: np.random.Generator) -> None:
+        finetuner = ReceiverFinetuner(
+            self.system, self.config.retrain, constellation=self.constellation
+        )
+        finetuner.run(channel, rng)
+        self.hybrid = self._extract()
+        self.monitor.reset()
+        self.retrain_count += 1
+
+    def _try_track(self, frame, received) -> bool:
+        """Tier-1 adaptation: rigid centroid update from this frame's pilots.
+
+        Returns True if the tracker accepted the rigid model (the updated
+        centroids are installed either way — a rigid fit never hurts, and
+        the caller escalates when it was insufficient).
+        """
+        from repro.extraction.tracking import CentroidTracker
+
+        tracker = CentroidTracker(self.hybrid)
+        rigid_ok = tracker.update(frame.pilot_indices, received[frame.pilot_mask])
+        self.hybrid = tracker.current
+        self.track_count += 1
+        if rigid_ok:
+            self.monitor.reset()
+        return rigid_ok
+
+    def process_frame(
+        self,
+        frame_index: int,
+        channel: Channel,
+        rng: np.random.Generator,
+    ) -> FrameReport:
+        """Transmit and receive one frame; adapt if the monitor fires.
+
+        Adaptation policy: with ``config.tracking`` the first response is a
+        rigid centroid update (cheap); full retraining runs only when the
+        tracker flags a non-rigid impairment.  Without tracking, every
+        trigger retrains (the paper's two-tier loop).
+        """
+        cfg = self.config
+        frame = build_frame(cfg.frame, self.constellation.order, rng)
+        received = channel.forward(self.constellation.points[frame.indices])
+        true_bits = self.constellation.bit_matrix[frame.indices]
+
+        hat = self.hybrid.demap_bits(received)
+        pilot_ber = float(np.mean(hat[frame.pilot_mask] != true_bits[frame.pilot_mask]))
+        payload_ber = float(np.mean(hat[~frame.pilot_mask] != true_bits[~frame.pilot_mask]))
+
+        fired = self.monitor.observe(pilot_ber)
+        level = self.monitor.current_level
+        tracked = False
+        retrained = False
+        if fired:
+            if cfg.tracking and self._try_track(frame, received):
+                tracked = True
+            else:
+                self._retrain(channel, rng)
+                retrained = True
+        return FrameReport(
+            frame_index=frame_index,
+            pilot_ber=pilot_ber,
+            payload_ber=payload_ber,
+            retrained=retrained,
+            monitor_level=level,
+            tracked=tracked,
+        )
+
+    def run(
+        self,
+        channel: Channel,
+        n_frames: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[FrameReport]:
+        """Process ``n_frames`` frames over ``channel``; returns telemetry."""
+        if n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        rng = as_generator(rng)
+        return [self.process_frame(i, channel, rng) for i in range(n_frames)]

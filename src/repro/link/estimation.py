@@ -1,0 +1,107 @@
+"""Classical pilot-based channel estimation — the non-ML adaptation baseline.
+
+The paper's retraining loop competes with decades of classical
+synchronisation.  This module provides that comparator:
+
+* :func:`estimate_phase` — ML phase estimate from pilots
+  (``angle(Σ conj(x)·y)``, the least-squares rigid rotation);
+* :func:`estimate_complex_gain` — joint phase+amplitude (one-tap LS);
+* :class:`PhaseSyncReceiver` — derotate-by-estimate + conventional max-log
+  demapping on the known constellation.
+
+A pure phase offset is fully handled classically (and the comparison bench
+shows it); the AE's edge is impairments *outside* the classical model —
+e.g. IQ imbalance warps the constellation in a widely-linear way no single
+derotation can undo, while demapper retraining absorbs it
+(``benchmarks/bench_ext_adaptation_comparison.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.constellations import Constellation
+from repro.modulation.demapper import MaxLogDemapper, llrs_to_bits
+
+__all__ = ["estimate_phase", "estimate_complex_gain", "PhaseSyncReceiver"]
+
+
+def estimate_phase(tx_pilots: np.ndarray, rx_pilots: np.ndarray) -> float:
+    """ML estimate of a common phase rotation from pilot pairs.
+
+    ``angle(Σ conj(x_i)·y_i)`` — the maximiser of the likelihood under
+    ``y = e^{jφ}x + n`` and simultaneously the least-squares rigid rotation.
+    """
+    x = np.asarray(tx_pilots, dtype=np.complex128).ravel()
+    y = np.asarray(rx_pilots, dtype=np.complex128).ravel()
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("pilot arrays must be matched and non-empty")
+    corr = np.sum(np.conj(x) * y)
+    if abs(corr) == 0:
+        raise ValueError("degenerate pilots (zero correlation)")
+    return float(np.angle(corr))
+
+
+def estimate_complex_gain(tx_pilots: np.ndarray, rx_pilots: np.ndarray) -> complex:
+    """One-tap least-squares channel estimate ``h = Σ conj(x)y / Σ |x|²``."""
+    x = np.asarray(tx_pilots, dtype=np.complex128).ravel()
+    y = np.asarray(rx_pilots, dtype=np.complex128).ravel()
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("pilot arrays must be matched and non-empty")
+    energy = np.sum(np.abs(x) ** 2)
+    if energy == 0:
+        raise ValueError("all-zero pilots")
+    return complex(np.sum(np.conj(x) * y) / energy)
+
+
+class PhaseSyncReceiver:
+    """Classical receiver: pilot phase/gain estimation + derotation + max-log.
+
+    Parameters
+    ----------
+    constellation:
+        The (known) transmit constellation.
+    sigma2:
+        Per-dimension noise variance for LLR scaling.
+    mode:
+        ``"phase"`` (unit-modulus derotation) or ``"gain"`` (full one-tap
+        equalisation ``y/h``).
+    """
+
+    def __init__(self, constellation: Constellation, sigma2: float, *, mode: str = "phase"):
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        if mode not in ("phase", "gain"):
+            raise ValueError("mode must be 'phase' or 'gain'")
+        self.constellation = constellation
+        self.sigma2 = float(sigma2)
+        self.mode = mode
+        self._core = MaxLogDemapper(constellation)
+        self._h: complex = 1.0 + 0.0j
+
+    @property
+    def estimate(self) -> complex:
+        """Current channel estimate (phase-only estimates have |h| = 1)."""
+        return self._h
+
+    def update(self, tx_pilots: np.ndarray, rx_pilots: np.ndarray) -> complex:
+        """Re-estimate the channel from a pilot block; returns the estimate."""
+        if self.mode == "phase":
+            self._h = complex(np.exp(1j * estimate_phase(tx_pilots, rx_pilots)))
+        else:
+            self._h = estimate_complex_gain(tx_pilots, rx_pilots)
+            if self._h == 0:
+                raise ValueError("estimated zero gain")
+        return self._h
+
+    def equalize(self, received: np.ndarray) -> np.ndarray:
+        """Apply the current estimate (derotation / one-tap division)."""
+        return np.asarray(received, dtype=np.complex128) / self._h
+
+    def llrs(self, received: np.ndarray) -> np.ndarray:
+        """Max-log LLRs after equalisation."""
+        return self._core.llrs(self.equalize(received), self.sigma2)
+
+    def demap_bits(self, received: np.ndarray) -> np.ndarray:
+        """Hard bits after equalisation."""
+        return llrs_to_bits(self.llrs(received))

@@ -1,0 +1,76 @@
+"""Pilot/payload framing for the adaptive receiver.
+
+A frame interleaves known pilot symbols (for quality monitoring and
+retraining data) with payload symbols.  Pilots lead the frame — the
+receiver uses them to estimate the current BER before trusting the
+payload decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["FrameConfig", "Frame", "build_frame"]
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Frame geometry.
+
+    ``pilot_symbols`` known symbols followed by ``payload_symbols`` data
+    symbols; ``pilot_overhead`` reports the rate loss.
+    """
+
+    pilot_symbols: int = 128
+    payload_symbols: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.pilot_symbols < 1:
+            raise ValueError("pilot_symbols must be >= 1")
+        if self.payload_symbols < 1:
+            raise ValueError("payload_symbols must be >= 1")
+
+    @property
+    def total_symbols(self) -> int:
+        return self.pilot_symbols + self.payload_symbols
+
+    @property
+    def pilot_overhead(self) -> float:
+        """Fraction of the frame spent on pilots."""
+        return self.pilot_symbols / self.total_symbols
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame of symbol labels with a pilot mask."""
+
+    indices: np.ndarray       # (total,) int64 symbol labels
+    pilot_mask: np.ndarray    # (total,) bool, True where pilot
+
+    @property
+    def pilot_indices(self) -> np.ndarray:
+        return self.indices[self.pilot_mask]
+
+    @property
+    def payload_indices(self) -> np.ndarray:
+        return self.indices[~self.pilot_mask]
+
+
+def build_frame(
+    config: FrameConfig,
+    order: int,
+    rng: np.random.Generator | int | None = None,
+) -> Frame:
+    """Draw a random frame (uniform labels for pilots and payload)."""
+    if order < 2:
+        raise ValueError("order must be >= 2")
+    rng = as_generator(rng)
+    total = config.total_symbols
+    indices = rng.integers(0, order, size=total, dtype=np.int64)
+    mask = np.zeros(total, dtype=bool)
+    mask[: config.pilot_symbols] = True
+    return Frame(indices=indices, pilot_mask=mask)

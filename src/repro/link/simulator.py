@@ -1,0 +1,109 @@
+"""Batched Monte-Carlo BER engine.
+
+Streams random symbols through ``constellation -> channel -> demapper`` in
+large batches (vectorised end to end), stops early once ``max_errors`` bit
+errors have been observed (relative BER accuracy ~1/sqrt(max_errors)), and
+reports a Wilson confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.channels.base import Channel
+from repro.modulation.constellations import Constellation
+from repro.utils.rng import as_generator
+from repro.utils.stats import wilson_interval
+
+__all__ = ["BERResult", "simulate_ber", "sweep_snr"]
+
+
+@dataclass(frozen=True)
+class BERResult:
+    """Outcome of a Monte-Carlo BER run."""
+
+    bit_errors: int
+    bits: int
+    symbols: int
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ber(self) -> float:
+        """Point estimate of the bit error rate."""
+        return self.bit_errors / self.bits if self.bits else float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"BER {self.ber:.3e} [{self.ci_low:.2e}, {self.ci_high:.2e}] ({self.bits} bits)"
+
+
+def simulate_ber(
+    constellation: Constellation,
+    channel: Channel,
+    demap_bits: Callable[[np.ndarray], np.ndarray],
+    n_symbols: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    batch_size: int = 65536,
+    max_errors: int | None = None,
+) -> BERResult:
+    """Measure the BER of a demapper over a channel.
+
+    Parameters
+    ----------
+    constellation:
+        Transmit constellation (labels = bits).
+    channel:
+        Channel model applied to the transmitted symbols.
+    demap_bits:
+        ``(N,) complex -> (N, k) bits`` receiver function.
+    n_symbols:
+        Maximum symbols to simulate.
+    rng:
+        Seed/generator for the source bits (the channel owns its own noise
+        generator).
+    batch_size:
+        Symbols per vectorised batch.
+    max_errors:
+        Early-stop once this many bit errors accumulate (None = never).
+    """
+    if n_symbols < 1:
+        raise ValueError("n_symbols must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = as_generator(rng)
+    k = constellation.bits_per_symbol
+    order = constellation.order
+    points = constellation.points
+    bit_matrix = constellation.bit_matrix
+
+    errors = 0
+    bits_done = 0
+    symbols_done = 0
+    remaining = n_symbols
+    while remaining > 0:
+        n = min(batch_size, remaining)
+        remaining -= n
+        idx = rng.integers(0, order, size=n)
+        received = channel.forward(points[idx])
+        hat = np.asarray(demap_bits(received))
+        if hat.shape != (n, k):
+            raise ValueError(f"demapper returned shape {hat.shape}, expected ({n}, {k})")
+        errors += int(np.count_nonzero(hat != bit_matrix[idx]))
+        bits_done += n * k
+        symbols_done += n
+        if max_errors is not None and errors >= max_errors:
+            break
+    lo, hi = wilson_interval(errors, bits_done)
+    return BERResult(bit_errors=errors, bits=bits_done, symbols=symbols_done, ci_low=lo, ci_high=hi)
+
+
+def sweep_snr(
+    snr_dbs: Sequence[float],
+    runner: Callable[[float], BERResult],
+) -> Mapping[float, BERResult]:
+    """Evaluate ``runner(snr_db)`` over a list of SNRs (ordered dict)."""
+    return {float(snr): runner(float(snr)) for snr in snr_dbs}

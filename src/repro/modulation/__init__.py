@@ -1,0 +1,57 @@
+"""Conventional modulation substrate: constellations, mapping, demapping.
+
+Implements the classical blocks the paper's hybrid receiver builds on:
+
+* bit <-> integer-label packing (:mod:`repro.modulation.bits`),
+* Gray coding (:mod:`repro.modulation.gray`),
+* square Gray-QAM / Gray-PSK / custom constellations
+  (:mod:`repro.modulation.constellations`),
+* the mapper (label -> complex symbol) (:mod:`repro.modulation.mapper`),
+* hard and soft demappers, including the **sub-optimal max-log demapper of
+  Robertson et al. 1995** used by the paper for centroid-based inference,
+  and the exact log-MAP reference (:mod:`repro.modulation.demapper`).
+
+LLR sign convention (paper's Sec. III-A formula): ``llr > 0`` means bit = 1
+is more likely, ``llr = log(P(b=1)/P(b=0))`` under max-log approximation.
+"""
+
+from repro.modulation.bits import (
+    bits_to_indices,
+    count_bit_errors,
+    indices_to_bits,
+    random_bits,
+    random_indices,
+)
+from repro.modulation.constellations import Constellation, psk_constellation, qam_constellation
+from repro.modulation.demapper import (
+    HardDemapper,
+    ExactLogMAPDemapper,
+    MaxLogDemapper,
+    llrs_to_bits,
+    llrs_to_probabilities,
+)
+from repro.modulation.gray import gray_decode, gray_encode
+from repro.modulation.labeling import gray_penalty, neighbour_bit_distances, union_bound_ber
+from repro.modulation.mapper import Mapper
+
+__all__ = [
+    "bits_to_indices",
+    "indices_to_bits",
+    "random_bits",
+    "random_indices",
+    "count_bit_errors",
+    "gray_encode",
+    "gray_decode",
+    "Constellation",
+    "qam_constellation",
+    "psk_constellation",
+    "Mapper",
+    "HardDemapper",
+    "MaxLogDemapper",
+    "ExactLogMAPDemapper",
+    "llrs_to_bits",
+    "llrs_to_probabilities",
+    "gray_penalty",
+    "neighbour_bit_distances",
+    "union_bound_ber",
+]

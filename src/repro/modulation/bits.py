@@ -1,0 +1,64 @@
+"""Bit-vector <-> integer-label conversions and bit utilities.
+
+Convention: a symbol label is the MSB-first packing of its ``k`` bits, so
+label ``0b1010 = 10`` carries bits ``(1, 0, 1, 0)``.  The AE's demapper
+output order matches this (output 0 = MSB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "indices_to_bits",
+    "bits_to_indices",
+    "random_bits",
+    "random_indices",
+    "count_bit_errors",
+]
+
+
+def indices_to_bits(indices: np.ndarray, k: int) -> np.ndarray:
+    """Expand integer labels ``(N,)`` into bit rows ``(N, k)``, MSB first."""
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got dtype {idx.dtype}")
+    if k < 1 or k > 62:
+        raise ValueError(f"k must lie in [1, 62], got {k}")
+    if idx.min(initial=0) < 0 or idx.max(initial=0) >= (1 << k):
+        raise ValueError(f"labels out of range for k={k} bits")
+    shifts = np.arange(k - 1, -1, -1)
+    return ((idx[..., None] >> shifts) & 1).astype(np.int8)
+
+
+def bits_to_indices(bits: np.ndarray) -> np.ndarray:
+    """Pack bit rows ``(N, k)`` (MSB first) into integer labels ``(N,)``."""
+    b = np.asarray(bits)
+    if b.ndim < 1 or b.shape[-1] < 1:
+        raise ValueError("bits must have a trailing bit axis")
+    if not np.all((b == 0) | (b == 1)):
+        raise ValueError("bits must be 0/1 valued")
+    k = b.shape[-1]
+    weights = (1 << np.arange(k - 1, -1, -1)).astype(np.int64)
+    return (b.astype(np.int64) @ weights).astype(np.int64)
+
+
+def random_bits(rng: np.random.Generator, shape: int | tuple[int, ...]) -> np.ndarray:
+    """Uniform i.i.d. bits with the given shape (dtype int8)."""
+    return rng.integers(0, 2, size=shape, dtype=np.int8)
+
+
+def random_indices(rng: np.random.Generator, n: int, order: int) -> np.ndarray:
+    """Uniform symbol labels in ``[0, order)`` (dtype int64)."""
+    if order < 2:
+        raise ValueError("order must be >= 2")
+    return rng.integers(0, order, size=n, dtype=np.int64)
+
+
+def count_bit_errors(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing bits between two equal-shape 0/1 arrays."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))

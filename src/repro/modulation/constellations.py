@@ -1,0 +1,162 @@
+"""Constellation objects: point sets indexed by bit-label.
+
+``Constellation.points[label]`` is the complex symbol whose transmitted bits
+are the MSB-first binary expansion of ``label``.  Factories build Gray-coded
+square QAM and Gray PSK; arbitrary point sets (e.g. learned AE
+constellations or extracted centroids) use :meth:`Constellation.from_points`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.modulation.bits import indices_to_bits
+from repro.modulation.gray import gray_decode, gray_encode
+
+__all__ = ["Constellation", "qam_constellation", "psk_constellation"]
+
+
+@dataclass(frozen=True)
+class Constellation:
+    """An ordered set of ``M = 2^k`` complex points with implicit bit labels.
+
+    Attributes
+    ----------
+    points:
+        Complex array of shape ``(M,)``; entry ``i`` is the symbol for
+        label ``i``.
+    name:
+        Human-readable identifier.
+    """
+
+    points: np.ndarray
+    name: str = "custom"
+    _bit_matrix: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.complex128)
+        if pts.ndim != 1:
+            raise ValueError(f"points must be 1-D, got shape {pts.shape}")
+        m = pts.size
+        if m < 2 or (m & (m - 1)) != 0:
+            raise ValueError(f"constellation size must be a power of two >= 2, got {m}")
+        object.__setattr__(self, "points", pts)
+        k = int(np.log2(m))
+        object.__setattr__(self, "_bit_matrix", indices_to_bits(np.arange(m), k))
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of constellation points M."""
+        return self.points.size
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """k = log2(M)."""
+        return int(np.log2(self.order))
+
+    @property
+    def bit_matrix(self) -> np.ndarray:
+        """(M, k) matrix; row i = bits of label i, MSB first."""
+        return self._bit_matrix
+
+    @property
+    def average_energy(self) -> float:
+        """Mean squared magnitude of the points."""
+        return float(np.mean(np.abs(self.points) ** 2))
+
+    @property
+    def min_distance(self) -> float:
+        """Minimum pairwise Euclidean distance between points."""
+        d = np.abs(self.points[:, None] - self.points[None, :])
+        np.fill_diagonal(d, np.inf)
+        return float(d.min())
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def from_points(points: np.ndarray, *, name: str = "custom", normalize: bool = False) -> "Constellation":
+        """Wrap an arbitrary point set; optionally scale to unit average energy."""
+        pts = np.asarray(points, dtype=np.complex128).copy()
+        if normalize:
+            energy = np.mean(np.abs(pts) ** 2)
+            if energy <= 0:
+                raise ValueError("cannot normalize an all-zero constellation")
+            pts /= np.sqrt(energy)
+        return Constellation(points=pts, name=name)
+
+    # -- transforms ----------------------------------------------------------
+    def normalized(self) -> "Constellation":
+        """Copy scaled to unit average energy."""
+        return Constellation.from_points(self.points, name=self.name, normalize=True)
+
+    def rotated(self, phi: float) -> "Constellation":
+        """Copy rotated by ``phi`` radians (labels unchanged)."""
+        return Constellation(points=self.points * np.exp(1j * phi), name=f"{self.name}*e^j{phi:.3g}")
+
+    def bits_for(self, labels: np.ndarray) -> np.ndarray:
+        """Bits (``(N, k)``) carried by the given labels."""
+        return indices_to_bits(np.asarray(labels), self.bits_per_symbol)
+
+    def __len__(self) -> int:
+        return self.order
+
+
+def _gray_pam_levels(bits: int) -> np.ndarray:
+    """Gray-labelled PAM levels: entry ``v`` is the level whose label is ``v``.
+
+    Positions (left to right) are ``-(L-1), ..., +(L-1)`` in steps of 2; the
+    level at position ``p`` carries label ``gray_encode(p)``, so adjacent
+    levels differ in exactly one bit.
+    """
+    levels = 1 << bits
+    positions = np.arange(levels)
+    amplitudes = 2.0 * positions - (levels - 1)
+    out = np.empty(levels, dtype=np.float64)
+    out[gray_encode(positions)] = amplitudes
+    return out
+
+
+def qam_constellation(order: int = 16, *, normalize: bool = True) -> Constellation:
+    """Gray-coded square M-QAM (M = 4, 16, 64, 256, ...).
+
+    The label's upper ``k/2`` bits select the in-phase level and the lower
+    ``k/2`` bits the quadrature level, each via Gray-labelled PAM.  With
+    ``normalize=True`` (default) the constellation has unit average energy,
+    matching the AE mapper's power-normalisation layer.
+    """
+    if order < 4 or (order & (order - 1)) != 0:
+        raise ValueError(f"order must be a power of two >= 4, got {order}")
+    k = int(np.log2(order))
+    if k % 2 != 0:
+        raise ValueError(f"only square QAM supported (even bits/symbol), got order {order}")
+    half = k // 2
+    pam = _gray_pam_levels(half)
+    labels = np.arange(order)
+    i_bits = labels >> half
+    q_bits = labels & ((1 << half) - 1)
+    pts = pam[i_bits] + 1j * pam[q_bits]
+    return Constellation.from_points(pts, name=f"{order}-QAM", normalize=normalize)
+
+
+def psk_constellation(order: int = 8, *, normalize: bool = True, offset: float = 0.0) -> Constellation:
+    """Gray-coded M-PSK on the unit circle (optionally phase-offset)."""
+    if order < 2 or (order & (order - 1)) != 0:
+        raise ValueError(f"order must be a power of two >= 2, got {order}")
+    positions = np.arange(order)
+    angles = 2.0 * np.pi * positions / order + offset
+    pts = np.empty(order, dtype=np.complex128)
+    pts[gray_encode(positions)] = np.exp(1j * angles)
+    return Constellation.from_points(pts, name=f"{order}-PSK", normalize=normalize)
+
+
+def _check_gray_property(constellation: Constellation) -> bool:  # pragma: no cover - debug helper
+    """True iff every nearest-neighbour pair differs in exactly one bit."""
+    pts = constellation.points
+    bm = constellation.bit_matrix
+    d = np.abs(pts[:, None] - pts[None, :])
+    np.fill_diagonal(d, np.inf)
+    dmin = d.min()
+    close = np.argwhere(np.isclose(d, dmin))
+    return all(int(np.sum(bm[i] != bm[j])) == 1 for i, j in close)

@@ -1,0 +1,144 @@
+"""Hard and soft demappers.
+
+Three receivers over a point set ("centroids" in the hybrid flow):
+
+* :class:`HardDemapper` — nearest-point decision, returns labels/bits.
+* :class:`MaxLogDemapper` — the paper's sub-optimal soft demapper
+  (Robertson et al. 1995, paper Sec. III-A):
+
+  ``llr(b_k | s_r) = 1/(2σ²)·[ min_{i: b_k(i)=0} |s_r − c_i|² − min_{i: b_k(i)=1} |s_r − c_i|² ]``
+
+  Positive LLR ⇒ bit 1 more likely (llr ≈ log P(b=1)/P(b=0)).
+* :class:`ExactLogMAPDemapper` — exact bit LLRs via log-sum-exp, the
+  communication-performance reference the max-log approximates.
+
+``sigma2`` is the **per-real-dimension** noise variance (N0/2), consistent
+with squared Euclidean distances in the 2-D plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.modulation.bits import bits_to_indices
+from repro.modulation.constellations import Constellation
+
+__all__ = [
+    "HardDemapper",
+    "MaxLogDemapper",
+    "ExactLogMAPDemapper",
+    "llrs_to_bits",
+    "llrs_to_probabilities",
+]
+
+
+def llrs_to_bits(llrs: np.ndarray) -> np.ndarray:
+    """Hard decisions from LLRs (paper convention: llr > 0 ⇒ bit 1)."""
+    return (np.asarray(llrs) > 0).astype(np.int8)
+
+
+def llrs_to_probabilities(llrs: np.ndarray) -> np.ndarray:
+    """P(bit = 1) from LLRs: sigmoid(llr) under the llr=log(P1/P0) convention."""
+    z = np.asarray(llrs, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class _PointSetDemapper:
+    """Shared machinery: squared distances to a labelled point set."""
+
+    def __init__(self, constellation: Constellation):
+        self.constellation = constellation
+        # Pre-split labels by bit value for fast masked minima: for each bit
+        # position k we hold the indices whose k-th bit is 0 resp. 1.
+        bm = constellation.bit_matrix
+        k = constellation.bits_per_symbol
+        self._zero_sets = [np.flatnonzero(bm[:, j] == 0) for j in range(k)]
+        self._one_sets = [np.flatnonzero(bm[:, j] == 1) for j in range(k)]
+
+    def squared_distances(self, received: np.ndarray) -> np.ndarray:
+        """|y − c_i|² for every received sample and point: shape ``(N, M)``."""
+        y = np.asarray(received, dtype=np.complex128).ravel()
+        diff = y[:, None] - self.constellation.points[None, :]
+        return (diff.real * diff.real) + (diff.imag * diff.imag)
+
+
+class HardDemapper(_PointSetDemapper):
+    """Minimum-distance (ML for equiprobable symbols over AWGN) detector."""
+
+    def demap_indices(self, received: np.ndarray) -> np.ndarray:
+        """Received symbols -> nearest-point labels ``(N,)``."""
+        return np.argmin(self.squared_distances(received), axis=1)
+
+    def demap_bits(self, received: np.ndarray) -> np.ndarray:
+        """Received symbols -> hard bits ``(N, k)``."""
+        return self.constellation.bit_matrix[self.demap_indices(received)]
+
+    def __call__(self, received: np.ndarray) -> np.ndarray:
+        return self.demap_bits(received)
+
+
+class MaxLogDemapper(_PointSetDemapper):
+    """Sub-optimal max-log soft demapper (the paper's inference algorithm).
+
+    Replaces exponentials/logarithms of exact log-MAP with two minima per
+    bit — the simplification that makes the FPGA implementation in Table 2
+    an order of magnitude cheaper than ANN inference.
+    """
+
+    def llrs(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        """Bit LLRs ``(N, k)``; ``sigma2`` = per-dimension noise variance."""
+        if sigma2 <= 0:
+            raise ValueError(f"sigma2 must be positive, got {sigma2}")
+        d2 = self.squared_distances(received)
+        k = self.constellation.bits_per_symbol
+        out = np.empty((d2.shape[0], k), dtype=np.float64)
+        for j in range(k):
+            min0 = d2[:, self._zero_sets[j]].min(axis=1)
+            min1 = d2[:, self._one_sets[j]].min(axis=1)
+            out[:, j] = min0 - min1
+        out *= 1.0 / (2.0 * sigma2)
+        return out
+
+    def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        """Hard bits from max-log LLRs.
+
+        Note the hard decision is independent of ``sigma2`` (scaling does not
+        change the sign) — it equals the nearest-point decision.
+        """
+        return llrs_to_bits(self.llrs(received, sigma2))
+
+    def __call__(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        return self.llrs(received, sigma2)
+
+
+class ExactLogMAPDemapper(_PointSetDemapper):
+    """Exact bitwise log-MAP demapper (log-sum-exp over the point set).
+
+    ``llr_k = logsumexp_{i: b_k=1}(−d_i²/2σ²) − logsumexp_{i: b_k=0}(−d_i²/2σ²)``
+    """
+
+    def llrs(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        """Bit LLRs ``(N, k)`` (positive ⇒ bit 1, same convention as max-log)."""
+        if sigma2 <= 0:
+            raise ValueError(f"sigma2 must be positive, got {sigma2}")
+        metric = -self.squared_distances(received) / (2.0 * sigma2)
+        k = self.constellation.bits_per_symbol
+        out = np.empty((metric.shape[0], k), dtype=np.float64)
+        for j in range(k):
+            lse1 = logsumexp(metric[:, self._one_sets[j]], axis=1)
+            lse0 = logsumexp(metric[:, self._zero_sets[j]], axis=1)
+            out[:, j] = lse1 - lse0
+        return out
+
+    def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        """Hard bits from exact LLRs."""
+        return llrs_to_bits(self.llrs(received, sigma2))
+
+    def __call__(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        return self.llrs(received, sigma2)

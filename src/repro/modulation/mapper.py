@@ -1,0 +1,54 @@
+"""Conventional mapper: bit groups / labels -> complex constellation symbols."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.bits import bits_to_indices
+from repro.modulation.constellations import Constellation
+
+__all__ = ["Mapper"]
+
+
+class Mapper:
+    """Maps integer labels or bit streams onto a constellation.
+
+    This is the fixed transmitter used after E2E training (the paper freezes
+    the mapper constellation before retraining) and the conventional-baseline
+    transmitter (Gray QAM).
+    """
+
+    def __init__(self, constellation: Constellation):
+        self.constellation = constellation
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.constellation.bits_per_symbol
+
+    def map_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Labels ``(N,)`` -> complex symbols ``(N,)``."""
+        idx = np.asarray(indices)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError("indices must be integers")
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.constellation.order:
+            raise ValueError("label out of range for this constellation")
+        return self.constellation.points[idx]
+
+    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Bit array -> symbols.
+
+        Accepts shape ``(N, k)`` (one row per symbol) or a flat ``(N*k,)``
+        stream whose length is a multiple of k.
+        """
+        b = np.asarray(bits)
+        k = self.bits_per_symbol
+        if b.ndim == 1:
+            if b.size % k != 0:
+                raise ValueError(f"bit stream length {b.size} is not a multiple of {k}")
+            b = b.reshape(-1, k)
+        elif b.ndim != 2 or b.shape[1] != k:
+            raise ValueError(f"expected (N, {k}) bits, got shape {b.shape}")
+        return self.map_indices(bits_to_indices(b))
+
+    def __call__(self, indices: np.ndarray) -> np.ndarray:
+        return self.map_indices(indices)

@@ -1,0 +1,71 @@
+"""A compact, from-scratch neural-network framework on NumPy.
+
+This subpackage replaces PyTorch for the paper's tiny models (embedding
+mapper, 3x16 MLP demapper).  It provides explicitly-differentiated layers
+(manual backprop — no tape), standard losses and optimizers, learning-rate
+schedulers, weight initialisation, numerical gradient checking, and
+state-dict (de)serialisation.
+
+Design notes (see DESIGN.md §5):
+
+* layers cache forward activations on ``self`` and consume them in
+  ``backward`` — training is strictly ``forward -> backward -> step`` so a
+  single-slot cache is sufficient and keeps the hot loop allocation-light;
+* everything is vectorised over the batch axis; matmuls hit BLAS;
+* all parameter updates are in-place (``+=``) per the HPC guide.
+"""
+
+from repro.nn.init import he_normal, he_uniform, normal_init, uniform_init, xavier_normal, xavier_uniform
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    Embedding,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, RMSprop
+from repro.nn.schedulers import ConstantLR, CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
+from repro.nn.serialization import load_state_dict_npz, save_state_dict_npz
+from repro.nn.gradcheck import gradcheck_module, numerical_gradient
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform_init",
+    "normal_init",
+    "gradcheck_module",
+    "numerical_gradient",
+    "save_state_dict_npz",
+    "load_state_dict_npz",
+]

@@ -1,0 +1,63 @@
+"""Weight initialisation schemes (Glorot/Xavier, He/Kaiming, plain)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "uniform_init",
+    "normal_init",
+]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        raise ValueError(f"fan-based init needs >= 2-D shape, got {shape}")
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = sqrt(6/(fan_in + fan_out))``.
+
+    Suitable for sigmoid/tanh layers (keeps activation variance stable).
+    """
+    fan_in, fan_out = _fans(shape)
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2/(fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform: U(-a, a) with ``a = sqrt(6/fan_in)`` (for ReLU)."""
+    fan_in, _ = _fans(shape)
+    a = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-a, a, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal: N(0, 2/fan_in) (for ReLU)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_init(shape: tuple[int, ...], rng: np.random.Generator, *, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal_init(shape: tuple[int, ...], rng: np.random.Generator, *, std: float = 0.1) -> np.ndarray:
+    """Plain zero-mean Gaussian initialisation with standard deviation ``std``."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,298 @@
+"""Differentiable layers: Dense, activations, Embedding, Dropout, Sequential.
+
+Each layer implements ``forward``/``backward`` with explicit gradient
+formulas (validated by :mod:`repro.nn.gradcheck`).  Shapes follow the
+convention ``(batch, features)``; Embedding takes integer index vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.init import he_normal, xavier_uniform
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+]
+
+
+class Dense(Module):
+    """Fully connected layer ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Include an additive bias (default True).
+    init:
+        Weight initialiser ``f(shape, rng) -> ndarray``; defaults to He
+        normal (the paper's hidden layers use ReLU).
+    rng:
+        Generator used for initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        init: Callable[[tuple[int, ...], np.random.Generator], np.ndarray] | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = init if init is not None else he_normal
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (batch, {self.in_features}), got {x.shape}")
+        self._x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y += self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.weight.grad += grad_out.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with negative slope ``alpha``."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, self.alpha * grad_out)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid ``1/(1+exp(-x))`` (numerically stable two-branch form)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    @staticmethod
+    def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+        """Overflow-free sigmoid evaluated branch-wise on sign(x)."""
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._y = self.stable_sigmoid(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y * self._y)
+
+
+class Identity(Module):
+    """No-op layer (useful as a placeholder in configurable topologies)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must lie in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Embedding(Module):
+    """Lookup table: integer indices ``(batch,)`` -> vectors ``(batch, dim)``.
+
+    This is the paper's "trainable embedding layer with 16 inputs and two
+    outputs" — the constellation table itself.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        *,
+        init: Callable[[tuple[int, ...], np.random.Generator], np.ndarray] | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_embeddings < 1 or dim < 1:
+            raise ValueError("num_embeddings and dim must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = init if init is not None else xavier_uniform
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.table = Parameter(init((num_embeddings, dim), rng), name="embedding")
+        self._idx: np.ndarray | None = None
+
+    def forward(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer indices, got dtype {idx.dtype}")
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding index out of range")
+        self._idx = idx
+        return self.table.data[idx]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._idx is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.table.grad, self._idx, grad_out)
+        # There is no gradient w.r.t. integer indices; return zeros of the
+        # index shape so Sequential composition stays well-typed.
+        return np.zeros(self._idx.shape, dtype=np.float64)
+
+
+class Sequential(Module):
+    """Composition of layers applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers: list[Module] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]
+
+    @staticmethod
+    def mlp(
+        widths: Sequence[int],
+        *,
+        hidden_activation: Callable[[], Module] = ReLU,
+        output_activation: Callable[[], Module] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "Sequential":
+        """Build an MLP from layer widths, e.g. ``[2, 16, 16, 16, 4]``.
+
+        ``hidden_activation`` is inserted after every layer but the last;
+        ``output_activation`` (if given) caps the stack.  This captures the
+        paper's demapper: ``Sequential.mlp([2,16,16,16,4], output_activation=Sigmoid)``.
+        """
+        if len(widths) < 2:
+            raise ValueError("need at least input and output width")
+        rng = rng if rng is not None else np.random.default_rng()
+        layers: list[Module] = []
+        for i in range(len(widths) - 1):
+            layers.append(Dense(widths[i], widths[i + 1], rng=rng))
+            if i < len(widths) - 2:
+                layers.append(hidden_activation())
+        if output_activation is not None:
+            layers.append(output_activation())
+        return Sequential(*layers)

@@ -1,0 +1,87 @@
+"""Loss functions with analytic gradients.
+
+All losses return ``(value, grad)`` where ``grad`` is dLoss/dInput with the
+same shape as the input, already divided by the batch size ("mean"
+reduction), so ``model.backward(grad)`` directly yields mean-gradient
+updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BCEWithLogitsLoss", "MSELoss", "CrossEntropyLoss"]
+
+
+class BCEWithLogitsLoss:
+    """Binary cross-entropy on logits (numerically stable log-sum-exp form).
+
+    This is the paper's training objective: the demapper's last Dense layer
+    produces logits; BCE against the transmitted bits maximises bitwise
+    mutual information.  Using logits avoids the sigmoid-saturation overflow
+    of a plain BCE.
+
+    ``loss = mean( max(z,0) - z*t + log(1 + exp(-|z|)) )``
+    ``dloss/dz = (sigmoid(z) - t) / N``
+    """
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        z = np.asarray(logits, dtype=np.float64)
+        t = np.asarray(targets, dtype=np.float64)
+        if z.shape != t.shape:
+            raise ValueError(f"shape mismatch: logits {z.shape} vs targets {t.shape}")
+        loss = np.maximum(z, 0.0) - z * t + np.log1p(np.exp(-np.abs(z)))
+        # stable sigmoid
+        sig = np.empty_like(z)
+        pos = z >= 0
+        sig[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        sig[~pos] = ez / (1.0 + ez)
+        grad = (sig - t) / z.size
+        return float(loss.mean()), grad
+
+    @staticmethod
+    def from_probabilities(probs: np.ndarray, targets: np.ndarray, *, eps: float = 1e-12) -> float:
+        """BCE evaluated on probabilities (no gradient) — for metrics only."""
+        p = np.clip(np.asarray(probs, dtype=np.float64), eps, 1.0 - eps)
+        t = np.asarray(targets, dtype=np.float64)
+        return float(-(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)).mean())
+
+
+class MSELoss:
+    """Mean squared error ``mean((x - t)^2)`` with gradient ``2(x-t)/N``."""
+
+    def __call__(self, preds: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        x = np.asarray(preds, dtype=np.float64)
+        t = np.asarray(targets, dtype=np.float64)
+        if x.shape != t.shape:
+            raise ValueError(f"shape mismatch: preds {x.shape} vs targets {t.shape}")
+        diff = x - t
+        return float((diff * diff).mean()), (2.0 / x.size) * diff
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy on logits with integer class targets.
+
+    Provided for the symbol-wise (categorical) AE variant — an alternative to
+    the paper's bitwise BCE head that some AE literature uses.
+    """
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        z = np.asarray(logits, dtype=np.float64)
+        t = np.asarray(targets)
+        if z.ndim != 2:
+            raise ValueError("logits must be (batch, classes)")
+        if t.shape != (z.shape[0],):
+            raise ValueError(f"targets must be (batch,), got {t.shape}")
+        if not np.issubdtype(t.dtype, np.integer):
+            raise TypeError("targets must be integer class indices")
+        zmax = z.max(axis=1, keepdims=True)
+        exp = np.exp(z - zmax)
+        p = exp / exp.sum(axis=1, keepdims=True)
+        n = z.shape[0]
+        nll = -np.log(np.clip(p[np.arange(n), t], 1e-300, None))
+        grad = p.copy()
+        grad[np.arange(n), t] -= 1.0
+        grad /= n
+        return float(nll.mean()), grad

@@ -1,0 +1,134 @@
+"""Parameter container and Module base class (manual backprop).
+
+A :class:`Module` is a differentiable operator: ``forward(x)`` computes the
+output and caches whatever ``backward(grad_out)`` needs; ``backward``
+accumulates parameter gradients into ``Parameter.grad`` and returns the
+gradient w.r.t. the input.  Composition is handled by
+:class:`repro.nn.layers.Sequential`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable tensor: ``data`` plus an accumulated gradient ``grad``.
+
+    ``grad`` always has the same shape as ``data`` and is zero-initialised;
+    optimizers read ``grad`` and update ``data`` in place.
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(self, data: np.ndarray, *, name: str = "", requires_grad: bool = True):
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero (in place)."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for differentiable layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- interface ---------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for a batch ``x`` and cache for backward."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_out`` (dLoss/dOutput): accumulate parameter
+        gradients and return dLoss/dInput.  Must be called after ``forward``."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module (and submodules), in a
+        stable order."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all submodules depth-first."""
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- conveniences ------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def zero_grad(self) -> None:
+        """Zero the gradients of every parameter in the module tree."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. Dropout)."""
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict --------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays, keyed by stable positional names."""
+        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict` (shape-checked)."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(f"state has {len(state)} entries, module has {len(params)} parameters")
+        for i, p in enumerate(params):
+            key = f"param_{i}"
+            if key not in state:
+                raise KeyError(f"missing key {key!r} in state dict")
+            arr = np.asarray(state[key], dtype=np.float64)
+            if arr.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for {key}: {arr.shape} vs {p.data.shape}")
+            p.data[...] = arr

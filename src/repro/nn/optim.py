@@ -1,0 +1,158 @@
+"""First-order optimizers: SGD (momentum/Nesterov), Adam, RMSprop.
+
+All updates are performed in place on ``Parameter.data`` (no reallocation in
+the training loop, per the HPC guide's in-place-operations advice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and the learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Zero all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum/Nesterov/weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-2,
+        *,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        if nesterov and momentum == 0.0:
+            raise ValueError("Nesterov momentum requires momentum > 0")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be >= 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if not p.requires_grad:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction.
+
+    The default hyper-parameters match common practice and train the paper's
+    demapper to convergence in a few thousand steps.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.b1**self.t
+        bc2 = 1.0 - self.b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if not p.requires_grad:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.b1
+            m += (1.0 - self.b1) * g
+            v *= self.b2
+            v += (1.0 - self.b2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton) with optional momentum."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        *,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+        self._buf = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, sq, buf in zip(self.params, self._sq, self._buf):
+            if not p.requires_grad:
+                continue
+            g = p.grad
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * (g * g)
+            update = g / (np.sqrt(sq) + self.eps)
+            if self.momentum:
+                buf *= self.momentum
+                buf += update
+                update = buf
+            p.data -= self.lr * update

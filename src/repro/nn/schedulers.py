@@ -1,0 +1,86 @@
+"""Learning-rate schedulers operating on an :class:`~repro.nn.optim.Optimizer`.
+
+Used by the E2E trainer (cosine annealing stabilises the late phase of
+constellation learning at high SNR, where the BCE surface flattens).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepLR", "ExponentialLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class: tracks step count and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def get_lr(self) -> float:
+        """Learning rate for the current ``step_count``."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and apply the new learning rate."""
+        self.step_count += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """No-op scheduler (keeps the base learning rate)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must lie in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.step_count // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.999):
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must lie in (0, 1]")
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.step_count
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        if eta_min < 0:
+            raise ValueError("eta_min must be >= 0")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.step_count, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max))

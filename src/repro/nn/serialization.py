@@ -1,0 +1,29 @@
+"""Save/load module parameters as ``.npz`` archives.
+
+This mirrors the paper's flow of "train in Python, export the trained
+parameters to the hardware architecture": the exported arrays are exactly
+what :mod:`repro.fpga` quantises into the fixed-point datapath.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_state_dict_npz", "load_state_dict_npz"]
+
+
+def save_state_dict_npz(module: Module, path: str | os.PathLike) -> None:
+    """Serialise all parameters of ``module`` to a compressed ``.npz``."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict_npz(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_state_dict_npz` (shape-checked)."""
+    with np.load(path) as data:
+        state = {k: data[k] for k in data.files}
+    module.load_state_dict(state)

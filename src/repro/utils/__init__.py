@@ -1,0 +1,50 @@
+"""Shared utilities: RNG management, complex/real views, statistics, plotting.
+
+These helpers are deliberately dependency-light (NumPy + SciPy only) and are
+used by every other subpackage.  Nothing in here is specific to the paper —
+it is the generic toolbox the rest of the reproduction stands on.
+"""
+
+from repro.utils.complexmath import (
+    complex_to_real2,
+    db_to_linear,
+    linear_to_db,
+    real2_to_complex,
+    rotate,
+    rotation_matrix,
+)
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.stats import (
+    gray_qam_ber_approx,
+    q_function,
+    q_function_inv,
+    wilson_interval,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "complex_to_real2",
+    "real2_to_complex",
+    "rotate",
+    "rotation_matrix",
+    "db_to_linear",
+    "linear_to_db",
+    "q_function",
+    "q_function_inv",
+    "gray_qam_ber_approx",
+    "wilson_interval",
+    "format_table",
+    "check_positive",
+    "check_in_range",
+    "check_power_of_two",
+    "check_probability",
+]

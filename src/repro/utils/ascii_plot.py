@@ -1,0 +1,151 @@
+"""Terminal visualisation: log-scale BER curves and decision-region maps.
+
+The paper's Fig. 2 (BER curves) and Fig. 3 (decision regions + centroids) are
+regenerated as data *and* as ASCII art so results are inspectable without a
+display — the benchmark logs literally contain the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ber_curve_plot", "decision_region_plot", "scatter_plot"]
+
+_SERIES_MARKS = "ox+*#@%&"
+# Region glyphs: one per symbol label; '.' is reserved for "unclaimed".
+_REGION_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def ber_curve_plot(
+    snr_db: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 22,
+    min_ber: float = 1e-6,
+    title: str = "BER vs SNR",
+) -> str:
+    """Render BER-vs-SNR curves on a log10 y-axis as ASCII art.
+
+    ``series`` maps a legend label to one BER per entry of ``snr_db``.
+    Zero/NaN BERs are clamped to ``min_ber`` (plotted at the floor).
+    """
+    snr = np.asarray(snr_db, dtype=np.float64)
+    if snr.size < 2:
+        raise ValueError("need at least two SNR points")
+    all_bers = []
+    for label, vals in series.items():
+        vals = np.asarray(vals, dtype=np.float64)
+        if vals.shape != snr.shape:
+            raise ValueError(f"series {label!r} has shape {vals.shape}, expected {snr.shape}")
+        all_bers.append(vals)
+    if not all_bers:
+        raise ValueError("no series given")
+
+    stacked = np.concatenate(all_bers)
+    stacked = stacked[np.isfinite(stacked) & (stacked > 0)]
+    lo = math.floor(math.log10(max(min_ber, stacked.min() if stacked.size else min_ber)))
+    hi = math.ceil(math.log10(max(stacked.max() if stacked.size else 1.0, 10 * min_ber)))
+    hi = max(hi, lo + 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, vals) in enumerate(series.items()):
+        mark = _SERIES_MARKS[si % len(_SERIES_MARKS)]
+        vals = np.clip(np.nan_to_num(np.asarray(vals, dtype=np.float64), nan=min_ber), min_ber, 1.0)
+        for x_val, ber in zip(snr, vals):
+            col = int(round((x_val - snr[0]) / (snr[-1] - snr[0]) * (width - 1)))
+            frac = (math.log10(ber) - lo) / (hi - lo)
+            row = height - 1 - int(round(np.clip(frac, 0, 1) * (height - 1)))
+            grid[row][col] = mark
+
+    lines = [title]
+    for r in range(height):
+        exp = hi - (hi - lo) * r / (height - 1)
+        ylab = f"1e{exp:+5.1f} |" if r % 4 == 0 else "        |"
+        lines.append(ylab + "".join(grid[r]))
+    lines.append("        +" + "-" * width)
+    xlab = "         "
+    n_ticks = 6
+    for t in range(n_ticks):
+        pos = int(t * (width - 1) / (n_ticks - 1))
+        val = snr[0] + (snr[-1] - snr[0]) * t / (n_ticks - 1)
+        tick = f"{val:.3g}dB"
+        xlab = xlab[: 9 + pos] + tick + xlab[9 + pos + len(tick) :]
+    lines.append(xlab)
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def decision_region_plot(
+    labels: np.ndarray,
+    extent: float,
+    *,
+    centroids: np.ndarray | None = None,
+    max_size: int = 48,
+    title: str = "decision regions",
+) -> str:
+    """Render a decision-region label grid (and optional centroids) as ASCII.
+
+    ``labels`` is the (res, res) integer grid from
+    :func:`repro.extraction.sample_decision_regions` indexed as
+    ``labels[iy, ix]`` with y increasing upwards; it is downsampled to at most
+    ``max_size`` columns.  Centroids (complex array) are overlaid as ``*``.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError("labels must be a 2-D grid")
+    res = labels.shape[0]
+    step = max(1, res // max_size)
+    sub = labels[::step, ::step]
+    h, w = sub.shape
+
+    rows = []
+    for iy in range(h - 1, -1, -1):  # top of the plot = +imag
+        row = [
+            _REGION_GLYPHS[int(sub[iy, ix]) % len(_REGION_GLYPHS)] if sub[iy, ix] >= 0 else "."
+            for ix in range(w)
+        ]
+        rows.append(row)
+
+    if centroids is not None:
+        cents = np.asarray(centroids)
+        for c in cents:
+            re, im = float(np.real(c)), float(np.imag(c))
+            ix = int(round((re + extent) / (2 * extent) * (w - 1)))
+            iy = int(round((im + extent) / (2 * extent) * (h - 1)))
+            if 0 <= ix < w and 0 <= iy < h:
+                rows[h - 1 - iy][ix] = "*"
+
+    lines = [f"{title}  (extent ±{extent:g}, '*' = centroid)"]
+    lines.extend("  " + "".join(r) for r in rows)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: np.ndarray,
+    *,
+    extent: float | None = None,
+    size: int = 40,
+    labels: np.ndarray | None = None,
+    title: str = "constellation",
+) -> str:
+    """Scatter complex points on an ASCII canvas (e.g. learned constellations)."""
+    z = np.asarray(points).ravel()
+    if extent is None:
+        extent = float(max(np.abs(z.real).max(), np.abs(z.imag).max()) * 1.1 + 1e-12)
+    canvas = [[" "] * size for _ in range(size)]
+    for i, c in enumerate(z):
+        ix = int(round((c.real + extent) / (2 * extent) * (size - 1)))
+        iy = int(round((c.imag + extent) / (2 * extent) * (size - 1)))
+        if 0 <= ix < size and 0 <= iy < size:
+            glyph = _REGION_GLYPHS[int(labels[i]) % len(_REGION_GLYPHS)] if labels is not None else "*"
+            canvas[size - 1 - iy][ix] = glyph
+    lines = [f"{title}  (extent ±{extent:.3g})"]
+    lines.extend("  " + "".join(r) for r in canvas)
+    return "\n".join(lines)

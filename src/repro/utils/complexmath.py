@@ -1,0 +1,72 @@
+"""Complex/real-plane conversions and rotations used throughout the link.
+
+Communication symbols live naturally in the complex plane; the neural network
+operates on real 2-vectors ``(Re, Im)``.  These converters are used at the
+boundary.  ``complex_to_real2`` / ``real2_to_complex`` are exact inverses and
+allocate new contiguous arrays (the NN hot path relies on C-contiguity for
+BLAS-backed matmuls — see the HPC guide notes on cache effects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "complex_to_real2",
+    "real2_to_complex",
+    "rotate",
+    "rotation_matrix",
+    "db_to_linear",
+    "linear_to_db",
+]
+
+
+def complex_to_real2(z: np.ndarray) -> np.ndarray:
+    """Convert a complex array of shape ``(...,)`` to reals of shape ``(..., 2)``.
+
+    The last axis holds ``(real, imag)``.  Output is float64 C-contiguous.
+    """
+    z = np.asarray(z)
+    out = np.empty(z.shape + (2,), dtype=np.float64)
+    out[..., 0] = z.real
+    out[..., 1] = z.imag
+    return out
+
+
+def real2_to_complex(x: np.ndarray) -> np.ndarray:
+    """Convert reals of shape ``(..., 2)`` back to complex of shape ``(...,)``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] != 2:
+        raise ValueError(f"last axis must have length 2, got shape {x.shape}")
+    return x[..., 0] + 1j * x[..., 1]
+
+
+def rotation_matrix(phi: float) -> np.ndarray:
+    """2x2 real rotation matrix for angle ``phi`` (counter-clockwise)."""
+    c, s = np.cos(phi), np.sin(phi)
+    return np.array([[c, -s], [s, c]], dtype=np.float64)
+
+
+def rotate(x: np.ndarray, phi: float) -> np.ndarray:
+    """Rotate points by ``phi``.
+
+    Accepts either complex arrays (returns complex) or real ``(..., 2)``
+    arrays (returns real ``(..., 2)``).
+    """
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        return x * np.exp(1j * phi)
+    return x @ rotation_matrix(phi).T
+
+
+def db_to_linear(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power ratio in decibels to linear scale."""
+    return 10.0 ** (np.asarray(db, dtype=np.float64) / 10.0)
+
+
+def linear_to_db(lin: float | np.ndarray) -> float | np.ndarray:
+    """Convert a linear power ratio to decibels."""
+    lin = np.asarray(lin, dtype=np.float64)
+    if np.any(lin <= 0):
+        raise ValueError("linear power ratio must be positive")
+    return 10.0 * np.log10(lin)

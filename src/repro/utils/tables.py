@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment and benchmark reports.
+
+Every experiment driver prints its results as a fixed-width table with a
+"paper" column next to the "measured" column so reproduction quality is
+visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    ``None`` cells render as ``-``; floats use ``float_fmt``.  Returns the
+    table as a single string (no trailing newline).
+    """
+    str_rows = [[_render_cell(v, float_fmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[j]) for j, c in enumerate(cells)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_power_of_two",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: float | int) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float, *, inclusive: bool = True) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict if not inclusive)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if value < 1 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_probability(name: str, value: float | np.ndarray) -> None:
+    """Raise ``ValueError`` unless all entries lie in [0, 1]."""
+    arr = np.asarray(value, dtype=np.float64)
+    if np.any(arr < 0) or np.any(arr > 1) or np.any(~np.isfinite(arr)):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")

@@ -1,0 +1,67 @@
+"""Consistency of the demapper's inference views and the system helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import AESystem, DemapperANN, MapperANN
+from repro.channels import AWGNChannel
+from repro.utils.complexmath import complex_to_real2
+
+
+class TestDemapperViews:
+    def test_probabilities_are_sigmoid_of_logits(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(30, 2))
+        p = d.probabilities(x)
+        z = d.logits(x)
+        assert np.allclose(p, 1.0 / (1.0 + np.exp(-z)))
+
+    def test_bit_probability_fn_is_bound_method(self, rng):
+        d = DemapperANN(4, rng=rng)
+        fn = d.bit_probability_fn()
+        x = rng.normal(size=(5, 2))
+        assert np.allclose(fn(x), d.probabilities(x))
+
+    def test_logits_alias_forward(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(5, 2))
+        assert np.array_equal(d.logits(x), d.forward(x))
+
+    def test_custom_hidden_widths(self, rng):
+        d = DemapperANN(4, hidden=(8, 8), rng=rng)
+        assert d.forward(rng.normal(size=(3, 2))).shape == (3, 4)
+        # params: (2*8+8)+(8*8+8)+(8*4+4) = 24+72+36 = 132
+        assert d.num_parameters() == 132
+
+
+class TestSystemHelpers:
+    def test_receive_logits_matches_manual_path(self, trained_system_8db, rng):
+        y = rng.normal(size=20) + 1j * rng.normal(size=20)
+        via_system = trained_system_8db.receive_logits(y)
+        manual = trained_system_8db.demapper.forward(complex_to_real2(y))
+        assert np.array_equal(via_system, manual)
+
+    def test_transmit_uses_current_channel(self, rng):
+        mapper = MapperANN(16, rng=rng)
+        demapper = DemapperANN(4, rng=rng)
+        system = AESystem(mapper, demapper, AWGNChannel(30.0, 4, rng=rng))
+        idx = np.arange(16)
+        y = system.transmit(idx)
+        # at 30 dB the received symbols sit almost exactly on the constellation
+        pts = mapper.constellation().points
+        assert np.abs(y - pts).max() < 0.15
+
+    def test_receiver_step_only_touches_demapper(self, trained_system_8db, rng):
+        system = AESystem(
+            trained_system_8db.mapper,
+            trained_system_8db.demapper.copy(),
+            trained_system_8db.channel,
+        )
+        table_before = system.mapper.table.data.copy()
+        grads_before = [p.grad.copy() for p in system.mapper.parameters()]
+        y = rng.normal(size=64) + 1j * rng.normal(size=64)
+        bits = rng.integers(0, 2, size=(64, 4))
+        system.receiver_step(y, bits)
+        assert np.array_equal(system.mapper.table.data, table_before)
+        for g0, p in zip(grads_before, system.mapper.parameters()):
+            assert np.array_equal(g0, p.grad)  # no mapper gradients accumulated

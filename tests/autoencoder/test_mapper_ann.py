@@ -1,0 +1,95 @@
+"""MapperANN: normalisation semantics and the non-trivial gradient."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import MapperANN
+from repro.nn.gradcheck import gradcheck_module
+
+
+class TestForward:
+    def test_unit_average_power_of_table(self, rng):
+        m = MapperANN(16, init="random", rng=rng)
+        table = m.normalized_table()
+        assert np.isclose(np.mean(np.sum(table**2, axis=1)), 1.0)
+
+    def test_forward_selects_rows(self, rng):
+        m = MapperANN(16, init="random", rng=rng)
+        out = m.forward(np.array([3, 3, 5]))
+        assert np.allclose(out[0], out[1])
+        assert not np.allclose(out[0], out[2])
+
+    def test_qam_init_close_to_gray_qam(self, rng):
+        from repro.modulation import qam_constellation
+
+        m = MapperANN(16, init="qam", rng=rng)
+        ref = qam_constellation(16).points
+        got = m.constellation().points
+        assert np.allclose(got, ref, atol=0.01)
+
+    def test_forward_batch_shape(self, rng):
+        m = MapperANN(16, rng=rng)
+        assert m.forward(rng.integers(0, 16, size=50)).shape == (50, 2)
+
+    def test_rejects_float_labels(self, rng):
+        with pytest.raises(TypeError):
+            MapperANN(16, rng=rng).forward(np.array([0.0]))
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(IndexError):
+            MapperANN(16, rng=rng).forward(np.array([16]))
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            MapperANN(10)
+
+    def test_qam_init_requires_square(self):
+        with pytest.raises(ValueError):
+            MapperANN(32, init="qam")
+
+    def test_random_init_allows_any_power_of_two(self, rng):
+        m = MapperANN(32, init="random", rng=rng)
+        assert m.order == 32
+        assert m.bits_per_symbol == 5
+
+    def test_invalid_init_name(self):
+        with pytest.raises(ValueError):
+            MapperANN(16, init="zeros")
+
+
+class TestGradient:
+    def test_gradcheck_random_init(self, rng):
+        m = MapperANN(8, init="random", rng=rng)
+        idx = rng.integers(0, 8, size=10)
+        assert gradcheck_module(m, idx, check_input_grad=False)
+
+    def test_gradcheck_qam_init(self, rng):
+        m = MapperANN(16, init="qam", rng=rng)
+        idx = rng.integers(0, 16, size=12)
+        assert gradcheck_module(m, idx, check_input_grad=False)
+
+    def test_gradcheck_repeated_indices(self, rng):
+        # scatter-add path: same row selected many times
+        m = MapperANN(4, init="random", rng=rng)
+        idx = np.array([1, 1, 1, 1, 2])
+        assert gradcheck_module(m, idx, check_input_grad=False)
+
+    def test_normalisation_gradient_component_nonzero(self, rng):
+        # the rank-one correction must touch rows NOT in the batch
+        m = MapperANN(8, init="random", rng=rng)
+        idx = np.array([0, 1])
+        m.forward(idx)
+        m.backward(np.ones((2, 2)))
+        assert np.any(m.table.grad[5] != 0.0)
+
+
+class TestConstellation:
+    def test_constellation_unit_energy(self, rng):
+        m = MapperANN(16, init="random", rng=rng)
+        assert np.isclose(m.constellation().average_energy, 1.0)
+
+    def test_collapsed_table_raises(self, rng):
+        m = MapperANN(4, init="random", rng=rng)
+        m.table.data[...] = 0.0
+        with pytest.raises(FloatingPointError):
+            m.forward(np.array([0]))

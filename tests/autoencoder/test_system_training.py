@@ -1,0 +1,200 @@
+"""AESystem / E2ETrainer / ReceiverFinetuner / DemapperANN / metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import (
+    AESystem,
+    DemapperANN,
+    E2ETrainer,
+    MapperANN,
+    ReceiverFinetuner,
+    TrainingConfig,
+    bit_error_rate,
+    bitwise_mutual_information,
+    block_error_rate,
+)
+from repro.channels import AWGNChannel, CompositeChannel, PhaseOffsetChannel
+
+
+class TestDemapperANN:
+    def test_paper_topology_parameter_count(self, rng):
+        d = DemapperANN(4, rng=rng)
+        assert d.num_parameters() == 660  # 2-16-16-16-4 MLP
+
+    def test_probabilities_in_unit_interval(self, rng):
+        d = DemapperANN(4, rng=rng)
+        p = d.probabilities(rng.normal(size=(20, 2)))
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_hard_bits_threshold(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(10, 2))
+        assert np.array_equal(d.hard_bits(x), (d.logits(x) > 0).astype(np.int8))
+
+    def test_symbol_labels_pack_bits(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(10, 2))
+        bits = d.hard_bits(x)
+        weights = np.array([8, 4, 2, 1])
+        assert np.array_equal(d.symbol_labels(x), bits @ weights)
+
+    def test_copy_is_deep(self, rng):
+        d = DemapperANN(4, rng=rng)
+        c = d.copy()
+        x = rng.normal(size=(5, 2))
+        assert np.allclose(d.logits(x), c.logits(x))
+        c.parameters()[0].data += 1.0
+        assert not np.allclose(d.logits(x), c.logits(x))
+
+    def test_clone_untrained_differs(self, rng):
+        d = DemapperANN(4, rng=rng)
+        c = d.clone_untrained(rng=np.random.default_rng(5))
+        x = rng.normal(size=(5, 2))
+        assert not np.allclose(d.logits(x), c.logits(x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemapperANN(0)
+        with pytest.raises(ValueError):
+            DemapperANN(4, hidden=())
+
+
+class TestMetrics:
+    def test_bit_error_rate(self):
+        assert bit_error_rate(np.array([0, 1, 1]), np.array([0, 0, 1])) == pytest.approx(1 / 3)
+
+    def test_bit_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.zeros(2), np.zeros(3))
+
+    def test_block_error_rate(self):
+        hat = np.array([[0, 0], [1, 1], [0, 1]])
+        true = np.array([[0, 0], [1, 0], [1, 0]])
+        assert block_error_rate(hat, true) == pytest.approx(2 / 3)
+
+    def test_mi_perfect_prediction(self):
+        bits = np.array([[0, 1], [1, 0]])
+        probs = np.where(bits == 1, 1 - 1e-12, 1e-12)
+        assert bitwise_mutual_information(probs, bits) == pytest.approx(2.0, abs=1e-6)
+
+    def test_mi_random_guessing_zero(self):
+        bits = np.array([[0, 1], [1, 0]])
+        probs = np.full((2, 2), 0.5)
+        assert bitwise_mutual_information(probs, bits) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mi_clipped_nonnegative(self, rng):
+        # systematically wrong predictions would give negative MI; clipped to 0
+        bits = np.ones((50, 2))
+        probs = np.full((50, 2), 0.01)
+        assert bitwise_mutual_information(probs, bits) == 0.0
+
+
+class TestAESystem:
+    def make_system(self, rng, snr=8.0):
+        mapper = MapperANN(16, init="qam", rng=rng)
+        demapper = DemapperANN(4, rng=rng)
+        return AESystem(mapper, demapper, AWGNChannel(snr, 4, rng=rng))
+
+    def test_transmit_shape(self, rng):
+        s = self.make_system(rng)
+        y = s.transmit(rng.integers(0, 16, size=32))
+        assert y.shape == (32,)
+        assert np.iscomplexobj(y)
+
+    def test_mismatched_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AESystem(MapperANN(16, rng=rng), DemapperANN(3, rng=rng), AWGNChannel(8, 4))
+
+    def test_train_step_reduces_loss(self, rng):
+        s = self.make_system(rng)
+        from repro.nn import Adam
+
+        params = s.mapper.parameters() + s.demapper.parameters()
+        opt = Adam(params, lr=2e-3)
+        first = None
+        for i in range(300):
+            opt.zero_grad()
+            loss = s.train_step(rng, 256)
+            opt.step()
+            if i == 0:
+                first = loss
+        assert loss < first * 0.5
+
+    def test_evaluate_fields(self, rng):
+        s = self.make_system(rng)
+        res = s.evaluate(rng, 10_000)
+        assert set(res) >= {"ber", "bce", "mutual_information", "bit_errors", "bits"}
+        assert 0 <= res["ber"] <= 1
+        assert res["bits"] == 40_000
+
+    def test_evaluate_validation(self, rng):
+        with pytest.raises(ValueError):
+            self.make_system(rng).evaluate(rng, 0)
+
+
+class TestE2ETrainer:
+    def test_loss_decreases(self, rng):
+        mapper = MapperANN(16, init="qam", rng=rng)
+        demapper = DemapperANN(4, rng=rng)
+        system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+        hist = E2ETrainer(system, TrainingConfig(steps=400, batch_size=256)).run(rng)
+        assert hist.final_loss < hist.initial_loss * 0.5
+
+    def test_trained_ber_near_conventional(self, trained_system_8db):
+        res = trained_system_8db.evaluate(np.random.default_rng(0), 150_000)
+        from repro.utils.stats import gray_qam_ber_approx
+
+        assert res["ber"] < 2.0 * gray_qam_ber_approx(8.0)
+
+    def test_history_records(self, rng):
+        mapper = MapperANN(16, rng=rng)
+        demapper = DemapperANN(4, rng=rng)
+        system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+        hist = E2ETrainer(system, TrainingConfig(steps=50, log_every=10)).run(rng)
+        assert hist.steps[0] == 0
+        assert hist.steps[-1] == 49
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(lr=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(scheduler="warp")
+
+
+class TestReceiverFinetuner:
+    def test_recovers_phase_offset(self, trained_system_8db):
+        # copy so the shared fixture stays pristine
+        system = AESystem(
+            trained_system_8db.mapper,
+            trained_system_8db.demapper.copy(),
+            trained_system_8db.channel,
+        )
+        rng = np.random.default_rng(11)
+        const = system.mapper.constellation()
+        rotated = CompositeChannel(
+            [PhaseOffsetChannel(np.pi / 4), AWGNChannel(8.0, 4, rng=rng)]
+        )
+        # before retraining the rotated channel is catastrophic
+        system.channel = rotated
+        before = system.evaluate(rng, 30_000)["ber"]
+        assert before > 0.2
+        ReceiverFinetuner(
+            system, TrainingConfig(steps=500, batch_size=512), constellation=const
+        ).run(rotated, rng)
+        after = system.evaluate(rng, 60_000)["ber"]
+        assert after < 0.03  # near the 8 dB baseline (~0.01)
+
+    def test_mapper_untouched(self, trained_system_8db, rng):
+        system = AESystem(
+            trained_system_8db.mapper,
+            trained_system_8db.demapper.copy(),
+            AWGNChannel(8.0, 4, rng=rng),
+        )
+        table_before = system.mapper.table.data.copy()
+        ReceiverFinetuner(system, TrainingConfig(steps=30, batch_size=128)).run(
+            system.channel, rng
+        )
+        assert np.array_equal(system.mapper.table.data, table_before)

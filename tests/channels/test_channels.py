@@ -1,0 +1,294 @@
+"""Channel model tests: statistics, Jacobian/backward correctness."""
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    AWGNChannel,
+    CFOChannel,
+    CompositeChannel,
+    IQImbalanceChannel,
+    PhaseOffsetChannel,
+    RappPAChannel,
+    RayleighFadingChannel,
+    RicianFadingChannel,
+    TimeVaryingPhaseChannel,
+    find_awgn,
+    sigma2_from_snr,
+)
+
+
+def numerical_channel_jacobian_transpose(make_channel, z0, grad, eps=1e-6):
+    """Finite-difference check of channel.backward via J^T g.
+
+    ``make_channel`` is a zero-arg factory returning a *fresh* channel (so
+    stateful channels like CFO restart their symbol counter per evaluation).
+    Works for deterministic channels only.  Returns the numerical J^T g for
+    each sample (treating the channel as an elementwise/per-sample map).
+    """
+    n = z0.size
+    out = np.zeros((n, 2))
+    for dim in range(2):
+        dz = np.zeros(n, dtype=complex)
+        dz += (eps if dim == 0 else 1j * eps)
+        yp = make_channel().forward(z0 + dz)
+        ym = make_channel().forward(z0 - dz)
+        dy = (yp - ym) / (2 * eps)  # per-sample derivative (channels are diagonal)
+        # J^T g: [dyr/dx, dyi/dx] . [gr, gi]
+        out[:, dim] = dy.real * grad[:, 0] + dy.imag * grad[:, 1]
+    return out
+
+
+class TestSigmaFromSnr:
+    def test_ebn0_formula(self):
+        # Es=1, k=4: sigma2 = 1/(2*4*10^(snr/10))
+        assert np.isclose(sigma2_from_snr(0.0, 4), 1 / 8)
+        assert np.isclose(sigma2_from_snr(10.0, 4), 1 / 80)
+
+    def test_esn0_formula(self):
+        assert np.isclose(sigma2_from_snr(0.0, 4, snr_type="esn0"), 0.5)
+
+    def test_custom_es(self):
+        assert np.isclose(sigma2_from_snr(0.0, 2, es=2.0), 2 / (2 * 2))
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            sigma2_from_snr(0.0, 4, snr_type="bogus")
+
+
+class TestAWGN:
+    def test_noise_variance(self, rng):
+        ch = AWGNChannel(6.0, 4, rng=rng)
+        z = np.zeros(200_000, dtype=complex)
+        y = ch(z)
+        assert np.isclose(y.real.var(), ch.sigma2, rtol=0.03)
+        assert np.isclose(y.imag.var(), ch.sigma2, rtol=0.03)
+
+    def test_noise_zero_mean(self, rng):
+        ch = AWGNChannel(0.0, 4, rng=rng)
+        y = ch(np.zeros(100_000, dtype=complex))
+        assert abs(y.mean()) < 0.01
+
+    def test_backward_identity(self, rng):
+        ch = AWGNChannel(5.0, 4, rng=rng)
+        ch.forward(np.zeros(10, dtype=complex))
+        g = rng.normal(size=(10, 2))
+        assert np.array_equal(ch.backward(g), g)
+
+    def test_reproducible_with_seed(self):
+        y1 = AWGNChannel(3.0, 4, rng=1)(np.ones(8, dtype=complex))
+        y2 = AWGNChannel(3.0, 4, rng=1)(np.ones(8, dtype=complex))
+        assert np.allclose(y1, y2)
+
+    def test_grad_shape_checked(self, rng):
+        ch = AWGNChannel(5.0, 4, rng=rng)
+        ch.forward(np.zeros(10, dtype=complex))
+        with pytest.raises(ValueError):
+            ch.backward(np.zeros((5, 2)))
+
+
+class TestPhaseOffset:
+    def test_rotation(self):
+        ch = PhaseOffsetChannel(np.pi / 2)
+        assert np.allclose(ch(np.array([1.0 + 0j])), np.array([1j]))
+
+    def test_backward_is_inverse_rotation(self, rng):
+        ch = PhaseOffsetChannel(0.7)
+        z = rng.normal(size=20) + 1j * rng.normal(size=20)
+        ch.forward(z)
+        g = rng.normal(size=(20, 2))
+        num = numerical_channel_jacobian_transpose(lambda: PhaseOffsetChannel(0.7), z, g)
+        assert np.allclose(ch.backward(g), num, atol=1e-6)
+
+    def test_energy_preserved(self, rng):
+        z = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert np.allclose(np.abs(PhaseOffsetChannel(1.1)(z)), np.abs(z))
+
+
+class TestTimeVaryingPhase:
+    def test_schedule_applied_per_symbol(self):
+        ch = TimeVaryingPhaseChannel(lambda t: np.where(t < 2, 0.0, np.pi))
+        y = ch(np.ones(4, dtype=complex))
+        assert np.allclose(y, [1, 1, -1, -1])
+
+    def test_counter_persists_across_calls(self):
+        ch = TimeVaryingPhaseChannel(lambda t: np.where(t < 2, 0.0, np.pi))
+        ch(np.ones(2, dtype=complex))
+        y = ch(np.ones(2, dtype=complex))
+        assert np.allclose(y, [-1, -1])
+        assert ch.symbols_elapsed == 4
+
+    def test_reset(self):
+        ch = TimeVaryingPhaseChannel(lambda t: 0.1 * t)
+        ch(np.ones(5, dtype=complex))
+        ch.reset()
+        assert ch.symbols_elapsed == 0
+
+    def test_backward_before_forward(self):
+        ch = TimeVaryingPhaseChannel(lambda t: 0 * t)
+        with pytest.raises(RuntimeError):
+            ch.backward(np.zeros((1, 2)))
+
+
+class TestCFO:
+    def test_linear_phase_ramp(self):
+        eps = 0.01
+        ch = CFOChannel(eps)
+        y = ch(np.ones(10, dtype=complex))
+        expected = np.exp(1j * 2 * np.pi * eps * np.arange(10))
+        assert np.allclose(y, expected)
+
+    def test_initial_phase(self):
+        ch = CFOChannel(0.0, initial_phase=np.pi)
+        assert np.allclose(ch(np.ones(3, dtype=complex)), -np.ones(3))
+
+    def test_stream_continuity(self):
+        ch = CFOChannel(0.05)
+        y1 = ch(np.ones(4, dtype=complex))
+        y2 = ch(np.ones(4, dtype=complex))
+        both = CFOChannel(0.05)(np.ones(8, dtype=complex))
+        assert np.allclose(np.concatenate([y1, y2]), both)
+
+    def test_backward_matches_numerical(self, rng):
+        z = rng.normal(size=6) + 1j * rng.normal(size=6)
+        g = rng.normal(size=(6, 2))
+        ch = CFOChannel(0.03)
+        ch.forward(z)
+        ana = ch.backward(g)
+        num = numerical_channel_jacobian_transpose(lambda: CFOChannel(0.03), z, g)
+        assert np.allclose(ana, num, atol=1e-6)
+
+
+class TestIQImbalance:
+    def test_perfect_balance_is_identity(self, rng):
+        ch = IQImbalanceChannel(0.0, 0.0)
+        z = rng.normal(size=10) + 1j * rng.normal(size=10)
+        assert np.allclose(ch(z), z)
+
+    def test_widely_linear_model(self):
+        ch = IQImbalanceChannel(1.0, 0.1)
+        z = np.array([0.3 + 0.7j])
+        assert np.allclose(ch(z), ch.mu * z + ch.nu * np.conj(z))
+
+    def test_backward_matches_numerical(self, rng):
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        g = rng.normal(size=(8, 2))
+        ch = IQImbalanceChannel(0.8, 0.15)
+        ch.forward(z)
+        ana = ch.backward(g)
+        num = numerical_channel_jacobian_transpose(lambda: IQImbalanceChannel(0.8, 0.15), z, g)
+        assert np.allclose(ana, num, atol=1e-6)
+
+
+class TestFading:
+    def test_block_constant_gain(self):
+        ch = RayleighFadingChannel(block_size=8, rng=0)
+        y = ch(np.ones(8, dtype=complex))
+        assert np.allclose(y, y[0])
+
+    def test_gain_changes_across_blocks(self):
+        ch = RayleighFadingChannel(block_size=4, rng=0)
+        y = ch(np.ones(8, dtype=complex))
+        assert not np.isclose(y[0], y[4])
+
+    def test_unit_average_power(self):
+        ch = RayleighFadingChannel(block_size=1, rng=3)
+        y = ch(np.ones(200_000, dtype=complex))
+        assert np.isclose(np.mean(np.abs(y) ** 2), 1.0, rtol=0.03)
+
+    def test_coherent_mode_unit_modulus(self):
+        ch = RayleighFadingChannel(block_size=4, coherent=True, rng=0)
+        y = ch(np.ones(16, dtype=complex))
+        assert np.allclose(np.abs(y), 1.0)
+
+    def test_backward_is_conjugate_gain(self, rng):
+        ch = RayleighFadingChannel(block_size=4, rng=0)
+        z = rng.normal(size=8) + 1j * rng.normal(size=8)
+        y = ch.forward(z)
+        gains = y / z
+        g = rng.normal(size=(8, 2))
+        back = ch.backward(g)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(gains)
+        assert np.allclose(back[:, 0] + 1j * back[:, 1], gc)
+
+    def test_rician_high_k_near_los(self):
+        ch = RicianFadingChannel(k_factor=1e6, block_size=1, rng=0)
+        y = ch(np.ones(1000, dtype=complex))
+        assert np.allclose(y, 1.0, atol=0.01)
+
+    def test_rician_unit_power(self):
+        ch = RicianFadingChannel(k_factor=3.0, block_size=1, rng=1)
+        y = ch(np.ones(200_000, dtype=complex))
+        assert np.isclose(np.mean(np.abs(y) ** 2), 1.0, rtol=0.03)
+
+
+class TestRappPA:
+    def test_linear_at_small_amplitude(self):
+        ch = RappPAChannel(a_sat=1.0, p=2.0)
+        z = np.array([0.01 + 0.01j])
+        assert np.allclose(ch(z), z, rtol=1e-3)
+
+    def test_saturates_large_input(self):
+        ch = RappPAChannel(a_sat=1.0, p=2.0)
+        y = ch(np.array([100.0 + 0j]))
+        assert abs(y[0]) < 1.01
+
+    def test_phase_preserved(self, rng):
+        ch = RappPAChannel(a_sat=1.0, p=3.0)
+        z = rng.normal(size=20) + 1j * rng.normal(size=20)
+        y = ch(z)
+        assert np.allclose(np.angle(y), np.angle(z))
+
+    def test_backward_matches_numerical(self, rng):
+        z = rng.normal(size=6) + 1j * rng.normal(size=6)
+        g = rng.normal(size=(6, 2))
+        ch = RappPAChannel(a_sat=1.2, p=2.0)
+        ch.forward(z)
+        ana = ch.backward(g)
+        num = numerical_channel_jacobian_transpose(lambda: RappPAChannel(a_sat=1.2, p=2.0), z, g)
+        assert np.allclose(ana, num, atol=1e-5)
+
+    def test_p1db_point(self):
+        ch = RappPAChannel(a_sat=1.0, p=2.0)
+        r = ch.input_p1db
+        y = ch(np.array([r + 0j]))
+        gain_db = 20 * np.log10(abs(y[0]) / r)
+        assert np.isclose(gain_db, -1.0, atol=1e-6)
+
+
+class TestComposite:
+    def test_order_of_application(self):
+        ch = CompositeChannel([PhaseOffsetChannel(np.pi / 2), PhaseOffsetChannel(np.pi / 2)])
+        assert np.allclose(ch(np.array([1.0 + 0j])), np.array([-1.0 + 0j]))
+
+    def test_backward_reverses(self, rng):
+        stages = [PhaseOffsetChannel(0.3), IQImbalanceChannel(0.5, 0.1)]
+        ch = CompositeChannel(stages)
+        z = rng.normal(size=5) + 1j * rng.normal(size=5)
+        ch.forward(z)
+        g = rng.normal(size=(5, 2))
+        num = numerical_channel_jacobian_transpose(
+            lambda: CompositeChannel([PhaseOffsetChannel(0.3), IQImbalanceChannel(0.5, 0.1)]), z, g
+        )
+        assert np.allclose(ch.backward(g), num, atol=1e-6)
+
+    def test_find_awgn(self, rng):
+        awgn = AWGNChannel(8.0, 4, rng=rng)
+        ch = CompositeChannel([PhaseOffsetChannel(0.1), awgn])
+        assert find_awgn(ch) is awgn
+        assert find_awgn(PhaseOffsetChannel(0.1)) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeChannel([])
+
+    def test_non_channel_rejected(self):
+        with pytest.raises(TypeError):
+            CompositeChannel([lambda z: z])
+
+    def test_reset_propagates(self):
+        cfo = CFOChannel(0.01)
+        ch = CompositeChannel([cfo])
+        ch(np.ones(5, dtype=complex))
+        ch.reset()
+        assert cfo.symbols_elapsed == 0

@@ -1,0 +1,84 @@
+"""Wiener phase-noise channel tests."""
+
+import numpy as np
+import pytest
+
+from repro.channels.phase_noise import WienerPhaseNoiseChannel
+
+
+class TestWienerPhaseNoise:
+    def test_zero_linewidth_preserves_initial_phase(self, rng):
+        ch = WienerPhaseNoiseChannel(0.0, initial_phase=0.3, rng=rng)
+        z = np.ones(50, dtype=complex)
+        assert np.allclose(ch(z), np.exp(1j * 0.3))
+
+    def test_energy_preserved(self, rng):
+        ch = WienerPhaseNoiseChannel(0.05, rng=rng)
+        z = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert np.allclose(np.abs(ch(z)), np.abs(z))
+
+    def test_variance_grows_linearly(self):
+        """Wiener process: Var[φ_t] = t·σ² (use the unwrapped true phase —
+        np.angle would wrap realisations beyond ±π)."""
+        sigma = 0.02
+        n = 2000
+        phases = []
+        for seed in range(200):
+            ch = WienerPhaseNoiseChannel(sigma, rng=seed)
+            ch(np.ones(n, dtype=complex))
+            phases.append(ch.current_phase)
+        measured_var = np.var(phases)
+        assert np.isclose(measured_var, n * sigma**2, rtol=0.3)
+
+    def test_phase_persists_across_calls(self, rng):
+        ch = WienerPhaseNoiseChannel(0.05, rng=1)
+        ch(np.ones(100, dtype=complex))
+        phase_mid = ch.current_phase
+        y = ch(np.ones(1, dtype=complex))
+        # the next symbol continues from the stored phase (one more step)
+        assert abs(np.angle(y[0]) - phase_mid) < 0.5
+
+    def test_reset(self):
+        ch = WienerPhaseNoiseChannel(0.1, initial_phase=0.0, rng=2)
+        ch(np.ones(100, dtype=complex))
+        ch.reset()
+        assert ch.current_phase == 0.0
+
+    def test_backward_rotates_by_conjugate(self, rng):
+        ch = WienerPhaseNoiseChannel(0.05, rng=3)
+        z = rng.normal(size=10) + 1j * rng.normal(size=10)
+        y = ch.forward(z)
+        rot = y / z
+        g = rng.normal(size=(10, 2))
+        back = ch.backward(g)
+        gc = (g[:, 0] + 1j * g[:, 1]) * np.conj(rot)
+        assert np.allclose(back[:, 0] + 1j * back[:, 1], gc)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            WienerPhaseNoiseChannel(0.1).backward(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WienerPhaseNoiseChannel(-0.1)
+
+    def test_degrades_static_receiver_over_time(self):
+        """The motivating behaviour: a fixed demapper slowly rots as the
+        phase random-walks away — the monitor/retrain loop's reason to
+        exist."""
+        from repro.channels import AWGNChannel, CompositeChannel
+        from repro.modulation import MaxLogDemapper, qam_constellation, random_indices
+
+        qam = qam_constellation(16)
+        ml = MaxLogDemapper(qam)
+        ch = CompositeChannel([
+            WienerPhaseNoiseChannel(0.002, rng=4),
+            AWGNChannel(10.0, 4, rng=5),
+        ])
+        rng = np.random.default_rng(6)
+        bers = []
+        for _ in range(10):
+            idx = random_indices(rng, 20_000, 16)
+            y = ch.forward(qam.points[idx])
+            bers.append(np.mean(ml.demap_bits(y, 0.01) != qam.bit_matrix[idx]))
+        assert bers[-1] > bers[0] + 0.02  # materially worse by the end

@@ -1,0 +1,36 @@
+"""Shared fixtures: deterministic RNGs and (expensively) trained systems.
+
+Training-dependent tests share session-scoped fixtures so the suite trains
+each configuration exactly once per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import AESystem, DemapperANN, E2ETrainer, MapperANN, TrainingConfig
+from repro.channels import AWGNChannel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def trained_system_8db() -> AESystem:
+    """AE jointly trained at 8 dB (Eb/N0) — shared, treat as read-only."""
+    rng = np.random.default_rng(99)
+    mapper = MapperANN(16, init="qam", rng=rng)
+    demapper = DemapperANN(4, rng=rng)
+    system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+    E2ETrainer(system, TrainingConfig(steps=1200, batch_size=512, lr=2e-3)).run(rng)
+    return system
+
+
+@pytest.fixture(scope="session")
+def trained_constellation_8db(trained_system_8db: AESystem):
+    """Frozen transmit constellation of the 8 dB system."""
+    return trained_system_8db.mapper.constellation()

@@ -1,0 +1,141 @@
+"""Convolutional code + Viterbi: known vectors, correction power, soft gain."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import ConvolutionalCode
+from repro.utils.stats import q_function
+
+
+@pytest.fixture(scope="module")
+def k3():
+    return ConvolutionalCode((0b111, 0b101), 3)
+
+
+class TestEncoder:
+    def test_textbook_vector(self, k3):
+        """K=3 (7,5) code, input 1011: the classic example output."""
+        coded = k3.encode(np.array([1, 0, 1, 1], dtype=np.int8))
+        assert np.array_equal(coded, [1, 1, 1, 0, 0, 0, 0, 1, 0, 1, 1, 1])
+
+    def test_all_zero_input(self, k3):
+        assert not k3.encode(np.zeros(10, dtype=np.int8)).any()
+
+    def test_length_with_termination(self, k3):
+        assert k3.encode(np.zeros(10, dtype=np.int8)).size == k3.encoded_length(10) == 24
+
+    def test_rate(self, k3):
+        assert k3.rate == 0.5
+
+    def test_linearity_over_gf2(self, k3, rng):
+        a = rng.integers(0, 2, size=40, dtype=np.int8)
+        b = rng.integers(0, 2, size=40, dtype=np.int8)
+        assert np.array_equal(k3.encode(a ^ b), k3.encode(a) ^ k3.encode(b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode((0b111,), 3)  # rate 1 not supported
+        with pytest.raises(ValueError):
+            ConvolutionalCode((0b1111, 0b101), 3)  # generator too wide
+        with pytest.raises(ValueError):
+            ConvolutionalCode((3, 1), 1)
+        k3b = ConvolutionalCode()
+        with pytest.raises(ValueError):
+            k3b.encode(np.array([[1, 0]]))
+        with pytest.raises(ValueError):
+            k3b.encode(np.array([2, 0]))
+
+
+class TestHardViterbi:
+    def test_noiseless_roundtrip(self, k3, rng):
+        data = rng.integers(0, 2, size=100, dtype=np.int8)
+        res = k3.decode_hard(k3.encode(data))
+        assert np.array_equal(res.data, data)
+
+    def test_corrects_scattered_errors(self, k3, rng):
+        data = rng.integers(0, 2, size=300, dtype=np.int8)
+        coded = k3.encode(data)
+        bad = coded.copy()
+        # one flip every ~40 coded bits: well within free-distance margin
+        bad[::41] ^= 1
+        res = k3.decode_hard(bad)
+        assert np.array_equal(res.data, data)
+
+    def test_corrects_any_single_flip(self, k3, rng):
+        data = rng.integers(0, 2, size=30, dtype=np.int8)
+        coded = k3.encode(data)
+        for pos in range(coded.size):
+            bad = coded.copy()
+            bad[pos] ^= 1
+            assert np.array_equal(k3.decode_hard(bad).data, data), f"pos {pos}"
+
+    def test_length_validation(self, k3):
+        with pytest.raises(ValueError):
+            k3.decode_hard(np.zeros(7, dtype=np.int8))
+
+
+class TestSoftViterbi:
+    def test_high_confidence_llrs_roundtrip(self, k3, rng):
+        data = rng.integers(0, 2, size=100, dtype=np.int8)
+        coded = k3.encode(data)
+        llrs = (2.0 * coded - 1.0) * 10.0  # llr>0 <=> bit 1
+        res = k3.decode_soft(llrs)
+        assert np.array_equal(res.data, data)
+
+    def test_path_metric_of_true_path_is_max(self, k3, rng):
+        data = rng.integers(0, 2, size=50, dtype=np.int8)
+        coded = k3.encode(data)
+        llrs = (2.0 * coded - 1.0) * 3.0
+        res = k3.decode_soft(llrs)
+        # true-path metric = sum of positive contributions of matching bits
+        assert np.isclose(res.path_metric, llrs[coded == 1].sum())
+
+    def test_soft_beats_hard_at_low_snr(self, k3):
+        rng = np.random.default_rng(5)
+        n_info = 4000
+        data = rng.integers(0, 2, size=n_info, dtype=np.int8)
+        coded = k3.encode(data)
+        ebn0 = 10 ** (2.0 / 10)
+        sigma = np.sqrt(1 / (2 * k3.rate * ebn0))
+        y = (2.0 * coded - 1.0) + rng.normal(0, sigma, size=coded.shape)
+        ber_hard = np.mean(k3.decode_hard((y > 0).astype(np.int8)).data != data)
+        ber_soft = np.mean(k3.decode_soft(2 * y / sigma**2).data != data)
+        assert ber_soft < ber_hard * 0.6
+
+    def test_coding_gain_over_uncoded(self, k3):
+        rng = np.random.default_rng(6)
+        n_info = 4000
+        data = rng.integers(0, 2, size=n_info, dtype=np.int8)
+        coded = k3.encode(data)
+        ebn0 = 10 ** (4.0 / 10)
+        sigma = np.sqrt(1 / (2 * k3.rate * ebn0))
+        y = (2.0 * coded - 1.0) + rng.normal(0, sigma, size=coded.shape)
+        ber_soft = np.mean(k3.decode_soft(2 * y / sigma**2).data != data)
+        ber_uncoded = float(q_function(np.sqrt(2 * ebn0)))
+        assert ber_soft < ber_uncoded * 0.5
+
+
+class TestLargerConstraintLength:
+    def test_k5_roundtrip_and_correction(self, rng):
+        # industry-standard K=5 (23, 35 octal) code
+        code = ConvolutionalCode((0b10011, 0b11101), 5)
+        data = rng.integers(0, 2, size=200, dtype=np.int8)
+        coded = code.encode(data)
+        bad = coded.copy()
+        bad[::37] ^= 1
+        assert np.array_equal(code.decode_hard(bad).data, data)
+
+    def test_k5_stronger_than_k3(self):
+        rng = np.random.default_rng(7)
+        k3 = ConvolutionalCode((0b111, 0b101), 3)
+        k5 = ConvolutionalCode((0b10011, 0b11101), 5)
+        n_info = 4000
+        data = rng.integers(0, 2, size=n_info, dtype=np.int8)
+        ebn0 = 10 ** (3.0 / 10)
+        sigma = np.sqrt(1 / (2 * 0.5 * ebn0))
+        bers = {}
+        for name, code in (("k3", k3), ("k5", k5)):
+            coded = code.encode(data)
+            y = (2.0 * coded - 1.0) + rng.normal(0, sigma, size=coded.shape)
+            bers[name] = np.mean(code.decode_soft(2 * y / sigma**2).data != data)
+        assert bers["k5"] <= bers["k3"]

@@ -1,0 +1,181 @@
+"""Experiment drivers at reduced scale: structure + paper-shape assertions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper_values
+from repro.experiments.cache import trained_ae_system
+from repro.experiments.fig2_ber import Fig2Config, run as run_fig2
+from repro.experiments.fig3_decision_regions import (
+    Fig3Config,
+    mean_rotation_angle,
+    run as run_fig3,
+)
+from repro.experiments.table1_adaptation import Table1Config, run as run_table1
+from repro.experiments.table2_fpga import Table2Config, run as run_table2
+
+FAST_SEED = 4242
+FAST_STEPS = 900
+
+
+class TestPaperValues:
+    def test_table1_keys(self):
+        assert set(paper_values.TABLE1) == {-2.0, 8.0}
+        for row in paper_values.TABLE1.values():
+            assert set(row) == {"baseline", "ae_before", "centroid_before",
+                                "ae_after", "centroid_after"}
+
+    def test_fig2_reference_matches_analytic(self):
+        assert np.isclose(paper_values.fig2_conventional_reference(8.0), 0.00925, rtol=0.01)
+
+    def test_phase_offset_is_quarter_pi(self):
+        assert np.isclose(paper_values.FIG3_PHASE_OFFSET, np.pi / 4)
+
+
+class TestCache:
+    def test_same_request_returns_same_object(self):
+        a = trained_ae_system(8.0, seed=FAST_SEED, steps=200)
+        b = trained_ae_system(8.0, seed=FAST_SEED, steps=200)
+        assert a is b
+
+    def test_copy_is_independent(self):
+        a = trained_ae_system(8.0, seed=FAST_SEED, steps=200)
+        c = trained_ae_system(8.0, seed=FAST_SEED, steps=200, copy=True)
+        assert a is not c
+        x = np.random.default_rng(0).normal(size=(5, 2))
+        assert np.allclose(a.demapper.logits(x), c.demapper.logits(x))
+        c.demapper.parameters()[0].data += 1.0
+        assert not np.allclose(a.demapper.logits(x), c.demapper.logits(x))
+
+
+class TestFig2Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = Fig2Config(
+            snr_dbs=(2.0, 8.0), train_steps=FAST_STEPS, seed=FAST_SEED,
+            max_symbols=120_000, max_errors=800, extraction_resolution=128,
+        )
+        return run_fig2(cfg)
+
+    def test_all_series_present(self, result):
+        assert set(result.series) == {"conventional", "ae", "centroid_vertex", "centroid_lsq"}
+
+    def test_conventional_matches_analytic(self, result):
+        for i, snr in enumerate(result.snr_dbs):
+            measured = result.series["conventional"][i].ber
+            assert abs(measured - result.analytic[i]) / result.analytic[i] < 0.25
+
+    def test_ae_on_conventional_level(self, result):
+        """Paper: 'performance of the AE ... is on the level of the
+        conventional demapper'."""
+        for i in range(len(result.snr_dbs)):
+            conv = result.series["conventional"][i].ber
+            ae = result.series["ae"][i].ber
+            assert ae < conv * 1.5 + 1e-4
+
+    def test_centroids_track_ae(self, result):
+        for i in range(len(result.snr_dbs)):
+            ae = result.series["ae"][i].ber
+            lsq = result.series["centroid_lsq"][i].ber
+            assert lsq < ae * 1.6 + 1e-3
+
+    def test_monotone_in_snr(self, result):
+        for name in result.series:
+            bers = result.bers(name)
+            assert bers[0] > bers[-1]
+
+    def test_table_and_plot_render(self, result):
+        assert "Fig. 2" in result.to_table()
+        assert "legend" in result.to_plot()
+
+
+class TestFig3Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = Fig3Config(
+            snr_dbs=(8.0,), train_steps=FAST_STEPS, retrain_steps=700,
+            seed=FAST_SEED, resolution=96,
+        )
+        return run_fig3(cfg)
+
+    def test_rotation_detected(self, result):
+        """Paper: 'the DRs are rotated by pi/4 after retraining'."""
+        rot = result.rotations[8.0]
+        assert abs(rot - np.pi / 4) < 0.12
+
+    def test_snapshots_complete(self, result):
+        before, after = result.snapshots[8.0]
+        assert before.centroids.n_missing == 0
+        assert before.grid.labels.shape == (96, 96)
+        assert "*" in after.to_plot("t")
+
+    def test_mean_rotation_angle_exact_on_synthetic(self):
+        pts = np.exp(1j * np.linspace(0, 2 * np.pi, 8, endpoint=False))
+        assert np.isclose(mean_rotation_angle(pts, pts * np.exp(1j * 0.5)), 0.5)
+
+    def test_mean_rotation_validation(self):
+        with pytest.raises(ValueError):
+            mean_rotation_angle(np.ones(3, complex), np.ones(4, complex))
+
+
+class TestTable1Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = Table1Config(
+            snr_dbs=(8.0,), train_steps=FAST_STEPS, retrain_steps=700,
+            seed=FAST_SEED, n_symbols=120_000, max_errors=1500,
+            extraction_resolution=128,
+        )
+        return run_table1(cfg)
+
+    def test_before_retraining_catastrophic(self, result):
+        m = result.measured[8.0]
+        assert m["ae_before"] > 0.25
+        assert m["centroid_before"] > 0.25
+
+    def test_after_retraining_near_baseline(self, result):
+        """Paper: 'the BERs after retraining nearly approach the baseline'."""
+        m = result.measured[8.0]
+        assert m["ae_after"] < 3 * m["baseline"]
+        assert m["centroid_after"] < 3 * m["baseline"]
+
+    def test_no_centroid_drawback(self, result):
+        """Paper: 'no drawback of using the extracted centroids'."""
+        m = result.measured[8.0]
+        assert m["centroid_after"] < m["ae_after"] * 1.6 + 1e-3
+
+    def test_table_renders_with_paper_rows(self, result):
+        out = result.to_table()
+        assert "paper" in out and "measured" in out
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(Table2Config())
+
+    def test_all_reports(self, result):
+        assert set(result.reports) == {"soft_demapper", "ae_inference", "ae_training"}
+
+    def test_simulation_cross_check(self, result):
+        """Cycle-accurate simulation must agree with the closed-form model."""
+        assert result.simulated_ii["soft_demapper"] == 2.0
+        assert result.simulated_ii["ae_inference"] == 12.0
+        assert result.simulated_latency_cycles["soft_demapper"] == 8
+
+    def test_ratios(self, result):
+        assert result.ratio("dsp") == 352
+        assert 8 < result.ratio("lut") < 13
+        assert 30 < result.ratio("energy") < 70
+
+    def test_replication_plan(self, result):
+        assert result.replication.reaches_gbps
+
+    def test_table_renders(self, result):
+        out = result.to_table()
+        assert "headline ratios" in out
+        assert "Gbit/s" in out
+
+    def test_unknown_ratio_metric(self, result):
+        with pytest.raises(ValueError):
+            result.ratio("gates")

@@ -1,0 +1,88 @@
+"""Decision-region sampling tests (against exact label functions)."""
+
+import numpy as np
+import pytest
+
+from repro.extraction import sample_decision_regions
+
+
+def nearest_label_fn(generators: np.ndarray):
+    def f(pts: np.ndarray) -> np.ndarray:
+        d = ((pts[:, None, :] - generators[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d, axis=1)
+
+    return f
+
+
+class TestSampling:
+    def test_grid_geometry(self):
+        grid = sample_decision_regions(None, extent=1.5, resolution=64,
+                                       label_fn=lambda p: np.zeros(len(p), dtype=int))
+        assert grid.resolution == 64
+        assert grid.labels.shape == (64, 64)
+        assert np.isclose(grid.xs[0], -1.5) and np.isclose(grid.xs[-1], 1.5)
+        assert np.isclose(grid.cell_size, 3.0 / 63)
+
+    def test_labels_match_function(self, rng):
+        gen = rng.uniform(-1, 1, size=(4, 2))
+        fn = nearest_label_fn(gen)
+        grid = sample_decision_regions(None, extent=1.5, resolution=48, label_fn=fn)
+        pts = grid.points()
+        assert np.array_equal(grid.labels.ravel(), fn(pts))
+
+    def test_label_orientation(self):
+        # region label = 1 iff y > 0: row index grows with y
+        fn = lambda p: (p[:, 1] > 0).astype(int)
+        grid = sample_decision_regions(None, extent=1.0, resolution=16, label_fn=fn)
+        assert grid.labels[0, 0] == 0     # bottom row: y = -1
+        assert grid.labels[-1, 0] == 1    # top row: y = +1
+
+    def test_batched_equals_unbatched(self, rng):
+        gen = rng.uniform(-1, 1, size=(6, 2))
+        fn = nearest_label_fn(gen)
+        g1 = sample_decision_regions(None, extent=1.2, resolution=50, batch_rows=7, label_fn=fn)
+        g2 = sample_decision_regions(None, extent=1.2, resolution=50, batch_rows=50, label_fn=fn)
+        assert np.array_equal(g1.labels, g2.labels)
+
+    def test_probability_fn_path(self, rng):
+        # a 1-bit demapper: P(b=1) = sigmoid(x): threshold at x=0
+        def probs(pts):
+            return 1 / (1 + np.exp(-pts[:, :1]))
+
+        grid = sample_decision_regions(probs, extent=1.0, resolution=32)
+        assert grid.labels[:, 0].max() == 0   # left half -> bit 0
+        assert grid.labels[:, -1].min() == 1  # right half -> bit 1
+
+    def test_present_labels(self, rng):
+        fn = lambda p: np.full(len(p), 7, dtype=int)
+        grid = sample_decision_regions(None, extent=1.0, resolution=16, label_fn=fn)
+        assert np.array_equal(grid.present_labels, [7])
+
+    def test_region_fractions_sum_to_one(self, rng):
+        gen = rng.uniform(-1, 1, size=(5, 2))
+        grid = sample_decision_regions(None, extent=1.5, resolution=40,
+                                       label_fn=nearest_label_fn(gen))
+        frac = grid.region_fractions(5)
+        assert np.isclose(frac.sum(), 1.0)
+
+    def test_label_at_lookup(self, rng):
+        gen = rng.uniform(-1, 1, size=(4, 2))
+        fn = nearest_label_fn(gen)
+        grid = sample_decision_regions(None, extent=1.5, resolution=128, label_fn=fn)
+        pts = rng.uniform(-1.4, 1.4, size=(50, 2))
+        # away from boundaries the nearest-sample lookup matches the function
+        exact = fn(pts)
+        looked = grid.label_at(pts)
+        assert np.mean(looked == exact) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_decision_regions(None, extent=0.0, resolution=32,
+                                    label_fn=lambda p: np.zeros(len(p), dtype=int))
+        with pytest.raises(ValueError):
+            sample_decision_regions(None, extent=1.0, resolution=2,
+                                    label_fn=lambda p: np.zeros(len(p), dtype=int))
+
+    def test_bad_probability_shape_rejected(self):
+        with pytest.raises(ValueError):
+            sample_decision_regions(lambda p: np.zeros(3), extent=1.0, resolution=16)

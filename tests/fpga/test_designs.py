@@ -1,0 +1,168 @@
+"""The three Table-2 designs: device fit, power calibration, paper shape."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import (
+    PowerModel,
+    ZU3EG,
+    build_ae_inference_accelerator,
+    build_ae_training_accelerator,
+    build_soft_demapper_core,
+    replicate_for_throughput,
+)
+from repro.fpga.power import CALIBRATED_ZU3EG_150MHZ
+from repro.fpga.report import PAPER_TABLE2, format_table2, table2_rows
+from repro.fpga.resources import ResourceVector
+
+
+class TestDevice:
+    def test_zu3eg_capacities(self):
+        assert ZU3EG.lut == 70560
+        assert ZU3EG.dsp == 360
+
+    def test_utilization(self):
+        u = ZU3EG.utilization(ResourceVector(lut=7056, dsp=36))
+        assert np.isclose(u["lut"], 0.1)
+        assert np.isclose(u["dsp"], 0.1)
+
+    def test_fits_with_margin(self):
+        r = ResourceVector(lut=65000)
+        assert ZU3EG.fits(r)
+        assert not ZU3EG.fits(r, margin=0.2)
+
+    def test_max_instances(self):
+        r = ResourceVector(lut=10000, dsp=10)
+        assert ZU3EG.max_instances(r) == 7  # LUT-bound: 70560/10000
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            ZU3EG.fits(ResourceVector(), margin=1.0)
+
+
+class TestPowerCalibration:
+    def test_reproduces_paper_power_on_paper_resources(self):
+        """The calibrated model must return the paper's three power numbers
+        when fed the paper's own resource counts (exact fit by construction)."""
+        pm = CALIBRATED_ZU3EG_150MHZ
+        rows = [
+            (ResourceVector(lut=1107, ff=1042, dsp=1, bram_36=0.0), 5.5e-2),
+            (ResourceVector(lut=11343, ff=10895, dsp=352, bram_36=18.5), 4.53e-1),
+            (ResourceVector(lut=19793, ff=19013, dsp=343, bram_36=89.0), 5.47e-1),
+        ]
+        for res, power in rows:
+            assert np.isclose(pm.power(res), power, rtol=1e-6)
+
+    def test_coefficients_physically_plausible(self):
+        pm = CALIBRATED_ZU3EG_150MHZ
+        assert 0.01 < pm.static_w < 0.1        # tens of mW static
+        assert 1e-6 < pm.lut_ff_w < 1e-5       # a few uW per LUT/FF
+        assert 1e-4 < pm.dsp_w < 3e-3          # ~1 mW per DSP
+
+    def test_dynamic_power_scales_with_clock(self):
+        pm = CALIBRATED_ZU3EG_150MHZ
+        res = ResourceVector(lut=1000, ff=1000, dsp=10)
+        p150 = pm.power(res)
+        p300 = pm.power(res, clock_hz=300e6)
+        dynamic = p150 - pm.static_w
+        assert np.isclose(p300, pm.static_w + 2 * dynamic)
+
+    def test_energy_per_item(self):
+        pm = PowerModel(static_w=0.1, lut_ff_w=0, dsp_w=0, bram_w=0)
+        assert np.isclose(pm.energy_per_item(ResourceVector(), 1e6), 1e-7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(static_w=-1, lut_ff_w=0, dsp_w=0, bram_w=0)
+        pm = CALIBRATED_ZU3EG_150MHZ
+        with pytest.raises(ValueError):
+            pm.power(ResourceVector(), clock_hz=0)
+        with pytest.raises(ValueError):
+            pm.energy_per_item(ResourceVector(), 0)
+
+
+class TestSoftDemapperCore:
+    def test_matches_paper_row(self):
+        _, rep = build_soft_demapper_core()
+        paper = PAPER_TABLE2["soft_demapper"]
+        assert np.isclose(rep.latency_s, paper.latency_s, rtol=0.01)
+        assert np.isclose(rep.throughput_per_s, paper.throughput_per_s, rtol=0.01)
+        assert round(rep.resources.dsp) == paper.dsp == 1
+        assert abs(rep.resources.lut - paper.lut) / paper.lut < 0.15
+        assert abs(rep.resources.ff - paper.ff) / paper.ff < 0.15
+        assert np.isclose(rep.power_w, paper.power_w, rtol=0.1)
+
+    def test_fits_device_comfortably(self):
+        _, rep = build_soft_demapper_core()
+        assert ZU3EG.fits(rep.resources, margin=0.9)  # uses < 10% of everything
+
+    def test_dop_trades_ii_for_area(self):
+        _, slow = build_soft_demapper_core(distance_units=2)
+        _, fast = build_soft_demapper_core(distance_units=16)
+        assert fast.throughput_per_s > slow.throughput_per_s
+        assert fast.resources.lut > slow.resources.lut
+
+    def test_replication_reaches_gbps(self):
+        _, rep = build_soft_demapper_core()
+        plan = replicate_for_throughput(rep, bits_per_symbol=4)
+        assert plan.instances > 10
+        assert plan.reaches_gbps
+        assert plan.aggregate_bits_per_s > 1e9
+        assert max(plan.utilization.values()) <= 0.9
+
+    def test_ae_inference_cannot_replicate(self):
+        _, rep = build_ae_inference_accelerator()
+        plan = replicate_for_throughput(rep, bits_per_symbol=4, margin=0.0)
+        assert plan.instances == 1  # DSP-bound: no second instance fits
+        assert not plan.reaches_gbps
+
+
+class TestAEDesigns:
+    def test_inference_matches_paper_shape(self):
+        _, rep = build_ae_inference_accelerator()
+        paper = PAPER_TABLE2["ae_inference"]
+        assert round(rep.resources.dsp) == paper.dsp == 352
+        assert abs(rep.resources.lut - paper.lut) / paper.lut < 0.1
+        assert abs(rep.resources.ff - paper.ff) / paper.ff < 0.1
+        assert np.isclose(rep.throughput_per_s, paper.throughput_per_s, rtol=0.05)
+        assert rep.latency_s < 2 * paper.latency_s
+
+    def test_training_matches_paper_shape(self):
+        _, rep = build_ae_training_accelerator()
+        paper = PAPER_TABLE2["ae_training"]
+        assert abs(rep.resources.dsp - paper.dsp) / paper.dsp < 0.05
+        assert abs(rep.resources.lut - paper.lut) / paper.lut < 0.1
+        assert abs(rep.resources.ff - paper.ff) / paper.ff < 0.1
+        assert abs(rep.resources.bram_36 - paper.bram) / paper.bram < 0.15
+        assert 0.5 * paper.throughput_per_s < rep.throughput_per_s < 2 * paper.throughput_per_s
+
+    def test_all_designs_fit_device(self):
+        for key, rep in table2_rows().items():
+            assert ZU3EG.fits(rep.resources), f"{key} exceeds ZU3EG"
+
+    def test_training_heavier_than_inference(self):
+        rows = table2_rows()
+        inf, tr = rows["ae_inference"], rows["ae_training"]
+        assert tr.resources.lut > inf.resources.lut
+        assert tr.resources.bram_36 > inf.resources.bram_36
+        assert tr.throughput_per_s < inf.throughput_per_s
+
+    def test_headline_ratios(self):
+        """The paper's conclusions: ~10x LUT, 352x DSP, ~10x power, ~50x energy."""
+        rows = table2_rows()
+        soft, ae = rows["soft_demapper"], rows["ae_inference"]
+        assert 8 < ae.resources.lut / soft.resources.lut < 13
+        assert ae.resources.dsp / soft.resources.dsp == 352
+        assert 5 < ae.power_w / soft.power_w < 12
+        assert 30 < ae.energy_per_symbol_j / soft.energy_per_symbol_j < 70
+
+    def test_folding_validation(self):
+        with pytest.raises(ValueError):
+            build_ae_inference_accelerator(folding=[(1, 1)])
+        with pytest.raises(ValueError):
+            build_ae_training_accelerator(update_units=0)
+
+    def test_format_table2_renders(self):
+        out = format_table2()
+        assert "Soft-demapper" in out
+        assert "paper" in out and "model" in out

@@ -1,0 +1,60 @@
+"""Fixed-point format tests: rounding, saturation, ranges."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import FixedPointFormat
+
+
+class TestFormat:
+    def test_derived_quantities(self):
+        f = FixedPointFormat(8, 6)
+        assert f.int_bits == 2
+        assert f.scale == 2**-6
+        assert f.min_int == -128 and f.max_int == 127
+        assert np.isclose(f.max_value, 127 / 64)
+        assert np.isclose(f.min_value, -2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, -1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(33, 2)
+
+    def test_quantize_on_grid_is_identity(self):
+        f = FixedPointFormat(8, 4)
+        vals = np.array([0.0, 0.25, -1.5, 3.0])
+        assert np.allclose(f.quantize(vals), vals)
+
+    def test_quantization_error_within_half_lsb(self, rng):
+        f = FixedPointFormat(10, 6)
+        x = rng.uniform(f.min_value + 0.1, f.max_value - 0.1, size=1000)
+        err = np.abs(f.quantize(x) - x)
+        assert err.max() <= f.quantization_error_bound() + 1e-12
+
+    def test_saturation(self):
+        f = FixedPointFormat(8, 6)
+        assert f.quantize(100.0) == f.max_value
+        assert f.quantize(-100.0) == f.min_value
+
+    def test_round_half_even(self):
+        f = FixedPointFormat(8, 0)  # integer grid
+        # 0.5 rounds to 0 (even), 1.5 rounds to 2 (even)
+        assert f.quantize(0.5) == 0.0
+        assert f.quantize(1.5) == 2.0
+
+    def test_to_from_int_roundtrip(self, rng):
+        f = FixedPointFormat(12, 8)
+        codes = rng.integers(f.min_int, f.max_int + 1, size=100)
+        assert np.array_equal(f.to_int(f.from_int(codes)), codes)
+
+    def test_saturate_int(self):
+        f = FixedPointFormat(4, 0)  # range [-8, 7]
+        assert np.array_equal(f.saturate_int(np.array([-100, 0, 100])), [-8, 0, 7])
+
+    def test_str(self):
+        assert str(FixedPointFormat(8, 6)) == "Q2.6"

@@ -1,0 +1,177 @@
+"""Dataflow pipeline model: closed form vs cycle-accurate simulation; stage builders."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.hls import DataflowPipeline, PipelineStage
+from repro.fpga.layers import (
+    FLOAT32,
+    INT8,
+    INT16,
+    dense_stage,
+    distance_stage,
+    llr_stage,
+    min_tree_stage,
+    sigmoid_stage,
+)
+from repro.fpga.resources import ResourceVector
+
+
+def make_pipe(iis, depths, clock=100e6):
+    stages = [
+        PipelineStage(f"s{i}", ii=ii, depth=d, resources=ResourceVector(lut=10))
+        for i, (ii, d) in enumerate(zip(iis, depths))
+    ]
+    return DataflowPipeline("test", stages, clock_hz=clock)
+
+
+class TestClosedForm:
+    def test_ii_is_max(self):
+        assert make_pipe([1, 4, 2], [1, 1, 1]).ii == 4
+
+    def test_depth_is_sum(self):
+        assert make_pipe([1, 1, 1], [3, 5, 2]).depth == 10
+
+    def test_latency_and_throughput(self):
+        p = make_pipe([2, 1], [4, 4], clock=100e6)
+        assert np.isclose(p.latency_s, 8 / 100e6)
+        assert np.isclose(p.throughput_per_s, 50e6)
+
+    def test_resources_aggregate(self):
+        p = make_pipe([1, 1], [1, 1])
+        assert p.resources.lut == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataflowPipeline("x", [])
+        with pytest.raises(ValueError):
+            PipelineStage("s", ii=0, depth=1)
+        with pytest.raises(ValueError):
+            PipelineStage("s", ii=1, depth=0)
+
+
+class TestSimulationCrossValidation:
+    @pytest.mark.parametrize(
+        "iis,depths",
+        [
+            ([1], [5]),
+            ([2, 1, 3], [4, 2, 6]),
+            ([1, 1, 1, 1], [1, 1, 1, 1]),
+            ([7, 2], [3, 9]),
+            ([2, 8, 4], [5, 5, 5]),
+        ],
+    )
+    def test_simulated_matches_closed_form(self, iis, depths):
+        p = make_pipe(iis, depths)
+        sim = p.simulate(64)
+        assert sim.first_latency == p.depth
+        assert np.isclose(sim.steady_state_ii, p.ii)
+
+    def test_exit_cycles_monotone(self):
+        p = make_pipe([3, 2], [4, 4])
+        sim = p.simulate(32)
+        assert np.all(np.diff(sim.exit_cycles) > 0)
+
+    def test_single_item(self):
+        p = make_pipe([4, 4], [3, 3])
+        sim = p.simulate(1)
+        assert sim.first_latency == 6
+        with pytest.raises(ValueError):
+            sim.steady_state_ii  # needs >= 2 items
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_pipe([1], [1]).simulate(0)
+
+
+class TestDenseStage:
+    def test_full_parallel_ii_one(self):
+        s = dense_stage("d", 16, 16, pe=16, simd=16)
+        assert s.ii == 1
+
+    def test_folding_arithmetic(self):
+        s = dense_stage("d", 16, 16, pe=2, simd=4)
+        assert s.ii == (16 // 4) * (16 // 2)  # 32
+
+    def test_dsp_scales_with_units(self):
+        a = dense_stage("d", 16, 16, pe=1, simd=4, precision=FLOAT32)
+        b = dense_stage("d", 16, 16, pe=2, simd=4, precision=FLOAT32)
+        assert b.resources.dsp == 2 * a.resources.dsp - 0  # pe*simd*5
+
+    def test_int8_uses_no_dsp(self):
+        s = dense_stage("d", 16, 16, pe=4, simd=4, precision=INT8)
+        assert s.resources.dsp == 0
+
+    def test_int16_one_dsp_per_mac(self):
+        s = dense_stage("d", 16, 16, pe=2, simd=2, precision=INT16)
+        assert s.resources.dsp == 4
+
+    def test_large_layer_uses_bram(self):
+        s = dense_stage("d", 64, 64, pe=1, simd=1, precision=FLOAT32)
+        assert s.resources.bram_36 > FLOAT32.fifo_bram  # weights in BRAM
+
+    def test_small_layer_uses_lutram(self):
+        s = dense_stage("d", 4, 4, pe=1, simd=1, precision=INT8)
+        assert s.resources.bram_36 == INT8.fifo_bram
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dense_stage("d", 16, 16, pe=0, simd=1)
+        with pytest.raises(ValueError):
+            dense_stage("d", 16, 16, pe=1, simd=32)
+
+
+class TestSoftDemapperStages:
+    def test_distance_stage_folding(self):
+        assert distance_stage("dist", 16, units=8).ii == 2
+        assert distance_stage("dist", 16, units=16).ii == 1
+        assert distance_stage("dist", 16, units=3).ii == 6
+
+    def test_distance_stage_no_dsp(self):
+        assert distance_stage("dist", 16, units=8).resources.dsp == 0
+
+    def test_min_tree_depth_log(self):
+        assert min_tree_stage("min", 16, 4).depth == 4
+        assert min_tree_stage("min", 64, 6).depth == 6
+
+    def test_llr_stage_single_dsp(self):
+        assert llr_stage("llr", 4).resources.dsp == 1
+
+    def test_sigmoid_stage_float_uses_dsp(self):
+        s = sigmoid_stage("sig", 4, precision=FLOAT32)
+        assert s.resources.dsp == 4 * FLOAT32.sigmoid_dsp
+
+    def test_sigmoid_stage_fixed_no_dsp(self):
+        assert sigmoid_stage("sig", 4, precision=INT8).resources.dsp == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distance_stage("d", 1, units=1)
+        with pytest.raises(ValueError):
+            distance_stage("d", 16, units=17)
+        with pytest.raises(ValueError):
+            min_tree_stage("m", 1, 0)
+        with pytest.raises(ValueError):
+            llr_stage("l", 0)
+
+
+class TestResourceVector:
+    def test_add_and_scale(self):
+        a = ResourceVector(lut=10, ff=20, dsp=1, bram_36=0.5)
+        b = a + a.scale(2)
+        assert b.lut == 30 and b.ff == 60 and b.dsp == 3 and b.bram_36 == 1.5
+
+    def test_total(self):
+        vs = [ResourceVector(lut=1), ResourceVector(ff=2)]
+        t = ResourceVector.total(vs)
+        assert t.lut == 1 and t.ff == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(lut=-1)
+        with pytest.raises(ValueError):
+            ResourceVector(lut=1).scale(-1)
+
+    def test_as_dict(self):
+        d = ResourceVector(lut=1, ff=2, dsp=3, bram_36=4).as_dict()
+        assert d == {"lut": 1, "ff": 2, "dsp": 3, "bram_36": 4}

@@ -1,0 +1,48 @@
+"""HLS-style report rendering (golden checks on the Table-2 designs)."""
+
+import pytest
+
+from repro.fpga import build_ae_inference_accelerator, build_soft_demapper_core
+from repro.fpga.hls_report import stage_report, utilization_report
+
+
+class TestStageReport:
+    def test_soft_demapper_stages_listed(self):
+        pipe, _ = build_soft_demapper_core()
+        out = stage_report(pipe)
+        for name in ("distances", "min-trees", "llr-scale", "TOTAL"):
+            assert name in out
+
+    def test_totals_match_pipeline(self):
+        pipe, _ = build_soft_demapper_core()
+        out = stage_report(pipe)
+        assert f"latency {pipe.latency_s * 1e9:.1f} ns" in out
+        # total row carries the pipeline II
+        total_line = [l for l in out.splitlines() if l.startswith("TOTAL")][0]
+        assert f" {pipe.ii} " in total_line
+
+    def test_ae_inference_report(self):
+        pipe, _ = build_ae_inference_accelerator()
+        out = stage_report(pipe)
+        assert "dense0" in out and "sigmoid" in out
+
+
+class TestUtilizationReport:
+    def test_soft_demapper_fits(self):
+        pipe, _ = build_soft_demapper_core()
+        out = utilization_report(pipe)
+        assert "fits" in out
+        assert "DOES NOT FIT" not in out
+
+    def test_overfull_design_flagged(self):
+        # 64 fully-parallel hidden layers would blow the DSP budget
+        pipe, _ = build_ae_inference_accelerator(
+            folding=[(16, 2), (16, 16), (16, 16), (4, 16)]
+        )
+        out = utilization_report(pipe)
+        assert "DOES NOT FIT" in out
+
+    def test_percentages_rendered(self):
+        pipe, _ = build_soft_demapper_core()
+        out = utilization_report(pipe)
+        assert "%" in out

@@ -1,0 +1,116 @@
+"""Quantized integer datapath vs the float demapper."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import FixedPointFormat, QuantizedDemapper
+from repro.fpga.quantized_mlp import build_sigmoid_lut
+
+
+class TestSigmoidLut:
+    def test_monotone(self):
+        table, _ = build_sigmoid_lut()
+        assert np.all(np.diff(table) > 0)
+
+    def test_accuracy(self):
+        table, step = build_sigmoid_lut(entries=256, input_range=8.0)
+        xs = -8.0 + step * np.arange(256)
+        assert np.abs(table - 1 / (1 + np.exp(-xs))).max() < 1e-12  # exact at knots
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_sigmoid_lut(entries=4)
+        with pytest.raises(ValueError):
+            build_sigmoid_lut(input_range=0)
+
+
+class TestQuantizedDemapper:
+    @pytest.fixture(scope="class")
+    def quantized(self, trained_system_8db):
+        return QuantizedDemapper(trained_system_8db.demapper)
+
+    def test_hard_bits_mostly_match_float(self, quantized, trained_system_8db, rng):
+        x = rng.normal(scale=0.8, size=(20_000, 2))
+        q = quantized.hard_bits(x)
+        f = trained_system_8db.demapper.hard_bits(x)
+        assert np.mean(q == f) > 0.99
+
+    def test_logits_close_to_float(self, quantized, trained_system_8db, rng):
+        x = rng.normal(scale=0.5, size=(1000, 2))
+        lq = quantized.logits(x)
+        lf = trained_system_8db.demapper.logits(x)
+        # 8-bit weights: logits agree to within a fraction of their scale
+        assert np.median(np.abs(lq - lf)) < 0.5
+
+    def test_probabilities_in_unit_interval(self, quantized, rng):
+        p = quantized.probabilities(rng.normal(size=(100, 2)))
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_integer_forward_is_integral(self, quantized, rng):
+        acc = quantized.integer_forward(rng.normal(size=(10, 2)))
+        assert acc.dtype == np.int64
+
+    def test_deterministic(self, quantized, rng):
+        x = rng.normal(size=(50, 2))
+        assert np.array_equal(quantized.hard_bits(x), quantized.hard_bits(x.copy()))
+
+    def test_symbol_labels_pack(self, quantized, rng):
+        x = rng.normal(size=(20, 2))
+        bits = quantized.hard_bits(x)
+        assert np.array_equal(
+            quantized.symbol_labels(x), bits @ np.array([8, 4, 2, 1])
+        )
+
+    def test_weight_memory_accounting(self, quantized):
+        # 660 params: 608 weights * 8 bits + 52 biases * (8+12+8) bits
+        assert quantized.weight_memory_bits == 608 * 8 + 52 * 28
+
+    def test_wider_formats_reduce_error(self, trained_system_8db, rng):
+        x = rng.normal(scale=0.6, size=(2000, 2))
+        lf = trained_system_8db.demapper.logits(x)
+        err = {}
+        for bits in (6, 8, 12):
+            q = QuantizedDemapper(
+                trained_system_8db.demapper,
+                weight_format=FixedPointFormat(bits, bits - 2),
+                activation_format=FixedPointFormat(bits + 2, bits - 2),
+            )
+            err[bits] = np.median(np.abs(q.logits(x) - lf))
+        assert err[12] < err[8] < err[6]
+
+    def test_quantized_ber_close_to_float(self, trained_system_8db,
+                                          trained_constellation_8db):
+        from repro.channels import AWGNChannel
+        from repro.modulation import Mapper, random_indices
+        from repro.utils.complexmath import complex_to_real2
+
+        rng = np.random.default_rng(31)
+        q = QuantizedDemapper(trained_system_8db.demapper)
+        const = trained_constellation_8db
+        idx = random_indices(rng, 100_000, 16)
+        ch = AWGNChannel(8.0, 4, rng=rng)
+        y2 = complex_to_real2(ch(Mapper(const)(idx)))
+        truth = const.bit_matrix[idx]
+        ber_q = np.mean(q.hard_bits(y2) != truth)
+        ber_f = np.mean(trained_system_8db.demapper.hard_bits(y2) != truth)
+        assert ber_q < ber_f * 1.2 + 1e-4  # 8-bit quantisation costs ~nothing
+
+    def test_extraction_from_quantized_model(self, trained_system_8db,
+                                             trained_constellation_8db):
+        """The on-device extraction path: sample the INTEGER datapath."""
+        from repro.extraction import extract_centroids, sample_decision_regions
+
+        q = QuantizedDemapper(trained_system_8db.demapper)
+        grid = sample_decision_regions(q.bit_probability_fn(), extent=1.5, resolution=128)
+        cents = extract_centroids(grid, 16, method="mass")
+        filled = cents.fill_missing(trained_constellation_8db.points)
+        disp = np.abs(filled.points - trained_constellation_8db.points)
+        assert np.median(disp) < 0.2
+
+    def test_requires_dense_layers(self):
+        from repro.autoencoder import DemapperANN
+
+        d = DemapperANN(4)
+        d.net.layers = [d.net.layers[1]]  # only a ReLU left
+        with pytest.raises(ValueError):
+            QuantizedDemapper(d)

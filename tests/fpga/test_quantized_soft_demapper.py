@@ -1,0 +1,132 @@
+"""Integer soft-demapper datapath vs the float max-log reference."""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel
+from repro.fpga import FixedPointFormat
+from repro.fpga.quantized_soft_demapper import QuantizedSoftDemapper
+from repro.modulation import Mapper, MaxLogDemapper, qam_constellation, random_indices
+
+SNR_DB = 8.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    qam = qam_constellation(16)
+    sigma2 = AWGNChannel(SNR_DB, 4).sigma2
+    rng = np.random.default_rng(40)
+    idx = random_indices(rng, 120_000, 16)
+    y = AWGNChannel(SNR_DB, 4, rng=rng)(Mapper(qam)(idx))
+    return qam, sigma2, idx, y
+
+
+class TestIntegerPipeline:
+    def test_integer_llrs_are_int64(self, setup):
+        qam, sigma2, _, y = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        codes = q.integer_llrs(y[:100])
+        assert codes.dtype == np.int64
+        assert codes.max() <= q.llr_format.max_int
+        assert codes.min() >= q.llr_format.min_int
+
+    def test_hard_bits_match_float_maxlog(self, setup):
+        qam, sigma2, _, y = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        ml = MaxLogDemapper(qam)
+        agree = np.mean(q.demap_bits(y) == ml.demap_bits(y, sigma2))
+        assert agree > 0.999
+
+    def test_ber_parity_with_float(self, setup):
+        qam, sigma2, idx, y = setup
+        truth = qam.bit_matrix[idx]
+        q = QuantizedSoftDemapper(qam, sigma2)
+        ml = MaxLogDemapper(qam)
+        ber_q = np.mean(q.demap_bits(y) != truth)
+        ber_f = np.mean(ml.demap_bits(y, sigma2) != truth)
+        assert ber_q < ber_f * 1.05 + 1e-5
+
+    def test_llr_values_track_float(self, setup):
+        qam, sigma2, _, y = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        ml = MaxLogDemapper(qam)
+        lq = q.llrs(y[:5000])
+        lf = ml.llrs(y[:5000], sigma2)
+        sat = q.llr_format.max_value
+        inside = np.abs(lf) < 0.8 * sat  # compare away from saturation
+        err = np.abs(lq[inside] - lf[inside])
+        assert np.median(err) < 0.3  # within the Q6.2 grid + input quantisation
+
+    def test_llr_saturation(self, setup):
+        qam, sigma2, _, _ = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        # a point far outside the constellation saturates the LLR output
+        # (two's complement: the negative rail is one LSB beyond the positive)
+        llrs = q.llrs(np.array([10.0 + 10.0j]))
+        assert np.all(llrs <= q.llr_format.max_value + 1e-12)
+        assert np.all(llrs >= q.llr_format.min_value - 1e-12)
+        assert np.any(np.abs(llrs) >= q.llr_format.max_value)  # it does saturate
+
+    def test_deterministic(self, setup):
+        qam, sigma2, _, y = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        assert np.array_equal(q.integer_llrs(y[:100]), q.integer_llrs(y[:100].copy()))
+
+    def test_memory_accounting(self, setup):
+        qam, sigma2, _, _ = setup
+        q = QuantizedSoftDemapper(qam, sigma2)
+        assert q.centroid_memory_bits == 2 * 16 * 12
+
+    def test_works_on_extracted_centroids(self, trained_system_8db,
+                                          trained_constellation_8db):
+        from repro.extraction import HybridDemapper
+
+        sigma2 = AWGNChannel(SNR_DB, 4).sigma2
+        hybrid = HybridDemapper.extract(trained_system_8db.demapper, sigma2,
+                                        method="lsq", fallback=trained_constellation_8db)
+        q = QuantizedSoftDemapper(hybrid.constellation, sigma2)
+        rng = np.random.default_rng(41)
+        idx = random_indices(rng, 100_000, 16)
+        y = AWGNChannel(SNR_DB, 4, rng=rng)(trained_constellation_8db.points[idx])
+        truth = trained_constellation_8db.bit_matrix[idx]
+        ber_int = np.mean(q.demap_bits(y) != truth)
+        ber_float = np.mean(hybrid.demap_bits(y) != truth)
+        assert ber_int < ber_float * 1.1 + 1e-4
+
+    def test_validation(self, setup):
+        qam, sigma2, _, _ = setup
+        with pytest.raises(ValueError):
+            QuantizedSoftDemapper(qam, 0.0)
+        with pytest.raises(ValueError):
+            QuantizedSoftDemapper(qam, sigma2, scale_bits=0)
+        with pytest.raises(ValueError):
+            QuantizedSoftDemapper(qam, sigma2=1e9, scale_bits=1)
+
+
+class TestLlrWidthCodedImpact:
+    """LLR output width vs coded performance (the FEC interface trade)."""
+
+    def test_narrow_llrs_still_decode(self, setup):
+        from repro.ecc import ConvolutionalCode
+        from repro.modulation.bits import bits_to_indices
+
+        qam, _, _, _ = setup
+        snr = 4.0
+        sigma2 = AWGNChannel(snr, 4).sigma2
+        code = ConvolutionalCode((0b111, 0b101), 3)
+        rng = np.random.default_rng(42)
+        data = rng.integers(0, 2, size=20_000, dtype=np.int8)
+        coded = code.encode(data)
+        pad = (-coded.size) % 4
+        tx = np.concatenate([coded, np.zeros(pad, dtype=np.int8)])
+        y = AWGNChannel(snr, 4, rng=rng)(qam.points[bits_to_indices(tx.reshape(-1, 4))])
+
+        bers = {}
+        for total, frac in ((4, 1), (6, 2), (8, 2)):
+            q = QuantizedSoftDemapper(qam, sigma2,
+                                      llr_format=FixedPointFormat(total, frac))
+            llrs = q.llrs(y).ravel()[: coded.size]
+            bers[total] = float(np.mean(code.decode_soft(llrs).data != data))
+        # wider LLRs never hurt; 4-bit LLRs remain functional
+        assert bers[8] <= bers[4] * 1.05 + 1e-5
+        assert bers[4] < 0.05

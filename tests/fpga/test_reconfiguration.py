@@ -1,0 +1,126 @@
+"""Reconfiguration timing, adaptation budget, FPGA-vs-ASIC comparison."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import (
+    AdaptationBudget,
+    ReconfigurationModel,
+    build_ae_inference_accelerator,
+    build_ae_training_accelerator,
+    compare_fpga_vs_asic,
+)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    _, inference = build_ae_inference_accelerator()
+    _, training = build_ae_training_accelerator()
+    return training, inference
+
+
+class TestReconfigurationModel:
+    def test_full_reconfig_time_plausible(self):
+        rc = ReconfigurationModel()
+        # tens of milliseconds for a ZU3EG-class full bitstream
+        assert 0.01 < rc.full_reconfiguration_s < 0.2
+
+    def test_partial_scales_with_area(self):
+        rc = ReconfigurationModel()
+        assert np.isclose(rc.partial_reconfiguration_s(0.5),
+                          0.5 * rc.full_reconfiguration_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigurationModel(full_bitstream_bytes=0)
+        rc = ReconfigurationModel()
+        with pytest.raises(ValueError):
+            rc.partial_reconfiguration_s(0.0)
+        with pytest.raises(ValueError):
+            rc.partial_reconfiguration_s(1.5)
+
+
+class TestAdaptationBudget:
+    def test_estimate_structure(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        assert budget.total_s > 0
+        # retraining dominates (1500 steps x 512 symbols at ~4 Msym/s >> ms)
+        assert budget.retraining_s > budget.region_sampling_s
+        assert budget.retraining_s > budget.reconfigure_to_training_s
+
+    def test_retraining_time_formula(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference,
+                                           retrain_steps=1000, batch_size=256)
+        assert np.isclose(budget.retraining_s, 1000 * 256 / training.throughput_per_s)
+
+    def test_sampling_time_formula(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference, extraction_resolution=128)
+        assert np.isclose(budget.region_sampling_s, 128**2 / inference.throughput_per_s)
+
+    def test_full_vs_partial(self, designs):
+        training, inference = designs
+        part = AdaptationBudget.estimate(training, inference, partial=True)
+        full = AdaptationBudget.estimate(training, inference, partial=False)
+        assert part.reconfigure_to_training_s < full.reconfigure_to_training_s
+
+    def test_total_sums_phases(self, designs):
+        training, inference = designs
+        b = AdaptationBudget.estimate(training, inference)
+        assert np.isclose(
+            b.total_s,
+            b.reconfigure_to_training_s + b.retraining_s
+            + b.reconfigure_to_inference_s + b.region_sampling_s
+            + b.centroid_computation_s,
+        )
+
+    def test_table_renders(self, designs):
+        training, inference = designs
+        out = AdaptationBudget.estimate(training, inference).to_table()
+        assert "TOTAL" in out
+
+    def test_validation(self, designs):
+        training, inference = designs
+        with pytest.raises(ValueError):
+            AdaptationBudget.estimate(training, inference, retrain_steps=0)
+
+
+class TestFpgaVsAsic:
+    def test_asic_carries_both_designs(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        cmp = compare_fpga_vs_asic(training, inference, budget)
+        assert cmp.asic_resident_lut > cmp.fpga_resident_lut
+        assert np.isclose(cmp.asic_resident_lut,
+                          training.resources.lut + inference.resources.lut)
+
+    def test_training_idle_fraction_is_extreme(self, designs):
+        """The paper's point: 'this would result [in] high idle time of the
+        training module on an ASIC'."""
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        cmp = compare_fpga_vs_asic(training, inference, budget,
+                                   adaptations_per_hour=60)
+        assert cmp.asic_training_idle_fraction > 0.99
+
+    def test_fpga_availability_high(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        cmp = compare_fpga_vs_asic(training, inference, budget,
+                                   adaptations_per_hour=60)
+        assert cmp.fpga_inference_availability > 0.95
+
+    def test_rate_too_high_rejected(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        with pytest.raises(ValueError):
+            compare_fpga_vs_asic(training, inference, budget,
+                                 adaptations_per_hour=3600.0 / budget.total_s + 1e9)
+
+    def test_table_renders(self, designs):
+        training, inference = designs
+        budget = AdaptationBudget.estimate(training, inference)
+        out = compare_fpga_vs_asic(training, inference, budget).to_table()
+        assert "ASIC" in out

@@ -1,0 +1,129 @@
+"""Full-pipeline integration tests — the paper's three steps end to end."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import (
+    AESystem,
+    DemapperANN,
+    E2ETrainer,
+    MapperANN,
+    ReceiverFinetuner,
+    TrainingConfig,
+)
+from repro.channels import AWGNChannel, CompositeChannel, IQImbalanceChannel, PhaseOffsetChannel
+from repro.extraction import HybridDemapper
+from repro.fpga import QuantizedDemapper, build_soft_demapper_core
+from repro.link import simulate_ber
+from repro.modulation import Mapper, MaxLogDemapper, qam_constellation, random_indices
+from repro.utils.complexmath import complex_to_real2
+from repro.utils.stats import gray_qam_ber_approx
+
+
+class TestPaperPipeline:
+    """Steps 1-3 of the paper on the shared trained system."""
+
+    def test_step1_e2e_training_reaches_conventional(self, trained_system_8db):
+        ber = trained_system_8db.evaluate(np.random.default_rng(1), 200_000)["ber"]
+        assert ber < 1.6 * gray_qam_ber_approx(8.0)
+
+    def test_step3_extraction_preserves_ber(self, trained_system_8db,
+                                            trained_constellation_8db):
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        hybrid = HybridDemapper.extract(
+            trained_system_8db.demapper, sigma2, method="lsq",
+            fallback=trained_constellation_8db,
+        )
+        res = simulate_ber(
+            trained_constellation_8db, AWGNChannel(8.0, 4, rng=2),
+            hybrid.demap_bits, 200_000, rng=3,
+        )
+        assert res.ber < 1.6 * gray_qam_ber_approx(8.0)
+
+    def test_step2_retraining_for_iq_imbalance(self, trained_system_8db):
+        """Adaptation works for impairments beyond the paper's phase offset."""
+        system = AESystem(
+            trained_system_8db.mapper,
+            trained_system_8db.demapper.copy(),
+            trained_system_8db.channel,
+        )
+        const = system.mapper.constellation()
+        rng = np.random.default_rng(4)
+        impaired = CompositeChannel([
+            IQImbalanceChannel(2.0, 0.3),  # strong gain+phase mismatch
+            AWGNChannel(8.0, 4, rng=rng),
+        ])
+        system.channel = impaired
+        before = system.evaluate(rng, 40_000)["ber"]
+        ReceiverFinetuner(
+            system, TrainingConfig(steps=600, batch_size=512), constellation=const
+        ).run(impaired, rng)
+        after = system.evaluate(rng, 80_000)["ber"]
+        assert after < before * 0.5
+        assert after < 0.05
+
+    def test_full_hybrid_loop_with_quantized_hardware_model(
+        self, trained_system_8db, trained_constellation_8db
+    ):
+        """Software ANN -> quantised datapath -> on-device extraction ->
+        centroid soft demapping: the complete deployment story."""
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        quantized = QuantizedDemapper(trained_system_8db.demapper)
+
+        from repro.extraction import extract_centroids, sample_decision_regions
+
+        grid = sample_decision_regions(quantized.bit_probability_fn(),
+                                       extent=1.5, resolution=192)
+        cents = extract_centroids(grid, 16, method="lsq").fill_missing(
+            trained_constellation_8db.points
+        )
+        hybrid = HybridDemapper(constellation=cents.as_constellation(), sigma2=sigma2)
+        res = simulate_ber(
+            trained_constellation_8db, AWGNChannel(8.0, 4, rng=5),
+            hybrid.demap_bits, 150_000, rng=6,
+        )
+        assert res.ber < 2.0 * gray_qam_ber_approx(8.0)
+
+    def test_hardware_core_throughput_covers_simulated_stream(self):
+        """The modelled soft-demapper core sustains the symbol rates the
+        link simulator produces (sanity tie between the two worlds)."""
+        _, rep = build_soft_demapper_core()
+        assert rep.throughput_per_s > 1e7
+
+
+class TestSeedReproducibility:
+    def test_training_bitwise_reproducible(self):
+        def build():
+            rng = np.random.default_rng(77)
+            mapper = MapperANN(16, init="qam", rng=rng)
+            demapper = DemapperANN(4, rng=rng)
+            system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+            E2ETrainer(system, TrainingConfig(steps=150, batch_size=128)).run(rng)
+            return system
+
+        a, b = build(), build()
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        assert np.array_equal(a.demapper.logits(x), b.demapper.logits(x))
+        assert np.array_equal(a.mapper.table.data, b.mapper.table.data)
+
+    def test_extraction_deterministic(self, trained_system_8db, trained_constellation_8db):
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        h1 = HybridDemapper.extract(trained_system_8db.demapper, sigma2,
+                                    method="lsq", fallback=trained_constellation_8db)
+        h2 = HybridDemapper.extract(trained_system_8db.demapper, sigma2,
+                                    method="lsq", fallback=trained_constellation_8db)
+        assert np.array_equal(h1.constellation.points, h2.constellation.points)
+
+
+class TestCrossValidationConventional:
+    def test_hybrid_on_true_qam_equals_conventional(self):
+        """If the 'centroids' are the true QAM points, the hybrid demapper
+        IS the conventional demapper — exact agreement required."""
+        qam = qam_constellation(16)
+        sigma2 = AWGNChannel(6.0, 4).sigma2
+        hybrid = HybridDemapper(constellation=qam, sigma2=sigma2)
+        conv = MaxLogDemapper(qam)
+        rng = np.random.default_rng(8)
+        y = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        assert np.array_equal(hybrid.demap_bits(y), conv.demap_bits(y, sigma2))
+        assert np.allclose(hybrid.llrs(y), conv.llrs(y, sigma2))

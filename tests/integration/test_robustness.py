@@ -1,0 +1,155 @@
+"""Failure injection and degenerate-input robustness across modules."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import DemapperANN
+from repro.channels import AWGNChannel
+from repro.extraction import (
+    HybridDemapper,
+    extract_centroids,
+    sample_decision_regions,
+)
+from repro.modulation import MaxLogDemapper, qam_constellation
+
+
+class TestDegenerateDemappers:
+    def test_constant_output_demapper_single_region(self):
+        """A demapper stuck on one symbol yields one giant region; every
+        estimator must degrade gracefully (fallback fills the rest)."""
+        def stuck(pts):
+            return np.tile([0.9, 0.1, 0.9, 0.1], (len(pts), 1))
+
+        grid = sample_decision_regions(stuck, extent=1.5, resolution=64)
+        assert grid.present_labels.size == 1
+        for method in ("vertex", "mass", "lsq"):
+            cents = extract_centroids(grid, 16, method=method)
+            assert cents.n_missing == 15
+            filled = cents.fill_missing(qam_constellation(16).points)
+            assert filled.as_constellation().order == 16
+
+    def test_untrained_demapper_extraction_does_not_crash(self, rng):
+        d = DemapperANN(4, rng=rng)
+        grid = sample_decision_regions(d.bit_probability_fn(), extent=1.5, resolution=64)
+        for method in ("vertex", "mass", "lsq"):
+            cents = extract_centroids(grid, 16, method=method)
+            filled = cents.fill_missing(qam_constellation(16).points)
+            assert np.all(np.isfinite(filled.points.view(np.float64)))
+
+    def test_striped_regions(self):
+        """Pathological non-convex (striped) regions — estimators must
+        return finite centroids even though no Voronoi diagram fits."""
+        def stripes(pts):
+            band = ((pts[:, 0] * 4).astype(np.int64) % 4).astype(np.int64)
+            out = np.zeros((len(pts), 4))
+            out[:, 0] = (band >> 1) & 1
+            out[:, 1] = band & 1
+            return out
+
+        grid = sample_decision_regions(stripes, extent=1.5, resolution=96)
+        for method in ("mass", "vertex", "lsq"):
+            cents = extract_centroids(grid, 16, method=method)
+            pts = cents.points[cents.found]
+            assert np.all(np.isfinite(pts.view(np.float64)))
+
+
+class TestNumericalEdges:
+    def test_demapper_handles_extreme_inputs(self, trained_system_8db):
+        x = np.array([[1e6, -1e6], [0.0, 0.0], [-1e-12, 1e-12]])
+        logits = trained_system_8db.demapper.forward(x)
+        assert np.all(np.isfinite(logits))
+        probs = trained_system_8db.demapper.probabilities(x)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_maxlog_extreme_received(self):
+        qam = qam_constellation(16)
+        ml = MaxLogDemapper(qam)
+        y = np.array([1e8 + 1e8j, 0j, -1e8 - 1e8j])
+        llrs = ml.llrs(y, 0.01)
+        assert np.all(np.isfinite(llrs))
+
+    def test_hybrid_on_empty_batch(self, trained_system_8db, trained_constellation_8db):
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        hybrid = HybridDemapper.extract(trained_system_8db.demapper, sigma2,
+                                        method="mass", fallback=trained_constellation_8db)
+        out = hybrid.llrs(np.array([], dtype=complex))
+        assert out.shape == (0, 4)
+
+    def test_awgn_empty_batch(self, rng):
+        ch = AWGNChannel(8.0, 4, rng=rng)
+        assert ch(np.array([], dtype=complex)).size == 0
+
+    def test_training_with_tiny_batches(self, rng):
+        """batch_size=1 must not crash any layer (shape edge cases)."""
+        from repro.autoencoder import AESystem, E2ETrainer, MapperANN, TrainingConfig
+
+        mapper = MapperANN(16, rng=rng)
+        demapper = DemapperANN(4, rng=rng)
+        system = AESystem(mapper, demapper, AWGNChannel(8.0, 4, rng=rng))
+        hist = E2ETrainer(system, TrainingConfig(steps=5, batch_size=1)).run(rng)
+        assert np.isfinite(hist.final_loss)
+
+
+class TestMonitorUnderFire:
+    def test_monitor_survives_all_error_pilots(self):
+        from repro.extraction import PilotBERMonitor
+
+        m = PilotBERMonitor(0.05, window=1, cooldown=0)
+        bad = np.ones((16, 4), dtype=np.int8)
+        good = np.zeros((16, 4), dtype=np.int8)
+        assert m.observe_pilots(bad, good)  # BER 1.0 handled fine
+
+    def test_adaptive_receiver_on_hopeless_channel(self, trained_system_8db,
+                                                   trained_constellation_8db):
+        """SNR so low that retraining cannot fix the link: the loop must
+        keep running (and keep retrying) without crashing."""
+        from repro.autoencoder import AESystem, TrainingConfig
+        from repro.extraction import PilotBERMonitor
+        from repro.link import AdaptiveReceiver, AdaptiveReceiverConfig, FrameConfig
+
+        system = AESystem(trained_system_8db.mapper,
+                          trained_system_8db.demapper.copy(),
+                          trained_system_8db.channel)
+        sigma2 = AWGNChannel(-10.0, 4).sigma2
+        receiver = AdaptiveReceiver(
+            system, trained_constellation_8db, sigma2,
+            PilotBERMonitor(0.05, window=1, cooldown=1),
+            AdaptiveReceiverConfig(
+                frame=FrameConfig(pilot_symbols=64, payload_symbols=64),
+                retrain=TrainingConfig(steps=20, batch_size=64),
+                extraction_resolution=48,
+            ),
+        )
+        hopeless = AWGNChannel(-10.0, 4, rng=1)
+        reports = receiver.run(hopeless, 6, rng=2)
+        assert len(reports) == 6
+        assert receiver.retrain_count >= 1  # it tried
+        assert all(np.isfinite(r.payload_ber) for r in reports)
+
+
+class TestSerializationRobustness:
+    def test_state_dict_missing_key(self, rng):
+        from repro.nn import Dense, Sequential
+
+        a = Sequential(Dense(2, 2, rng=rng))
+        state = a.state_dict()
+        del state["param_0"]
+        state["wrong_key"] = np.zeros((2, 2))
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_npz_roundtrip_preserves_quantized_behaviour(self, trained_system_8db, tmp_path):
+        """Save -> load -> quantise must be bit-identical to quantising the
+        original (deployment pipeline integrity)."""
+        from repro.autoencoder import DemapperANN
+        from repro.fpga import QuantizedDemapper
+        from repro.nn import load_state_dict_npz, save_state_dict_npz
+
+        path = tmp_path / "demapper.npz"
+        save_state_dict_npz(trained_system_8db.demapper, path)
+        clone = DemapperANN(4)
+        load_state_dict_npz(clone, path)
+        x = np.random.default_rng(3).normal(size=(500, 2))
+        q_orig = QuantizedDemapper(trained_system_8db.demapper)
+        q_clone = QuantizedDemapper(clone)
+        assert np.array_equal(q_orig.integer_forward(x), q_clone.integer_forward(x))

@@ -1,0 +1,137 @@
+"""Classical estimation baseline and centroid tracking."""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel, CompositeChannel, IQImbalanceChannel, PhaseOffsetChannel
+from repro.extraction import CentroidTracker, HybridDemapper
+from repro.link import PhaseSyncReceiver, estimate_complex_gain, estimate_phase
+from repro.modulation import Mapper, qam_constellation, random_indices
+
+
+class TestEstimators:
+    def test_phase_estimate_noiseless(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        assert np.isclose(estimate_phase(x, x * np.exp(1j * 0.6)), 0.6)
+
+    def test_phase_estimate_under_noise(self, rng):
+        x = rng.normal(size=2048) + 1j * rng.normal(size=2048)
+        y = x * np.exp(1j * 0.6) + 0.05 * (rng.normal(size=2048) + 1j * rng.normal(size=2048))
+        assert abs(estimate_phase(x, y) - 0.6) < 0.01
+
+    def test_gain_estimate(self, rng):
+        x = rng.normal(size=128) + 1j * rng.normal(size=128)
+        h = 0.8 * np.exp(1j * 1.1)
+        assert np.isclose(estimate_complex_gain(x, h * x), h)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_phase(np.ones(2, complex), np.ones(3, complex))
+        with pytest.raises(ValueError):
+            estimate_complex_gain(np.zeros(4, complex), np.ones(4, complex))
+
+
+class TestPhaseSyncReceiver:
+    def test_recovers_pure_phase_offset(self, rng):
+        qam = qam_constellation(16)
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        rx = PhaseSyncReceiver(qam, sigma2)
+        ch = CompositeChannel([PhaseOffsetChannel(np.pi / 4),
+                               AWGNChannel(8.0, 4, rng=rng)])
+        pilots = random_indices(rng, 256, 16)
+        rx.update(qam.points[pilots], ch(qam.points[pilots]))
+
+        idx = random_indices(rng, 100_000, 16)
+        y = ch(qam.points[idx])
+        ber = np.mean(rx.demap_bits(y) != qam.bit_matrix[idx])
+        assert ber < 0.015  # at the 8 dB baseline
+
+    def test_gain_mode_handles_amplitude(self, rng):
+        from repro.channels.base import Channel
+
+        class GainChannel(Channel):
+            def forward(self, z):
+                return 0.5 * np.exp(1j * 0.3) * np.asarray(z, complex)
+
+        qam = qam_constellation(16)
+        rx = PhaseSyncReceiver(qam, 0.01, mode="gain")
+        ch = GainChannel()
+        pilots = random_indices(rng, 128, 16)
+        rx.update(qam.points[pilots], ch.forward(qam.points[pilots]))
+        assert np.isclose(rx.estimate, 0.5 * np.exp(1j * 0.3))
+        idx = random_indices(rng, 1000, 16)
+        assert np.array_equal(rx.demap_bits(ch.forward(qam.points[idx])),
+                              qam.bit_matrix[idx])
+
+    def test_phase_mode_cannot_fix_iq_imbalance(self, rng):
+        """The classical receiver's model limit — motivates ANN retraining."""
+        qam = qam_constellation(16)
+        sigma2 = AWGNChannel(10.0, 4).sigma2
+        rx = PhaseSyncReceiver(qam, sigma2, mode="gain")
+        ch = CompositeChannel([
+            IQImbalanceChannel(3.0, 0.4),  # strong widely-linear warp
+            AWGNChannel(10.0, 4, rng=rng),
+        ])
+        pilots = random_indices(rng, 512, 16)
+        rx.update(qam.points[pilots], ch(qam.points[pilots]))
+        idx = random_indices(rng, 50_000, 16)
+        y = ch(qam.points[idx])
+        ber = np.mean(rx.demap_bits(y) != qam.bit_matrix[idx])
+        assert ber > 0.03  # an order of magnitude above the clean baseline
+
+    def test_validation(self):
+        qam = qam_constellation(16)
+        with pytest.raises(ValueError):
+            PhaseSyncReceiver(qam, 0.0)
+        with pytest.raises(ValueError):
+            PhaseSyncReceiver(qam, 0.1, mode="mmse")
+
+
+class TestCentroidTracker:
+    @pytest.fixture
+    def tracked(self, trained_system_8db, trained_constellation_8db):
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        hybrid = HybridDemapper.extract(trained_system_8db.demapper, sigma2,
+                                        method="lsq", fallback=trained_constellation_8db)
+        return CentroidTracker(hybrid), trained_constellation_8db, sigma2
+
+    def test_tracks_phase_rotation(self, tracked, rng):
+        tracker, const, sigma2 = tracked
+        ch = CompositeChannel([PhaseOffsetChannel(np.pi / 4),
+                               AWGNChannel(8.0, 4, rng=rng)])
+        pilots = random_indices(rng, 512, 16)
+        rigid_ok = tracker.update(pilots, ch(const.points[pilots]))
+        assert rigid_ok  # a rotation IS a rigid motion
+        idx = random_indices(rng, 100_000, 16)
+        y = ch(const.points[idx])
+        ber = np.mean(tracker.demap_bits(y) != const.bit_matrix[idx])
+        assert ber < 0.02
+        assert abs(np.angle(tracker.cumulative_gain) - np.pi / 4) < 0.03
+
+    def test_incremental_updates_compose(self, tracked, rng):
+        tracker, const, _ = tracked
+        for phi in (0.2, 0.2, 0.2):
+            ch = CompositeChannel([
+                PhaseOffsetChannel(np.angle(tracker.cumulative_gain) + phi),
+                AWGNChannel(8.0, 4, rng=rng),
+            ])
+            pilots = random_indices(rng, 512, 16)
+            tracker.update(pilots, ch(const.points[pilots]))
+        assert tracker.updates == 3
+
+    def test_flags_nonrigid_warp(self, tracked, rng):
+        tracker, const, _ = tracked
+        ch = CompositeChannel([
+            IQImbalanceChannel(4.0, 0.5),
+            AWGNChannel(14.0, 4, rng=rng),  # low noise: residual is all warp
+        ])
+        pilots = random_indices(rng, 1024, 16)
+        rigid_ok = tracker.update(pilots, ch(const.points[pilots]))
+        assert not rigid_ok  # escalate to retraining
+
+    def test_validation(self, tracked, rng):
+        tracker, const, _ = tracked
+        with pytest.raises(TypeError):
+            tracker.update(np.array([0.5]), np.ones(1, complex))
+        with pytest.raises(ValueError):
+            CentroidTracker(tracker.current, residual_threshold=0.0)

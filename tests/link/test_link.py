@@ -1,0 +1,158 @@
+"""Link simulator, frames, and the adaptive receiver loop."""
+
+import numpy as np
+import pytest
+
+from repro.channels import AWGNChannel, CompositeChannel, PhaseOffsetChannel, TimeVaryingPhaseChannel
+from repro.extraction import PilotBERMonitor
+from repro.link import (
+    AdaptiveReceiver,
+    AdaptiveReceiverConfig,
+    Frame,
+    FrameConfig,
+    build_frame,
+    simulate_ber,
+    sweep_snr,
+)
+from repro.link.adaptive import FrameReport
+from repro.modulation import MaxLogDemapper, qam_constellation
+from repro.utils.stats import gray_qam_ber_approx
+
+
+class TestSimulateBer:
+    def test_matches_analytic_16qam(self):
+        qam = qam_constellation(16)
+        ch = AWGNChannel(4.0, 4, rng=0)
+        ml = MaxLogDemapper(qam)
+        res = simulate_ber(qam, ch, lambda y: ml.demap_bits(y, ch.sigma2), 200_000, rng=1)
+        theory = gray_qam_ber_approx(4.0)
+        assert abs(res.ber - theory) / theory < 0.1
+
+    def test_wilson_interval_contains_estimate(self):
+        qam = qam_constellation(16)
+        ch = AWGNChannel(4.0, 4, rng=0)
+        ml = MaxLogDemapper(qam)
+        res = simulate_ber(qam, ch, lambda y: ml.demap_bits(y, ch.sigma2), 50_000, rng=1)
+        assert res.ci_low <= res.ber <= res.ci_high
+
+    def test_early_stop_on_max_errors(self):
+        qam = qam_constellation(16)
+        ch = AWGNChannel(0.0, 4, rng=0)
+        ml = MaxLogDemapper(qam)
+        res = simulate_ber(
+            qam, ch, lambda y: ml.demap_bits(y, ch.sigma2), 10_000_000,
+            rng=1, batch_size=10_000, max_errors=100,
+        )
+        assert res.symbols < 10_000_000
+        assert res.bit_errors >= 100
+
+    def test_zero_noise_zero_errors(self):
+        qam = qam_constellation(16)
+        ch = PhaseOffsetChannel(0.0)  # no noise at all
+        ml = MaxLogDemapper(qam)
+        res = simulate_ber(qam, ch, lambda y: ml.demap_bits(y, 0.01), 5_000, rng=1)
+        assert res.bit_errors == 0
+        assert res.ber == 0.0
+
+    def test_deterministic_in_seed(self):
+        qam = qam_constellation(16)
+        ml = MaxLogDemapper(qam)
+        r1 = simulate_ber(qam, AWGNChannel(4.0, 4, rng=7),
+                          lambda y: ml.demap_bits(y, 0.05), 20_000, rng=3)
+        r2 = simulate_ber(qam, AWGNChannel(4.0, 4, rng=7),
+                          lambda y: ml.demap_bits(y, 0.05), 20_000, rng=3)
+        assert r1.bit_errors == r2.bit_errors
+
+    def test_demapper_shape_checked(self):
+        qam = qam_constellation(16)
+        with pytest.raises(ValueError):
+            simulate_ber(qam, PhaseOffsetChannel(0.0), lambda y: np.zeros((3, 4)), 100, rng=0)
+
+    def test_sweep_snr(self):
+        qam = qam_constellation(16)
+        ml = MaxLogDemapper(qam)
+
+        def runner(snr):
+            ch = AWGNChannel(snr, 4, rng=int(snr * 10))
+            return simulate_ber(qam, ch, lambda y: ml.demap_bits(y, ch.sigma2), 30_000, rng=0)
+
+        out = sweep_snr([0.0, 6.0], runner)
+        assert out[0.0].ber > out[6.0].ber
+
+
+class TestFrames:
+    def test_geometry(self):
+        cfg = FrameConfig(pilot_symbols=16, payload_symbols=48)
+        assert cfg.total_symbols == 64
+        assert np.isclose(cfg.pilot_overhead, 0.25)
+
+    def test_build_frame_structure(self, rng):
+        frame = build_frame(FrameConfig(8, 24), 16, rng)
+        assert frame.indices.shape == (32,)
+        assert frame.pilot_mask[:8].all()
+        assert not frame.pilot_mask[8:].any()
+        assert frame.pilot_indices.shape == (8,)
+        assert frame.payload_indices.shape == (24,)
+
+    def test_labels_in_range(self, rng):
+        frame = build_frame(FrameConfig(32, 32), 16, rng)
+        assert frame.indices.min() >= 0 and frame.indices.max() < 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameConfig(pilot_symbols=0)
+        with pytest.raises(ValueError):
+            build_frame(FrameConfig(), 1)
+
+
+class TestAdaptiveReceiver:
+    @pytest.fixture
+    def receiver(self, trained_system_8db, trained_constellation_8db):
+        from repro.autoencoder import AESystem
+        from repro.autoencoder.training import TrainingConfig
+
+        system = AESystem(
+            trained_system_8db.mapper,
+            trained_system_8db.demapper.copy(),
+            trained_system_8db.channel,
+        )
+        sigma2 = AWGNChannel(8.0, 4).sigma2
+        monitor = PilotBERMonitor(0.08, window=2, cooldown=2)
+        cfg = AdaptiveReceiverConfig(
+            frame=FrameConfig(pilot_symbols=128, payload_symbols=512),
+            retrain=TrainingConfig(steps=400, batch_size=512, lr=2e-3),
+            extraction_resolution=128,
+        )
+        return AdaptiveReceiver(system, trained_constellation_8db, sigma2, monitor, cfg)
+
+    def test_stable_channel_no_retrain(self, receiver):
+        ch = AWGNChannel(8.0, 4, rng=5)
+        reports = receiver.run(ch, 6, rng=6)
+        assert receiver.retrain_count == 0
+        assert all(not r.retrained for r in reports)
+        assert np.mean([r.payload_ber for r in reports]) < 0.05
+
+    def test_recovers_from_phase_jump(self, receiver):
+        # phase jumps to pi/4 after 2 frames' worth of symbols
+        jump_at = 2 * 640
+        ch = CompositeChannel([
+            TimeVaryingPhaseChannel(lambda t: np.where(t < jump_at, 0.0, np.pi / 4)),
+            AWGNChannel(8.0, 4, rng=9),
+        ])
+        reports = receiver.run(ch, 14, rng=10)
+        assert receiver.retrain_count >= 1
+        # before the jump: clean; right after: broken; at the end: recovered
+        assert reports[0].payload_ber < 0.05
+        worst = max(r.payload_ber for r in reports[2:6])
+        assert worst > 0.15
+        assert np.mean([r.payload_ber for r in reports[-3:]]) < 0.08
+
+    def test_reports_are_per_frame(self, receiver):
+        ch = AWGNChannel(8.0, 4, rng=5)
+        reports = receiver.run(ch, 3, rng=6)
+        assert [r.frame_index for r in reports] == [0, 1, 2]
+        assert all(isinstance(r, FrameReport) for r in reports)
+
+    def test_validation(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.run(AWGNChannel(8.0, 4), 0)

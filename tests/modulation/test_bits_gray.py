@@ -1,0 +1,88 @@
+"""Bit packing and Gray-code tests."""
+
+import numpy as np
+import pytest
+
+from repro.modulation.bits import (
+    bits_to_indices,
+    count_bit_errors,
+    indices_to_bits,
+    random_bits,
+    random_indices,
+)
+from repro.modulation.gray import gray_decode, gray_encode
+
+
+class TestBitPacking:
+    def test_known_expansion(self):
+        bits = indices_to_bits(np.array([0b1010]), 4)
+        assert np.array_equal(bits[0], [1, 0, 1, 0])
+
+    def test_roundtrip(self, rng):
+        idx = rng.integers(0, 16, size=100)
+        assert np.array_equal(bits_to_indices(indices_to_bits(idx, 4)), idx)
+
+    def test_msb_first(self):
+        assert np.array_equal(indices_to_bits(np.array([8]), 4)[0], [1, 0, 0, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            indices_to_bits(np.array([16]), 4)
+        with pytest.raises(ValueError):
+            indices_to_bits(np.array([-1]), 4)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            indices_to_bits(np.array([1.0]), 4)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_indices(np.array([[0, 2]]))
+
+    def test_random_bits_distribution(self, rng):
+        bits = random_bits(rng, 10000)
+        assert 0.45 < bits.mean() < 0.55
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_random_indices_range(self, rng):
+        idx = random_indices(rng, 1000, 16)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_count_bit_errors(self):
+        a = np.array([[0, 1], [1, 1]])
+        b = np.array([[0, 0], [1, 0]])
+        assert count_bit_errors(a, b) == 2
+
+    def test_count_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            count_bit_errors(np.zeros(3), np.zeros(4))
+
+
+class TestGray:
+    def test_known_sequence(self):
+        assert [gray_encode(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_adjacent_differ_one_bit(self):
+        g = gray_encode(np.arange(256))
+        diffs = g[:-1] ^ g[1:]
+        popcount = np.array([bin(d).count("1") for d in diffs])
+        assert np.all(popcount == 1)
+
+    def test_decode_inverts_encode(self):
+        n = np.arange(1024)
+        assert np.array_equal(gray_decode(gray_encode(n)), n)
+
+    def test_scalar_api(self):
+        assert gray_encode(5) == 7
+        assert gray_decode(7) == 5
+        assert isinstance(gray_encode(5), int)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_encode(-1)
+        with pytest.raises(ValueError):
+            gray_decode(np.array([-2]))
+
+    def test_bijection_on_range(self):
+        g = gray_encode(np.arange(64))
+        assert len(np.unique(g)) == 64

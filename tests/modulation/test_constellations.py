@@ -1,0 +1,112 @@
+"""Constellation construction: energies, Gray labelling, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.modulation.constellations import (
+    Constellation,
+    _check_gray_property,
+    psk_constellation,
+    qam_constellation,
+)
+
+
+class TestQam16:
+    def test_order_and_bits(self):
+        c = qam_constellation(16)
+        assert c.order == 16
+        assert c.bits_per_symbol == 4
+
+    def test_unit_average_energy(self):
+        assert np.isclose(qam_constellation(16).average_energy, 1.0)
+
+    def test_unnormalized_energy(self):
+        # raw 16-QAM on the +-1,+-3 grid has average energy 10
+        c = qam_constellation(16, normalize=False)
+        assert np.isclose(c.average_energy, 10.0)
+
+    def test_grid_positions(self):
+        c = qam_constellation(16, normalize=False)
+        assert np.allclose(sorted(set(np.round(c.points.real, 9))), [-3, -1, 1, 3])
+        assert np.allclose(sorted(set(np.round(c.points.imag, 9))), [-3, -1, 1, 3])
+
+    def test_all_points_distinct(self):
+        c = qam_constellation(16)
+        assert len(np.unique(np.round(c.points, 12))) == 16
+
+    def test_gray_property(self):
+        # nearest neighbours differ in exactly one bit
+        assert _check_gray_property(qam_constellation(16))
+
+    def test_min_distance(self):
+        c = qam_constellation(16, normalize=False)
+        assert np.isclose(c.min_distance, 2.0)
+
+    def test_bit_matrix_rows(self):
+        c = qam_constellation(16)
+        assert c.bit_matrix.shape == (16, 4)
+        assert np.array_equal(c.bit_matrix[10], [1, 0, 1, 0])
+
+    @pytest.mark.parametrize("order", [4, 16, 64, 256])
+    def test_square_orders(self, order):
+        c = qam_constellation(order)
+        assert c.order == order
+        assert np.isclose(c.average_energy, 1.0)
+        assert _check_gray_property(c)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            qam_constellation(32)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            qam_constellation(12)
+
+
+class TestPsk:
+    def test_unit_modulus(self):
+        c = psk_constellation(8)
+        assert np.allclose(np.abs(c.points), 1.0)
+
+    def test_gray_property(self):
+        assert _check_gray_property(psk_constellation(8))
+
+    def test_qpsk_offset(self):
+        c = psk_constellation(4, offset=np.pi / 4)
+        assert np.allclose(np.abs(c.points.real), np.abs(c.points.imag))
+
+    def test_distinct_angles(self):
+        c = psk_constellation(16)
+        assert len(np.unique(np.round(np.angle(c.points), 9))) == 16
+
+
+class TestConstellationOps:
+    def test_from_points_normalize(self):
+        c = Constellation.from_points(np.array([3.0 + 0j, 0 + 4.0j, -3.0, -4.0j]), normalize=True)
+        assert np.isclose(c.average_energy, 1.0)
+
+    def test_rotation_preserves_energy_and_labels(self):
+        c = qam_constellation(16)
+        r = c.rotated(np.pi / 4)
+        assert np.isclose(r.average_energy, 1.0)
+        assert np.array_equal(r.bit_matrix, c.bit_matrix)
+        assert np.allclose(r.points, c.points * np.exp(1j * np.pi / 4))
+
+    def test_bits_for(self):
+        c = qam_constellation(16)
+        assert np.array_equal(c.bits_for(np.array([5])), [[0, 1, 0, 1]])
+
+    def test_len(self):
+        assert len(qam_constellation(16)) == 16
+
+    def test_zero_constellation_rejected(self):
+        with pytest.raises(ValueError):
+            Constellation.from_points(np.zeros(4, dtype=complex), normalize=True)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            Constellation(points=np.ones(6, dtype=complex))
+
+    def test_2d_points_rejected(self):
+        with pytest.raises(ValueError):
+            Constellation(points=np.ones((4, 2)))

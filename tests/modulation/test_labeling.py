@@ -1,0 +1,90 @@
+"""Labeling analysis: Gray penalties and the union bound."""
+
+import numpy as np
+import pytest
+
+from repro.channels.awgn import sigma2_from_snr
+from repro.modulation import psk_constellation, qam_constellation
+from repro.modulation.labeling import gray_penalty, neighbour_bit_distances, union_bound_ber
+from repro.utils.stats import gray_qam_ber_approx
+
+
+class TestGrayPenalty:
+    def test_gray_qam_is_perfect(self):
+        assert gray_penalty(qam_constellation(16)) == 1.0
+        assert gray_penalty(qam_constellation(64)) == 1.0
+
+    def test_gray_psk_is_perfect(self):
+        assert gray_penalty(psk_constellation(8)) == 1.0
+
+    def test_natural_binary_labeling_is_worse(self):
+        """Re-labelling 16-QAM with natural binary order breaks Gray."""
+        from repro.modulation.constellations import Constellation
+        from repro.modulation.gray import gray_encode
+
+        gray = qam_constellation(16)
+        # undo the Gray labelling: point for label i becomes point for
+        # binary i (a valid but bad labeling)
+        perm = np.zeros(16, dtype=int)
+        for pos in range(4):
+            for pos2 in range(4):
+                label = (gray_encode(pos) << 2) | gray_encode(pos2)
+                natural = (pos << 2) | pos2
+                perm[natural] = label
+        pts = gray.points[perm]
+        natural_c = Constellation(points=pts)
+        assert gray_penalty(natural_c) > 1.2
+
+    def test_distances_all_one_for_gray(self):
+        d = neighbour_bit_distances(qam_constellation(16))
+        assert np.all(d == 1)
+        # 16-QAM grid: 24 nearest-neighbour edges
+        assert d.size == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gray_penalty(qam_constellation(16), tolerance=0.9)
+
+
+class TestUnionBound:
+    @pytest.mark.parametrize("snr_db", [6.0, 8.0, 10.0, 12.0])
+    def test_matches_gray_qam_closed_form(self, snr_db):
+        c = qam_constellation(16)
+        sigma2 = sigma2_from_snr(snr_db, 4)
+        ub = union_bound_ber(c, sigma2)
+        ref = float(gray_qam_ber_approx(snr_db))
+        # the bound is slightly above the nearest-neighbour approximation
+        assert ref * 0.95 < ub < ref * 1.6
+
+    def test_bound_is_upper_bound_monte_carlo(self):
+        from repro.channels import AWGNChannel
+        from repro.modulation import MaxLogDemapper, Mapper, random_indices
+
+        c = qam_constellation(16)
+        snr_db = 8.0
+        sigma2 = sigma2_from_snr(snr_db, 4)
+        rng = np.random.default_rng(0)
+        idx = random_indices(rng, 300_000, 16)
+        ch = AWGNChannel(snr_db, 4, rng=rng)
+        ml = MaxLogDemapper(c)
+        ber = np.mean(ml.demap_bits(ch(Mapper(c)(idx)), sigma2) != c.bit_matrix[idx])
+        assert ber <= union_bound_ber(c, sigma2) * 1.02
+
+    def test_learned_constellation_bound_predicts_measured(self, trained_system_8db,
+                                                           trained_constellation_8db):
+        """The union bound evaluated on the LEARNED constellation predicts
+        the AE's measured BER at 8 dB within the bound's slack."""
+        sigma2 = sigma2_from_snr(8.0, 4)
+        ub = union_bound_ber(trained_constellation_8db, sigma2)
+        measured = trained_system_8db.evaluate(np.random.default_rng(1), 150_000)["ber"]
+        assert measured <= ub * 1.05
+        assert ub < 3 * measured  # and the bound is not vacuous
+
+    def test_learned_constellation_stays_gray_like(self, trained_constellation_8db):
+        """QAM-warm-started E2E training preserves a near-Gray labeling —
+        one reason the AE matches conventional BER."""
+        assert gray_penalty(trained_constellation_8db, tolerance=1.2) < 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            union_bound_ber(qam_constellation(16), 0.0)

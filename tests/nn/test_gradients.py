@@ -1,0 +1,90 @@
+"""Numerical gradient checks — the correctness anchor of the NN framework."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Embedding,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    gradcheck_module,
+    numerical_gradient,
+)
+
+
+@pytest.fixture
+def x23(rng):
+    return rng.normal(size=(4, 3))
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0, 3.0])
+        grad = numerical_gradient(lambda v: float((v**2).sum()), x.copy())
+        assert np.allclose(grad, 2 * x, atol=1e-6)
+
+    def test_does_not_mutate(self):
+        x = np.array([1.0, 2.0])
+        x0 = x.copy()
+        numerical_gradient(lambda v: float(v.sum()), x)
+        assert np.array_equal(x, x0)
+
+
+class TestLayerGradients:
+    def test_dense(self, rng, x23):
+        assert gradcheck_module(Dense(3, 5, rng=rng), x23)
+
+    def test_dense_no_bias(self, rng, x23):
+        assert gradcheck_module(Dense(3, 2, bias=False, rng=rng), x23)
+
+    def test_relu(self, rng):
+        # keep activations away from the kink at 0
+        x = rng.normal(size=(4, 3)) + np.where(rng.random((4, 3)) > 0.5, 2.0, -2.0)
+        assert gradcheck_module(ReLU(), x)
+
+    def test_leaky_relu(self, rng):
+        x = rng.normal(size=(4, 3)) + np.where(rng.random((4, 3)) > 0.5, 2.0, -2.0)
+        assert gradcheck_module(LeakyReLU(0.2), x)
+
+    def test_sigmoid(self, rng, x23):
+        assert gradcheck_module(Sigmoid(), x23)
+
+    def test_tanh(self, rng, x23):
+        assert gradcheck_module(Tanh(), x23)
+
+    def test_embedding_params(self, rng):
+        emb = Embedding(6, 4, rng=rng)
+        idx = rng.integers(0, 6, size=10)
+        assert gradcheck_module(emb, idx, check_input_grad=False)
+
+    def test_mlp_stack(self, rng):
+        mlp = Sequential.mlp([3, 8, 8, 2], rng=rng)
+        x = rng.normal(size=(5, 3))
+        assert gradcheck_module(mlp, x)
+
+    def test_mlp_with_sigmoid_output(self, rng):
+        mlp = Sequential.mlp([2, 6, 3], output_activation=Sigmoid, rng=rng)
+        x = rng.normal(size=(4, 2))
+        assert gradcheck_module(mlp, x)
+
+    def test_paper_demapper_topology(self, rng):
+        mlp = Sequential.mlp([2, 16, 16, 16, 4], rng=rng)
+        x = rng.normal(size=(3, 2))
+        assert gradcheck_module(mlp, x)
+
+
+class TestGradcheckCatchesBugs:
+    def test_detects_wrong_gradient(self, rng):
+        class BrokenDense(Dense):
+            def backward(self, grad_out):
+                good = super().backward(grad_out)
+                self.weight.grad *= 1.5  # corrupt the parameter gradient
+                return good
+
+        layer = BrokenDense(3, 3, rng=rng)
+        with pytest.raises(AssertionError):
+            gradcheck_module(layer, rng.normal(size=(4, 3)))

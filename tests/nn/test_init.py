@@ -1,0 +1,72 @@
+"""Weight-initialiser statistics and fan arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.nn import he_normal, he_uniform, normal_init, uniform_init, xavier_normal, xavier_uniform
+
+
+SHAPE = (64, 128)  # fan_out=64, fan_in=128
+
+
+class TestXavier:
+    def test_uniform_bounds(self, rng):
+        w = xavier_uniform(SHAPE, rng)
+        a = np.sqrt(6.0 / (128 + 64))
+        assert w.min() >= -a and w.max() <= a
+
+    def test_uniform_variance(self, rng):
+        w = xavier_uniform((256, 256), rng)
+        expected_var = 2.0 / (256 + 256)
+        assert np.isclose(w.var(), expected_var, rtol=0.1)
+
+    def test_normal_std(self, rng):
+        w = xavier_normal((256, 256), rng)
+        assert np.isclose(w.std(), np.sqrt(2.0 / 512), rtol=0.1)
+
+    def test_zero_mean(self, rng):
+        w = xavier_normal(SHAPE, rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHe:
+    def test_uniform_bounds(self, rng):
+        w = he_uniform(SHAPE, rng)
+        a = np.sqrt(6.0 / 128)
+        assert w.min() >= -a and w.max() <= a
+
+    def test_normal_std(self, rng):
+        w = he_normal((128, 256), rng)
+        assert np.isclose(w.std(), np.sqrt(2.0 / 256), rtol=0.1)
+
+    def test_relu_activation_variance_preserved(self, rng):
+        """He init's purpose: Var(relu(Wx)) ~ Var(x)/1 through deep ReLU stacks."""
+        x = rng.normal(size=(512, 256))
+        for _ in range(4):
+            w = he_normal((256, 256), rng)
+            x = np.maximum(x @ w.T, 0.0)
+        # variance neither explodes nor vanishes across 4 layers
+        assert 0.1 < x.var() < 10.0
+
+
+class TestPlain:
+    def test_uniform_range(self, rng):
+        w = uniform_init((100, 100), rng, low=-0.5, high=0.5)
+        assert w.min() >= -0.5 and w.max() < 0.5
+
+    def test_normal_std_param(self, rng):
+        w = normal_init((200, 200), rng, std=0.3)
+        assert np.isclose(w.std(), 0.3, rtol=0.1)
+
+
+class TestValidation:
+    def test_fan_init_needs_2d(self, rng):
+        with pytest.raises(ValueError):
+            xavier_uniform((5,), rng)
+        with pytest.raises(ValueError):
+            he_normal((5,), rng)
+
+    def test_deterministic_per_seed(self):
+        a = xavier_uniform(SHAPE, np.random.default_rng(1))
+        b = xavier_uniform(SHAPE, np.random.default_rng(1))
+        assert np.array_equal(a, b)

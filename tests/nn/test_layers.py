@@ -1,0 +1,170 @@
+"""Forward-pass behaviour of every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Embedding,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(3, 5, rng=rng)
+        assert layer.forward(rng.normal(size=(7, 3))).shape == (7, 5)
+
+    def test_linear_in_input(self, rng):
+        layer = Dense(4, 2, bias=False, rng=rng)
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(layer.forward(2 * x), 2 * layer.forward(x))
+
+    def test_bias_applied(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.bias.data[:] = [1.0, -1.0]
+        layer.weight.data[:] = 0.0
+        out = layer.forward(np.zeros((1, 2)))
+        assert np.allclose(out, [[1.0, -1.0]])
+
+    def test_no_bias_option(self, rng):
+        layer = Dense(2, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_shape_validation(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 4)))
+
+    def test_backward_before_forward_fails(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 10.0]]))
+        assert np.allclose(out, [[-1.0, 10.0]])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_range_and_midpoint(self):
+        out = Sigmoid().forward(np.array([[0.0, 100.0, -100.0]]))
+        assert np.isclose(out[0, 0], 0.5)
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_sigmoid_no_overflow(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_odd(self):
+        x = np.array([[0.5, -0.5]])
+        out = Tanh().forward(x)
+        assert np.isclose(out[0, 0], -out[0, 1])
+
+    def test_identity_passthrough(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(Identity().forward(x), x)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        d = Dropout(0.5, rng=rng)
+        d.training = False
+        x = rng.normal(size=(8, 8))
+        assert np.allclose(d.forward(x), x)
+
+    def test_training_mode_zeroes_fraction(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = d.forward(x)
+        zero_frac = np.mean(out == 0)
+        assert 0.4 < zero_frac < 0.6
+
+    def test_inverted_scaling_preserves_mean(self):
+        d = Dropout(0.3, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        assert abs(d.forward(x).mean() - 1.0) < 0.02
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(4, 3, rng=rng)
+        out = emb.forward(np.array([0, 2, 2]))
+        assert out.shape == (3, 3)
+        assert np.allclose(out[1], out[2])
+
+    def test_rejects_float_indices(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        with pytest.raises(TypeError):
+            emb.forward(np.array([0.5]))
+
+    def test_rejects_out_of_range(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb.forward(np.array([4]))
+
+    def test_backward_accumulates_per_row(self, rng):
+        emb = Embedding(3, 2, rng=rng)
+        emb.forward(np.array([1, 1]))
+        emb.backward(np.ones((2, 2)))
+        assert np.allclose(emb.table.grad[1], [2.0, 2.0])
+        assert np.allclose(emb.table.grad[0], 0.0)
+
+
+class TestSequential:
+    def test_composition(self, rng):
+        seq = Sequential(Dense(2, 4, rng=rng), ReLU(), Dense(4, 3, rng=rng))
+        assert seq.forward(rng.normal(size=(5, 2))).shape == (5, 3)
+
+    def test_len_and_getitem(self, rng):
+        seq = Sequential(Dense(2, 2, rng=rng), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_mlp_builder_topology(self, rng):
+        mlp = Sequential.mlp([2, 16, 16, 16, 4], rng=rng)
+        denses = [l for l in mlp.layers if isinstance(l, Dense)]
+        relus = [l for l in mlp.layers if isinstance(l, ReLU)]
+        assert len(denses) == 4
+        assert len(relus) == 3  # no activation after the output layer
+
+    def test_mlp_output_activation(self, rng):
+        mlp = Sequential.mlp([2, 4, 2], output_activation=Sigmoid, rng=rng)
+        out = mlp.forward(rng.normal(size=(3, 2)))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_mlp_needs_two_widths(self):
+        with pytest.raises(ValueError):
+            Sequential.mlp([4])
+
+    def test_parameter_count_paper_demapper(self, rng):
+        # paper topology 2-16-16-16-4: (2*16+16)+(16*16+16)*2+(16*4+4) = 660
+        mlp = Sequential.mlp([2, 16, 16, 16, 4], rng=rng)
+        assert mlp.num_parameters() == 660

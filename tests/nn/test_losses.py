@@ -1,0 +1,99 @@
+"""Loss values and gradients against closed forms / numerical checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestBCEWithLogits:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[20.0, -20.0]])
+        targets = np.array([[1.0, 0.0]])
+        loss, _ = BCEWithLogitsLoss()(logits, targets)
+        assert loss < 1e-6
+
+    def test_chance_level(self):
+        loss, _ = BCEWithLogitsLoss()(np.zeros((4, 3)), np.ones((4, 3)))
+        assert np.isclose(loss, np.log(2.0))
+
+    def test_gradient_matches_numerical(self, rng):
+        z = rng.normal(size=(3, 4))
+        t = rng.integers(0, 2, size=(3, 4)).astype(float)
+        loss_fn = BCEWithLogitsLoss()
+        _, grad = loss_fn(z, t)
+        num = numerical_gradient(lambda v: loss_fn(v, t)[0], z.copy())
+        assert np.allclose(grad, num, atol=1e-7)
+
+    def test_no_overflow_for_extreme_logits(self):
+        loss, grad = BCEWithLogitsLoss()(np.array([[1000.0, -1000.0]]), np.array([[0.0, 1.0]]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_from_probabilities_matches_logit_path(self, rng):
+        z = rng.normal(size=(5, 3))
+        t = rng.integers(0, 2, size=(5, 3)).astype(float)
+        loss_logits, _ = BCEWithLogitsLoss()(z, t)
+        probs = 1 / (1 + np.exp(-z))
+        loss_probs = BCEWithLogitsLoss.from_probabilities(probs, t)
+        assert np.isclose(loss_logits, loss_probs, rtol=1e-9)
+
+
+class TestMSE:
+    def test_zero_at_target(self, rng):
+        x = rng.normal(size=(3, 3))
+        loss, grad = MSELoss()(x, x.copy())
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_known_value(self):
+        loss, _ = MSELoss()(np.array([[2.0]]), np.array([[0.0]]))
+        assert np.isclose(loss, 4.0)
+
+    def test_gradient_matches_numerical(self, rng):
+        x = rng.normal(size=(4, 2))
+        t = rng.normal(size=(4, 2))
+        loss_fn = MSELoss()
+        _, grad = loss_fn(x, t)
+        num = numerical_gradient(lambda v: loss_fn(v, t)[0], x.copy())
+        assert np.allclose(grad, num, atol=1e-7)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros(4))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        loss, _ = CrossEntropyLoss()(np.zeros((3, 4)), np.array([0, 1, 2]))
+        assert np.isclose(loss, np.log(4.0))
+
+    def test_gradient_matches_numerical(self, rng):
+        z = rng.normal(size=(3, 5))
+        t = rng.integers(0, 5, size=3)
+        loss_fn = CrossEntropyLoss()
+        _, grad = loss_fn(z, t)
+        num = numerical_gradient(lambda v: loss_fn(v, t)[0], z.copy())
+        assert np.allclose(grad, num, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        z = rng.normal(size=(4, 6))
+        t = rng.integers(0, 6, size=4)
+        _, grad = CrossEntropyLoss()(z, t)
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_integer_targets_required(self):
+        with pytest.raises(TypeError):
+            CrossEntropyLoss()(np.zeros((2, 3)), np.array([0.0, 1.0]))
+
+    def test_shift_invariance(self, rng):
+        z = rng.normal(size=(3, 4))
+        t = rng.integers(0, 4, size=3)
+        loss1, _ = CrossEntropyLoss()(z, t)
+        loss2, _ = CrossEntropyLoss()(z + 100.0, t)
+        assert np.isclose(loss1, loss2)

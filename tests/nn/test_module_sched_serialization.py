@@ -1,0 +1,156 @@
+"""Module tree utilities, LR schedulers, state-dict (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    Dense,
+    ExponentialLR,
+    ReLU,
+    SGD,
+    Sequential,
+    StepLR,
+    load_state_dict_npz,
+    save_state_dict_npz,
+)
+from repro.nn.module import Parameter
+
+
+class TestParameter:
+    def test_grad_zero_initialised(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.allclose(p.grad, 0.0)
+        assert p.grad.shape == p.data.shape
+
+    def test_zero_grad_in_place(self):
+        p = Parameter(np.ones(4))
+        g = p.grad
+        p.grad[...] = 3.0
+        p.zero_grad()
+        assert p.grad is g
+        assert np.allclose(p.grad, 0.0)
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((3, 4)))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+
+class TestModuleTree:
+    def test_parameters_collected_in_order(self, rng):
+        seq = Sequential(Dense(2, 3, rng=rng), ReLU(), Dense(3, 1, rng=rng))
+        params = seq.parameters()
+        assert len(params) == 4  # 2x (weight, bias)
+        assert params[0].shape == (3, 2)
+
+    def test_num_parameters(self, rng):
+        seq = Sequential(Dense(2, 3, rng=rng))
+        assert seq.num_parameters() == 2 * 3 + 3
+
+    def test_zero_grad_recursive(self, rng):
+        seq = Sequential(Dense(2, 2, rng=rng))
+        for p in seq.parameters():
+            p.grad[...] = 1.0
+        seq.zero_grad()
+        assert all(np.allclose(p.grad, 0) for p in seq.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Dense(2, 2, rng=rng), ReLU())
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        b = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_state_dict_shape_checked(self, rng):
+        a = Sequential(Dense(3, 4, rng=rng))
+        b = Sequential(Dense(4, 3, rng=rng))
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_state_dict_count_checked(self, rng):
+        a = Sequential(Dense(3, 4, rng=rng))
+        b = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 1, rng=rng))
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+
+class TestSchedulers:
+    def make(self, lr=1.0):
+        p = Parameter(np.zeros(1))
+        return Adam([p], lr=lr)
+
+    def test_constant(self):
+        opt = self.make(0.5)
+        sched = ConstantLR(opt)
+        for _ in range(10):
+            assert sched.step() == 0.5
+
+    def test_step_lr(self):
+        opt = self.make(1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        lrs = [sched.step() for _ in range(7)]
+        assert np.isclose(lrs[1], 1.0)   # steps 1-2 at base
+        assert np.isclose(lrs[2], 0.1)   # step 3 decayed
+        assert np.isclose(lrs[5], 0.01)
+
+    def test_exponential(self):
+        opt = self.make(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        assert np.isclose(sched.step(), 0.5)
+        assert np.isclose(sched.step(), 0.25)
+
+    def test_cosine_endpoints(self):
+        opt = self.make(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert np.isclose(lrs[-1], 0.0, atol=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self.make(1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_after_t_max(self):
+        opt = self.make(1.0)
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.1)
+        for _ in range(10):
+            lr = sched.step()
+        assert np.isclose(lr, 0.1)
+
+    def test_applies_to_optimizer(self):
+        opt = self.make(1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert np.isclose(opt.lr, 0.5)
+
+    def test_validation(self):
+        opt = self.make()
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=0.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+
+
+class TestNpzSerialization:
+    def test_roundtrip_through_file(self, rng, tmp_path):
+        a = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        path = tmp_path / "model.npz"
+        save_state_dict_npz(a, path)
+        b = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        load_state_dict_npz(b, path)
+        x = rng.normal(size=(6, 3))
+        assert np.allclose(a.forward(x), b.forward(x))

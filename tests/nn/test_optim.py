@@ -1,0 +1,127 @@
+"""Optimizer behaviour: convergence on quadratics, update formulas."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, RMSprop
+from repro.nn.module import Parameter
+
+
+def quadratic_grad(p: Parameter, target: np.ndarray) -> None:
+    p.grad[...] = 2.0 * (p.data - target)
+
+
+@pytest.fixture
+def param():
+    return Parameter(np.array([4.0, -3.0]))
+
+
+TARGET = np.array([1.0, 2.0])
+
+
+def run_steps(opt, p, n=200):
+    for _ in range(n):
+        opt.zero_grad()
+        quadratic_grad(p, TARGET)
+        opt.step()
+    return p.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, param):
+        run_steps(SGD([param], lr=0.1), param)
+        assert np.allclose(param.data, TARGET, atol=1e-4)
+
+    def test_single_step_formula(self, param):
+        opt = SGD([param], lr=0.5)
+        quadratic_grad(param, TARGET)
+        expected = param.data - 0.5 * param.grad
+        opt.step()
+        assert np.allclose(param.data, expected)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.array([4.0, -3.0]))
+        p2 = Parameter(np.array([4.0, -3.0]))
+        run_steps(SGD([p1], lr=0.01), p1, n=50)
+        run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, n=50)
+        assert np.linalg.norm(p2.data - TARGET) < np.linalg.norm(p1.data - TARGET)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()  # zero task gradient: only decay acts
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_requires_momentum(self, param):
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, nesterov=True)
+
+    def test_requires_grad_false_skipped(self):
+        p = Parameter(np.array([1.0]), requires_grad=False)
+        opt = SGD([p], lr=0.1)
+        p.grad[...] = 5.0
+        opt.step()
+        assert p.data[0] == 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self, param):
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, param):
+        run_steps(Adam([param], lr=0.1), param, n=400)
+        assert np.allclose(param.data, TARGET, atol=1e-3)
+
+    def test_first_step_is_lr_sized(self):
+        # with bias correction, the first Adam step is ~lr * sign(grad)
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = 3.0
+        opt.step()
+        assert np.isclose(p.data[0], 10.0 - 0.1, atol=1e-6)
+
+    def test_scale_invariance_of_step_size(self):
+        # Adam steps are invariant to gradient scaling (per-coordinate)
+        p1 = Parameter(np.array([5.0]))
+        p2 = Parameter(np.array([5.0]))
+        o1, o2 = Adam([p1], lr=0.1), Adam([p2], lr=0.1)
+        for _ in range(3):
+            o1.zero_grad(); p1.grad[...] = 1.0; o1.step()
+            o2.zero_grad(); p2.grad[...] = 100.0; o2.step()
+        assert np.allclose(p1.data, p2.data, atol=1e-9)
+
+    def test_invalid_betas(self, param):
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.0, 0.9))
+
+    def test_invalid_eps(self, param):
+        with pytest.raises(ValueError):
+            Adam([param], eps=0.0)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self, param):
+        run_steps(RMSprop([param], lr=0.02), param, n=500)
+        assert np.allclose(param.data, TARGET, atol=1e-2)
+
+    def test_momentum_variant_converges(self, param):
+        run_steps(RMSprop([param], lr=0.01, momentum=0.5), param, n=500)
+        assert np.allclose(param.data, TARGET, atol=1e-2)
+
+    def test_invalid_alpha(self, param):
+        with pytest.raises(ValueError):
+            RMSprop([param], alpha=1.0)
+
+
+class TestZeroGrad:
+    def test_clears_all(self, param):
+        opt = SGD([param], lr=0.1)
+        param.grad[...] = 7.0
+        opt.zero_grad()
+        assert np.allclose(param.grad, 0.0)

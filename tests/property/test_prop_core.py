@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fpga import FixedPointFormat
+from repro.modulation.bits import bits_to_indices, indices_to_bits
+from repro.modulation.gray import gray_decode, gray_encode
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestBitsProperties:
+    @given(
+        idx=hnp.arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 2**10 - 1)),
+    )
+    @settings(**SETTINGS)
+    def test_roundtrip_any_width(self, idx):
+        bits = indices_to_bits(idx, 10)
+        assert np.array_equal(bits_to_indices(bits), idx)
+
+    @given(k=st.integers(1, 16), value=st.integers(0, 2**16 - 1))
+    @settings(**SETTINGS)
+    def test_bit_count_matches_popcount(self, k, value):
+        value = value % (1 << k)
+        bits = indices_to_bits(np.array([value]), k)
+        assert bits.sum() == bin(value).count("1")
+
+    @given(n=st.integers(0, 2**20))
+    @settings(**SETTINGS)
+    def test_gray_roundtrip(self, n):
+        assert gray_decode(gray_encode(n)) == n
+
+    @given(n=st.integers(0, 2**20 - 2))
+    @settings(**SETTINGS)
+    def test_gray_adjacent_single_bit(self, n):
+        diff = gray_encode(n) ^ gray_encode(n + 1)
+        assert diff != 0 and (diff & (diff - 1)) == 0  # exactly one bit set
+
+
+class TestFixedPointProperties:
+    fmts = st.builds(
+        FixedPointFormat,
+        st.integers(4, 16),
+        st.integers(0, 3),
+    )
+
+    @given(fmt=fmts, x=st.floats(-1000, 1000))
+    @settings(**SETTINGS)
+    def test_quantize_idempotent(self, fmt, x):
+        once = fmt.quantize(x)
+        assert fmt.quantize(once) == once
+
+    @given(fmt=fmts, x=st.floats(-1.9, 1.9))
+    @settings(**SETTINGS)
+    def test_in_range_error_bounded(self, fmt, x):
+        # value within representable range -> error <= LSB/2
+        if fmt.min_value <= x <= fmt.max_value:
+            assert abs(fmt.quantize(x) - x) <= fmt.quantization_error_bound() + 1e-15
+
+    @given(fmt=fmts, a=st.floats(-100, 100), b=st.floats(-100, 100))
+    @settings(**SETTINGS)
+    def test_quantize_monotone(self, fmt, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert fmt.quantize(lo) <= fmt.quantize(hi)
+
+    @given(fmt=fmts, x=st.floats(-1e6, 1e6))
+    @settings(**SETTINGS)
+    def test_always_saturates_into_range(self, fmt, x):
+        q = fmt.quantize(x)
+        assert fmt.min_value <= q <= fmt.max_value
+
+
+class TestLlrProperties:
+    @given(
+        y_re=st.floats(-3, 3), y_im=st.floats(-3, 3),
+        sigma2=st.floats(0.001, 2.0),
+    )
+    @settings(**SETTINGS)
+    def test_maxlog_hard_decision_is_nearest_point(self, y_re, y_im, sigma2):
+        from repro.modulation import HardDemapper, MaxLogDemapper, qam_constellation
+
+        qam = qam_constellation(16)
+        y = np.array([complex(y_re, y_im)])
+        ml = MaxLogDemapper(qam).demap_bits(y, sigma2)
+        hd = HardDemapper(qam).demap_bits(y)
+        # ties on exact boundaries may differ; skip those
+        d = np.abs(y[0] - qam.points)
+        d_sorted = np.sort(d)
+        if d_sorted[1] - d_sorted[0] > 1e-9:
+            assert np.array_equal(ml, hd)
+
+    @given(scale=st.floats(0.1, 10.0), y_re=st.floats(-2, 2), y_im=st.floats(-2, 2))
+    @settings(**SETTINGS)
+    def test_maxlog_llr_scaling(self, scale, y_re, y_im):
+        from repro.modulation import MaxLogDemapper, qam_constellation
+
+        ml = MaxLogDemapper(qam_constellation(16))
+        y = np.array([complex(y_re, y_im)])
+        l1 = ml.llrs(y, 0.1)
+        l2 = ml.llrs(y, 0.1 * scale)
+        assert np.allclose(l1, l2 * scale, rtol=1e-9)
+
+    @given(y_re=st.floats(-2, 2), y_im=st.floats(-2, 2), sigma2=st.floats(0.01, 1.0))
+    @settings(**SETTINGS)
+    def test_exact_llr_magnitude_bounded_by_maxlog_plus_logM(self, y_re, y_im, sigma2):
+        # |llr_exact - llr_maxlog| <= log(M/2): the log-sum-exp correction
+        from repro.modulation import ExactLogMAPDemapper, MaxLogDemapper, qam_constellation
+
+        qam = qam_constellation(16)
+        y = np.array([complex(y_re, y_im)])
+        ex = ExactLogMAPDemapper(qam).llrs(y, sigma2)
+        ml = MaxLogDemapper(qam).llrs(y, sigma2)
+        assert np.all(np.abs(ex - ml) <= np.log(8.0) + 1e-9)
+
+
+class TestEccProperties:
+    @given(
+        r=st.integers(2, 5),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hamming_corrects_any_single_flip(self, r, data):
+        from repro.ecc import HammingCode
+
+        code = HammingCode(r)
+        bits = data.draw(
+            hnp.arrays(np.int8, (3, code.k), elements=st.integers(0, 1))
+        )
+        pos = data.draw(st.integers(0, code.n - 1))
+        block = data.draw(st.integers(0, 2))
+        cw = code.encode(bits)
+        cw[block, pos] ^= 1
+        res = code.decode(cw)
+        assert np.array_equal(res.data, bits)
+        assert res.corrected == 1
+
+    @given(seed=st.integers(0, 2**16), size=st.integers(2, 64))
+    @settings(**SETTINGS)
+    def test_random_interleaver_roundtrip(self, seed, size):
+        from repro.ecc import RandomInterleaver
+
+        il = RandomInterleaver(size, rng=seed)
+        bits = np.random.default_rng(seed).integers(0, 2, size=size * 3)
+        assert np.array_equal(il.deinterleave(il.interleave(bits)), bits)
+
+    @given(payload=hnp.arrays(np.int8, 64, elements=st.integers(0, 1)))
+    @settings(**SETTINGS)
+    def test_crc_roundtrip(self, payload):
+        from repro.ecc import CRC16_CCITT
+
+        assert CRC16_CCITT.check(CRC16_CCITT.append(payload))
+
+
+class TestConstellationProperties:
+    @given(order=st.sampled_from([4, 16, 64]), phi=st.floats(-np.pi, np.pi))
+    @settings(**SETTINGS)
+    def test_rotation_preserves_pairwise_distances(self, order, phi):
+        from repro.modulation import qam_constellation
+
+        c = qam_constellation(order)
+        r = c.rotated(phi)
+        d0 = np.abs(c.points[:, None] - c.points[None, :])
+        d1 = np.abs(r.points[:, None] - r.points[None, :])
+        assert np.allclose(d0, d1)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        order=st.sampled_from([4, 8, 16]),
+    )
+    @settings(**SETTINGS)
+    def test_normalize_gives_unit_energy(self, seed, order):
+        from repro.modulation import Constellation
+
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=order) + 1j * rng.normal(size=order)
+        if np.all(np.abs(pts) < 1e-12):
+            return
+        c = Constellation.from_points(pts, normalize=True)
+        assert np.isclose(c.average_energy, 1.0)
+
+
+class TestNNProperties:
+    @given(
+        seed=st.integers(0, 2**10),
+        batch=st.integers(1, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bce_nonnegative_and_finite(self, seed, batch):
+        from repro.nn import BCEWithLogitsLoss
+
+        rng = np.random.default_rng(seed)
+        z = rng.normal(scale=10, size=(batch, 4))
+        t = rng.integers(0, 2, size=(batch, 4)).astype(float)
+        loss, grad = BCEWithLogitsLoss()(z, t)
+        assert loss >= 0.0
+        assert np.all(np.isfinite(grad))
+
+    @given(seed=st.integers(0, 2**10), alpha=st.floats(0.5, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_dense_homogeneity(self, seed, alpha):
+        from repro.nn import Dense
+
+        rng = np.random.default_rng(seed)
+        layer = Dense(3, 4, bias=False, rng=rng)
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(layer.forward(alpha * x), alpha * layer.forward(x))
+
+    @given(seed=st.integers(0, 2**10))
+    @settings(max_examples=25, deadline=None)
+    def test_mapper_output_energy_bounded(self, seed):
+        """Table-normalised mapper output symbols have bounded energy: the
+        batch average can differ from 1, but no symbol exceeds the table
+        maximum (which is finite and matched to unit average power)."""
+        from repro.autoencoder import MapperANN
+
+        rng = np.random.default_rng(seed)
+        m = MapperANN(16, init="random", rng=rng)
+        idx = rng.integers(0, 16, size=64)
+        out = m.forward(idx)
+        table = m.normalized_table()
+        max_norm = np.sqrt((table**2).sum(axis=1)).max()
+        norms = np.sqrt((out**2).sum(axis=1))
+        assert np.all(norms <= max_norm + 1e-12)

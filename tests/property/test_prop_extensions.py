@@ -1,0 +1,124 @@
+"""Property-based tests for the extension modules (OFDM, conv code, tracking)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ecc import ConvolutionalCode
+from repro.link.ofdm import MultipathChannel, OFDMConfig, ofdm_demodulate, ofdm_modulate, subcarrier_gains
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestOFDMProperties:
+    @given(
+        n_sc=st.sampled_from([16, 32, 64]),
+        cp=st.integers(0, 15),
+        frames=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_modulate_demodulate_roundtrip(self, n_sc, cp, frames, seed):
+        cfg = OFDMConfig(n_subcarriers=n_sc, cp_length=cp)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(frames, n_sc)) + 1j * rng.normal(size=(frames, n_sc))
+        assert np.allclose(ofdm_demodulate(ofdm_modulate(x, cfg), cfg), x)
+
+    @given(
+        n_taps=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_cp_diagonalisation_whenever_cp_covers_channel(self, n_taps, seed):
+        cfg = OFDMConfig(n_subcarriers=64, cp_length=16)
+        if n_taps - 1 > cfg.cp_length:
+            return
+        rng = np.random.default_rng(seed)
+        taps = MultipathChannel.exponential_profile(n_taps, rng=seed)
+        h = subcarrier_gains(taps, 64)
+        x = rng.normal(size=(3, 64)) + 1j * rng.normal(size=(3, 64))
+        rx = MultipathChannel(taps).forward(ofdm_modulate(x, cfg))
+        assert np.allclose(ofdm_demodulate(rx, cfg), h[None, :] * x, atol=1e-9)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        split=st.integers(1, 199),
+    )
+    @settings(**SETTINGS)
+    def test_streaming_convolution_split_invariant(self, seed, split):
+        rng = np.random.default_rng(seed)
+        taps = MultipathChannel.exponential_profile(6, rng=seed)
+        x = rng.normal(size=200) + 1j * rng.normal(size=200)
+        whole = MultipathChannel(taps).forward(x)
+        ch = MultipathChannel(taps)
+        parts = np.concatenate([ch.forward(x[:split]), ch.forward(x[split:])])
+        assert np.allclose(whole, parts)
+
+
+class TestConvCodeProperties:
+    @given(data=hnp.arrays(np.int8, st.integers(1, 120), elements=st.integers(0, 1)))
+    @settings(**SETTINGS)
+    def test_noiseless_roundtrip_any_length(self, data):
+        code = ConvolutionalCode((0b111, 0b101), 3)
+        assert np.array_equal(code.decode_hard(code.encode(data)).data, data)
+
+    @given(
+        data=hnp.arrays(np.int8, 64, elements=st.integers(0, 1)),
+        pos=st.integers(0, 131),
+    )
+    @settings(**SETTINGS)
+    def test_single_error_always_corrected(self, data, pos):
+        code = ConvolutionalCode((0b111, 0b101), 3)
+        coded = code.encode(data)
+        coded[pos % coded.size] ^= 1
+        assert np.array_equal(code.decode_hard(coded).data, data)
+
+    @given(
+        a=hnp.arrays(np.int8, 50, elements=st.integers(0, 1)),
+        b=hnp.arrays(np.int8, 50, elements=st.integers(0, 1)),
+    )
+    @settings(**SETTINGS)
+    def test_linearity(self, a, b):
+        code = ConvolutionalCode((0b111, 0b101), 3)
+        assert np.array_equal(code.encode(a ^ b), code.encode(a) ^ code.encode(b))
+
+    @given(
+        llr_scale=st.floats(0.5, 20.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_decoding_invariant_to_llr_scaling(self, llr_scale, seed):
+        """Viterbi picks the max-metric path; positive scaling of all LLRs
+        cannot change the argmax."""
+        code = ConvolutionalCode((0b111, 0b101), 3)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=40, dtype=np.int8)
+        coded = code.encode(data)
+        llrs = (2.0 * coded - 1.0) * 2.0 + rng.normal(0, 1.5, coded.size)
+        d1 = code.decode_soft(llrs)
+        d2 = code.decode_soft(llrs * llr_scale)
+        assert np.array_equal(d1.data, d2.data)
+
+
+class TestTrackingProperties:
+    @given(
+        phi=st.floats(-np.pi, np.pi),
+        gain=st.floats(0.5, 2.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_tracker_recovers_any_rigid_motion(self, phi, gain, seed):
+        """Noiseless rigid channel: one tracker update recovers it exactly."""
+        from repro.extraction import CentroidTracker, HybridDemapper
+        from repro.modulation import qam_constellation
+
+        qam = qam_constellation(16)
+        hybrid = HybridDemapper(constellation=qam, sigma2=0.01)
+        tracker = CentroidTracker(hybrid)
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, 16, size=128)
+        h = gain * np.exp(1j * phi)
+        rigid_ok = tracker.update(idx, h * qam.points[idx])
+        assert rigid_ok
+        assert np.isclose(tracker.cumulative_gain, h, rtol=1e-9)
+        assert np.allclose(tracker.current.constellation.points, h * qam.points)

@@ -1,0 +1,119 @@
+"""Property-based tests for extraction geometry and the pipeline model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.extraction import extract_centroids, sample_decision_regions, voronoi_inversion
+from repro.fpga.hls import DataflowPipeline, PipelineStage
+from repro.fpga.resources import ResourceVector
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def nearest_label_fn(generators: np.ndarray):
+    def f(pts: np.ndarray) -> np.ndarray:
+        d = ((pts[:, None, :] - generators[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d, axis=1)
+
+    return f
+
+
+class TestVoronoiProperties:
+    @given(seed=st.integers(0, 2**16), n=st.integers(3, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_inversion_is_decision_equivalent(self, seed, n):
+        """Generator recovery is ambiguous for degenerate adjacency graphs
+        (non-adjacent pairs contribute no bisector, leaving free modes), so
+        the guaranteed property is *decision equivalence*: the recovered
+        generators induce (almost) the same partition."""
+        rng = np.random.default_rng(seed)
+        # rejection-sample generators with a minimum separation so the
+        # partition is well-conditioned
+        gens = []
+        while len(gens) < n:
+            cand = rng.uniform(-1.1, 1.1, size=2)
+            if all(np.linalg.norm(cand - g) > 0.45 for g in gens):
+                gens.append(cand)
+        gen = np.array(gens)
+        grid = sample_decision_regions(None, extent=1.8, resolution=128,
+                                       label_fn=nearest_label_fn(gen))
+        labels, rec = voronoi_inversion(grid)
+        relabeled = labels[nearest_label_fn(rec)(grid.points())]
+        agreement = np.mean(relabeled == grid.labels.ravel())
+        assert agreement > 0.95
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_mass_centroids_inside_window(self, seed):
+        rng = np.random.default_rng(seed)
+        gen = rng.uniform(-1, 1, size=(5, 2))
+        grid = sample_decision_regions(None, extent=1.5, resolution=64,
+                                       label_fn=nearest_label_fn(gen))
+        cents = extract_centroids(grid, 5, method="mass")
+        pts = cents.points[cents.found]
+        assert np.all(np.abs(pts.real) <= 1.5)
+        assert np.all(np.abs(pts.imag) <= 1.5)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_every_present_label_gets_centroid(self, seed):
+        rng = np.random.default_rng(seed)
+        gen = rng.uniform(-1, 1, size=(6, 2))
+        grid = sample_decision_regions(None, extent=1.5, resolution=64,
+                                       label_fn=nearest_label_fn(gen))
+        for method in ("mass", "vertex", "lsq"):
+            cents = extract_centroids(grid, 6, method=method)
+            present = grid.present_labels
+            assert cents.found[present].all()
+
+
+class TestPipelineProperties:
+    stage_lists = st.lists(
+        st.tuples(st.integers(1, 8), st.integers(1, 10)), min_size=1, max_size=6
+    )
+
+    @given(spec=stage_lists)
+    @settings(**SETTINGS)
+    def test_simulation_matches_closed_form(self, spec):
+        stages = [
+            PipelineStage(f"s{i}", ii=ii, depth=d, resources=ResourceVector())
+            for i, (ii, d) in enumerate(spec)
+        ]
+        pipe = DataflowPipeline("prop", stages)
+        sim = pipe.simulate(48)
+        assert sim.first_latency == pipe.depth
+        assert np.isclose(sim.steady_state_ii, pipe.ii)
+
+    @given(spec=stage_lists)
+    @settings(**SETTINGS)
+    def test_throughput_latency_consistent(self, spec):
+        stages = [
+            PipelineStage(f"s{i}", ii=ii, depth=d, resources=ResourceVector())
+            for i, (ii, d) in enumerate(spec)
+        ]
+        pipe = DataflowPipeline("prop", stages)
+        assert pipe.latency_s >= 1.0 / pipe.clock_hz
+        assert pipe.throughput_per_s <= pipe.clock_hz
+
+    @given(
+        lut=st.floats(0, 1e5), ff=st.floats(0, 1e5),
+        dsp=st.floats(0, 360), bram=st.floats(0, 200),
+        k=st.floats(0, 5),
+    )
+    @settings(**SETTINGS)
+    def test_resource_scale_linearity(self, lut, ff, dsp, bram, k):
+        r = ResourceVector(lut=lut, ff=ff, dsp=dsp, bram_36=bram)
+        s = r.scale(k)
+        assert np.isclose(s.lut, lut * k)
+        assert np.isclose(s.dsp, dsp * k)
+
+    @given(
+        lut=st.floats(0, 1e5), dsp=st.floats(0, 360),
+    )
+    @settings(**SETTINGS)
+    def test_power_monotone_in_resources(self, lut, dsp):
+        from repro.fpga.power import CALIBRATED_ZU3EG_150MHZ as pm
+
+        base = pm.power(ResourceVector(lut=lut, dsp=dsp))
+        more = pm.power(ResourceVector(lut=lut + 100, dsp=dsp + 1))
+        assert more > base

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.complexmath."""
+
+import numpy as np
+import pytest
+
+from repro.utils.complexmath import (
+    complex_to_real2,
+    db_to_linear,
+    linear_to_db,
+    real2_to_complex,
+    rotate,
+    rotation_matrix,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self, rng):
+        z = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert np.allclose(real2_to_complex(complex_to_real2(z)), z)
+
+    def test_shapes(self):
+        z = np.zeros((3, 4), dtype=complex)
+        assert complex_to_real2(z).shape == (3, 4, 2)
+
+    def test_real2_requires_pair_axis(self):
+        with pytest.raises(ValueError):
+            real2_to_complex(np.zeros((5, 3)))
+
+    def test_columns_are_re_im(self):
+        out = complex_to_real2(np.array([1.0 + 2.0j]))
+        assert out[0, 0] == 1.0 and out[0, 1] == 2.0
+
+    def test_output_contiguous(self):
+        out = complex_to_real2(np.array([1j, 2j]))
+        assert out.flags.c_contiguous
+
+
+class TestRotation:
+    def test_rotation_matrix_orthogonal(self):
+        r = rotation_matrix(0.7)
+        assert np.allclose(r @ r.T, np.eye(2))
+        assert np.isclose(np.linalg.det(r), 1.0)
+
+    def test_rotate_complex_matches_real(self, rng):
+        z = rng.normal(size=10) + 1j * rng.normal(size=10)
+        phi = 0.3
+        zc = rotate(z, phi)
+        zr = rotate(complex_to_real2(z), phi)
+        assert np.allclose(real2_to_complex(zr), zc)
+
+    def test_quarter_turn(self):
+        assert np.allclose(rotate(np.array([1.0 + 0j]), np.pi / 2), np.array([1j]), atol=1e-12)
+
+    def test_rotation_preserves_norm(self, rng):
+        z = rng.normal(size=50) + 1j * rng.normal(size=50)
+        assert np.allclose(np.abs(rotate(z, 1.234)), np.abs(z))
+
+    def test_inverse_rotation(self, rng):
+        z = rng.normal(size=5) + 1j * rng.normal(size=5)
+        assert np.allclose(rotate(rotate(z, 0.9), -0.9), z)
+
+
+class TestDecibels:
+    def test_db_to_linear_known(self):
+        assert np.isclose(db_to_linear(10.0), 10.0)
+        assert np.isclose(db_to_linear(0.0), 1.0)
+        assert np.isclose(db_to_linear(-10.0), 0.1)
+
+    def test_roundtrip(self):
+        vals = np.array([0.01, 1.0, 5.5, 1234.0])
+        assert np.allclose(db_to_linear(linear_to_db(vals)), vals)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-3.0)

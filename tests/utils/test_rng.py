@@ -1,0 +1,74 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(3)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(8), as_generator(2).random(8))
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.array_equal(g1.random(16), g2.random(16))
+
+    def test_deterministic_across_calls(self):
+        a = spawn_generators(42, 3)
+        b = spawn_generators(42, 3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.random(4), y.random(4))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestRngFactory:
+    def test_replays_identically(self):
+        f1 = RngFactory(5)
+        f2 = RngFactory(5)
+        assert np.array_equal(f1.get("a").random(4), f2.get("x").random(4))
+
+    def test_sequential_streams_differ(self):
+        f = RngFactory(5)
+        assert not np.array_equal(f.get().random(8), f.get().random(8))
+
+    def test_issued_names_recorded(self):
+        f = RngFactory(0)
+        f.get("train")
+        f.get("eval")
+        assert f.issued == ("train", "eval")
+
+    def test_get_many(self):
+        f = RngFactory(0)
+        gens = f.get_many(["a", "b", "c"])
+        assert len(gens) == 3
+        assert f.issued == ("a", "b", "c")

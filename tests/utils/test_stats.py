@@ -1,0 +1,81 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import gray_qam_ber_approx, q_function, q_function_inv, wilson_interval
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert np.isclose(q_function(0.0), 0.5)
+        assert np.isclose(q_function(1.6448536), 0.05, atol=1e-6)
+
+    def test_symmetry(self):
+        x = np.linspace(-3, 3, 13)
+        assert np.allclose(q_function(x) + q_function(-x), 1.0)
+
+    def test_inverse_roundtrip(self):
+        p = np.array([0.4, 0.1, 0.01, 1e-5])
+        assert np.allclose(q_function(q_function_inv(p)), p, rtol=1e-9)
+
+    def test_inverse_domain(self):
+        with pytest.raises(ValueError):
+            q_function_inv(0.0)
+        with pytest.raises(ValueError):
+            q_function_inv(1.0)
+
+
+class TestQamBer:
+    def test_paper_table1_baselines(self):
+        """The paper's Table-1 baseline values pin down the SNR convention."""
+        assert abs(gray_qam_ber_approx(-2.0) - 0.19) < 0.015
+        assert abs(gray_qam_ber_approx(8.0) - 0.0103) < 0.0015
+
+    def test_monotone_decreasing(self):
+        snrs = np.arange(0, 14, 2.0)
+        bers = gray_qam_ber_approx(snrs)
+        assert np.all(np.diff(bers) < 0)
+
+    def test_qpsk_matches_bpsk_formula(self):
+        # Gray QPSK BER = Q(sqrt(2 Eb/N0))
+        ebn0_db = 4.0
+        expected = q_function(np.sqrt(2 * 10 ** (ebn0_db / 10)))
+        assert np.isclose(gray_qam_ber_approx(ebn0_db, order=4), expected, rtol=1e-9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gray_qam_ber_approx(5.0, order=32)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            gray_qam_ber_approx(5.0, order=3)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(10, 1000)
+        assert lo < 10 / 1000 < hi
+
+    def test_zero_errors(self):
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == 0.0
+        assert 0 < hi < 0.01
+
+    def test_all_errors(self):
+        lo, hi = wilson_interval(1000, 1000)
+        assert hi == 1.0
+        assert 0.99 < lo < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(100, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)

@@ -1,0 +1,131 @@
+"""Tests for table formatting and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import ber_curve_plot, decision_region_plot, scatter_plot
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+        assert "2.5" in lines[2]
+        assert "-" in lines[3]  # None renders as '-'
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_format(self):
+        out = format_table(["x"], [[0.123456]], float_fmt=".2f")
+        assert "0.12" in out
+
+    def test_alignment(self):
+        out = format_table(["col", "other"], [["aaaa", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert len(lines[2]) >= len("aaaa")
+
+
+class TestBerCurvePlot:
+    def test_renders_with_legend(self):
+        snr = [0, 2, 4, 6]
+        out = ber_curve_plot(snr, {"conv": [0.1, 0.05, 0.01, 0.001]})
+        assert "legend" in out
+        assert "conv" in out
+
+    def test_multiple_series_marks(self):
+        snr = [0, 4]
+        out = ber_curve_plot(snr, {"a": [0.1, 0.01], "b": [0.2, 0.02]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_zero_ber_clamped(self):
+        out = ber_curve_plot([0, 2], {"s": [0.1, 0.0]})
+        assert isinstance(out, str)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ber_curve_plot([0], {"s": [0.1]})
+
+    def test_series_shape_checked(self):
+        with pytest.raises(ValueError):
+            ber_curve_plot([0, 2], {"s": [0.1]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ber_curve_plot([0, 2], {})
+
+
+class TestDecisionRegionPlot:
+    def test_renders_grid(self):
+        labels = np.zeros((32, 32), dtype=int)
+        labels[16:, :] = 3
+        out = decision_region_plot(labels, 1.0)
+        assert "0" in out and "3" in out
+
+    def test_centroid_overlay(self):
+        labels = np.zeros((16, 16), dtype=int)
+        out = decision_region_plot(labels, 1.0, centroids=np.array([0.0 + 0.0j]))
+        assert "*" in out
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            decision_region_plot(np.zeros(5, dtype=int), 1.0)
+
+    def test_orientation_top_is_positive_imag(self):
+        labels = np.zeros((16, 16), dtype=int)
+        labels[-1, :] = 5  # highest y row
+        out = decision_region_plot(labels, 1.0)
+        first_grid_line = out.splitlines()[1]
+        assert "5" in first_grid_line
+
+
+class TestScatterPlot:
+    def test_renders_points(self):
+        out = scatter_plot(np.array([0.5 + 0.5j, -0.5 - 0.5j]))
+        assert out.count("*") == 2
+
+    def test_labels_glyphs(self):
+        out = scatter_plot(np.array([0.5 + 0.5j]), labels=np.array([7]))
+        assert "7" in out
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0, 0, 1, inclusive=False)
+
+    def test_check_power_of_two(self):
+        check_power_of_two("x", 16)
+        with pytest.raises(ValueError):
+            check_power_of_two("x", 12)
+        with pytest.raises(ValueError):
+            check_power_of_two("x", 0)
+
+    def test_check_probability(self):
+        check_probability("p", np.array([0.0, 0.5, 1.0]))
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", np.nan)
