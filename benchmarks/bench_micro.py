@@ -2,14 +2,26 @@
 
 These time the *software* implementation (symbols/s in NumPy), a sanity
 complement to the architectural FPGA model: training steps, ANN inference,
-max-log demapping, exact log-MAP, quantised integer inference, and
-decision-region extraction.
+max-log demapping (per backend tier), exact log-MAP, quantised integer
+inference, and decision-region extraction.
+
+Every timed test records its stats into ``BENCH_micro.json`` at the repo
+root (a pytest-benchmark-style artifact) so the performance trajectory is
+tracked in-tree from PR to PR.  Regenerate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro.py --benchmark-only
 """
+
+import json
+import os
+import platform
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.autoencoder import AESystem, DemapperANN, MapperANN
+from repro.backend import NUMBA_AVAILABLE
 from repro.channels import AWGNChannel
 from repro.extraction import sample_decision_regions
 from repro.fpga import QuantizedDemapper
@@ -25,6 +37,115 @@ from repro.utils.complexmath import complex_to_real2
 
 N = 262_144  # symbols per timed call
 
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+_RESULTS: list[dict] = []
+
+#: Record names environment-conditional benchmarks may add (skipped tiers).
+_ENV_BENCH_NAMES = frozenset({"maxlog_llrs[numba]"})
+
+#: Every record name a full run produces on this machine-independent core
+#: set; environment-conditional benchmarks (skipped tiers) are excluded so
+#: their absence doesn't demote a genuine full run to a merge.  _record
+#: enforces membership, so a renamed benchmark fails loudly instead of
+#: silently desynchronising this set.
+_CORE_BENCH_NAMES = frozenset(
+    {
+        "maxlog_llrs[numpy]",
+        "maxlog_llrs[numpy32]",
+        "logmap_llrs[numpy]",
+        "hard_indices[numpy]",
+        "ann_forward",
+        "quantized_hard_bits",
+        "e2e_train_step",
+        "simulate_ber_chunked",
+        "decision_region_sampling",
+        "full_extraction_lsq",
+    }
+)
+
+
+def _record(benchmark, name: str, *, symbols: int | None = None, extra: dict | None = None):
+    """Append one benchmark's stats to the artifact; returns sym/s (or None).
+
+    Tolerates ``--benchmark-disable`` runs (no stats collected).
+    """
+    if name not in _CORE_BENCH_NAMES | _ENV_BENCH_NAMES:
+        raise AssertionError(
+            f"benchmark record name {name!r} is not registered in "
+            "_CORE_BENCH_NAMES/_ENV_BENCH_NAMES — update the set so "
+            "full-run detection stays in sync"
+        )
+    if getattr(benchmark, "disabled", False) or benchmark.stats is None:
+        return None  # --benchmark-disable run: nothing was timed
+    # any other stats-access failure must raise: silently skipping here
+    # would also silently skip the throughput-floor assertions
+    stats = {"mean": float(benchmark.stats["mean"])}
+    for key in ("min", "max", "stddev", "median", "rounds", "ops"):
+        try:
+            stats[key] = float(benchmark.stats[key])
+        except (TypeError, KeyError):
+            pass
+    entry = {"name": name, "stats": stats}
+    rate = None
+    if symbols is not None:
+        rate = symbols / stats["mean"]
+        entry["symbols_per_call"] = symbols
+        entry["symbols_per_second"] = rate
+    if extra:
+        entry.update(extra)
+    _RESULTS.append(entry)
+    return rate
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_micro_artifact():
+    """Write the JSON artifact once the module's benchmarks have run.
+
+    A full-suite run rewrites the artifact from scratch (pruning entries
+    whose benchmark was renamed or deleted); a partial run (``-k``, single
+    test) merges by name into the existing artifact so it refreshes only
+    the benchmarks that actually ran instead of clobbering the rest.
+    """
+    _RESULTS.clear()
+    yield
+    if not _RESULTS:
+        return
+    machine_info = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba_available": NUMBA_AVAILABLE,
+        "cpus": os.cpu_count(),
+        "machine": platform.machine(),
+    }
+    merged: dict[str, dict] = {}
+    # Full run (every core benchmark recorded; env-conditional tiers such
+    # as numba may be skipped): rewrite from scratch so renamed/deleted
+    # benchmarks don't linger in the tracked artifact.  Partial selections
+    # (-k / node ids) merge instead.
+    full_run = _CORE_BENCH_NAMES <= {entry["name"] for entry in _RESULTS}
+    if not full_run:
+        try:
+            previous = json.loads(_ARTIFACT.read_text())
+        except (OSError, ValueError):
+            previous = None  # absent or unreadable artifact: start fresh
+        if isinstance(previous, dict) and isinstance(previous.get("benchmarks"), list):
+            if previous.get("machine_info") != machine_info:
+                # a partial run from another environment must neither
+                # re-stamp foreign numbers as ours nor clobber the tracked
+                # full artifact — leave the file untouched
+                return
+            for entry in previous["benchmarks"]:
+                merged[entry["name"]] = entry
+    for entry in _RESULTS:
+        merged[entry["name"]] = entry
+    payload = {
+        "schema": 1,
+        "suite": "bench_micro",
+        "machine_info": machine_info,
+        "benchmarks": list(merged.values()),
+    }
+    _ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
 
 @pytest.fixture(scope="module")
 def stream(bench_constellation_8db):
@@ -37,30 +158,69 @@ def stream(bench_constellation_8db):
 def test_maxlog_demapper_throughput(benchmark, stream):
     y, _ = stream
     qam = qam_constellation(16)
-    ml = MaxLogDemapper(qam)
-    benchmark(ml.llrs, y, 0.02)
-    rate = N / benchmark.stats["mean"]
-    assert rate > 3e5  # hundreds of ksym/s in NumPy (the FPGA core does 75M)
+    ml = MaxLogDemapper(qam)  # default backend: float64 NumPy reference
+    out = np.empty((N, 4))  # workspace contract: steady state allocates nothing
+    benchmark(ml.llrs, y, 0.02, out=out)
+    rate = _record(benchmark, "maxlog_llrs[numpy]", symbols=N, extra={"backend": "numpy"})
+    if rate is not None:
+        # fused transposed kernel: >= 3x the historical 3e5 floor even on the
+        # reference tier (the FPGA core does 75M)
+        assert rate > 1e6
+
+
+def test_maxlog_demapper_throughput_float32(benchmark, stream):
+    y, _ = stream
+    qam = qam_constellation(16)
+    ml = MaxLogDemapper(qam, backend="numpy32")
+    out = np.empty((N, 4))
+    benchmark(ml.llrs, y, 0.02, out=out)
+    rate = _record(benchmark, "maxlog_llrs[numpy32]", symbols=N, extra={"backend": "numpy32"})
+    if rate is not None:
+        assert rate > 2e6  # fast tier: roughly double the reference
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_maxlog_demapper_throughput_numba(benchmark, stream):
+    y, _ = stream
+    qam = qam_constellation(16)
+    ml = MaxLogDemapper(qam, backend="numba")
+    out = np.empty((N, 4))
+    ml.llrs(y, 0.02, out=out)  # JIT warmup outside the timer
+    benchmark(ml.llrs, y, 0.02, out=out)
+    _record(benchmark, "maxlog_llrs[numba]", symbols=N, extra={"backend": "numba"})
 
 
 def test_exact_logmap_throughput(benchmark, stream):
     y, _ = stream
     qam = qam_constellation(16)
     ex = ExactLogMAPDemapper(qam)
-    benchmark(ex.llrs, y, 0.02)
+    out = np.empty((N, 4))
+    benchmark(ex.llrs, y, 0.02, out=out)
+    _record(benchmark, "logmap_llrs[numpy]", symbols=N, extra={"backend": "numpy"})
+
+
+def test_hard_demapper_throughput(benchmark, stream):
+    from repro.modulation import HardDemapper
+
+    y, _ = stream
+    hd = HardDemapper(qam_constellation(16))
+    benchmark(hd.demap_indices, y)
+    _record(benchmark, "hard_indices[numpy]", symbols=N, extra={"backend": "numpy"})
 
 
 def test_ann_inference_throughput(benchmark, stream, bench_system_8db):
     _, y2 = stream
     benchmark(bench_system_8db.demapper.forward, y2)
-    rate = N / benchmark.stats["mean"]
-    assert rate > 1e6
+    rate = _record(benchmark, "ann_forward", symbols=N)
+    if rate is not None:
+        assert rate > 1e6
 
 
 def test_quantized_inference_throughput(benchmark, stream, bench_system_8db):
     _, y2 = stream
     q = QuantizedDemapper(bench_system_8db.demapper)
     benchmark(q.hard_bits, y2)
+    _record(benchmark, "quantized_hard_bits", symbols=N)
 
 
 def test_e2e_train_step(benchmark):
@@ -77,11 +237,32 @@ def test_e2e_train_step(benchmark):
         return loss
 
     benchmark(step)
+    _record(benchmark, "e2e_train_step", extra={"batch": 512})
+
+
+def test_parallel_ber_chunked_throughput(benchmark):
+    """The deterministic chunked Monte-Carlo path (1 worker, in-process)."""
+    from repro.link import AWGNFactory, simulate_ber
+
+    qam = qam_constellation(16)
+    ml = MaxLogDemapper(qam)
+    import functools
+
+    demap = functools.partial(ml.demap_bits, sigma2=0.05)
+    benchmark.pedantic(
+        simulate_ber,
+        args=(qam, None, demap, N),
+        kwargs=dict(rng=5, batch_size=65536, channel_factory=AWGNFactory(8.0, 4)),
+        rounds=3,
+        iterations=1,
+    )
+    _record(benchmark, "simulate_ber_chunked", symbols=N)
 
 
 def test_decision_region_sampling(benchmark, bench_system_8db):
     fn = bench_system_8db.demapper.bit_probability_fn()
     benchmark(sample_decision_regions, fn, extent=1.5, resolution=256)
+    _record(benchmark, "decision_region_sampling", extra={"resolution": 256})
 
 
 def test_full_extraction_lsq(benchmark, bench_system_8db, bench_constellation_8db):
@@ -94,3 +275,4 @@ def test_full_extraction_lsq(benchmark, bench_system_8db, bench_constellation_8d
         kwargs=dict(method="lsq", fallback=bench_constellation_8db),
         rounds=5, iterations=1,
     )
+    _record(benchmark, "full_extraction_lsq")

@@ -20,7 +20,8 @@ Subpackages: :mod:`repro.nn` (NumPy NN framework), :mod:`repro.modulation`
 (QAM/demappers), :mod:`repro.channels`, :mod:`repro.ecc`,
 :mod:`repro.autoencoder` (AE core), :mod:`repro.extraction` (the hybrid
 approach), :mod:`repro.fpga` (implementation model), :mod:`repro.link`,
-:mod:`repro.experiments` (paper artifacts).
+:mod:`repro.experiments` (paper artifacts), :mod:`repro.backend` (pluggable
+compute tiers — ``REPRO_BACKEND=numpy|numpy32|numba``).
 """
 
 from repro.autoencoder import (
@@ -42,6 +43,7 @@ from repro.extraction import (
     extract_centroids,
     sample_decision_regions,
 )
+from repro.backend import get_backend, set_backend, use_backend
 from repro.link import AdaptiveReceiver, simulate_ber
 from repro.modulation import (
     Constellation,
@@ -75,4 +77,7 @@ __all__ = [
     "ExactLogMAPDemapper",
     "AdaptiveReceiver",
     "simulate_ber",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -1,0 +1,179 @@
+"""Optional Numba-JIT backend with silent NumPy fallback.
+
+Importing this module never fails and never imports the JIT toolchain:
+``NUMBA_AVAILABLE`` is probed with :func:`importlib.util.find_spec` (cheap),
+and the actual ``numba`` import plus kernel compilation happen lazily on
+first :class:`NumbaBackend` construction, so ``import repro`` stays fast
+even on machines where numba (and llvmlite) are installed.  When Numba is
+absent the registry quietly serves the NumPy reference backend instead (the
+issue-mandated "silent fallback"), so the same code runs unchanged in
+minimal containers.
+
+The jitted kernels fuse the whole demapping pipeline per symbol — distance,
+per-bit minima (or streaming log-sum-exp), scaling — in one cache-resident
+pass over a stack-local distance vector, the same dataflow as the FPGA's
+pipelined distance/min-tree stages.  Hard decisions are bit-identical to the
+NumPy float64 tier: identical IEEE double operations, only the loop
+scheduling differs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.backend.bitsets import PaddedBitSets
+from repro.backend.numpy_backend import NumpyBackend, _check_llr_out
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaBackend"]
+
+#: Cheap availability probe — does not import numba/llvmlite.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+_kernels: SimpleNamespace | None = None
+
+
+def _get_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba installed
+    """Import numba and compile the kernel set once, on first use."""
+    global _kernels
+    if _kernels is not None:
+        return _kernels
+    from numba import njit
+
+    @njit(cache=True)
+    def maxlog(y_re, y_im, c_re, c_im, table, sizes, k, scale, out):
+        n = y_re.size
+        m = c_re.size
+        d2 = np.empty(m, dtype=np.float64)
+        for i in range(n):
+            for p in range(m):
+                dr = y_re[i] - c_re[p]
+                di = y_im[i] - c_im[p]
+                d2[p] = dr * dr + di * di
+            for j in range(k):
+                m0 = np.inf
+                for t in range(sizes[j]):
+                    v = d2[table[j, t]]
+                    if v < m0:
+                        m0 = v
+                m1 = np.inf
+                for t in range(sizes[k + j]):
+                    v = d2[table[k + j, t]]
+                    if v < m1:
+                        m1 = v
+                out[i, j] = (m0 - m1) * scale
+
+    @njit(cache=True)
+    def logmap(y_re, y_im, c_re, c_im, table, sizes, k, inv_2s2, out):
+        n = y_re.size
+        m = c_re.size
+        metric = np.empty(m, dtype=np.float64)
+        for i in range(n):
+            for p in range(m):
+                dr = y_re[i] - c_re[p]
+                di = y_im[i] - c_im[p]
+                metric[p] = -(dr * dr + di * di) * inv_2s2
+            for j in range(k):
+                mx1 = -np.inf
+                for t in range(sizes[k + j]):
+                    v = metric[table[k + j, t]]
+                    if v > mx1:
+                        mx1 = v
+                s1 = 0.0
+                for t in range(sizes[k + j]):
+                    s1 += np.exp(metric[table[k + j, t]] - mx1)
+                mx0 = -np.inf
+                for t in range(sizes[j]):
+                    v = metric[table[j, t]]
+                    if v > mx0:
+                        mx0 = v
+                s0 = 0.0
+                for t in range(sizes[j]):
+                    s0 += np.exp(metric[table[j, t]] - mx0)
+                out[i, j] = (mx1 + np.log(s1)) - (mx0 + np.log(s0))
+
+    @njit(cache=True)
+    def hard(y_re, y_im, c_re, c_im, out):
+        n = y_re.size
+        m = c_re.size
+        for i in range(n):
+            best = np.inf
+            arg = 0
+            for p in range(m):
+                dr = y_re[i] - c_re[p]
+                di = y_im[i] - c_im[p]
+                v = dr * dr + di * di
+                if v < best:
+                    best = v
+                    arg = p
+            out[i] = arg
+
+    @njit(cache=True)
+    def gemm_i64(x, w, bias, out):
+        n, kin = x.shape
+        kout = w.shape[0]
+        for i in range(n):
+            for o in range(kout):
+                acc = bias[o]
+                for c in range(kin):
+                    acc += x[i, c] * w[o, c]
+                out[i, o] = acc
+
+    _kernels = SimpleNamespace(maxlog=maxlog, logmap=logmap, hard=hard, gemm_i64=gemm_i64)
+    return _kernels
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT tier: fused per-symbol kernels, float64 semantics.
+
+    Construction raises :class:`RuntimeError` when Numba is missing.  The
+    registry (:func:`repro.backend.core.backend_from_name`) never constructs
+    this class in that case — it checks :data:`NUMBA_AVAILABLE` first and
+    serves the NumPy reference instead — so only direct instantiation sees
+    the error.
+    """
+
+    def __init__(self) -> None:
+        if not NUMBA_AVAILABLE:
+            raise RuntimeError("numba is not installed")
+        super().__init__(np.float64, name="numba")
+        self._k = _get_kernels()
+
+    def _prepared(self, received, points):  # pragma: no cover - needs numba
+        yr, yi = self._split_received(received)
+        c = np.asarray(points).ravel()
+        return yr, yi, np.ascontiguousarray(c.real), np.ascontiguousarray(c.imag)
+
+    def maxlog_llrs(self, received, points, bitsets: PaddedBitSets, sigma2, out=None):  # pragma: no cover
+        yr, yi, c_re, c_im = self._prepared(received, points)
+        out = _check_llr_out(out, yr.size, bitsets.k)
+        self._k.maxlog(
+            yr, yi, c_re, c_im, bitsets.table, bitsets.sizes,
+            bitsets.k, 1.0 / (2.0 * sigma2), out,
+        )
+        return out
+
+    def logmap_llrs(self, received, points, bitsets: PaddedBitSets, sigma2, out=None):  # pragma: no cover
+        yr, yi, c_re, c_im = self._prepared(received, points)
+        out = _check_llr_out(out, yr.size, bitsets.k)
+        self._k.logmap(
+            yr, yi, c_re, c_im, bitsets.table, bitsets.sizes,
+            bitsets.k, 1.0 / (2.0 * sigma2), out,
+        )
+        return out
+
+    def hard_indices(self, received, points):  # pragma: no cover - needs numba
+        yr, yi, c_re, c_im = self._prepared(received, points)
+        out = np.empty(yr.size, dtype=np.intp)
+        self._k.hard(yr, yi, c_re, c_im, out)
+        return out
+
+    def gemm_i64(self, x, weight, bias=None):  # pragma: no cover - needs numba
+        x = np.ascontiguousarray(x, dtype=np.int64)
+        w = np.ascontiguousarray(weight, dtype=np.int64)
+        b = np.zeros(w.shape[0], dtype=np.int64) if bias is None else np.asarray(bias, dtype=np.int64)
+        out = np.empty((x.shape[0], w.shape[0]), dtype=np.int64)
+        self._k.gemm_i64(x, w, b, out)
+        return out

@@ -19,13 +19,31 @@ that 8-bit quantisation costs almost no BER (ablated over bit widths in
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.autoencoder.demapper_ann import DemapperANN
+from repro.backend import get_backend
 from repro.fpga.fixed_point import FixedPointFormat
 from repro.nn.layers import Dense, ReLU
+from repro.utils.numerics import stable_sigmoid
+from repro.utils.rng import as_generator
 
 __all__ = ["QuantizedDemapper", "build_sigmoid_lut"]
+
+
+@lru_cache(maxsize=8)
+def _cached_sigmoid_lut(entries: int, input_range: float) -> tuple[np.ndarray, float]:
+    """Module-level LUT cache: every demapper instance with the same geometry
+    shares one read-only table instead of rebuilding it per construction.
+    Bounded so sweeps over many exotic geometries can't grow memory without
+    limit; the default ``(256, 8.0)`` entry effectively never evicts."""
+    step = 2.0 * input_range / entries
+    xs = -input_range + step * np.arange(entries)
+    table = stable_sigmoid(xs)
+    table.setflags(write=False)
+    return table, step
 
 
 def build_sigmoid_lut(*, entries: int = 256, input_range: float = 8.0) -> tuple[np.ndarray, float]:
@@ -34,15 +52,15 @@ def build_sigmoid_lut(*, entries: int = 256, input_range: float = 8.0) -> tuple[
     Returns ``(table, step)``: ``table[i] = sigmoid(-range + i*step)``.
     256 entries over ±8 give a worst-case absolute error < 0.008 — far below
     what demapping accuracy requires (only the 0.5 threshold and coarse
-    confidence matter).
+    confidence matter).  Backed by a module-level cache; the returned table
+    is a fresh writable copy (callers may post-process it in place).
     """
     if entries < 8:
         raise ValueError("entries must be >= 8")
     if input_range <= 0:
         raise ValueError("input_range must be positive")
-    step = 2.0 * input_range / entries
-    xs = -input_range + step * np.arange(entries)
-    return 1.0 / (1.0 + np.exp(-xs)), step
+    table, step = _cached_sigmoid_lut(int(entries), float(input_range))
+    return table.copy(), step
 
 
 class QuantizedDemapper:
@@ -72,7 +90,13 @@ class QuantizedDemapper:
         Per-boundary budget for activation quantisation.
     calibration:
         ``(N, 2)`` float samples for activation-range calibration; defaults
-        to 4096 unit-scale Gaussian points (≈ unit-energy received symbols).
+        to 4096 unit-scale Gaussian points (≈ unit-energy received symbols)
+        drawn from ``calibration_seed``.
+    calibration_seed:
+        Seed (or generator) for the default calibration batch, so callers
+        can vary or thread their experiment seed instead of every instance
+        silently sharing ``default_rng(0)``.  Ignored when ``calibration``
+        is given.
     """
 
     def __init__(
@@ -82,12 +106,13 @@ class QuantizedDemapper:
         weight_format: FixedPointFormat = FixedPointFormat(8, 6),
         activation_format: FixedPointFormat = FixedPointFormat(12, 8),
         calibration: np.ndarray | None = None,
+        calibration_seed: int | np.random.Generator | None = 0,
     ):
         self.weight_format = weight_format
         self.activation_format = activation_format
         self.bits_per_symbol = demapper.bits_per_symbol
         if calibration is None:
-            calibration = np.random.default_rng(0).normal(size=(4096, 2))
+            calibration = as_generator(calibration_seed).normal(size=(4096, 2))
         calibration = np.asarray(calibration, dtype=np.float64)
         if calibration.ndim != 2 or calibration.shape[1] != 2:
             raise ValueError("calibration must be (N, 2)")
@@ -138,7 +163,9 @@ class QuantizedDemapper:
             else:
                 shift = 0  # final accumulators are the logits
             self._layers.append((w_q, b_q, shift, relu))
-        self._lut, self._lut_step = build_sigmoid_lut()
+        # internal use reads the shared cached (read-only) table directly —
+        # no per-instance rebuild or copy
+        self._lut, self._lut_step = _cached_sigmoid_lut(256, 8.0)
         self._lut_range = self._lut_step * len(self._lut) / 2.0
 
     @staticmethod
@@ -168,8 +195,9 @@ class QuantizedDemapper:
         """
         x = self._act_formats[0].to_int(np.asarray(received, dtype=np.float64))
         n_layers = len(self._layers)
+        backend = get_backend()
         for li, (w_q, b_q, shift, relu) in enumerate(self._layers):
-            acc = x @ w_q.T + b_q  # int64 MAC array
+            acc = backend.gemm_i64(x, w_q, b_q)  # int64 MAC array
             if li == n_layers - 1:
                 return acc  # logits stay at accumulator scale
             x = self._requantize(acc, shift, self._act_formats[li + 1])

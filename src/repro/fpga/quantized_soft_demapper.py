@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import PaddedBitSets
 from repro.fpga.fixed_point import FixedPointFormat
 from repro.modulation.constellations import Constellation
 
@@ -78,10 +79,10 @@ class QuantizedSoftDemapper:
         self._recip = int(round((1 << scale_bits) / (2.0 * sigma2)))
         if self._recip < 1:
             raise ValueError("sigma2 too large for the chosen scale_bits")
-        bm = constellation.bit_matrix
-        k = constellation.bits_per_symbol
-        self._one_sets = [np.flatnonzero(bm[:, j] == 1) for j in range(k)]
-        self._zero_sets = [np.flatnonzero(bm[:, j] == 0) for j in range(k)]
+        # Shared padded index table (padding repeats a set member — harmless
+        # for the min trees), mirroring the parallel min₀/min₁ comparator
+        # banks of the RTL: one gather + one min along the padded axis.
+        self._bitsets = PaddedBitSets.from_bit_matrix(constellation.bit_matrix)
 
     # -- integer pipeline -------------------------------------------------------
     def integer_distances(self, received: np.ndarray) -> np.ndarray:
@@ -99,11 +100,13 @@ class QuantizedSoftDemapper:
         """LLR codes ``(N, k)`` in the output format's integer domain."""
         d2 = self.integer_distances(received)
         k = self.constellation.bits_per_symbol
-        diff = np.empty((d2.shape[0], k), dtype=np.int64)
-        for j in range(k):
-            min0 = d2[:, self._zero_sets[j]].min(axis=1)
-            min1 = d2[:, self._one_sets[j]].min(axis=1)
-            diff[:, j] = min0 - min1
+        # per-bit min banks from the shared padded table; reduced one set at
+        # a time so peak memory stays at one (N, width) temporary
+        bs = self._bitsets
+        mins = np.empty((d2.shape[0], 2 * k), dtype=np.int64)
+        for s in range(2 * k):
+            np.minimum.reduce(d2[:, bs.table[s, : bs.sizes[s]]], axis=1, out=mins[:, s])
+        diff = mins[:, :k] - mins[:, k:]
         # scaling DSP: (diff * recip) >> scale_bits, then requantise to the
         # LLR grid.  diff is at centroid-LSB^2 scale; fold that in exactly.
         lsb2 = self.centroid_format.scale * self.centroid_format.scale

@@ -19,9 +19,10 @@ from repro.link.ofdm import (
     ofdm_modulate,
     subcarrier_gains,
 )
-from repro.link.simulator import BERResult, simulate_ber, sweep_snr
+from repro.link.simulator import AWGNFactory, BERResult, simulate_ber, sweep_snr
 
 __all__ = [
+    "AWGNFactory",
     "BERResult",
     "simulate_ber",
     "sweep_snr",

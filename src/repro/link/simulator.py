@@ -4,21 +4,39 @@ Streams random symbols through ``constellation -> channel -> demapper`` in
 large batches (vectorised end to end), stops early once ``max_errors`` bit
 errors have been observed (relative BER accuracy ~1/sqrt(max_errors)), and
 reports a Wilson confidence interval.
+
+Two execution modes:
+
+* **Legacy streaming** (default): one channel instance, one RNG, sequential
+  batches — byte-compatible with the original engine.
+* **Deterministic chunked** (``channel_factory`` given): the run is split
+  into fixed chunks, each with its own ``rng.spawn()``-derived source-bit
+  and channel-noise generators, and chunk results are accumulated in chunk
+  order.  The error count is then a pure function of ``(rng seed,
+  n_symbols, batch_size)`` — *independent of the worker count* — so
+  ``n_workers > 1`` fans chunks out over worker processes without changing
+  a single counted bit.  Early stopping is applied at chunk granularity in
+  chunk order, preserving that invariance.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import contextvars
+import multiprocessing
 import numpy as np
 
+from repro.backend import get_backend, use_backend
+from repro.channels.awgn import AWGNChannel
 from repro.channels.base import Channel
 from repro.modulation.constellations import Constellation
 from repro.utils.rng import as_generator
 from repro.utils.stats import wilson_interval
 
-__all__ = ["BERResult", "simulate_ber", "sweep_snr"]
+__all__ = ["BERResult", "AWGNFactory", "simulate_ber", "sweep_snr"]
 
 
 @dataclass(frozen=True)
@@ -40,15 +58,155 @@ class BERResult:
         return f"BER {self.ber:.3e} [{self.ci_low:.2e}, {self.ci_high:.2e}] ({self.bits} bits)"
 
 
+@dataclass(frozen=True)
+class AWGNFactory:
+    """Picklable channel factory for the chunked/parallel simulator mode.
+
+    ``AWGNFactory(snr_db, k)(rng)`` builds a fresh :class:`AWGNChannel`
+    driven by the per-chunk noise generator — the standard factory for
+    uncoded AWGN sweeps (custom channels supply their own factory callable;
+    it must be picklable for ``n_workers > 1``).
+
+    ``bits_per_symbol`` is deliberately required (unlike the channel's
+    16-QAM default): with the default Eb/N0 convention it sets the noise
+    power, and a silently wrong ``k`` shifts every BER point.
+    """
+
+    snr_db: float
+    bits_per_symbol: int
+    snr_type: str = "ebn0"
+    es: float = 1.0
+
+    def __call__(self, rng: np.random.Generator) -> AWGNChannel:
+        return AWGNChannel(
+            self.snr_db, self.bits_per_symbol, snr_type=self.snr_type, es=self.es, rng=rng
+        )
+
+
+def _ber_chunk(
+    constellation: Constellation,
+    channel_factory: Callable[[np.random.Generator], Channel],
+    demap_bits: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    bits_rng: np.random.Generator,
+    noise_rng: np.random.Generator,
+    backend,
+) -> tuple[int, int, int]:
+    """One independent chunk: returns ``(bit_errors, bits, symbols)``.
+
+    Module-level so it pickles into worker processes.  ``backend`` is the
+    backend instance the *parent* resolved: worker processes don't inherit
+    ``set_backend``/``use_backend`` state, so it is re-applied here to keep
+    the compute tier — and therefore the counted errors — identical for
+    every worker count (instances pickle with an empty workspace, and
+    custom/unregistered backends work as long as they pickle).  A demapper
+    pinned to its own backend still wins.
+    """
+    k = constellation.bits_per_symbol
+    # the whole chunk — channel build, forward, demap — runs under the
+    # parent's tier so backend-sensitive channels stay worker-invariant too
+    with use_backend(backend):
+        channel = channel_factory(noise_rng)
+        idx = bits_rng.integers(0, constellation.order, size=n)
+        received = channel.forward(constellation.points[idx])
+        hat = np.asarray(demap_bits(received))
+    if hat.shape != (n, k):
+        raise ValueError(f"demapper returned shape {hat.shape}, expected ({n}, {k})")
+    errors = int(np.count_nonzero(hat != constellation.bit_matrix[idx]))
+    return errors, n * k, n
+
+
+def _simulate_chunked(
+    constellation: Constellation,
+    channel_factory: Callable[[np.random.Generator], Channel],
+    demap_bits: Callable[[np.ndarray], np.ndarray],
+    n_symbols: int,
+    rng: np.random.Generator,
+    batch_size: int,
+    max_errors: int | None,
+    n_workers: int,
+) -> BERResult:
+    """Deterministic chunk plan; worker count never changes the counts."""
+    sizes = [batch_size] * (n_symbols // batch_size)
+    if n_symbols % batch_size:
+        sizes.append(n_symbols % batch_size)
+    backend = get_backend()
+
+    def chunk_args_iter():
+        # Two independent child generators per chunk (bits, noise), spawned
+        # lazily in deterministic order — spawning 2 at a time yields the
+        # exact same child streams as one upfront rng.spawn(2*n_chunks)
+        # (the spawn counter advances identically), so early-stopped runs
+        # skip the setup cost of chunks that never execute without changing
+        # a single counted bit.
+        for n in sizes:
+            bits_rng, noise_rng = rng.spawn(2)
+            yield (constellation, channel_factory, demap_bits, n, bits_rng, noise_rng, backend)
+
+    errors = 0
+    bits_done = 0
+    symbols_done = 0
+    if n_workers <= 1:
+        for args in chunk_args_iter():
+            e, b, s = _ber_chunk(*args)
+            errors += e
+            bits_done += b
+            symbols_done += s
+            if max_errors is not None and errors >= max_errors:
+                break
+    else:
+        try:
+            # forkserver: children fork from a dedicated single-threaded
+            # server, so spawning from a multithreaded parent (e.g. inside a
+            # sweep_snr thread pool) is safe; plain fork is not.
+            ctx = multiprocessing.get_context("forkserver")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as ex:
+            # Submit in a bounded window (not all chunks upfront), so an
+            # early stop wastes at most ~one window of speculative work.
+            # Results are still consumed strictly in chunk order: identical
+            # early-stop boundary (and thus identical counts) for every
+            # n_workers.
+            window = 2 * n_workers
+            pending: list = []
+            args_iter = chunk_args_iter()
+            exhausted = False
+            try:
+                while pending or not exhausted:
+                    while not exhausted and len(pending) < window:
+                        args = next(args_iter, None)
+                        if args is None:
+                            exhausted = True
+                        else:
+                            pending.append(ex.submit(_ber_chunk, *args))
+                    if not pending:
+                        break
+                    fut = pending.pop(0)
+                    e, b, s = fut.result()
+                    errors += e
+                    bits_done += b
+                    symbols_done += s
+                    if max_errors is not None and errors >= max_errors:
+                        break
+            finally:
+                for fut in pending:
+                    fut.cancel()
+    lo, hi = wilson_interval(errors, bits_done)
+    return BERResult(bit_errors=errors, bits=bits_done, symbols=symbols_done, ci_low=lo, ci_high=hi)
+
+
 def simulate_ber(
     constellation: Constellation,
-    channel: Channel,
+    channel: Channel | None,
     demap_bits: Callable[[np.ndarray], np.ndarray],
     n_symbols: int,
     *,
     rng: np.random.Generator | int | None = None,
     batch_size: int = 65536,
     max_errors: int | None = None,
+    n_workers: int = 1,
+    channel_factory: Callable[[np.random.Generator], Channel] | None = None,
 ) -> BERResult:
     """Measure the BER of a demapper over a channel.
 
@@ -57,24 +215,66 @@ def simulate_ber(
     constellation:
         Transmit constellation (labels = bits).
     channel:
-        Channel model applied to the transmitted symbols.
+        Channel model applied to the transmitted symbols (legacy streaming
+        mode; may be ``None`` when ``channel_factory`` is given).
     demap_bits:
-        ``(N,) complex -> (N, k) bits`` receiver function.
+        ``(N,) complex -> (N, k) bits`` receiver function.  In chunked mode
+        it must be **stateless** (pure per call): each chunk may run on an
+        independent pickled snapshot, so a receiver that mutates internal
+        state across calls (e.g. decision-directed tracking) would diverge
+        between worker counts — use the legacy streaming mode for those.
+        Must be picklable (e.g. a bound method of a demapper) for
+        ``n_workers > 1``; the argument tuple is re-pickled per chunk, so
+        keep multi-megabyte receivers out of the parallel path or use
+        large ``batch_size`` chunks.
     n_symbols:
         Maximum symbols to simulate.
     rng:
-        Seed/generator for the source bits (the channel owns its own noise
-        generator).
+        Seed/generator for the source bits.  In chunked mode this master
+        generator also spawns the per-chunk channel-noise generators, making
+        the whole run replayable from one integer.
     batch_size:
-        Symbols per vectorised batch.
+        Symbols per vectorised batch (= chunk size in chunked mode; part of
+        the reproducibility key).
     max_errors:
         Early-stop once this many bit errors accumulate (None = never).
+        Chunked mode stops at a chunk boundary, identically for any
+        ``n_workers``.
+    n_workers:
+        Worker processes for chunk fan-out (requires ``channel_factory``).
+        ``1`` = in-process.
+    channel_factory:
+        ``rng -> Channel`` builder enabling the deterministic chunked mode
+        (see module docstring); each chunk gets a freshly built channel with
+        its own spawned noise generator.  :class:`AWGNFactory` covers the
+        common AWGN case.
     """
     if n_symbols < 1:
         raise ValueError("n_symbols must be >= 1")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
     rng = as_generator(rng)
+
+    if channel_factory is not None:
+        if channel is not None:
+            raise ValueError(
+                "pass either channel (streaming mode) or channel_factory "
+                "(chunked mode), not both — the factory would silently win"
+            )
+        return _simulate_chunked(
+            constellation, channel_factory, demap_bits, n_symbols, rng,
+            batch_size, max_errors, n_workers,
+        )
+    if n_workers > 1:
+        raise ValueError(
+            "n_workers > 1 requires channel_factory= (per-chunk channels are "
+            "what make parallel noise streams reproducible)"
+        )
+    if channel is None:
+        raise ValueError("channel is required when channel_factory is not given")
+
     k = constellation.bits_per_symbol
     order = constellation.order
     points = constellation.points
@@ -104,6 +304,27 @@ def simulate_ber(
 def sweep_snr(
     snr_dbs: Sequence[float],
     runner: Callable[[float], BERResult],
+    *,
+    n_workers: int = 1,
 ) -> Mapping[float, BERResult]:
-    """Evaluate ``runner(snr_db)`` over a list of SNRs (ordered dict)."""
-    return {float(snr): runner(float(snr)) for snr in snr_dbs}
+    """Evaluate ``runner(snr_db)`` over a list of SNRs (ordered dict).
+
+    With ``n_workers > 1`` the SNR points run concurrently on a thread pool
+    (runners are usually closures, which don't pickle; NumPy releases the
+    GIL in the hot kernels, so threads overlap well).  Results keep the
+    input order, and each point's result is whatever its runner computes —
+    parallelism never reorders or reseeds anything.  Each runner executes
+    in a copy of the caller's context, so a surrounding
+    :func:`repro.backend.use_backend` scope applies inside the workers.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    snrs = [float(s) for s in snr_dbs]
+    if n_workers == 1 or len(snrs) <= 1:
+        return {snr: runner(snr) for snr in snrs}
+    with ThreadPoolExecutor(max_workers=n_workers) as ex:
+        futures = [
+            ex.submit(contextvars.copy_context().run, runner, snr) for snr in snrs
+        ]
+        results = [f.result() for f in futures]
+    return dict(zip(snrs, results))

@@ -14,15 +14,25 @@ Three receivers over a point set ("centroids" in the hybrid flow):
 
 ``sigma2`` is the **per-real-dimension** noise variance (N0/2), consistent
 with squared Euclidean distances in the 2-D plane.
+
+All three run on the pluggable compute backend (:mod:`repro.backend`): the
+distance + per-bit reduction is one fused kernel over a padded bit-set index
+table instead of a Python loop over bit positions, intermediates come from
+the backend workspace, and ``llrs(..., out=...)`` makes steady-state batches
+fully allocation-free.  The default (float64 NumPy) backend produces
+bit-identical hard decisions — and bit-identical max-log LLRs — to the
+historical implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import logsumexp
 
+from repro.backend import PaddedBitSets, backend_from_name, get_backend
+from repro.backend.numpy_backend import NumpyBackend
 from repro.modulation.bits import bits_to_indices
 from repro.modulation.constellations import Constellation
+from repro.utils.numerics import stable_sigmoid
 
 __all__ = [
     "HardDemapper",
@@ -40,26 +50,33 @@ def llrs_to_bits(llrs: np.ndarray) -> np.ndarray:
 
 def llrs_to_probabilities(llrs: np.ndarray) -> np.ndarray:
     """P(bit = 1) from LLRs: sigmoid(llr) under the llr=log(P1/P0) convention."""
-    z = np.asarray(llrs, dtype=np.float64)
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    out[~pos] = ez / (1.0 + ez)
-    return out
+    return stable_sigmoid(np.asarray(llrs, dtype=np.float64))
 
 
 class _PointSetDemapper:
-    """Shared machinery: squared distances to a labelled point set."""
+    """Shared machinery: squared distances to a labelled point set.
 
-    def __init__(self, constellation: Constellation):
+    Parameters
+    ----------
+    constellation:
+        Labelled point set.
+    backend:
+        ``None`` (default) resolves the process-wide backend at every call
+        (so ``set_backend``/``REPRO_BACKEND`` apply retroactively); a tier
+        name or backend instance pins this demapper to that tier.
+    """
+
+    def __init__(self, constellation: Constellation, *, backend: str | NumpyBackend | None = None):
         self.constellation = constellation
-        # Pre-split labels by bit value for fast masked minima: for each bit
-        # position k we hold the indices whose k-th bit is 0 resp. 1.
-        bm = constellation.bit_matrix
-        k = constellation.bits_per_symbol
-        self._zero_sets = [np.flatnonzero(bm[:, j] == 0) for j in range(k)]
-        self._one_sets = [np.flatnonzero(bm[:, j] == 1) for j in range(k)]
+        self._pinned = backend_from_name(backend) if isinstance(backend, str) else backend
+        # Padded per-bit index table driving the fused backend kernels
+        # (per-set indices are available via ``self._bitsets.row(j, value)``).
+        self._bitsets = PaddedBitSets.from_bit_matrix(constellation.bit_matrix)
+
+    @property
+    def backend(self) -> NumpyBackend:
+        """The backend this demapper currently dispatches to."""
+        return self._pinned if self._pinned is not None else get_backend()
 
     def squared_distances(self, received: np.ndarray) -> np.ndarray:
         """|y − c_i|² for every received sample and point: shape ``(N, M)``."""
@@ -73,7 +90,7 @@ class HardDemapper(_PointSetDemapper):
 
     def demap_indices(self, received: np.ndarray) -> np.ndarray:
         """Received symbols -> nearest-point labels ``(N,)``."""
-        return np.argmin(self.squared_distances(received), axis=1)
+        return self.backend.hard_indices(received, self.constellation.points)
 
     def demap_bits(self, received: np.ndarray) -> np.ndarray:
         """Received symbols -> hard bits ``(N, k)``."""
@@ -91,19 +108,23 @@ class MaxLogDemapper(_PointSetDemapper):
     an order of magnitude cheaper than ANN inference.
     """
 
-    def llrs(self, received: np.ndarray, sigma2: float) -> np.ndarray:
-        """Bit LLRs ``(N, k)``; ``sigma2`` = per-dimension noise variance."""
+    def llrs(
+        self,
+        received: np.ndarray,
+        sigma2: float,
+        *,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Bit LLRs ``(N, k)``; ``sigma2`` = per-dimension noise variance.
+
+        ``out`` (optional, float64 ``(N, k)``) is filled and returned in
+        place for allocation-free steady-state use.
+        """
         if sigma2 <= 0:
             raise ValueError(f"sigma2 must be positive, got {sigma2}")
-        d2 = self.squared_distances(received)
-        k = self.constellation.bits_per_symbol
-        out = np.empty((d2.shape[0], k), dtype=np.float64)
-        for j in range(k):
-            min0 = d2[:, self._zero_sets[j]].min(axis=1)
-            min1 = d2[:, self._one_sets[j]].min(axis=1)
-            out[:, j] = min0 - min1
-        out *= 1.0 / (2.0 * sigma2)
-        return out
+        return self.backend.maxlog_llrs(
+            received, self.constellation.points, self._bitsets, sigma2, out=out
+        )
 
     def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
         """Hard bits from max-log LLRs.
@@ -123,18 +144,19 @@ class ExactLogMAPDemapper(_PointSetDemapper):
     ``llr_k = logsumexp_{i: b_k=1}(−d_i²/2σ²) − logsumexp_{i: b_k=0}(−d_i²/2σ²)``
     """
 
-    def llrs(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+    def llrs(
+        self,
+        received: np.ndarray,
+        sigma2: float,
+        *,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Bit LLRs ``(N, k)`` (positive ⇒ bit 1, same convention as max-log)."""
         if sigma2 <= 0:
             raise ValueError(f"sigma2 must be positive, got {sigma2}")
-        metric = -self.squared_distances(received) / (2.0 * sigma2)
-        k = self.constellation.bits_per_symbol
-        out = np.empty((metric.shape[0], k), dtype=np.float64)
-        for j in range(k):
-            lse1 = logsumexp(metric[:, self._one_sets[j]], axis=1)
-            lse0 = logsumexp(metric[:, self._zero_sets[j]], axis=1)
-            out[:, j] = lse1 - lse0
-        return out
+        return self.backend.logmap_llrs(
+            received, self.constellation.points, self._bitsets, sigma2, out=out
+        )
 
     def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
         """Hard bits from exact LLRs."""

@@ -11,8 +11,10 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.init import he_normal, xavier_uniform
 from repro.nn.module import Module, Parameter
+from repro.utils.numerics import stable_sigmoid
 
 __all__ = [
     "Dense",
@@ -62,25 +64,31 @@ class Dense(Module):
         self.weight = Parameter(init((out_features, in_features), rng), name="weight")
         self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
         self._x: np.ndarray | None = None
+        self._gw: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"expected (batch, {self.in_features}), got {x.shape}")
         self._x = x
-        y = x @ self.weight.data.T
-        if self.bias is not None:
-            y += self.bias.data
-        return y
+        # Fused matmul+bias on the compute backend (float64 throughout: the
+        # training path needs full precision for gradcheck-grade gradients).
+        return get_backend().linear(x, self.weight.data, None if self.bias is None else self.bias.data)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
         grad_out = np.asarray(grad_out, dtype=np.float64)
-        self.weight.grad += grad_out.T @ self._x
+        backend = get_backend()
+        # Accumulate the weight gradient through a layer-owned buffer so the
+        # training loop's steady state allocates nothing for this GEMM (the
+        # buffer's lifetime is tied to the layer, not a global workspace).
+        if self._gw is None:
+            self._gw = np.empty(self.weight.grad.shape, dtype=np.float64)
+        self.weight.grad += backend.gemm(grad_out.T, self._x, out=self._gw)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
-        return grad_out @ self.weight.data
+        return backend.gemm(grad_out, self.weight.data)
 
 
 class ReLU(Module):
@@ -129,15 +137,10 @@ class Sigmoid(Module):
         super().__init__()
         self._y: np.ndarray | None = None
 
-    @staticmethod
-    def stable_sigmoid(x: np.ndarray) -> np.ndarray:
-        """Overflow-free sigmoid evaluated branch-wise on sign(x)."""
-        out = np.empty_like(x)
-        pos = x >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        ex = np.exp(x[~pos])
-        out[~pos] = ex / (1.0 + ex)
-        return out
+    #: Shared overflow-free sigmoid (kept as a staticmethod-style alias for
+    #: backward compatibility; the single implementation lives in
+    #: :func:`repro.utils.numerics.stable_sigmoid`).
+    stable_sigmoid = staticmethod(stable_sigmoid)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
@@ -240,10 +243,24 @@ class Embedding(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._idx is None:
             raise RuntimeError("backward called before forward")
-        np.add.at(self.table.grad, self._idx, grad_out)
+        idx = self._idx
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if idx.ndim == 1 and grad_out.shape == (idx.size, self.dim):
+            # Scatter-add via one flat bincount: ~an order of magnitude
+            # faster than np.add.at's buffered ufunc path, and this sits in
+            # the mapper's training loop.
+            flat = idx.astype(np.intp)[:, None] * self.dim + np.arange(self.dim, dtype=np.intp)
+            acc = np.bincount(
+                flat.ravel(),
+                weights=grad_out.ravel(),
+                minlength=self.num_embeddings * self.dim,
+            )
+            self.table.grad += acc.reshape(self.num_embeddings, self.dim)
+        else:  # exotic index shapes keep the general (slow) scatter
+            np.add.at(self.table.grad, idx, grad_out)
         # There is no gradient w.r.t. integer indices; return zeros of the
         # index shape so Sequential composition stays well-typed.
-        return np.zeros(self._idx.shape, dtype=np.float64)
+        return np.zeros(idx.shape, dtype=np.float64)
 
 
 class Sequential(Module):

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.numerics import stable_sigmoid
+
 __all__ = ["BCEWithLogitsLoss", "MSELoss", "CrossEntropyLoss"]
 
 
@@ -31,13 +33,7 @@ class BCEWithLogitsLoss:
         if z.shape != t.shape:
             raise ValueError(f"shape mismatch: logits {z.shape} vs targets {t.shape}")
         loss = np.maximum(z, 0.0) - z * t + np.log1p(np.exp(-np.abs(z)))
-        # stable sigmoid
-        sig = np.empty_like(z)
-        pos = z >= 0
-        sig[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-        ez = np.exp(z[~pos])
-        sig[~pos] = ez / (1.0 + ez)
-        grad = (sig - t) / z.size
+        grad = (stable_sigmoid(z) - t) / z.size
         return float(loss.mean()), grad
 
     @staticmethod

@@ -13,6 +13,7 @@ from repro.utils.complexmath import (
     rotate,
     rotation_matrix,
 )
+from repro.utils.numerics import stable_sigmoid
 from repro.utils.rng import RngFactory, as_generator, spawn_generators
 from repro.utils.stats import (
     gray_qam_ber_approx,
@@ -42,6 +43,7 @@ __all__ = [
     "q_function_inv",
     "gray_qam_ber_approx",
     "wilson_interval",
+    "stable_sigmoid",
     "format_table",
     "check_positive",
     "check_in_range",

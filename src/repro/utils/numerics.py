@@ -1,0 +1,38 @@
+"""Shared numerical primitives used across nn, modulation, and fpga layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_sigmoid"]
+
+
+def stable_sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Overflow-free logistic sigmoid ``1/(1+exp(-x))``, evaluated branch-wise.
+
+    For ``x >= 0`` uses ``1/(1+exp(-x))``; for ``x < 0`` the algebraically
+    identical ``exp(x)/(1+exp(x))`` so the exponential argument is never
+    positive — no overflow for any finite input.  This is the single
+    implementation behind :class:`repro.nn.layers.Sigmoid`, the BCE gradient,
+    :func:`repro.modulation.demapper.llrs_to_probabilities`, and the FPGA
+    sigmoid LUT builder.
+
+    Parameters
+    ----------
+    x:
+        Input array (coerced to float64 when an integer/lower-precision
+        array is passed and ``out`` is None).
+    out:
+        Optional preallocated output (same shape as ``x``); enables
+        allocation-free use inside workspace-managed kernels.
+    """
+    z = np.asarray(x)
+    if not np.issubdtype(z.dtype, np.floating):
+        z = z.astype(np.float64)
+    if out is None:
+        out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out

@@ -1,0 +1,353 @@
+"""Backend parity: tiers agree with the reference, selection works, and the
+parallel Monte-Carlo engine is worker-count invariant."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp
+
+from repro.backend import (
+    FLOAT32_LLR_RTOL,
+    NUMBA_AVAILABLE,
+    PaddedBitSets,
+    Workspace,
+    available_backends,
+    backend_from_name,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.link import AWGNFactory, simulate_ber, sweep_snr
+from repro.modulation import (
+    ExactLogMAPDemapper,
+    HardDemapper,
+    MaxLogDemapper,
+    qam_constellation,
+)
+
+
+@pytest.fixture
+def qam16():
+    return qam_constellation(16)
+
+
+@pytest.fixture
+def received(qam16):
+    rng = np.random.default_rng(1234)
+    n = 20_000
+    idx = rng.integers(0, 16, n)
+    noise = (rng.normal(size=n) + 1j * rng.normal(size=n)) * 0.15
+    return qam16.points[idx] + noise
+
+
+def _reference_maxlog(constellation, y, sigma2):
+    """The historical (pre-backend) formulation, verbatim."""
+    yv = np.asarray(y, dtype=np.complex128).ravel()
+    diff = yv[:, None] - constellation.points[None, :]
+    d2 = (diff.real * diff.real) + (diff.imag * diff.imag)
+    bm = constellation.bit_matrix
+    k = constellation.bits_per_symbol
+    out = np.empty((d2.shape[0], k), dtype=np.float64)
+    for j in range(k):
+        min0 = d2[:, np.flatnonzero(bm[:, j] == 0)].min(axis=1)
+        min1 = d2[:, np.flatnonzero(bm[:, j] == 1)].min(axis=1)
+        out[:, j] = min0 - min1
+    out *= 1.0 / (2.0 * sigma2)
+    return out
+
+
+def _reference_logmap(constellation, y, sigma2):
+    yv = np.asarray(y, dtype=np.complex128).ravel()
+    diff = yv[:, None] - constellation.points[None, :]
+    metric = -((diff.real * diff.real) + (diff.imag * diff.imag)) / (2.0 * sigma2)
+    bm = constellation.bit_matrix
+    k = constellation.bits_per_symbol
+    out = np.empty((metric.shape[0], k), dtype=np.float64)
+    for j in range(k):
+        lse1 = logsumexp(metric[:, np.flatnonzero(bm[:, j] == 1)], axis=1)
+        lse0 = logsumexp(metric[:, np.flatnonzero(bm[:, j] == 0)], axis=1)
+        out[:, j] = lse1 - lse0
+    return out
+
+
+class TestSelection:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        set_backend(None)
+        assert get_backend().name == "numpy"
+        assert get_backend().dtype == np.float64
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy32")
+        set_backend(None)  # force lazy re-resolution
+        try:
+            assert get_backend().name == "numpy32"
+        finally:
+            monkeypatch.delenv("REPRO_BACKEND")
+            set_backend(None)
+
+    def test_use_backend_scopes_and_restores(self):
+        set_backend(None)
+        before = get_backend()
+        with use_backend("numpy32") as b:
+            assert b.name == "numpy32"
+            assert get_backend() is b
+        assert get_backend() is before
+
+    def test_instances_are_cached(self):
+        assert backend_from_name("numpy") is backend_from_name("reference")
+        assert backend_from_name("float32") is backend_from_name("numpy32")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backend_from_name("cuda")
+
+    def test_numba_request_never_fails(self):
+        # silent fallback: requesting the JIT tier always yields a backend
+        b = backend_from_name("numba")
+        assert b.name == ("numba" if NUMBA_AVAILABLE else "numpy")
+
+    def test_available_backends_resolve(self):
+        for name in available_backends():
+            assert backend_from_name(name) is not None
+
+
+class TestReferenceParity:
+    """The ``numpy`` tier reproduces the historical implementation exactly.
+
+    Demappers are pinned to ``backend="numpy"`` so the suite stays valid
+    even when the ambient ``REPRO_BACKEND`` selects a faster tier.
+    """
+
+    def test_maxlog_bit_identical(self, qam16, received):
+        got = MaxLogDemapper(qam16, backend="numpy").llrs(received, 0.02)
+        assert np.array_equal(got, _reference_maxlog(qam16, received, 0.02))
+
+    def test_logmap_matches_scipy(self, qam16, received):
+        got = ExactLogMAPDemapper(qam16, backend="numpy").llrs(received, 0.02)
+        np.testing.assert_allclose(got, _reference_logmap(qam16, received, 0.02), rtol=1e-12, atol=1e-12)
+
+    def test_hard_indices_identical(self, qam16, received):
+        got = HardDemapper(qam16, backend="numpy").demap_indices(received)
+        diff = received[:, None] - qam16.points[None, :]
+        ref = np.argmin((diff.real**2 + diff.imag**2), axis=1)
+        assert np.array_equal(got, ref)
+
+    def test_out_parameter_is_filled_in_place(self, qam16, received):
+        ml = MaxLogDemapper(qam16)
+        out = np.empty((received.size, 4), dtype=np.float64)
+        got = ml.llrs(received, 0.02, out=out)
+        assert got is out
+        assert np.array_equal(out, ml.llrs(received, 0.02))
+
+    def test_out_parameter_validated(self, qam16, received):
+        ml = MaxLogDemapper(qam16)
+        with pytest.raises(ValueError, match="shape"):
+            ml.llrs(received, 0.02, out=np.empty((received.size, 3)))
+        with pytest.raises(ValueError, match="float64"):
+            ml.llrs(received, 0.02, out=np.empty((received.size, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            ml.llrs(received, 0.02, out=np.empty((2, received.size, 4)))
+
+
+class TestFloat32Parity:
+    def test_maxlog_llrs_within_documented_tolerance(self, qam16, received):
+        ml64 = MaxLogDemapper(qam16, backend="numpy")
+        ml32 = MaxLogDemapper(qam16, backend="numpy32")
+        r64 = ml64.llrs(received, 0.02)
+        r32 = ml32.llrs(received, 0.02)
+        scale = np.abs(r64).max()
+        assert np.abs(r32 - r64).max() <= FLOAT32_LLR_RTOL * scale
+
+    def test_logmap_llrs_within_documented_tolerance(self, qam16, received):
+        r64 = ExactLogMAPDemapper(qam16, backend="numpy").llrs(received, 0.05)
+        r32 = ExactLogMAPDemapper(qam16, backend="numpy32").llrs(received, 0.05)
+        assert np.abs(r32 - r64).max() <= FLOAT32_LLR_RTOL * np.abs(r64).max()
+
+    def test_hard_decisions_agree_on_fixture(self, qam16, received):
+        # deterministic fixture; float32 rounding does not move any sample
+        # across a decision boundary here
+        b64 = MaxLogDemapper(qam16, backend="numpy").demap_bits(received, 0.02)
+        b32 = MaxLogDemapper(qam16, backend="numpy32").demap_bits(received, 0.02)
+        assert np.array_equal(b64, b32)
+
+    def test_outputs_are_float64_regardless_of_tier(self, qam16, received):
+        r32 = MaxLogDemapper(qam16, backend="numpy32").llrs(received, 0.02)
+        assert r32.dtype == np.float64
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestNumbaParity:
+    def test_maxlog_hard_decisions_bit_identical(self, qam16, received):
+        bnp = MaxLogDemapper(qam16, backend="numpy").demap_bits(received, 0.02)
+        bjit = MaxLogDemapper(qam16, backend="numba").demap_bits(received, 0.02)
+        assert np.array_equal(bnp, bjit)
+
+    def test_hard_indices_bit_identical(self, qam16, received):
+        inp = HardDemapper(qam16, backend="numpy").demap_indices(received)
+        ijit = HardDemapper(qam16, backend="numba").demap_indices(received)
+        assert np.array_equal(inp, ijit)
+
+    def test_logmap_close(self, qam16, received):
+        rnp = ExactLogMAPDemapper(qam16, backend="numpy").llrs(received, 0.02)
+        rjit = ExactLogMAPDemapper(qam16, backend="numba").llrs(received, 0.02)
+        np.testing.assert_allclose(rjit, rnp, rtol=1e-10, atol=1e-10)
+
+
+class TestWorkspace:
+    def test_same_key_same_shape_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.scratch("a", (16, 4))
+        b = ws.scratch("a", (16, 4))
+        assert a is b
+        hits, misses = ws.stats
+        assert (hits, misses) == (1, 1)
+
+    def test_shape_change_reallocates(self):
+        ws = Workspace()
+        a = ws.scratch("a", (16, 4))
+        b = ws.scratch("a", (8, 4))
+        assert a is not b and b.shape == (8, 4)
+
+    def test_dtype_keyed(self):
+        ws = Workspace()
+        a = ws.scratch("a", (4,), np.float64)
+        b = ws.scratch("a", (4,), np.float32)
+        assert a.dtype == np.float64 and b.dtype == np.float32
+
+    def test_thread_isolation(self):
+        import threading
+
+        ws = Workspace()
+        main_buf = ws.scratch("x", (32,))
+        seen = {}
+
+        def worker():
+            seen["buf"] = ws.scratch("x", (32,))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["buf"] is not main_buf
+
+    def test_steady_state_allocates_nothing(self, qam16, received):
+        ml = MaxLogDemapper(qam16, backend="numpy")
+        out = np.empty((received.size, 4))
+        ml.llrs(received, 0.02, out=out)  # warm the workspace
+        ws = ml.backend.workspace
+        h0, m0 = ws.stats
+        for _ in range(3):
+            ml.llrs(received, 0.02, out=out)
+        h1, m1 = ws.stats
+        assert m1 == m0  # no new allocations in steady state
+        assert h1 > h0
+
+
+class TestPaddedBitSets:
+    def test_rows_partition_the_point_set(self, qam16):
+        bs = PaddedBitSets.from_bit_matrix(qam16.bit_matrix)
+        for j in range(bs.k):
+            z, o = set(bs.row(j, 0).tolist()), set(bs.row(j, 1).tolist())
+            assert z | o == set(range(16)) and not (z & o)
+
+    def test_padding_repeats_a_member(self):
+        # 3 bits/symbol PSK-like labels: uneven sets still pad validly
+        bm = np.array([[0, 0], [0, 1], [1, 1], [1, 1]])
+        bs = PaddedBitSets.from_bit_matrix(bm)
+        assert bs.table.shape == (4, 3)
+        for r in range(4):
+            padded = bs.table[r, bs.sizes[r]:]
+            assert all(p in bs.table[r, : bs.sizes[r]] for p in padded)
+
+
+class TestParallelSimulator:
+    def _demap(self, qam16):
+        return functools.partial(MaxLogDemapper(qam16).demap_bits, sigma2=0.05)
+
+    def test_worker_count_invariance(self, qam16):
+        fac = AWGNFactory(8.0, 4)
+        demap = self._demap(qam16)
+        kw = dict(rng=7, batch_size=8192, channel_factory=fac)
+        r1 = simulate_ber(qam16, None, demap, 50_000, n_workers=1, **kw)
+        r2 = simulate_ber(qam16, None, demap, 50_000, n_workers=2, **kw)
+        r3 = simulate_ber(qam16, None, demap, 50_000, n_workers=3, **kw)
+        assert r1 == r2 == r3
+        assert r1.bits == 50_000 * 4
+
+    def test_worker_count_invariance_with_early_stop(self, qam16):
+        fac = AWGNFactory(6.0, 4)
+        demap = self._demap(qam16)
+        kw = dict(rng=3, batch_size=4096, channel_factory=fac, max_errors=80)
+        r1 = simulate_ber(qam16, None, demap, 400_000, n_workers=1, **kw)
+        r2 = simulate_ber(qam16, None, demap, 400_000, n_workers=2, **kw)
+        assert r1 == r2
+        assert r1.bit_errors >= 80
+        assert r1.symbols < 400_000  # actually stopped early
+
+    def test_chunked_mode_is_seed_reproducible(self, qam16):
+        fac = AWGNFactory(8.0, 4)
+        demap = self._demap(qam16)
+        a = simulate_ber(qam16, None, demap, 30_000, rng=42, batch_size=8192, channel_factory=fac)
+        b = simulate_ber(qam16, None, demap, 30_000, rng=42, batch_size=8192, channel_factory=fac)
+        c = simulate_ber(qam16, None, demap, 30_000, rng=43, batch_size=8192, channel_factory=fac)
+        assert a == b
+        assert a != c
+
+    def test_api_selected_tier_reaches_worker_processes(self, qam16):
+        # regression: workers don't inherit set_backend state, so the parent
+        # ships its resolved tier into each chunk; counts must stay invariant
+        demap = functools.partial(MaxLogDemapper(qam16).demap_bits, sigma2=0.05)
+        fac = AWGNFactory(8.0, 4)
+        kw = dict(rng=13, batch_size=8192, channel_factory=fac)
+        with use_backend("numpy32"):
+            r1 = simulate_ber(qam16, None, demap, 20_000, n_workers=1, **kw)
+            r2 = simulate_ber(qam16, None, demap, 20_000, n_workers=2, **kw)
+        assert r1 == r2
+
+    def test_backend_pinned_demapper_is_picklable_to_workers(self, qam16):
+        # regression: the workspace's thread-local must not leak into pickles
+        demap = functools.partial(
+            MaxLogDemapper(qam16, backend="numpy32").demap_bits, sigma2=0.05
+        )
+        fac = AWGNFactory(8.0, 4)
+        kw = dict(rng=5, batch_size=8192, channel_factory=fac)
+        r1 = simulate_ber(qam16, None, demap, 20_000, n_workers=1, **kw)
+        r2 = simulate_ber(qam16, None, demap, 20_000, n_workers=2, **kw)
+        assert r1 == r2
+
+    def test_channel_and_factory_together_rejected(self, qam16):
+        from repro.channels import AWGNChannel
+
+        with pytest.raises(ValueError, match="not both"):
+            simulate_ber(
+                qam16, AWGNChannel(8.0, 4), self._demap(qam16), 1000,
+                channel_factory=AWGNFactory(10.0, 4),
+            )
+
+    def test_workers_without_factory_raises(self, qam16):
+        from repro.channels import AWGNChannel
+
+        with pytest.raises(ValueError, match="channel_factory"):
+            simulate_ber(qam16, AWGNChannel(8.0, 4), self._demap(qam16), 1000, n_workers=2)
+
+    def test_missing_channel_raises(self, qam16):
+        with pytest.raises(ValueError, match="channel is required"):
+            simulate_ber(qam16, None, self._demap(qam16), 1000)
+
+    def test_sweep_snr_parallel_matches_sequential(self, qam16):
+        demap = self._demap(qam16)
+
+        def runner(snr_db):
+            return simulate_ber(
+                qam16, None, demap, 20_000, rng=11, batch_size=8192,
+                channel_factory=AWGNFactory(snr_db, 4),
+            )
+
+        snrs = [4.0, 6.0, 8.0]
+        seq = sweep_snr(snrs, runner)
+        par = sweep_snr(snrs, runner, n_workers=3)
+        assert list(seq) == list(par) == snrs
+        assert all(seq[s] == par[s] for s in snrs)

@@ -29,6 +29,25 @@ class TestQuantizedDemapper:
     def quantized(self, trained_system_8db):
         return QuantizedDemapper(trained_system_8db.demapper)
 
+    def test_calibration_seed_is_reproducible(self, trained_system_8db):
+        a = QuantizedDemapper(trained_system_8db.demapper, calibration_seed=7)
+        b = QuantizedDemapper(trained_system_8db.demapper, calibration_seed=7)
+        assert a.layer_formats == b.layer_formats
+
+    def test_default_seed_matches_historical_default(self, trained_system_8db):
+        # the old hard-coded default_rng(0) is now just the default seed
+        old = QuantizedDemapper(
+            trained_system_8db.demapper,
+            calibration=np.random.default_rng(0).normal(size=(4096, 2)),
+        )
+        new = QuantizedDemapper(trained_system_8db.demapper)
+        assert old.layer_formats == new.layer_formats
+
+    def test_sigmoid_lut_shared_across_instances(self, trained_system_8db):
+        a = QuantizedDemapper(trained_system_8db.demapper)
+        b = QuantizedDemapper(trained_system_8db.demapper, calibration_seed=5)
+        assert a._lut is b._lut  # module-level cache, not rebuilt per instance
+
     def test_hard_bits_mostly_match_float(self, quantized, trained_system_8db, rng):
         x = rng.normal(scale=0.8, size=(20_000, 2))
         q = quantized.hard_bits(x)

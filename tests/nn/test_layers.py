@@ -133,6 +133,26 @@ class TestEmbedding:
         assert np.allclose(emb.table.grad[1], [2.0, 2.0])
         assert np.allclose(emb.table.grad[0], 0.0)
 
+    def test_bincount_backward_matches_scatter_add(self, rng):
+        # the fast bincount path must equal np.add.at exactly (sums of the
+        # same float64 addends, grouped identically)
+        emb = Embedding(16, 2, rng=rng)
+        idx = rng.integers(0, 16, size=512)
+        grad_out = rng.normal(size=(512, 2))
+        emb.forward(idx)
+        emb.backward(grad_out)
+        ref = np.zeros((16, 2))
+        np.add.at(ref, idx, grad_out)
+        np.testing.assert_allclose(emb.table.grad, ref, rtol=1e-12, atol=1e-15)
+
+    def test_backward_repeated_accumulates_across_calls(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        for _ in range(2):
+            emb.forward(np.array([3, 3, 0]))
+            emb.backward(np.ones((3, 2)))
+        assert np.allclose(emb.table.grad[3], [4.0, 4.0])
+        assert np.allclose(emb.table.grad[0], [2.0, 2.0])
+
 
 class TestSequential:
     def test_composition(self, rng):

@@ -1,0 +1,87 @@
+"""The single shared stable sigmoid and its three historical call sites."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.quantized_mlp import build_sigmoid_lut
+from repro.modulation.demapper import llrs_to_probabilities
+from repro.nn.layers import Sigmoid
+from repro.utils.numerics import stable_sigmoid
+
+
+class TestStableSigmoid:
+    def test_matches_naive_formula_in_safe_range(self):
+        x = np.linspace(-30, 30, 1001)
+        np.testing.assert_allclose(stable_sigmoid(x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-15)
+
+    def test_no_overflow_at_extremes(self):
+        with np.errstate(over="raise"):
+            y = stable_sigmoid(np.array([-1e4, -710.0, 0.0, 710.0, 1e4]))
+        assert np.all(np.isfinite(y))
+        np.testing.assert_allclose(y, [0.0, 0.0, 0.5, 1.0, 1.0], atol=1e-300)
+
+    def test_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        np.testing.assert_allclose(stable_sigmoid(x) + stable_sigmoid(-x), 1.0, rtol=1e-14)
+
+    def test_out_parameter(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        out = np.empty_like(x)
+        got = stable_sigmoid(x, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, stable_sigmoid(x))
+
+    def test_integer_input_coerced(self):
+        y = stable_sigmoid(np.array([0, 1, -1]))
+        assert y.dtype == np.float64
+
+    def test_preserves_float32(self):
+        y = stable_sigmoid(np.array([0.5, -0.5], dtype=np.float32))
+        assert y.dtype == np.float32
+
+
+class TestDeduplicatedCallSites:
+    """All historical sigmoid implementations now route through numerics."""
+
+    def test_sigmoid_layer_alias(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_array_equal(Sigmoid.stable_sigmoid(x), stable_sigmoid(x))
+
+    def test_llrs_to_probabilities(self):
+        llrs = np.array([[0.0, 5.0, -5.0], [800.0, -800.0, 0.1]])
+        np.testing.assert_array_equal(llrs_to_probabilities(llrs), stable_sigmoid(llrs))
+
+    def test_sigmoid_lut_reference(self):
+        table, step = build_sigmoid_lut(entries=64, input_range=4.0)
+        xs = -4.0 + step * np.arange(64)
+        np.testing.assert_array_equal(table, stable_sigmoid(xs))
+
+
+class TestSigmoidLutCache:
+    def test_same_geometry_backed_by_one_cached_table(self):
+        from repro.fpga.quantized_mlp import _cached_sigmoid_lut
+
+        t1, s1 = _cached_sigmoid_lut(256, 8.0)
+        t2, s2 = _cached_sigmoid_lut(256, 8.0)
+        assert t1 is t2 and s1 == s2
+        assert not t1.flags.writeable  # shared copy must stay immutable
+
+    def test_public_table_is_a_writable_copy(self):
+        # API contract: callers may post-process the returned table in place
+        # without corrupting the shared cache
+        t1, _ = build_sigmoid_lut()
+        t1[0] = -1.0
+        t2, _ = build_sigmoid_lut()
+        assert t2[0] != -1.0
+        assert t1 is not t2
+
+    def test_distinct_geometries_distinct_tables(self):
+        t1, _ = build_sigmoid_lut(entries=128)
+        t2, _ = build_sigmoid_lut(entries=256)
+        assert t1.shape != t2.shape
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            build_sigmoid_lut(entries=4)
+        with pytest.raises(ValueError):
+            build_sigmoid_lut(input_range=0)
