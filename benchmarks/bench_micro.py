@@ -54,6 +54,10 @@ _CORE_BENCH_NAMES = frozenset(
         "maxlog_llrs[numpy32]",
         "logmap_llrs[numpy]",
         "hard_indices[numpy]",
+        "sweep_maxlog_multi[numpy]",
+        "sweep_maxlog_seq[numpy]",
+        "sweep_maxlog_multi[numpy32]",
+        "sweep_maxlog_seq[numpy32]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -147,6 +151,34 @@ def _bench_micro_artifact():
     _ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def _record_timed(name: str, times: list[float], *, symbols: int | None = None,
+                  extra: dict | None = None) -> float:
+    """Record a manually timed benchmark (same artifact schema); returns mean."""
+    if name not in _CORE_BENCH_NAMES | _ENV_BENCH_NAMES:
+        raise AssertionError(
+            f"benchmark record name {name!r} is not registered in "
+            "_CORE_BENCH_NAMES/_ENV_BENCH_NAMES — update the set so "
+            "full-run detection stays in sync"
+        )
+    arr = np.asarray(times, dtype=np.float64)
+    stats = {
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "stddev": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "median": float(np.median(arr)),
+        "rounds": float(arr.size),
+    }
+    entry = {"name": name, "stats": stats}
+    if symbols is not None:
+        entry["symbols_per_call"] = symbols
+        entry["symbols_per_second"] = symbols / stats["mean"]
+    if extra:
+        entry.update(extra)
+    _RESULTS.append(entry)
+    return stats["mean"]
+
+
 @pytest.fixture(scope="module")
 def stream(bench_constellation_8db):
     rng = np.random.default_rng(42)
@@ -188,6 +220,87 @@ def test_maxlog_demapper_throughput_numba(benchmark, stream):
     ml.llrs(y, 0.02, out=out)  # JIT warmup outside the timer
     benchmark(ml.llrs, y, 0.02, out=out)
     _record(benchmark, "maxlog_llrs[numba]", symbols=N, extra={"backend": "numba"})
+
+
+# -- multi-SNR sweep section --------------------------------------------------
+# S=8 sweep points, 64k symbols per point, 16-QAM: one fused (S, n) launch of
+# the multi-sigma kernel vs S sequential single-SNR launches on the same data.
+
+SWEEP_S = 8
+SWEEP_N = 65_536
+SWEEP_ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def sweep_stream():
+    from repro.channels import sigma2_from_snr
+
+    qam = qam_constellation(16)
+    rng = np.random.default_rng(7)
+    idx = random_indices(rng, SWEEP_N, 16)
+    sigma2s = np.array([sigma2_from_snr(s, 4) for s in np.linspace(0.0, 14.0, SWEEP_S)])
+    unit = rng.normal(size=SWEEP_N) + 1j * rng.normal(size=SWEEP_N)
+    received = qam.points[idx][None, :] + np.sqrt(sigma2s)[:, None] * unit[None, :]
+    return qam, received, sigma2s
+
+
+def _bench_sweep_tier(benchmark, sweep_stream, tier: str):
+    """Batched (S, n) multi-sigma kernel vs S sequential launches, one tier."""
+    qam, received, sigma2s = sweep_stream
+    ml = MaxLogDemapper(qam, backend=tier)
+    out_multi = np.empty((SWEEP_S, SWEEP_N, 4))
+    out_seq = np.empty((SWEEP_N, 4))
+
+    def sequential():
+        for s in range(SWEEP_S):
+            ml.llrs(received[s], sigma2s[s], out=out_seq)
+
+    ml.llrs_multi(received, sigma2s, out=out_multi)  # warm the workspace
+    benchmark.pedantic(
+        ml.llrs_multi, args=(received, sigma2s), kwargs={"out": out_multi},
+        rounds=SWEEP_ROUNDS, iterations=1, warmup_rounds=1,
+    )
+    rate = _record(
+        benchmark, f"sweep_maxlog_multi[{tier}]", symbols=SWEEP_S * SWEEP_N,
+        extra={"backend": tier, "snr_points": SWEEP_S},
+    )
+    if rate is None:
+        return  # --benchmark-disable run: nothing to compare
+    import timeit
+
+    sequential()  # warm the per-SNR workspace shapes
+    # Interleave the two paths round-by-round so clock drift / throttling
+    # hits both equally, then compare best-of-rounds (the jitter-robust
+    # statistic for equal work): the fused launch must not lose to S
+    # dispatches of the same work.
+    multi_times, seq_times = [], []
+    for _ in range(SWEEP_ROUNDS):
+        multi_times.append(timeit.timeit(
+            lambda: ml.llrs_multi(received, sigma2s, out=out_multi), number=1))
+        seq_times.append(timeit.timeit(sequential, number=1))
+    _record_timed(
+        f"sweep_maxlog_seq[{tier}]", seq_times, symbols=SWEEP_S * SWEEP_N,
+        extra={"backend": tier, "snr_points": SWEEP_S},
+    )
+    assert min(multi_times) <= min(seq_times), (
+        f"batched multi-sigma path slower than sequential on {tier}: "
+        f"best {min(multi_times):.4f}s vs {min(seq_times):.4f}s"
+    )
+
+
+def test_sweep_multi_vs_sequential_numpy(benchmark, sweep_stream):
+    _bench_sweep_tier(benchmark, sweep_stream, "numpy")
+    # default tier: every batched per-SNR slice is bit-identical to the
+    # per-SNR kernel
+    qam, received, sigma2s = sweep_stream
+    ml = MaxLogDemapper(qam, backend="numpy")
+    multi = ml.llrs_multi(received, sigma2s)
+    for s in range(SWEEP_S):
+        assert np.array_equal(multi[s], ml.llrs(received[s], sigma2s[s]))
+
+
+def test_sweep_multi_vs_sequential_numpy32(benchmark, sweep_stream):
+    _bench_sweep_tier(benchmark, sweep_stream, "numpy32")
 
 
 def test_exact_logmap_throughput(benchmark, stream):

@@ -48,6 +48,11 @@ class DemapperANN(Module):
         self.hidden = tuple(int(h) for h in hidden)
         widths = [2, *self.hidden, self.bits_per_symbol]
         self.net = Sequential.mlp(widths, hidden_activation=ReLU, rng=rng)
+        # MSB-first bit weights for symbol packing, hoisted out of
+        # symbol_labels' per-call path
+        self._bit_weights = (
+            1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        ).astype(np.int64)
 
     # -- differentiable path (logits) -----------------------------------------
     def forward(self, received: np.ndarray) -> np.ndarray:
@@ -63,13 +68,24 @@ class DemapperANN(Module):
         """Alias of :meth:`forward` for readability at call sites."""
         return self.forward(received)
 
+    def infer_logits(self, received: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Inference-only logits through the workspace path: ``(B, k)``.
+
+        Unlike :meth:`forward`, no per-layer activations are cached and every
+        intermediate comes from per-layer backend scratch, so a steady-state
+        loop over fixed-size batches allocates nothing (pass ``out=`` to own
+        the result; otherwise it is workspace scratch valid until the next
+        ``infer`` on this thread).
+        """
+        return self.net.infer(received, out=out)
+
     def probabilities(self, received: np.ndarray) -> np.ndarray:
         """Per-bit probabilities P(b=1 | y) in [0, 1], shape ``(B, k)``."""
-        return Sigmoid.stable_sigmoid(self.forward(received))
+        return Sigmoid.stable_sigmoid(self.infer_logits(received))
 
     def hard_bits(self, received: np.ndarray) -> np.ndarray:
         """Hard bit decisions (threshold 0 on logits), shape ``(B, k)``, int8."""
-        return (self.forward(received) > 0).astype(np.int8)
+        return (self.infer_logits(received) > 0).astype(np.int8)
 
     def symbol_labels(self, received: np.ndarray) -> np.ndarray:
         """Most-likely symbol label per sample (packing of the hard bits).
@@ -78,9 +94,7 @@ class DemapperANN(Module):
         step — "the learned symbol (ANN-output) for each complex input
         sample" (paper §II-C).
         """
-        bits = self.hard_bits(received)
-        weights = (1 << np.arange(self.bits_per_symbol - 1, -1, -1)).astype(np.int64)
-        return bits.astype(np.int64) @ weights
+        return self.hard_bits(received).astype(np.int64) @ self._bit_weights
 
     def bit_probability_fn(self) -> Callable[[np.ndarray], np.ndarray]:
         """A plain function handle ``(N, 2) -> (N, k)`` for the extractor."""

@@ -25,7 +25,12 @@ from types import SimpleNamespace
 import numpy as np
 
 from repro.backend.bitsets import PaddedBitSets
-from repro.backend.numpy_backend import NumpyBackend, _check_llr_out
+from repro.backend.numpy_backend import (
+    NumpyBackend,
+    _check_llr_multi_out,
+    _check_llr_out,
+    _check_multi_args,
+)
 
 __all__ = ["NUMBA_AVAILABLE", "NumbaBackend"]
 
@@ -95,6 +100,61 @@ def _get_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba install
                 out[i, j] = (mx1 + np.log(s1)) - (mx0 + np.log(s0))
 
     @njit(cache=True)
+    def maxlog_multi(y_re, y_im, c_re, c_im, table, sizes, k, scale_col, out):
+        # identical dataflow to `maxlog`, with a per-sample (= per sweep row)
+        # 1/(2σ²) scaling read from the expanded column vector
+        n = y_re.size
+        m = c_re.size
+        d2 = np.empty(m, dtype=np.float64)
+        for i in range(n):
+            for p in range(m):
+                dr = y_re[i] - c_re[p]
+                di = y_im[i] - c_im[p]
+                d2[p] = dr * dr + di * di
+            for j in range(k):
+                m0 = np.inf
+                for t in range(sizes[j]):
+                    v = d2[table[j, t]]
+                    if v < m0:
+                        m0 = v
+                m1 = np.inf
+                for t in range(sizes[k + j]):
+                    v = d2[table[k + j, t]]
+                    if v < m1:
+                        m1 = v
+                out[i, j] = (m0 - m1) * scale_col[i]
+
+    @njit(cache=True)
+    def logmap_multi(y_re, y_im, c_re, c_im, table, sizes, k, inv_2s2_col, out):
+        n = y_re.size
+        m = c_re.size
+        metric = np.empty(m, dtype=np.float64)
+        for i in range(n):
+            inv_2s2 = inv_2s2_col[i]
+            for p in range(m):
+                dr = y_re[i] - c_re[p]
+                di = y_im[i] - c_im[p]
+                metric[p] = -(dr * dr + di * di) * inv_2s2
+            for j in range(k):
+                mx1 = -np.inf
+                for t in range(sizes[k + j]):
+                    v = metric[table[k + j, t]]
+                    if v > mx1:
+                        mx1 = v
+                s1 = 0.0
+                for t in range(sizes[k + j]):
+                    s1 += np.exp(metric[table[k + j, t]] - mx1)
+                mx0 = -np.inf
+                for t in range(sizes[j]):
+                    v = metric[table[j, t]]
+                    if v > mx0:
+                        mx0 = v
+                s0 = 0.0
+                for t in range(sizes[j]):
+                    s0 += np.exp(metric[table[j, t]] - mx0)
+                out[i, j] = (mx1 + np.log(s1)) - (mx0 + np.log(s0))
+
+    @njit(cache=True)
     def hard(y_re, y_im, c_re, c_im, out):
         n = y_re.size
         m = c_re.size
@@ -121,7 +181,14 @@ def _get_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba install
                     acc += x[i, c] * w[o, c]
                 out[i, o] = acc
 
-    _kernels = SimpleNamespace(maxlog=maxlog, logmap=logmap, hard=hard, gemm_i64=gemm_i64)
+    _kernels = SimpleNamespace(
+        maxlog=maxlog,
+        logmap=logmap,
+        maxlog_multi=maxlog_multi,
+        logmap_multi=logmap_multi,
+        hard=hard,
+        gemm_i64=gemm_i64,
+    )
     return _kernels
 
 
@@ -164,11 +231,34 @@ class NumbaBackend(NumpyBackend):
         )
         return out
 
+    def maxlog_llrs_multi(self, received, points, bitsets, sigma2s, out=None):  # pragma: no cover
+        y, s_count, n, sig = _check_multi_args(received, sigma2s)
+        yr, yi, c_re, c_im = self._prepared(y, points)
+        out = _check_llr_multi_out(out, s_count, n, bitsets.k)
+        scale_col = np.repeat(1.0 / (2.0 * sig), n)
+        self._k.maxlog_multi(
+            yr, yi, c_re, c_im, bitsets.table, bitsets.sizes,
+            bitsets.k, scale_col, out.reshape(s_count * n, bitsets.k),
+        )
+        return out
+
+    def logmap_llrs_multi(self, received, points, bitsets, sigma2s, out=None):  # pragma: no cover
+        y, s_count, n, sig = _check_multi_args(received, sigma2s)
+        yr, yi, c_re, c_im = self._prepared(y, points)
+        out = _check_llr_multi_out(out, s_count, n, bitsets.k)
+        inv_col = np.repeat(1.0 / (2.0 * sig), n)
+        self._k.logmap_multi(
+            yr, yi, c_re, c_im, bitsets.table, bitsets.sizes,
+            bitsets.k, inv_col, out.reshape(s_count * n, bitsets.k),
+        )
+        return out
+
     def hard_indices(self, received, points):  # pragma: no cover - needs numba
-        yr, yi, c_re, c_im = self._prepared(received, points)
+        y = np.asarray(received)
+        yr, yi, c_re, c_im = self._prepared(y, points)
         out = np.empty(yr.size, dtype=np.intp)
         self._k.hard(yr, yi, c_re, c_im, out)
-        return out
+        return out.reshape(y.shape) if y.ndim != 1 else out
 
     def gemm_i64(self, x, weight, bias=None):  # pragma: no cover - needs numba
         x = np.ascontiguousarray(x, dtype=np.int64)

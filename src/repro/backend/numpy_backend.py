@@ -21,7 +21,14 @@ import numpy as np
 from repro.backend.bitsets import PaddedBitSets
 from repro.backend.workspace import Workspace
 
-__all__ = ["NumpyBackend", "FLOAT32_LLR_RTOL"]
+__all__ = ["NumpyBackend", "FLOAT32_LLR_RTOL", "MULTI_SIGMA_TILE"]
+
+#: Column-tile width of the multi-sigma sweep kernels.  A tile's working set
+#: (distance block + temporaries + per-set minima: ~1.5 MB at 16-QAM/float64)
+#: stays cache-resident, which is what lets the batched ``(S, n)`` launch
+#: beat S sequential single-SNR launches whose full-width intermediates
+#: stream through last-level cache.
+MULTI_SIGMA_TILE = 8192
 
 #: Documented agreement between the float32 and float64 tiers: max-log and
 #: log-MAP LLRs agree within this *relative* tolerance of the batch's peak
@@ -44,6 +51,54 @@ def _check_llr_out(out: np.ndarray | None, n: int, k: int) -> np.ndarray:
     if out.dtype != np.float64:
         raise ValueError(f"out must be float64, got {out.dtype}")
     return out
+
+
+def _check_multi_args(
+    received: np.ndarray, sigma2s: np.ndarray
+) -> tuple[np.ndarray, int, int, np.ndarray]:
+    """Validate the ``(S, n)`` received tensor and the per-row sigma vector."""
+    y = np.asarray(received)
+    if y.ndim != 2:
+        raise ValueError(f"multi-sigma kernels expect (S, n) received, got shape {y.shape}")
+    sig = np.asarray(sigma2s, dtype=np.float64).ravel()
+    if sig.size != y.shape[0]:
+        raise ValueError(
+            f"sigma2s must have one entry per received row: got {sig.size} for S={y.shape[0]}"
+        )
+    if sig.size and np.any(sig <= 0):
+        raise ValueError("every sigma2 must be positive")
+    return y, y.shape[0], y.shape[1], sig
+
+
+def _check_llr_multi_out(out: np.ndarray | None, s: int, n: int, k: int) -> np.ndarray:
+    """Validate a caller-supplied ``(S, n, k)`` LLR buffer (or allocate one).
+
+    The kernels fill the buffer through a flat ``(S·n, k)`` view, so a
+    non-contiguous buffer (whose reshape would silently copy) is rejected.
+    """
+    if out is None:
+        return np.empty((s, n, k), dtype=np.float64)
+    if out.shape != (s, n, k):
+        raise ValueError(f"out must have shape ({s}, {n}, {k}), got {out.shape}")
+    if out.dtype != np.float64:
+        raise ValueError(f"out must be float64, got {out.dtype}")
+    if not out.flags.c_contiguous:
+        raise ValueError("out must be C-contiguous (reshaping would copy)")
+    return out
+
+
+def _column_tiles(total: int, tile: int):
+    """Yield ``(start, stop, key_tag)`` column tiles over a flattened sweep.
+
+    Full tiles share one workspace key; the (single) ragged tail gets its own
+    ``#tail`` tag so alternating full/tail widths within a call never thrash
+    the shape-keyed workspace — steady-state sweep calls stay allocation-free.
+    """
+    full = total - (total % tile)
+    for start in range(0, full, tile):
+        yield start, start + tile, ""
+    if total > full:
+        yield full, total, "#tail"
 
 
 class NumpyBackend:
@@ -89,6 +144,32 @@ class NumpyBackend:
         np.copyto(yi, y.imag, casting="same_kind")
         return yr, yi
 
+    def _split_points(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Constellation points -> real/imag vectors in the working dtype."""
+        c = np.asarray(points).ravel()
+        return c.real.astype(self.dtype), c.imag.astype(self.dtype)
+
+    def _distances_tile(
+        self, yr: np.ndarray, yi: np.ndarray,
+        c_re: np.ndarray, c_im: np.ndarray,
+        start: int, stop: int, key: str,
+    ) -> np.ndarray:
+        """Squared-distance block ``(M, stop-start)`` for one column slice.
+
+        ``key`` namespaces the scratch buffers: full-width scalar kernels and
+        tile-width sweep kernels use distinct keys so alternating between
+        them never thrashes the shape-keyed workspace.
+        """
+        m = c_re.size
+        d2 = self.scratch(key, (m, stop - start))
+        t = self.scratch(key + "~tmp", (m, stop - start))
+        np.subtract(c_re[:, None], yr[None, start:stop], out=d2)
+        np.multiply(d2, d2, out=d2)
+        np.subtract(c_im[:, None], yi[None, start:stop], out=t)
+        np.multiply(t, t, out=t)
+        np.add(d2, t, out=d2)
+        return d2
+
     def point_distances_t(self, received: np.ndarray, points: np.ndarray) -> np.ndarray:
         """Squared distances in transposed ``(M, n)`` layout (scratch-owned).
 
@@ -96,23 +177,13 @@ class NumpyBackend:
         call on this backend from the same thread.
         """
         yr, yi = self._split_received(received)
-        c = np.asarray(points).ravel()
-        c_re = c.real.astype(self.dtype)
-        c_im = c.imag.astype(self.dtype)
-        m, n = c.size, yr.size
-        d2 = self.scratch("d2_t", (m, n))
-        t = self.scratch("d2_tmp", (m, n))
-        np.subtract(c_re[:, None], yr[None, :], out=d2)
-        np.multiply(d2, d2, out=d2)
-        np.subtract(c_im[:, None], yi[None, :], out=t)
-        np.multiply(t, t, out=t)
-        np.add(d2, t, out=d2)
-        return d2
+        c_re, c_im = self._split_points(points)
+        return self._distances_tile(yr, yi, c_re, c_im, 0, yr.size, "d2_t")
 
-    def _set_minima(self, d2: np.ndarray, bitsets: PaddedBitSets) -> np.ndarray:
+    def _set_minima(self, d2: np.ndarray, bitsets: PaddedBitSets, key: str = "set_mins") -> np.ndarray:
         """Row-wise minima per padded bit set: ``(2k, n)`` scratch array."""
         n = d2.shape[1]
-        mins = self.scratch("set_mins", (2 * bitsets.k, n))
+        mins = self.scratch(key, (2 * bitsets.k, n))
         table, sizes = bitsets.table, bitsets.sizes
         for s in range(table.shape[0]):
             acc = mins[s]
@@ -185,10 +256,119 @@ class NumpyBackend:
         np.copyto(out, diff.T, casting="same_kind")
         return out
 
+    # -- multi-sigma sweep kernels -------------------------------------------
+    def maxlog_llrs_multi(
+        self,
+        received: np.ndarray,
+        points: np.ndarray,
+        bitsets: PaddedBitSets,
+        sigma2s: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Max-log LLRs for a whole SNR sweep in one launch: ``(S, n, k)``.
+
+        ``received`` is an ``(S, n)`` tensor (row ``s`` = the received batch
+        at sweep point ``s``); ``sigma2s`` holds the per-row noise variances.
+        The distance + per-bit reduction stage runs once over the flattened
+        ``S·n`` samples (column-tiled so each block stays cache-resident) and
+        the S ``1/(2σ²)`` scalings are applied from a per-column vector — on
+        the default tier every per-SNR slice ``out[s]`` is bit-identical to
+        ``maxlog_llrs(received[s], ..., sigma2s[s])``.
+        """
+        y, s_count, n, sig = _check_multi_args(received, sigma2s)
+        k = bitsets.k
+        out = _check_llr_multi_out(out, s_count, n, k)
+        total = s_count * n
+        if total == 0:
+            return out
+        out_flat = out.reshape(total, k)
+        yr, yi = self._split_received(y)
+        c_re, c_im = self._split_points(points)
+        inv_col = self.scratch("inv2s2_col", (total,))
+        inv_col.reshape(s_count, n)[:] = (1.0 / (2.0 * sig))[:, None]
+        for start, stop, tag in _column_tiles(total, MULTI_SIGMA_TILE):
+            d2 = self._distances_tile(yr, yi, c_re, c_im, start, stop, "sw_d2" + tag)
+            mins = self._set_minima(d2, bitsets, key="sw_mins" + tag)
+            diff = self.scratch("sw_llr" + tag, (k, stop - start))
+            np.subtract(mins[:k], mins[k:], out=diff)
+            np.multiply(diff, inv_col[None, start:stop], out=diff)
+            np.copyto(out_flat[start:stop], diff.T, casting="same_kind")
+        return out
+
+    def logmap_llrs_multi(
+        self,
+        received: np.ndarray,
+        points: np.ndarray,
+        bitsets: PaddedBitSets,
+        sigma2s: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact log-MAP LLRs for a whole SNR sweep: ``(S, n, k)`` float64.
+
+        Same layout/contract as :meth:`maxlog_llrs_multi`; the shared distance
+        stage and per-set minima are computed once per column tile, then the
+        streaming log-sum-exp runs with the per-column ``-1/(2σ²)`` metric
+        scale, reproducing the per-SNR kernel bit-for-bit on the default tier.
+        """
+        y, s_count, n, sig = _check_multi_args(received, sigma2s)
+        k = bitsets.k
+        out = _check_llr_multi_out(out, s_count, n, k)
+        total = s_count * n
+        if total == 0:
+            return out
+        out_flat = out.reshape(total, k)
+        yr, yi = self._split_received(y)
+        c_re, c_im = self._split_points(points)
+        neg_col = self.scratch("neg_inv2s2_col", (total,))
+        neg_col.reshape(s_count, n)[:] = (-1.0 / (2.0 * sig))[:, None]
+        table, sizes = bitsets.table, bitsets.sizes
+        for start, stop, tag in _column_tiles(total, MULTI_SIGMA_TILE):
+            w = stop - start
+            d2 = self._distances_tile(yr, yi, c_re, c_im, start, stop, "sw_d2" + tag)
+            mins = self._set_minima(d2, bitsets, key="sw_mins" + tag)
+            nc = neg_col[start:stop]
+            # Pre-scale the whole tile to the LSE metric once: each point row
+            # is a member of k bit sets, so the per-member scaling of the
+            # scalar kernel would repeat every product k times.  The products
+            # are the same IEEE multiplications either way, so per-SNR slices
+            # stay bit-identical to the scalar kernel.
+            np.multiply(d2, nc[None, :], out=d2)
+            lse = self.scratch("sw_lse" + tag, (2 * k, w))
+            acc = self.scratch("sw_lse_acc" + tag, (w,))
+            tmp = self.scratch("sw_lse_tmp" + tag, (w,))
+            for s in range(table.shape[0]):
+                mx = mins[s]
+                np.multiply(mx, nc, out=mx)
+                acc.fill(0.0)
+                for t in range(sizes[s]):
+                    np.subtract(d2[table[s, t]], mx, out=tmp)
+                    np.exp(tmp, out=tmp)
+                    np.add(acc, tmp, out=acc)
+                np.log(acc, out=acc)
+                np.add(mx, acc, out=lse[s])
+            diff = self.scratch("sw_llr" + tag, (k, w))
+            np.subtract(lse[k:], lse[:k], out=diff)
+            np.copyto(out_flat[start:stop], diff.T, casting="same_kind")
+        return out
+
     def hard_indices(self, received: np.ndarray, points: np.ndarray) -> np.ndarray:
-        """Nearest-point labels ``(n,)`` (ties -> lowest label, as before)."""
-        d2 = self.point_distances_t(received, points)
-        return np.argmin(d2, axis=0)
+        """Nearest-point labels (ties -> lowest label, as before).
+
+        ``received`` may be any shape — hard decisions are σ²-independent, so
+        a whole ``(S, n)`` sweep tensor batches through one flattened,
+        column-tiled launch (cache-resident distance blocks; per-column
+        argmin is independent of tiling, so results are unchanged); the
+        returned label array matches the input shape.
+        """
+        y = np.asarray(received)
+        yr, yi = self._split_received(y)
+        c_re, c_im = self._split_points(points)
+        total = yr.size
+        out = np.empty(total, dtype=np.intp)
+        for start, stop, tag in _column_tiles(total, MULTI_SIGMA_TILE):
+            d2 = self._distances_tile(yr, yi, c_re, c_im, start, stop, "sw_d2" + tag)
+            np.argmin(d2, axis=0, out=out[start:stop])
+        return out.reshape(y.shape) if y.ndim != 1 else out
 
     # -- dense-algebra kernels ----------------------------------------------
     def linear(

@@ -18,6 +18,17 @@ from repro.channels.awgn import AWGNChannel, sigma2_from_snr
 from repro.channels.base import Channel, find_awgn
 from repro.channels.cfo import CFOChannel
 from repro.channels.composite import CompositeChannel
+from repro.channels.factories import (
+    AWGNFactory,
+    CFOFactory,
+    CompositeFactory,
+    IQImbalanceFactory,
+    PhaseNoiseFactory,
+    PhaseOffsetFactory,
+    RappPAFactory,
+    RayleighFactory,
+    RicianFactory,
+)
 from repro.channels.fading import RayleighFadingChannel, RicianFadingChannel
 from repro.channels.iq_imbalance import IQImbalanceChannel
 from repro.channels.nonlinear import RappPAChannel
@@ -38,4 +49,14 @@ __all__ = [
     "RappPAChannel",
     "CompositeChannel",
     "WienerPhaseNoiseChannel",
+    # chunked/parallel-mode channel factories (one per zoo member)
+    "AWGNFactory",
+    "RayleighFactory",
+    "RicianFactory",
+    "PhaseNoiseFactory",
+    "PhaseOffsetFactory",
+    "CFOFactory",
+    "IQImbalanceFactory",
+    "RappPAFactory",
+    "CompositeFactory",
 ]

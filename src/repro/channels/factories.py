@@ -1,0 +1,200 @@
+"""Picklable channel factories for the chunked/parallel Monte-Carlo mode.
+
+The deterministic chunked mode of :func:`repro.link.simulator.simulate_ber`
+(and the parallel workers behind ``n_workers > 1``) rebuild the channel once
+per chunk from a *factory*: a picklable callable ``factory(rng) -> Channel``
+driven by the chunk's spawned noise generator.  This module provides one
+factory per member of the channel zoo, so every scenario — not just AWGN —
+runs through the worker-count-invariant parallel path:
+
+========================= ====================================================
+factory                   channel built per chunk
+========================= ====================================================
+:class:`AWGNFactory`      :class:`~repro.channels.awgn.AWGNChannel`
+:class:`RayleighFactory`  :class:`~repro.channels.fading.RayleighFadingChannel`
+:class:`RicianFactory`    :class:`~repro.channels.fading.RicianFadingChannel`
+:class:`PhaseNoiseFactory`:class:`~repro.channels.phase_noise.WienerPhaseNoiseChannel`
+:class:`PhaseOffsetFactory`:class:`~repro.channels.phase.PhaseOffsetChannel`
+:class:`CFOFactory`       :class:`~repro.channels.cfo.CFOChannel`
+:class:`IQImbalanceFactory`:class:`~repro.channels.iq_imbalance.IQImbalanceChannel`
+:class:`RappPAFactory`    :class:`~repro.channels.nonlinear.RappPAChannel`
+:class:`CompositeFactory` :class:`~repro.channels.composite.CompositeChannel`
+========================= ====================================================
+
+Deterministic impairments (phase offset, CFO, IQ imbalance, Rapp PA) accept
+and ignore the per-chunk generator so every factory shares one call shape.
+:class:`CompositeFactory` spawns one child generator per stage — in stage
+order, for every stage whether stochastic or not — so the composed noise
+streams are a pure function of the chunk generator, independent of which
+stages happen to consume randomness.
+
+Typical sweep scenario (fading + noise, paper §III-C style)::
+
+    factory = CompositeFactory((
+        RayleighFactory(block_size=256, coherent=True),
+        AWGNFactory(snr_db=8.0, bits_per_symbol=4),
+    ))
+    simulate_ber(qam, None, demap, 1_000_000, rng=7,
+                 channel_factory=factory, n_workers=4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.channels.awgn import AWGNChannel
+from repro.channels.base import Channel
+from repro.channels.cfo import CFOChannel
+from repro.channels.composite import CompositeChannel
+from repro.channels.fading import RayleighFadingChannel, RicianFadingChannel
+from repro.channels.iq_imbalance import IQImbalanceChannel
+from repro.channels.nonlinear import RappPAChannel
+from repro.channels.phase import PhaseOffsetChannel
+from repro.channels.phase_noise import WienerPhaseNoiseChannel
+
+__all__ = [
+    "AWGNFactory",
+    "RayleighFactory",
+    "RicianFactory",
+    "PhaseNoiseFactory",
+    "PhaseOffsetFactory",
+    "CFOFactory",
+    "IQImbalanceFactory",
+    "RappPAFactory",
+    "CompositeFactory",
+]
+
+
+@dataclass(frozen=True)
+class AWGNFactory:
+    """Per-chunk :class:`AWGNChannel` builder — the standard uncoded-AWGN case.
+
+    ``bits_per_symbol`` is deliberately required (unlike the channel's
+    16-QAM default): with the default Eb/N0 convention it sets the noise
+    power, and a silently wrong ``k`` shifts every BER point.
+    """
+
+    snr_db: float
+    bits_per_symbol: int
+    snr_type: str = "ebn0"
+    es: float = 1.0
+
+    def __call__(self, rng: np.random.Generator) -> AWGNChannel:
+        return AWGNChannel(
+            self.snr_db, self.bits_per_symbol, snr_type=self.snr_type, es=self.es, rng=rng
+        )
+
+
+@dataclass(frozen=True)
+class RayleighFactory:
+    """Per-chunk quasi-static Rayleigh block fading."""
+
+    block_size: int = 1024
+    coherent: bool = False
+
+    def __call__(self, rng: np.random.Generator) -> RayleighFadingChannel:
+        return RayleighFadingChannel(self.block_size, coherent=self.coherent, rng=rng)
+
+
+@dataclass(frozen=True)
+class RicianFactory:
+    """Per-chunk Rician block fading with K-factor."""
+
+    k_factor: float = 4.0
+    block_size: int = 1024
+    coherent: bool = False
+
+    def __call__(self, rng: np.random.Generator) -> RicianFadingChannel:
+        return RicianFadingChannel(
+            self.k_factor, self.block_size, coherent=self.coherent, rng=rng
+        )
+
+
+@dataclass(frozen=True)
+class PhaseNoiseFactory:
+    """Per-chunk Wiener (random-walk) oscillator phase noise.
+
+    Each chunk restarts the walk at ``initial_phase`` with its own spawned
+    generator — the price of worker-invariant parallelism is that the phase
+    process is block-independent at chunk boundaries (use the legacy
+    streaming mode for one continuous walk).
+    """
+
+    linewidth_sigma: float
+    initial_phase: float = 0.0
+
+    def __call__(self, rng: np.random.Generator) -> WienerPhaseNoiseChannel:
+        return WienerPhaseNoiseChannel(
+            self.linewidth_sigma, initial_phase=self.initial_phase, rng=rng
+        )
+
+
+@dataclass(frozen=True)
+class PhaseOffsetFactory:
+    """Fixed rotation e^{jφ} (deterministic; the paper's retraining scenario)."""
+
+    phase: float
+
+    def __call__(self, rng: np.random.Generator) -> PhaseOffsetChannel:
+        return PhaseOffsetChannel(self.phase)
+
+
+@dataclass(frozen=True)
+class CFOFactory:
+    """Carrier-frequency offset (deterministic drift, restarts per chunk)."""
+
+    freq_offset: float
+    initial_phase: float = 0.0
+
+    def __call__(self, rng: np.random.Generator) -> CFOChannel:
+        return CFOChannel(self.freq_offset, self.initial_phase)
+
+
+@dataclass(frozen=True)
+class IQImbalanceFactory:
+    """Receiver IQ gain/phase mismatch (deterministic)."""
+
+    amplitude_imbalance_db: float = 0.0
+    phase_imbalance: float = 0.0
+
+    def __call__(self, rng: np.random.Generator) -> IQImbalanceChannel:
+        return IQImbalanceChannel(self.amplitude_imbalance_db, self.phase_imbalance)
+
+
+@dataclass(frozen=True)
+class RappPAFactory:
+    """Rapp solid-state PA compression (deterministic)."""
+
+    a_sat: float = 1.0
+    p: float = 2.0
+
+    def __call__(self, rng: np.random.Generator) -> RappPAChannel:
+        return RappPAChannel(self.a_sat, self.p)
+
+
+@dataclass(frozen=True)
+class CompositeFactory:
+    """Sequential composition of factories -> :class:`CompositeChannel`.
+
+    One child generator is spawned per stage (in stage order, stochastic or
+    not), so each stage's noise stream is a pure function of the chunk
+    generator and the stage position — adding a deterministic stage never
+    shifts the randomness of the stages after it.
+    """
+
+    stages: Tuple[Callable[[np.random.Generator], Channel], ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("CompositeFactory needs at least one stage factory")
+        object.__setattr__(self, "stages", tuple(self.stages))
+        for stage in self.stages:
+            if not callable(stage):
+                raise TypeError(f"stage factory {stage!r} is not callable")
+
+    def __call__(self, rng: np.random.Generator) -> CompositeChannel:
+        rngs = rng.spawn(len(self.stages))
+        return CompositeChannel([f(r) for f, r in zip(self.stages, rngs)])

@@ -54,7 +54,14 @@ class RayleighFadingChannel(Channel):
             self._symbols_in_block += take
             pos += take
         if self.coherent:
-            gains = gains / np.abs(gains)
+            # |h| can be drawn arbitrarily close to 0 (Rayleigh has full
+            # density at the origin); dividing by it would blow the "ideal
+            # amplitude tracking" output up to inf/nan.  A deep-faded block
+            # carries no usable phase either, so treat it as unrotated.
+            mag = np.abs(gains)
+            gains = np.divide(
+                gains, mag, out=np.ones_like(gains), where=mag > 1e-12
+            )
         self._last_gain = gains
         return z * gains
 

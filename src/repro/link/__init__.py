@@ -2,6 +2,9 @@
 
 * :mod:`repro.link.simulator` — batched Monte-Carlo BER engine with
   early stopping and Wilson confidence intervals;
+* :mod:`repro.link.sweep` — batched multi-SNR sweep engine: one shared
+  symbol/noise draw per chunk (common random numbers) evaluated at every
+  SNR point through the multi-sigma backend kernels;
 * :mod:`repro.link.frames` — pilot/payload framing;
 * :mod:`repro.link.adaptive` — the full closed loop of the paper: hybrid
   demapping, pilot/ECC monitoring, triggered retraining and centroid
@@ -20,12 +23,17 @@ from repro.link.ofdm import (
     subcarrier_gains,
 )
 from repro.link.simulator import AWGNFactory, BERResult, simulate_ber, sweep_snr
+from repro.link.sweep import AnnBitsReceiver, HardBitsReceiver, SoftBitsReceiver, sweep_ber
 
 __all__ = [
     "AWGNFactory",
     "BERResult",
     "simulate_ber",
     "sweep_snr",
+    "sweep_ber",
+    "HardBitsReceiver",
+    "SoftBitsReceiver",
+    "AnnBitsReceiver",
     "Frame",
     "FrameConfig",
     "build_frame",

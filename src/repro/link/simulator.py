@@ -23,15 +23,15 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import contextvars
 import multiprocessing
 import numpy as np
 
 from repro.backend import get_backend, use_backend
-from repro.channels.awgn import AWGNChannel
 from repro.channels.base import Channel
+from repro.channels.factories import AWGNFactory
 from repro.modulation.constellations import Constellation
 from repro.utils.rng import as_generator
 from repro.utils.stats import wilson_interval
@@ -58,29 +58,57 @@ class BERResult:
         return f"BER {self.ber:.3e} [{self.ci_low:.2e}, {self.ci_high:.2e}] ({self.bits} bits)"
 
 
-@dataclass(frozen=True)
-class AWGNFactory:
-    """Picklable channel factory for the chunked/parallel simulator mode.
+def run_chunks_in_order(
+    chunk_fn: Callable[..., object],
+    chunk_args: Iterator[tuple],
+    consume: Callable[[object], bool],
+    n_workers: int,
+) -> None:
+    """Execute ``chunk_fn`` over an argument stream, consuming results in
+    strict chunk order; ``consume(result)`` returns False to stop early.
 
-    ``AWGNFactory(snr_db, k)(rng)`` builds a fresh :class:`AWGNChannel`
-    driven by the per-chunk noise generator — the standard factory for
-    uncoded AWGN sweeps (custom channels supply their own factory callable;
-    it must be picklable for ``n_workers > 1``).
-
-    ``bits_per_symbol`` is deliberately required (unlike the channel's
-    16-QAM default): with the default Eb/N0 convention it sets the noise
-    power, and a silently wrong ``k`` shifts every BER point.
+    This is the worker-invariance core shared by the chunked
+    :func:`simulate_ber` mode and the multi-SNR sweep engine
+    (:mod:`repro.link.sweep`): with ``n_workers <= 1`` chunks run in-process;
+    otherwise they fan out over a forkserver process pool with a *bounded*
+    submission window (``2·n_workers`` — an early stop wastes at most ~one
+    window of speculative work) while results are still consumed strictly in
+    chunk order, so early-stop boundaries — and therefore every counted
+    bit — are identical for every worker count.  ``chunk_args`` is advanced
+    lazily, which lets callers snapshot mutable scheduling state (e.g. which
+    sweep points are still active) per chunk.
     """
-
-    snr_db: float
-    bits_per_symbol: int
-    snr_type: str = "ebn0"
-    es: float = 1.0
-
-    def __call__(self, rng: np.random.Generator) -> AWGNChannel:
-        return AWGNChannel(
-            self.snr_db, self.bits_per_symbol, snr_type=self.snr_type, es=self.es, rng=rng
-        )
+    if n_workers <= 1:
+        for args in chunk_args:
+            if not consume(chunk_fn(*args)):
+                return
+        return
+    try:
+        # forkserver: children fork from a dedicated single-threaded server,
+        # so spawning from a multithreaded parent (e.g. inside a sweep_snr
+        # thread pool) is safe; plain fork is not.
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as ex:
+        window = 2 * n_workers
+        pending: list = []
+        exhausted = False
+        try:
+            while pending or not exhausted:
+                while not exhausted and len(pending) < window:
+                    args = next(chunk_args, None)
+                    if args is None:
+                        exhausted = True
+                    else:
+                        pending.append(ex.submit(chunk_fn, *args))
+                if not pending:
+                    break
+                if not consume(pending.pop(0).result()):
+                    break
+        finally:
+            for fut in pending:
+                fut.cancel()
 
 
 def _ber_chunk(
@@ -143,55 +171,17 @@ def _simulate_chunked(
             bits_rng, noise_rng = rng.spawn(2)
             yield (constellation, channel_factory, demap_bits, n, bits_rng, noise_rng, backend)
 
-    errors = 0
-    bits_done = 0
-    symbols_done = 0
-    if n_workers <= 1:
-        for args in chunk_args_iter():
-            e, b, s = _ber_chunk(*args)
-            errors += e
-            bits_done += b
-            symbols_done += s
-            if max_errors is not None and errors >= max_errors:
-                break
-    else:
-        try:
-            # forkserver: children fork from a dedicated single-threaded
-            # server, so spawning from a multithreaded parent (e.g. inside a
-            # sweep_snr thread pool) is safe; plain fork is not.
-            ctx = multiprocessing.get_context("forkserver")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as ex:
-            # Submit in a bounded window (not all chunks upfront), so an
-            # early stop wastes at most ~one window of speculative work.
-            # Results are still consumed strictly in chunk order: identical
-            # early-stop boundary (and thus identical counts) for every
-            # n_workers.
-            window = 2 * n_workers
-            pending: list = []
-            args_iter = chunk_args_iter()
-            exhausted = False
-            try:
-                while pending or not exhausted:
-                    while not exhausted and len(pending) < window:
-                        args = next(args_iter, None)
-                        if args is None:
-                            exhausted = True
-                        else:
-                            pending.append(ex.submit(_ber_chunk, *args))
-                    if not pending:
-                        break
-                    fut = pending.pop(0)
-                    e, b, s = fut.result()
-                    errors += e
-                    bits_done += b
-                    symbols_done += s
-                    if max_errors is not None and errors >= max_errors:
-                        break
-            finally:
-                for fut in pending:
-                    fut.cancel()
+    totals = [0, 0, 0]  # errors, bits, symbols
+
+    def consume(result) -> bool:
+        e, b, s = result
+        totals[0] += e
+        totals[1] += b
+        totals[2] += s
+        return max_errors is None or totals[0] < max_errors
+
+    run_chunks_in_order(_ber_chunk, chunk_args_iter(), consume, n_workers)
+    errors, bits_done, symbols_done = totals
     lo, hi = wilson_interval(errors, bits_done)
     return BERResult(bit_errors=errors, bits=bits_done, symbols=symbols_done, ci_low=lo, ci_high=hi)
 
@@ -246,8 +236,26 @@ def simulate_ber(
     channel_factory:
         ``rng -> Channel`` builder enabling the deterministic chunked mode
         (see module docstring); each chunk gets a freshly built channel with
-        its own spawned noise generator.  :class:`AWGNFactory` covers the
-        common AWGN case.
+        its own spawned noise generator.  :mod:`repro.channels.factories`
+        covers the whole channel zoo — :class:`AWGNFactory` for the common
+        AWGN case, ``RayleighFactory``/``RicianFactory`` (block fading),
+        ``PhaseNoiseFactory`` (Wiener phase noise), ``CFOFactory``,
+        ``IQImbalanceFactory``, ``RappPAFactory``, and ``CompositeFactory``
+        to stack stages (e.g. fading + AWGN) with per-stage spawned
+        generators.  Every factory is picklable, so every scenario runs
+        through the ``n_workers > 1`` path with worker-invariant counts.
+
+    See also
+    --------
+    repro.link.sweep.sweep_ber :
+        Batched multi-SNR engine — evaluates a whole SNR sweep per chunk
+        from one shared symbol/noise draw (common random numbers) through
+        the multi-sigma backend kernels; use it instead of S separate
+        ``simulate_ber`` calls when only the SNR varies.  Sharing the noise
+        across the axis is also a variance-reduction technique: per-point
+        estimates become positively correlated, so the BER *curve* comes out
+        much smoother (low-variance point-to-point differences) at the same
+        sample budget.
     """
     if n_symbols < 1:
         raise ValueError("n_symbols must be >= 1")

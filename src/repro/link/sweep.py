@@ -1,0 +1,296 @@
+"""Batched multi-SNR Monte-Carlo sweep engine (common random numbers).
+
+Every headline artifact of the paper — the Fig. 2 BER curves, the Table 1
+adaptation deltas, the coded-BER extension — is an SNR *sweep*, yet running
+it as S independent :func:`~repro.link.simulator.simulate_ber` calls pays S
+kernel launches, S noise streams, and S passes over freshly drawn symbols
+per evaluation batch.  This engine evaluates all S sweep points per chunk
+from **one** shared draw:
+
+1. draw ``n`` source symbols and ``n`` *unit-variance* complex noise samples
+   once per chunk (common random numbers, CRN),
+2. scale the shared noise by each point's ``σ_s`` to form an ``(S, n)``
+   received tensor — optionally after a shared pre-noise impairment stage
+   (phase offset, fading, PA compression, ... via a channel factory),
+3. demap all S rows through the multi-sigma backend kernels
+   (``maxlog_llrs_multi`` / ``logmap_llrs_multi`` / batched
+   ``hard_indices``): the distance stage runs once over the flattened
+   ``S·n`` samples and the S ``1/(2σ²)`` scalings come from a vector — one
+   fused launch instead of S.
+
+**Common-random-numbers variance reduction.**  Because every SNR point sees
+the *same* symbols and the same (rescaled) noise realisation, the sweep's
+per-point BER estimates are strongly positively correlated: a chunk with an
+unlucky noise draw is unlucky at every SNR simultaneously, so the estimated
+*curve* keeps its shape (differences between adjacent SNR points have much
+lower variance than under independent draws) even though each individual
+point has the ordinary Monte-Carlo variance.  BER curves come out visibly
+smoother at equal sample budgets — the classic CRN effect for comparing
+systems across a swept parameter.
+
+**Determinism.**  Chunks follow the same spawn discipline as the chunked
+:func:`~repro.link.simulator.simulate_ber` mode: per-chunk ``(bits, noise)``
+generators spawned in order from the master seed, results accumulated in
+chunk order, early stopping applied per SNR point at chunk granularity.
+Per-SNR error counts are therefore a pure function of ``(seed, n_symbols,
+batch_size)`` — independent of ``n_workers`` *and* of how the SNR axis is
+batched (sweeping ``[0, 4, 8]`` dB gives the same counts per point as
+sweeping ``[0, 4]`` and ``[8]`` separately, because the shared draw never
+depends on S).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.backend import get_backend, use_backend
+from repro.channels.awgn import sigma2_from_snr
+from repro.channels.base import Channel
+from repro.link.simulator import BERResult, run_chunks_in_order
+from repro.modulation.constellations import Constellation
+from repro.utils.complexmath import complex_to_real2
+from repro.utils.rng import as_generator
+from repro.utils.stats import wilson_interval
+
+__all__ = [
+    "sweep_ber",
+    "HardBitsReceiver",
+    "SoftBitsReceiver",
+    "AnnBitsReceiver",
+]
+
+
+@dataclass(frozen=True)
+class HardBitsReceiver:
+    """Nearest-point sweep receiver: ``(S, n)`` received -> ``(S, n, k)`` bits.
+
+    Hard decisions are σ²-independent, so the whole sweep tensor batches
+    through one flattened ``hard_indices`` kernel launch.  This is the
+    conventional receiver of the paper's Fig. 2 (max-log demapping followed
+    by thresholding equals the minimum-distance decision), and equally the
+    hybrid receiver when ``constellation`` is an extracted centroid set.
+    """
+
+    constellation: Constellation
+
+    def __call__(self, received: np.ndarray, sigma2s: np.ndarray) -> np.ndarray:
+        idx = get_backend().hard_indices(received, self.constellation.points)
+        return self.constellation.bit_matrix[idx]
+
+
+@dataclass(frozen=True)
+class SoftBitsReceiver:
+    """Sweep receiver thresholding a demapper's multi-sigma LLRs.
+
+    ``demapper`` must expose ``llrs_multi(received, sigma2s)`` (max-log or
+    exact log-MAP).  Use this when the bitwise-MAP decision differs from the
+    nearest-point one (exact log-MAP) or when the LLR path itself is what
+    is being measured; for plain minimum-distance bits
+    :class:`HardBitsReceiver` is faster.
+    """
+
+    demapper: object
+
+    def __call__(self, received: np.ndarray, sigma2s: np.ndarray) -> np.ndarray:
+        return (self.demapper.llrs_multi(received, sigma2s) > 0).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class AnnBitsReceiver:
+    """Sweep receiver for an ANN demapper (σ²-independent inference).
+
+    Flattens the ``(S, n)`` tensor into one ``(S·n, 2)`` batch through the
+    allocation-free ``infer_logits`` path and thresholds at 0.
+    """
+
+    demapper: object  # DemapperANN (kept untyped to avoid an import cycle)
+
+    def __call__(self, received: np.ndarray, sigma2s: np.ndarray) -> np.ndarray:
+        flat = complex_to_real2(np.asarray(received).ravel())
+        logits = self.demapper.infer_logits(flat)
+        bits = (logits > 0).astype(np.int8)
+        return bits.reshape(received.shape + (bits.shape[-1],))
+
+
+def _sweep_chunk(
+    constellation: Constellation,
+    sigma2s: np.ndarray,
+    sigmas: np.ndarray,
+    active_idx: np.ndarray,
+    receiver: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    pre_channel_factory: Callable[[np.random.Generator], Channel] | None,
+    n: int,
+    bits_rng: np.random.Generator,
+    noise_rng: np.random.Generator,
+    backend,
+) -> tuple[np.ndarray, int, int]:
+    """One CRN chunk: returns ``(per_snr_bit_errors (S,), bits, symbols)``.
+
+    Only the sweep rows in ``active_idx`` (points that had not early-stopped
+    when the chunk was scheduled) are formed and demapped; the returned error
+    vector is scattered back to full length.  Because the shared draw never
+    depends on which rows are evaluated, pruning cannot change any counted
+    bit.  Module-level so it pickles into worker processes; runs under the
+    parent's resolved backend tier (workers do not inherit ``set_backend``
+    state).
+    """
+    k = constellation.bits_per_symbol
+    with use_backend(backend):
+        idx = bits_rng.integers(0, constellation.order, size=n)
+        x = constellation.points[idx]
+        if pre_channel_factory is not None:
+            # spawned *before* the noise draw so the unit-noise stream is
+            # identical whether or not a pre-stage is present
+            (pre_rng,) = noise_rng.spawn(1)
+            x = pre_channel_factory(pre_rng).forward(x)
+        unit = noise_rng.normal(0.0, 1.0, size=(n, 2))
+        e = unit[:, 0] + 1j * unit[:, 1]
+        received = x[None, :] + sigmas[active_idx, None] * e[None, :]
+        hat = np.asarray(receiver(received, sigma2s[active_idx]))
+    if hat.shape != (active_idx.size, n, k):
+        raise ValueError(
+            f"receiver returned shape {hat.shape}, expected ({active_idx.size}, {n}, {k})"
+        )
+    truth = constellation.bit_matrix[idx]
+    errors = np.zeros(sigma2s.size, dtype=np.int64)
+    errors[active_idx] = np.count_nonzero(hat != truth[None, :, :], axis=(1, 2))
+    return errors, n * k, n
+
+
+class _SweepAccumulator:
+    """Per-SNR accounting in strict chunk order with per-point early stop."""
+
+    def __init__(self, s_count: int, max_errors: int | None):
+        self.errors = np.zeros(s_count, dtype=np.int64)
+        self.bits = np.zeros(s_count, dtype=np.int64)
+        self.symbols = np.zeros(s_count, dtype=np.int64)
+        self.active = np.ones(s_count, dtype=bool)
+        self.max_errors = max_errors
+
+    def consume(self, chunk_errors: np.ndarray, chunk_bits: int, chunk_symbols: int) -> bool:
+        """Fold one chunk in; returns True while any SNR point still runs."""
+        act = self.active
+        self.errors[act] += chunk_errors[act]
+        self.bits[act] += chunk_bits
+        self.symbols[act] += chunk_symbols
+        if self.max_errors is not None:
+            self.active &= self.errors < self.max_errors
+        return bool(self.active.any())
+
+
+def sweep_ber(
+    constellation: Constellation,
+    snr_dbs: Sequence[float],
+    receiver: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    n_symbols: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    batch_size: int = 65536,
+    max_errors: int | None = None,
+    n_workers: int = 1,
+    snr_type: str = "ebn0",
+    es: float = 1.0,
+    pre_channel_factory: Callable[[np.random.Generator], Channel] | None = None,
+) -> Mapping[float, BERResult]:
+    """Measure the BER of a receiver at every SNR of a sweep in one batched run.
+
+    Parameters
+    ----------
+    constellation:
+        Transmit constellation (labels = bits).
+    snr_dbs:
+        The sweep axis.  All points share each chunk's symbol and
+        unit-noise draw (common random numbers — see the module docstring
+        for the variance-reduction property).
+    receiver:
+        ``(received (S, n) complex, sigma2s (S,)) -> (S, n, k) bits``.
+        Row ``s`` of ``received`` is the chunk's batch at sweep point ``s``.
+        :class:`HardBitsReceiver`, :class:`SoftBitsReceiver` and
+        :class:`AnnBitsReceiver` cover the standard receivers; like the
+        chunked ``simulate_ber`` mode the callable must be stateless per
+        call and picklable for ``n_workers > 1``.
+    n_symbols:
+        Maximum symbols per SNR point.
+    rng:
+        Master seed/generator; per-chunk generators are spawned from it in
+        deterministic order, making per-SNR counts a pure function of
+        ``(seed, n_symbols, batch_size)`` — independent of ``n_workers``
+        and of how the SNR axis is split across calls.
+    batch_size:
+        Symbols per chunk (part of the reproducibility key).
+    max_errors:
+        Early-stop a sweep *point* once it accumulates this many bit errors
+        (applied at chunk granularity in chunk order); the run ends when
+        every point has stopped.
+    n_workers:
+        Worker processes for chunk fan-out (``1`` = in-process); never
+        changes a counted bit.
+    snr_type / es:
+        SNR convention forwarded to
+        :func:`repro.channels.awgn.sigma2_from_snr`.
+    pre_channel_factory:
+        Optional picklable ``rng -> Channel`` applied to the clean symbols
+        *before* the scaled noise is added — one shared impairment
+        realisation per chunk (phase offset, fading, PA compression, or a
+        ``CompositeFactory`` stack thereof from
+        :mod:`repro.channels.factories`).  The AWGN stage is implicit (that
+        is what the sweep scales), so factories here must not add noise of
+        their own.
+
+    Returns
+    -------
+    Ordered mapping ``snr_db -> BERResult`` (one Wilson interval per point).
+    """
+    snrs = [float(s) for s in snr_dbs]
+    if not snrs:
+        raise ValueError("snr_dbs must contain at least one sweep point")
+    if n_symbols < 1:
+        raise ValueError("n_symbols must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    rng = as_generator(rng)
+    k = constellation.bits_per_symbol
+    sigma2s = np.array(
+        [sigma2_from_snr(s, k, snr_type=snr_type, es=es) for s in snrs], dtype=np.float64
+    )
+    sigmas = np.sqrt(sigma2s)
+
+    sizes = [batch_size] * (n_symbols // batch_size)
+    if n_symbols % batch_size:
+        sizes.append(n_symbols % batch_size)
+    backend = get_backend()
+
+    acc = _SweepAccumulator(len(snrs), max_errors)
+
+    def chunk_args_iter():
+        # `active_idx` is snapshotted at scheduling time: in-process that is
+        # exact; with workers it may lag the accumulator by the submission
+        # window, in which case a finished point's rows are computed and then
+        # masked out — never the reverse (active only shrinks), so counts
+        # stay invariant while finished points stop costing compute.
+        for n in sizes:
+            bits_rng, noise_rng = rng.spawn(2)
+            yield (
+                constellation, sigma2s, sigmas, np.flatnonzero(acc.active),
+                receiver, pre_channel_factory, n, bits_rng, noise_rng, backend,
+            )
+    run_chunks_in_order(
+        _sweep_chunk, chunk_args_iter(), lambda result: acc.consume(*result), n_workers
+    )
+
+    results = {}
+    for i, snr in enumerate(snrs):
+        lo, hi = wilson_interval(int(acc.errors[i]), int(acc.bits[i]))
+        results[snr] = BERResult(
+            bit_errors=int(acc.errors[i]),
+            bits=int(acc.bits[i]),
+            symbols=int(acc.symbols[i]),
+            ci_low=lo,
+            ci_high=hi,
+        )
+    return results

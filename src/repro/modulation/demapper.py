@@ -79,10 +79,28 @@ class _PointSetDemapper:
         return self._pinned if self._pinned is not None else get_backend()
 
     def squared_distances(self, received: np.ndarray) -> np.ndarray:
-        """|y − c_i|² for every received sample and point: shape ``(N, M)``."""
-        y = np.asarray(received, dtype=np.complex128).ravel()
-        diff = y[:, None] - self.constellation.points[None, :]
-        return (diff.real * diff.real) + (diff.imag * diff.imag)
+        """|y − c_i|² for every received sample and point: shape ``(N, M)``.
+
+        Runs on the backend's transposed distance kernel (workspace-managed
+        intermediates instead of a naive broadcast temporary); only the
+        caller-owned float64 ``(N, M)`` result is allocated.
+        """
+        d2_t = self.backend.point_distances_t(received, self.constellation.points)
+        out = np.empty((d2_t.shape[1], d2_t.shape[0]), dtype=np.float64)
+        np.copyto(out, d2_t.T, casting="same_kind")
+        return out
+
+    def demap_bits_multi(self, received: np.ndarray) -> np.ndarray:
+        """Nearest-point hard bits for an ``(S, n)`` sweep tensor: ``(S, n, k)``.
+
+        Hard decisions are σ²-independent, so a whole multi-SNR batch
+        dispatches to one flattened :meth:`hard_indices` launch.
+        """
+        y = np.asarray(received)
+        if y.ndim != 2:
+            raise ValueError(f"expected (S, n) received, got shape {y.shape}")
+        idx = self.backend.hard_indices(y, self.constellation.points)
+        return self.constellation.bit_matrix[idx]
 
 
 class HardDemapper(_PointSetDemapper):
@@ -126,13 +144,40 @@ class MaxLogDemapper(_PointSetDemapper):
             received, self.constellation.points, self._bitsets, sigma2, out=out
         )
 
-    def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
-        """Hard bits from max-log LLRs.
+    def llrs_multi(
+        self,
+        received: np.ndarray,
+        sigma2s: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Max-log LLRs for a whole SNR sweep in one kernel launch.
 
-        Note the hard decision is independent of ``sigma2`` (scaling does not
-        change the sign) — it equals the nearest-point decision.
+        ``received`` is ``(S, n)`` (row ``s`` = the batch at sweep point
+        ``s``) and ``sigma2s`` the matching per-row noise variances; returns
+        (or fills ``out`` with) float64 ``(S, n, k)``.  On the default tier
+        each slice ``[s]`` is bit-identical to ``llrs(received[s],
+        sigma2s[s])`` — the batched path only shares the distance stage and
+        applies the ``1/(2σ²)`` scalings from a vector.
         """
-        return llrs_to_bits(self.llrs(received, sigma2))
+        return self.backend.maxlog_llrs_multi(
+            received, self.constellation.points, self._bitsets, sigma2s, out=out
+        )
+
+    def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        """Hard bits from max-log demapping.
+
+        The hard decision is independent of ``sigma2`` (the LLR scaling does
+        not change the sign), so this dispatches straight to the nearest-point
+        ``hard_indices`` kernel — no LLRs are materialised.  Exact-tie inputs
+        (equidistant to a 0-point and a 1-point, a measure-zero event under
+        noise) resolve to the nearest point with the lowest label, matching
+        :class:`HardDemapper`.
+        """
+        if sigma2 <= 0:
+            raise ValueError(f"sigma2 must be positive, got {sigma2}")
+        idx = self.backend.hard_indices(received, self.constellation.points)
+        return self.constellation.bit_matrix[idx]
 
     def __call__(self, received: np.ndarray, sigma2: float) -> np.ndarray:
         return self.llrs(received, sigma2)
@@ -156,6 +201,23 @@ class ExactLogMAPDemapper(_PointSetDemapper):
             raise ValueError(f"sigma2 must be positive, got {sigma2}")
         return self.backend.logmap_llrs(
             received, self.constellation.points, self._bitsets, sigma2, out=out
+        )
+
+    def llrs_multi(
+        self,
+        received: np.ndarray,
+        sigma2s: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact LLRs for an ``(S, n)`` sweep tensor: ``(S, n, k)`` float64.
+
+        Same contract as :meth:`MaxLogDemapper.llrs_multi` (per-row sigma,
+        shared distance stage, per-SNR slices bit-identical to the scalar
+        kernel on the default tier).
+        """
+        return self.backend.logmap_llrs_multi(
+            received, self.constellation.points, self._bitsets, sigma2s, out=out
         )
 
     def demap_bits(self, received: np.ndarray, sigma2: float) -> np.ndarray:

@@ -16,6 +16,23 @@ from repro.nn.init import he_normal, xavier_uniform
 from repro.nn.module import Module, Parameter
 from repro.utils.numerics import stable_sigmoid
 
+
+def _infer_scratch(key: str, shape: tuple[int, ...], avoid: np.ndarray | None = None) -> np.ndarray:
+    """Float64 inference scratch from the current backend's workspace.
+
+    Keys are shared per layer *class* (not per instance), so inference
+    memory stays bounded by distinct (class, shape) pairs no matter how many
+    models a process constructs and discards.  Sharing means a layer's input
+    may itself be the shared buffer (e.g. two same-shape Dense layers in a
+    row); callers whose kernel cannot run in place pass it as ``avoid`` to
+    get an alternate buffer instead.
+    """
+    buf = get_backend().workspace.scratch(key, shape, np.float64)
+    if buf is avoid:
+        buf = get_backend().workspace.scratch(key + "~alt", shape, np.float64)
+    return buf
+
+
 __all__ = [
     "Dense",
     "ReLU",
@@ -90,6 +107,18 @@ class Dense(Module):
             self.bias.grad += grad_out.sum(axis=0)
         return backend.gemm(grad_out, self.weight.data)
 
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (batch, {self.in_features}), got {x.shape}")
+        if out is None:
+            # matmul cannot run in place, so never write into our own input
+            # (which is the shared scratch when same-shape Dense layers chain)
+            out = _infer_scratch(f"infer/dense/{self.out_features}", (x.shape[0], self.out_features), avoid=x)
+        return get_backend().linear(
+            x, self.weight.data, None if self.bias is None else self.bias.data, out=out
+        )
+
 
 class ReLU(Module):
     """Rectified linear unit, ``max(x, 0)``."""
@@ -107,6 +136,12 @@ class ReLU(Module):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return np.where(self._mask, grad_out, 0.0)
+
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if out is None:
+            out = _infer_scratch(f"infer/relu/{x.shape[-1]}", x.shape)  # in-place-safe if out is x
+        return np.maximum(x, 0.0, out=out)
 
 
 class LeakyReLU(Module):
@@ -128,6 +163,18 @@ class LeakyReLU(Module):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return np.where(self._mask, grad_out, self.alpha * grad_out)
+
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if out is None:
+            # the two-step multiply/maximum below reads x after writing out
+            out = _infer_scratch(f"infer/lrelu/{x.shape[-1]}", x.shape, avoid=x)
+        if self.alpha <= 1.0:
+            # max(x, αx) = x for x > 0 else αx when α <= 1
+            np.multiply(x, self.alpha, out=out)
+            return np.maximum(x, out, out=out)
+        np.copyto(out, np.where(x > 0, x, self.alpha * x))
+        return out
 
 
 class Sigmoid(Module):
@@ -152,6 +199,12 @@ class Sigmoid(Module):
             raise RuntimeError("backward called before forward")
         return grad_out * self._y * (1.0 - self._y)
 
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if out is None:
+            out = _infer_scratch(f"infer/sigmoid/{x.shape[-1]}", x.shape, avoid=x)
+        return stable_sigmoid(x, out=out)
+
 
 class Tanh(Module):
     """Hyperbolic tangent activation."""
@@ -169,6 +222,12 @@ class Tanh(Module):
             raise RuntimeError("backward called before forward")
         return grad_out * (1.0 - self._y * self._y)
 
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if out is None:
+            out = _infer_scratch(f"infer/tanh/{x.shape[-1]}", x.shape)  # ufunc is in-place-safe
+        return np.tanh(x, out=out)
+
 
 class Identity(Module):
     """No-op layer (useful as a placeholder in configurable topologies)."""
@@ -178,6 +237,13 @@ class Identity(Module):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out
+
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if out is not None:
+            np.copyto(out, x)
+            return out
+        return x
 
 
 class Dropout(Module):
@@ -204,6 +270,14 @@ class Dropout(Module):
         if self._mask is None:
             return grad_out
         return grad_out * self._mask
+
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        # inference never drops units, regardless of the training flag
+        x = np.asarray(x, dtype=np.float64)
+        if out is not None:
+            np.copyto(out, x)
+            return out
+        return x
 
 
 class Embedding(Module):
@@ -262,6 +336,17 @@ class Embedding(Module):
         # index shape so Sequential composition stays well-typed.
         return np.zeros(idx.shape, dtype=np.float64)
 
+    def infer(self, idx: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        idx = np.asarray(idx)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer indices, got dtype {idx.dtype}")
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding index out of range")
+        if out is not None:
+            np.take(self.table.data, idx, axis=0, out=out)
+            return out
+        return self.table.data[idx]
+
 
 class Sequential(Module):
     """Composition of layers applied in order; backward runs in reverse."""
@@ -281,6 +366,18 @@ class Sequential(Module):
         for layer in reversed(self.layers):
             grad_out = layer.backward(grad_out)
         return grad_out
+
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Chain the layers' inference paths; only the last layer sees ``out``.
+
+        With workspace-aware layers (Dense/ReLU/Sigmoid) a fixed-batch-size
+        steady state allocates nothing: every intermediate lives in a
+        per-layer backend scratch buffer and no backward state is cached.
+        """
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer.infer(x, out=out if i == last else None)
+        return x
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -63,6 +63,26 @@ class Module:
         gradients and return dLoss/dInput.  Must be called after ``forward``."""
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Inference-only forward pass: no backward state, reusable buffers.
+
+        Layers that override this compute into backend-workspace scratch (and
+        never cache activations), so a steady-state inference loop over
+        fixed-size batches allocates nothing; pass ``out=`` to own the final
+        result, otherwise the returned array may be workspace scratch that is
+        only valid until the module's next ``infer`` call on this thread.
+        Every layer shipped in :mod:`repro.nn.layers` overrides it.  The base
+        fallback delegates to :meth:`forward` (copied into ``out`` when
+        given) — correct output, but it refreshes the layer's cached backward
+        state, so custom layers relying on the fallback must not interleave
+        ``infer`` between a ``forward`` and its ``backward``.
+        """
+        y = self.forward(x)
+        if out is not None:
+            np.copyto(out, y)
+            return out
+        return y
+
     def parameters(self) -> list[Parameter]:
         """All trainable parameters of this module (and submodules), in a
         stable order."""

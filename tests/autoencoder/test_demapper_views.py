@@ -34,6 +34,61 @@ class TestDemapperViews:
         assert d.num_parameters() == 132
 
 
+class TestInferencePath:
+    """Workspace-aware inference: same numbers as forward, no allocations."""
+
+    def test_infer_logits_matches_forward(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(64, 2))
+        assert np.array_equal(d.infer_logits(x), d.forward(x))
+
+    def test_infer_out_parameter_is_filled_in_place(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(16, 2))
+        out = np.empty((16, 4))
+        got = d.infer_logits(x, out=out)
+        assert got is out
+        assert np.array_equal(out, d.forward(x))
+
+    def test_steady_state_allocates_nothing(self, rng):
+        from repro.backend import get_backend
+
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(128, 2))
+        out = np.empty((128, 4))
+        d.infer_logits(x, out=out)  # warm the per-layer scratch buffers
+        ws = get_backend().workspace
+        h0, m0 = ws.stats
+        for _ in range(3):
+            d.infer_logits(x, out=out)
+        h1, m1 = ws.stats
+        assert m1 == m0  # no new workspace allocations in steady state
+        assert h1 > h0
+
+    def test_infer_does_not_disturb_training_state(self, rng):
+        # forward -> (inference views) -> backward must use forward's cache
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(8, 2))
+        ref = DemapperANN(4)
+        ref.load_state_dict(d.state_dict())
+
+        logits = d.forward(x)
+        d.hard_bits(rng.normal(size=(32, 2)))  # interleaved inference
+        d.backward(np.ones_like(logits))
+
+        ref_logits = ref.forward(x)
+        ref.backward(np.ones_like(ref_logits))
+        for p, q in zip(d.parameters(), ref.parameters()):
+            assert np.array_equal(p.grad, q.grad)
+
+    def test_symbol_labels_match_bit_packing(self, rng):
+        d = DemapperANN(4, rng=rng)
+        x = rng.normal(size=(40, 2))
+        bits = d.hard_bits(x)
+        weights = (1 << np.arange(3, -1, -1))
+        assert np.array_equal(d.symbol_labels(x), bits.astype(np.int64) @ weights)
+
+
 class TestSystemHelpers:
     def test_receive_logits_matches_manual_path(self, trained_system_8db, rng):
         y = rng.normal(size=20) + 1j * rng.normal(size=20)

@@ -179,6 +179,111 @@ class TestFloat32Parity:
         assert r32.dtype == np.float64
 
 
+@pytest.fixture
+def sweep_received(qam16):
+    """(S, n) CRN-style received tensor + matching per-row sigma2s."""
+    rng = np.random.default_rng(77)
+    s, n = 5, 4_000
+    idx = rng.integers(0, 16, n)
+    sigma2s = np.array([0.005, 0.02, 0.05, 0.12, 0.3])
+    unit = rng.normal(size=n) + 1j * rng.normal(size=n)
+    received = qam16.points[idx][None, :] + np.sqrt(sigma2s)[:, None] * unit[None, :]
+    return received, sigma2s
+
+
+class TestMultiSigmaParity:
+    """Batched (S, n) sweep kernels agree with the per-SNR kernels per slice."""
+
+    def test_maxlog_multi_bit_identical_per_snr(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16, backend="numpy")
+        multi = ml.llrs_multi(received, sigma2s)
+        assert multi.shape == (5, received.shape[1], 4)
+        for s in range(sigma2s.size):
+            assert np.array_equal(multi[s], ml.llrs(received[s], sigma2s[s]))
+
+    def test_logmap_multi_bit_identical_per_snr(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ex = ExactLogMAPDemapper(qam16, backend="numpy")
+        multi = ex.llrs_multi(received, sigma2s)
+        for s in range(sigma2s.size):
+            assert np.array_equal(multi[s], ex.llrs(received[s], sigma2s[s]))
+
+    def test_float32_multi_within_documented_tolerance(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        m64 = MaxLogDemapper(qam16, backend="numpy").llrs_multi(received, sigma2s)
+        m32 = MaxLogDemapper(qam16, backend="numpy32").llrs_multi(received, sigma2s)
+        assert np.abs(m32 - m64).max() <= FLOAT32_LLR_RTOL * np.abs(m64).max()
+
+    def test_float32_multi_matches_own_scalar_kernel(self, qam16, sweep_received):
+        # within the float32 tier, batching must not change a single bit
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16, backend="numpy32")
+        multi = ml.llrs_multi(received, sigma2s)
+        for s in range(sigma2s.size):
+            assert np.array_equal(multi[s], ml.llrs(received[s], sigma2s[s]))
+
+    def test_tiling_boundaries_do_not_change_results(self, qam16, sweep_received, monkeypatch):
+        import repro.backend.numpy_backend as npb
+
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16, backend="numpy")
+        ref = ml.llrs_multi(received, sigma2s)
+        for tile in (97, 1000, 4_000, 19_999, 10**9):  # ragged tails + single tile
+            monkeypatch.setattr(npb, "MULTI_SIGMA_TILE", tile)
+            assert np.array_equal(ml.llrs_multi(received, sigma2s), ref)
+
+    def test_multi_out_parameter_is_filled_in_place(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16)
+        out = np.empty((5, received.shape[1], 4))
+        got = ml.llrs_multi(received, sigma2s, out=out)
+        assert got is out
+        assert np.array_equal(out, ml.llrs_multi(received, sigma2s))
+
+    def test_multi_out_validated(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16)
+        n = received.shape[1]
+        with pytest.raises(ValueError, match="shape"):
+            ml.llrs_multi(received, sigma2s, out=np.empty((5, n, 3)))
+        with pytest.raises(ValueError, match="float64"):
+            ml.llrs_multi(received, sigma2s, out=np.empty((5, n, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="contiguous"):
+            ml.llrs_multi(received, sigma2s, out=np.empty((5, n, 8))[:, :, ::2])
+
+    def test_multi_args_validated(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16)
+        with pytest.raises(ValueError, match=r"\(S, n\)"):
+            ml.llrs_multi(received[0], sigma2s)
+        with pytest.raises(ValueError, match="one entry per received row"):
+            ml.llrs_multi(received, sigma2s[:-1])
+        with pytest.raises(ValueError, match="positive"):
+            ml.llrs_multi(received, np.array([0.1, 0.2, -0.1, 0.1, 0.1]))
+
+    def test_demap_bits_multi_matches_per_row(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16)
+        bits = ml.demap_bits_multi(received)
+        for s in range(sigma2s.size):
+            assert np.array_equal(bits[s], ml.demap_bits(received[s], sigma2s[s]))
+
+    def test_hard_fast_path_matches_llr_threshold(self, qam16, received):
+        # the σ²-independent dispatch returns exactly the thresholded LLRs
+        ml = MaxLogDemapper(qam16)
+        via_llrs = (ml.llrs(received, 0.02) > 0).astype(np.int8)
+        got = ml.demap_bits(received, 0.02)
+        assert np.array_equal(got, via_llrs)
+        assert got.dtype == via_llrs.dtype
+
+    def test_squared_distances_matches_naive(self, qam16, received):
+        d = HardDemapper(qam16, backend="numpy").squared_distances(received)
+        diff = received[:, None] - qam16.points[None, :]
+        assert np.array_equal(d, (diff.real**2 + diff.imag**2))
+        assert d.dtype == np.float64
+
+
 @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
 class TestNumbaParity:
     def test_maxlog_hard_decisions_bit_identical(self, qam16, received):
@@ -195,6 +300,22 @@ class TestNumbaParity:
         rnp = ExactLogMAPDemapper(qam16, backend="numpy").llrs(received, 0.02)
         rjit = ExactLogMAPDemapper(qam16, backend="numba").llrs(received, 0.02)
         np.testing.assert_allclose(rjit, rnp, rtol=1e-10, atol=1e-10)
+
+    def test_maxlog_multi_matches_per_snr(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ml = MaxLogDemapper(qam16, backend="numba")
+        multi = ml.llrs_multi(received, sigma2s)
+        for s in range(sigma2s.size):
+            assert np.array_equal(multi[s], ml.llrs(received[s], sigma2s[s]))
+
+    def test_logmap_multi_matches_per_snr(self, qam16, sweep_received):
+        received, sigma2s = sweep_received
+        ex = ExactLogMAPDemapper(qam16, backend="numba")
+        multi = ex.llrs_multi(received, sigma2s)
+        for s in range(sigma2s.size):
+            np.testing.assert_allclose(
+                multi[s], ex.llrs(received[s], sigma2s[s]), rtol=1e-12, atol=1e-12
+            )
 
 
 class TestWorkspace:

@@ -1,0 +1,151 @@
+"""Channel-zoo factories: construction, pickling, and chunked-mode invariance."""
+
+from __future__ import annotations
+
+import functools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.channels import (
+    AWGNChannel,
+    AWGNFactory,
+    CFOChannel,
+    CFOFactory,
+    CompositeChannel,
+    CompositeFactory,
+    IQImbalanceChannel,
+    IQImbalanceFactory,
+    PhaseNoiseFactory,
+    PhaseOffsetChannel,
+    PhaseOffsetFactory,
+    RappPAChannel,
+    RappPAFactory,
+    RayleighFactory,
+    RayleighFadingChannel,
+    RicianFactory,
+    RicianFadingChannel,
+    WienerPhaseNoiseChannel,
+)
+from repro.link import simulate_ber
+from repro.modulation import MaxLogDemapper, qam_constellation
+
+
+@pytest.fixture
+def qam16():
+    return qam_constellation(16)
+
+
+@pytest.fixture
+def demap(qam16):
+    return functools.partial(MaxLogDemapper(qam16).demap_bits, sigma2=0.05)
+
+
+class TestConstruction:
+    CASES = [
+        (AWGNFactory(8.0, 4), AWGNChannel),
+        (RayleighFactory(block_size=64, coherent=True), RayleighFadingChannel),
+        (RicianFactory(k_factor=2.0, block_size=32), RicianFadingChannel),
+        (PhaseNoiseFactory(0.01, initial_phase=0.2), WienerPhaseNoiseChannel),
+        (PhaseOffsetFactory(np.pi / 4), PhaseOffsetChannel),
+        (CFOFactory(1e-4), CFOChannel),
+        (IQImbalanceFactory(0.5, 0.1), IQImbalanceChannel),
+        (RappPAFactory(1.2, 3.0), RappPAChannel),
+    ]
+
+    @pytest.mark.parametrize("factory,cls", CASES, ids=lambda c: type(c).__name__)
+    def test_builds_right_channel(self, factory, cls):
+        ch = factory(np.random.default_rng(0))
+        assert isinstance(ch, cls)
+
+    @pytest.mark.parametrize("factory,cls", CASES, ids=lambda c: type(c).__name__)
+    def test_picklable(self, factory, cls):
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+
+    def test_parameters_forwarded(self):
+        fading = RayleighFactory(block_size=64, coherent=True)(np.random.default_rng(0))
+        assert fading.block_size == 64 and fading.coherent
+        rician = RicianFactory(k_factor=2.0)(np.random.default_rng(0))
+        assert rician.k_factor == 2.0
+        pn = PhaseNoiseFactory(0.01, initial_phase=0.2)(np.random.default_rng(0))
+        assert pn.linewidth_sigma == 0.01 and pn.initial_phase == 0.2
+
+    def test_composite_builds_stages_in_order(self):
+        fac = CompositeFactory((PhaseOffsetFactory(0.3), AWGNFactory(8.0, 4)))
+        ch = fac(np.random.default_rng(0))
+        assert isinstance(ch, CompositeChannel)
+        assert isinstance(ch.stages[0], PhaseOffsetChannel)
+        assert isinstance(ch.stages[1], AWGNChannel)
+
+    def test_composite_validates_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            CompositeFactory(())
+        with pytest.raises(TypeError, match="not callable"):
+            CompositeFactory((PhaseOffsetFactory(0.1), 42))
+
+    def test_composite_stage_rngs_are_position_stable(self):
+        """A deterministic stage never shifts the randomness of later stages."""
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        with_det = CompositeFactory((PhaseOffsetFactory(0.5), AWGNFactory(8.0, 4)))(rng_a)
+        also_det = CompositeFactory((CFOFactory(1e-4), AWGNFactory(8.0, 4)))(rng_b)
+        x = np.ones(64, dtype=complex)
+        na = with_det.stages[1].forward(x) - x
+        nb = also_det.stages[1].forward(x) - x
+        assert np.array_equal(na, nb)
+
+
+class TestChunkedInvariance:
+    """Parallel simulate_ber covers the zoo with worker-invariant counts."""
+
+    def _run(self, qam16, demap, factory, n_workers, seed=9):
+        return simulate_ber(
+            qam16, None, demap, 24_576, rng=seed, batch_size=8192,
+            channel_factory=factory, n_workers=n_workers,
+        )
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            CompositeFactory((RayleighFactory(block_size=128, coherent=True),
+                              AWGNFactory(8.0, 4))),
+            CompositeFactory((PhaseNoiseFactory(0.003), AWGNFactory(8.0, 4))),
+            CompositeFactory((PhaseOffsetFactory(0.1), AWGNFactory(8.0, 4))),
+            CompositeFactory((CFOFactory(2e-5), IQImbalanceFactory(0.4, 0.02),
+                              RappPAFactory(1.5, 2.0), AWGNFactory(10.0, 4))),
+        ],
+        ids=["fading", "phase_noise", "phase_offset", "cfo_iq_rapp"],
+    )
+    def test_worker_count_invariance(self, qam16, demap, factory):
+        r1 = self._run(qam16, demap, factory, 1)
+        r2 = self._run(qam16, demap, factory, 2)
+        assert r1 == r2
+        assert 0 < r1.ber < 0.5
+
+    def test_seed_reproducible(self, qam16, demap):
+        fac = CompositeFactory((RicianFactory(k_factor=3.0, block_size=64, coherent=True),
+                                AWGNFactory(8.0, 4)))
+        a = self._run(qam16, demap, fac, 1, seed=1)
+        b = self._run(qam16, demap, fac, 1, seed=1)
+        c = self._run(qam16, demap, fac, 1, seed=2)
+        assert a == b
+        assert a != c
+
+
+class TestCoherentGuard:
+    def test_near_zero_gain_draw_stays_finite(self, monkeypatch):
+        ch = RayleighFadingChannel(block_size=8, coherent=True,
+                                   rng=np.random.default_rng(0))
+        monkeypatch.setattr(ch, "_draw_gain", lambda: 0.0 + 0.0j)
+        y = ch.forward(np.ones(16, dtype=complex))
+        assert np.all(np.isfinite(y))
+        # degenerate |h| ~ 0 blocks pass through unrotated
+        assert np.array_equal(y, np.ones(16, dtype=complex))
+
+    def test_normal_gains_still_normalised(self):
+        ch = RayleighFadingChannel(block_size=4, coherent=True,
+                                   rng=np.random.default_rng(3))
+        y = ch.forward(np.ones(64, dtype=complex))
+        assert np.allclose(np.abs(y), 1.0)

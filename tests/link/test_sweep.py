@@ -1,0 +1,175 @@
+"""Batched multi-SNR sweep engine: CRN determinism, invariances, receivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import DemapperANN
+from repro.backend import use_backend
+from repro.channels import (
+    CompositeFactory,
+    PhaseOffsetFactory,
+    RayleighFactory,
+    sigma2_from_snr,
+)
+from repro.link import (
+    AnnBitsReceiver,
+    HardBitsReceiver,
+    SoftBitsReceiver,
+    simulate_ber,
+    sweep_ber,
+)
+from repro.link.simulator import AWGNFactory
+from repro.modulation import ExactLogMAPDemapper, MaxLogDemapper, qam_constellation
+
+
+@pytest.fixture
+def qam16():
+    return qam_constellation(16)
+
+
+SNRS = (2.0, 6.0, 10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        a = sweep_ber(qam16, SNRS, rx, 30_000, rng=11, batch_size=8192)
+        b = sweep_ber(qam16, SNRS, rx, 30_000, rng=11, batch_size=8192)
+        c = sweep_ber(qam16, SNRS, rx, 30_000, rng=12, batch_size=8192)
+        assert a == b
+        assert a != c
+        assert list(a) == list(SNRS)
+
+    def test_worker_count_invariance(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=7, batch_size=8192)
+        r1 = sweep_ber(qam16, SNRS, rx, 40_000, n_workers=1, **kw)
+        r2 = sweep_ber(qam16, SNRS, rx, 40_000, n_workers=2, **kw)
+        r3 = sweep_ber(qam16, SNRS, rx, 40_000, n_workers=3, **kw)
+        assert r1 == r2 == r3
+        assert all(r.bits == 40_000 * 4 for r in r1.values())
+
+    def test_snr_batching_invariance(self, qam16):
+        """Splitting the SNR axis across calls never changes per-point counts."""
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=5, batch_size=8192)
+        full = sweep_ber(qam16, SNRS, rx, 30_000, **kw)
+        for snr in SNRS:
+            single = sweep_ber(qam16, (snr,), rx, 30_000, **kw)
+            assert single[snr] == full[snr]
+        pair = sweep_ber(qam16, SNRS[:2], rx, 30_000, **kw)
+        assert all(pair[s] == full[s] for s in SNRS[:2])
+
+    def test_per_point_early_stop_is_worker_invariant(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=3, batch_size=4096, max_errors=120)
+        r1 = sweep_ber(qam16, (0.0, 12.0), rx, 300_000, n_workers=1, **kw)
+        r2 = sweep_ber(qam16, (0.0, 12.0), rx, 300_000, n_workers=2, **kw)
+        assert r1 == r2
+        # the noisy point stops early, the clean one keeps accumulating
+        assert r1[0.0].bit_errors >= 120
+        assert r1[0.0].symbols < r1[12.0].symbols
+
+    def test_crn_draw_independent_of_snr_axis_with_early_stop(self, qam16):
+        # early stop of one point must not perturb another point's counts
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=3, batch_size=4096, max_errors=120)
+        both = sweep_ber(qam16, (0.0, 12.0), rx, 300_000, **kw)
+        alone = sweep_ber(qam16, (12.0,), rx, 300_000, **kw)
+        assert both[12.0] == alone[12.0]
+
+    def test_backend_tier_reaches_workers(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=13, batch_size=8192)
+        with use_backend("numpy32"):
+            r1 = sweep_ber(qam16, SNRS[:2], rx, 20_000, n_workers=1, **kw)
+            r2 = sweep_ber(qam16, SNRS[:2], rx, 20_000, n_workers=2, **kw)
+        assert r1 == r2
+
+
+class TestPhysics:
+    def test_ber_decreases_with_snr(self, qam16):
+        res = sweep_ber(
+            qam16, (0.0, 4.0, 8.0), HardBitsReceiver(qam16), 60_000, rng=1
+        )
+        bers = [res[s].ber for s in (0.0, 4.0, 8.0)]
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_matches_single_snr_simulator_statistically(self, qam16):
+        """CRN sweep and the chunked per-SNR engine estimate the same BER."""
+        snr = 6.0
+        sweep = sweep_ber(qam16, (snr,), HardBitsReceiver(qam16), 200_000, rng=2)
+        ml = MaxLogDemapper(qam16)
+        import functools
+
+        chunked = simulate_ber(
+            qam16, None,
+            functools.partial(ml.demap_bits, sigma2=sigma2_from_snr(snr, 4)),
+            200_000, rng=2, channel_factory=AWGNFactory(snr, 4),
+        )
+        assert sweep[snr].ber == pytest.approx(chunked.ber, rel=0.15)
+
+    def test_pre_channel_phase_offset_degrades_uncompensated_rx(self, qam16):
+        clean = sweep_ber(qam16, (8.0,), HardBitsReceiver(qam16), 40_000, rng=4)
+        rotated = sweep_ber(
+            qam16, (8.0,), HardBitsReceiver(qam16), 40_000, rng=4,
+            pre_channel_factory=PhaseOffsetFactory(np.pi / 8),
+        )
+        assert rotated[8.0].ber > clean[8.0].ber * 2
+
+    def test_pre_channel_factory_is_worker_invariant(self, qam16):
+        fac = CompositeFactory(
+            (RayleighFactory(block_size=256, coherent=True), PhaseOffsetFactory(0.05))
+        )
+        rx = HardBitsReceiver(qam16)
+        kw = dict(rng=6, batch_size=8192, pre_channel_factory=fac)
+        r1 = sweep_ber(qam16, SNRS[:2], rx, 30_000, n_workers=1, **kw)
+        r2 = sweep_ber(qam16, SNRS[:2], rx, 30_000, n_workers=2, **kw)
+        assert r1 == r2
+
+
+class TestReceivers:
+    def test_soft_receiver_matches_hard_for_maxlog(self, qam16):
+        # thresholded max-log LLRs = nearest-point decision
+        kw = dict(rng=9, batch_size=8192)
+        hard = sweep_ber(qam16, SNRS, HardBitsReceiver(qam16), 20_000, **kw)
+        soft = sweep_ber(qam16, SNRS, SoftBitsReceiver(MaxLogDemapper(qam16)), 20_000, **kw)
+        assert hard == soft
+
+    def test_soft_receiver_with_exact_logmap_runs(self, qam16):
+        res = sweep_ber(
+            qam16, (6.0,), SoftBitsReceiver(ExactLogMAPDemapper(qam16)), 20_000, rng=9
+        )
+        assert 0 < res[6.0].ber < 0.2
+
+    def test_ann_receiver_shapes_and_invariance(self, qam16):
+        ann = DemapperANN(4, rng=np.random.default_rng(0))
+        rx = AnnBitsReceiver(ann)
+        kw = dict(rng=8, batch_size=8192)
+        r1 = sweep_ber(qam16, SNRS[:2], rx, 20_000, n_workers=1, **kw)
+        r2 = sweep_ber(qam16, SNRS[:2], rx, 20_000, n_workers=2, **kw)
+        assert r1 == r2
+
+    def test_bad_receiver_shape_rejected(self, qam16):
+        def bad(received, sigma2s):
+            return np.zeros((received.shape[0], received.shape[1], 3), dtype=np.int8)
+
+        with pytest.raises(ValueError, match="receiver returned shape"):
+            sweep_ber(qam16, (6.0,), bad, 5_000, rng=1)
+
+
+class TestValidation:
+    def test_empty_snr_axis_rejected(self, qam16):
+        with pytest.raises(ValueError, match="at least one sweep point"):
+            sweep_ber(qam16, (), HardBitsReceiver(qam16), 1000)
+
+    def test_bad_sizes_rejected(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        with pytest.raises(ValueError, match="n_symbols"):
+            sweep_ber(qam16, (6.0,), rx, 0)
+        with pytest.raises(ValueError, match="batch_size"):
+            sweep_ber(qam16, (6.0,), rx, 1000, batch_size=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            sweep_ber(qam16, (6.0,), rx, 1000, n_workers=0)

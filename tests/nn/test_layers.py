@@ -188,3 +188,84 @@ class TestSequential:
         # paper topology 2-16-16-16-4: (2*16+16)+(16*16+16)*2+(16*4+4) = 660
         mlp = Sequential.mlp([2, 16, 16, 16, 4], rng=rng)
         assert mlp.num_parameters() == 660
+
+
+class TestInfer:
+    """Inference path: same numbers as forward, never disturbs backward state."""
+
+    LAYERS = [
+        lambda rng: Dense(3, 5, rng=rng),
+        lambda rng: ReLU(),
+        lambda rng: LeakyReLU(0.1),
+        lambda rng: Sigmoid(),
+        lambda rng: Tanh(),
+        lambda rng: Identity(),
+        lambda rng: Dropout(0.5, rng=rng),
+    ]
+
+    @pytest.mark.parametrize("build", LAYERS)
+    def test_infer_matches_eval_forward(self, build, rng):
+        layer = build(rng).eval()
+        x = rng.normal(size=(12, 3))
+        assert np.array_equal(layer.infer(x), layer.forward(x))
+
+    @pytest.mark.parametrize("build", LAYERS)
+    def test_infer_out_filled_in_place(self, build, rng):
+        layer = build(rng).eval()
+        x = rng.normal(size=(12, 3))
+        want = layer.forward(x)
+        out = np.empty_like(want)
+        got = layer.infer(x, out=out)
+        assert got is out
+        assert np.array_equal(out, want)
+
+    # all but Dropout, whose forward redraws its mask stochastically
+    @pytest.mark.parametrize("build", LAYERS[:-1])
+    def test_infer_between_forward_and_backward_is_harmless(self, build, rng):
+        # interleaved inference must not clobber the cached backward state
+        layer = build(rng)
+        x = rng.normal(size=(8, 3))
+        y = layer.forward(x)
+        ref = layer.backward(np.ones_like(y))
+        y2 = layer.forward(x)
+        layer.infer(rng.normal(size=(20, 3)))  # different batch size on purpose
+        got = layer.backward(np.ones_like(y2))
+        assert np.array_equal(got, ref)
+
+    def test_dropout_infer_keeps_training_mask(self, rng):
+        d = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(16, 3))
+        d.forward(x)
+        mask = d._mask
+        d.infer(rng.normal(size=(9, 3)))
+        assert d._mask is mask  # inference never redraws the training mask
+
+    def test_embedding_infer_matches_forward(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        idx = rng.integers(0, 10, size=7)
+        assert np.array_equal(emb.infer(idx), emb.forward(idx))
+        out = np.empty((7, 4))
+        assert np.array_equal(emb.infer(idx, out=out), emb.forward(idx))
+
+    def test_embedding_infer_keeps_backward_state(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        idx = rng.integers(0, 10, size=6)
+        emb.forward(idx)
+        emb.infer(rng.integers(0, 10, size=13))
+        emb.backward(np.ones((6, 4)))  # would raise on shape mismatch
+        assert emb.table.grad.sum() == pytest.approx(24.0)
+
+    def test_dropout_infer_is_identity_even_in_training_mode(self, rng):
+        d = Dropout(0.9, rng=rng)
+        assert d.training
+        x = rng.normal(size=(30, 4))
+        assert np.array_equal(d.infer(x), x)
+
+    def test_sequential_infer_matches_forward(self, rng):
+        mlp = Sequential.mlp([2, 16, 16, 4], output_activation=Sigmoid, rng=rng)
+        x = rng.normal(size=(25, 2))
+        want = mlp.forward(x)
+        assert np.array_equal(mlp.infer(x), want)
+        out = np.empty((25, 4))
+        assert mlp.infer(x, out=out) is out
+        assert np.array_equal(out, want)
