@@ -58,6 +58,8 @@ _CORE_BENCH_NAMES = frozenset(
         "sweep_maxlog_seq[numpy]",
         "sweep_maxlog_multi[numpy32]",
         "sweep_maxlog_seq[numpy32]",
+        "serving_batched[numpy]",
+        "serving_sequential[numpy]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -301,6 +303,124 @@ def test_sweep_multi_vs_sequential_numpy(benchmark, sweep_stream):
 
 def test_sweep_multi_vs_sequential_numpy32(benchmark, sweep_stream):
     _bench_sweep_tier(benchmark, sweep_stream, "numpy32")
+
+
+# -- serving section ----------------------------------------------------------
+# 64 concurrent sessions on one shared 16-QAM centroid set, short frames
+# (32 pilots + 224 payload — the regime cross-session coalescing exists for):
+# the ServingEngine's micro-batched round vs the same 64 sessions demapped
+# per-session sequentially (per-frame llrs + hard bits + pilot/payload BER).
+
+SERVE_SESSIONS = 64
+SERVE_ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    from repro.channels import sigma2_from_snr
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.link.frames import FrameConfig
+    from repro.serving import (
+        ServingEngine,
+        SessionConfig,
+        SteadyChannel,
+        build_fleet,
+        generate_traffic,
+    )
+
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
+    qam = qam_constellation(16)
+    sigma2 = sigma2_from_snr(8.0, 4)
+    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    sessions = build_fleet(
+        engine,
+        SERVE_SESSIONS,
+        HybridDemapper(constellation=qam, sigma2=sigma2),
+        monitor_factory=lambda: PilotBERMonitor(0.5, window=4),
+        config=SessionConfig(frame=fc, queue_depth=2),
+        seed=3,
+    )
+    rng = np.random.default_rng(11)
+    chan = SteadyChannel(AWGNFactory(8.0, 4))
+    frames = {
+        s.session_id: generate_traffic(qam, fc, 1, chan, r)[0]
+        for s, r in zip(sessions, rng.spawn(SERVE_SESSIONS))
+    }
+    return engine, sessions, frames, fc
+
+
+def test_serving_batched_vs_sequential(benchmark, serving_setup):
+    """Engine round (fill + one micro-batched step) vs per-session loop.
+
+    Asserts the acceptance bar: the batched engine serves >= 2x the
+    aggregate symbols/s of the sequential path, with per-session LLRs
+    bit-identical to sequential ``hybrid.llrs`` on the default tier.
+    """
+    from repro.link.frames import frame_bers
+
+    engine, sessions, frames, fc = serving_setup
+    n = fc.total_symbols
+    symbols = SERVE_SESSIONS * n
+
+    def batched_round():
+        for s in sessions:
+            s.submit(frames[s.session_id])
+        return engine.step()
+
+    out = np.empty((n, 4))
+
+    def sequential_round():
+        for s in sessions:
+            f = frames[s.session_id]
+            llrs = s.hybrid.llrs(f.received, out=out)
+            hat = (llrs > 0).astype(np.int8)
+            truth = s.hybrid.constellation.bit_matrix[f.indices]
+            frame_bers(hat, truth, f.pilot_mask)
+
+    assert batched_round() == SERVE_SESSIONS  # warm workspace; full occupancy
+    sequential_round()
+    benchmark.pedantic(
+        batched_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+    )
+    occupancy = engine.telemetry.snapshot()["mean_occupancy"]
+    rate = _record(
+        benchmark, "serving_batched[numpy]", symbols=symbols,
+        extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+               "frame_symbols": n, "mean_batch_occupancy": occupancy},
+    )
+    if rate is None:
+        return  # --benchmark-disable run: nothing to compare
+    import timeit
+
+    # Interleave rounds so clock drift hits both paths equally; compare
+    # best-of-rounds (jitter-robust for equal work).
+    batched_times, seq_times = [], []
+    for _ in range(SERVE_ROUNDS):
+        batched_times.append(timeit.timeit(batched_round, number=1))
+        seq_times.append(timeit.timeit(sequential_round, number=1))
+    _record_timed(
+        "serving_sequential[numpy]", seq_times, symbols=symbols,
+        extra={"backend": "numpy", "sessions": SERVE_SESSIONS, "frame_symbols": n},
+    )
+    speedup = min(seq_times) / min(batched_times)
+    assert speedup >= 2.0, (
+        f"serving engine must be >= 2x sequential per-session demapping at "
+        f"N={SERVE_SESSIONS}: got {speedup:.2f}x "
+        f"({symbols / min(batched_times) / 1e6:.2f} vs "
+        f"{symbols / min(seq_times) / 1e6:.2f} Msym/s)"
+    )
+
+    # bit-identity: the batched engine's LLR stream == sequential hybrid.llrs
+    caps = {}
+    engine.on_frame = lambda s, f, llrs, rep: caps.__setitem__(s.session_id, llrs.copy())
+    for s in sessions:
+        s.submit(frames[s.session_id])
+    engine.step()
+    engine.on_frame = None
+    for s in sessions:
+        f = frames[s.session_id]
+        assert np.array_equal(caps[s.session_id], s.hybrid.llrs(f.received))
 
 
 def test_exact_logmap_throughput(benchmark, stream):

@@ -8,6 +8,12 @@ BER before/after retraining under a π/4 offset) and asserts its claims:
 * after retraining both "nearly approach the baseline BER",
 * "there is no drawback of using the extracted centroids as compared to
   the AE-inference".
+
+Since the sweep-engine port, every row is measured through
+:func:`repro.link.sweep.sweep_ber`: the π/4 rotation is a pre-noise channel
+stage, and the centroid rows re-extract centroids at each point's σ²
+*inside* the engine (``ExtractedCentroidFactory``), so this bench also
+exercises the sweep-native adaptation path end to end.
 """
 
 import pytest

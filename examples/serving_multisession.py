@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Multi-session serving — the paper's receiver loop at fleet scale.
+
+Sixteen live streams share one 16-QAM centroid demapper behind a
+``ServingEngine``.  Each stream owns a pilot-BER monitor and its own σ²
+estimate; the engine coalesces pending frames *across sessions* into one
+micro-batched multi-sigma kernel launch per round.  Mid-run, a quarter of
+the fleet is hit by a π/4 phase rotation (a cable re-route, an oscillator
+glitch — the Table 1 scenario as live traffic):
+
+* their monitors fire within a frame or two;
+* each affected session enqueues a retrain + re-extract job on the
+  background worker (paper steps 2-3: ``ReceiverFinetuner`` on the live
+  channel, then centroid extraction from the retrained ANN);
+* the finished hybrid demapper is swapped in atomically — the other
+  sessions never stop streaming — and the pilot BER drops back to the
+  healthy floor.
+
+Run:  python examples/serving_multisession.py        (~½ min: 4 retrains)
+"""
+
+import time
+
+import numpy as np
+
+from repro.channels import AWGNChannel, sigma2_from_snr
+from repro.channels.factories import AWGNFactory, CompositeFactory, PhaseOffsetFactory
+from repro.experiments.cache import trained_ae_system
+from repro.extraction import HybridDemapper, PilotBERMonitor
+from repro.link.frames import FrameConfig
+from repro.serving import (
+    AnnRetrainPolicy,
+    ServingEngine,
+    SessionConfig,
+    SteadyChannel,
+    SteppedChannel,
+    build_fleet,
+    generate_traffic,
+    run_load,
+)
+
+SNR_DB = 10.0
+N_SESSIONS = 16
+N_FRAMES = 24
+JUMP_SEQ = 10          # frame index at which the impairment hits
+AFFECTED = 4           # sessions 0..3 get the rotated channel
+OFFSET = np.pi / 4
+FRAME = FrameConfig(pilot_symbols=64, payload_symbols=448)
+SEED = 7
+
+
+def main() -> None:
+    system = trained_ae_system(SNR_DB, seed=SEED, steps=2500, copy=True)
+    constellation = system.mapper.constellation()
+    sigma2 = AWGNChannel(SNR_DB, 4).sigma2
+    hybrid = HybridDemapper.extract(
+        system.demapper, sigma2, method="lsq", fallback=constellation
+    )
+
+    rotated = CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(SNR_DB, 4)))
+    clean = AWGNFactory(SNR_DB, 4)
+
+    # Affected sessions retrain against their *live* (rotated) channel.  Each
+    # session needs its own mutable ANN copy — retraining writes the weights.
+    def retrain_policy(i):
+        if i >= AFFECTED:
+            return None
+        own_system = trained_ae_system(SNR_DB, seed=SEED, steps=2500, copy=True)
+        return AnnRetrainPolicy(
+            system=own_system,
+            channel_factory=rotated,
+            sigma2=sigma2,
+            constellation=constellation,
+        )
+
+    engine = ServingEngine(max_batch=N_SESSIONS, retrain_workers=2)
+    sessions = build_fleet(
+        engine,
+        N_SESSIONS,
+        hybrid,
+        monitor_factory=lambda: PilotBERMonitor(0.1, window=2, cooldown=2),
+        config=SessionConfig(frame=FRAME, queue_depth=4),
+        retrain_factory=retrain_policy,
+        seed=SEED,
+    )
+
+    rng = np.random.default_rng(SEED)
+    traffic = {}
+    for i, s in enumerate(sessions):
+        (srng,) = rng.spawn(1)
+        chan = (
+            SteppedChannel(clean, rotated, step_seq=JUMP_SEQ)
+            if i < AFFECTED
+            else SteadyChannel(clean)
+        )
+        traffic[s.session_id] = generate_traffic(constellation, FRAME, N_FRAMES, chan, srng)
+
+    print(f"serving {N_SESSIONS} sessions x {N_FRAMES} frames "
+          f"({FRAME.total_symbols} symbols/frame), jump at frame {JUMP_SEQ} "
+          f"for sessions 0..{AFFECTED - 1}")
+    t0 = time.perf_counter()
+    with engine:
+        stats = run_load(engine, traffic)
+    elapsed = time.perf_counter() - t0
+
+    print(f"\nengine: {stats.frames_served} frames / {stats.symbols_served} symbols "
+          f"in {elapsed:.1f}s ({stats.symbols_served / elapsed / 1e3:.0f} ksym/s wall, "
+          f"retrains included)")
+    print(f"batch occupancy: mean {stats.mean_occupancy:.1f} "
+          f"histogram {stats.snapshot()['occupancy']}")
+    print(f"retrains: {stats.retrains_started} started, "
+          f"{stats.retrains_completed} completed\n")
+
+    print("session  triggers@frame  retrains  pilot BER (healthy | degraded | recovered)")
+    for i, s in enumerate(sessions):
+        traj = np.array(s.stats.pilot_ber_trajectory)
+        healthy = traj[:JUMP_SEQ].mean()
+        if i < AFFECTED:
+            t = s.stats.trigger_seqs[0]
+            degraded = traj[JUMP_SEQ : t + 1].mean()
+            recovered = traj[t + 1 :].mean()
+            print(f"{s.session_id}     {s.stats.trigger_seqs!s:<14}  {s.stats.retrains:<8}"
+                  f"  {healthy:.4f} | {degraded:.4f} | {recovered:.4f}")
+        else:
+            print(f"{s.session_id}     {'-':<14}  {s.stats.retrains:<8}"
+                  f"  {healthy:.4f} | {'-':>6} | {traj[JUMP_SEQ:].mean():.4f}")
+
+    affected = sessions[:AFFECTED]
+    assert all(s.stats.retrains == 1 for s in affected)
+    assert all(
+        np.mean(s.stats.pilot_ber_trajectory[s.stats.trigger_seqs[0] + 2 :]) < 0.05
+        for s in affected
+    ), "retrained sessions should recover to the healthy floor"
+    print("\nOK: all affected sessions retrained once and recovered.")
+
+
+if __name__ == "__main__":
+    main()

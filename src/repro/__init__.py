@@ -21,7 +21,9 @@ Subpackages: :mod:`repro.nn` (NumPy NN framework), :mod:`repro.modulation`
 :mod:`repro.autoencoder` (AE core), :mod:`repro.extraction` (the hybrid
 approach), :mod:`repro.fpga` (implementation model), :mod:`repro.link`,
 :mod:`repro.experiments` (paper artifacts), :mod:`repro.backend` (pluggable
-compute tiers — ``REPRO_BACKEND=numpy|numpy32|numba``).
+compute tiers — ``REPRO_BACKEND=numpy|numpy32|numba``), :mod:`repro.serving`
+(multi-session streaming demapper runtime with cross-session
+micro-batching).
 """
 
 from repro.autoencoder import (
@@ -52,6 +54,7 @@ from repro.modulation import (
     MaxLogDemapper,
     qam_constellation,
 )
+from repro.serving import DemapperSession, ServingEngine
 
 __version__ = "1.0.0"
 
@@ -80,4 +83,6 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "ServingEngine",
+    "DemapperSession",
 ]

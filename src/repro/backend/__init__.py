@@ -7,6 +7,7 @@ steady-state batches run allocation-free.
 """
 
 from repro.backend.bitsets import PaddedBitSets
+from repro.backend.dispatch import DemapRequest, group_requests, grouped_maxlog_llrs
 from repro.backend.core import (
     ENV_VAR,
     available_backends,
@@ -23,6 +24,7 @@ __all__ = [
     "ENV_VAR",
     "FLOAT32_LLR_RTOL",
     "NUMBA_AVAILABLE",
+    "DemapRequest",
     "NumbaBackend",
     "NumpyBackend",
     "PaddedBitSets",
@@ -30,6 +32,8 @@ __all__ = [
     "available_backends",
     "backend_from_name",
     "get_backend",
+    "group_requests",
+    "grouped_maxlog_llrs",
     "set_backend",
     "use_backend",
 ]

@@ -1,0 +1,196 @@
+"""Group-by-constellation batched dispatch over the multi-sigma kernels.
+
+The serving engine coalesces pending frames *across sessions* into one
+micro-batch.  Sessions do not share a σ² estimate — each owns its own — but
+many share a constellation/centroid point set, and the multi-sigma kernels
+introduced for SNR sweeps (``maxlog_llrs_multi``) already solve exactly this
+shape: an ``(S, n)`` received tensor with a per-row σ² vector over one shared
+point set.  This module provides the grouping layer in between: take a list
+of per-frame demap requests (each with its own points / bit sets / σ² /
+received row), partition it into groups whose members share a point set, a
+bit labelling, and a row length, and dispatch **one** fused kernel launch per
+group instead of one per request.
+
+The stacked ``(S, n)`` input, the per-group σ² vector and the ``(S, n, k)``
+kernel output all live in the backend workspace, so a steady-state serving
+loop that passes per-request ``out=`` buffers allocates nothing.  On the
+default (float64) tier every request's LLR block is bit-identical to a
+sequential ``maxlog_llrs`` call with the same arguments — grouping only
+shares the distance stage, which is the multi-kernel's documented contract.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.backend.bitsets import PaddedBitSets
+from repro.backend.core import get_backend
+
+__all__ = ["DemapRequest", "group_requests", "batched_maxlog_llrs", "grouped_maxlog_llrs"]
+
+
+@dataclass(frozen=True)
+class DemapRequest:
+    """One frame's worth of soft-demapping work.
+
+    Attributes
+    ----------
+    received:
+        Complex received row ``(n,)``.
+    points:
+        Constellation / centroid points ``(M,)``.
+    bitsets:
+        Padded per-bit index table for ``points``' labelling.
+    sigma2:
+        This request's per-real-dimension noise variance.
+    """
+
+    received: np.ndarray
+    points: np.ndarray
+    bitsets: PaddedBitSets
+    sigma2: float
+
+    def __post_init__(self) -> None:
+        if self.sigma2 <= 0:
+            raise ValueError(f"sigma2 must be positive, got {self.sigma2}")
+
+
+#: id(array) -> content bytes, evicted by weakref.finalize when the array is
+#: collected (so a reused id can never serve a stale key).  Point sets and
+#: bit-set tables are immutable throughout the codebase (frozen
+#: Constellation / PaddedBitSets), which is what makes caching by identity
+#: sound; a fleet of sessions sharing one centroid set then pays the
+#: serialization once, not once per frame per round.
+_content_keys: dict[int, bytes] = {}
+
+
+def _cached_bytes(arr: np.ndarray) -> bytes:
+    if not isinstance(arr, np.ndarray):
+        return np.ascontiguousarray(np.asarray(arr)).tobytes()
+    key = _content_keys.get(id(arr))
+    if key is None:
+        key = np.ascontiguousarray(arr).tobytes()
+        _content_keys[id(arr)] = key
+        weakref.finalize(arr, _content_keys.pop, id(arr), None)
+    return key
+
+
+def _group_key(req: DemapRequest) -> tuple:
+    """Batching key: requests batch iff point set, labelling and length match.
+
+    Content-based (point values, not object identity), so two sessions whose
+    centroid sets were extracted independently but landed on identical points
+    still share a launch, while a session whose demapper was just swapped
+    falls out of its old group automatically.  The content bytes are cached
+    per array object (see :data:`_content_keys`), so the common case — many
+    sessions sharing one constellation — costs a dict hit per request.
+    """
+    return (
+        _cached_bytes(req.points),
+        _cached_bytes(req.bitsets.table),
+        int(np.asarray(req.received).size),
+    )
+
+
+def group_requests(requests: Sequence[DemapRequest]) -> list[list[int]]:
+    """Partition request indices into batchable groups (input order kept).
+
+    Returns a list of index lists; each inner list names the requests of one
+    group, in their original submission order (so batching never reorders a
+    session's frames relative to each other).
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, req in enumerate(requests):
+        groups.setdefault(_group_key(req), []).append(i)
+    return list(groups.values())
+
+
+def batched_maxlog_llrs(requests: Sequence[DemapRequest], *, backend=None, key: str = "disp") -> np.ndarray:
+    """One fused launch for requests already known to share a group.
+
+    All requests must share a point set, bit labelling and row length (the
+    first request is taken as the group's reference — callers obtain such
+    groups from :func:`group_requests`).  Returns the scratch-owned
+    ``(S, n, k)`` LLR tensor: row ``s`` is request ``s``'s LLR block, valid
+    until the next kernel call on this backend from the same thread.  The
+    stacked input, σ² vector and output all live in the workspace under
+    ``key``-namespaced entries, so steady-state callers allocate nothing.
+    """
+    if not requests:
+        raise ValueError("batched_maxlog_llrs needs at least one request")
+    be = backend if backend is not None else get_backend()
+    first = requests[0]
+    n = np.asarray(first.received).size
+    k = first.bitsets.k
+    s = len(requests)
+    stacked = be.scratch(f"{key}_rx", (s, n), dtype=np.complex128)
+    sig = be.scratch(f"{key}_sig", (s,), dtype=np.float64)
+    for row, req in enumerate(requests):
+        rec = np.asarray(req.received).ravel()
+        if rec.size != n:
+            raise ValueError(f"request {row} has length {rec.size}, group expects {n}")
+        np.copyto(stacked[row], rec, casting="same_kind")
+        sig[row] = req.sigma2
+    return be.maxlog_llrs_multi(
+        stacked,
+        first.points,
+        first.bitsets,
+        sig,
+        out=be.scratch(f"{key}_llr", (s, n, k), dtype=np.float64),
+    )
+
+
+def grouped_maxlog_llrs(
+    requests: Sequence[DemapRequest],
+    *,
+    outs: Sequence[np.ndarray | None] | None = None,
+    backend=None,
+) -> list[np.ndarray]:
+    """Demap every request, one fused multi-sigma launch per group.
+
+    Parameters
+    ----------
+    requests:
+        The per-frame work items (see :class:`DemapRequest`).
+    outs:
+        Optional per-request float64 ``(n, k)`` output buffers (entries may
+        be None); with buffers supplied the steady-state call allocates
+        nothing — stacking, σ² vector and the kernel's ``(S, n, k)`` output
+        all come from the backend workspace.
+    backend:
+        Backend instance to dispatch on (default: the process-wide one).
+
+    Returns
+    -------
+    Per-request LLR arrays ``(n, k)`` in request order.  On the default tier
+    each is bit-identical to ``backend.maxlog_llrs(received, points,
+    bitsets, sigma2)`` for that request alone.
+    """
+    be = backend if backend is not None else get_backend()
+    if outs is not None and len(outs) != len(requests):
+        raise ValueError(f"outs must have one entry per request: {len(outs)} vs {len(requests)}")
+    results: list[np.ndarray | None] = [None] * len(requests)
+    for g, members in enumerate(group_requests(requests)):
+        if len(members) == 1:
+            # no batching partner — the scalar kernel skips the stacking copy
+            i = members[0]
+            req = requests[i]
+            out = outs[i] if outs is not None else None
+            results[i] = be.maxlog_llrs(
+                req.received, req.points, req.bitsets, req.sigma2, out=out
+            )
+            continue
+        llrs = batched_maxlog_llrs(
+            [requests[i] for i in members], backend=be, key=f"disp#{g}"
+        )
+        for row, i in enumerate(members):
+            if outs is not None and outs[i] is not None:
+                np.copyto(outs[i], llrs[row], casting="same_kind")
+                results[i] = outs[i]
+            else:
+                results[i] = llrs[row].copy()
+    return results

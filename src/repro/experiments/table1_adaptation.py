@@ -13,6 +13,14 @@ rotates by π/4.  Measured BERs:
 Expected shape (paper §III-C): before ≈ 0.32 at both SNRs; after ≈ the
 baseline (phase shift "nearly fully compensated"), with no drawback from
 using extracted centroids instead of AE inference.
+
+Every measurement runs on the batched sweep engine
+(:func:`repro.link.sweep.sweep_ber`): the phase offset enters as a
+``pre_channel_factory`` stage ahead of the implicit AWGN scaling, the AE
+receivers use the allocation-free inference path, and the centroid
+receivers are built by :class:`~repro.link.sweep.ExtractedCentroidFactory`
+— centroids re-extracted at each sweep point's σ² *inside* the engine
+(the ROADMAP's "sweep-native adaptation experiments" item).
 """
 
 from __future__ import annotations
@@ -25,13 +33,16 @@ import numpy as np
 from repro.autoencoder.training import ReceiverFinetuner, TrainingConfig
 from repro.channels.awgn import AWGNChannel
 from repro.channels.composite import CompositeChannel
+from repro.channels.factories import PhaseOffsetFactory
 from repro.channels.phase import PhaseOffsetChannel
 from repro.experiments import paper_values
 from repro.experiments.cache import DEFAULT_SEED, DEFAULT_TRAIN_STEPS, trained_ae_system
-from repro.extraction.hybrid import HybridDemapper
-from repro.link.simulator import simulate_ber
-from repro.modulation.demapper import MaxLogDemapper
-from repro.utils.complexmath import complex_to_real2
+from repro.link.sweep import (
+    AnnBitsReceiver,
+    ExtractedCentroidFactory,
+    HardBitsReceiver,
+    sweep_ber,
+)
 from repro.utils.tables import format_table
 
 __all__ = ["Table1Config", "Table1Result", "run", "main"]
@@ -75,56 +86,58 @@ class Table1Result:
 
 
 def run(config: Table1Config | None = None) -> Table1Result:
-    """Regenerate Table 1.  Deterministic in ``config.seed``."""
+    """Regenerate Table 1 on the sweep engine.  Deterministic in ``config.seed``.
+
+    Each system is trained per SNR, so each sweep has one point; the engine
+    still supplies the CRN chunking, deterministic per-chunk spawns, phase
+    offset as a pre-noise stage, and — for the centroid rows — per-point
+    re-extraction via ``receiver_factory``.
+    """
     cfg = config if config is not None else Table1Config()
     result = Table1Result()
+    rotation = PhaseOffsetFactory(cfg.phase_offset)
     for snr in cfg.snr_dbs:
         seed_base = cfg.seed + 1000 + int(round(snr * 10))
         system = trained_ae_system(snr, seed=cfg.seed, steps=cfg.train_steps, copy=True)
         constellation = system.mapper.constellation()
-        sigma2 = AWGNChannel(snr, 4).sigma2
         demapper = system.demapper
 
-        def clean_channel(s=snr, sb=seed_base):
-            return AWGNChannel(s, 4, rng=np.random.default_rng(sb))
+        def measure(receiver, sb_off: int, *, rotated: bool, factory=None):
+            res = sweep_ber(
+                constellation, (snr,), receiver, cfg.n_symbols,
+                rng=np.random.default_rng(seed_base + sb_off),
+                max_errors=cfg.max_errors,
+                pre_channel_factory=rotation if rotated else None,
+                receiver_factory=factory,
+            )
+            return res[snr].ber
 
-        def rotated_channel(s=snr, sb=seed_base):
-            return CompositeChannel(
-                [PhaseOffsetChannel(cfg.phase_offset),
-                 AWGNChannel(s, 4, rng=np.random.default_rng(sb + 1))]
+        def extraction_factory():
+            return ExtractedCentroidFactory(
+                demapper, fallback=constellation,
+                method=cfg.extraction_method,
+                extent=cfg.extraction_extent,
+                resolution=cfg.extraction_resolution,
             )
 
-        def measure(channel, demap_fn, sb_off: int):
-            return simulate_ber(
-                constellation, channel, demap_fn, cfg.n_symbols,
-                rng=np.random.default_rng(seed_base + sb_off), max_errors=cfg.max_errors,
-            ).ber
+        baseline = measure(HardBitsReceiver(constellation), 10, rotated=False)
 
-        def ann_demap(y):
-            return (demapper.forward(complex_to_real2(y)) > 0).astype(np.int8)
-
-        def extract():
-            return HybridDemapper.extract(
-                demapper, sigma2,
-                extent=cfg.extraction_extent, resolution=cfg.extraction_resolution,
-                method=cfg.extraction_method, fallback=constellation,
-            )
-
-        conv = MaxLogDemapper(constellation)
-        baseline = measure(clean_channel(), lambda y: conv.demap_bits(y, sigma2), 10)
-
-        ae_before = measure(rotated_channel(), ann_demap, 11)
-        centroid_before = measure(rotated_channel(), extract().demap_bits, 12)
+        ae_before = measure(AnnBitsReceiver(demapper), 11, rotated=True)
+        centroid_before = measure(None, 12, rotated=True, factory=extraction_factory())
 
         rng_retrain = np.random.default_rng(seed_base + 13)
+        retrain_channel = CompositeChannel(
+            [PhaseOffsetChannel(cfg.phase_offset),
+             AWGNChannel(snr, 4, rng=np.random.default_rng(seed_base + 1))]
+        )
         ReceiverFinetuner(
             system,
             TrainingConfig(steps=cfg.retrain_steps, batch_size=512, lr=2e-3),
             constellation=constellation,
-        ).run(rotated_channel(), rng_retrain)
+        ).run(retrain_channel, rng_retrain)
 
-        ae_after = measure(rotated_channel(), ann_demap, 14)
-        centroid_after = measure(rotated_channel(), extract().demap_bits, 15)
+        ae_after = measure(AnnBitsReceiver(demapper), 14, rotated=True)
+        centroid_after = measure(None, 15, rotated=True, factory=extraction_factory())
 
         result.measured[snr] = {
             "baseline": baseline,

@@ -25,7 +25,12 @@ This is the paper's primary contribution (§II-C "Inference"):
 from repro.extraction.centroids import CentroidSet, extract_centroids
 from repro.extraction.decision_regions import DecisionRegionGrid, sample_decision_regions
 from repro.extraction.hybrid import HybridDemapper
-from repro.extraction.monitor import DegradationMonitor, EccFlipMonitor, PilotBERMonitor
+from repro.extraction.monitor import (
+    DegradationMonitor,
+    EccFlipMonitor,
+    MonitorState,
+    PilotBERMonitor,
+)
 from repro.extraction.region_metrics import (
     labeling_consistency,
     region_adjacency_graph,
@@ -48,6 +53,7 @@ __all__ = [
     "voronoi_inversion",
     "HybridDemapper",
     "DegradationMonitor",
+    "MonitorState",
     "PilotBERMonitor",
     "EccFlipMonitor",
     "CentroidTracker",

@@ -18,7 +18,7 @@ from repro.autoencoder.demapper_ann import DemapperANN
 from repro.extraction.centroids import CentroidSet, extract_centroids
 from repro.extraction.decision_regions import DecisionRegionGrid, sample_decision_regions
 from repro.modulation.constellations import Constellation
-from repro.modulation.demapper import MaxLogDemapper, llrs_to_bits
+from repro.modulation.demapper import MaxLogDemapper
 
 __all__ = ["HybridDemapper"]
 
@@ -101,13 +101,51 @@ class HybridDemapper:
         )
 
     # -- demapping ----------------------------------------------------------------
-    def llrs(self, received: np.ndarray) -> np.ndarray:
-        """Max-log LLRs ``(N, k)`` on the extracted centroids."""
-        return self._core.llrs(received, self.sigma2)
+    @property
+    def core(self) -> MaxLogDemapper:
+        """The max-log core over the centroid set.
+
+        Batched dispatch layers (the serving engine's cross-session
+        micro-batching) use this to reach the constellation points and
+        padded bit-set tables behind one multi-sigma kernel launch.
+        """
+        return self._core
+
+    def llrs(self, received: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Max-log LLRs ``(N, k)`` on the extracted centroids.
+
+        ``out`` (optional float64 ``(N, k)``) is filled and returned in
+        place — same allocation-free steady-state contract as
+        :meth:`~repro.modulation.demapper.MaxLogDemapper.llrs`, so serving
+        hot loops can demap frame after frame without touching the
+        allocator.
+        """
+        return self._core.llrs(received, self.sigma2, out=out)
+
+    def llrs_multi(
+        self, received: np.ndarray, sigma2s: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Max-log LLRs for an ``(S, n)`` batch with *per-row* noise variances.
+
+        Unlike :meth:`llrs` this ignores the demapper's own ``sigma2`` —
+        the serving engine batches frames of several sessions (each with its
+        own σ² estimate) over one shared centroid set, so the variances
+        arrive as a vector.  Returns (or fills ``out`` with) ``(S, n, k)``
+        float64; on the default tier each row is bit-identical to
+        ``llrs`` at that row's σ².
+        """
+        return self._core.llrs_multi(received, sigma2s, out=out)
 
     def demap_bits(self, received: np.ndarray) -> np.ndarray:
-        """Hard bits ``(N, k)`` from the max-log LLRs."""
-        return llrs_to_bits(self.llrs(received))
+        """Hard bits ``(N, k)`` by nearest centroid.
+
+        Dispatches to the backend ``hard_indices`` kernel (the max-log hard
+        decision is σ²-independent, so no LLRs are materialised) — parity
+        with :meth:`~repro.modulation.demapper.MaxLogDemapper.demap_bits`.
+        Exact-tie inputs resolve to the lowest centroid label, matching
+        :class:`~repro.modulation.demapper.HardDemapper`.
+        """
+        return self._core.demap_bits(received, self.sigma2)
 
     def __call__(self, received: np.ndarray) -> np.ndarray:
         return self.llrs(received)

@@ -15,10 +15,45 @@ are stale).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DegradationMonitor", "PilotBERMonitor", "EccFlipMonitor"]
+__all__ = ["MonitorState", "DegradationMonitor", "PilotBERMonitor", "EccFlipMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorState:
+    """Read-only snapshot of a :class:`DegradationMonitor`.
+
+    Lets telemetry and swap workers report the monitor without reaching into
+    its private deque (the serving engine records one of these per session).
+
+    Attributes
+    ----------
+    level:
+        Mean of the current observation window (NaN while empty).
+    window_fill:
+        Observations currently held (``<= window``).
+    window:
+        Configured window length.
+    armed:
+        True when the trigger can fire (not in cooldown).
+    cooldown_left:
+        Observations remaining before re-arming (0 when armed).
+    triggers:
+        Total trigger count since construction (never reset).
+    threshold:
+        Configured trigger level.
+    """
+
+    level: float
+    window_fill: int
+    window: int
+    armed: bool
+    cooldown_left: int
+    triggers: int
+    threshold: float
 
 
 class DegradationMonitor:
@@ -70,8 +105,31 @@ class DegradationMonitor:
         """Mean of the current window (NaN if empty)."""
         return float(np.mean(self._values)) if self._values else float("nan")
 
+    @property
+    def armed(self) -> bool:
+        """True when the trigger can fire (not in cooldown)."""
+        return self._cooldown_left == 0
+
+    def state(self) -> MonitorState:
+        """Immutable snapshot of the monitor (see :class:`MonitorState`)."""
+        return MonitorState(
+            level=self.current_level,
+            window_fill=len(self._values),
+            window=self.window,
+            armed=self.armed,
+            cooldown_left=self._cooldown_left,
+            triggers=self.triggers,
+            threshold=self.threshold,
+        )
+
     def reset(self) -> None:
-        """Clear the window and cooldown (e.g. after re-extraction)."""
+        """Clear the window and cooldown (e.g. after re-extraction).
+
+        Idempotent: a second ``reset()`` with no interleaving ``observe`` is
+        a no-op, so swap workers may reset unconditionally after installing a
+        fresh demapper without racing a reset the trigger path already did.
+        ``triggers`` is a lifetime counter and survives resets.
+        """
         self._values.clear()
         self._cooldown_left = 0
 

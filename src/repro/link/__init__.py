@@ -13,7 +13,7 @@
 
 from repro.link.adaptive import AdaptiveReceiver, AdaptiveReceiverConfig, FrameReport
 from repro.link.estimation import PhaseSyncReceiver, estimate_complex_gain, estimate_phase
-from repro.link.frames import Frame, FrameConfig, build_frame
+from repro.link.frames import Frame, FrameConfig, build_frame, frame_bers
 from repro.link.ofdm import (
     MultipathChannel,
     OFDMConfig,
@@ -23,7 +23,14 @@ from repro.link.ofdm import (
     subcarrier_gains,
 )
 from repro.link.simulator import AWGNFactory, BERResult, simulate_ber, sweep_snr
-from repro.link.sweep import AnnBitsReceiver, HardBitsReceiver, SoftBitsReceiver, sweep_ber
+from repro.link.sweep import (
+    AnnBitsReceiver,
+    ExtractedCentroidFactory,
+    HardBitsReceiver,
+    PerPointReceiver,
+    SoftBitsReceiver,
+    sweep_ber,
+)
 
 __all__ = [
     "AWGNFactory",
@@ -34,9 +41,12 @@ __all__ = [
     "HardBitsReceiver",
     "SoftBitsReceiver",
     "AnnBitsReceiver",
+    "PerPointReceiver",
+    "ExtractedCentroidFactory",
     "Frame",
     "FrameConfig",
     "build_frame",
+    "frame_bers",
     "AdaptiveReceiver",
     "AdaptiveReceiverConfig",
     "FrameReport",

@@ -29,7 +29,7 @@ from repro.autoencoder.training import ReceiverFinetuner, TrainingConfig
 from repro.channels.base import Channel
 from repro.extraction.hybrid import HybridDemapper
 from repro.extraction.monitor import DegradationMonitor
-from repro.link.frames import FrameConfig, build_frame
+from repro.link.frames import FrameConfig, build_frame, frame_bers
 from repro.modulation.constellations import Constellation
 from repro.utils.rng import as_generator
 
@@ -148,8 +148,7 @@ class AdaptiveReceiver:
         true_bits = self.constellation.bit_matrix[frame.indices]
 
         hat = self.hybrid.demap_bits(received)
-        pilot_ber = float(np.mean(hat[frame.pilot_mask] != true_bits[frame.pilot_mask]))
-        payload_ber = float(np.mean(hat[~frame.pilot_mask] != true_bits[~frame.pilot_mask]))
+        pilot_ber, payload_ber = frame_bers(hat, true_bits, frame.pilot_mask)
 
         fired = self.monitor.observe(pilot_ber)
         level = self.monitor.current_level

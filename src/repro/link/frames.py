@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 
-__all__ = ["FrameConfig", "Frame", "build_frame"]
+__all__ = ["FrameConfig", "Frame", "build_frame", "frame_bers"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,34 @@ class Frame:
     @property
     def payload_indices(self) -> np.ndarray:
         return self.indices[~self.pilot_mask]
+
+
+def frame_bers(
+    hat_bits: np.ndarray,
+    true_bits: np.ndarray,
+    pilot_mask: np.ndarray,
+) -> tuple[float, float]:
+    """``(pilot_ber, payload_ber)`` of one demapped frame.
+
+    The pilot BER is the live quality statistic fed to the degradation
+    monitors; the payload BER is the ground-truth telemetry a simulation can
+    report because it knows the transmitted bits.  Shared by the adaptive
+    receiver and the serving engine so both report identically-defined
+    numbers.
+    """
+    hat = np.asarray(hat_bits)
+    true = np.asarray(true_bits)
+    mask = np.asarray(pilot_mask, dtype=bool)
+    if hat.shape != true.shape:
+        raise ValueError(f"bit arrays must be equal-shape, got {hat.shape} vs {true.shape}")
+    if mask.shape[0] != hat.shape[0]:
+        raise ValueError(
+            f"pilot_mask length {mask.shape[0]} does not match {hat.shape[0]} symbols"
+        )
+    err = hat != true
+    pilot = float(np.mean(err[mask])) if mask.any() else float("nan")
+    payload = float(np.mean(err[~mask])) if (~mask).any() else float("nan")
+    return pilot, payload
 
 
 def build_frame(

@@ -60,6 +60,8 @@ __all__ = [
     "HardBitsReceiver",
     "SoftBitsReceiver",
     "AnnBitsReceiver",
+    "PerPointReceiver",
+    "ExtractedCentroidFactory",
 ]
 
 
@@ -115,6 +117,92 @@ class AnnBitsReceiver:
         return bits.reshape(received.shape + (bits.shape[-1],))
 
 
+@dataclass(frozen=True)
+class PerPointReceiver:
+    """Sweep receiver with a *distinct* receiver per SNR point.
+
+    Some receivers are themselves σ²-dependent objects — the canonical case
+    is hybrid demapping on centroids *re-extracted at each point's σ²* (the
+    extraction density weighting depends on the noise level), the missing
+    piece for running the adaptation experiments on the sweep engine.  Those
+    cannot share one multi-sigma kernel launch across the axis, but they
+    still profit from everything else the engine gives: the single CRN
+    symbol/noise draw per chunk (variance-reduced curves), per-point early
+    stop, worker fan-out, and SNR-axis-split invariance.
+
+    ``receivers[p]`` is the receiver for sweep point ``p`` with signature
+    ``(received (n,), sigma2) -> (n, k) bits``; the sweep core passes the
+    active point indices so each row is routed to its own receiver.  Build
+    one with :func:`sweep_ber`'s ``receiver_factory`` argument (the factory
+    is invoked once per point, *not* per chunk).
+    """
+
+    receivers: tuple
+
+    #: Marks the three-argument receiver protocol for the sweep core.
+    per_point = True
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ValueError("PerPointReceiver needs at least one receiver")
+
+    def __call__(
+        self, received: np.ndarray, sigma2s: np.ndarray, point_idx: np.ndarray
+    ) -> np.ndarray:
+        return np.stack(
+            [
+                np.asarray(self.receivers[p](received[i], float(sigma2s[i])))
+                for i, p in enumerate(point_idx)
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class _ExtractedCentroidPointReceiver:
+    """Hard-decision receiver over one extracted centroid set (picklable)."""
+
+    hybrid: object  # HybridDemapper (untyped to avoid an import cycle)
+
+    def __call__(self, received: np.ndarray, sigma2: float) -> np.ndarray:
+        return self.hybrid.demap_bits(received)
+
+
+@dataclass(frozen=True)
+class ExtractedCentroidFactory:
+    """``receiver_factory`` that re-runs centroid extraction per SNR point.
+
+    At every sweep point the trained demapper ANN's decision regions are
+    sampled and centroids extracted with that point's σ² (the ``"lsq"``
+    density weighting is σ²-dependent), then payload bits are demapped by
+    nearest centroid — the paper's hybrid receiver, evaluated the way the
+    ROADMAP's "sweep-native adaptation experiments" item asks for.
+
+    Extraction happens once per point at sweep start (S extractions per
+    sweep, not per chunk).
+    """
+
+    demapper: object  # DemapperANN
+    fallback: Constellation | None = None
+    method: str = "lsq"
+    extent: float = 1.5
+    resolution: int = 192
+    es: float = 1.0
+
+    def __call__(self, snr_db: float, sigma2: float) -> _ExtractedCentroidPointReceiver:
+        from repro.extraction.hybrid import HybridDemapper
+
+        hybrid = HybridDemapper.extract(
+            self.demapper,
+            sigma2,
+            extent=self.extent,
+            resolution=self.resolution,
+            method=self.method,
+            fallback=self.fallback,
+            es=self.es,
+        )
+        return _ExtractedCentroidPointReceiver(hybrid)
+
+
 def _sweep_chunk(
     constellation: Constellation,
     sigma2s: np.ndarray,
@@ -149,7 +237,13 @@ def _sweep_chunk(
         unit = noise_rng.normal(0.0, 1.0, size=(n, 2))
         e = unit[:, 0] + 1j * unit[:, 1]
         received = x[None, :] + sigmas[active_idx, None] * e[None, :]
-        hat = np.asarray(receiver(received, sigma2s[active_idx]))
+        if getattr(receiver, "per_point", False):
+            # three-argument protocol: per-point receivers need to know which
+            # sweep rows survived early stopping to route each to its own
+            # receiver (σ² values alone could collide)
+            hat = np.asarray(receiver(received, sigma2s[active_idx], active_idx))
+        else:
+            hat = np.asarray(receiver(received, sigma2s[active_idx]))
     if hat.shape != (active_idx.size, n, k):
         raise ValueError(
             f"receiver returned shape {hat.shape}, expected ({active_idx.size}, {n}, {k})"
@@ -184,7 +278,7 @@ class _SweepAccumulator:
 def sweep_ber(
     constellation: Constellation,
     snr_dbs: Sequence[float],
-    receiver: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    receiver: Callable[[np.ndarray, np.ndarray], np.ndarray] | None,
     n_symbols: int,
     *,
     rng: np.random.Generator | int | None = None,
@@ -194,6 +288,7 @@ def sweep_ber(
     snr_type: str = "ebn0",
     es: float = 1.0,
     pre_channel_factory: Callable[[np.random.Generator], Channel] | None = None,
+    receiver_factory: Callable[[float, float], Callable] | None = None,
 ) -> Mapping[float, BERResult]:
     """Measure the BER of a receiver at every SNR of a sweep in one batched run.
 
@@ -239,6 +334,13 @@ def sweep_ber(
         :mod:`repro.channels.factories`).  The AWGN stage is implicit (that
         is what the sweep scales), so factories here must not add noise of
         their own.
+    receiver_factory:
+        Build a *distinct* receiver per sweep point: ``(snr_db, sigma2) ->
+        ((received (n,), sigma2) -> (n, k) bits)``, invoked once per point
+        up front and wrapped in :class:`PerPointReceiver`.  This is how
+        σ²-dependent receivers (e.g. :class:`ExtractedCentroidFactory`,
+        which re-extracts centroids at each point's noise level) run on the
+        sweep engine.  Mutually exclusive with ``receiver``.
 
     Returns
     -------
@@ -247,6 +349,8 @@ def sweep_ber(
     snrs = [float(s) for s in snr_dbs]
     if not snrs:
         raise ValueError("snr_dbs must contain at least one sweep point")
+    if (receiver is None) == (receiver_factory is None):
+        raise ValueError("pass exactly one of receiver or receiver_factory")
     if n_symbols < 1:
         raise ValueError("n_symbols must be >= 1")
     if batch_size < 1:
@@ -259,6 +363,12 @@ def sweep_ber(
         [sigma2_from_snr(s, k, snr_type=snr_type, es=es) for s in snrs], dtype=np.float64
     )
     sigmas = np.sqrt(sigma2s)
+    if receiver_factory is not None:
+        # one receiver per point, built before any chunk runs — per-point
+        # state (like an extraction) happens S times per sweep, not per chunk
+        receiver = PerPointReceiver(
+            tuple(receiver_factory(snr, float(s2)) for snr, s2 in zip(snrs, sigma2s))
+        )
 
     sizes = [batch_size] * (n_symbols // batch_size)
     if n_symbols % batch_size:

@@ -78,6 +78,15 @@ class _PointSetDemapper:
         """The backend this demapper currently dispatches to."""
         return self._pinned if self._pinned is not None else get_backend()
 
+    @property
+    def bitsets(self) -> PaddedBitSets:
+        """The padded per-bit index table driving the fused kernels.
+
+        Exposed for batched dispatch layers (:mod:`repro.backend.dispatch`)
+        that group several demappers' work into one multi-sigma launch.
+        """
+        return self._bitsets
+
     def squared_distances(self, received: np.ndarray) -> np.ndarray:
         """|y − c_i|² for every received sample and point: shape ``(N, M)``.
 

@@ -1,0 +1,70 @@
+"""Multi-session streaming demapper runtime with cross-session micro-batching.
+
+The paper's deployment story at fleet scale: after (re)training, each live
+stream is served by a cheap centroid-driven conventional demapper while
+pilot/ECC monitors decide when to retrain (§II-C).  This package turns that
+into an online serving system:
+
+* :mod:`repro.serving.session` — per-session receiver state machines
+  (demapper + monitor + bounded frame queue + own σ² estimate);
+* :mod:`repro.serving.batching` — cross-session micro-batching onto the
+  multi-sigma backend kernels (sessions sharing a centroid set share one
+  fused launch);
+* :mod:`repro.serving.engine` — the serving loop: pull, coalesce, demap,
+  monitor, trigger;
+* :mod:`repro.serving.worker` — background retrain/re-extract jobs with
+  atomic per-session demapper swaps (no global stall);
+* :mod:`repro.serving.loadgen` — deterministic seeded traffic over the
+  channel-zoo factories;
+* :mod:`repro.serving.telemetry` — per-session and engine-level counters
+  (frames, symbols/s, batch-occupancy histogram, retrain events,
+  pilot-BER trajectories).
+
+Quick start (see ``examples/serving_multisession.py`` for the full demo)::
+
+    engine = ServingEngine(max_batch=64, retrain_workers=2)
+    build_fleet(engine, 64, hybrid, monitor_factory=lambda: PilotBERMonitor(0.08))
+    traffic = {s.session_id: generate_traffic(...) for s in engine.sessions}
+    stats = run_load(engine, traffic)
+"""
+
+from repro.serving.batching import MicroBatch, collect_microbatches
+from repro.serving.engine import ServingEngine
+from repro.serving.loadgen import (
+    AnnRetrainPolicy,
+    SteadyChannel,
+    SteppedChannel,
+    build_fleet,
+    generate_traffic,
+    run_load,
+)
+from repro.serving.session import (
+    RETRAINING,
+    SERVING,
+    DemapperSession,
+    ServingFrame,
+    SessionConfig,
+)
+from repro.serving.telemetry import EngineStats, ServedFrame, SessionStats
+from repro.serving.worker import RetrainWorker
+
+__all__ = [
+    "SERVING",
+    "RETRAINING",
+    "SessionConfig",
+    "ServingFrame",
+    "DemapperSession",
+    "MicroBatch",
+    "collect_microbatches",
+    "ServingEngine",
+    "RetrainWorker",
+    "SteadyChannel",
+    "SteppedChannel",
+    "AnnRetrainPolicy",
+    "generate_traffic",
+    "build_fleet",
+    "run_load",
+    "ServedFrame",
+    "SessionStats",
+    "EngineStats",
+]

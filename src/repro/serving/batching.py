@@ -1,0 +1,91 @@
+"""Cross-session micro-batching: coalesce pending frames into kernel launches.
+
+One serving round takes the head frame of every ready session (at most one
+frame per session per round, preserving each session's frame order) and
+partitions them into :class:`MicroBatch` groups via the backend's
+group-by-constellation dispatch (:mod:`repro.backend.dispatch`): frames
+whose sessions share a centroid point set, bit labelling and frame length
+ride one fused ``maxlog_llrs_multi`` launch with a per-session σ² vector.
+
+Batch composition therefore varies with queue fill, ``max_batch`` and which
+sessions happen to be retraining — but on the default backend tier the
+multi-sigma kernel's rows are bit-identical to sequential per-frame calls,
+so *what* each session receives never depends on *who it was batched with*.
+That is the invariance the serving determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.backend.dispatch import DemapRequest, group_requests
+from repro.serving.session import DemapperSession, ServingFrame
+
+__all__ = ["MicroBatch", "collect_microbatches"]
+
+
+def _session_request(session: DemapperSession, frame: ServingFrame) -> DemapRequest:
+    """The one place a (session, frame) pair becomes a dispatch request —
+    grouping keys and the dispatched work can never diverge."""
+    return DemapRequest(
+        received=frame.received,
+        points=session.hybrid.constellation.points,
+        bitsets=session.hybrid.core.bitsets,
+        sigma2=session.sigma2,
+    )
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """Frames (one per session) sharing a point set, labelling and length.
+
+    ``requests`` are the dispatch requests the batch was *grouped by*,
+    built once at collect time (row order = batch order).
+    """
+
+    sessions: tuple[DemapperSession, ...]
+    frames: tuple[ServingFrame, ...]
+    requests: tuple[DemapRequest, ...]
+
+    @property
+    def occupancy(self) -> int:
+        """Frames coalesced into this batch's kernel launch."""
+        return len(self.frames)
+
+    @property
+    def n_symbols(self) -> int:
+        return sum(f.n_symbols for f in self.frames)
+
+
+def collect_microbatches(
+    sessions: Sequence[DemapperSession],
+    *,
+    max_batch: int = 64,
+) -> list[MicroBatch]:
+    """Pull one head frame per ready session and group into micro-batches.
+
+    Sessions are visited in the given (registration) order; a session that
+    is RETRAINING or has an empty queue contributes nothing this round.
+    Groups larger than ``max_batch`` are split, preserving order, so one
+    launch never exceeds the configured coalescing width.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    ready = [s for s in sessions if s.ready]
+    if not ready:
+        return []
+    frames = [s.pop() for s in ready]
+    requests = [_session_request(s, f) for s, f in zip(ready, frames)]
+    batches: list[MicroBatch] = []
+    for members in group_requests(requests):
+        for start in range(0, len(members), max_batch):
+            part = members[start : start + max_batch]
+            batches.append(
+                MicroBatch(
+                    sessions=tuple(ready[i] for i in part),
+                    frames=tuple(frames[i] for i in part),
+                    requests=tuple(requests[i] for i in part),
+                )
+            )
+    return batches

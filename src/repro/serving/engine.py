@@ -1,0 +1,216 @@
+"""The multi-session streaming demapper runtime.
+
+``ServingEngine`` is the software analogue of the paper's deployed receiver
+fabric scaled out to many streams: after (re)training, every session serves
+traffic through a cheap centroid demapper, and the runtime's job is to keep
+the fused kernels full.  One serving *round* (:meth:`ServingEngine.step`):
+
+1. install any retrained demappers the background worker has finished
+   (atomic per-session swap — no global pause);
+2. pull the head frame of every ready session from its bounded queue and
+   coalesce them into micro-batches (:mod:`repro.serving.batching`):
+   sessions sharing a centroid set/frame length ride one
+   ``maxlog_llrs_multi`` launch with a per-session σ² vector;
+3. per frame: threshold the LLRs, measure pilot/payload BER
+   (:func:`repro.link.frames.frame_bers`), feed the session's monitor, and
+   on a trigger enqueue a retrain+re-extract job
+   (:mod:`repro.serving.worker`) — the session pauses, everyone else keeps
+   streaming.
+
+Determinism contract (pinned by ``tests/serving/``): with a fixed traffic
+seed, per-session LLRs and the trigger timeline are identical regardless of
+micro-batch width, queue depth, or retrain worker count — batching only
+shares the kernels' distance stage (bit-identical rows on the default
+tier), and a retraining session is never served by stale centroids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.backend.dispatch import batched_maxlog_llrs
+from repro.backend.numpy_backend import NumpyBackend
+from repro.serving.batching import MicroBatch, collect_microbatches
+from repro.serving.session import DemapperSession, ServingFrame
+from repro.serving.telemetry import EngineStats, ServedFrame
+from repro.serving.worker import RetrainWorker
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Pulls frames from per-session queues and serves them in micro-batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Maximum frames coalesced into one kernel launch.
+    retrain_workers:
+        Thread count of the background retrain worker (``0`` = run retrain
+        jobs inline on the engine thread — the determinism reference).
+    backend:
+        Compute backend instance (default: the process-wide selection).
+    on_frame:
+        Optional per-frame hook ``(session, frame, llrs, report)``; ``llrs``
+        is an engine-owned buffer valid only during the call (copy to keep).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 64,
+        retrain_workers: int = 0,
+        backend: NumpyBackend | None = None,
+        on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
+        | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self._backend = backend
+        self.on_frame = on_frame
+        self.worker = RetrainWorker(retrain_workers)
+        self._sessions: dict[str, DemapperSession] = {}
+        self.telemetry = EngineStats()
+
+    # -- session registry ----------------------------------------------------
+    @property
+    def backend(self) -> NumpyBackend:
+        return self._backend if self._backend is not None else get_backend()
+
+    @property
+    def sessions(self) -> tuple[DemapperSession, ...]:
+        """Registered sessions in registration order (= serving order)."""
+        return tuple(self._sessions.values())
+
+    def add_session(self, session: DemapperSession) -> DemapperSession:
+        """Register a session; serving order is registration order."""
+        if session.session_id in self._sessions:
+            raise ValueError(f"duplicate session id {session.session_id!r}")
+        self._sessions[session.session_id] = session
+        return session
+
+    def session(self, session_id: str) -> DemapperSession:
+        return self._sessions[session_id]
+
+    def submit(self, session_id: str, frame: ServingFrame) -> bool:
+        """Enqueue a frame for a session; False = backpressure (queue full)."""
+        return self._sessions[session_id].submit(frame)
+
+    # -- serving -------------------------------------------------------------
+    def _serve_batch(self, batch: MicroBatch, key: str = "serve") -> None:
+        """Demap one micro-batch in a single launch, then account per frame.
+
+        The accounting (hard bits, truth gather, pilot/payload error sums)
+        is vectorised over the stacked ``(S, n, k)`` tensor — integer sums
+        divided per frame, arithmetically identical to
+        :func:`repro.link.frames.frame_bers` on each frame alone — so the
+        engine's per-frame Python cost stays flat as frames shrink, which is
+        exactly the regime micro-batching exists for.  All intermediates are
+        backend workspace scratch: a steady-state serving loop allocates
+        nothing per round.
+        """
+        be = self.backend
+        s_count = batch.occupancy
+        n = batch.frames[0].n_symbols
+        first = batch.sessions[0].hybrid.constellation
+        k = first.bits_per_symbol
+        llrs3 = batched_maxlog_llrs(batch.requests, backend=be, key=key)
+        hat = be.workspace.scratch(key + "_hat", (s_count, n, k), dtype=np.bool_)
+        np.greater(llrs3, 0.0, out=hat)
+        idx = be.workspace.scratch(key + "_idx", (s_count, n), dtype=np.int64)
+        pmask = be.workspace.scratch(key + "_pmask", (s_count, n), dtype=np.bool_)
+        for row, frame in enumerate(batch.frames):
+            np.copyto(idx[row], frame.indices, casting="same_kind")
+            np.copyto(pmask[row], frame.pilot_mask, casting="same_kind")
+        truth = be.workspace.scratch(key + "_truth", (s_count * n, k), dtype=np.int8)
+        np.take(first.bit_matrix, idx.reshape(-1), axis=0, out=truth)
+        err = be.workspace.scratch(key + "_err", (s_count, n, k), dtype=np.bool_)
+        np.not_equal(hat, truth.reshape(s_count, n, k), out=err)
+        err_sym = err.sum(axis=2, dtype=np.int64)          # (S, n) bit errors per symbol
+        pilot_syms = pmask.sum(axis=1, dtype=np.int64)     # (S,)
+        pilot_errs = np.where(pmask, err_sym, 0).sum(axis=1, dtype=np.int64)
+        total_errs = err_sym.sum(axis=1, dtype=np.int64)
+        for row, (session, frame) in enumerate(zip(batch.sessions, batch.frames)):
+            n_pilot = int(pilot_syms[row])
+            n_payload = n - n_pilot
+            pe, te = int(pilot_errs[row]), int(total_errs[row])
+            pilot_ber = pe / (n_pilot * k) if n_pilot else float("nan")
+            payload_ber = (te - pe) / (n_payload * k) if n_payload else float("nan")
+            fired = session.monitor.observe(pilot_ber)
+            session.stats.record_frame(frame.seq, n, pilot_ber, fired)
+            if fired and session.retrain is not None:
+                job_rng = session.begin_retrain()
+                self.telemetry.retrains_completed += self.worker.submit(
+                    session, session.retrain, job_rng
+                )
+                self.telemetry.retrains_started += 1
+            report = ServedFrame(
+                session_id=session.session_id,
+                seq=frame.seq,
+                pilot_ber=pilot_ber,
+                payload_ber=payload_ber,
+                fired=fired,
+                monitor_level=session.monitor.current_level,
+            )
+            if self.on_frame is not None:
+                self.on_frame(session, frame, llrs3[row], report)
+        self.telemetry.record_batch(batch.occupancy, batch.n_symbols)
+
+    def step(self) -> int:
+        """One serving round; returns the number of frames served.
+
+        Swaps land first, so a frame submitted after its session's retrain
+        completed is always demapped by the new centroids.
+        """
+        self.telemetry.retrains_completed += self.worker.poll()
+        batches = collect_microbatches(self.sessions, max_batch=self.max_batch)
+        for i, batch in enumerate(batches):
+            # per-position scratch keys: a round with several differently
+            # shaped groups must not thrash the shape-keyed workspace
+            self._serve_batch(batch, key=f"serve#{i}")
+        self.telemetry.rounds += 1
+        return sum(b.occupancy for b in batches)
+
+    def drain(self) -> int:
+        """Serve until every queue is empty and no retrain is in flight.
+
+        Returns the total frames served.  When nothing is servable but
+        retrains are pending, blocks for their swaps instead of spinning.
+        """
+        total = 0
+        while True:
+            served = self.step()
+            total += served
+            if served:
+                continue
+            if self.worker.pending:
+                self.telemetry.retrains_completed += self.worker.wait_all()
+                continue
+            if any(s.pending for s in self.sessions):
+                # queued frames but no ready session and no in-flight job:
+                # only possible for a retrain-less session stuck mid-state —
+                # continuing would spin forever, so surface it
+                raise RuntimeError("frames pending but no session can make progress")
+            return total
+
+    def close(self) -> None:
+        """Finish in-flight retrains and release the worker pool.
+
+        Swaps that land here are still credited to the telemetry, so a
+        final snapshot after ``with engine: ...`` never under-reports
+        completed retrains.
+        """
+        try:
+            self.telemetry.retrains_completed += self.worker.wait_all()
+        finally:
+            self.worker.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

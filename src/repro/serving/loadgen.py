@@ -1,0 +1,235 @@
+"""Deterministic seeded load generator for the serving engine.
+
+Drives N sessions of frame traffic over the channel-zoo factories
+(:mod:`repro.channels.factories`) with the same spawn discipline as the
+Monte-Carlo engines: per-frame ``(bits, noise)`` generators are spawned in
+frame order from a per-session master generator, so every frame's content is
+a pure function of ``(seed, session, seq)`` — independent of queue depth,
+batching, serving order, or how often backpressure forced a retry.  That is
+the property the serving determinism tests lean on: the *traffic* never
+changes, so any output difference would have to come from the engine.
+
+Building blocks:
+
+* :class:`SteadyChannel` / :class:`SteppedChannel` — per-frame channel
+  builders over plain picklable factories (``SteppedChannel`` switches
+  factories at a frame index: the paper's "channel suddenly changes,
+  monitor fires, retrain" scenario);
+* :func:`generate_traffic` — one session's frame list;
+* :func:`build_fleet` — register N uniform sessions on an engine (shared
+  centroid set ⇒ cross-session batching);
+* :class:`AnnRetrainPolicy` — the paper's full RETRAIN → EXTRACT step as a
+  background-worker job;
+* :func:`run_load` — submit with backpressure-aware retries and serve
+  until drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.autoencoder.system import AESystem
+from repro.autoencoder.training import ReceiverFinetuner, TrainingConfig
+from repro.channels.base import Channel
+from repro.extraction.hybrid import HybridDemapper
+from repro.extraction.monitor import DegradationMonitor
+from repro.link.frames import build_frame
+from repro.modulation.constellations import Constellation
+from repro.serving.engine import ServingEngine
+from repro.serving.session import DemapperSession, ServingFrame, SessionConfig
+from repro.serving.telemetry import EngineStats
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "SteadyChannel",
+    "SteppedChannel",
+    "AnnRetrainPolicy",
+    "generate_traffic",
+    "build_fleet",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class SteadyChannel:
+    """Frame-channel builder that applies one factory to every frame."""
+
+    factory: Callable[[np.random.Generator], Channel]
+
+    def __call__(self, rng: np.random.Generator, seq: int) -> Channel:
+        return self.factory(rng)
+
+
+@dataclass(frozen=True)
+class SteppedChannel:
+    """Channel that switches factory at ``step_seq`` (a sudden impairment).
+
+    Frames with ``seq < step_seq`` use ``before``, the rest ``after`` —
+    e.g. AWGN that acquires a π/4 phase offset mid-run, the Table 1
+    adaptation scenario as live traffic.
+    """
+
+    before: Callable[[np.random.Generator], Channel]
+    after: Callable[[np.random.Generator], Channel]
+    step_seq: int
+
+    def __call__(self, rng: np.random.Generator, seq: int) -> Channel:
+        return (self.before if seq < self.step_seq else self.after)(rng)
+
+
+def generate_traffic(
+    constellation: Constellation,
+    frame_config,
+    n_frames: int,
+    channel,
+    rng: np.random.Generator | int | None,
+    *,
+    start_seq: int = 0,
+) -> list[ServingFrame]:
+    """Build one session's deterministic frame sequence.
+
+    ``channel`` is a ``(rng, seq) -> Channel`` builder (wrap a plain factory
+    in :class:`SteadyChannel`).  Two generators are spawned per frame in seq
+    order — identical streams whether or not earlier frames were ever
+    served, so traffic content never depends on engine behaviour.
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be >= 1")
+    rng = as_generator(rng)
+    frames: list[ServingFrame] = []
+    for seq in range(start_seq, start_seq + n_frames):
+        bits_rng, noise_rng = rng.spawn(2)
+        frame = build_frame(frame_config, constellation.order, bits_rng)
+        ch = channel(noise_rng, seq)
+        received = ch.forward(constellation.points[frame.indices])
+        frames.append(
+            ServingFrame(
+                seq=seq,
+                indices=frame.indices,
+                pilot_mask=frame.pilot_mask,
+                received=received,
+            )
+        )
+    return frames
+
+
+@dataclass
+class AnnRetrainPolicy:
+    """The paper's RETRAIN → EXTRACT step as a background-worker job.
+
+    Owns this session's demapper ANN (an :class:`AESystem` — sessions must
+    not share one, retraining mutates it) and the live-channel factory to
+    train against.  Called with the job generator minted at trigger time;
+    returns the freshly extracted :class:`HybridDemapper` the worker swaps
+    in.  Deterministic: same generator ⇒ same retrained weights ⇒ same
+    centroids, regardless of which worker thread runs it.
+    """
+
+    system: AESystem
+    channel_factory: Callable[[np.random.Generator], Channel]
+    sigma2: float
+    constellation: Constellation  #: frozen transmit set (extraction fallback)
+    training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(steps=600, batch_size=512, lr=2e-3)
+    )
+    extraction_method: str = "lsq"
+    extraction_extent: float = 1.5
+    extraction_resolution: int = 192
+
+    def __call__(self, rng: np.random.Generator) -> HybridDemapper:
+        channel = self.channel_factory(rng)
+        ReceiverFinetuner(
+            self.system, self.training, constellation=self.constellation
+        ).run(channel, rng)
+        return HybridDemapper.extract(
+            self.system.demapper,
+            self.sigma2,
+            extent=self.extraction_extent,
+            resolution=self.extraction_resolution,
+            method=self.extraction_method,
+            fallback=self.constellation,
+        )
+
+
+def build_fleet(
+    engine: ServingEngine,
+    n_sessions: int,
+    hybrid: HybridDemapper,
+    *,
+    monitor_factory: Callable[[], DegradationMonitor],
+    config: SessionConfig | None = None,
+    retrain_factory: Callable[[int], Callable | None] | None = None,
+    seed: int = 0,
+    prefix: str = "s",
+) -> list[DemapperSession]:
+    """Register ``n_sessions`` uniform sessions sharing one centroid set.
+
+    Sharing ``hybrid`` is what makes the fleet batchable — every session's
+    frames coalesce into the same multi-sigma launches until one of them
+    retrains onto its own centroids.  Each session gets its own monitor
+    (``monitor_factory()``), its own spawned retrain generator, and —
+    optionally — its own retrain policy via ``retrain_factory(i)``.
+    """
+    if n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    master = np.random.default_rng(seed)
+    sessions = []
+    for i in range(n_sessions):
+        (session_rng,) = master.spawn(1)
+        retrain = retrain_factory(i) if retrain_factory is not None else None
+        sessions.append(
+            engine.add_session(
+                DemapperSession(
+                    f"{prefix}{i:03d}",
+                    hybrid,
+                    monitor_factory(),
+                    config=config,
+                    retrain=retrain,
+                    rng=session_rng,
+                )
+            )
+        )
+    return sessions
+
+
+def run_load(
+    engine: ServingEngine,
+    traffic: Mapping[str, Sequence[ServingFrame]],
+    *,
+    max_rounds: int | None = None,
+) -> EngineStats:
+    """Feed per-session traffic through the engine until fully drained.
+
+    Each round submits as many frames per session as its bounded queue
+    accepts (rejected submissions are retried next round — backpressure
+    slows the producer, it never loses frames), then serves one engine
+    round.  Returns the engine telemetry once every frame is served and no
+    retrain is in flight (or after ``max_rounds``).
+    """
+    offsets = {sid: 0 for sid in traffic}
+    rounds = 0
+    while True:
+        for sid, frames in traffic.items():
+            o = offsets[sid]
+            while o < len(frames) and engine.submit(sid, frames[o]):
+                o += 1
+            offsets[sid] = o
+        served = engine.step()
+        rounds += 1
+        if max_rounds is not None and rounds >= max_rounds:
+            return engine.telemetry
+        if served:
+            continue
+        if engine.worker.pending:
+            engine.telemetry.retrains_completed += engine.worker.wait_all()
+            continue
+        if all(offsets[sid] == len(traffic[sid]) for sid in traffic) and not any(
+            s.pending for s in engine.sessions
+        ):
+            return engine.telemetry
+        # Nothing served, nothing in flight, frames remain: a session is
+        # stuck outside SERVING with no job to wait for — fail loudly.
+        raise RuntimeError("load generator stalled: frames pending but nothing servable")

@@ -1,0 +1,204 @@
+"""Per-session receiver state machines behind the serving engine.
+
+Each live stream ("session") owns exactly what the paper's receiver owns:
+a :class:`~repro.extraction.hybrid.HybridDemapper` (the cheap centroid
+demapper serving traffic), a
+:class:`~repro.extraction.monitor.DegradationMonitor` watching pilot BER,
+its frame/pilot geometry, and its own σ² estimate.  The engine pulls frames
+from the session's *bounded* queue — a full queue pushes back on the
+producer instead of growing without bound — and coalesces frames across
+sessions into micro-batches.
+
+State machine::
+
+    SERVING ──monitor fires──▶ RETRAINING ──swap installed──▶ SERVING
+
+While RETRAINING the session's frames stay queued (they are *not* demapped
+by the stale centroids), so every frame after a trigger deterministically
+sees the retrained demapper — that is what makes the per-session output
+timeline independent of how fast the background worker happens to run.
+Other sessions keep being served in the meantime; nothing stalls globally.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.extraction.hybrid import HybridDemapper
+from repro.extraction.monitor import DegradationMonitor, MonitorState
+from repro.link.frames import FrameConfig
+from repro.serving.telemetry import SessionStats
+from repro.utils.rng import as_generator
+
+__all__ = ["SERVING", "RETRAINING", "SessionConfig", "ServingFrame", "DemapperSession"]
+
+#: Session states (plain strings — cheap to compare, obvious in telemetry).
+SERVING = "serving"
+RETRAINING = "retraining"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session serving tunables.
+
+    ``queue_depth`` bounds the frame queue (backpressure: ``submit`` returns
+    False when full); ``frame`` records the session's pilot/payload geometry
+    for producers that build traffic from it.
+    """
+
+    frame: FrameConfig = FrameConfig()
+    queue_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServingFrame:
+    """One frame of traffic submitted to a session.
+
+    ``indices`` are the transmitted symbol labels (known for pilots by
+    design; known for payload only because this is a simulation — the engine
+    uses payload truth solely for telemetry, never for demapping).
+    """
+
+    seq: int
+    indices: np.ndarray     # (n,) int symbol labels
+    pilot_mask: np.ndarray  # (n,) bool, True where pilot
+    received: np.ndarray    # (n,) complex received samples
+
+    def __post_init__(self) -> None:
+        n = np.asarray(self.received).size
+        if np.asarray(self.indices).shape != (n,) or np.asarray(self.pilot_mask).shape != (n,):
+            raise ValueError("indices, pilot_mask and received must be equal-length 1-D")
+
+    @property
+    def n_symbols(self) -> int:
+        return int(np.asarray(self.received).size)
+
+
+class DemapperSession:
+    """One stream's receiver state: demapper + monitor + queue + σ² estimate.
+
+    Parameters
+    ----------
+    session_id:
+        Unique name within the engine.
+    hybrid:
+        The session's current centroid demapper.
+    monitor:
+        Degradation monitor fed with each frame's pilot BER.
+    config:
+        Queue/frame geometry (default :class:`SessionConfig`).
+    retrain:
+        Optional retrain policy ``rng -> HybridDemapper``: invoked on a
+        background worker when the monitor fires; the returned demapper is
+        atomically swapped in.  ``None`` means triggers are recorded but the
+        session keeps serving with its current centroids.
+    sigma2:
+        The session's own noise-variance estimate (defaults to the hybrid's).
+        Kept separate from the demapper so a σ² update never requires a
+        swap, and so batched dispatch reads one per-session vector.
+    rng:
+        Seed/generator for the session's retrain jobs: one child generator is
+        spawned per trigger, in trigger order, so the retrain outcome is a
+        pure function of the seed and the trigger timeline — not of worker
+        scheduling.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        hybrid: HybridDemapper,
+        monitor: DegradationMonitor,
+        *,
+        config: SessionConfig | None = None,
+        retrain: Callable[[np.random.Generator], HybridDemapper] | None = None,
+        sigma2: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.session_id = str(session_id)
+        self.monitor = monitor
+        self.config = config if config is not None else SessionConfig()
+        self.retrain = retrain
+        self.sigma2 = float(sigma2 if sigma2 is not None else hybrid.sigma2)
+        if self.sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        self._retrain_rng = as_generator(rng)
+        self._hybrid = hybrid
+        self._queue: deque[ServingFrame] = deque()
+        self._lock = threading.Lock()
+        self.state = SERVING
+        self.stats = SessionStats()
+
+    # -- demapper access / atomic swap --------------------------------------
+    @property
+    def hybrid(self) -> HybridDemapper:
+        """The demapper currently serving this session's traffic."""
+        return self._hybrid
+
+    def install(self, hybrid: HybridDemapper) -> None:
+        """Atomically swap in a (re)trained demapper and resume serving.
+
+        Called by the swap worker; the lock orders it against a concurrent
+        ``install``/``update_sigma2`` and the monitor reset is idempotent,
+        so double-installation is safe (last writer wins).
+        """
+        with self._lock:
+            self._hybrid = hybrid
+            self.monitor.reset()
+            self.state = SERVING
+            self.stats.retrains += 1
+
+    def update_sigma2(self, sigma2: float) -> None:
+        """Replace the session's σ² estimate (no demapper swap needed)."""
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
+        with self._lock:
+            self.sigma2 = float(sigma2)
+
+    def begin_retrain(self) -> np.random.Generator:
+        """Enter RETRAINING and mint the job's deterministic generator."""
+        self.state = RETRAINING
+        (job_rng,) = self._retrain_rng.spawn(1)
+        return job_rng
+
+    # -- frame queue ---------------------------------------------------------
+    def submit(self, frame: ServingFrame) -> bool:
+        """Enqueue one frame; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.config.queue_depth:
+            self.stats.rejects += 1
+            return False
+        self._queue.append(frame)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Frames waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def ready(self) -> bool:
+        """True when the engine may serve this session's head frame."""
+        return self.state == SERVING and bool(self._queue)
+
+    def pop(self) -> ServingFrame:
+        """Dequeue the head frame (engine-side; caller checked ``ready``)."""
+        return self._queue.popleft()
+
+    # -- telemetry -----------------------------------------------------------
+    def monitor_state(self) -> MonitorState:
+        """Snapshot of the session's monitor (no private-deque reaching)."""
+        return self.monitor.state()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DemapperSession({self.session_id!r}, state={self.state}, "
+            f"pending={self.pending}, retrains={self.stats.retrains})"
+        )

@@ -1,0 +1,110 @@
+"""Serving counters — per-session and engine-level observability.
+
+The serving engine is the first subsystem where throughput and the paper's
+adaptation loop meet, so its telemetry spans both worlds: per-session link
+quality (pilot-BER trajectory, retrain events — the §II-C monitoring story)
+and engine-level efficiency (frames/symbols served, micro-batch occupancy —
+whether cross-session coalescing is actually filling the fused kernels).
+
+Everything here is plain counters updated from the engine thread; snapshots
+are cheap dict copies safe to hand to logging/benchmark code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServedFrame", "SessionStats", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class ServedFrame:
+    """Per-frame serving report (the serving analogue of ``FrameReport``)."""
+
+    session_id: str
+    seq: int
+    pilot_ber: float
+    payload_ber: float
+    fired: bool          #: monitor trigger on this frame
+    monitor_level: float
+
+
+@dataclass
+class SessionStats:
+    """Lifetime counters of one session.
+
+    ``pilot_ber_trajectory`` holds one entry per served frame in frame
+    order — together with ``trigger_seqs`` it is the session's adaptation
+    timeline (the determinism tests assert it is invariant to batching,
+    queue depth and worker count).
+    """
+
+    frames_served: int = 0
+    symbols_served: int = 0
+    retrains: int = 0
+    #: submissions rejected by backpressure (queue full); producers may
+    #: retry, so this counts *rejection events*, not lost frames
+    rejects: int = 0
+    trigger_seqs: list[int] = field(default_factory=list)
+    pilot_ber_trajectory: list[float] = field(default_factory=list)
+
+    def record_frame(self, seq: int, n_symbols: int, pilot_ber: float, fired: bool) -> None:
+        self.frames_served += 1
+        self.symbols_served += n_symbols
+        self.pilot_ber_trajectory.append(pilot_ber)
+        if fired:
+            self.trigger_seqs.append(seq)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (lists copied) for logging/JSON."""
+        return {
+            "frames_served": self.frames_served,
+            "symbols_served": self.symbols_served,
+            "retrains": self.retrains,
+            "rejects": self.rejects,
+            "trigger_seqs": list(self.trigger_seqs),
+            "pilot_ber_trajectory": list(self.pilot_ber_trajectory),
+        }
+
+
+@dataclass
+class EngineStats:
+    """Engine-level counters.
+
+    ``occupancy`` maps micro-batch size (frames coalesced into one kernel
+    launch) to how many launches had that size — the histogram that tells
+    whether cross-session batching is working (all-ones means every launch
+    served a single session and the multi-sigma kernel bought nothing).
+    """
+
+    rounds: int = 0
+    batches: int = 0
+    frames_served: int = 0
+    symbols_served: int = 0
+    retrains_started: int = 0
+    retrains_completed: int = 0
+    occupancy: dict[int, int] = field(default_factory=dict)
+
+    def record_batch(self, n_frames: int, n_symbols: int) -> None:
+        self.batches += 1
+        self.frames_served += n_frames
+        self.symbols_served += n_symbols
+        self.occupancy[n_frames] = self.occupancy.get(n_frames, 0) + 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average frames per kernel launch (NaN before the first batch)."""
+        return self.frames_served / self.batches if self.batches else float("nan")
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for logging/JSON (occupancy keys sorted)."""
+        return {
+            "rounds": self.rounds,
+            "batches": self.batches,
+            "frames_served": self.frames_served,
+            "symbols_served": self.symbols_served,
+            "retrains_started": self.retrains_started,
+            "retrains_completed": self.retrains_completed,
+            "mean_occupancy": self.mean_occupancy,
+            "occupancy": {k: self.occupancy[k] for k in sorted(self.occupancy)},
+        }

@@ -1,0 +1,134 @@
+"""Background retrain/re-extract worker with atomic demapper swaps.
+
+Paper §II-C: when the monitor fires, the demapper ANN is retrained on
+pilots over the live channel and the centroids re-extracted.  In a serving
+runtime that work must not stall the other sessions, so it runs on a small
+thread pool; the triggering session alone pauses (its frames stay queued)
+until :meth:`RetrainWorker.poll` installs the finished demapper via
+``session.install`` — an atomic swap under the session lock.
+
+Determinism: the job's generator is spawned by the *engine thread* at
+trigger time (``session.begin_retrain()``), so the retrained demapper is a
+pure function of the session seed and the trigger timeline.  Worker threads
+only decide *when* the swap lands, and since the session is not served in
+between, per-session outputs are identical for every worker count —
+``n_workers=0`` (run jobs inline on the engine thread) is the reference.
+
+NumPy releases the GIL inside training's matmuls, so retraining genuinely
+overlaps with the engine's demap launches.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from repro.extraction.hybrid import HybridDemapper
+from repro.serving.session import DemapperSession
+
+__all__ = ["RetrainWorker"]
+
+
+class RetrainWorker:
+    """Runs ``session.retrain`` jobs and installs the results.
+
+    Parameters
+    ----------
+    n_workers:
+        ``0`` runs each job synchronously at submission (inline mode — the
+        determinism reference and the mode loadgen benchmarks use when
+        isolating demap throughput); ``>= 1`` uses a thread pool.
+    """
+
+    def __init__(self, n_workers: int = 0):
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.n_workers = int(n_workers)
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=n_workers, thread_name_prefix="repro-retrain")
+            if n_workers > 0
+            else None
+        )
+        self._pending: list[tuple[DemapperSession, Future]] = []
+
+    def submit(
+        self,
+        session: DemapperSession,
+        job: Callable[[np.random.Generator], HybridDemapper],
+        rng: np.random.Generator,
+    ) -> int:
+        """Schedule one retrain job; returns how many swaps landed *now*
+        (1 in inline mode, where the job runs and installs synchronously)."""
+        if self._pool is None:
+            session.install(job(rng))
+            return 1
+        self._pending.append((session, self._pool.submit(job, rng)))
+        return 0
+
+    def poll(self) -> int:
+        """Install every finished job; returns how many swaps landed.
+
+        Called from the engine thread at the top of each serving round.  A
+        failed job re-raises here (on the engine thread, with the worker
+        traceback chained) rather than silently leaving the session paused —
+        but only after the pending list is consistent again: the failed job
+        is dropped (its session stays paused), every other finished job is
+        installed exactly once, and nothing is ever installed twice.
+        """
+        installed = 0
+        still_pending = []
+        error: BaseException | None = None
+        for session, fut in self._pending:
+            if not fut.done():
+                still_pending.append((session, fut))
+                continue
+            try:
+                hybrid = fut.result()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if error is None:
+                    error = exc
+                continue
+            session.install(hybrid)
+            installed += 1
+        self._pending = still_pending
+        if error is not None:
+            raise error
+        return installed
+
+    def wait_all(self) -> int:
+        """Block until every pending job has finished and been installed.
+
+        Each job is popped before its result is read, so a raising job is
+        consumed exactly once (no re-install, no re-raise on a later call).
+        """
+        installed = 0
+        while self._pending:
+            session, fut = self._pending.pop(0)
+            session.install(fut.result())
+            installed += 1
+        return installed
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet installed."""
+        return len(self._pending)
+
+    def close(self) -> None:
+        """Finish outstanding jobs and shut the pool down.
+
+        The pool is shut down even when an outstanding job raises — no
+        thread leak on the error path.
+        """
+        try:
+            self.wait_all()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RetrainWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -63,6 +63,39 @@ class TestHybridDemapper:
         h2 = hybrid.with_sigma2(hybrid.sigma2 * 2)
         assert np.allclose(hybrid.llrs(y), 2 * h2.llrs(y))
 
+    def test_llrs_out_threading(self, hybrid, rng):
+        """out= fills in place — the serving hot loop's allocation-free path."""
+        y = rng.normal(size=50) + 1j * rng.normal(size=50)
+        buf = np.empty((50, 4))
+        got = hybrid.llrs(y, out=buf)
+        assert got is buf
+        assert np.array_equal(buf, hybrid.llrs(y))
+
+    def test_demap_bits_via_hard_indices(self, hybrid, rng):
+        """Hard decisions dispatch to the nearest-centroid kernel and match
+        the historical threshold-the-LLRs path away from exact ties."""
+        from repro.modulation import HardDemapper
+        from repro.modulation.demapper import llrs_to_bits
+
+        y = rng.normal(size=5000) + 1j * rng.normal(size=5000)
+        bits = hybrid.demap_bits(y)
+        assert np.array_equal(bits, HardDemapper(hybrid.constellation).demap_bits(y))
+        assert np.array_equal(bits, llrs_to_bits(hybrid.llrs(y)))
+
+    def test_llrs_multi_rows_match_per_sigma_llrs(self, hybrid, rng):
+        """Per-session σ² batching: each row bit-identical to llrs at that σ²."""
+        y = rng.normal(size=(3, 40)) + 1j * rng.normal(size=(3, 40))
+        sigma2s = np.array([0.5, 1.0, 2.0]) * hybrid.sigma2
+        multi = hybrid.llrs_multi(y, sigma2s)
+        for s in range(3):
+            assert np.array_equal(
+                multi[s], hybrid.with_sigma2(sigma2s[s]).llrs(y[s])
+            )
+
+    def test_core_exposes_constellation_and_bitsets(self, hybrid):
+        assert hybrid.core.constellation is hybrid.constellation
+        assert hybrid.core.bitsets.k == 4
+
     def test_missing_without_fallback_raises(self, rng):
         from repro.autoencoder import DemapperANN
 
@@ -126,6 +159,44 @@ class TestDegradationMonitor:
         m = DegradationMonitor(0.1)
         with pytest.raises(ValueError):
             m.observe(-0.1)
+
+    def test_state_snapshot(self):
+        m = DegradationMonitor(0.1, window=2, cooldown=3)
+        st = m.state()
+        assert np.isnan(st.level)
+        assert (st.window_fill, st.window) == (0, 2)
+        assert st.armed and st.cooldown_left == 0
+        assert (st.triggers, st.threshold) == (0, 0.1)
+        m.observe(0.4)
+        assert m.state().window_fill == 1
+        m.observe(0.4)  # fires
+        st = m.state()
+        assert not st.armed
+        assert st.cooldown_left == 3
+        assert st.triggers == 1
+        assert st.window_fill == 0  # window cleared on trigger
+
+    def test_state_is_immutable_snapshot(self):
+        m = DegradationMonitor(0.1, window=2)
+        st = m.state()
+        with pytest.raises(AttributeError):
+            st.triggers = 5
+        m.observe(0.4)
+        assert st.window_fill == 0  # snapshot unaffected by later observes
+
+    def test_reset_is_idempotent_and_keeps_triggers(self):
+        m = DegradationMonitor(0.1, window=1, cooldown=5)
+        assert m.observe(0.5)
+        m.reset()
+        first = m.state()
+        m.reset()  # second reset: no-op
+        second = m.state()
+        assert np.isnan(first.level) and np.isnan(second.level)
+        assert (second.window_fill, second.armed, second.cooldown_left, second.triggers) == (
+            first.window_fill, first.armed, first.cooldown_left, first.triggers
+        )
+        assert m.triggers == 1  # lifetime counter survives resets
+        assert m.state().armed
 
 
 class TestPilotBERMonitor:

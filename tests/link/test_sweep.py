@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
@@ -15,7 +17,9 @@ from repro.channels import (
 )
 from repro.link import (
     AnnBitsReceiver,
+    ExtractedCentroidFactory,
     HardBitsReceiver,
+    PerPointReceiver,
     SoftBitsReceiver,
     simulate_ber,
     sweep_ber,
@@ -158,6 +162,85 @@ class TestReceivers:
 
         with pytest.raises(ValueError, match="receiver returned shape"):
             sweep_ber(qam16, (6.0,), bad, 5_000, rng=1)
+
+
+@dataclass(frozen=True)
+class _HardPointReceiver:
+    """Per-point hard receiver recording which point indices it served."""
+
+    constellation: object
+    point: int
+
+    def __call__(self, received, sigma2):
+        from repro.modulation import HardDemapper
+
+        return HardDemapper(self.constellation).demap_bits(received)
+
+
+class TestPerPointReceivers:
+    def test_matches_shared_receiver_exactly(self, qam16):
+        """Identical per-point receivers == the shared hard receiver."""
+        factory = lambda snr, s2: _HardPointReceiver(qam16, -1)  # noqa: E731
+        kw = dict(rng=21, batch_size=8192)
+        per_point = sweep_ber(qam16, SNRS, None, 30_000, receiver_factory=factory, **kw)
+        shared = sweep_ber(qam16, SNRS, HardBitsReceiver(qam16), 30_000, **kw)
+        assert per_point == shared
+
+    def test_rows_routed_to_their_point_receiver_under_early_stop(self, qam16):
+        """Early stopping must not shift the row -> receiver mapping."""
+        # distinct per-point receivers: point p's receiver demaps on a
+        # constellation rotated by a per-point angle; if a pruned sweep row
+        # were routed to the wrong receiver the counts would change
+        from repro.modulation import Constellation
+
+        angles = {snr: 0.03 * i for i, snr in enumerate((0.0, 12.0))}
+
+        def factory(snr, s2):
+            rot = Constellation(points=qam16.points * np.exp(1j * angles[snr]))
+            return _HardPointReceiver(rot, int(snr))
+
+        kw = dict(rng=3, batch_size=4096, max_errors=120, receiver_factory=factory)
+        both = sweep_ber(qam16, (0.0, 12.0), None, 300_000, **kw)
+        alone = sweep_ber(qam16, (12.0,), None, 300_000, rng=3, batch_size=4096,
+                          max_errors=120,
+                          receiver_factory=lambda snr, s2: factory(12.0, s2))
+        assert both[12.0] == alone[12.0]
+
+    def test_worker_invariance(self, qam16):
+        factory = lambda snr, s2: _HardPointReceiver(qam16, -1)  # noqa: E731
+        kw = dict(rng=8, batch_size=8192, receiver_factory=factory)
+        r1 = sweep_ber(qam16, SNRS[:2], None, 30_000, n_workers=1, **kw)
+        r2 = sweep_ber(qam16, SNRS[:2], None, 30_000, n_workers=2, **kw)
+        assert r1 == r2
+
+    def test_extracted_centroid_factory_tracks_conventional(self, qam16):
+        """Per-point re-extraction on a trained ANN ~ the conventional curve."""
+        from repro.experiments.cache import trained_ae_system
+
+        system = trained_ae_system(8.0, seed=7, steps=800)
+        const = system.mapper.constellation()
+        factory = ExtractedCentroidFactory(
+            system.demapper, fallback=const, resolution=128
+        )
+        snrs = (4.0, 8.0)
+        kw = dict(rng=15, batch_size=16384)
+        hybrid = sweep_ber(const, snrs, None, 60_000, receiver_factory=factory, **kw)
+        conv = sweep_ber(const, snrs, HardBitsReceiver(const), 60_000, **kw)
+        for snr in snrs:
+            assert hybrid[snr].ber < conv[snr].ber * 1.5 + 2e-3
+        assert hybrid[4.0].ber > hybrid[8.0].ber  # physics sanity
+
+    def test_exclusive_receiver_arguments(self, qam16):
+        rx = HardBitsReceiver(qam16)
+        with pytest.raises(ValueError, match="exactly one"):
+            sweep_ber(qam16, (6.0,), rx, 1000,
+                      receiver_factory=lambda snr, s2: rx)
+        with pytest.raises(ValueError, match="exactly one"):
+            sweep_ber(qam16, (6.0,), None, 1000)
+
+    def test_empty_per_point_receiver_rejected(self):
+        with pytest.raises(ValueError, match="at least one receiver"):
+            PerPointReceiver(())
 
 
 class TestValidation:
