@@ -60,6 +60,7 @@ _CORE_BENCH_NAMES = frozenset(
         "sweep_maxlog_seq[numpy32]",
         "serving_batched[numpy]",
         "serving_sequential[numpy]",
+        "serving_control_plane[numpy]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -268,18 +269,13 @@ def _bench_sweep_tier(benchmark, sweep_stream, tier: str):
     )
     if rate is None:
         return  # --benchmark-disable run: nothing to compare
-    import timeit
-
     sequential()  # warm the per-SNR workspace shapes
-    # Interleave the two paths round-by-round so clock drift / throttling
-    # hits both equally, then compare best-of-rounds (the jitter-robust
-    # statistic for equal work): the fused launch must not lose to S
-    # dispatches of the same work.
-    multi_times, seq_times = [], []
-    for _ in range(SWEEP_ROUNDS):
-        multi_times.append(timeit.timeit(
-            lambda: ml.llrs_multi(received, sigma2s, out=out_multi), number=1))
-        seq_times.append(timeit.timeit(sequential, number=1))
+    # The fused launch must not lose to S dispatches of the same work.
+    multi_times, seq_times = _interleaved_min_times(
+        lambda: ml.llrs_multi(received, sigma2s, out=out_multi),
+        sequential,
+        rounds=SWEEP_ROUNDS,
+    )
     _record_timed(
         f"sweep_maxlog_seq[{tier}]", seq_times, symbols=SWEEP_S * SWEEP_N,
         extra={"backend": tier, "snr_points": SWEEP_S},
@@ -313,6 +309,36 @@ def test_sweep_multi_vs_sequential_numpy32(benchmark, sweep_stream):
 
 SERVE_SESSIONS = 64
 SERVE_ROUNDS = 7
+
+
+def _sequential_demap_round(sessions, frames, n):
+    """Per-session sequential baseline: per-frame llrs + hard bits + BERs."""
+    from repro.link.frames import frame_bers
+
+    out = np.empty((n, 4))
+
+    def sequential_round():
+        for s in sessions:
+            f = frames[s.session_id]
+            llrs = s.hybrid.llrs(f.received, out=out)
+            hat = (llrs > 0).astype(np.int8)
+            truth = s.hybrid.constellation.bit_matrix[f.indices]
+            frame_bers(hat, truth, f.pilot_mask)
+
+    return sequential_round
+
+
+def _interleaved_min_times(a, b, rounds=SERVE_ROUNDS):
+    """Time two callables round-by-round interleaved (clock drift and
+    throttling hit both equally) and return their per-round times; callers
+    compare best-of-rounds, the jitter-robust statistic for equal work."""
+    import timeit
+
+    a_times, b_times = [], []
+    for _ in range(rounds):
+        a_times.append(timeit.timeit(a, number=1))
+        b_times.append(timeit.timeit(b, number=1))
+    return a_times, b_times
 
 
 @pytest.fixture(scope="module")
@@ -357,8 +383,6 @@ def test_serving_batched_vs_sequential(benchmark, serving_setup):
     aggregate symbols/s of the sequential path, with per-session LLRs
     bit-identical to sequential ``hybrid.llrs`` on the default tier.
     """
-    from repro.link.frames import frame_bers
-
     engine, sessions, frames, fc = serving_setup
     n = fc.total_symbols
     symbols = SERVE_SESSIONS * n
@@ -368,16 +392,7 @@ def test_serving_batched_vs_sequential(benchmark, serving_setup):
             s.submit(frames[s.session_id])
         return engine.step()
 
-    out = np.empty((n, 4))
-
-    def sequential_round():
-        for s in sessions:
-            f = frames[s.session_id]
-            llrs = s.hybrid.llrs(f.received, out=out)
-            hat = (llrs > 0).astype(np.int8)
-            truth = s.hybrid.constellation.bit_matrix[f.indices]
-            frame_bers(hat, truth, f.pilot_mask)
-
+    sequential_round = _sequential_demap_round(sessions, frames, n)
     assert batched_round() == SERVE_SESSIONS  # warm workspace; full occupancy
     sequential_round()
     benchmark.pedantic(
@@ -391,14 +406,7 @@ def test_serving_batched_vs_sequential(benchmark, serving_setup):
     )
     if rate is None:
         return  # --benchmark-disable run: nothing to compare
-    import timeit
-
-    # Interleave rounds so clock drift hits both paths equally; compare
-    # best-of-rounds (jitter-robust for equal work).
-    batched_times, seq_times = [], []
-    for _ in range(SERVE_ROUNDS):
-        batched_times.append(timeit.timeit(batched_round, number=1))
-        seq_times.append(timeit.timeit(sequential_round, number=1))
+    batched_times, seq_times = _interleaved_min_times(batched_round, sequential_round)
     _record_timed(
         "serving_sequential[numpy]", seq_times, symbols=symbols,
         extra={"backend": "numpy", "sessions": SERVE_SESSIONS, "frame_symbols": n},
@@ -421,6 +429,76 @@ def test_serving_batched_vs_sequential(benchmark, serving_setup):
     for s in sessions:
         f = frames[s.session_id]
         assert np.array_equal(caps[s.session_id], s.hybrid.llrs(f.received))
+
+
+def test_serving_control_plane_overhead(benchmark):
+    """Full control plane on (in-loop σ² estimation, tracking tier armed,
+    DRR scheduling, latency histograms) vs the same per-session sequential
+    baseline: the per-frame receiver-state updates are scalar work, so the
+    engine must stay >= 1.5x sequential (plain batched serving is >= 2x).
+    """
+    from repro.channels import sigma2_from_snr
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.link.frames import FrameConfig
+    from repro.serving import (
+        ServingEngine,
+        SessionConfig,
+        SteadyChannel,
+        build_fleet,
+        generate_traffic,
+    )
+
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
+    qam = qam_constellation(16)
+    sigma2 = sigma2_from_snr(8.0, 4)
+    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    sessions = build_fleet(
+        engine,
+        SERVE_SESSIONS,
+        HybridDemapper(constellation=qam, sigma2=sigma2),
+        monitor_factory=lambda: PilotBERMonitor(0.5, window=4),
+        config=SessionConfig(
+            frame=fc, queue_depth=2, sigma2_alpha=0.3, tracking=True
+        ),
+        seed=3,
+    )
+    rng = np.random.default_rng(11)
+    chan = SteadyChannel(AWGNFactory(8.0, 4))
+    frames = {
+        s.session_id: generate_traffic(qam, fc, 1, chan, r)[0]
+        for s, r in zip(sessions, rng.spawn(SERVE_SESSIONS))
+    }
+    n = fc.total_symbols
+    symbols = SERVE_SESSIONS * n
+
+    def control_plane_round():
+        for s in sessions:
+            s.submit(frames[s.session_id])
+        return engine.step()
+
+    sequential_round = _sequential_demap_round(sessions, frames, n)
+    assert control_plane_round() == SERVE_SESSIONS  # warm workspace
+    assert engine.telemetry.retrains_started == 0   # clean channel: no churn
+    sequential_round()
+    benchmark.pedantic(
+        control_plane_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+    )
+    rate = _record(
+        benchmark, "serving_control_plane[numpy]", symbols=symbols,
+        extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+               "frame_symbols": n, "sigma2_alpha": 0.3},
+    )
+    if rate is None:
+        return  # --benchmark-disable run: nothing to compare
+    cp_times, seq_times = _interleaved_min_times(control_plane_round, sequential_round)
+    speedup = min(seq_times) / min(cp_times)
+    assert speedup >= 1.5, (
+        f"control-plane serving round must stay >= 1.5x sequential "
+        f"per-session demapping at N={SERVE_SESSIONS}: got {speedup:.2f}x"
+    )
+    # the σ² loop is actually live (every session's estimate moved)
+    assert all(s.sigma2 != sigma2 for s in sessions)
 
 
 def test_exact_logmap_throughput(benchmark, stream):

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fail CI when a tracked hot path gets slower.
+
+Reads the *committed* ``BENCH_micro.json`` as the baseline, re-runs the
+micro-benchmark suite (which rewrites the artifact in place), and compares:
+
+1. **Relative gate** — every benchmark with a ``symbols_per_second`` in both
+   artifacts must not regress more than ``--tolerance`` (default 30%) vs the
+   baseline.  Absolute throughput is machine-bound, so this gate only
+   applies when the baseline was recorded on a matching environment
+   (same machine/cpu-count/python/numpy ``machine_info``); on a different
+   machine it downgrades to a warning — the committed baseline from a dev
+   box must not fail a slower CI runner on hardware alone.
+2. **Ratio gates** — machine-independent invariants checked on the fresh
+   artifact unconditionally:
+   * serving engine >= 2x sequential per-session demapping,
+   * control-plane serving >= 1.5x sequential,
+   * batched multi-sigma sweep >= sequential per-SNR launches (both tiers),
+   * max-log demapping >= 1e6 sym/s (the historical floor, generous on any
+     hardware this decade).
+
+Exit code 0 = gate passed; 1 = regression (or missing artifact/benchmark).
+
+Usage::
+
+    python benchmarks/check_bench.py              # run suite, then compare
+    python benchmarks/check_bench.py --no-run     # compare existing artifact
+    python benchmarks/check_bench.py --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO / "BENCH_micro.json"
+
+#: (numerator, denominator, floor) — machine-independent ratio invariants.
+RATIO_GATES = [
+    ("serving_batched[numpy]", "serving_sequential[numpy]", 2.0),
+    ("serving_control_plane[numpy]", "serving_sequential[numpy]", 1.5),
+    ("sweep_maxlog_multi[numpy]", "sweep_maxlog_seq[numpy]", 1.0),
+    ("sweep_maxlog_multi[numpy32]", "sweep_maxlog_seq[numpy32]", 1.0),
+]
+
+#: (benchmark, sym/s floor) — absolute floors low enough to be
+#: machine-independent in practice.
+ABSOLUTE_FLOORS = [
+    ("maxlog_llrs[numpy]", 1e6),
+]
+
+
+def load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+    if not isinstance(data.get("benchmarks"), list):
+        sys.exit(f"check_bench: {path} has no 'benchmarks' list")
+    return data
+
+
+def rates(artifact: dict) -> dict[str, float]:
+    return {
+        b["name"]: float(b["symbols_per_second"])
+        for b in artifact["benchmarks"]
+        if "symbols_per_second" in b
+    }
+
+
+def run_suite() -> None:
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "bench_micro.py"),
+        "--benchmark-only", "-q", "-p", "no:cacheprovider",
+    ]
+    print(f"check_bench: running {' '.join(cmd)}", flush=True)
+    result = subprocess.run(cmd, cwd=REPO)
+    if result.returncode != 0:
+        sys.exit("check_bench: benchmark suite failed (in-bench assertion?)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max fractional sym/s regression vs baseline (default 0.30)")
+    parser.add_argument("--no-run", action="store_true",
+                        help="compare the existing artifact instead of re-running")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("--tolerance must be in (0, 1)")
+
+    baseline = copy.deepcopy(load(ARTIFACT))
+    if not args.no_run:
+        run_suite()
+    current = load(ARTIFACT)
+    base_rates, cur_rates = rates(baseline), rates(current)
+
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    # 1. relative gate (same-environment baselines only)
+    comparable = args.no_run or baseline.get("machine_info") == current.get("machine_info")
+    print(f"\n{'benchmark':<34} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in sorted(base_rates):
+        if name not in cur_rates:
+            failures.append(f"tracked benchmark {name!r} missing from the fresh run")
+            continue
+        ratio = cur_rates[name] / base_rates[name]
+        print(f"{name:<34} {base_rates[name]:>10.3g}/s {cur_rates[name]:>10.3g}/s "
+              f"{ratio:>6.2f}x")
+        if ratio < 1.0 - args.tolerance:
+            msg = (f"{name}: {cur_rates[name]:.3g} sym/s is "
+                   f"{(1 - ratio) * 100:.0f}% below baseline {base_rates[name]:.3g}")
+            (failures if comparable else warnings).append(msg)
+    if not comparable:
+        print("\ncheck_bench: machine_info differs from the committed baseline — "
+              "absolute regressions are warnings, ratio gates still apply")
+
+    # 2. machine-independent ratio gates on the fresh artifact
+    for num, den, floor in RATIO_GATES:
+        if num not in cur_rates or den not in cur_rates:
+            failures.append(f"ratio gate {num}/{den}: benchmark missing from artifact")
+            continue
+        ratio = cur_rates[num] / cur_rates[den]
+        status = "ok" if ratio >= floor else "FAIL"
+        print(f"ratio {num} / {den}: {ratio:.2f}x (floor {floor}x) {status}")
+        if ratio < floor:
+            failures.append(f"{num} is only {ratio:.2f}x {den}, floor is {floor}x")
+    for name, floor in ABSOLUTE_FLOORS:
+        if name not in cur_rates:
+            failures.append(f"floor gate {name}: benchmark missing from artifact")
+            continue
+        status = "ok" if cur_rates[name] >= floor else "FAIL"
+        print(f"floor {name}: {cur_rates[name]:.3g} sym/s (floor {floor:.0e}) {status}")
+        if cur_rates[name] < floor:
+            failures.append(f"{name} at {cur_rates[name]:.3g} sym/s is below {floor:.0e}")
+
+    for msg in warnings:
+        print(f"check_bench: WARNING (cross-machine): {msg}")
+    if failures:
+        print("\ncheck_bench: FAILED")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("\ncheck_bench: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

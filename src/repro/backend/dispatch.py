@@ -109,7 +109,13 @@ def group_requests(requests: Sequence[DemapRequest]) -> list[list[int]]:
     return list(groups.values())
 
 
-def batched_maxlog_llrs(requests: Sequence[DemapRequest], *, backend=None, key: str = "disp") -> np.ndarray:
+def batched_maxlog_llrs(
+    requests: Sequence[DemapRequest],
+    *,
+    backend=None,
+    key: str = "disp",
+    with_received: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """One fused launch for requests already known to share a group.
 
     All requests must share a point set, bit labelling and row length (the
@@ -119,6 +125,11 @@ def batched_maxlog_llrs(requests: Sequence[DemapRequest], *, backend=None, key: 
     until the next kernel call on this backend from the same thread.  The
     stacked input, σ² vector and output all live in the workspace under
     ``key``-namespaced entries, so steady-state callers allocate nothing.
+
+    With ``with_received`` the scratch-owned stacked ``(S, n)`` input is
+    returned alongside the LLRs — callers that post-process the same batch
+    (the serving engine's pilot noise estimation) reuse the stacking copy
+    instead of redoing it, under the same scratch-lifetime rules.
     """
     if not requests:
         raise ValueError("batched_maxlog_llrs needs at least one request")
@@ -135,13 +146,14 @@ def batched_maxlog_llrs(requests: Sequence[DemapRequest], *, backend=None, key: 
             raise ValueError(f"request {row} has length {rec.size}, group expects {n}")
         np.copyto(stacked[row], rec, casting="same_kind")
         sig[row] = req.sigma2
-    return be.maxlog_llrs_multi(
+    llrs = be.maxlog_llrs_multi(
         stacked,
         first.points,
         first.bitsets,
         sig,
         out=be.scratch(f"{key}_llr", (s, n, k), dtype=np.float64),
     )
+    return (llrs, stacked) if with_received else llrs
 
 
 def grouped_maxlog_llrs(

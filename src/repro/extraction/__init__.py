@@ -26,6 +26,9 @@ from repro.extraction.centroids import CentroidSet, extract_centroids
 from repro.extraction.decision_regions import DecisionRegionGrid, sample_decision_regions
 from repro.extraction.hybrid import HybridDemapper
 from repro.extraction.monitor import (
+    TIER_RETRAIN,
+    TIER_TRACK,
+    AdaptationLadder,
     DegradationMonitor,
     EccFlipMonitor,
     MonitorState,
@@ -56,6 +59,9 @@ __all__ = [
     "MonitorState",
     "PilotBERMonitor",
     "EccFlipMonitor",
+    "AdaptationLadder",
+    "TIER_TRACK",
+    "TIER_RETRAIN",
     "CentroidTracker",
     "region_adjacency_graph",
     "labeling_consistency",

@@ -19,7 +19,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MonitorState", "DegradationMonitor", "PilotBERMonitor", "EccFlipMonitor"]
+__all__ = [
+    "TIER_TRACK",
+    "TIER_RETRAIN",
+    "MonitorState",
+    "DegradationMonitor",
+    "PilotBERMonitor",
+    "EccFlipMonitor",
+    "AdaptationLadder",
+]
+
+#: Adaptation tiers a trigger can escalate through (cheap first).
+TIER_TRACK = "track"
+TIER_RETRAIN = "retrain"
 
 
 @dataclass(frozen=True)
@@ -106,6 +118,11 @@ class DegradationMonitor:
         return float(np.mean(self._values)) if self._values else float("nan")
 
     @property
+    def window_fill(self) -> int:
+        """Observations currently held (``<= window``)."""
+        return len(self._values)
+
+    @property
     def armed(self) -> bool:
         """True when the trigger can fire (not in cooldown)."""
         return self._cooldown_left == 0
@@ -114,7 +131,7 @@ class DegradationMonitor:
         """Immutable snapshot of the monitor (see :class:`MonitorState`)."""
         return MonitorState(
             level=self.current_level,
-            window_fill=len(self._values),
+            window_fill=self.window_fill,
             window=self.window,
             armed=self.armed,
             cooldown_left=self._cooldown_left,
@@ -163,3 +180,55 @@ class EccFlipMonitor(DegradationMonitor):
         if corrected < 0:
             raise ValueError("corrected must be >= 0")
         return self.observe(corrected / total_bits)
+
+
+class AdaptationLadder:
+    """Escalation policy across adaptation tiers: track first, then retrain.
+
+    Full retraining + re-extraction costs hundreds of milliseconds of pilot
+    traffic and (on the FPGA) a reconfiguration; a rigid centroid update
+    (:class:`~repro.extraction.tracking.CentroidTracker`) costs a handful of
+    multiplies.  The ladder remembers how many *consecutive* monitor
+    triggers were answered with the tracking tier: the first
+    ``track_attempts`` triggers get :data:`TIER_TRACK`, and if degradation
+    still persists — the monitor fires again before a full healthy window
+    was observed — the next trigger escalates to :data:`TIER_RETRAIN`.
+
+    Callers report outcomes: :meth:`note_track` after a tracking response,
+    :meth:`note_recovered` once a full monitor window passed below
+    threshold (the track demonstrably worked), and :meth:`reset` after a
+    retrained demapper is installed.  The track streak is the only state,
+    so the tier sequence is a pure function of the trigger/recovery
+    timeline — which is what lets the serving determinism tests pin tier
+    decisions bit-for-bit.
+
+    ``track_attempts=0`` escalates every trigger straight to retraining
+    (the paper's two-tier loop).
+    """
+
+    def __init__(self, track_attempts: int = 1):
+        if track_attempts < 0:
+            raise ValueError("track_attempts must be >= 0")
+        self.track_attempts = int(track_attempts)
+        self._streak = 0
+
+    @property
+    def track_streak(self) -> int:
+        """Consecutive tracking responses since the last recovery/retrain."""
+        return self._streak
+
+    def wants_track(self) -> bool:
+        """True while the cheap tier still has attempts left."""
+        return self._streak < self.track_attempts
+
+    def note_track(self) -> None:
+        """Record that a trigger was answered with a tracking update."""
+        self._streak += 1
+
+    def note_recovered(self) -> None:
+        """Record a full healthy monitor window: tracking worked, re-arm."""
+        self._streak = 0
+
+    def reset(self) -> None:
+        """Re-arm the ladder (e.g. after a retrained demapper installed)."""
+        self._streak = 0

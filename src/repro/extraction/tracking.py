@@ -46,7 +46,13 @@ class CentroidTracker:
         self.cumulative_gain: complex = 1.0 + 0.0j
         self.updates = 0
 
-    def update(self, pilot_indices: np.ndarray, rx_pilots: np.ndarray) -> bool:
+    def update(
+        self,
+        pilot_indices: np.ndarray,
+        rx_pilots: np.ndarray,
+        *,
+        sigma2: float | None = None,
+    ) -> bool:
         """One tracking step from a pilot block.
 
         The *current centroids* are the receiver's model of where each
@@ -56,10 +62,18 @@ class CentroidTracker:
         ``True`` if the post-fit residual is consistent with noise (the
         rigid model suffices), ``False`` if the constellation has *warped*
         beyond a rigid motion (⇒ escalate to retraining + re-extraction).
+
+        ``sigma2`` overrides the noise variance used for the residual floor
+        — serving sessions pass their live in-loop estimate so a drifting
+        SNR does not misclassify honest noise as constellation warp.  The
+        demapper's stored ``sigma2`` is the default.
         """
         idx = np.asarray(pilot_indices)
         if not np.issubdtype(idx.dtype, np.integer):
             raise TypeError("pilot_indices must be integer labels")
+        sigma2 = float(self.current.sigma2 if sigma2 is None else sigma2)
+        if sigma2 <= 0:
+            raise ValueError("sigma2 must be positive")
         y = np.asarray(rx_pilots, dtype=np.complex128).ravel()
         x_ref = self.current.constellation.points[idx]
         g = estimate_complex_gain(x_ref, y)
@@ -67,7 +81,7 @@ class CentroidTracker:
             raise ValueError("estimated zero gain")
         # residual after the rigid fit vs the expected noise floor 2σ²N
         resid_power = float(np.sum(np.abs(y - g * x_ref) ** 2))
-        noise_floor = 2.0 * self.current.sigma2 * y.size
+        noise_floor = 2.0 * sigma2 * y.size
         rigid_ok = resid_power <= (1.0 + self.residual_threshold) * noise_floor
 
         pts = self.current.constellation.points * g

@@ -12,7 +12,13 @@
 """
 
 from repro.link.adaptive import AdaptiveReceiver, AdaptiveReceiverConfig, FrameReport
-from repro.link.estimation import PhaseSyncReceiver, estimate_complex_gain, estimate_phase
+from repro.link.estimation import (
+    PhaseSyncReceiver,
+    estimate_complex_gain,
+    estimate_noise_sigma2,
+    estimate_noise_sigma2_batch,
+    estimate_phase,
+)
 from repro.link.frames import Frame, FrameConfig, build_frame, frame_bers
 from repro.link.ofdm import (
     MultipathChannel,
@@ -53,6 +59,8 @@ __all__ = [
     "PhaseSyncReceiver",
     "estimate_phase",
     "estimate_complex_gain",
+    "estimate_noise_sigma2",
+    "estimate_noise_sigma2_batch",
     "OFDMConfig",
     "OFDMReceiver",
     "MultipathChannel",

@@ -23,7 +23,13 @@ import numpy as np
 from repro.modulation.constellations import Constellation
 from repro.modulation.demapper import MaxLogDemapper, llrs_to_bits
 
-__all__ = ["estimate_phase", "estimate_complex_gain", "PhaseSyncReceiver"]
+__all__ = [
+    "estimate_phase",
+    "estimate_complex_gain",
+    "estimate_noise_sigma2",
+    "estimate_noise_sigma2_batch",
+    "PhaseSyncReceiver",
+]
 
 
 def estimate_phase(tx_pilots: np.ndarray, rx_pilots: np.ndarray) -> float:
@@ -52,6 +58,72 @@ def estimate_complex_gain(tx_pilots: np.ndarray, rx_pilots: np.ndarray) -> compl
     if energy == 0:
         raise ValueError("all-zero pilots")
     return complex(np.sum(np.conj(x) * y) / energy)
+
+
+def estimate_noise_sigma2(
+    tx_pilots: np.ndarray, rx_pilots: np.ndarray, *, fit_gain: bool = True
+) -> float:
+    """Pilot-based per-real-dimension noise-variance estimate.
+
+    Under ``y = h·x + n`` with circular complex noise of per-dimension
+    variance σ², the residual power after removing the (optionally
+    estimated) one-tap gain is a 2(N-1)-DOF chi-square with mean
+    ``2σ²(N-1)``, so dividing by that gives an unbiased σ̂².  With
+    ``fit_gain`` the estimate is invariant to rigid channel motion (phase or
+    amplitude drift) — exactly what a serving loop wants: a phase jump must
+    not masquerade as a noise-floor jump.  Without it (``fit_gain=False``,
+    or fewer than two pilots) the residual is taken against the reference
+    points directly and divided by ``2N``.
+
+    ``tx_pilots`` are the *reference* positions the receiver expects the
+    pilots to land on — the transmit constellation for a classical receiver,
+    the extracted centroid set for the hybrid demapper (whose centroids
+    already absorb learned impairments).
+    """
+    x = np.asarray(tx_pilots, dtype=np.complex128).ravel()
+    y = np.asarray(rx_pilots, dtype=np.complex128).ravel()
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("pilot arrays must be matched and non-empty")
+    if fit_gain and x.size >= 2:
+        h = estimate_complex_gain(x, y)
+        resid = float(np.sum(np.abs(y - h * x) ** 2))
+        dof = x.size - 1
+    else:
+        resid = float(np.sum(np.abs(y - x) ** 2))
+        dof = x.size
+    return resid / (2.0 * dof)
+
+
+def estimate_noise_sigma2_batch(
+    tx_ref: np.ndarray, rx: np.ndarray, pilot_mask: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`estimate_noise_sigma2` over a stacked ``(S, n)`` batch.
+
+    The serving engine's vectorised form: row ``s`` holds one frame's
+    reference points and received samples, ``pilot_mask`` selects each
+    row's pilots, and the returned ``(S,)`` vector is that row's gain-fit
+    noise estimate — the same statistic as the scalar function, reduced
+    with row-local sums so each row's value is independent of who it was
+    batched with (the serving determinism contract).  Rows with fewer than
+    two pilots get NaN (no gain DOF to remove — callers skip the update).
+    """
+    x = np.asarray(tx_ref, dtype=np.complex128)
+    y = np.asarray(rx, dtype=np.complex128)
+    m = np.asarray(pilot_mask, dtype=bool)
+    if x.ndim != 2 or x.shape != y.shape or m.shape != x.shape:
+        raise ValueError("tx_ref, rx and pilot_mask must be equal-shape (S, n)")
+    xm = np.where(m, x, 0.0)
+    ym = np.where(m, y, 0.0)
+    n_pilots = m.sum(axis=1)
+    num = np.einsum("ij,ij->i", np.conj(xm), ym)
+    den = np.einsum("ij,ij->i", np.conj(xm), xm).real
+    with np.errstate(divide="ignore", invalid="ignore"):
+        h = num / den
+        r = ym - h[:, None] * xm
+        resid = np.einsum("ij,ij->i", np.conj(r), r).real
+        out = resid / (2.0 * (n_pilots - 1))
+    out[n_pilots < 2] = np.nan
+    return out
 
 
 class PhaseSyncReceiver:

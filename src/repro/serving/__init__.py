@@ -3,32 +3,39 @@
 The paper's deployment story at fleet scale: after (re)training, each live
 stream is served by a cheap centroid-driven conventional demapper while
 pilot/ECC monitors decide when to retrain (§II-C).  This package turns that
-into an online serving system:
+into an online, *self-adapting* serving system:
 
 * :mod:`repro.serving.session` — per-session receiver state machines
-  (demapper + monitor + bounded frame queue + own σ² estimate);
+  (demapper + monitor + bounded frame queue + own σ² estimate + tiered
+  adaptation ladder);
+* :mod:`repro.serving.scheduler` — QoS-weighted deficit-round-robin frame
+  scheduling (per-session ``SessionConfig.weight``);
 * :mod:`repro.serving.batching` — cross-session micro-batching onto the
   multi-sigma backend kernels (sessions sharing a centroid set share one
   fused launch);
-* :mod:`repro.serving.engine` — the serving loop: pull, coalesce, demap,
-  monitor, trigger;
+* :mod:`repro.serving.engine` — the serving loop: schedule, coalesce,
+  demap, estimate σ², monitor, climb the adaptation ladder
+  (track → retrain);
 * :mod:`repro.serving.worker` — background retrain/re-extract jobs with
   atomic per-session demapper swaps (no global stall);
 * :mod:`repro.serving.loadgen` — deterministic seeded traffic over the
   channel-zoo factories;
 * :mod:`repro.serving.telemetry` — per-session and engine-level counters
-  (frames, symbols/s, batch-occupancy histogram, retrain events,
-  pilot-BER trajectories).
+  (frames, symbols/s, batch-occupancy histogram, retrain/track events,
+  pilot-BER and σ² trajectories, queue-wait / service-time latency
+  histograms on a simulated symbol clock).
 
 Quick start (see ``examples/serving_multisession.py`` for the full demo)::
 
     engine = ServingEngine(max_batch=64, retrain_workers=2)
-    build_fleet(engine, 64, hybrid, monitor_factory=lambda: PilotBERMonitor(0.08))
+    build_fleet(engine, 64, hybrid,
+                monitor_factory=lambda: PilotBERMonitor(0.08),
+                config=SessionConfig(sigma2_alpha=0.3, tracking=True))
     traffic = {s.session_id: generate_traffic(...) for s in engine.sessions}
     stats = run_load(engine, traffic)
 """
 
-from repro.serving.batching import MicroBatch, collect_microbatches
+from repro.serving.batching import MicroBatch, coalesce, collect_microbatches
 from repro.serving.engine import ServingEngine
 from repro.serving.loadgen import (
     AnnRetrainPolicy,
@@ -38,6 +45,7 @@ from repro.serving.loadgen import (
     generate_traffic,
     run_load,
 )
+from repro.serving.scheduler import DeficitRoundRobin
 from repro.serving.session import (
     RETRAINING,
     SERVING,
@@ -45,7 +53,12 @@ from repro.serving.session import (
     ServingFrame,
     SessionConfig,
 )
-from repro.serving.telemetry import EngineStats, ServedFrame, SessionStats
+from repro.serving.telemetry import (
+    EngineStats,
+    LatencyHistogram,
+    ServedFrame,
+    SessionStats,
+)
 from repro.serving.worker import RetrainWorker
 
 __all__ = [
@@ -55,7 +68,9 @@ __all__ = [
     "ServingFrame",
     "DemapperSession",
     "MicroBatch",
+    "coalesce",
     "collect_microbatches",
+    "DeficitRoundRobin",
     "ServingEngine",
     "RetrainWorker",
     "SteadyChannel",
@@ -67,4 +82,5 @@ __all__ = [
     "ServedFrame",
     "SessionStats",
     "EngineStats",
+    "LatencyHistogram",
 ]

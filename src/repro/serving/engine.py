@@ -3,25 +3,42 @@
 ``ServingEngine`` is the software analogue of the paper's deployed receiver
 fabric scaled out to many streams: after (re)training, every session serves
 traffic through a cheap centroid demapper, and the runtime's job is to keep
-the fused kernels full.  One serving *round* (:meth:`ServingEngine.step`):
+the fused kernels full *and* every session's receiver state tracking its
+channel.  One serving *round* (:meth:`ServingEngine.step`):
 
 1. install any retrained demappers the background worker has finished
    (atomic per-session swap — no global pause);
-2. pull the head frame of every ready session from its bounded queue and
-   coalesce them into micro-batches (:mod:`repro.serving.batching`):
-   sessions sharing a centroid set/frame length ride one
-   ``maxlog_llrs_multi`` launch with a per-session σ² vector;
-3. per frame: threshold the LLRs, measure pilot/payload BER
-   (:func:`repro.link.frames.frame_bers`), feed the session's monitor, and
-   on a trigger enqueue a retrain+re-extract job
-   (:mod:`repro.serving.worker`) — the session pauses, everyone else keeps
-   streaming.
+2. ask the deficit-round-robin scheduler (:mod:`repro.serving.scheduler`)
+   for this round's per-session frame quotas (QoS weights: heavy sessions
+   may take several frames per round from deep queues);
+3. serve the quotas in *waves* — each wave pulls at most one frame per
+   session and coalesces across sessions into micro-batches
+   (:mod:`repro.serving.batching`): sessions sharing a centroid set/frame
+   length ride one ``maxlog_llrs_multi`` launch with a per-session σ²
+   vector;
+4. per frame: threshold the LLRs, measure pilot/payload BER
+   (:func:`repro.link.frames.frame_bers`), fold the pilots' noise estimate
+   into the session's σ² (:func:`repro.link.estimation.
+   estimate_noise_sigma2`, EWMA), feed the session's monitor, and on a
+   trigger climb the adaptation ladder: a rigid centroid-tracking update
+   first (engine-thread, session stays live), a retrain+re-extract job
+   (:mod:`repro.serving.worker`) only when the impairment is non-rigid or
+   degradation persists — the retraining session pauses, everyone else
+   keeps streaming.
+
+Waves are what reconcile multi-frame quotas with per-frame state: a
+session's *n*-th frame of a round is always demapped with the σ², centroid
+and monitor state left by its frame *n−1*, exactly as if the frames had
+been served in separate rounds.  That is why per-session output timelines
+are invariant to scheduler weights.
 
 Determinism contract (pinned by ``tests/serving/``): with a fixed traffic
-seed, per-session LLRs and the trigger timeline are identical regardless of
-micro-batch width, queue depth, or retrain worker count — batching only
-shares the kernels' distance stage (bit-identical rows on the default
-tier), and a retraining session is never served by stale centroids.
+seed, per-session LLRs, σ² trajectories and the trigger/tier timeline are
+identical regardless of micro-batch width, queue depth, retrain worker
+count or scheduler weights — batching only shares the kernels' distance
+stage (bit-identical rows on the default tier), every per-frame state
+update is a pure function of the session's own frame order, and a
+retraining session is never served by stale centroids.
 """
 
 from __future__ import annotations
@@ -33,7 +50,10 @@ import numpy as np
 from repro.backend import get_backend
 from repro.backend.dispatch import batched_maxlog_llrs
 from repro.backend.numpy_backend import NumpyBackend
-from repro.serving.batching import MicroBatch, collect_microbatches
+from repro.extraction.monitor import TIER_RETRAIN, TIER_TRACK
+from repro.link.estimation import estimate_noise_sigma2_batch
+from repro.serving.batching import MicroBatch, coalesce
+from repro.serving.scheduler import DeficitRoundRobin
 from repro.serving.session import DemapperSession, ServingFrame
 from repro.serving.telemetry import EngineStats, ServedFrame
 from repro.serving.worker import RetrainWorker
@@ -53,6 +73,9 @@ class ServingEngine:
         jobs inline on the engine thread — the determinism reference).
     backend:
         Compute backend instance (default: the process-wide selection).
+    scheduler:
+        Frame scheduler (default: a fresh :class:`DeficitRoundRobin` with
+        quantum 1.0 — one frame per weight-1 session per round).
     on_frame:
         Optional per-frame hook ``(session, frame, llrs, report)``; ``llrs``
         is an engine-owned buffer valid only during the call (copy to keep).
@@ -64,6 +87,7 @@ class ServingEngine:
         max_batch: int = 64,
         retrain_workers: int = 0,
         backend: NumpyBackend | None = None,
+        scheduler: DeficitRoundRobin | None = None,
         on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
         | None = None,
     ):
@@ -73,6 +97,7 @@ class ServingEngine:
         self._backend = backend
         self.on_frame = on_frame
         self.worker = RetrainWorker(retrain_workers)
+        self.scheduler = scheduler if scheduler is not None else DeficitRoundRobin()
         self._sessions: dict[str, DemapperSession] = {}
         self.telemetry = EngineStats()
 
@@ -94,11 +119,19 @@ class ServingEngine:
         return session
 
     def session(self, session_id: str) -> DemapperSession:
-        return self._sessions[session_id]
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session id {session_id!r}") from None
 
     def submit(self, session_id: str, frame: ServingFrame) -> bool:
-        """Enqueue a frame for a session; False = backpressure (queue full)."""
-        return self._sessions[session_id].submit(frame)
+        """Enqueue a frame for a session; False = backpressure (queue full).
+
+        An unregistered ``session_id`` raises :class:`KeyError` naming the
+        id at the submission site — not a confusing failure rounds later,
+        deep inside a serving batch.
+        """
+        return self.session(session_id).submit(frame, now=self.telemetry.now)
 
     # -- serving -------------------------------------------------------------
     def _serve_batch(self, batch: MicroBatch, key: str = "serve") -> None:
@@ -109,16 +142,25 @@ class ServingEngine:
         divided per frame, arithmetically identical to
         :func:`repro.link.frames.frame_bers` on each frame alone — so the
         engine's per-frame Python cost stays flat as frames shrink, which is
-        exactly the regime micro-batching exists for.  All intermediates are
-        backend workspace scratch: a steady-state serving loop allocates
-        nothing per round.
+        exactly the regime micro-batching exists for.  The demap/accounting
+        intermediates are backend workspace scratch, so that path allocates
+        nothing per round in steady state; the per-frame control-plane
+        updates (σ² EWMA, monitor, ladder) are scalar work, and the batched
+        pilot noise estimate — only run when a session has
+        ``sigma2_alpha > 0`` — allocates a handful of ``(S, n)`` temporaries
+        per launch (measured: the full control plane still clears the
+        ≥1.5×-sequential bar in ``bench_micro``).
         """
         be = self.backend
         s_count = batch.occupancy
         n = batch.frames[0].n_symbols
         first = batch.sessions[0].hybrid.constellation
         k = first.bits_per_symbol
-        llrs3 = batched_maxlog_llrs(batch.requests, backend=be, key=key)
+        batch_start = self.telemetry.now
+        service_time = batch.n_symbols
+        llrs3, stacked_rx = batched_maxlog_llrs(
+            batch.requests, backend=be, key=key, with_received=True
+        )
         hat = be.workspace.scratch(key + "_hat", (s_count, n, k), dtype=np.bool_)
         np.greater(llrs3, 0.0, out=hat)
         idx = be.workspace.scratch(key + "_idx", (s_count, n), dtype=np.int64)
@@ -134,20 +176,28 @@ class ServingEngine:
         pilot_syms = pmask.sum(axis=1, dtype=np.int64)     # (S,)
         pilot_errs = np.where(pmask, err_sym, 0).sum(axis=1, dtype=np.int64)
         total_errs = err_sym.sum(axis=1, dtype=np.int64)
+        sigma2_est = None
+        if any(s.config.sigma2_alpha > 0.0 for s in batch.sessions):
+            # batched pilot noise estimation: the reference positions are the
+            # group's shared centroid set (row-local reductions — each row's
+            # estimate is independent of batch composition)
+            ref = be.workspace.scratch(key + "_ref", (s_count, n), dtype=np.complex128)
+            np.take(first.points, idx.reshape(-1), out=ref.reshape(-1))
+            sigma2_est = estimate_noise_sigma2_batch(ref, stacked_rx, pmask)
         for row, (session, frame) in enumerate(zip(batch.sessions, batch.frames)):
             n_pilot = int(pilot_syms[row])
             n_payload = n - n_pilot
             pe, te = int(pilot_errs[row]), int(total_errs[row])
             pilot_ber = pe / (n_pilot * k) if n_pilot else float("nan")
             payload_ber = (te - pe) / (n_payload * k) if n_payload else float("nan")
-            fired = session.monitor.observe(pilot_ber)
-            session.stats.record_frame(frame.seq, n, pilot_ber, fired)
-            if fired and session.retrain is not None:
-                job_rng = session.begin_retrain()
-                self.telemetry.retrains_completed += self.worker.submit(
-                    session, session.retrain, job_rng
-                )
-                self.telemetry.retrains_started += 1
+            fired, tier = self._control_plane(
+                session, frame,
+                pilot_ber,
+                sigma2_est[row] if sigma2_est is not None else None,
+            )
+            session.stats.record_frame(
+                frame.seq, n, pilot_ber, fired, tier=tier, sigma2=session.sigma2
+            )
             report = ServedFrame(
                 session_id=session.session_id,
                 seq=frame.seq,
@@ -155,31 +205,111 @@ class ServingEngine:
                 payload_ber=payload_ber,
                 fired=fired,
                 monitor_level=session.monitor.current_level,
+                tier=tier,
+                sigma2=session.sigma2,
+                queue_wait=batch_start - batch.enqueued_at[row],
+                service_time=service_time,
             )
+            self.telemetry.queue_wait.record(report.queue_wait)
+            self.telemetry.service_time.record(service_time)
             if self.on_frame is not None:
                 self.on_frame(session, frame, llrs3[row], report)
         self.telemetry.record_batch(batch.occupancy, batch.n_symbols)
+
+    def _control_plane(
+        self,
+        session: DemapperSession,
+        frame: ServingFrame,
+        pilot_ber: float,
+        sigma2_est: float | None,
+    ) -> tuple[bool, str | None]:
+        """Per-frame receiver-state updates: σ² loop, monitor, tier ladder.
+
+        Returns ``(fired, tier)``: whether the monitor fired on this frame,
+        and the adaptation tier chosen for the trigger (``"track"`` /
+        ``"retrain"``, or None when the trigger had no tier to respond
+        with).  Runs on the engine thread in the session's own frame order
+        — every update is a pure function of the session's traffic, which
+        is what the determinism suite pins.
+        """
+        # 1. in-loop σ²: fold this frame's pilot noise estimate in *before*
+        # the monitor response, so an escalation decision (the tracker's
+        # rigid-vs-warp residual test) sees the freshest noise floor.  The
+        # frame itself was demapped with the pre-update σ² — the estimate
+        # can only influence later frames, keeping the LLR timeline causal.
+        # (NaN = too few pilots for a gain-fit estimate: skip the update.)
+        if (
+            sigma2_est is not None
+            and session.config.sigma2_alpha > 0.0
+            and sigma2_est == sigma2_est
+        ):
+            session.observe_sigma2(sigma2_est)
+        # 2. degradation monitor + tiered response
+        fired = session.monitor.observe(pilot_ber)
+        if not fired:
+            monitor = session.monitor
+            if (
+                session.config.tracking
+                and monitor.window_fill >= monitor.window
+                and monitor.current_level <= monitor.threshold
+            ):
+                # a full healthy window: the last track worked — re-arm the
+                # ladder so the next degradation gets the cheap tier again
+                session.note_healthy_window()
+            return False, None
+        tier = session.plan_adaptation()
+        if tier == TIER_TRACK:
+            rigid_ok = session.apply_track(frame)
+            self.telemetry.tracks += 1
+            if not rigid_ok and session.retrain is not None:
+                tier = TIER_RETRAIN  # non-rigid warp: escalate immediately
+        if tier == TIER_RETRAIN:
+            job_rng = session.begin_retrain()
+            self.telemetry.retrains_completed += self.worker.submit(
+                session, session.retrain, job_rng
+            )
+            self.telemetry.retrains_started += 1
+        return True, tier
 
     def step(self) -> int:
         """One serving round; returns the number of frames served.
 
         Swaps land first, so a frame submitted after its session's retrain
-        completed is always demapped by the new centroids.
+        completed is always demapped by the new centroids.  The scheduler's
+        quotas are then served in waves of at most one frame per session;
+        a session pausing mid-round (trigger → retrain) simply drops out of
+        later waves with its frames still queued.
         """
         self.telemetry.retrains_completed += self.worker.poll()
-        batches = collect_microbatches(self.sessions, max_batch=self.max_batch)
-        for i, batch in enumerate(batches):
-            # per-position scratch keys: a round with several differently
-            # shaped groups must not thrash the shape-keyed workspace
-            self._serve_batch(batch, key=f"serve#{i}")
+        quotas = self.scheduler.allocate(self.sessions)
+        served = 0
+        wave = 0
+        while True:
+            pulls = []
+            for session in self.sessions:
+                if quotas.get(session.session_id, 0) > 0 and session.ready:
+                    frame, tick = session.pop()
+                    quotas[session.session_id] -= 1
+                    pulls.append((session, frame, tick))
+            if not pulls:
+                break
+            for i, batch in enumerate(coalesce(pulls, max_batch=self.max_batch)):
+                # per-(wave, position) scratch keys: rounds with several
+                # differently shaped groups must not thrash the shape-keyed
+                # workspace, and wave widths differ systematically
+                self._serve_batch(batch, key=f"serve#{wave}#{i}")
+            served += len(pulls)
+            wave += 1
         self.telemetry.rounds += 1
-        return sum(b.occupancy for b in batches)
+        return served
 
     def drain(self) -> int:
         """Serve until every queue is empty and no retrain is in flight.
 
         Returns the total frames served.  When nothing is servable but
         retrains are pending, blocks for their swaps instead of spinning.
+        A round may serve zero frames while a fractional-weight session
+        accrues scheduler credit — that still counts as progress.
         """
         total = 0
         while True:
@@ -190,6 +320,8 @@ class ServingEngine:
             if self.worker.pending:
                 self.telemetry.retrains_completed += self.worker.wait_all()
                 continue
+            if any(s.ready for s in self.sessions):
+                continue  # scheduler credit accruing (weight < 1): not stuck
             if any(s.pending for s in self.sessions):
                 # queued frames but no ready session and no in-flight job:
                 # only possible for a retrain-less session stuck mid-state —

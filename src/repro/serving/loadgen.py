@@ -161,6 +161,7 @@ def build_fleet(
     *,
     monitor_factory: Callable[[], DegradationMonitor],
     config: SessionConfig | None = None,
+    config_factory: Callable[[int], SessionConfig] | None = None,
     retrain_factory: Callable[[int], Callable | None] | None = None,
     seed: int = 0,
     prefix: str = "s",
@@ -172,6 +173,10 @@ def build_fleet(
     retrains onto its own centroids.  Each session gets its own monitor
     (``monitor_factory()``), its own spawned retrain generator, and —
     optionally — its own retrain policy via ``retrain_factory(i)``.
+
+    ``config_factory(i)`` builds a per-session config (heterogeneous QoS
+    weights, σ²-loop and tracking knobs); it overrides ``config``, which
+    applies one config to the whole fleet.
     """
     if n_sessions < 1:
         raise ValueError("n_sessions must be >= 1")
@@ -180,13 +185,14 @@ def build_fleet(
     for i in range(n_sessions):
         (session_rng,) = master.spawn(1)
         retrain = retrain_factory(i) if retrain_factory is not None else None
+        session_config = config_factory(i) if config_factory is not None else config
         sessions.append(
             engine.add_session(
                 DemapperSession(
                     f"{prefix}{i:03d}",
                     hybrid,
                     monitor_factory(),
-                    config=config,
+                    config=session_config,
                     retrain=retrain,
                     rng=session_rng,
                 )
@@ -230,6 +236,10 @@ def run_load(
             s.pending for s in engine.sessions
         ):
             return engine.telemetry
+        if any(s.ready for s in engine.sessions):
+            # a zero-served round while a fractional-weight session accrues
+            # scheduler credit is still progress — keep pumping rounds
+            continue
         # Nothing served, nothing in flight, frames remain: a session is
         # stuck outside SERVING with no job to wait for — fail loudly.
         raise RuntimeError("load generator stalled: frames pending but nothing servable")

@@ -1,0 +1,93 @@
+"""QoS-weighted frame scheduling: deficit round robin over session queues.
+
+The PR-3 engine pulled exactly one head frame per ready session per round —
+fair, but blind to QoS: a session with a deep queue and a latency budget
+could not trade occupancy for latency, and a best-effort session could not
+be deprioritised.  This module replaces that fixed pull with classic
+*deficit round robin* (Shreedhar & Varghese) at frame granularity:
+
+* every round, each **backlogged** session accrues ``quantum × weight``
+  credit (``SessionConfig.weight``, default 1.0);
+* a session may serve as many whole frames as it has credit (so a weight-3
+  session pulls up to 3 frames per round from a deep queue, a weight-½
+  session serves every other round);
+* leftover credit carries to the next round **only while backlogged** — an
+  idle or paused (RETRAINING) session forfeits its credit, the standard DRR
+  rule that prevents a returning session from bursting stale credit.
+
+Determinism: credit is a pure function of the (seed-determined) sequence of
+queue states and the configured weights — no clocks, no randomness — so
+per-session serving order, and therefore every per-session output timeline,
+is reproducible bit-for-bit.  With all weights at 1 and non-empty queues the
+schedule degenerates to exactly the old one-frame-per-session round robin.
+
+The scheduler only *allocates* quotas; the engine pops frames lazily in
+serving waves (one frame per session per wave) so that a session pausing
+mid-round — a monitor trigger escalating to retrain — never has a frame
+popped that cannot be served.  Quota charged for frames a pause left
+unserved is forfeited with the rest of the session's credit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serving.session import DemapperSession
+
+__all__ = ["DeficitRoundRobin"]
+
+
+class DeficitRoundRobin:
+    """Per-session credit accounting for QoS-weighted frame pulls.
+
+    Parameters
+    ----------
+    quantum:
+        Credit (in frames) a weight-1.0 backlogged session accrues per
+        round.  The default of 1.0 preserves the historical
+        one-frame-per-session-per-round pacing for uniform fleets.
+    """
+
+    def __init__(self, quantum: float = 1.0):
+        if not quantum > 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = float(quantum)
+        self._credit: dict[str, float] = {}
+
+    def allocate(self, sessions: Sequence[DemapperSession]) -> dict[str, int]:
+        """Accrue one round of credit and return this round's frame quotas.
+
+        Returns ``{session_id: frames}`` for sessions that may serve at
+        least one frame this round.  Sessions that are not ready (paused or
+        empty-queued) are treated as non-backlogged: their stored credit is
+        dropped.  A backlogged session whose credit is still below one
+        frame (weight < 1) keeps its fractional credit for next round.
+        """
+        quotas: dict[str, int] = {}
+        for session in sessions:
+            if not session.ready:
+                # non-backlogged: forfeit credit (standard DRR, bounds bursts)
+                self._credit.pop(session.session_id, None)
+                continue
+            credit = self._credit.get(session.session_id, 0.0)
+            credit += self.quantum * session.config.weight
+            take = min(int(credit), session.pending)
+            if take:
+                quotas[session.session_id] = take
+                credit -= take
+            # queue emptied by this allocation => non-backlogged next round
+            self._credit[session.session_id] = credit if session.pending > take else 0.0
+        return quotas
+
+    def forget(self, session_id: str) -> None:
+        """Drop a session's credit unconditionally.
+
+        The hook for engine-level session removal (a ROADMAP rung — the
+        engine has no ``remove_session`` yet); until then ``allocate``
+        already drops credit for any session that stops being ready.
+        """
+        self._credit.pop(session_id, None)
+
+    def credit(self, session_id: str) -> float:
+        """Current stored credit (0.0 for unknown sessions) — telemetry."""
+        return self._credit.get(session_id, 0.0)

@@ -9,19 +9,39 @@ from the session's *bounded* queue — a full queue pushes back on the
 producer instead of growing without bound — and coalesces frames across
 sessions into micro-batches.
 
+The control plane adds three per-session behaviours, all off by default:
+
+* **in-loop σ² tracking** (``sigma2_alpha > 0``): each served frame's
+  pilot-residual noise estimate (:func:`repro.link.estimation.
+  estimate_noise_sigma2`) is EWMA-folded into the session's σ², so LLR
+  scaling follows a drifting SNR without touching the demapper;
+* **tiered adaptation** (``tracking=True``): a monitor trigger is first
+  answered by the cheap rigid tier (:class:`~repro.extraction.tracking.
+  CentroidTracker` — the same update as ``AdaptiveReceiver(tracking=True)``),
+  escalating to retrain+re-extract only when the tracker reports a
+  non-rigid warp or degradation persists past the
+  :class:`~repro.extraction.monitor.AdaptationLadder`'s track budget;
+* **QoS weight** (``weight``): the session's share in the engine's
+  deficit-round-robin scheduler (:mod:`repro.serving.scheduler`).
+
 State machine::
 
     SERVING ──monitor fires──▶ RETRAINING ──swap installed──▶ SERVING
+       └──────── tracking tier: rigid update, stays SERVING ──────┘
 
 While RETRAINING the session's frames stay queued (they are *not* demapped
 by the stale centroids), so every frame after a trigger deterministically
 sees the retrained demapper — that is what makes the per-session output
 timeline independent of how fast the background worker happens to run.
 Other sessions keep being served in the meantime; nothing stalls globally.
+A tracking-tier response swaps the rigidly-updated centroids in place on
+the engine thread — the session never leaves SERVING and the very next
+frame sees the tracked centroids.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from dataclasses import dataclass
@@ -30,7 +50,14 @@ from typing import Callable
 import numpy as np
 
 from repro.extraction.hybrid import HybridDemapper
-from repro.extraction.monitor import DegradationMonitor, MonitorState
+from repro.extraction.monitor import (
+    TIER_RETRAIN,
+    TIER_TRACK,
+    AdaptationLadder,
+    DegradationMonitor,
+    MonitorState,
+)
+from repro.extraction.tracking import CentroidTracker
 from repro.link.frames import FrameConfig
 from repro.serving.telemetry import SessionStats
 from repro.utils.rng import as_generator
@@ -41,6 +68,10 @@ __all__ = ["SERVING", "RETRAINING", "SessionConfig", "ServingFrame", "DemapperSe
 SERVING = "serving"
 RETRAINING = "retraining"
 
+#: Floor for in-loop σ² updates: a zero-noise pilot block must not poison
+#: the estimate with an (invalid) non-positive variance.
+_SIGMA2_FLOOR = 1e-12
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -49,14 +80,52 @@ class SessionConfig:
     ``queue_depth`` bounds the frame queue (backpressure: ``submit`` returns
     False when full); ``frame`` records the session's pilot/payload geometry
     for producers that build traffic from it.
+
+    Control-plane knobs (all default to the PR-3 behaviour):
+
+    ``weight``
+        QoS share in the engine's deficit-round-robin scheduler.  A
+        weight-3 session may pull up to 3 frames per round from a deep
+        queue; a weight-0.5 session serves every other round.  Floor 0.01
+        (one frame per 100 rounds at quantum 1): a backlogged session must
+        make progress on a timescale the engine's drain loop can live with.
+    ``sigma2_alpha``
+        EWMA weight of the in-loop pilot noise estimate
+        (``σ² ← (1-α)·σ² + α·σ̂²`` per served frame).  0 disables in-loop
+        σ² tracking.
+    ``tracking``
+        Enable the tiered adaptation ladder: monitor triggers are answered
+        with a rigid centroid update first, retraining only on escalation.
+    ``track_attempts``
+        Consecutive tracking responses allowed before a persisting
+        degradation escalates to retrain (see
+        :class:`~repro.extraction.monitor.AdaptationLadder`).
+    ``track_residual``
+        Residual threshold of the rigid fit (forwarded to
+        :class:`~repro.extraction.tracking.CentroidTracker`): relative
+        excess over the 2σ²N noise floor above which the impairment is
+        declared non-rigid and the trigger escalates immediately.
     """
 
     frame: FrameConfig = FrameConfig()
     queue_depth: int = 8
+    weight: float = 1.0
+    sigma2_alpha: float = 0.0
+    tracking: bool = False
+    track_attempts: int = 1
+    track_residual: float = 0.35
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if not (math.isfinite(self.weight) and self.weight >= 0.01):
+            raise ValueError("weight must be finite and >= 0.01")
+        if not 0.0 <= self.sigma2_alpha <= 1.0:
+            raise ValueError("sigma2_alpha must be in [0, 1]")
+        if self.track_attempts < 0:
+            raise ValueError("track_attempts must be >= 0")
+        if self.track_residual <= 0:
+            raise ValueError("track_residual must be positive")
 
 
 @dataclass(frozen=True)
@@ -95,12 +164,14 @@ class DemapperSession:
     monitor:
         Degradation monitor fed with each frame's pilot BER.
     config:
-        Queue/frame geometry (default :class:`SessionConfig`).
+        Queue/frame geometry and control-plane knobs (default
+        :class:`SessionConfig`).
     retrain:
         Optional retrain policy ``rng -> HybridDemapper``: invoked on a
         background worker when the monitor fires; the returned demapper is
         atomically swapped in.  ``None`` means triggers are recorded but the
-        session keeps serving with its current centroids.
+        session keeps serving with its current centroids (the tracking tier,
+        if enabled, still applies).
     sigma2:
         The session's own noise-variance estimate (defaults to the hybrid's).
         Kept separate from the demapper so a σ² update never requires a
@@ -132,10 +203,11 @@ class DemapperSession:
             raise ValueError("sigma2 must be positive")
         self._retrain_rng = as_generator(rng)
         self._hybrid = hybrid
-        self._queue: deque[ServingFrame] = deque()
+        self._queue: deque[tuple[ServingFrame, int]] = deque()
         self._lock = threading.Lock()
         self.state = SERVING
         self.stats = SessionStats()
+        self.ladder = AdaptationLadder(track_attempts=self.config.track_attempts)
 
     # -- demapper access / atomic swap --------------------------------------
     @property
@@ -148,11 +220,14 @@ class DemapperSession:
 
         Called by the swap worker; the lock orders it against a concurrent
         ``install``/``update_sigma2`` and the monitor reset is idempotent,
-        so double-installation is safe (last writer wins).
+        so double-installation is safe (last writer wins).  A completed
+        retrain also re-arms the adaptation ladder: the next degradation
+        starts at the cheap tracking tier again.
         """
         with self._lock:
             self._hybrid = hybrid
             self.monitor.reset()
+            self.ladder.reset()
             self.state = SERVING
             self.stats.retrains += 1
 
@@ -163,6 +238,72 @@ class DemapperSession:
         with self._lock:
             self.sigma2 = float(sigma2)
 
+    def observe_sigma2(self, estimate: float) -> float:
+        """EWMA-fold one pilot noise estimate into the session's σ².
+
+        ``σ² ← (1-α)·σ² + α·max(σ̂², floor)`` with ``α =
+        config.sigma2_alpha``; returns the updated value.  Called by the
+        engine once per served frame, in frame order, so the σ² trajectory
+        is a pure function of the session's own traffic — independent of
+        batching, scheduling and worker count.  A no-op when α = 0.
+        """
+        alpha = self.config.sigma2_alpha
+        if alpha <= 0.0:
+            return self.sigma2
+        estimate = max(float(estimate), _SIGMA2_FLOOR)
+        with self._lock:
+            self.sigma2 = (1.0 - alpha) * self.sigma2 + alpha * estimate
+            return self.sigma2
+
+    # -- tiered adaptation ----------------------------------------------------
+    def plan_adaptation(self) -> str | None:
+        """Pick this trigger's tier: track, retrain, or nothing.
+
+        Tracking first while the ladder has attempts left (always, when no
+        retrain policy exists to escalate to); retrain when the budget is
+        exhausted; None when neither tier is available (trigger recorded
+        only — the PR-3 behaviour).
+        """
+        if self.config.tracking and (self.retrain is None or self.ladder.wants_track()):
+            return TIER_TRACK
+        return TIER_RETRAIN if self.retrain is not None else None
+
+    def apply_track(self, frame: ServingFrame) -> bool:
+        """Tracking-tier response: rigid centroid update from this frame's
+        pilots, swapped in under the session lock.
+
+        Returns the tracker's verdict — True if the rigid model explains
+        the pilots at the session's *live* σ² (the updated centroids are
+        installed either way; a rigid fit never hurts, and the caller
+        escalates when it was insufficient).  The monitor is reset so the
+        next window measures the tracked centroids — a tracking trigger
+        must not consume the retrain cooldown.
+        """
+        mask = np.asarray(frame.pilot_mask, dtype=bool)
+        tracker = CentroidTracker(
+            self._hybrid, residual_threshold=self.config.track_residual
+        )
+        rigid_ok = tracker.update(
+            np.asarray(frame.indices)[mask],
+            np.asarray(frame.received)[mask],
+            sigma2=self.sigma2,
+        )
+        with self._lock:
+            self._hybrid = tracker.current
+            self.monitor.reset()
+            self.stats.tracks += 1
+        self.ladder.note_track()
+        return rigid_ok
+
+    def note_healthy_window(self) -> None:
+        """Engine-side report of a full monitor window below threshold.
+
+        Re-arms the adaptation ladder: the last tracking response
+        demonstrably worked, so the next degradation event gets the cheap
+        tier again instead of escalating.
+        """
+        self.ladder.note_recovered()
+
     def begin_retrain(self) -> np.random.Generator:
         """Enter RETRAINING and mint the job's deterministic generator."""
         self.state = RETRAINING
@@ -170,12 +311,17 @@ class DemapperSession:
         return job_rng
 
     # -- frame queue ---------------------------------------------------------
-    def submit(self, frame: ServingFrame) -> bool:
-        """Enqueue one frame; returns False (and counts a drop) when full."""
+    def submit(self, frame: ServingFrame, *, now: int = 0) -> bool:
+        """Enqueue one frame; returns False (and counts a drop) when full.
+
+        ``now`` is the submission timestamp in engine simulated-clock ticks
+        (the engine stamps it; direct callers may leave the default, which
+        simply dates the frame from clock zero).
+        """
         if len(self._queue) >= self.config.queue_depth:
             self.stats.rejects += 1
             return False
-        self._queue.append(frame)
+        self._queue.append((frame, int(now)))
         return True
 
     @property
@@ -188,8 +334,8 @@ class DemapperSession:
         """True when the engine may serve this session's head frame."""
         return self.state == SERVING and bool(self._queue)
 
-    def pop(self) -> ServingFrame:
-        """Dequeue the head frame (engine-side; caller checked ``ready``)."""
+    def pop(self) -> tuple[ServingFrame, int]:
+        """Dequeue ``(head frame, enqueue tick)`` (caller checked ``ready``)."""
         return self._queue.popleft()
 
     # -- telemetry -----------------------------------------------------------

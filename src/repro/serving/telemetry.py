@@ -2,9 +2,21 @@
 
 The serving engine is the first subsystem where throughput and the paper's
 adaptation loop meet, so its telemetry spans both worlds: per-session link
-quality (pilot-BER trajectory, retrain events — the §II-C monitoring story)
-and engine-level efficiency (frames/symbols served, micro-batch occupancy —
-whether cross-session coalescing is actually filling the fused kernels).
+quality (pilot-BER trajectory, σ² trajectory, adaptation-tier timeline —
+the §II-C monitoring story) and engine-level efficiency (frames/symbols
+served, micro-batch occupancy, queue-wait / service-time latency
+histograms — whether cross-session coalescing is actually filling the
+fused kernels, and what the tail looks like while it does).
+
+**Simulated clock.**  Latency is measured in *symbol ticks*: the engine's
+clock is the cumulative number of symbols it has served (the work-conserving
+clock of a fixed-rate hardware demapper).  A frame's ``queue_wait`` is the
+symbols the engine served between the frame's submission and the start of
+its batch; its ``service_time`` is the symbols of the launch that carried it
+(a frame riding a wide coalesced batch completes with its whole batch).
+Both are pure functions of the seeded traffic, the weights and the batch
+composition — histograms are reproducible run to run, which is what makes
+them assertable in tests and comparable across benchmark commits.
 
 Everything here is plain counters updated from the engine thread; snapshots
 are cheap dict copies safe to hand to logging/benchmark code.
@@ -14,12 +26,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ServedFrame", "SessionStats", "EngineStats"]
+__all__ = ["ServedFrame", "SessionStats", "EngineStats", "LatencyHistogram"]
 
 
 @dataclass(frozen=True)
 class ServedFrame:
-    """Per-frame serving report (the serving analogue of ``FrameReport``)."""
+    """Per-frame serving report (the serving analogue of ``FrameReport``).
+
+    ``tier`` is the adaptation tier the frame's monitor trigger escalated
+    to (``"track"``/``"retrain"``), or None when nothing fired; ``sigma2``
+    is the session's noise estimate *after* this frame's in-loop pilot
+    update.  ``queue_wait``/``service_time`` are simulated-clock symbol
+    ticks (see the module docstring).
+    """
 
     session_id: str
     seq: int
@@ -27,33 +46,122 @@ class ServedFrame:
     payload_ber: float
     fired: bool          #: monitor trigger on this frame
     monitor_level: float
+    tier: str | None = None
+    sigma2: float = float("nan")
+    queue_wait: int = 0
+    service_time: int = 0
+
+
+class LatencyHistogram:
+    """Power-of-two bucketed histogram of simulated-clock tick counts.
+
+    Bucket ``b`` counts observations in ``[2^(b-1), 2^b)`` (bucket 0 counts
+    exact zeros), so a histogram over millions of frames stays a handful of
+    integers while preserving the shape of the tail.  Exact mean and count
+    are tracked alongside; :meth:`quantile` returns the conservative upper
+    bound of the bucket containing the requested rank.
+    """
+
+    __slots__ = ("_buckets", "count", "total")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def record(self, ticks: int) -> None:
+        if ticks < 0:
+            raise ValueError("ticks must be >= 0")
+        b = int(ticks).bit_length()
+        self._buckets[b] = self._buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += int(ticks)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of recorded ticks (NaN while empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket holding the ``q``-quantile observation.
+
+        Conservative (never under-reports): the true quantile lies at or
+        below the returned tick count.  Returns 0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0
+        rank = q * self.count
+        seen = 0
+        for b in sorted(self._buckets):
+            seen += self._buckets[b]
+            if seen >= rank:
+                return (1 << b) - 1 if b else 0
+        return (1 << max(self._buckets)) - 1  # pragma: no cover — q=1 hits above
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy: count, total, mean, p50/p99, bucket upper bounds."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                ((1 << b) - 1 if b else 0): self._buckets[b]
+                for b in sorted(self._buckets)
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LatencyHistogram(count={self.count}, mean={self.mean:.1f})"
 
 
 @dataclass
 class SessionStats:
     """Lifetime counters of one session.
 
-    ``pilot_ber_trajectory`` holds one entry per served frame in frame
-    order — together with ``trigger_seqs`` it is the session's adaptation
-    timeline (the determinism tests assert it is invariant to batching,
-    queue depth and worker count).
+    ``pilot_ber_trajectory`` and ``sigma2_trajectory`` hold one entry per
+    served frame in frame order — together with ``trigger_seqs`` and
+    ``tier_timeline`` they are the session's adaptation timeline (the
+    determinism tests assert all four are invariant to batching, queue
+    depth, worker count and scheduler weights).
     """
 
     frames_served: int = 0
     symbols_served: int = 0
     retrains: int = 0
+    #: rigid centroid-tracking updates applied (the cheap adaptation tier)
+    tracks: int = 0
     #: submissions rejected by backpressure (queue full); producers may
     #: retry, so this counts *rejection events*, not lost frames
     rejects: int = 0
     trigger_seqs: list[int] = field(default_factory=list)
+    #: ``(seq, tier)`` per trigger that got an adaptation response
+    tier_timeline: list[tuple[int, str]] = field(default_factory=list)
     pilot_ber_trajectory: list[float] = field(default_factory=list)
+    #: session σ² estimate after each served frame's in-loop pilot update
+    sigma2_trajectory: list[float] = field(default_factory=list)
 
-    def record_frame(self, seq: int, n_symbols: int, pilot_ber: float, fired: bool) -> None:
+    def record_frame(
+        self,
+        seq: int,
+        n_symbols: int,
+        pilot_ber: float,
+        fired: bool,
+        *,
+        tier: str | None = None,
+        sigma2: float = float("nan"),
+    ) -> None:
         self.frames_served += 1
         self.symbols_served += n_symbols
         self.pilot_ber_trajectory.append(pilot_ber)
+        self.sigma2_trajectory.append(sigma2)
         if fired:
             self.trigger_seqs.append(seq)
+        if tier is not None:
+            self.tier_timeline.append((seq, tier))
 
     def snapshot(self) -> dict:
         """Plain-dict copy (lists copied) for logging/JSON."""
@@ -61,9 +169,12 @@ class SessionStats:
             "frames_served": self.frames_served,
             "symbols_served": self.symbols_served,
             "retrains": self.retrains,
+            "tracks": self.tracks,
             "rejects": self.rejects,
             "trigger_seqs": list(self.trigger_seqs),
+            "tier_timeline": list(self.tier_timeline),
             "pilot_ber_trajectory": list(self.pilot_ber_trajectory),
+            "sigma2_trajectory": list(self.sigma2_trajectory),
         }
 
 
@@ -75,6 +186,9 @@ class EngineStats:
     launch) to how many launches had that size — the histogram that tells
     whether cross-session batching is working (all-ones means every launch
     served a single session and the multi-sigma kernel bought nothing).
+    ``queue_wait``/``service_time`` are per-frame latency histograms in
+    simulated symbol ticks; ``symbols_served`` doubles as the simulated
+    clock (see the module docstring).
     """
 
     rounds: int = 0
@@ -83,7 +197,16 @@ class EngineStats:
     symbols_served: int = 0
     retrains_started: int = 0
     retrains_completed: int = 0
+    #: tracking-tier responses applied across the fleet
+    tracks: int = 0
     occupancy: dict[int, int] = field(default_factory=dict)
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service_time: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def now(self) -> int:
+        """The simulated clock: total symbol ticks served so far."""
+        return self.symbols_served
 
     def record_batch(self, n_frames: int, n_symbols: int) -> None:
         self.batches += 1
@@ -105,6 +228,9 @@ class EngineStats:
             "symbols_served": self.symbols_served,
             "retrains_started": self.retrains_started,
             "retrains_completed": self.retrains_completed,
+            "tracks": self.tracks,
             "mean_occupancy": self.mean_occupancy,
             "occupancy": {k: self.occupancy[k] for k in sorted(self.occupancy)},
+            "queue_wait": self.queue_wait.snapshot(),
+            "service_time": self.service_time.snapshot(),
         }

@@ -1,10 +1,14 @@
 """Background retrain/re-extract worker with atomic demapper swaps.
 
-Paper §II-C: when the monitor fires, the demapper ANN is retrained on
-pilots over the live channel and the centroids re-extracted.  In a serving
-runtime that work must not stall the other sessions, so it runs on a small
-thread pool; the triggering session alone pauses (its frames stay queued)
-until :meth:`RetrainWorker.poll` installs the finished demapper via
+Paper §II-C: when degradation calls for it, the demapper ANN is retrained
+on pilots over the live channel and the centroids re-extracted.  Under the
+tiered control plane this is the *last* rung — the engine only enqueues a
+job here when the cheap rigid tracking tier was insufficient (non-rigid
+warp, or degradation persisting past the ladder's track budget), or
+immediately when tracking is disabled.  In a serving runtime that work
+must not stall the other sessions, so it runs on a small thread pool; the
+triggering session alone pauses (its frames stay queued) until
+:meth:`RetrainWorker.poll` installs the finished demapper via
 ``session.install`` — an atomic swap under the session lock.
 
 Determinism: the job's generator is spawned by the *engine thread* at

@@ -5,7 +5,12 @@ import pytest
 
 from repro.channels import AWGNChannel
 from repro.extraction import EccFlipMonitor, HybridDemapper, PilotBERMonitor
-from repro.extraction.monitor import DegradationMonitor
+from repro.extraction.monitor import (
+    TIER_RETRAIN,
+    TIER_TRACK,
+    AdaptationLadder,
+    DegradationMonitor,
+)
 from repro.modulation import Mapper, random_indices
 
 
@@ -197,6 +202,64 @@ class TestDegradationMonitor:
         )
         assert m.triggers == 1  # lifetime counter survives resets
         assert m.state().armed
+
+    def test_tracking_reset_does_not_consume_retrain_cooldown(self):
+        """Tiered escalation: a tracking-tier response resets the monitor
+        (double reset is a no-op), leaving it fully armed — so a persisting
+        degradation can re-fire after one window and escalate to retrain
+        without first waiting out the post-trigger cooldown."""
+        m = DegradationMonitor(0.1, window=2, cooldown=6)
+        assert not m.observe(0.5)
+        assert m.observe(0.5)          # trigger: cooldown would start here
+        assert m.state().cooldown_left == 6
+        m.reset()                      # tracking tier answered the trigger
+        m.reset()                      # idempotent: swap path may reset again
+        st = m.state()
+        assert st.armed and st.cooldown_left == 0 and st.window_fill == 0
+        # degradation persists: re-fires as soon as the window refills,
+        # 2 observations later instead of 6 cooldown + 2 window
+        assert not m.observe(0.5)
+        assert m.observe(0.5)
+        assert m.triggers == 2
+
+    def test_window_fill_property(self):
+        m = DegradationMonitor(0.1, window=3)
+        assert m.window_fill == 0
+        m.observe(0.05)
+        m.observe(0.05)
+        assert m.window_fill == 2 == m.state().window_fill
+
+
+class TestAdaptationLadder:
+    def test_tracks_then_escalates(self):
+        ladder = AdaptationLadder(track_attempts=2)
+        assert ladder.wants_track()
+        ladder.note_track()
+        assert ladder.wants_track()
+        ladder.note_track()
+        assert not ladder.wants_track()  # budget spent: next tier is retrain
+        assert ladder.track_streak == 2
+
+    def test_recovery_rearms(self):
+        ladder = AdaptationLadder(track_attempts=1)
+        ladder.note_track()
+        assert not ladder.wants_track()
+        ladder.note_recovered()  # a full healthy window: tracking worked
+        assert ladder.wants_track()
+
+    def test_reset_rearms_after_retrain(self):
+        ladder = AdaptationLadder(track_attempts=1)
+        ladder.note_track()
+        ladder.reset()
+        assert ladder.wants_track() and ladder.track_streak == 0
+
+    def test_zero_attempts_always_retrains(self):
+        assert not AdaptationLadder(track_attempts=0).wants_track()
+
+    def test_validation_and_tier_names(self):
+        with pytest.raises(ValueError):
+            AdaptationLadder(track_attempts=-1)
+        assert TIER_TRACK == "track" and TIER_RETRAIN == "retrain"
 
 
 class TestPilotBERMonitor:

@@ -5,7 +5,12 @@ import pytest
 
 from repro.channels import AWGNChannel, CompositeChannel, IQImbalanceChannel, PhaseOffsetChannel
 from repro.extraction import CentroidTracker, HybridDemapper
-from repro.link import PhaseSyncReceiver, estimate_complex_gain, estimate_phase
+from repro.link import (
+    PhaseSyncReceiver,
+    estimate_complex_gain,
+    estimate_noise_sigma2,
+    estimate_phase,
+)
 from repro.modulation import Mapper, qam_constellation, random_indices
 
 
@@ -29,6 +34,39 @@ class TestEstimators:
             estimate_phase(np.ones(2, complex), np.ones(3, complex))
         with pytest.raises(ValueError):
             estimate_complex_gain(np.zeros(4, complex), np.ones(4, complex))
+        with pytest.raises(ValueError):
+            estimate_noise_sigma2(np.ones(2, complex), np.ones(3, complex))
+        with pytest.raises(ValueError):
+            estimate_noise_sigma2(np.empty(0, complex), np.empty(0, complex))
+
+
+class TestNoiseEstimator:
+    def test_unbiased_on_awgn(self, rng):
+        sigma2 = 0.04
+        x = rng.normal(size=8192) + 1j * rng.normal(size=8192)
+        n = np.sqrt(sigma2) * (rng.normal(size=8192) + 1j * rng.normal(size=8192))
+        assert abs(estimate_noise_sigma2(x, x + n) - sigma2) < 0.1 * sigma2
+
+    def test_gain_fit_makes_estimate_rotation_invariant(self, rng):
+        """A rigid channel motion must not masquerade as a noise jump."""
+        sigma2 = 0.02
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        n = np.sqrt(sigma2) * (rng.normal(size=4096) + 1j * rng.normal(size=4096))
+        y = x + n
+        rotated = np.exp(1j * 0.7) * y
+        assert np.isclose(estimate_noise_sigma2(x, rotated), estimate_noise_sigma2(x, y))
+        # without the fit the rotation energy lands in the "noise" estimate
+        assert estimate_noise_sigma2(x, rotated, fit_gain=False) > 10 * sigma2
+
+    def test_single_pilot_falls_back_to_direct_residual(self):
+        x = np.array([1.0 + 0.0j])
+        y = np.array([1.2 + 0.0j])
+        # no gain DOF to remove: residual |y-x|^2 / 2
+        assert np.isclose(estimate_noise_sigma2(x, y), 0.04 / 2)
+
+    def test_noiseless_pilots_estimate_zero(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        assert estimate_noise_sigma2(x, 0.9 * np.exp(1j * 0.3) * x) < 1e-20
 
 
 class TestPhaseSyncReceiver:
@@ -128,6 +166,19 @@ class TestCentroidTracker:
         pilots = random_indices(rng, 1024, 16)
         rigid_ok = tracker.update(pilots, ch(const.points[pilots]))
         assert not rigid_ok  # escalate to retraining
+
+    def test_live_sigma2_override_rescales_noise_floor(self, tracked, rng):
+        """An SNR drop must not read as constellation warp when the caller
+        supplies its live σ² estimate (the serving control plane does)."""
+        tracker, const, _ = tracked
+        noisy = AWGNChannel(0.0, 4, rng=rng)  # way below the stored 8 dB σ²
+        pilots = random_indices(rng, 512, 16)
+        received = noisy(const.points[pilots])
+        assert not tracker.update(pilots, received)  # stale floor: "warp"
+        live = AWGNChannel(0.0, 4).sigma2
+        assert tracker.update(pilots, received, sigma2=live)  # honest noise
+        with pytest.raises(ValueError):
+            tracker.update(pilots, received, sigma2=0.0)
 
     def test_validation(self, tracked, rng):
         tracker, const, _ = tracked

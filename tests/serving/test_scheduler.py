@@ -1,0 +1,159 @@
+"""Deficit-round-robin scheduling: QoS weights, credit accounting, engine waves."""
+
+import numpy as np
+import pytest
+
+from repro.channels import sigma2_from_snr
+from repro.extraction import HybridDemapper
+from repro.extraction.monitor import DegradationMonitor
+from repro.link.frames import FrameConfig, build_frame
+from repro.modulation import qam_constellation
+from repro.serving import (
+    DeficitRoundRobin,
+    DemapperSession,
+    ServingEngine,
+    ServingFrame,
+    SessionConfig,
+)
+
+SIGMA2 = sigma2_from_snr(8.0, 4)
+
+
+def make_frame(seq, order=16, n=32, rng=None):
+    rng = np.random.default_rng(seq if rng is None else rng)
+    f = build_frame(FrameConfig(pilot_symbols=8, payload_symbols=n - 8), order, rng)
+    y = rng.normal(size=n) + 1j * rng.normal(size=n)
+    return ServingFrame(seq=seq, indices=f.indices, pilot_mask=f.pilot_mask, received=y)
+
+
+def make_session(sid="s0", *, weight=1.0, queue_depth=16, const=None):
+    const = const if const is not None else qam_constellation(16)
+    return DemapperSession(
+        sid,
+        HybridDemapper(constellation=const, sigma2=SIGMA2),
+        DegradationMonitor(0.9, window=64),  # effectively never fires
+        config=SessionConfig(queue_depth=queue_depth, weight=weight),
+        rng=0,
+    )
+
+
+def fill(session, n_frames, start=0):
+    for seq in range(start, start + n_frames):
+        assert session.submit(make_frame(seq))
+
+
+class TestDeficitRoundRobin:
+    def test_uniform_weights_degenerate_to_round_robin(self):
+        drr = DeficitRoundRobin()
+        sessions = [make_session(f"s{i}") for i in range(3)]
+        for s in sessions:
+            fill(s, 2)
+        assert drr.allocate(sessions) == {"s0": 1, "s1": 1, "s2": 1}
+        assert drr.allocate(sessions) == {"s0": 1, "s1": 1, "s2": 1}
+
+    def test_heavy_session_takes_multiple_frames(self):
+        drr = DeficitRoundRobin()
+        heavy, light = make_session("h", weight=3.0), make_session("l")
+        fill(heavy, 9)
+        fill(light, 9)
+        assert drr.allocate([heavy, light]) == {"h": 3, "l": 1}
+
+    def test_fractional_weight_serves_every_other_round(self):
+        drr = DeficitRoundRobin()
+        s = make_session("s", weight=0.5)
+        fill(s, 4)
+        quotas = [drr.allocate([s]).get("s", 0) for _ in range(4)]
+        # credit 0.5 -> 0 frames, 1.0 -> 1 frame, repeat
+        assert quotas == [0, 1, 0, 1]
+
+    def test_quota_capped_by_pending(self):
+        drr = DeficitRoundRobin()
+        s = make_session("s", weight=5.0)
+        fill(s, 2)
+        assert drr.allocate([s]) == {"s": 2}
+        # queue emptied by the allocation: surplus credit is forfeited
+        assert drr.credit("s") == 0.0
+
+    def test_idle_session_forfeits_credit(self):
+        drr = DeficitRoundRobin()
+        s = make_session("s", weight=0.5)
+        fill(s, 1)
+        assert drr.allocate([s]) == {}  # 0.5 credit carried while backlogged
+        assert drr.credit("s") == 0.5
+        s.pop()  # queue empties outside the scheduler
+        assert drr.allocate([s]) == {}  # not ready: credit dropped
+        assert drr.credit("s") == 0.0
+        fill(s, 4, start=1)
+        # back to backlogged: accrual restarts from zero — no stale burst
+        assert drr.allocate([s]) == {}
+        assert drr.allocate([s]) == {"s": 1}
+
+    def test_retraining_session_accrues_nothing(self):
+        drr = DeficitRoundRobin()
+        s = make_session("s", weight=2.0)
+        fill(s, 4)
+        assert drr.allocate([s]) == {"s": 2}
+        s.begin_retrain()
+        assert drr.allocate([s]) == {}  # paused: not backlogged
+        assert drr.credit("s") == 0.0
+
+    def test_forget_drops_credit(self):
+        drr = DeficitRoundRobin()
+        s = make_session("s", weight=0.5)
+        fill(s, 1)
+        drr.allocate([s])
+        drr.forget("s")
+        assert drr.credit("s") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(quantum=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(weight=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(weight=float("inf"))
+        with pytest.raises(ValueError):
+            # below the documented floor: a 1e-9-weight session would turn
+            # the engine's drain loop into a ~1e9-round busy spin
+            SessionConfig(weight=0.001)
+        SessionConfig(weight=0.01)  # the floor itself is valid
+
+
+class TestWeightedEngineRounds:
+    def test_weighted_round_serves_proportionally_in_order(self):
+        served = []
+        engine = ServingEngine(
+            on_frame=lambda s, f, llrs, rep: served.append((s.session_id, f.seq))
+        )
+        qam = qam_constellation(16)
+        heavy = engine.add_session(make_session("h", weight=3.0, const=qam))
+        light = engine.add_session(make_session("l", weight=1.0, const=qam))
+        fill(heavy, 6)
+        fill(light, 6)
+        assert engine.step() == 4  # 3 heavy + 1 light
+        assert [sid for sid, _ in served].count("h") == 3
+        # per-session frame order is preserved across waves
+        assert [seq for sid, seq in served if sid == "h"] == [0, 1, 2]
+        assert engine.step() == 4
+        assert heavy.pending == 0 and light.pending == 4
+
+    def test_waves_batch_across_sessions_each_wave(self):
+        """Wave 0 coalesces every scheduled session; later waves hold only
+        the heavy sessions' extra frames."""
+        engine = ServingEngine()
+        qam = qam_constellation(16)
+        for i, w in enumerate([2.0, 2.0, 1.0]):
+            s = engine.add_session(make_session(f"s{i}", weight=w, const=qam))
+            fill(s, 4)
+        assert engine.step() == 5
+        assert engine.telemetry.occupancy == {3: 1, 2: 1}
+
+    def test_all_weights_one_matches_legacy_round(self):
+        engine = ServingEngine()
+        qam = qam_constellation(16)
+        for i in range(4):
+            s = engine.add_session(make_session(f"s{i}", const=qam))
+            fill(s, 2)
+        assert engine.step() == 4  # exactly one frame per session per round
+        assert engine.telemetry.occupancy == {4: 1}
+        assert all(s.pending == 1 for s in engine.sessions)
