@@ -61,6 +61,8 @@ _CORE_BENCH_NAMES = frozenset(
         "serving_batched[numpy]",
         "serving_sequential[numpy]",
         "serving_control_plane[numpy]",
+        "serving_churn[numpy]",
+        "serving_churn_sequential[numpy]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -499,6 +501,118 @@ def test_serving_control_plane_overhead(benchmark):
     )
     # the σ² loop is actually live (every session's estimate moved)
     assert all(s.sigma2 != sigma2 for s in sessions)
+
+
+def test_serving_churn_soak(benchmark):
+    """Churn soak: aggregate throughput with 25% of the fleet cycling.
+
+    One timed pass serves 8 rounds: 16 guest sessions join a 48-resident
+    fleet (64 live — 25% churn), stream for 4 rounds, drain out, and the
+    residents stream 4 more rounds.  The engine must keep >= 1.5x the
+    aggregate sym/s of per-session sequential demapping of the *same*
+    (session, frame) workload — churn bookkeeping (registry updates,
+    scheduler forget, fleet telemetry) must not eat the batching win.
+    """
+    from repro.channels import sigma2_from_snr
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.link.frames import FrameConfig
+    from repro.serving import (
+        DemapperSession,
+        ServingEngine,
+        SessionConfig,
+        SteadyChannel,
+        build_fleet,
+        generate_traffic,
+    )
+
+    n_residents = 48
+    n_guests = 16
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
+    qam = qam_constellation(16)
+    sigma2 = sigma2_from_snr(8.0, 4)
+    hybrid = HybridDemapper(constellation=qam, sigma2=sigma2)
+    config = SessionConfig(frame=fc, queue_depth=2)
+    monitor = lambda: PilotBERMonitor(0.5, window=4)  # noqa: E731 — never fires
+    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    residents = build_fleet(
+        engine, n_residents, hybrid,
+        monitor_factory=monitor, config=config, seed=3, prefix="r",
+    )
+    rng = np.random.default_rng(11)
+    chan = SteadyChannel(AWGNFactory(8.0, 4))
+    guest_ids = [f"g{i:02d}" for i in range(n_guests)]
+    frames = {
+        sid: generate_traffic(qam, fc, 1, chan, r)[0]
+        for sid, r in zip(
+            [s.session_id for s in residents] + guest_ids,
+            rng.spawn(n_residents + n_guests),
+        )
+    }
+    n = fc.total_symbols
+    # 4 churned rounds x 64 + 4 resident rounds x 48 = 448 frames per pass
+    symbols = (4 * (n_residents + n_guests) + 4 * n_residents) * n
+
+    def churn_pass():
+        served = 0
+        guests = [
+            engine.add_session(
+                DemapperSession(sid, hybrid, monitor(), config=config, rng=i)
+            )
+            for i, sid in enumerate(guest_ids)
+        ]
+        for _ in range(4):
+            for s in engine.sessions:
+                s.submit(frames[s.session_id], now=engine.telemetry.now)
+            served += engine.step()
+        for g in guests:
+            engine.remove_session(g.session_id, drain=True)
+        for _ in range(4):
+            for s in engine.sessions:
+                s.submit(frames[s.session_id], now=engine.telemetry.now)
+            served += engine.step()
+        return served
+
+    def sequential_pass():
+        from repro.link.frames import frame_bers
+
+        out = np.empty((n, 4))
+        for sids in [
+            [s.session_id for s in residents] + guest_ids,  # churned phase
+            [s.session_id for s in residents],              # resident phase
+        ]:
+            for _ in range(4):
+                for sid in sids:
+                    f = frames[sid]
+                    llrs = hybrid.llrs(f.received, out=out)
+                    hat = (llrs > 0).astype(np.int8)
+                    frame_bers(hat, qam.bit_matrix[f.indices], f.pilot_mask)
+
+    assert churn_pass() == 4 * (n_residents + n_guests) + 4 * n_residents
+    assert engine.telemetry.leaves == n_guests  # drains completed in-pass
+    assert len(engine.sessions) == n_residents
+    sequential_pass()
+    benchmark.pedantic(churn_pass, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1)
+    rate = _record(
+        benchmark, "serving_churn[numpy]", symbols=symbols,
+        extra={"backend": "numpy", "residents": n_residents, "guests": n_guests,
+               "frame_symbols": n, "churn_fraction": n_guests / (n_residents + n_guests)},
+    )
+    if rate is None:
+        return  # --benchmark-disable run: nothing to compare
+    churn_times, seq_times = _interleaved_min_times(churn_pass, sequential_pass)
+    _record_timed(
+        "serving_churn_sequential[numpy]", seq_times, symbols=symbols,
+        extra={"backend": "numpy", "residents": n_residents, "guests": n_guests,
+               "frame_symbols": n},
+    )
+    speedup = min(seq_times) / min(churn_times)
+    assert speedup >= 1.5, (
+        f"churning engine must stay >= 1.5x sequential per-session demapping "
+        f"at 25% fleet churn: got {speedup:.2f}x "
+        f"({symbols / min(churn_times) / 1e6:.2f} vs "
+        f"{symbols / min(seq_times) / 1e6:.2f} Msym/s)"
+    )
 
 
 def test_exact_logmap_throughput(benchmark, stream):

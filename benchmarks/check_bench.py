@@ -15,6 +15,7 @@ micro-benchmark suite (which rewrites the artifact in place), and compares:
    artifact unconditionally:
    * serving engine >= 2x sequential per-session demapping,
    * control-plane serving >= 1.5x sequential,
+   * churn-soak serving >= 1.5x sequential under 25% fleet churn,
    * batched multi-sigma sweep >= sequential per-SNR launches (both tiers),
    * max-log demapping >= 1e6 sym/s (the historical floor, generous on any
      hardware this decade).
@@ -44,6 +45,7 @@ ARTIFACT = REPO / "BENCH_micro.json"
 RATIO_GATES = [
     ("serving_batched[numpy]", "serving_sequential[numpy]", 2.0),
     ("serving_control_plane[numpy]", "serving_sequential[numpy]", 1.5),
+    ("serving_churn[numpy]", "serving_churn_sequential[numpy]", 1.5),
     ("sweep_maxlog_multi[numpy]", "sweep_maxlog_seq[numpy]", 1.0),
     ("sweep_maxlog_multi[numpy32]", "sweep_maxlog_seq[numpy32]", 1.0),
 ]

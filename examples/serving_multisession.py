@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Multi-session serving with the control plane — the paper's receiver loop
-at fleet scale, self-adapting.
+at fleet scale, self-adapting, under session churn.
 
 Sixteen live streams share one 16-QAM centroid demapper behind a
 ``ServingEngine``.  Each stream owns a pilot-BER monitor, its own EWMA σ²
 estimate fed by in-loop pilot noise estimation, and a tiered adaptation
 ladder; the engine coalesces pending frames *across sessions* into one
-micro-batched multi-sigma kernel launch per round and schedules queues by
-deficit round robin.  Mid-run, two different impairments hit:
+micro-batched multi-sigma kernel launch per round, schedules queues by
+deficit round robin, and a ``WeightController`` steers each session's live
+scheduler share from its queue-wait SLO.  Mid-run, the fleet churns and two
+different impairments hit:
 
 * sessions 0-1 take a **π/4 phase rotation + 3 dB SNR drop** — a *rigid*
   impairment: their monitors fire, the ladder answers with the cheap
@@ -20,10 +22,17 @@ deficit round robin.  Mid-run, two different impairments hit:
   (paper steps 2-3: ``ReceiverFinetuner`` on the live channel, then
   centroid extraction) runs on the background worker; the finished hybrid
   demapper is swapped in atomically — the other sessions never stop
-  streaming — and BER drops back to the healthy floor.
+  streaming — and BER drops back to the healthy floor;
+* **churn**: session 14 *drains* out at round 8 (graceful handover — every
+  frame it accepted is still served, zero loss), session 15 is *hard*
+  removed (queued frames dropped, accounted), and two newcomers join the
+  live engine at round 12 and are served to completion.  Surviving
+  sessions' timelines are bit-identical to a churn-free run — the
+  determinism contract the churn test suite pins.
 
-Queue-wait and service-time histograms (simulated symbol clock) show what
-the coalescing costs in tail latency.
+Queue-wait and service-time histograms (simulated symbol clock), the
+fleet-size timeline, and any SLO-driven weight boosts show what churn and
+coalescing cost in tail latency.
 
 Run:  python examples/serving_multisession.py        (~½ min: 2 retrains)
 """
@@ -45,21 +54,28 @@ from repro.extraction import HybridDemapper, PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.serving import (
     AnnRetrainPolicy,
+    DemapperSession,
     ServingEngine,
     SessionConfig,
+    SessionPlan,
     SteadyChannel,
     SteppedChannel,
-    build_fleet,
+    WeightController,
     generate_traffic,
-    run_load,
+    run_churn_load,
 )
 
 SNR_DB = 10.0
 N_SESSIONS = 16
+N_NEWCOMERS = 2
 N_FRAMES = 24
 JUMP_SEQ = 10          # frame index at which the impairments hit
 ROTATED = (0, 1)       # rigid impairment: tracking tier handles it
 WARPED = (2, 3)        # non-rigid warp: escalates to retrain
+DRAINED = 14           # graceful handover: drains out at LEAVE_ROUND
+HARD_REMOVED = 15      # hard removal: queued frames dropped
+LEAVE_ROUND = 8
+JOIN_ROUND = 12
 OFFSET = np.pi / 4
 FRAME = FrameConfig(pilot_symbols=64, payload_symbols=448)
 SEED = 7
@@ -91,43 +107,81 @@ def main() -> None:
             training=TrainingConfig(steps=1200, batch_size=512, lr=2e-3),
         )
 
-    engine = ServingEngine(max_batch=N_SESSIONS, retrain_workers=2)
-    sessions = build_fleet(
-        engine,
-        N_SESSIONS,
-        hybrid,
-        monitor_factory=lambda: PilotBERMonitor(0.05, window=2, cooldown=2),
-        config=SessionConfig(
-            frame=FRAME,
-            queue_depth=4,
-            sigma2_alpha=0.5,       # in-loop pilot σ² estimation (EWMA)
-            tracking=True,          # cheap rigid tier before any retrain
-            track_attempts=1,       # persistence escalates the 2nd trigger
-            track_residual=4.0,     # lenient rigid check: let the ladder's
-                                    # persistence rule drive escalation
+    config = SessionConfig(
+        frame=FRAME,
+        queue_depth=4,
+        sigma2_alpha=0.5,       # in-loop pilot σ² estimation (EWMA)
+        tracking=True,          # cheap rigid tier before any retrain
+        track_attempts=1,       # persistence escalates the 2nd trigger
+        track_residual=4.0,     # lenient rigid check: let the ladder's
+                                # persistence rule drive escalation
+    )
+    # One full round of the live fleet advances the symbol clock by
+    # fleet × frame symbols, so a healthy queued frame waits ~1-2 rounds.
+    # The SLO sits at ~4 rounds: steady streaming meets it comfortably and
+    # only a session whose frames aged behind a retrain pause gets boosted.
+    slo_ticks = 4 * (N_SESSIONS + N_NEWCOMERS) * FRAME.total_symbols
+    engine = ServingEngine(
+        max_batch=N_SESSIONS + N_NEWCOMERS,
+        retrain_workers=2,
+        weight_controller=WeightController(
+            slo=slo_ticks, interval=2, raise_factor=2.0, decay=0.25
         ),
-        retrain_factory=retrain_policy,
-        seed=SEED,
     )
 
-    rng = np.random.default_rng(SEED)
-    traffic = {}
-    for i, s in enumerate(sessions):
-        (srng,) = rng.spawn(1)
+    master = np.random.default_rng(SEED)
+    plans = []
+    sessions = []
+    for i in range(N_SESSIONS):
+        (session_rng,) = master.spawn(1)
+        (traffic_rng,) = master.spawn(1)
         if i in ROTATED:
             chan = SteppedChannel(clean, rotated, step_seq=JUMP_SEQ)
         elif i in WARPED:
             chan = SteppedChannel(clean, warped, step_seq=JUMP_SEQ)
         else:
             chan = SteadyChannel(clean)
-        traffic[s.session_id] = generate_traffic(constellation, FRAME, N_FRAMES, chan, srng)
+        session = DemapperSession(
+            f"s{i:03d}", hybrid,
+            PilotBERMonitor(0.05, window=2, cooldown=2),
+            config=config, retrain=retrain_policy(i), rng=session_rng,
+        )
+        sessions.append(session)
+        plans.append(
+            SessionPlan(
+                session,
+                generate_traffic(constellation, FRAME, N_FRAMES, chan, traffic_rng),
+                leave_round=LEAVE_ROUND if i in (DRAINED, HARD_REMOVED) else None,
+                drain=(i != HARD_REMOVED),
+            )
+        )
+    newcomers = []
+    for j in range(N_NEWCOMERS):
+        (session_rng,) = master.spawn(1)
+        (traffic_rng,) = master.spawn(1)
+        session = DemapperSession(
+            f"n{j:03d}", hybrid,
+            PilotBERMonitor(0.05, window=2, cooldown=2),
+            config=config, rng=session_rng,
+        )
+        newcomers.append(session)
+        plans.append(
+            SessionPlan(
+                session,
+                generate_traffic(constellation, FRAME, 10, SteadyChannel(clean),
+                                 traffic_rng),
+                join_round=JOIN_ROUND,
+            )
+        )
 
     print(f"serving {N_SESSIONS} sessions x {N_FRAMES} frames "
           f"({FRAME.total_symbols} symbols/frame), impairments at frame {JUMP_SEQ}: "
-          f"rotation+SNR-drop on {ROTATED}, IQ warp on {WARPED}")
+          f"rotation+SNR-drop on {ROTATED}, IQ warp on {WARPED}; churn: "
+          f"s{DRAINED:03d} drains / s{HARD_REMOVED:03d} hard-removed at round "
+          f"{LEAVE_ROUND}, {N_NEWCOMERS} newcomers join at round {JOIN_ROUND}")
     t0 = time.perf_counter()
     with engine:
-        stats = run_load(engine, traffic)
+        stats = run_churn_load(engine, plans, max_rounds=10_000)
     elapsed = time.perf_counter() - t0
 
     print(f"\nengine: {stats.frames_served} frames / {stats.symbols_served} symbols "
@@ -138,16 +192,34 @@ def main() -> None:
     print(f"adaptation: {stats.tracks} tracking updates, "
           f"{stats.retrains_started} retrains started / "
           f"{stats.retrains_completed} completed")
+    print(f"churn: {stats.joins} joins / {stats.leaves} leaves "
+          f"({stats.drains_started} drains, {stats.frames_dropped} frames dropped "
+          f"by hard removal); fleet size "
+          f"{' -> '.join(str(n) for _, n in stats.fleet_timeline)}")
     qw, st = stats.queue_wait.snapshot(), stats.service_time.snapshot()
     print(f"latency (symbol ticks): queue-wait mean {qw['mean']:.0f} "
           f"p50 {qw['p50']} p99 {qw['p99']}; "
-          f"service mean {st['mean']:.0f} p99 {st['p99']}\n")
+          f"service mean {st['mean']:.0f} p99 {st['p99']}")
+    boosts = {
+        s.session_id: s.stats.weight_timeline
+        for s in sessions + newcomers if s.stats.weight_timeline
+    }
+    if boosts:
+        print("SLO weight boosts: " + "; ".join(
+            f"{sid} peaked x{max(w for _, w in tl):.0f}" for sid, tl in boosts.items()))
+    print()
 
     print("session  tiers@frame              pilot BER (healthy | degraded | recovered)  sigma2")
     for i, s in enumerate(sessions):
         traj = np.array(s.stats.pilot_ber_trajectory)
-        healthy = traj[:JUMP_SEQ].mean()
         s2 = s.stats.sigma2_trajectory[-1]
+        if i in (DRAINED, HARD_REMOVED):
+            kind = "drained" if i == DRAINED else "removed"
+            print(f"{s.session_id}     {kind + ' @' + str(LEAVE_ROUND):<24} "
+                  f"{traj.mean():.4f} ({s.stats.frames_served} served, "
+                  f"{s.stats.frames_dropped} dropped)")
+            continue
+        healthy = traj[:JUMP_SEQ].mean()
         if i in ROTATED + WARPED:
             t = s.stats.trigger_seqs[0]
             degraded = traj[JUMP_SEQ : t + 1].mean()
@@ -158,6 +230,10 @@ def main() -> None:
         else:
             print(f"{s.session_id}     {'-':<24} {healthy:.4f} | {'-':>6} | "
                   f"{traj[JUMP_SEQ:].mean():.4f}              {s2:.4f}")
+    for s in newcomers:
+        traj = np.array(s.stats.pilot_ber_trajectory)
+        print(f"{s.session_id}     {'joined @' + str(JOIN_ROUND):<24} "
+              f"{traj.mean():.4f} ({s.stats.frames_served} served)")
 
     rot, warp = [sessions[i] for i in ROTATED], [sessions[i] for i in WARPED]
     assert all(s.stats.retrains == 0 and s.stats.tracks >= 1 for s in rot), \
@@ -174,7 +250,18 @@ def main() -> None:
         abs(s.stats.sigma2_trajectory[-1] - dropped_floor) < 0.3 * dropped_floor
         for s in rot
     ), "in-loop sigma^2 should settle on the post-drop noise floor"
-    print("\nOK: rotations tracked (0 retrains), warps retrained once, all recovered.")
+    # churn accounting: the drained session lost nothing it accepted, the
+    # hard-removed one has every accepted frame served-or-dropped, and the
+    # newcomers were served to completion on the live engine
+    assert sessions[DRAINED].stats.frames_dropped == 0
+    assert sessions[DRAINED].stats.frames_served >= LEAVE_ROUND
+    assert sessions[HARD_REMOVED].stats.frames_dropped > 0
+    assert all(s.stats.frames_served == 10 for s in newcomers)
+    assert stats.joins == N_SESSIONS + N_NEWCOMERS and stats.leaves == 2
+    assert len(engine.sessions) == N_SESSIONS - 2 + N_NEWCOMERS
+    print("\nOK: rotations tracked (0 retrains), warps retrained once, all "
+          "recovered; drain lost nothing, hard removal accounted, newcomers "
+          "served.")
 
 
 if __name__ == "__main__":

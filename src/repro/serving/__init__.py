@@ -9,7 +9,10 @@ into an online, *self-adapting* serving system:
   (demapper + monitor + bounded frame queue + own σ² estimate + tiered
   adaptation ladder);
 * :mod:`repro.serving.scheduler` — QoS-weighted deficit-round-robin frame
-  scheduling (per-session ``SessionConfig.weight``);
+  scheduling (per-session ``SessionConfig.weight``, burst-capped credit);
+* :mod:`repro.serving.weights` — SLO-driven adaptive weights: a
+  ``WeightController`` steers each session's live scheduler share from its
+  own queue-wait histogram (boost on missed SLO, decay back when healthy);
 * :mod:`repro.serving.batching` — cross-session micro-batching onto the
   multi-sigma backend kernels (sessions sharing a centroid set share one
   fused launch);
@@ -19,11 +22,13 @@ into an online, *self-adapting* serving system:
 * :mod:`repro.serving.worker` — background retrain/re-extract jobs with
   atomic per-session demapper swaps (no global stall);
 * :mod:`repro.serving.loadgen` — deterministic seeded traffic over the
-  channel-zoo factories;
+  channel-zoo factories, including churn schedules (``SessionPlan`` /
+  ``run_churn_load``: sessions arrive, stream and depart under load);
 * :mod:`repro.serving.telemetry` — per-session and engine-level counters
   (frames, symbols/s, batch-occupancy histogram, retrain/track events,
-  pilot-BER and σ² trajectories, queue-wait / service-time latency
-  histograms on a simulated symbol clock).
+  join/leave/drain counters with a fleet-size timeline, pilot-BER and σ²
+  trajectories, queue-wait / service-time latency histograms on a
+  simulated symbol clock).
 
 Quick start (see ``examples/serving_multisession.py`` for the full demo)::
 
@@ -39,10 +44,12 @@ from repro.serving.batching import MicroBatch, coalesce, collect_microbatches
 from repro.serving.engine import ServingEngine
 from repro.serving.loadgen import (
     AnnRetrainPolicy,
+    SessionPlan,
     SteadyChannel,
     SteppedChannel,
     build_fleet,
     generate_traffic,
+    run_churn_load,
     run_load,
 )
 from repro.serving.scheduler import DeficitRoundRobin
@@ -59,6 +66,7 @@ from repro.serving.telemetry import (
     ServedFrame,
     SessionStats,
 )
+from repro.serving.weights import WeightController
 from repro.serving.worker import RetrainWorker
 
 __all__ = [
@@ -71,6 +79,7 @@ __all__ = [
     "coalesce",
     "collect_microbatches",
     "DeficitRoundRobin",
+    "WeightController",
     "ServingEngine",
     "RetrainWorker",
     "SteadyChannel",
@@ -79,6 +88,8 @@ __all__ = [
     "generate_traffic",
     "build_fleet",
     "run_load",
+    "SessionPlan",
+    "run_churn_load",
     "ServedFrame",
     "SessionStats",
     "EngineStats",

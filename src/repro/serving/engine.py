@@ -32,13 +32,29 @@ and monitor state left by its frame *n−1*, exactly as if the frames had
 been served in separate rounds.  That is why per-session output timelines
 are invariant to scheduler weights.
 
+The engine also survives **session churn** under load: sessions may join a
+live engine at any time (:meth:`ServingEngine.add_session` — the newcomer
+starts from zero scheduler credit) and leave it
+(:meth:`ServingEngine.remove_session`) either gracefully — *draining*:
+served until its queue empties, accepting no new submissions, never
+escalating to retrain — or hard: queued frames dropped, an in-flight
+retrain orphaned on the worker.  Churn is fully accounted
+(``EngineStats`` join/leave/drain counters and the fleet-size timeline),
+and an optional :class:`~repro.serving.weights.WeightController` closes
+the loop from per-session queue-wait histograms to the scheduler's live
+weights (sessions missing their SLO get boosted, healthy ones decay back
+to the configured base).
+
 Determinism contract (pinned by ``tests/serving/``): with a fixed traffic
 seed, per-session LLRs, σ² trajectories and the trigger/tier timeline are
 identical regardless of micro-batch width, queue depth, retrain worker
 count or scheduler weights — batching only shares the kernels' distance
 stage (bit-identical rows on the default tier), every per-frame state
 update is a pure function of the session's own frame order, and a
-retraining session is never served by stale centroids.
+retraining session is never served by stale centroids.  Churn extends the
+contract: a surviving session's timelines are bit-identical whether or not
+unrelated sessions join, drain or are hard-removed around it
+(``tests/serving/test_churn.py``).
 """
 
 from __future__ import annotations
@@ -54,8 +70,9 @@ from repro.extraction.monitor import TIER_RETRAIN, TIER_TRACK
 from repro.link.estimation import estimate_noise_sigma2_batch
 from repro.serving.batching import MicroBatch, coalesce
 from repro.serving.scheduler import DeficitRoundRobin
-from repro.serving.session import DemapperSession, ServingFrame
+from repro.serving.session import RETRAINING, DemapperSession, ServingFrame
 from repro.serving.telemetry import EngineStats, ServedFrame
+from repro.serving.weights import WeightController
 from repro.serving.worker import RetrainWorker
 
 __all__ = ["ServingEngine"]
@@ -76,6 +93,10 @@ class ServingEngine:
     scheduler:
         Frame scheduler (default: a fresh :class:`DeficitRoundRobin` with
         quantum 1.0 — one frame per weight-1 session per round).
+    weight_controller:
+        Optional :class:`~repro.serving.weights.WeightController` closing
+        the queue-wait-SLO → scheduler-weight loop (``None`` = static
+        weights, the PR-4 behaviour).  Consulted once per round.
     on_frame:
         Optional per-frame hook ``(session, frame, llrs, report)``; ``llrs``
         is an engine-owned buffer valid only during the call (copy to keep).
@@ -88,6 +109,7 @@ class ServingEngine:
         retrain_workers: int = 0,
         backend: NumpyBackend | None = None,
         scheduler: DeficitRoundRobin | None = None,
+        weight_controller: WeightController | None = None,
         on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
         | None = None,
     ):
@@ -98,6 +120,7 @@ class ServingEngine:
         self.on_frame = on_frame
         self.worker = RetrainWorker(retrain_workers)
         self.scheduler = scheduler if scheduler is not None else DeficitRoundRobin()
+        self.weight_controller = weight_controller
         self._sessions: dict[str, DemapperSession] = {}
         self.telemetry = EngineStats()
 
@@ -112,11 +135,79 @@ class ServingEngine:
         return tuple(self._sessions.values())
 
     def add_session(self, session: DemapperSession) -> DemapperSession:
-        """Register a session; serving order is registration order."""
+        """Register a session; serving order is registration order.
+
+        Hot-path safe: sessions may join a live engine between (or during
+        producer phases of) rounds — the newcomer starts from zero
+        scheduler credit and a fresh control-plane state, and existing
+        sessions' timelines are untouched (batch composition changes, but
+        batched rows are bit-identical to sequential demaps, which is the
+        churn-invariance contract pinned by ``tests/serving/test_churn``).
+        An id is unique among *live* sessions — a departed session's id may
+        be reused by a later arrival.
+        """
         if session.session_id in self._sessions:
             raise ValueError(f"duplicate session id {session.session_id!r}")
+        if session.draining:
+            raise ValueError(
+                f"session {session.session_id!r} is draining — it would never "
+                "accept traffic; build a fresh session instead"
+            )
         self._sessions[session.session_id] = session
+        self.telemetry.joins += 1
+        self.telemetry.record_fleet_size(len(self._sessions))
         return session
+
+    def remove_session(self, session_id: str, *, drain: bool = True) -> int:
+        """Deregister a session; returns the number of frames dropped.
+
+        ``drain=True`` (graceful): the session stops accepting submissions
+        immediately (``submit`` returns False, counted as a drain refusal)
+        but keeps being served — every frame it already accepted will be
+        demapped, never dropped — and leaves the engine once its queue is
+        empty and no retrain is in flight.  Monitor triggers stop
+        escalating to retrain for a draining session.  Idempotent: draining
+        an already-draining session is a no-op.  Returns 0.
+
+        ``drain=False`` (hard): the session leaves *now* — queued frames
+        are discarded (returned count, also in telemetry), an in-flight
+        retrain job is orphaned on the worker (its result discarded, its
+        failure swallowed), and the scheduler/controller forget it.  Hard
+        removal of a draining session is allowed (a drain that must not
+        wait any longer).
+
+        Either way the scheduler's ``forget`` runs exactly once per
+        removal, so a departed session leaks no credit.
+        """
+        session = self.session(session_id)
+        if drain:
+            if not session.draining:
+                session.draining = True
+                self.telemetry.drains_started += 1
+                self._finish_drains()
+            return 0
+        dropped = session.discard_queue()
+        session.draining = True  # late producers see a final refusal, not a queue
+        self._remove_now(session, dropped=dropped)
+        return dropped
+
+    def _remove_now(self, session: DemapperSession, *, dropped: int = 0) -> None:
+        """Registry/scheduler/worker teardown shared by both removal paths."""
+        del self._sessions[session.session_id]
+        self.scheduler.forget(session.session_id)
+        if self.weight_controller is not None:
+            self.weight_controller.forget(session.session_id)
+        self.telemetry.retrains_orphaned += self.worker.discard(session)
+        self.telemetry.frames_dropped += dropped
+        self.telemetry.leaves += 1
+        self.telemetry.record_fleet_size(len(self._sessions))
+
+    def _finish_drains(self) -> None:
+        """Remove every draining session that has nothing left to serve."""
+        for session in [s for s in self._sessions.values() if s.draining]:
+            if session.pending == 0 and session.state != RETRAINING:
+                self._remove_now(session)
+                self.telemetry.drains_completed += 1
 
     def session(self, session_id: str) -> DemapperSession:
         try:
@@ -212,6 +303,7 @@ class ServingEngine:
             )
             self.telemetry.queue_wait.record(report.queue_wait)
             self.telemetry.service_time.record(service_time)
+            session.stats.queue_wait.record(report.queue_wait)
             if self.on_frame is not None:
                 self.on_frame(session, frame, llrs3[row], report)
         self.telemetry.record_batch(batch.occupancy, batch.n_symbols)
@@ -261,7 +353,7 @@ class ServingEngine:
         if tier == TIER_TRACK:
             rigid_ok = session.apply_track(frame)
             self.telemetry.tracks += 1
-            if not rigid_ok and session.retrain is not None:
+            if not rigid_ok and session.can_retrain:
                 tier = TIER_RETRAIN  # non-rigid warp: escalate immediately
         if tier == TIER_RETRAIN:
             job_rng = session.begin_retrain()
@@ -275,12 +367,17 @@ class ServingEngine:
         """One serving round; returns the number of frames served.
 
         Swaps land first, so a frame submitted after its session's retrain
-        completed is always demapped by the new centroids.  The scheduler's
-        quotas are then served in waves of at most one frame per session;
-        a session pausing mid-round (trigger → retrain) simply drops out of
-        later waves with its frames still queued.
+        completed is always demapped by the new centroids.  Completed
+        drains leave the registry next (an install may have been the last
+        thing a draining session waited on).  The scheduler's quotas are
+        then served in waves of at most one frame per session; a session
+        pausing mid-round (trigger → retrain) simply drops out of later
+        waves with its frames still queued.  The round ends by finishing
+        any drains the waves emptied and letting the weight controller
+        (when installed) steer next round's scheduler weights.
         """
         self.telemetry.retrains_completed += self.worker.poll()
+        self._finish_drains()
         quotas = self.scheduler.allocate(self.sessions)
         served = 0
         wave = 0
@@ -300,21 +397,54 @@ class ServingEngine:
                 self._serve_batch(batch, key=f"serve#{wave}#{i}")
             served += len(pulls)
             wave += 1
+        self._finish_drains()
+        if self.weight_controller is not None:
+            self.weight_controller.on_round(self.sessions, now=self.telemetry.now)
         self.telemetry.rounds += 1
         return served
 
-    def drain(self) -> int:
+    def _stuck_session_ids(self) -> list[str]:
+        """Sessions that still hold work a drain must wait for."""
+        return sorted(
+            s.session_id
+            for s in self.sessions
+            if s.pending or s.state == RETRAINING
+        )
+
+    def drain(self, max_rounds: int | None = None) -> int:
         """Serve until every queue is empty and no retrain is in flight.
 
         Returns the total frames served.  When nothing is servable but
         retrains are pending, blocks for their swaps instead of spinning.
         A round may serve zero frames while a fractional-weight session
         accrues scheduler credit — that still counts as progress.
+
+        ``max_rounds`` bounds the loop: if the engine has not fully drained
+        within that many rounds, a :class:`RuntimeError` naming the stuck
+        session ids is raised instead of spinning forever (the guard for a
+        session that can never make progress — e.g. one held outside
+        SERVING by a caller, or a pathological custom scheduler).  A drain
+        that completes in exactly ``max_rounds`` rounds returns normally —
+        completion is checked before the guard.  Also removes any
+        completed drains before returning, so a drained engine holds no
+        departing sessions.
         """
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
         total = 0
+        rounds = 0
         while True:
             served = self.step()
+            rounds += 1
             total += served
+            if not self.worker.pending and not any(s.pending for s in self.sessions):
+                self._finish_drains()
+                return total
+            if max_rounds is not None and rounds >= max_rounds:
+                raise RuntimeError(
+                    f"drain did not finish within max_rounds={max_rounds}; "
+                    f"stuck sessions: {self._stuck_session_ids()}"
+                )
             if served:
                 continue
             if self.worker.pending:
@@ -322,12 +452,13 @@ class ServingEngine:
                 continue
             if any(s.ready for s in self.sessions):
                 continue  # scheduler credit accruing (weight < 1): not stuck
-            if any(s.pending for s in self.sessions):
-                # queued frames but no ready session and no in-flight job:
-                # only possible for a retrain-less session stuck mid-state —
-                # continuing would spin forever, so surface it
-                raise RuntimeError("frames pending but no session can make progress")
-            return total
+            # queued frames but no ready session and no in-flight job:
+            # only possible for a retrain-less session stuck mid-state —
+            # continuing would spin forever, so surface it
+            raise RuntimeError(
+                "frames pending but no session can make progress; "
+                f"stuck sessions: {self._stuck_session_ids()}"
+            )
 
     def close(self) -> None:
         """Finish in-flight retrains and release the worker pool.

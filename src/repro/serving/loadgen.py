@@ -50,6 +50,8 @@ __all__ = [
     "generate_traffic",
     "build_fleet",
     "run_load",
+    "SessionPlan",
+    "run_churn_load",
 ]
 
 
@@ -201,6 +203,57 @@ def build_fleet(
     return sessions
 
 
+def _drive(
+    engine: ServingEngine,
+    *,
+    produce,
+    complete,
+    idle_ok,
+    max_rounds: int | None,
+    label: str,
+) -> EngineStats:
+    """The one serve/stall pump shared by both load drivers.
+
+    Per round: ``produce(round_index)`` feeds the engine (submissions,
+    joins, removals), one engine round runs, then, in order: *completion*
+    (``complete()`` true and no retrain in flight — checked before the
+    guard, so a run finishing exactly on ``max_rounds`` returns instead of
+    raising), the ``max_rounds`` safety bound (:class:`RuntimeError` — the
+    same semantics as ``ServingEngine.drain``), and progress/stall
+    classification: a served frame, an in-flight retrain (blocked on, not
+    spun on), a ready session accruing fractional scheduler credit, or a
+    producer-side reason to idle (``idle_ok()`` — e.g. a join/leave still
+    scheduled) all count as progress; anything else is a stall and raises.
+    Keeping this state machine in one place is what keeps the two drivers'
+    ``max_rounds``/stall semantics identical by construction.
+    """
+    rounds = 0
+    while True:
+        produce(rounds)
+        served = engine.step()
+        rounds += 1
+        if complete() and not engine.worker.pending:
+            return engine.telemetry
+        if max_rounds is not None and rounds >= max_rounds:
+            raise RuntimeError(
+                f"{label} did not complete within max_rounds={max_rounds}"
+            )
+        if served:
+            continue
+        if engine.worker.pending:
+            engine.telemetry.retrains_completed += engine.worker.wait_all()
+            continue
+        if any(s.ready for s in engine.sessions):
+            # a zero-served round while a fractional-weight session accrues
+            # scheduler credit is still progress — keep pumping rounds
+            continue
+        if idle_ok():
+            continue
+        # Nothing served, nothing in flight, nothing scheduled: a session is
+        # stuck outside SERVING with no job to wait for — fail loudly.
+        raise RuntimeError(f"{label} stalled: frames pending but nothing servable")
+
+
 def run_load(
     engine: ServingEngine,
     traffic: Mapping[str, Sequence[ServingFrame]],
@@ -213,33 +266,127 @@ def run_load(
     accepts (rejected submissions are retried next round — backpressure
     slows the producer, it never loses frames), then serves one engine
     round.  Returns the engine telemetry once every frame is served and no
-    retrain is in flight (or after ``max_rounds``).
+    retrain is in flight.  ``max_rounds`` is a safety bound with the same
+    semantics as ``ServingEngine.drain`` and :func:`run_churn_load`: a run
+    that has not completed within it raises :class:`RuntimeError` instead
+    of looping forever (completing *exactly on* the bound is fine).
     """
     offsets = {sid: 0 for sid in traffic}
-    rounds = 0
-    while True:
+
+    def produce(_round):
         for sid, frames in traffic.items():
             o = offsets[sid]
             while o < len(frames) and engine.submit(sid, frames[o]):
                 o += 1
             offsets[sid] = o
-        served = engine.step()
-        rounds += 1
-        if max_rounds is not None and rounds >= max_rounds:
-            return engine.telemetry
-        if served:
-            continue
-        if engine.worker.pending:
-            engine.telemetry.retrains_completed += engine.worker.wait_all()
-            continue
-        if all(offsets[sid] == len(traffic[sid]) for sid in traffic) and not any(
+
+    def complete():
+        return all(offsets[sid] == len(traffic[sid]) for sid in traffic) and not any(
             s.pending for s in engine.sessions
-        ):
-            return engine.telemetry
-        if any(s.ready for s in engine.sessions):
-            # a zero-served round while a fractional-weight session accrues
-            # scheduler credit is still progress — keep pumping rounds
-            continue
-        # Nothing served, nothing in flight, frames remain: a session is
-        # stuck outside SERVING with no job to wait for — fail loudly.
-        raise RuntimeError("load generator stalled: frames pending but nothing servable")
+        )
+
+    return _drive(
+        engine,
+        produce=produce,
+        complete=complete,
+        idle_ok=lambda: False,
+        max_rounds=max_rounds,
+        label="load generator",
+    )
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One session's lifecycle in a churn schedule.
+
+    The session is built (not yet registered) and joins the engine at
+    ``join_round``; its producer submits ``frames`` in order with
+    backpressure-aware retries from then on.  A plan with a
+    ``leave_round`` departs at that round: the producer stops submitting
+    (frames not yet accepted are abandoned with the producer) and
+    :meth:`~repro.serving.engine.ServingEngine.remove_session` is called
+    with the plan's ``drain`` flag — graceful (every accepted frame is
+    still served) or hard (queued frames dropped).  Plans without a
+    ``leave_round`` stay resident and are served to completion.
+    """
+
+    session: DemapperSession
+    frames: Sequence[ServingFrame]
+    join_round: int = 0
+    leave_round: int | None = None
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.join_round < 0:
+            raise ValueError("join_round must be >= 0")
+        if self.leave_round is not None and self.leave_round <= self.join_round:
+            raise ValueError("leave_round must be > join_round")
+
+
+def run_churn_load(
+    engine: ServingEngine,
+    plans: Sequence[SessionPlan],
+    *,
+    max_rounds: int | None = None,
+) -> EngineStats:
+    """Drive a churn schedule: sessions arrive, stream, and depart under load.
+
+    Each round, in order: due arrivals join the engine, live producers
+    submit as much traffic as their bounded queues accept (rejected
+    submissions are retried next round), due departures request removal
+    (graceful or hard per the plan), then one engine round is served.
+    Returns the engine telemetry once every plan has run its course —
+    residents fully served, leavers fully removed — and no retrain is in
+    flight.  ``max_rounds`` bounds the loop (RuntimeError beyond it).
+
+    Determinism: traffic content is fixed by :func:`generate_traffic`
+    before the run, and join/leave rounds are part of the schedule — so
+    the whole run, churn included, is a pure function of the plans.
+    """
+    offsets = [0] * len(plans)
+    joined = [False] * len(plans)
+    leave_requested = [False] * len(plans)
+
+    def produce(rounds):
+        for i, plan in enumerate(plans):
+            if not joined[i] and rounds >= plan.join_round:
+                engine.add_session(plan.session)
+                joined[i] = True
+            if not joined[i] or leave_requested[i]:
+                continue
+            if plan.leave_round is not None and rounds >= plan.leave_round:
+                engine.remove_session(plan.session.session_id, drain=plan.drain)
+                leave_requested[i] = True
+                continue
+            o = offsets[i]
+            frames = plan.frames
+            while o < len(frames) and engine.submit(plan.session.session_id, frames[o]):
+                o += 1
+            offsets[i] = o
+
+    def settled(i, plan):
+        # a leaver is settled only once its leave *happened* and it is out
+        # of the registry — even if its traffic ran dry before leave_round,
+        # the schedule says it departs at that round, so the loop idles
+        # until then instead of returning with a phantom resident
+        if plan.leave_round is not None:
+            return leave_requested[i] and all(
+                s.session_id != plan.session.session_id for s in engine.sessions
+            )
+        return (
+            joined[i]
+            and offsets[i] == len(plan.frames)
+            and plan.session.pending == 0
+        )
+
+    def pending_schedule(i, plan):
+        return not joined[i] or (plan.leave_round is not None and not leave_requested[i])
+
+    return _drive(
+        engine,
+        produce=produce,
+        complete=lambda: all(settled(i, p) for i, p in enumerate(plans)),
+        idle_ok=lambda: any(pending_schedule(i, p) for i, p in enumerate(plans)),
+        max_rounds=max_rounds,
+        label="churn load",
+    )

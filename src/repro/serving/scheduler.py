@@ -7,16 +7,26 @@ be deprioritised.  This module replaces that fixed pull with classic
 *deficit round robin* (Shreedhar & Varghese) at frame granularity:
 
 * every round, each **backlogged** session accrues ``quantum × weight``
-  credit (``SessionConfig.weight``, default 1.0);
+  credit (``session.weight`` — the live share, seeded from
+  ``SessionConfig.weight`` and steerable at runtime by a
+  :class:`~repro.serving.weights.WeightController`);
 * a session may serve as many whole frames as it has credit (so a weight-3
   session pulls up to 3 frames per round from a deep queue, a weight-½
   session serves every other round);
 * leftover credit carries to the next round **only while backlogged** — an
   idle or paused (RETRAINING) session forfeits its credit, the standard DRR
-  rule that prevents a returning session from bursting stale credit.
+  rule that prevents a returning session from bursting stale credit;
+* carried credit is **burst-capped** at ``max(1, burst × quantum ×
+  weight)``: the bounded-burst guarantee holds *by construction*, not by
+  accident of the carry logic.  (Today's carry is always the fractional
+  part of a spent credit — under one frame — so the clamp only binds for
+  slow-accrual configurations; its job is to keep the invariant structural
+  if the carry rules ever change.  The floor of one whole frame is what
+  lets a fractional ``quantum × weight`` accrual ever reach a servable
+  frame.)
 
 Determinism: credit is a pure function of the (seed-determined) sequence of
-queue states and the configured weights — no clocks, no randomness — so
+queue states and the weights in effect — no clocks, no randomness — so
 per-session serving order, and therefore every per-session output timeline,
 is reproducible bit-for-bit.  With all weights at 1 and non-empty queues the
 schedule degenerates to exactly the old one-frame-per-session round robin.
@@ -46,13 +56,27 @@ class DeficitRoundRobin:
         Credit (in frames) a weight-1.0 backlogged session accrues per
         round.  The default of 1.0 preserves the historical
         one-frame-per-session-per-round pacing for uniform fleets.
+    burst:
+        Cap on *carried* credit, in units of one round's accrual: a session
+        may bank at most ``max(1, burst × quantum × weight)`` between
+        rounds.  The floor of 1 (one whole frame) keeps slow-accrual
+        sessions (``quantum × weight < 1``) able to reach a servable frame
+        — capping below a frame would starve them forever; the cap itself
+        bounds the burst a heavy session could unleash after a backlog
+        hiccup.  Default 2.0 — one banked round on top of the live one.
     """
 
-    def __init__(self, quantum: float = 1.0):
+    def __init__(self, quantum: float = 1.0, *, burst: float = 2.0):
         if not quantum > 0:
             raise ValueError("quantum must be positive")
+        if not burst >= 1.0:
+            raise ValueError("burst must be >= 1.0")
         self.quantum = float(quantum)
+        self.burst = float(burst)
         self._credit: dict[str, float] = {}
+
+    def _carry_cap(self, weight: float) -> float:
+        return max(1.0, self.burst * self.quantum * weight)
 
     def allocate(self, sessions: Sequence[DemapperSession]) -> dict[str, int]:
         """Accrue one round of credit and return this round's frame quotas.
@@ -61,7 +85,8 @@ class DeficitRoundRobin:
         least one frame this round.  Sessions that are not ready (paused or
         empty-queued) are treated as non-backlogged: their stored credit is
         dropped.  A backlogged session whose credit is still below one
-        frame (weight < 1) keeps its fractional credit for next round.
+        frame (weight < 1) keeps its fractional credit for next round,
+        subject to the burst cap.
         """
         quotas: dict[str, int] = {}
         for session in sessions:
@@ -70,24 +95,40 @@ class DeficitRoundRobin:
                 self._credit.pop(session.session_id, None)
                 continue
             credit = self._credit.get(session.session_id, 0.0)
-            credit += self.quantum * session.config.weight
+            credit += self.quantum * session.weight
             take = min(int(credit), session.pending)
             if take:
                 quotas[session.session_id] = take
                 credit -= take
-            # queue emptied by this allocation => non-backlogged next round
-            self._credit[session.session_id] = credit if session.pending > take else 0.0
+            if session.pending > take:
+                # still backlogged: carry leftover credit, burst-capped
+                self._credit[session.session_id] = min(
+                    credit, self._carry_cap(session.weight)
+                )
+            else:
+                # queue emptied by this allocation => non-backlogged next round
+                self._credit[session.session_id] = 0.0
         return quotas
 
     def forget(self, session_id: str) -> None:
         """Drop a session's credit unconditionally.
 
-        The hook for engine-level session removal (a ROADMAP rung — the
-        engine has no ``remove_session`` yet); until then ``allocate``
-        already drops credit for any session that stops being ready.
+        The engine calls this exactly once when a session leaves
+        (``remove_session``, after a drain completes or immediately on hard
+        removal), so a departed session leaks no credit and a later session
+        re-admitted under the same id starts from zero.
         """
         self._credit.pop(session_id, None)
 
     def credit(self, session_id: str) -> float:
         """Current stored credit (0.0 for unknown sessions) — telemetry."""
         return self._credit.get(session_id, 0.0)
+
+    def credits(self) -> dict[str, float]:
+        """Snapshot of every stored credit entry (telemetry / invariants).
+
+        Churn soaks assert conservation against this: every key must be a
+        live session id (departed sessions leave nothing behind) and every
+        value must respect the burst cap.
+        """
+        return dict(self._credit)

@@ -37,6 +37,26 @@ Other sessions keep being served in the meantime; nothing stalls globally.
 A tracking-tier response swaps the rigidly-updated centroids in place on
 the engine thread — the session never leaves SERVING and the very next
 frame sees the tracked centroids.
+
+**Churn.**  Orthogonal to the serving state, a session can be *draining*
+(``ServingEngine.remove_session(sid, drain=True)``): it keeps being served
+— every frame already accepted will leave through the demapper, never be
+dropped — but :meth:`submit` refuses new traffic (counted in
+``stats.drain_refusals``; unlike backpressure rejects, retrying is futile)
+and monitor triggers no longer escalate to retraining (a full retrain for
+a leaving session is wasted work; the cheap tracking tier still applies).
+Once its queue is empty and no retrain is in flight, the engine deletes it
+from the registry.  ``remove_session(sid, drain=False)`` is the hard path:
+queued frames are discarded (:meth:`discard_queue`) and an in-flight
+retrain is orphaned on the worker.
+
+**Adaptive weight.**  ``session.weight`` is the *live* deficit-round-robin
+share the scheduler reads; it starts at ``config.weight`` (the static QoS
+contract) and is steered at runtime by the engine's
+:class:`~repro.serving.weights.WeightController` via :meth:`set_weight`
+(changes land in ``stats.weight_timeline``).  Weights change *when* frames
+are served, never *what* they contain — per-session output timelines stay
+weight-invariant.
 """
 
 from __future__ import annotations
@@ -206,6 +226,12 @@ class DemapperSession:
         self._queue: deque[tuple[ServingFrame, int]] = deque()
         self._lock = threading.Lock()
         self.state = SERVING
+        #: set by the engine's graceful ``remove_session``: served, but
+        #: accepting no new submissions and never escalating to retrain
+        self.draining = False
+        #: live deficit-round-robin share (starts at the ``config.weight``
+        #: contract; steered by an engine-level ``WeightController``)
+        self.weight = float(self.config.weight)
         self.stats = SessionStats()
         self.ladder = AdaptationLadder(track_attempts=self.config.track_attempts)
 
@@ -255,18 +281,44 @@ class DemapperSession:
             self.sigma2 = (1.0 - alpha) * self.sigma2 + alpha * estimate
             return self.sigma2
 
+    def set_weight(self, weight: float, *, now: int = 0) -> float:
+        """Update the live scheduler weight; records the change in stats.
+
+        Clamped to the same floor as ``SessionConfig.weight`` (0.01 — a
+        backlogged session must make progress on a timescale the drain loop
+        can live with).  ``now`` is the engine tick stamped into
+        ``stats.weight_timeline``.  Returns the applied weight.
+        """
+        if not math.isfinite(weight):
+            raise ValueError("weight must be finite")
+        weight = max(float(weight), 0.01)
+        if weight != self.weight:
+            self.weight = weight
+            self.stats.weight_timeline.append((int(now), weight))
+        return self.weight
+
     # -- tiered adaptation ----------------------------------------------------
+    @property
+    def can_retrain(self) -> bool:
+        """True when a trigger may escalate to the retrain tier.
+
+        Requires a retrain policy *and* a session that is sticking around —
+        a draining session never retrains (the work would be thrown away
+        with the session), it rides its current centroids out.
+        """
+        return self.retrain is not None and not self.draining
+
     def plan_adaptation(self) -> str | None:
         """Pick this trigger's tier: track, retrain, or nothing.
 
         Tracking first while the ladder has attempts left (always, when no
-        retrain policy exists to escalate to); retrain when the budget is
+        retrain tier exists to escalate to); retrain when the budget is
         exhausted; None when neither tier is available (trigger recorded
         only — the PR-3 behaviour).
         """
-        if self.config.tracking and (self.retrain is None or self.ladder.wants_track()):
+        if self.config.tracking and (not self.can_retrain or self.ladder.wants_track()):
             return TIER_TRACK
-        return TIER_RETRAIN if self.retrain is not None else None
+        return TIER_RETRAIN if self.can_retrain else None
 
     def apply_track(self, frame: ServingFrame) -> bool:
         """Tracking-tier response: rigid centroid update from this frame's
@@ -312,17 +364,38 @@ class DemapperSession:
 
     # -- frame queue ---------------------------------------------------------
     def submit(self, frame: ServingFrame, *, now: int = 0) -> bool:
-        """Enqueue one frame; returns False (and counts a drop) when full.
+        """Enqueue one frame; returns False (and counts a reject) when full.
+
+        A draining session also returns False — it is leaving the engine
+        and accepts no new traffic (counted in ``stats.drain_refusals``;
+        unlike a backpressure reject, retrying cannot succeed — check
+        ``session.draining`` instead of spinning).
 
         ``now`` is the submission timestamp in engine simulated-clock ticks
         (the engine stamps it; direct callers may leave the default, which
         simply dates the frame from clock zero).
         """
+        if self.draining:
+            self.stats.drain_refusals += 1
+            return False
         if len(self._queue) >= self.config.queue_depth:
             self.stats.rejects += 1
             return False
         self._queue.append((frame, int(now)))
         return True
+
+    def discard_queue(self) -> int:
+        """Drop every queued frame (hard removal); returns the count dropped.
+
+        The drops are recorded in ``stats.frames_dropped`` — the one place
+        in the serving stack where an accepted frame is *not* eventually
+        demapped, which is why the churn soak's conservation invariant is
+        ``accepted == served + dropped + still-queued``.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        self.stats.frames_dropped += dropped
+        return dropped
 
     @property
     def pending(self) -> int:

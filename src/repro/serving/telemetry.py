@@ -100,6 +100,20 @@ class LatencyHistogram:
                 return (1 << b) - 1 if b else 0
         return (1 << max(self._buckets)) - 1  # pragma: no cover — q=1 hits above
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram's observations into this one (in place).
+
+        Equivalent to having recorded the other histogram's observations
+        here (bucket-exactly: both use the same power-of-two bucketing), so
+        per-shard snapshots can be combined into a fleet-wide view without
+        re-observing.  Returns ``self`` for chaining.
+        """
+        for b, n in other._buckets.items():
+            self._buckets[b] = self._buckets.get(b, 0) + n
+        self.count += other.count
+        self.total += other.total
+        return self
+
     def snapshot(self) -> dict:
         """Plain-dict copy: count, total, mean, p50/p99, bucket upper bounds."""
         return {
@@ -137,12 +151,24 @@ class SessionStats:
     #: submissions rejected by backpressure (queue full); producers may
     #: retry, so this counts *rejection events*, not lost frames
     rejects: int = 0
+    #: submissions refused because the session was draining (leaving the
+    #: engine); unlike ``rejects`` these are final — retrying cannot help
+    drain_refusals: int = 0
+    #: queued frames discarded by a hard ``remove_session(drain=False)``
+    frames_dropped: int = 0
     trigger_seqs: list[int] = field(default_factory=list)
     #: ``(seq, tier)`` per trigger that got an adaptation response
     tier_timeline: list[tuple[int, str]] = field(default_factory=list)
     pilot_ber_trajectory: list[float] = field(default_factory=list)
     #: session σ² estimate after each served frame's in-loop pilot update
     sigma2_trajectory: list[float] = field(default_factory=list)
+    #: this session's own queue-wait histogram (symbol ticks) — the signal
+    #: the engine's :class:`~repro.serving.weights.WeightController` steers
+    #: scheduler weights from
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: ``(engine tick, new weight)`` per adaptive-weight change applied to
+    #: this session (empty when no controller is installed)
+    weight_timeline: list[tuple[int, float]] = field(default_factory=list)
 
     def record_frame(
         self,
@@ -171,10 +197,14 @@ class SessionStats:
             "retrains": self.retrains,
             "tracks": self.tracks,
             "rejects": self.rejects,
+            "drain_refusals": self.drain_refusals,
+            "frames_dropped": self.frames_dropped,
             "trigger_seqs": list(self.trigger_seqs),
             "tier_timeline": list(self.tier_timeline),
             "pilot_ber_trajectory": list(self.pilot_ber_trajectory),
             "sigma2_trajectory": list(self.sigma2_trajectory),
+            "queue_wait": self.queue_wait.snapshot(),
+            "weight_timeline": list(self.weight_timeline),
         }
 
 
@@ -197,8 +227,24 @@ class EngineStats:
     symbols_served: int = 0
     retrains_started: int = 0
     retrains_completed: int = 0
+    #: retrain jobs whose session was removed before the job landed — the
+    #: result is discarded instead of installed (hard churn during retrain)
+    retrains_orphaned: int = 0
     #: tracking-tier responses applied across the fleet
     tracks: int = 0
+    #: sessions registered over the engine's lifetime (incl. the initial fleet)
+    joins: int = 0
+    #: sessions fully removed (drained sessions count here once the drain ends)
+    leaves: int = 0
+    #: graceful removals requested (``remove_session(drain=True)``)
+    drains_started: int = 0
+    #: graceful removals whose queue fully drained and left the engine
+    drains_completed: int = 0
+    #: queued frames discarded by hard removals across the fleet
+    frames_dropped: int = 0
+    #: ``(engine tick, live session count)`` per join/leave — the fleet-size
+    #: timeline; churn soaks assert against it, dashboards plot it
+    fleet_timeline: list[tuple[int, int]] = field(default_factory=list)
     occupancy: dict[int, int] = field(default_factory=dict)
     queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     service_time: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -214,6 +260,15 @@ class EngineStats:
         self.symbols_served += n_symbols
         self.occupancy[n_frames] = self.occupancy.get(n_frames, 0) + 1
 
+    def record_fleet_size(self, size: int) -> None:
+        """Append one fleet-size sample at the current simulated tick.
+
+        Consecutive joins/leaves within one tick each get their own entry
+        (the timeline is an event log, not a deduplicated series) so a soak
+        can reconstruct the exact churn order.
+        """
+        self.fleet_timeline.append((self.now, size))
+
     @property
     def mean_occupancy(self) -> float:
         """Average frames per kernel launch (NaN before the first batch)."""
@@ -228,7 +283,14 @@ class EngineStats:
             "symbols_served": self.symbols_served,
             "retrains_started": self.retrains_started,
             "retrains_completed": self.retrains_completed,
+            "retrains_orphaned": self.retrains_orphaned,
             "tracks": self.tracks,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "drains_started": self.drains_started,
+            "drains_completed": self.drains_completed,
+            "frames_dropped": self.frames_dropped,
+            "fleet_timeline": list(self.fleet_timeline),
             "mean_occupancy": self.mean_occupancy,
             "occupancy": {k: self.occupancy[k] for k in sorted(self.occupancy)},
             "queue_wait": self.queue_wait.snapshot(),

@@ -1,0 +1,134 @@
+"""SLO-driven adaptive scheduler weights: close the latency → QoS loop.
+
+PR 4 gave the engine queue-wait telemetry (per-frame symbol-clock ticks
+between submission and batch start, bucketed in
+:class:`~repro.serving.telemetry.LatencyHistogram`) and a weighted
+deficit-round-robin scheduler; until now the weights were static
+configuration.  This module closes the loop: a :class:`WeightController`
+installed on the engine watches each session's *own* queue-wait histogram
+(``SessionStats.queue_wait``) and steers its live ``session.weight``:
+
+* a session whose recent mean queue wait exceeds the SLO gets its weight
+  **raised** multiplicatively (``raise_factor``), capped at ``max_boost ×``
+  its configured base weight — backlog is burned down at the expense of
+  sessions with latency headroom;
+* a session meeting the SLO **decays** geometrically back toward its base
+  weight (``decay`` per control action) — boosts are loans, not grants, so
+  the static QoS contract (``SessionConfig.weight``) is what the fleet
+  reverts to at steady state.
+
+Control actions run every ``interval`` engine rounds over the *delta*
+window since the previous action (tracked as (count, total) marks per
+session — O(1) memory, no histogram copies).  Everything the controller
+reads is a pure function of the seeded traffic and the weights in effect,
+and everything it writes changes only *when* frames are served, never what
+they contain — so weight adaptation is deterministic given seeds and
+per-session output timelines stay bit-identical with or without it
+(the invariance pinned by ``tests/serving/test_control_plane.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serving.session import DemapperSession
+
+__all__ = ["WeightController"]
+
+
+class WeightController:
+    """Steer live DRR weights from per-session queue-wait SLOs.
+
+    Parameters
+    ----------
+    slo:
+        Queue-wait service-level objective in simulated symbol ticks: a
+        session whose mean queue wait over the last control window exceeds
+        this gets boosted.
+    interval:
+        Engine rounds between control actions (the engine calls
+        :meth:`on_round` every round; the controller acts every
+        ``interval``-th call).  Longer intervals average over more frames —
+        steadier, slower control.
+    raise_factor:
+        Multiplicative weight increase per missed-SLO control action.
+    decay:
+        Fraction of the *excess over base* retained per met-SLO control
+        action (``w ← base + decay · (w − base)``); 0 snaps straight back,
+        values near 1 release boosts slowly.
+    max_boost:
+        Cap on ``weight / base_weight`` — one pathological session can
+        never starve the fleet by compounding boosts without bound.
+    """
+
+    def __init__(
+        self,
+        slo: int,
+        *,
+        interval: int = 4,
+        raise_factor: float = 1.5,
+        decay: float = 0.5,
+        max_boost: float = 8.0,
+    ):
+        if slo <= 0:
+            raise ValueError("slo must be positive (symbol ticks)")
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        if not raise_factor > 1.0:
+            raise ValueError("raise_factor must be > 1.0")
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        if not max_boost >= 1.0:
+            raise ValueError("max_boost must be >= 1.0")
+        self.slo = int(slo)
+        self.interval = int(interval)
+        self.raise_factor = float(raise_factor)
+        self.decay = float(decay)
+        self.max_boost = float(max_boost)
+        self._rounds = 0
+        #: per-session (count, total) mark into its queue-wait histogram at
+        #: the last control action — the next action reads only the delta
+        self._marks: dict[str, tuple[int, int]] = {}
+
+    def on_round(self, sessions: Sequence[DemapperSession], *, now: int = 0) -> int:
+        """One engine round elapsed; act every ``interval``-th call.
+
+        Returns the number of sessions whose weight changed (0 on
+        non-action rounds).  ``now`` is the engine tick stamped into each
+        session's ``stats.weight_timeline``.
+        """
+        self._rounds += 1
+        if self._rounds % self.interval:
+            return 0
+        changed = 0
+        live_ids = set()
+        for session in sessions:
+            live_ids.add(session.session_id)
+            hist = session.stats.queue_wait
+            count0, total0 = self._marks.get(session.session_id, (0, 0))
+            window = hist.count - count0
+            self._marks[session.session_id] = (hist.count, hist.total)
+            base = session.config.weight
+            if window > 0 and (hist.total - total0) / window > self.slo:
+                target = min(session.weight * self.raise_factor, base * self.max_boost)
+            else:
+                # met the SLO (or served nothing — no evidence of pressure):
+                # release part of the boost geometrically; once the residual
+                # is below 1% of base, snap to base exactly so the weight
+                # timeline quiesces instead of logging asymptotic crumbs
+                target = base + self.decay * (session.weight - base)
+                if abs(target - base) < 0.01 * base:
+                    target = base
+            if target != session.weight:
+                session.set_weight(target, now=now)
+                changed += 1
+        # sessions that churned out must not leak marks (nor resurrect
+        # stale ones if the id is reused by a later session)
+        for sid in list(self._marks):
+            if sid not in live_ids:
+                del self._marks[sid]
+        return changed
+
+    def forget(self, session_id: str) -> None:
+        """Drop a departed session's control mark (engine removal hook)."""
+        self._marks.pop(session_id, None)

@@ -56,6 +56,11 @@ class RetrainWorker:
             else None
         )
         self._pending: list[tuple[DemapperSession, Future]] = []
+        #: jobs whose session was removed mid-flight: the thread keeps
+        #: running (we cannot yank it), but the result is discarded instead
+        #: of installed, and a failure is swallowed — nobody is serving on
+        #: that demapper, so there is no one to surface the error to
+        self._orphaned: list[Future] = []
 
     def submit(
         self,
@@ -71,6 +76,41 @@ class RetrainWorker:
         self._pending.append((session, self._pool.submit(job, rng)))
         return 0
 
+    def discard(self, session: DemapperSession) -> int:
+        """Orphan every in-flight job for a removed session; returns count.
+
+        The churn hook: ``remove_session`` must not leave a pending job
+        that would later install a demapper into a session the engine no
+        longer serves — nor may it block removal on a slow retrain.  The
+        job's thread keeps running; its eventual result (or exception) is
+        consumed and dropped by :meth:`poll` / :meth:`wait_all`.  Orphaned
+        jobs do not count as :attr:`pending` — they can never produce a
+        swap, so nothing should wait on them except :meth:`close`.
+        """
+        keep: list[tuple[DemapperSession, Future]] = []
+        orphaned = 0
+        for owner, fut in self._pending:
+            if owner is session:
+                self._orphaned.append(fut)
+                orphaned += 1
+            else:
+                keep.append((owner, fut))
+        self._pending = keep
+        return orphaned
+
+    def _reap_orphans(self, *, wait: bool = False) -> None:
+        """Drop finished orphaned futures (swallowing their exceptions)."""
+        still: list[Future] = []
+        for fut in self._orphaned:
+            if not wait and not fut.done():
+                still.append(fut)
+                continue
+            try:
+                fut.result()
+            except BaseException:  # noqa: BLE001 — orphan: nobody to tell
+                pass
+        self._orphaned = still
+
     def poll(self) -> int:
         """Install every finished job; returns how many swaps landed.
 
@@ -81,6 +121,7 @@ class RetrainWorker:
         is dropped (its session stays paused), every other finished job is
         installed exactly once, and nothing is ever installed twice.
         """
+        self._reap_orphans()
         installed = 0
         still_pending = []
         error: BaseException | None = None
@@ -106,18 +147,26 @@ class RetrainWorker:
 
         Each job is popped before its result is read, so a raising job is
         consumed exactly once (no re-install, no re-raise on a later call).
+        Orphaned jobs are awaited too (their results dropped) so callers
+        get the quiesced worker they asked for.
         """
         installed = 0
         while self._pending:
             session, fut = self._pending.pop(0)
             session.install(fut.result())
             installed += 1
+        self._reap_orphans(wait=True)
         return installed
 
     @property
     def pending(self) -> int:
-        """Jobs submitted but not yet installed."""
+        """Installable jobs submitted but not yet installed (excludes orphans)."""
         return len(self._pending)
+
+    @property
+    def orphaned(self) -> int:
+        """Discarded in-flight jobs not yet reaped."""
+        return len(self._orphaned)
 
     def close(self) -> None:
         """Finish outstanding jobs and shut the pool down.

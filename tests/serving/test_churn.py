@@ -1,0 +1,589 @@
+"""Session churn: joins, drains, hard removals — under load, deterministically.
+
+Four layers of coverage:
+
+* **removal semantics** — drain vs hard removal, retrain interactions
+  (orphaned jobs), scheduler ``forget`` exactly once, churn telemetry;
+* **churn loadgen** — ``SessionPlan`` / ``run_churn_load`` arrival and
+  departure schedules;
+* **soak** — a seeded randomized run of 200+ rounds mixing joins, drains,
+  hard removals, retrain triggers, adaptive weights and backpressure,
+  asserting the conservation invariants that make churn safe: a drained
+  session loses no accepted frame, ``accepted == served + dropped`` fleet
+  wide, and the scheduler leaks no credit for departed sessions;
+* **survivor invariance** — the determinism contract extended to churn: a
+  surviving session's LLR stream and σ²/trigger/tier timelines are
+  bit-identical whichever churn storm happens around it, at any batch
+  width and worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels import sigma2_from_snr
+from repro.channels.factories import AWGNFactory, CompositeFactory, PhaseOffsetFactory
+from repro.extraction import HybridDemapper
+from repro.extraction.monitor import PilotBERMonitor
+from repro.link.frames import FrameConfig
+from repro.modulation import qam_constellation
+from repro.serving import (
+    RETRAINING,
+    DeficitRoundRobin,
+    DemapperSession,
+    ServingEngine,
+    SessionConfig,
+    SessionPlan,
+    SteadyChannel,
+    SteppedChannel,
+    WeightController,
+    generate_traffic,
+    run_churn_load,
+)
+
+S10 = sigma2_from_snr(10.0, 4)
+FC = FrameConfig(pilot_symbols=8, payload_symbols=24)
+OFFSET = np.pi / 4
+
+
+@pytest.fixture(scope="module")
+def qam16():
+    return qam_constellation(16)
+
+
+class RotateStub:
+    """Deterministic-in-rng retrain stand-in (the determinism-suite canary):
+    corrected centroids plus an rng-drawn jitter, so a reused or reordered
+    job generator would change outputs."""
+
+    def __init__(self, qam, angle=OFFSET):
+        self.qam = qam
+        self.angle = angle
+
+    def __call__(self, rng):
+        angle = self.angle + rng.normal(scale=1e-3)
+        return HybridDemapper(
+            constellation=type(self.qam)(points=self.qam.points * np.exp(1j * angle)),
+            sigma2=S10,
+        )
+
+
+def make_session(qam, sid, *, seed=0, queue_depth=4, retrain=None, weight=1.0,
+                 threshold=0.9, tracking=False):
+    return DemapperSession(
+        sid,
+        HybridDemapper(constellation=qam, sigma2=S10),
+        PilotBERMonitor(threshold, window=2, cooldown=2),
+        config=SessionConfig(
+            frame=FC, queue_depth=queue_depth, weight=weight,
+            sigma2_alpha=0.25, tracking=tracking,
+        ),
+        retrain=retrain,
+        rng=seed,
+    )
+
+
+def clean_traffic(qam, n_frames, seed, *, snr=10.0):
+    return generate_traffic(qam, FC, n_frames, SteadyChannel(AWGNFactory(snr, 4)), seed)
+
+
+def jump_traffic(qam, n_frames, seed, *, step=4):
+    chan = SteppedChannel(
+        AWGNFactory(10.0, 4),
+        CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(10.0, 4))),
+        step_seq=step,
+    )
+    return generate_traffic(qam, FC, n_frames, chan, seed)
+
+
+class ForgetSpy(DeficitRoundRobin):
+    """Counts ``forget`` calls per session id (must be exactly one per leave)."""
+
+    def __init__(self):
+        super().__init__()
+        self.forgotten: dict[str, int] = {}
+
+    def forget(self, session_id):
+        self.forgotten[session_id] = self.forgotten.get(session_id, 0) + 1
+        super().forget(session_id)
+
+
+class TestRemoveSession:
+    def test_drained_session_serves_accepted_frames_then_leaves(self, qam16):
+        served = []
+        engine = ServingEngine(
+            on_frame=lambda s, f, llrs, rep: served.append((s.session_id, f.seq))
+        )
+        session = engine.add_session(make_session(qam16, "leaver", seed=1))
+        frames = clean_traffic(qam16, 3, 5)
+        for f in frames:
+            assert engine.submit("leaver", f)
+        assert engine.remove_session("leaver", drain=True) == 0
+        # draining: no new submissions, but every accepted frame is served
+        assert not engine.submit("leaver", frames[0])
+        assert session.stats.drain_refusals == 1
+        assert session.stats.rejects == 0  # a drain refusal is not backpressure
+        engine.drain()
+        assert [seq for _, seq in served] == [0, 1, 2]
+        assert session.stats.frames_served == 3
+        assert session.stats.frames_dropped == 0
+        with pytest.raises(KeyError):
+            engine.session("leaver")
+        tele = engine.telemetry
+        assert tele.drains_started == tele.drains_completed == 1
+        assert tele.joins == 1 and tele.leaves == 1
+        assert tele.frames_dropped == 0
+
+    def test_drain_is_idempotent(self, qam16):
+        engine = ServingEngine()
+        engine.add_session(make_session(qam16, "s0"))
+        engine.submit("s0", clean_traffic(qam16, 1, 2)[0])
+        engine.remove_session("s0", drain=True)
+        engine.remove_session("s0", drain=True)  # no-op, not an error
+        assert engine.telemetry.drains_started == 1
+        engine.drain()
+        assert engine.telemetry.drains_completed == 1
+
+    def test_drain_of_empty_session_removes_immediately(self, qam16):
+        engine = ServingEngine()
+        engine.add_session(make_session(qam16, "idle"))
+        engine.remove_session("idle", drain=True)
+        assert engine.sessions == ()  # nothing to serve: gone at once
+        assert engine.telemetry.drains_completed == 1
+
+    def test_hard_removal_drops_queue_and_reports_count(self, qam16):
+        engine = ServingEngine()
+        session = engine.add_session(make_session(qam16, "s0"))
+        for f in clean_traffic(qam16, 3, 7):
+            engine.submit("s0", f)
+        dropped = engine.remove_session("s0", drain=False)
+        assert dropped == 3
+        assert session.stats.frames_dropped == 3
+        assert engine.telemetry.frames_dropped == 3
+        assert engine.telemetry.leaves == 1
+        assert engine.telemetry.drains_started == 0
+        assert engine.sessions == ()
+
+    def test_remove_unknown_session_raises_keyerror(self, qam16):
+        engine = ServingEngine()
+        with pytest.raises(KeyError, match="ghost"):
+            engine.remove_session("ghost")
+
+    def test_fleet_timeline_tracks_joins_and_leaves(self, qam16):
+        engine = ServingEngine()
+        engine.add_session(make_session(qam16, "a"))
+        engine.add_session(make_session(qam16, "b"))
+        engine.remove_session("a", drain=False)
+        sizes = [size for _, size in engine.telemetry.fleet_timeline]
+        assert sizes == [1, 2, 1]
+        assert engine.telemetry.snapshot()["fleet_timeline"] == [(0, 1), (0, 2), (0, 1)]
+
+    def test_forget_called_exactly_once_and_credit_dropped(self, qam16):
+        spy = ForgetSpy()
+        engine = ServingEngine(scheduler=spy)
+        engine.add_session(make_session(qam16, "drained", weight=0.5))
+        engine.add_session(make_session(qam16, "hard", weight=0.5))
+        for sid in ("drained", "hard"):
+            for f in clean_traffic(qam16, 2, 3):
+                engine.submit(sid, f)
+        engine.step()  # both accrue fractional credit (weight .5: no serve yet)
+        assert spy.credit("drained") == 0.5 and spy.credit("hard") == 0.5
+        engine.remove_session("hard", drain=False)
+        engine.remove_session("drained", drain=True)
+        engine.drain()
+        assert spy.forgotten == {"drained": 1, "hard": 1}
+        assert spy.credits() == {}  # departed sessions leak nothing
+
+    def test_session_id_reusable_after_removal(self, qam16):
+        engine = ServingEngine()
+        engine.add_session(make_session(qam16, "s0"))
+        engine.remove_session("s0", drain=False)
+        fresh = engine.add_session(make_session(qam16, "s0", seed=9))
+        assert engine.session("s0") is fresh
+        assert engine.telemetry.joins == 2 and engine.telemetry.leaves == 1
+
+    def test_adding_a_draining_session_is_rejected(self, qam16):
+        engine = ServingEngine()
+        session = make_session(qam16, "s0")
+        session.draining = True
+        with pytest.raises(ValueError, match="draining"):
+            engine.add_session(session)
+
+    def test_draining_session_never_escalates_to_retrain(self, qam16):
+        engine = ServingEngine()
+        session = engine.add_session(
+            make_session(qam16, "s0", retrain=RotateStub(qam16), threshold=0.12,
+                         queue_depth=8)
+        )
+        for f in jump_traffic(qam16, 6, 11, step=0):  # degraded from frame 0
+            assert engine.submit("s0", f)
+        engine.remove_session("s0", drain=True)
+        assert not session.can_retrain  # policy present, but leaving
+        engine.drain()
+        assert session.stats.frames_served == 6  # kept serving degraded
+        assert session.stats.trigger_seqs  # the monitor did fire
+        assert session.stats.retrains == 0
+        assert engine.telemetry.retrains_started == 0
+
+    def test_drain_waits_for_inflight_retrain_then_serves_and_leaves(self, qam16):
+        import threading
+
+        release = threading.Event()
+        corrected = HybridDemapper(constellation=qam16, sigma2=S10)
+
+        def slow_policy(rng):
+            release.wait(timeout=30)
+            return corrected
+
+        engine = ServingEngine(retrain_workers=1)
+        session = engine.add_session(
+            make_session(qam16, "s0", retrain=slow_policy, threshold=0.12)
+        )
+        frames = jump_traffic(qam16, 6, 13, step=0)
+        for f in frames[:4]:
+            engine.submit("s0", f)
+        for _ in range(4):
+            engine.step()  # trigger fires; retrain parks on the worker
+        assert session.state == RETRAINING and session.pending > 0
+        engine.remove_session("s0", drain=True)
+        engine.step()
+        assert engine.session("s0") is session  # still waiting on the swap
+        release.set()
+        engine.drain()
+        assert session.stats.retrains == 1          # the swap still landed
+        assert session.stats.frames_served == 4     # queue fully served
+        assert session.stats.frames_dropped == 0    # drained: nothing lost
+        with pytest.raises(KeyError):
+            engine.session("s0")
+        engine.close()
+
+    def test_hard_removal_orphans_inflight_retrain(self, qam16):
+        import threading
+
+        release = threading.Event()
+
+        def slow_failing_policy(rng):
+            release.wait(timeout=30)
+            raise RuntimeError("retrain exploded after its session left")
+
+        engine = ServingEngine(retrain_workers=1)
+        session = engine.add_session(
+            make_session(qam16, "s0", retrain=slow_failing_policy, threshold=0.12)
+        )
+        for f in jump_traffic(qam16, 4, 17, step=0):
+            engine.submit("s0", f)
+        for _ in range(4):
+            engine.step()
+        assert session.state == RETRAINING
+        dropped = engine.remove_session("s0", drain=False)
+        assert dropped == session.stats.frames_dropped > 0
+        assert engine.telemetry.retrains_orphaned == 1
+        assert engine.worker.pending == 0  # nothing left that could install
+        release.set()
+        engine.close()  # the orphan's failure is swallowed, not raised
+        assert session.stats.retrains == 0  # never installed into the ghost
+
+
+class TestChurnLoadgen:
+    def test_plan_validation(self, qam16):
+        session = make_session(qam16, "s0")
+        frames = clean_traffic(qam16, 2, 1)
+        with pytest.raises(ValueError):
+            SessionPlan(session, frames, join_round=-1)
+        with pytest.raises(ValueError):
+            SessionPlan(session, frames, join_round=3, leave_round=3)
+
+    def test_arrivals_departures_and_residents(self, qam16):
+        engine = ServingEngine()
+        resident = make_session(qam16, "resident", seed=1)
+        drainer = make_session(qam16, "drainer", seed=2, queue_depth=8)
+        hard = make_session(qam16, "hard", seed=3, queue_depth=8)
+        late = make_session(qam16, "late", seed=4)
+        plans = [
+            SessionPlan(resident, clean_traffic(qam16, 6, 11)),
+            SessionPlan(drainer, clean_traffic(qam16, 8, 12), leave_round=3),
+            SessionPlan(hard, clean_traffic(qam16, 8, 13), leave_round=3, drain=False),
+            SessionPlan(late, clean_traffic(qam16, 3, 14), join_round=4),
+        ]
+        stats = run_churn_load(engine, plans, max_rounds=100)
+        # residents fully served
+        assert resident.stats.frames_served == 6
+        assert late.stats.frames_served == 3
+        # the drainer lost nothing it accepted; the producer stopped at round 3
+        assert drainer.stats.frames_dropped == 0
+        assert drainer.stats.frames_served >= 3
+        # the hard leaver had queued frames discarded
+        assert hard.stats.frames_served + hard.stats.frames_dropped >= 3
+        assert stats.joins == 4 and stats.leaves == 2
+        assert {s.session_id for s in engine.sessions} == {"resident", "late"}
+
+    def test_max_rounds_guard(self, qam16):
+        engine = ServingEngine()
+        plans = [SessionPlan(make_session(qam16, "s0"), clean_traffic(qam16, 50, 1))]
+        with pytest.raises(RuntimeError, match="max_rounds"):
+            run_churn_load(engine, plans, max_rounds=3)
+
+    def test_leaver_with_early_finished_traffic_is_still_removed(self, qam16):
+        """A leaver whose traffic runs dry before leave_round departs at its
+        scheduled round anyway — the run must not return with the session
+        still registered (phantom resident, missing leave telemetry)."""
+        engine = ServingEngine()
+        resident = make_session(qam16, "resident", seed=1)
+        leaver = make_session(qam16, "leaver", seed=2)
+        plans = [
+            SessionPlan(resident, clean_traffic(qam16, 12, 3)),
+            # 2 frames, served by ~round 2; departure scheduled at round 8
+            SessionPlan(leaver, clean_traffic(qam16, 2, 4), leave_round=8),
+        ]
+        stats = run_churn_load(engine, plans, max_rounds=100)
+        assert leaver.stats.frames_served == 2
+        assert {s.session_id for s in engine.sessions} == {"resident"}
+        assert stats.leaves == 1 and stats.drains_completed == 1
+
+
+class TestChurnSoak:
+    """Seeded randomized soak: ≥200 rounds of joins, drains, hard removals,
+    retrain triggers, adaptive weights and backpressure — with conservation
+    invariants checked every round."""
+
+    N_ROUNDS = 210
+    MAX_FLEET = 10
+
+    def run_soak(self, qam, seed, *, retrain_workers=0, max_batch=64):
+        rng = np.random.default_rng(seed)
+        engine = ServingEngine(
+            max_batch=max_batch,
+            retrain_workers=retrain_workers,
+            weight_controller=WeightController(slo=FC.total_symbols * 6, interval=4),
+        )
+        accepted: dict[str, int] = {}
+        live: dict[str, dict] = {}      # sid -> {"session", "frames", "offset"}
+        removed_drained: list[DemapperSession] = []
+        removed_hard: list[DemapperSession] = []
+        draining_ids: set[str] = set()
+        next_id = 0
+
+        def join():
+            nonlocal next_id
+            sid = f"c{next_id}"
+            next_id += 1
+            (srng,) = rng.spawn(1)
+            jumpy = rng.random() < 0.4
+            session = make_session(
+                qam, sid, seed=int(rng.integers(2**31)), queue_depth=2,
+                retrain=RotateStub(qam) if jumpy else None,
+                threshold=0.12 if jumpy else 0.9,
+                weight=float(rng.choice([0.5, 1.0, 2.0])),
+            )
+            n_frames = int(rng.integers(8, 25))
+            frames = (
+                jump_traffic(qam, n_frames, srng, step=int(rng.integers(2, 6)))
+                if jumpy else clean_traffic(qam, n_frames, srng)
+            )
+            engine.add_session(session)
+            live[sid] = {"session": session, "frames": frames, "offset": 0}
+            accepted[sid] = 0
+
+        for _ in range(4):
+            join()
+
+        for r in range(self.N_ROUNDS):
+            op = rng.random()
+            if op < 0.12 and len(live) < self.MAX_FLEET:
+                join()
+            elif op < 0.18 and len(live) > 2:
+                sid = str(rng.choice(sorted(set(live) - draining_ids) or sorted(live)))
+                if sid not in draining_ids:
+                    engine.remove_session(sid, drain=True)
+                    draining_ids.add(sid)
+                    removed_drained.append(live[sid]["session"])
+            elif op < 0.22 and len(live) > 2:
+                sid = str(rng.choice(sorted(live)))
+                engine.remove_session(sid, drain=False)
+                entry = live.pop(sid)
+                if sid in draining_ids:
+                    draining_ids.discard(sid)
+                    removed_drained.remove(entry["session"])
+                removed_hard.append(entry["session"])
+            # producers: burst 0-3 submissions per live session (bursts beat
+            # queue_depth=2, so backpressure rejects genuinely happen)
+            for sid in sorted(set(live) - draining_ids):
+                entry = live[sid]
+                for _ in range(int(rng.integers(0, 4))):
+                    o = entry["offset"]
+                    if o >= len(entry["frames"]):
+                        break
+                    if engine.submit(sid, entry["frames"][o]):
+                        entry["offset"] = o + 1
+                        accepted[sid] += 1
+            engine.step()
+            # drained sessions disappear once empty — sync our live view
+            gone = [sid for sid in draining_ids
+                    if all(s.session_id != sid for s in engine.sessions)]
+            for sid in gone:
+                draining_ids.discard(sid)
+                live.pop(sid)
+            # -- invariants, every round --------------------------------------
+            live_ids = {s.session_id for s in engine.sessions}
+            credits = engine.scheduler.credits()
+            assert set(credits) <= live_ids, "credit leaked past a removal"
+            for sid, c in credits.items():
+                # the documented burst cap, from the session's *live* weight
+                # (adaptive boosts included)
+                cap = max(1.0, engine.scheduler.burst * engine.scheduler.quantum
+                          * engine.session(sid).weight)
+                assert 0.0 <= c <= cap + 1e-9, (sid, c, cap)
+
+        for sid in sorted(set(live) - draining_ids):
+            if sid in live:
+                engine.remove_session(sid, drain=True)
+                removed_drained.append(live[sid]["session"])
+        engine.drain(max_rounds=10_000)
+        engine.close()
+        return engine, accepted, removed_drained, removed_hard
+
+    @pytest.mark.parametrize("retrain_workers", [0, 2])
+    def test_soak_conserves_frames_and_credit(self, qam16, retrain_workers):
+        engine, accepted, drained, hard = self.run_soak(
+            qam16, seed=2026, retrain_workers=retrain_workers
+        )
+        tele = engine.telemetry
+        # the soak actually exercised everything it claims to
+        assert tele.rounds >= self.N_ROUNDS
+        assert tele.joins > 4 and tele.leaves == tele.joins  # all left at the end
+        assert tele.drains_completed == len(drained)
+        assert len(hard) > 0 and tele.frames_dropped > 0
+        assert tele.retrains_started > 0
+        assert sum(s.stats.rejects for s in drained + hard) > 0, "no backpressure?"
+        # no frame loss for drained sessions: accepted == served, exactly
+        for session in drained:
+            sid = session.session_id
+            assert session.stats.frames_served == accepted[sid], sid
+            assert session.stats.frames_dropped == 0
+        # hard removals: every accepted frame is accounted served-or-dropped
+        for session in hard:
+            sid = session.session_id
+            assert (
+                session.stats.frames_served + session.stats.frames_dropped
+                == accepted[sid]
+            ), sid
+        # fleet-wide conservation
+        total_accepted = sum(accepted.values())
+        total_served = sum(s.stats.frames_served for s in drained + hard)
+        assert total_served == tele.frames_served
+        assert total_accepted == total_served + tele.frames_dropped
+        # scheduler fully quiesced
+        assert engine.scheduler.credits() == {}
+        # fleet-size timeline bookends: grows from the seed fleet, ends empty
+        assert engine.telemetry.fleet_timeline[0][1] == 1
+        assert engine.telemetry.fleet_timeline[-1][1] == 0
+
+    def test_soak_is_deterministic(self, qam16):
+        a = self.run_soak(qam16, seed=7)[0].telemetry.snapshot()
+        b = self.run_soak(qam16, seed=7)[0].telemetry.snapshot()
+        assert a == b
+
+
+class TestSurvivorInvariance:
+    """The churn determinism contract: a surviving session's outputs are a
+    pure function of its own traffic — invariant to the churn composition
+    around it, the micro-batch width, and the retrain worker count."""
+
+    N_FRAMES = 14
+
+    def survivor_traffic(self, qam):
+        return jump_traffic(qam, self.N_FRAMES, 4242, step=6)
+
+    def run(self, qam, churn_seed, *, max_batch=64, retrain_workers=0):
+        """One run: the watched survivor plus a churn storm around it."""
+        llrs: list[np.ndarray] = []
+        engine = ServingEngine(
+            max_batch=max_batch,
+            retrain_workers=retrain_workers,
+            on_frame=lambda s, f, block, rep: (
+                llrs.append(block.copy()) if s.session_id == "watch" else None
+            ),
+        )
+        survivor = make_session(
+            qam, "watch", seed=1234, queue_depth=3,
+            retrain=RotateStub(qam), threshold=0.12, tracking=True,
+        )
+        engine.add_session(survivor)
+        frames = self.survivor_traffic(qam)
+        churn: dict[str, dict] = {}
+        rng = np.random.default_rng(churn_seed)
+        offset = 0
+        guard = 0
+        while survivor.stats.frames_served < self.N_FRAMES:
+            guard += 1
+            assert guard < 500, "survivor starved"
+            if churn_seed is not None:
+                # a churn storm: join up to 2 sessions/round, drain or
+                # hard-remove others, all driven by the churn seed only
+                if rng.random() < 0.5 and len(churn) < 6:
+                    sid = f"g{guard}"
+                    (srng,) = rng.spawn(1)
+                    engine.add_session(
+                        make_session(qam, sid, seed=int(rng.integers(2**31)),
+                                     weight=float(rng.choice([0.5, 2.0])))
+                    )
+                    churn[sid] = {"frames": clean_traffic(qam, 30, srng), "o": 0}
+                if churn and rng.random() < 0.35:
+                    sid = str(rng.choice(sorted(churn)))
+                    engine.remove_session(sid, drain=bool(rng.random() < 0.5))
+                    del churn[sid]
+                for sid in sorted(churn):
+                    if any(s.session_id == sid for s in engine.sessions):
+                        entry = churn[sid]
+                        while entry["o"] < len(entry["frames"]) and engine.submit(
+                            sid, entry["frames"][entry["o"]]
+                        ):
+                            entry["o"] += 1
+            while offset < len(frames) and engine.submit("watch", frames[offset]):
+                offset += 1
+            engine.step()
+            if survivor.state == RETRAINING and engine.worker.pending:
+                engine.telemetry.retrains_completed += engine.worker.wait_all()
+        engine.close()
+        timeline = (
+            tuple(survivor.stats.trigger_seqs),
+            tuple(survivor.stats.tier_timeline),
+            tuple(survivor.stats.sigma2_trajectory),
+            survivor.stats.retrains,
+            survivor.stats.tracks,
+        )
+        return llrs, timeline
+
+    @pytest.fixture(scope="class")
+    def reference(self, qam16):
+        """No churn, sequential batches, inline worker."""
+        return self.run(qam16, churn_seed=None, max_batch=1)
+
+    def assert_identical(self, run, reference):
+        llrs, timeline = run
+        ref_llrs, ref_timeline = reference
+        assert timeline == ref_timeline
+        assert len(llrs) == len(ref_llrs) == self.N_FRAMES
+        for got, ref in zip(llrs, ref_llrs):
+            assert np.array_equal(got, ref)
+
+    def test_reference_scenario_adapts(self, reference):
+        _, timeline = reference
+        assert timeline[0], "survivor's monitor never fired — scenario too easy"
+
+    @pytest.mark.parametrize("churn_seed", [1, 2, 3])
+    def test_invariant_to_churn_schedule(self, qam16, reference, churn_seed):
+        self.assert_identical(self.run(qam16, churn_seed=churn_seed), reference)
+
+    @pytest.mark.parametrize("max_batch", [2, 64])
+    def test_invariant_to_batch_width_under_churn(self, qam16, reference, max_batch):
+        self.assert_identical(
+            self.run(qam16, churn_seed=5, max_batch=max_batch), reference
+        )
+
+    @pytest.mark.parametrize("retrain_workers", [1, 3])
+    def test_invariant_to_worker_count_under_churn(
+        self, qam16, reference, retrain_workers
+    ):
+        self.assert_identical(
+            self.run(qam16, churn_seed=5, retrain_workers=retrain_workers), reference
+        )

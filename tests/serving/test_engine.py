@@ -266,6 +266,79 @@ class TestRetrainWorker:
         assert session.stats.retrains == 1
 
 
+class TestDrainGuard:
+    """drain() must fail loudly, naming the culprits, instead of spinning."""
+
+    def test_no_progress_error_names_stuck_sessions(self, qam16):
+        engine = ServingEngine()
+        stuck, healthy = fleet(engine, qam16, 2)
+        frames = awgn_traffic(qam16, [stuck, healthy], 2)
+        for s in (stuck, healthy):
+            for f in frames[s.session_id]:
+                engine.submit(s.session_id, f)
+        # pause with no job in flight: nothing can ever make progress
+        stuck.begin_retrain()
+        with pytest.raises(RuntimeError, match=stuck.session_id):
+            engine.drain()
+        assert healthy.stats.frames_served == 2  # others drained first
+
+    def test_max_rounds_guard_catches_spinning_scheduler(self, qam16):
+        from repro.serving import DeficitRoundRobin
+
+        class StuckScheduler(DeficitRoundRobin):
+            def allocate(self, sessions):
+                return {}  # pathological: never grants a quota
+
+        engine = ServingEngine(scheduler=StuckScheduler())
+        (session,) = fleet(engine, qam16, 1)
+        engine.submit(session.session_id, awgn_traffic(qam16, [session], 1)[
+            session.session_id][0])
+        # the session stays ready forever, so the unguarded loop would spin;
+        # the guard raises and names it
+        with pytest.raises(RuntimeError, match="max_rounds=25"):
+            engine.drain(max_rounds=25)
+        with pytest.raises(RuntimeError, match=session.session_id):
+            engine.drain(max_rounds=5)
+
+    def test_max_rounds_generous_enough_passes(self, qam16):
+        engine = ServingEngine()
+        sessions = fleet(engine, qam16, 2)
+        traffic = awgn_traffic(qam16, sessions, 3)
+        for sid, frames in traffic.items():
+            for f in frames:
+                engine.submit(sid, f)
+        assert engine.drain(max_rounds=100) == 6
+
+    def test_drain_finishing_exactly_on_the_bound_returns(self, qam16):
+        """Completion is checked before the guard: a drain that needs
+        exactly max_rounds rounds must return, not raise with an empty
+        stuck-session list."""
+        engine = ServingEngine()
+        (session,) = fleet(engine, qam16, 1)
+        for f in awgn_traffic(qam16, [session], 3)[session.session_id]:
+            engine.submit(session.session_id, f)
+        assert engine.drain(max_rounds=3) == 3  # one frame per round
+
+    def test_max_rounds_validation(self, qam16):
+        with pytest.raises(ValueError):
+            ServingEngine().drain(max_rounds=0)
+
+    def test_run_load_max_rounds_raises_like_drain(self, qam16):
+        """max_rounds means the same thing across drain/run_load/
+        run_churn_load: a safety bound that raises, never a silent stop."""
+        engine = ServingEngine()
+        sessions = fleet(engine, qam16, 1)
+        traffic = awgn_traffic(qam16, sessions, 10)
+        with pytest.raises(RuntimeError, match="max_rounds=2"):
+            run_load(engine, traffic, max_rounds=2)
+        # a bound the run fits inside — including finishing exactly on it —
+        # completes normally
+        engine2 = ServingEngine()
+        sessions2 = fleet(engine2, qam16, 1)
+        stats = run_load(engine2, awgn_traffic(qam16, sessions2, 3), max_rounds=3)
+        assert stats.frames_served == 3
+
+
 class TestEngineApi:
     def test_duplicate_session_rejected(self, qam16):
         engine = ServingEngine()

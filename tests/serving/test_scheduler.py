@@ -1,7 +1,12 @@
-"""Deficit-round-robin scheduling: QoS weights, credit accounting, engine waves."""
+"""Deficit-round-robin scheduling: QoS weights, credit accounting, engine
+waves, credit-safety properties, and the SLO-driven weight controller."""
+
+import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.channels import sigma2_from_snr
 from repro.extraction import HybridDemapper
@@ -14,6 +19,7 @@ from repro.serving import (
     ServingEngine,
     ServingFrame,
     SessionConfig,
+    WeightController,
 )
 
 SIGMA2 = sigma2_from_snr(8.0, 4)
@@ -109,6 +115,8 @@ class TestDeficitRoundRobin:
         with pytest.raises(ValueError):
             DeficitRoundRobin(quantum=0.0)
         with pytest.raises(ValueError):
+            DeficitRoundRobin(burst=0.5)
+        with pytest.raises(ValueError):
             SessionConfig(weight=0.0)
         with pytest.raises(ValueError):
             SessionConfig(weight=float("inf"))
@@ -117,6 +125,255 @@ class TestDeficitRoundRobin:
             # the engine's drain loop into a ~1e9-round busy spin
             SessionConfig(weight=0.001)
         SessionConfig(weight=0.01)  # the floor itself is valid
+
+
+class FakeSession:
+    """The duck type ``DeficitRoundRobin.allocate`` reads: id, live weight,
+    queue depth, pause flag.  Keeps the hypothesis properties fast."""
+
+    def __init__(self, sid, weight, pending=0):
+        self.session_id = sid
+        self.weight = weight
+        self.pending = pending
+        self.paused = False
+
+    @property
+    def ready(self):
+        return not self.paused and self.pending > 0
+
+
+#: One randomized round of queue churn per session: (pending, paused).
+ROUND = st.tuples(st.integers(min_value=0, max_value=10), st.booleans())
+WEIGHTS = st.floats(min_value=0.01, max_value=8.0, allow_nan=False)
+
+
+class TestDRRProperties:
+    """Credit-safety invariants under adversarial queue churn (hypothesis)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        quantum=st.floats(min_value=0.25, max_value=4.0),
+        burst=st.floats(min_value=1.0, max_value=4.0),
+        weights=st.lists(WEIGHTS, min_size=1, max_size=4),
+        rounds=st.lists(st.lists(ROUND, min_size=1, max_size=4), min_size=1, max_size=25),
+    )
+    def test_credit_never_exceeds_burst_cap(self, quantum, burst, weights, rounds):
+        """Stored credit is bounded by ``max(quantum, burst·quantum·weight)``
+        no matter how queues fill, empty, or flap around the allocator."""
+        drr = DeficitRoundRobin(quantum, burst=burst)
+        sessions = [FakeSession(f"s{i}", w) for i, w in enumerate(weights)]
+        for state in rounds:
+            for session, (pending, paused) in zip(sessions, state):
+                session.pending = pending
+                session.paused = paused
+            quotas = drr.allocate(sessions)
+            for session in sessions:
+                # a quota is immediately backed by pending frames
+                assert quotas.get(session.session_id, 0) <= session.pending
+                cap = max(1.0, burst * quantum * session.weight)
+                assert 0.0 <= drr.credit(session.session_id) <= cap + 1e-12
+            assert set(drr.credits()) <= {s.session_id for s in sessions}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        quantum=st.floats(min_value=0.25, max_value=4.0),
+        weight=WEIGHTS,
+        competitors=st.lists(WEIGHTS, min_size=0, max_size=4),
+    )
+    def test_backlogged_session_never_starves(self, quantum, weight, competitors):
+        """A continuously backlogged session never goes unserved beyond
+        ``ceil(1/(quantum·weight))`` consecutive rounds regardless of the
+        competition — DRR's bounded-delay guarantee at frame granularity.
+        The ``quantum < 1`` axis pins the burst-cap floor of one whole
+        frame: a cap below that would freeze slow-accrual sessions forever.
+        (The bound is inclusive: summing accrual in floats can land a hair
+        under 1.0 on the exact boundary round, e.g. 10 × 0.1.)
+        """
+        drr = DeficitRoundRobin(quantum)
+        watched = FakeSession("w", weight, pending=5)
+        others = [FakeSession(f"o{i}", w, pending=5) for i, w in enumerate(competitors)]
+        bound = math.ceil(1.0 / (quantum * weight))
+        gap = 0
+        for _ in range(3 * bound + 10):
+            quotas = drr.allocate([watched, *others])
+            served = quotas.get("w", 0)
+            watched.pending += 1 - served  # producer refills: always backlogged
+            for o in others:
+                o.pending += 1 - quotas.get(o.session_id, 0)
+            gap = 0 if served else gap + 1
+            assert gap <= bound, (
+                f"starved {gap} rounds at quantum {quantum} weight {weight}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(weight=WEIGHTS, accrue_rounds=st.integers(min_value=1, max_value=10))
+    def test_forget_then_readmit_starts_from_zero_credit(self, weight, accrue_rounds):
+        """``forget`` wipes banked credit: a session re-admitted under the
+        same id accrues exactly like a brand-new one, round for round."""
+        drr = DeficitRoundRobin()
+        fresh = DeficitRoundRobin()
+        session = FakeSession("s", weight, pending=100)
+        for _ in range(accrue_rounds):
+            drr.allocate([session])
+        drr.forget("s")
+        assert drr.credit("s") == 0.0
+        twin = FakeSession("s", weight, pending=100)
+        for _ in range(accrue_rounds):
+            a = drr.allocate([session])
+            b = fresh.allocate([twin])
+            assert a == b
+            assert drr.credit("s") == fresh.credit("s")
+
+
+class TestWeightController:
+    def make_session(self, sid="s0", *, weight=1.0):
+        return make_session(sid, weight=weight)
+
+    def record_waits(self, session, *waits):
+        for w in waits:
+            session.stats.queue_wait.record(w)
+
+    def test_missed_slo_boosts_and_recovery_decays_to_base(self):
+        ctl = WeightController(slo=100, interval=1, raise_factor=2.0, decay=0.5)
+        s = self.make_session()
+        self.record_waits(s, 400, 400)
+        assert ctl.on_round([s], now=10) == 1
+        assert s.weight == 2.0
+        assert s.stats.weight_timeline == [(10, 2.0)]
+        self.record_waits(s, 400)          # still missing: compounds
+        ctl.on_round([s], now=20)
+        assert s.weight == 4.0
+        self.record_waits(s, 10)           # healthy: geometric decay to base
+        ctl.on_round([s], now=30)
+        assert s.weight == 1.0 + 0.5 * 3.0
+        for now in (40, 50, 60, 70, 80, 90, 100, 110, 120, 130):
+            self.record_waits(s, 10)
+            ctl.on_round([s], now=now)
+        assert s.weight == 1.0  # snapped exactly back to the base contract
+        assert s.stats.weight_timeline[-1][1] == 1.0
+        # once snapped, healthy rounds emit no further weight events
+        n_events = len(s.stats.weight_timeline)
+        self.record_waits(s, 10)
+        ctl.on_round([s], now=140)
+        assert len(s.stats.weight_timeline) == n_events
+
+    def test_boost_capped_at_max_boost_times_base(self):
+        ctl = WeightController(slo=1, interval=1, raise_factor=10.0, max_boost=4.0)
+        s = self.make_session(weight=2.0)
+        for _ in range(5):
+            self.record_waits(s, 1000)
+            ctl.on_round([s])
+        assert s.weight == 2.0 * 4.0
+
+    def test_idle_session_decays_instead_of_boosting(self):
+        """No frames served in the window = no evidence of pressure: a
+        previously boosted session releases its boost while idle."""
+        ctl = WeightController(slo=10, interval=1, raise_factor=2.0, decay=0.0)
+        s = self.make_session()
+        self.record_waits(s, 1000)
+        ctl.on_round([s])
+        assert s.weight == 2.0
+        ctl.on_round([s])  # no new observations since the mark
+        assert s.weight == 1.0
+
+    def test_interval_gates_control_actions(self):
+        ctl = WeightController(slo=10, interval=3, raise_factor=2.0)
+        s = self.make_session()
+        self.record_waits(s, 1000)
+        assert ctl.on_round([s]) == 0
+        assert ctl.on_round([s]) == 0
+        assert ctl.on_round([s]) == 1  # every 3rd round acts
+        assert s.weight == 2.0
+
+    def test_forget_drops_marks_for_departed_sessions(self):
+        ctl = WeightController(slo=10, interval=1)
+        s = self.make_session()
+        self.record_waits(s, 1000)
+        ctl.on_round([s])
+        ctl.forget(s.session_id)
+        assert ctl._marks == {}
+        # pruning also happens for sessions that simply vanish
+        self.record_waits(s, 1000)
+        ctl.on_round([s])
+        ctl.on_round([])
+        assert ctl._marks == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightController(slo=0)
+        with pytest.raises(ValueError):
+            WeightController(slo=10, interval=0)
+        with pytest.raises(ValueError):
+            WeightController(slo=10, raise_factor=1.0)
+        with pytest.raises(ValueError):
+            WeightController(slo=10, decay=1.0)
+        with pytest.raises(ValueError):
+            WeightController(slo=10, max_boost=0.5)
+
+    def test_set_weight_floor_and_timeline(self):
+        s = self.make_session()
+        assert s.set_weight(1e-6, now=3) == 0.01  # clamped to the DRR floor
+        assert s.stats.weight_timeline == [(3, 0.01)]
+        assert s.set_weight(0.01, now=4) == 0.01  # unchanged: no event
+        assert len(s.stats.weight_timeline) == 1
+        with pytest.raises(ValueError):
+            s.set_weight(float("nan"))
+
+
+class TestAdaptiveWeightsInEngine:
+    """End-to-end: the controller steers a backlogged session's share."""
+
+    def build(self, *, controller):
+        engine = ServingEngine(weight_controller=controller)
+        qam = qam_constellation(16)
+        hot = engine.add_session(make_session("hot", queue_depth=16, const=qam))
+        cold = engine.add_session(make_session("cold", queue_depth=16, const=qam))
+        return engine, hot, cold
+
+    def submit(self, engine, session, n_frames, start=0):
+        """Engine-clocked submission (direct ``session.submit`` would stamp
+        tick 0 and fake huge queue waits)."""
+        for seq in range(start, start + n_frames):
+            assert engine.submit(session.session_id, make_frame(seq))
+
+    def serve_backlog(self, engine, hot, cold, rounds=14):
+        self.submit(engine, hot, 16)
+        self.submit(engine, cold, 2)
+        order = []
+        for r in range(rounds):
+            if cold.pending == 0:
+                self.submit(engine, cold, 1, start=100 + r)  # lightly loaded
+            served = engine.step()
+            order.append((served, hot.weight))
+        return order
+
+    def test_backlogged_session_gets_boosted_and_decays_back(self):
+        # decay=0: a single healthy control window releases the whole boost
+        controller = WeightController(
+            slo=32 * 4, interval=2, raise_factor=2.0, decay=0.0
+        )
+        engine, hot, cold = self.build(controller=controller)
+        trace = self.serve_backlog(engine, hot, cold)
+        peak = max(w for _, w in trace)
+        assert peak > 1.0, "hot session never boosted despite missing its SLO"
+        assert hot.stats.weight_timeline, "no weight event recorded"
+        engine.drain()
+        # with the backlog gone and the SLO met, the boost is released
+        for seq in range(200, 230):
+            self.submit(engine, hot, 1, start=seq)
+            engine.step()
+        assert hot.weight == 1.0
+        # outputs stay weight-invariant: the cold session was never starved
+        assert cold.stats.frames_served > 0
+
+    def test_adaptive_weights_are_deterministic(self):
+        def run():
+            controller = WeightController(slo=32 * 4, interval=2, raise_factor=2.0)
+            engine, hot, cold = self.build(controller=controller)
+            self.serve_backlog(engine, hot, cold)
+            return hot.stats.weight_timeline, cold.stats.weight_timeline
+
+        assert run() == run()
 
 
 class TestWeightedEngineRounds:
