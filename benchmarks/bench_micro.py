@@ -63,6 +63,7 @@ _CORE_BENCH_NAMES = frozenset(
         "serving_control_plane[numpy]",
         "serving_churn[numpy]",
         "serving_churn_sequential[numpy]",
+        "serving_faulted[numpy]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -613,6 +614,123 @@ def test_serving_churn_soak(benchmark):
         f"({symbols / min(churn_times) / 1e6:.2f} vs "
         f"{symbols / min(seq_times) / 1e6:.2f} Msym/s)"
     )
+
+
+def test_serving_faulted_overhead(benchmark):
+    """Fault supervision under a sustained ~10% retrain-failure rate.
+
+    7 of 64 sessions are flaky: their monitors fire every frame and their
+    retrain policy raises every time, so each engine round absorbs ~7
+    failure outcomes, records them, and schedules backed-off retries
+    (``backoff_base=0`` keeps one failing retrain per flaky session per
+    round; ``max_failures`` is effectively infinite so the breaker never
+    opens and the injection rate stays constant).  The supervision path —
+    outcome absorption, failure records, retry scheduling, resume-serving
+    — is scalar bookkeeping, so the faulted engine must keep >= 1.3x the
+    aggregate sym/s of per-session sequential demapping of the same
+    workload.
+    """
+    from repro.channels import sigma2_from_snr
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.link.frames import FrameConfig
+    from repro.serving import (
+        DemapperSession,
+        InjectedRetrainError,
+        RetrainSupervisor,
+        ServingEngine,
+        SessionConfig,
+        SteadyChannel,
+        build_fleet,
+        generate_traffic,
+    )
+
+    n_flaky = 7  # ~11% of the fleet
+    n_steady = SERVE_SESSIONS - n_flaky
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
+    qam = qam_constellation(16)
+    sigma2 = sigma2_from_snr(8.0, 4)
+    hybrid = HybridDemapper(constellation=qam, sigma2=sigma2)
+    config = SessionConfig(frame=fc, queue_depth=2)
+
+    def failing_retrain(rng):
+        raise InjectedRetrainError("injected: no model for you")
+
+    engine = ServingEngine(
+        max_batch=SERVE_SESSIONS,
+        supervisor=RetrainSupervisor(
+            max_failures=10**9, backoff_base=0, backoff_factor=1.0
+        ),
+    )
+    sessions = build_fleet(
+        engine, n_steady, hybrid,
+        monitor_factory=lambda: PilotBERMonitor(0.5, window=4),
+        config=config, seed=3, prefix="s",
+    )
+    for i in range(n_flaky):
+        sessions.append(
+            engine.add_session(
+                DemapperSession(
+                    f"f{i:02d}", hybrid,
+                    # fires on any pilot error, every frame, no cooldown
+                    PilotBERMonitor(1e-3, window=1, cooldown=0),
+                    config=config, retrain=failing_retrain, rng=100 + i,
+                )
+            )
+        )
+    rng = np.random.default_rng(11)
+    clean = SteadyChannel(AWGNFactory(8.0, 4))
+    noisy = SteadyChannel(AWGNFactory(4.0, 4))  # pilot errors every frame
+    frames = {
+        s.session_id: generate_traffic(
+            qam, fc, 1, noisy if s.session_id.startswith("f") else clean, r
+        )[0]
+        for s, r in zip(sessions, rng.spawn(SERVE_SESSIONS))
+    }
+    n = fc.total_symbols
+    symbols = SERVE_SESSIONS * n
+
+    def faulted_round():
+        for s in sessions:
+            s.submit(frames[s.session_id])
+        return engine.step()
+
+    sequential_round = _sequential_demap_round(sessions, frames, n)
+    assert faulted_round() == SERVE_SESSIONS  # warm workspace; full occupancy
+    faulted_round()
+    faulted_round()  # reach the steady retry cadence
+    before = engine.telemetry.retrain_failures
+    assert faulted_round() == SERVE_SESSIONS  # flaky sessions still serve
+    per_round = engine.telemetry.retrain_failures - before
+    assert per_round == n_flaky, (
+        f"expected one failing retrain per flaky session per round, "
+        f"got {per_round}/{n_flaky}"
+    )
+    sequential_round()
+    benchmark.pedantic(
+        faulted_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+    )
+    rate = _record(
+        benchmark, "serving_faulted[numpy]", symbols=symbols,
+        extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+               "flaky_sessions": n_flaky, "frame_symbols": n,
+               "failure_rate": n_flaky / SERVE_SESSIONS},
+    )
+    if rate is None:
+        return  # --benchmark-disable run: nothing to compare
+    faulted_times, seq_times = _interleaved_min_times(faulted_round, sequential_round)
+    speedup = min(seq_times) / min(faulted_times)
+    assert speedup >= 1.3, (
+        f"faulted serving round must stay >= 1.3x sequential per-session "
+        f"demapping at a {n_flaky}/{SERVE_SESSIONS} retrain-failure rate: "
+        f"got {speedup:.2f}x "
+        f"({symbols / min(faulted_times) / 1e6:.2f} vs "
+        f"{symbols / min(seq_times) / 1e6:.2f} Msym/s)"
+    )
+    # supervision never broke serving: everything submitted was served and
+    # every failure was recorded (none raised, none dropped)
+    assert all(s.health == "healthy" for s in sessions)
+    assert engine.telemetry.retrain_failures == len(engine.telemetry.failure_log)
 
 
 def test_exact_logmap_throughput(benchmark, stream):

@@ -16,6 +16,8 @@ micro-benchmark suite (which rewrites the artifact in place), and compares:
    * serving engine >= 2x sequential per-session demapping,
    * control-plane serving >= 1.5x sequential,
    * churn-soak serving >= 1.5x sequential under 25% fleet churn,
+   * faulted serving >= 1.3x sequential at a ~10% injected
+     retrain-failure rate (supervision bookkeeping stays scalar),
    * batched multi-sigma sweep >= sequential per-SNR launches (both tiers),
    * max-log demapping >= 1e6 sym/s (the historical floor, generous on any
      hardware this decade).
@@ -46,6 +48,7 @@ RATIO_GATES = [
     ("serving_batched[numpy]", "serving_sequential[numpy]", 2.0),
     ("serving_control_plane[numpy]", "serving_sequential[numpy]", 1.5),
     ("serving_churn[numpy]", "serving_churn_sequential[numpy]", 1.5),
+    ("serving_faulted[numpy]", "serving_sequential[numpy]", 1.3),
     ("sweep_maxlog_multi[numpy]", "sweep_maxlog_seq[numpy]", 1.0),
     ("sweep_maxlog_multi[numpy32]", "sweep_maxlog_seq[numpy32]", 1.0),
 ]

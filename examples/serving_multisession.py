@@ -28,7 +28,14 @@ different impairments hit:
   removed (queued frames dropped, accounted), and two newcomers join the
   live engine at round 12 and are served to completion.  Surviving
   sessions' timelines are bit-identical to a churn-free run — the
-  determinism contract the churn test suite pins.
+  determinism contract the churn test suite pins;
+* **faults**: sessions 4-5 take the same non-rigid warp, but a
+  ``FaultPlan`` sabotages their retrains — session 4's retrain *raises*
+  every time, session 5's retrain *hangs* (self-aborting after 2 s).  The
+  ``RetrainSupervisor`` retries each once with backoff, then opens the
+  circuit breaker: both sessions end **DEGRADED** — every frame they
+  accepted is still served on their last-good demapper, no exception ever
+  reaches the engine loop, and the rest of the fleet never notices.
 
 Queue-wait and service-time histograms (simulated symbol clock), the
 fleet-size timeline, and any SLO-driven weight boosts show what churn and
@@ -53,8 +60,11 @@ from repro.experiments.cache import trained_ae_system
 from repro.extraction import HybridDemapper, PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.serving import (
+    DEGRADED,
     AnnRetrainPolicy,
     DemapperSession,
+    FaultPlan,
+    RetrainSupervisor,
     ServingEngine,
     SessionConfig,
     SessionPlan,
@@ -72,6 +82,8 @@ N_FRAMES = 24
 JUMP_SEQ = 10          # frame index at which the impairments hit
 ROTATED = (0, 1)       # rigid impairment: tracking tier handles it
 WARPED = (2, 3)        # non-rigid warp: escalates to retrain
+FAULT_FAILED = 4       # same warp, but every retrain raises -> DEGRADED
+FAULT_HUNG = 5         # same warp, but every retrain hangs -> DEGRADED
 DRAINED = 14           # graceful handover: drains out at LEAVE_ROUND
 HARD_REMOVED = 15      # hard removal: queued frames dropped
 LEAVE_ROUND = 8
@@ -93,19 +105,35 @@ def main() -> None:
     rotated = CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(SNR_DB - 3.0, 4)))
     warped = CompositeFactory((IQImbalanceFactory(4.0, 0.5), AWGNFactory(SNR_DB, 4)))
 
+    # Chaos injection for the two faulted sessions: s004's retrain raises
+    # on every invocation, s005's hangs (self-aborting after 2 s so the
+    # blocked worker thread frees itself; the supervisor records the hang).
+    fault_plan = FaultPlan(
+        seed=SEED,
+        fail_sessions=(f"s{FAULT_FAILED:03d}",),
+        hang_sessions=(f"s{FAULT_HUNG:03d}",),
+        blocking_hangs=True,
+        hang_timeout=2.0,
+    )
+
     # Warped sessions retrain against their *live* channel.  Each session
-    # needs its own mutable ANN copy — retraining writes the weights.
+    # needs its own mutable ANN copy — retraining writes the weights.  The
+    # faulted sessions get the same real policy, wrapped by the fault plan
+    # (the inner policy never actually runs — the fault fires first).
     def retrain_policy(i):
-        if i not in ROTATED + WARPED:
+        if i not in ROTATED + WARPED + (FAULT_FAILED, FAULT_HUNG):
             return None
         own_system = trained_ae_system(SNR_DB, seed=SEED, steps=2500, copy=True)
-        return AnnRetrainPolicy(
+        policy = AnnRetrainPolicy(
             system=own_system,
-            channel_factory=warped if i in WARPED else rotated,
+            channel_factory=rotated if i in ROTATED else warped,
             sigma2=sigma2,
             constellation=constellation,
             training=TrainingConfig(steps=1200, batch_size=512, lr=2e-3),
         )
+        if i in (FAULT_FAILED, FAULT_HUNG):
+            policy = fault_plan.wrap_retrain(f"s{i:03d}", policy)
+        return policy
 
     config = SessionConfig(
         frame=FRAME,
@@ -127,6 +155,9 @@ def main() -> None:
         weight_controller=WeightController(
             slo=slo_ticks, interval=2, raise_factor=2.0, decay=0.25
         ),
+        # one retry with backoff, then the circuit breaker opens and the
+        # faulted sessions serve out on their last-good demapper
+        supervisor=RetrainSupervisor(max_failures=2, backoff_base=2),
     )
 
     master = np.random.default_rng(SEED)
@@ -137,7 +168,7 @@ def main() -> None:
         (traffic_rng,) = master.spawn(1)
         if i in ROTATED:
             chan = SteppedChannel(clean, rotated, step_seq=JUMP_SEQ)
-        elif i in WARPED:
+        elif i in WARPED + (FAULT_FAILED, FAULT_HUNG):
             chan = SteppedChannel(clean, warped, step_seq=JUMP_SEQ)
         else:
             chan = SteadyChannel(clean)
@@ -176,9 +207,10 @@ def main() -> None:
 
     print(f"serving {N_SESSIONS} sessions x {N_FRAMES} frames "
           f"({FRAME.total_symbols} symbols/frame), impairments at frame {JUMP_SEQ}: "
-          f"rotation+SNR-drop on {ROTATED}, IQ warp on {WARPED}; churn: "
-          f"s{DRAINED:03d} drains / s{HARD_REMOVED:03d} hard-removed at round "
-          f"{LEAVE_ROUND}, {N_NEWCOMERS} newcomers join at round {JOIN_ROUND}")
+          f"rotation+SNR-drop on {ROTATED}, IQ warp on {WARPED}; faults: "
+          f"s{FAULT_FAILED:03d} retrain raises / s{FAULT_HUNG:03d} retrain hangs; "
+          f"churn: s{DRAINED:03d} drains / s{HARD_REMOVED:03d} hard-removed at "
+          f"round {LEAVE_ROUND}, {N_NEWCOMERS} newcomers join at round {JOIN_ROUND}")
     t0 = time.perf_counter()
     with engine:
         stats = run_churn_load(engine, plans, max_rounds=10_000)
@@ -192,6 +224,11 @@ def main() -> None:
     print(f"adaptation: {stats.tracks} tracking updates, "
           f"{stats.retrains_started} retrains started / "
           f"{stats.retrains_completed} completed")
+    print(f"faults: {stats.retrain_failures} retrain failures "
+          f"({stats.retrains_hung} hung, {stats.retrains_retried} retried) -> "
+          f"{stats.sessions_degraded} sessions degraded; log: "
+          + "; ".join(f"r{r.round} {r.session_id} {r.kind}/{r.action}"
+                      for r in stats.failure_log))
     print(f"churn: {stats.joins} joins / {stats.leaves} leaves "
           f"({stats.drains_started} drains, {stats.frames_dropped} frames dropped "
           f"by hard removal); fleet size "
@@ -220,6 +257,13 @@ def main() -> None:
                   f"{s.stats.frames_dropped} dropped)")
             continue
         healthy = traj[:JUMP_SEQ].mean()
+        if i in (FAULT_FAILED, FAULT_HUNG):
+            kind = "raises" if i == FAULT_FAILED else "hangs"
+            print(f"{s.session_id}     {'retrain ' + kind + ' -> ' + s.health:<24} "
+                  f"{healthy:.4f} | {traj[JUMP_SEQ:].mean():.4f} | (no recovery: "
+                  f"{s.stats.retrain_failures} failed retrains, "
+                  f"{s.stats.frames_served} served on last-good demapper)")
+            continue
         if i in ROTATED + WARPED:
             t = s.stats.trigger_seqs[0]
             degraded = traj[JUMP_SEQ : t + 1].mean()
@@ -259,9 +303,23 @@ def main() -> None:
     assert all(s.stats.frames_served == 10 for s in newcomers)
     assert stats.joins == N_SESSIONS + N_NEWCOMERS and stats.leaves == 2
     assert len(engine.sessions) == N_SESSIONS - 2 + N_NEWCOMERS
+    # graceful degradation: the faulted sessions tripped their breakers
+    # (one retry each, then open) yet served every frame they accepted on
+    # the last-good demapper — and no exception ever escaped the engine
+    faulted = [sessions[FAULT_FAILED], sessions[FAULT_HUNG]]
+    assert all(s.health == DEGRADED for s in faulted), \
+        "faulted sessions must end DEGRADED (breaker open)"
+    assert all(s.stats.retrains == 0 for s in faulted), \
+        "no sabotaged retrain may ever install"
+    assert all(s.stats.frames_served == N_FRAMES for s in faulted), \
+        "degraded sessions must keep serving on the last-good demapper"
+    assert stats.sessions_degraded == 2
+    assert stats.retrains_hung >= 1, "the hung retrain must be recorded"
+    assert stats.retrain_failures == sum(s.stats.retrain_failures for s in faulted)
     print("\nOK: rotations tracked (0 retrains), warps retrained once, all "
-          "recovered; drain lost nothing, hard removal accounted, newcomers "
-          "served.")
+          "recovered; faulted sessions degraded gracefully (served "
+          "everything, breaker open); drain lost nothing, hard removal "
+          "accounted, newcomers served.")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,12 @@ into an online, *self-adapting* serving system:
   demap, estimate σ², monitor, climb the adaptation ladder
   (track → retrain);
 * :mod:`repro.serving.worker` — background retrain/re-extract jobs with
-  atomic per-session demapper swaps (no global stall);
+  atomic per-session demapper swaps (no global stall); every job failure
+  surfaces as an outcome, never a raise, and waits are boundable;
+* :mod:`repro.serving.faults` — the fault-tolerance layer: session health
+  (HEALTHY / DEGRADED / QUARANTINED), the ``RetrainSupervisor``
+  retry/backoff/circuit-breaker policy, poison-frame quarantine, and the
+  seeded ``FaultPlan`` chaos-injection harness;
 * :mod:`repro.serving.loadgen` — deterministic seeded traffic over the
   channel-zoo factories, including churn schedules (``SessionPlan`` /
   ``run_churn_load``: sessions arrive, stream and depart under load);
@@ -42,6 +47,16 @@ Quick start (see ``examples/serving_multisession.py`` for the full demo)::
 
 from repro.serving.batching import MicroBatch, coalesce, collect_microbatches
 from repro.serving.engine import ServingEngine
+from repro.serving.faults import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    FailureRecord,
+    FaultPlan,
+    InjectedRetrainError,
+    RetrainHungError,
+    RetrainSupervisor,
+)
 from repro.serving.loadgen import (
     AnnRetrainPolicy,
     SessionPlan,
@@ -72,6 +87,14 @@ from repro.serving.worker import RetrainWorker
 __all__ = [
     "SERVING",
     "RETRAINING",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "FailureRecord",
+    "FaultPlan",
+    "InjectedRetrainError",
+    "RetrainHungError",
+    "RetrainSupervisor",
     "SessionConfig",
     "ServingFrame",
     "DemapperSession",

@@ -69,8 +69,21 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.extraction.monitor import TIER_RETRAIN, TIER_TRACK
 from repro.link.estimation import estimate_noise_sigma2_batch
 from repro.serving.batching import MicroBatch, coalesce
+from repro.serving.faults import (
+    FailureRecord,
+    RetrainHungError,
+    RetrainSupervisor,
+)
 from repro.serving.scheduler import DeficitRoundRobin
-from repro.serving.session import RETRAINING, DemapperSession, ServingFrame
+from repro.serving.session import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    RETRAINING,
+    SERVING,
+    DemapperSession,
+    ServingFrame,
+)
 from repro.serving.telemetry import EngineStats, ServedFrame
 from repro.serving.weights import WeightController
 from repro.serving.worker import RetrainWorker
@@ -97,6 +110,15 @@ class ServingEngine:
         Optional :class:`~repro.serving.weights.WeightController` closing
         the queue-wait-SLO → scheduler-weight loop (``None`` = static
         weights, the PR-4 behaviour).  Consulted once per round.
+    supervisor:
+        The :class:`~repro.serving.faults.RetrainSupervisor` deciding a
+        failed retrain job's fate: retry with exponential backoff (in
+        engine rounds), declare an over-deadline job hung, and after
+        ``max_failures`` open the circuit breaker — the session moves to
+        DEGRADED, keeps serving on its last-good demapper (the paper's
+        hybrid fallback) and stops escalating triggers.  Default: a fresh
+        supervisor with stock knobs (3 failures, backoff 1·2^n rounds, no
+        hung deadline).
     on_frame:
         Optional per-frame hook ``(session, frame, llrs, report)``; ``llrs``
         is an engine-owned buffer valid only during the call (copy to keep).
@@ -110,6 +132,7 @@ class ServingEngine:
         backend: NumpyBackend | None = None,
         scheduler: DeficitRoundRobin | None = None,
         weight_controller: WeightController | None = None,
+        supervisor: RetrainSupervisor | None = None,
         on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
         | None = None,
     ):
@@ -121,6 +144,7 @@ class ServingEngine:
         self.worker = RetrainWorker(retrain_workers)
         self.scheduler = scheduler if scheduler is not None else DeficitRoundRobin()
         self.weight_controller = weight_controller
+        self.supervisor = supervisor if supervisor is not None else RetrainSupervisor()
         self._sessions: dict[str, DemapperSession] = {}
         self.telemetry = EngineStats()
 
@@ -195,6 +219,7 @@ class ServingEngine:
         """Registry/scheduler/worker teardown shared by both removal paths."""
         del self._sessions[session.session_id]
         self.scheduler.forget(session.session_id)
+        self.supervisor.forget(session.session_id)
         if self.weight_controller is not None:
             self.weight_controller.forget(session.session_id)
         self.telemetry.retrains_orphaned += self.worker.discard(session)
@@ -214,6 +239,12 @@ class ServingEngine:
             return self._sessions[session_id]
         except KeyError:
             raise KeyError(f"unknown session id {session_id!r}") from None
+
+    def has_session(self, session_id: str) -> bool:
+        """True while ``session_id`` is registered (drivers poll this —
+        a drained/removed session's id raising from :meth:`session` is the
+        wrong failure mode for a producer loop)."""
+        return session_id in self._sessions
 
     def submit(self, session_id: str, frame: ServingFrame) -> bool:
         """Enqueue a frame for a session; False = backpressure (queue full).
@@ -252,6 +283,15 @@ class ServingEngine:
         llrs3, stacked_rx = batched_maxlog_llrs(
             batch.requests, backend=be, key=key, with_received=True
         )
+        # post-demap poison guard: a frame with a non-finite received sample
+        # produces non-finite LLRs *in its own row only* (the kernels'
+        # distance stage is row-local), so a per-row finite check fences the
+        # poisoned frame off without touching its batchmates — the
+        # fault-isolation contract.  Rows failing the check are quarantined
+        # below: no BER/σ²/monitor update, no on_frame, not counted served.
+        fin = be.workspace.scratch(key + "_fin", (s_count, n, k), dtype=np.bool_)
+        np.isfinite(llrs3, out=fin)
+        row_ok = fin.reshape(s_count, -1).all(axis=1)
         hat = be.workspace.scratch(key + "_hat", (s_count, n, k), dtype=np.bool_)
         np.greater(llrs3, 0.0, out=hat)
         idx = be.workspace.scratch(key + "_idx", (s_count, n), dtype=np.int64)
@@ -275,7 +315,14 @@ class ServingEngine:
             ref = be.workspace.scratch(key + "_ref", (s_count, n), dtype=np.complex128)
             np.take(first.points, idx.reshape(-1), out=ref.reshape(-1))
             sigma2_est = estimate_noise_sigma2_batch(ref, stacked_rx, pmask)
+        served_frames = s_count
+        served_symbols = batch.n_symbols
         for row, (session, frame) in enumerate(zip(batch.sessions, batch.frames)):
+            if not row_ok[row]:
+                self._quarantine(session, frame)
+                served_frames -= 1
+                served_symbols -= frame.n_symbols
+                continue
             n_pilot = int(pilot_syms[row])
             n_payload = n - n_pilot
             pe, te = int(pilot_errs[row]), int(total_errs[row])
@@ -306,7 +353,11 @@ class ServingEngine:
             session.stats.queue_wait.record(report.queue_wait)
             if self.on_frame is not None:
                 self.on_frame(session, frame, llrs3[row], report)
-        self.telemetry.record_batch(batch.occupancy, batch.n_symbols)
+        # quarantined rows rode the launch (occupancy keys on the true
+        # width) but are not credited as served — and the symbol clock only
+        # advances for served work, so a fault-free run's clock is
+        # untouched by what faults *would* have added
+        self.telemetry.record_batch(served_frames, served_symbols, launched=s_count)
 
     def _control_plane(
         self,
@@ -355,13 +406,131 @@ class ServingEngine:
             self.telemetry.tracks += 1
             if not rigid_ok and session.can_retrain:
                 tier = TIER_RETRAIN  # non-rigid warp: escalate immediately
+        if tier == TIER_RETRAIN and not self.supervisor.allows(session.session_id):
+            # the supervisor owns this session's retrain path right now — a
+            # backed-off retry is scheduled, a job is already in flight, or
+            # the breaker is open (degraded).  The trigger is recorded but
+            # must not jump the queue (nor double-submit).
+            tier = None
         if tier == TIER_RETRAIN:
-            job_rng = session.begin_retrain()
-            self.telemetry.retrains_completed += self.worker.submit(
-                session, session.retrain, job_rng
-            )
-            self.telemetry.retrains_started += 1
+            self._submit_retrain(session)
         return True, tier
+
+    def _submit_retrain(self, session: DemapperSession) -> None:
+        """Hand one retrain job to the worker under supervision."""
+        job_rng = session.begin_retrain()
+        self.supervisor.on_submitted(session.session_id, self.telemetry.rounds)
+        self.telemetry.retrains_completed += self.worker.submit(
+            session, session.retrain, job_rng
+        )
+        self.telemetry.retrains_started += 1
+
+    def _quarantine(self, session: DemapperSession, frame: ServingFrame) -> None:
+        """Fence off a session whose demap produced non-finite LLRs."""
+        now = self.telemetry.now
+        self.telemetry.frames_quarantined += session.quarantine(now=now)
+        self.telemetry.sessions_quarantined += 1
+        self.telemetry.health_timeline.append((now, session.session_id, QUARANTINED))
+        self.telemetry.failure_log.append(
+            FailureRecord(
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+                kind="poison",
+                error=f"non-finite LLRs from frame seq={frame.seq}",
+                failures=0,
+                action="quarantine",
+            )
+        )
+        # a pending backoff/retry dies with the quarantine — the supervisor
+        # must not re-launch a retrain for a fenced-off session
+        self.supervisor.forget(session.session_id)
+        # and its scheduler credit is forfeited immediately: a fenced-off
+        # session must not sit in the credit table looking like a backlog
+        self.scheduler.forget(session.session_id)
+
+    def _absorb_worker_outcomes(self) -> None:
+        """Feed resolved job outcomes (installs *and* failures) to the
+        supervisor — every failure surfaced, none re-raised."""
+        for session, error in self.worker.take_outcomes():
+            sid = session.session_id
+            if error is None:
+                self.supervisor.on_installed(sid)
+                continue
+            if sid not in self._sessions or self._sessions[sid] is not session:
+                # the session left (or its id was reused) between the job's
+                # resolution and this round: log the failure, touch nothing
+                self.telemetry.retrain_failures += 1
+                self.telemetry.failure_log.append(
+                    FailureRecord(
+                        round=self.telemetry.rounds,
+                        session_id=sid,
+                        kind="error",
+                        error=f"{type(error).__name__}: {error} (session departed)",
+                        failures=0,
+                        action="retry",
+                    )
+                )
+                self.supervisor.forget(sid)
+                continue
+            self._handle_retrain_failure(session, error)
+
+    def _handle_retrain_failure(
+        self, session: DemapperSession, error: BaseException, *, kind: str | None = None
+    ) -> None:
+        """One failed/hung retrain: record, resume serving, retry or degrade.
+
+        The failure path of the atomic-swap contract: the session returns
+        to SERVING on its last-good demapper *immediately* (the paper's
+        hybrid fallback — stale centroids beat a paused queue), while the
+        supervisor decides whether a backed-off retry is scheduled or the
+        circuit breaker opens (health → DEGRADED, triggers suppressed).
+        """
+        if kind is None:
+            kind = "hung" if isinstance(error, RetrainHungError) else "error"
+        record = self.supervisor.on_failure(
+            session.session_id, self.telemetry.rounds, error, kind=kind
+        )
+        self.telemetry.retrain_failures += 1
+        if kind == "hung":
+            self.telemetry.retrains_hung += 1
+        self.telemetry.failure_log.append(record)
+        session.stats.retrain_failures += 1
+        if session.state == RETRAINING:
+            session.resume_serving()
+        if record.action == "degrade" and session.health == HEALTHY:
+            now = self.telemetry.now
+            session.set_health(DEGRADED, now=now)
+            self.telemetry.sessions_degraded += 1
+            self.telemetry.health_timeline.append((now, session.session_id, DEGRADED))
+
+    def _expire_hung_jobs(self) -> None:
+        """Abandon in-flight jobs older than the supervisor's deadline."""
+        for sid in self.supervisor.overdue(self.telemetry.rounds):
+            session = self._sessions.get(sid)
+            if session is None:  # pragma: no cover — removal forgets first
+                self.supervisor.forget(sid)
+                continue
+            self.worker.abandon(session)
+            self._handle_retrain_failure(
+                session,
+                RetrainHungError(
+                    f"retrain job for {sid!r} exceeded "
+                    f"deadline_rounds={self.supervisor.deadline_rounds}; abandoned"
+                ),
+                kind="hung",
+            )
+
+    def _launch_due_retries(self) -> None:
+        """Re-submit retrains whose backoff expired this round."""
+        for sid in self.supervisor.due_retries(self.telemetry.rounds):
+            session = self._sessions.get(sid)
+            if session is None or not session.can_retrain or session.state != SERVING:
+                # departed, draining, degraded/quarantined, or externally
+                # held out of SERVING: the retry has nothing valid to do
+                self.supervisor.forget(sid)
+                continue
+            self.telemetry.retrains_retried += 1
+            self._submit_retrain(session)
 
     def step(self) -> int:
         """One serving round; returns the number of frames served.
@@ -375,8 +544,20 @@ class ServingEngine:
         waves with its frames still queued.  The round ends by finishing
         any drains the waves emptied and letting the weight controller
         (when installed) steer next round's scheduler weights.
+
+        Supervision slots in between swaps and serving: resolved job
+        failures are absorbed (retry scheduled or breaker opened — the
+        session resumes on its last-good demapper either way), over-deadline
+        jobs are declared hung and abandoned, and due retries are
+        re-submitted — inline retries resolve synchronously, so their
+        outcome is absorbed again before allocation and a failing-fast
+        session still serves its frames this very round.
         """
         self.telemetry.retrains_completed += self.worker.poll()
+        self._absorb_worker_outcomes()
+        self._expire_hung_jobs()
+        self._launch_due_retries()
+        self._absorb_worker_outcomes()
         self._finish_drains()
         quotas = self.scheduler.allocate(self.sessions)
         served = 0
@@ -411,7 +592,9 @@ class ServingEngine:
             if s.pending or s.state == RETRAINING
         )
 
-    def drain(self, max_rounds: int | None = None) -> int:
+    def drain(
+        self, max_rounds: int | None = None, *, timeout: float | None = None
+    ) -> int:
         """Serve until every queue is empty and no retrain is in flight.
 
         Returns the total frames served.  When nothing is servable but
@@ -428,6 +611,13 @@ class ServingEngine:
         completion is checked before the guard.  Also removes any
         completed drains before returning, so a drained engine holds no
         departing sessions.
+
+        ``timeout`` (seconds) bounds each blocking wait for in-flight
+        retrains — the wall-clock sibling of the round-counting
+        ``max_rounds`` guard: a job still unfinished at expiry is abandoned
+        on the worker and surfaces as a hung failure on the next round
+        (retried or degraded by the supervisor), so a hung retrain can
+        slow a drain down but never wedge it.
         """
         if max_rounds is not None and max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
@@ -448,7 +638,7 @@ class ServingEngine:
             if served:
                 continue
             if self.worker.pending:
-                self.telemetry.retrains_completed += self.worker.wait_all()
+                self.telemetry.retrains_completed += self.worker.wait_all(timeout)
                 continue
             if any(s.ready for s in self.sessions):
                 continue  # scheduler credit accruing (weight < 1): not stuck
@@ -460,17 +650,21 @@ class ServingEngine:
                 f"stuck sessions: {self._stuck_session_ids()}"
             )
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Finish in-flight retrains and release the worker pool.
 
         Swaps that land here are still credited to the telemetry, so a
         final snapshot after ``with engine: ...`` never under-reports
-        completed retrains.
+        completed retrains.  With a ``timeout``, jobs unfinished at expiry
+        are abandoned (recorded as hung failures in the failure log) and
+        the pool is released without waiting on their threads — shutdown
+        can never wedge on a hung job.
         """
         try:
-            self.telemetry.retrains_completed += self.worker.wait_all()
+            self.telemetry.retrains_completed += self.worker.wait_all(timeout)
+            self._absorb_worker_outcomes()
         finally:
-            self.worker.close()
+            self.worker.close(timeout)
 
     def __enter__(self) -> "ServingEngine":
         return self

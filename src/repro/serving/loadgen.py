@@ -39,7 +39,8 @@ from repro.extraction.monitor import DegradationMonitor
 from repro.link.frames import build_frame
 from repro.modulation.constellations import Constellation
 from repro.serving.engine import ServingEngine
-from repro.serving.session import DemapperSession, ServingFrame, SessionConfig
+from repro.serving.faults import FaultPlan
+from repro.serving.session import QUARANTINED, DemapperSession, ServingFrame, SessionConfig
 from repro.serving.telemetry import EngineStats
 from repro.utils.rng import as_generator
 
@@ -165,6 +166,7 @@ def build_fleet(
     config: SessionConfig | None = None,
     config_factory: Callable[[int], SessionConfig] | None = None,
     retrain_factory: Callable[[int], Callable | None] | None = None,
+    fault_plan: FaultPlan | None = None,
     seed: int = 0,
     prefix: str = "s",
 ) -> list[DemapperSession]:
@@ -179,6 +181,12 @@ def build_fleet(
     ``config_factory(i)`` builds a per-session config (heterogeneous QoS
     weights, σ²-loop and tracking knobs); it overrides ``config``, which
     applies one config to the whole fleet.
+
+    ``fault_plan`` wraps every session's retrain policy with the plan's
+    seeded injection (:meth:`~repro.serving.faults.FaultPlan.wrap_retrain`)
+    — the chaos-soak hook.  Traffic poisoning is separate (corrupt the
+    frame lists with :meth:`~repro.serving.faults.FaultPlan.corrupt_traffic`
+    before submitting them).
     """
     if n_sessions < 1:
         raise ValueError("n_sessions must be >= 1")
@@ -187,6 +195,8 @@ def build_fleet(
     for i in range(n_sessions):
         (session_rng,) = master.spawn(1)
         retrain = retrain_factory(i) if retrain_factory is not None else None
+        if fault_plan is not None:
+            retrain = fault_plan.wrap_retrain(f"{prefix}{i:03d}", retrain)
         session_config = config_factory(i) if config_factory is not None else config
         sessions.append(
             engine.add_session(
@@ -211,6 +221,7 @@ def _drive(
     idle_ok,
     max_rounds: int | None,
     label: str,
+    wait_timeout: float | None = None,
 ) -> EngineStats:
     """The one serve/stall pump shared by both load drivers.
 
@@ -226,6 +237,11 @@ def _drive(
     scheduled) all count as progress; anything else is a stall and raises.
     Keeping this state machine in one place is what keeps the two drivers'
     ``max_rounds``/stall semantics identical by construction.
+
+    ``wait_timeout`` (seconds) bounds each blocking wait for in-flight
+    retrains (same semantics as ``ServingEngine.drain(timeout=)``): a job
+    unfinished at expiry is abandoned and surfaces as a hung failure on the
+    next round — a hung retrain slows the driver down but never wedges it.
     """
     rounds = 0
     while True:
@@ -241,7 +257,7 @@ def _drive(
         if served:
             continue
         if engine.worker.pending:
-            engine.telemetry.retrains_completed += engine.worker.wait_all()
+            engine.telemetry.retrains_completed += engine.worker.wait_all(wait_timeout)
             continue
         if any(s.ready for s in engine.sessions):
             # a zero-served round while a fractional-weight session accrues
@@ -259,6 +275,7 @@ def run_load(
     traffic: Mapping[str, Sequence[ServingFrame]],
     *,
     max_rounds: int | None = None,
+    wait_timeout: float | None = None,
 ) -> EngineStats:
     """Feed per-session traffic through the engine until fully drained.
 
@@ -269,21 +286,36 @@ def run_load(
     retrain is in flight.  ``max_rounds`` is a safety bound with the same
     semantics as ``ServingEngine.drain`` and :func:`run_churn_load`: a run
     that has not completed within it raises :class:`RuntimeError` instead
-    of looping forever (completing *exactly on* the bound is fine).
+    of looping forever (completing *exactly on* the bound is fine);
+    ``wait_timeout`` bounds each blocking wait for in-flight retrains.
+
+    A session that gets **quarantined** mid-run (poison frame) stops
+    accepting traffic permanently, so its producer abandons the remainder
+    of its list — the run completes with that traffic unsubmitted rather
+    than stalling on a fenced-off queue.  Same for a session that left the
+    registry entirely.
     """
     offsets = {sid: 0 for sid in traffic}
 
+    def fenced(sid):
+        return (
+            not engine.has_session(sid)
+            or engine.session(sid).health == QUARANTINED
+        )
+
     def produce(_round):
         for sid, frames in traffic.items():
+            if fenced(sid):
+                continue
             o = offsets[sid]
             while o < len(frames) and engine.submit(sid, frames[o]):
                 o += 1
             offsets[sid] = o
 
     def complete():
-        return all(offsets[sid] == len(traffic[sid]) for sid in traffic) and not any(
-            s.pending for s in engine.sessions
-        )
+        return all(
+            offsets[sid] == len(traffic[sid]) or fenced(sid) for sid in traffic
+        ) and not any(s.pending for s in engine.sessions)
 
     return _drive(
         engine,
@@ -292,6 +324,7 @@ def run_load(
         idle_ok=lambda: False,
         max_rounds=max_rounds,
         label="load generator",
+        wait_timeout=wait_timeout,
     )
 
 
@@ -328,6 +361,7 @@ def run_churn_load(
     plans: Sequence[SessionPlan],
     *,
     max_rounds: int | None = None,
+    wait_timeout: float | None = None,
 ) -> EngineStats:
     """Drive a churn schedule: sessions arrive, stream, and depart under load.
 
@@ -341,7 +375,10 @@ def run_churn_load(
 
     Determinism: traffic content is fixed by :func:`generate_traffic`
     before the run, and join/leave rounds are part of the schedule — so
-    the whole run, churn included, is a pure function of the plans.
+    the whole run, churn included, is a pure function of the plans.  A
+    resident plan whose session gets **quarantined** mid-run counts as
+    settled with its remaining traffic abandoned (the producer has no live
+    queue left to feed) — the fault analogue of a leaver.
     """
     offsets = [0] * len(plans)
     joined = [False] * len(plans)
@@ -358,6 +395,8 @@ def run_churn_load(
                 engine.remove_session(plan.session.session_id, drain=plan.drain)
                 leave_requested[i] = True
                 continue
+            if plan.session.health == QUARANTINED:
+                continue  # fenced off: every further submit is a refusal
             o = offsets[i]
             frames = plan.frames
             while o < len(frames) and engine.submit(plan.session.session_id, frames[o]):
@@ -373,6 +412,8 @@ def run_churn_load(
             return leave_requested[i] and all(
                 s.session_id != plan.session.session_id for s in engine.sessions
             )
+        if joined[i] and plan.session.health == QUARANTINED:
+            return True  # fenced off: remaining traffic is abandoned
         return (
             joined[i]
             and offsets[i] == len(plan.frames)
@@ -389,4 +430,5 @@ def run_churn_load(
         idle_ok=lambda: any(pending_schedule(i, p) for i, p in enumerate(plans)),
         max_rounds=max_rounds,
         label="churn load",
+        wait_timeout=wait_timeout,
     )

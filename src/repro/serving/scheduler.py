@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.serving.session import DemapperSession
+from repro.serving.session import QUARANTINED, DemapperSession
 
 __all__ = ["DeficitRoundRobin"]
 
@@ -84,14 +84,19 @@ class DeficitRoundRobin:
         Returns ``{session_id: frames}`` for sessions that may serve at
         least one frame this round.  Sessions that are not ready (paused or
         empty-queued) are treated as non-backlogged: their stored credit is
-        dropped.  A backlogged session whose credit is still below one
-        frame (weight < 1) keeps its fractional credit for next round,
-        subject to the burst cap.
+        dropped.  A **quarantined** session forfeits its credit outright —
+        it will never be ready again, and a fenced-off session must not sit
+        in the credit table looking like a backlog (the fault-isolation
+        contract: quarantine frees its share for the rest of the fleet).  A
+        backlogged session whose credit is still below one frame
+        (weight < 1) keeps its fractional credit for next round, subject to
+        the burst cap.
         """
         quotas: dict[str, int] = {}
         for session in sessions:
-            if not session.ready:
-                # non-backlogged: forfeit credit (standard DRR, bounds bursts)
+            if session.health == QUARANTINED or not session.ready:
+                # non-backlogged (or fenced off): forfeit credit
+                # (standard DRR, bounds bursts)
                 self._credit.pop(session.session_id, None)
                 continue
             credit = self._credit.get(session.session_id, 0.0)

@@ -82,11 +82,30 @@ from repro.link.frames import FrameConfig
 from repro.serving.telemetry import SessionStats
 from repro.utils.rng import as_generator
 
-__all__ = ["SERVING", "RETRAINING", "SessionConfig", "ServingFrame", "DemapperSession"]
+__all__ = [
+    "SERVING",
+    "RETRAINING",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "SessionConfig",
+    "ServingFrame",
+    "DemapperSession",
+]
 
 #: Session states (plain strings — cheap to compare, obvious in telemetry).
 SERVING = "serving"
 RETRAINING = "retraining"
+
+#: Session *health*, orthogonal to the serving state machine.  HEALTHY is
+#: the full control plane; DEGRADED keeps serving on the last-good demapper
+#: with retrain triggers suppressed (the circuit breaker opened — the
+#: paper's hybrid fallback: stale centroids beat no centroids); QUARANTINED
+#: is fenced off entirely (produced non-finite LLRs — no serving, no
+#: scheduler credit, no new submissions).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
 
 #: Floor for in-loop σ² updates: a zero-noise pilot block must not poison
 #: the estimate with an (invalid) non-positive variance.
@@ -125,6 +144,12 @@ class SessionConfig:
         :class:`~repro.extraction.tracking.CentroidTracker`): relative
         excess over the 2σ²N noise floor above which the impairment is
         declared non-rigid and the trigger escalates immediately.
+    ``validate_frames``
+        Opt-in finite check at :meth:`DemapperSession.submit`: a frame with
+        a NaN/Inf received sample is refused at the door (counted in
+        ``stats.poison_rejected``) instead of reaching the kernels.  Off by
+        default — the check walks every sample, and the post-demap guard
+        already quarantines anything that slips through.
     """
 
     frame: FrameConfig = FrameConfig()
@@ -134,6 +159,7 @@ class SessionConfig:
     tracking: bool = False
     track_attempts: int = 1
     track_residual: float = 0.35
+    validate_frames: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -226,6 +252,10 @@ class DemapperSession:
         self._queue: deque[tuple[ServingFrame, int]] = deque()
         self._lock = threading.Lock()
         self.state = SERVING
+        #: HEALTHY / DEGRADED / QUARANTINED — orthogonal to ``state`` (a
+        #: DEGRADED session still cycles SERVING normally; a QUARANTINED one
+        #: is fenced off).  Transitions go through :meth:`set_health`.
+        self.health = HEALTHY
         #: set by the engine's graceful ``remove_session``: served, but
         #: accepting no new submissions and never escalating to retrain
         self.draining = False
@@ -297,16 +327,62 @@ class DemapperSession:
             self.stats.weight_timeline.append((int(now), weight))
         return self.weight
 
+    # -- health --------------------------------------------------------------
+    def set_health(self, health: str, *, now: int = 0) -> str:
+        """Transition the session's health; records it in the timeline.
+
+        ``now`` is the engine's simulated tick stamped into
+        ``stats.health_timeline``.  Idempotent (re-setting the current
+        health logs nothing).  Returns the applied health.
+        """
+        if health not in (HEALTHY, DEGRADED, QUARANTINED):
+            raise ValueError(f"unknown health state {health!r}")
+        if health != self.health:
+            self.health = health
+            self.stats.health_timeline.append((int(now), health))
+        return self.health
+
+    def resume_serving(self) -> None:
+        """Return to SERVING *without* an install (the retrain failed/hung).
+
+        The failure path of the atomic-swap contract: the last-good
+        demapper keeps serving — the paper's hybrid fallback — and the
+        monitor/ladder state is left exactly as the trigger left it, so a
+        later successful retry still answers the same degradation event.
+        """
+        with self._lock:
+            self.state = SERVING
+
+    def quarantine(self, *, now: int = 0) -> int:
+        """Fence the session off after a poison frame; returns frames lost.
+
+        Called by the engine when this session's demap produced non-finite
+        LLRs: the offending frame (already popped — the ``+ 1``) and every
+        queued frame are counted into ``stats.frames_quarantined`` and the
+        queue is cleared — none of them may reach the σ²/BER state.  The
+        session stops serving (``ready`` is False for QUARANTINED) and
+        refuses all new submissions.
+        """
+        with self._lock:
+            lost = len(self._queue) + 1
+            self._queue.clear()
+            self.stats.frames_quarantined += lost
+        self.set_health(QUARANTINED, now=now)
+        return lost
+
     # -- tiered adaptation ----------------------------------------------------
     @property
     def can_retrain(self) -> bool:
         """True when a trigger may escalate to the retrain tier.
 
-        Requires a retrain policy *and* a session that is sticking around —
-        a draining session never retrains (the work would be thrown away
-        with the session), it rides its current centroids out.
+        Requires a retrain policy, a session that is sticking around — a
+        draining session never retrains (the work would be thrown away with
+        the session), it rides its current centroids out — and HEALTHY
+        health: a DEGRADED session's circuit breaker opened (triggers are
+        suppressed, it serves on its last-good demapper) and a QUARANTINED
+        session is fenced off entirely.
         """
-        return self.retrain is not None and not self.draining
+        return self.retrain is not None and not self.draining and self.health == HEALTHY
 
     def plan_adaptation(self) -> str | None:
         """Pick this trigger's tier: track, retrain, or nothing.
@@ -371,12 +447,25 @@ class DemapperSession:
         unlike a backpressure reject, retrying cannot succeed — check
         ``session.draining`` instead of spinning).
 
+        A quarantined session likewise returns False for every submission
+        (counted in ``stats.quarantine_refusals``; final, like drain
+        refusals — check ``session.health`` instead of retrying).  With
+        ``config.validate_frames`` a frame containing a non-finite received
+        sample is refused at the door (``stats.poison_rejected``) — it is
+        never accepted, so it appears in no conservation ledger.
+
         ``now`` is the submission timestamp in engine simulated-clock ticks
         (the engine stamps it; direct callers may leave the default, which
         simply dates the frame from clock zero).
         """
+        if self.health == QUARANTINED:
+            self.stats.quarantine_refusals += 1
+            return False
         if self.draining:
             self.stats.drain_refusals += 1
+            return False
+        if self.config.validate_frames and not np.isfinite(frame.received).all():
+            self.stats.poison_rejected += 1
             return False
         if len(self._queue) >= self.config.queue_depth:
             self.stats.rejects += 1
@@ -404,8 +493,12 @@ class DemapperSession:
 
     @property
     def ready(self) -> bool:
-        """True when the engine may serve this session's head frame."""
-        return self.state == SERVING and bool(self._queue)
+        """True when the engine may serve this session's head frame.
+
+        A QUARANTINED session is never ready (its queue is cleared at
+        quarantine time anyway — the guard makes the fence structural).
+        """
+        return self.state == SERVING and self.health != QUARANTINED and bool(self._queue)
 
     def pop(self) -> tuple[ServingFrame, int]:
         """Dequeue ``(head frame, enqueue tick)`` (caller checked ``ready``)."""

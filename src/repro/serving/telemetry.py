@@ -156,6 +156,18 @@ class SessionStats:
     drain_refusals: int = 0
     #: queued frames discarded by a hard ``remove_session(drain=False)``
     frames_dropped: int = 0
+    #: frames fenced off by a quarantine: the poison frame that tripped the
+    #: post-demap guard plus every frame queued behind it — accepted but
+    #: never demapped, the third leg of the conservation ledger
+    frames_quarantined: int = 0
+    #: retrain jobs for this session that raised or hung (each one also has
+    #: a :class:`FailureRecord` in ``EngineStats.failure_log``)
+    retrain_failures: int = 0
+    #: submissions refused because the session is quarantined (final, like
+    #: drain refusals — the frame was never accepted)
+    quarantine_refusals: int = 0
+    #: submissions refused by the opt-in ``validate_frames`` finite check
+    poison_rejected: int = 0
     trigger_seqs: list[int] = field(default_factory=list)
     #: ``(seq, tier)`` per trigger that got an adaptation response
     tier_timeline: list[tuple[int, str]] = field(default_factory=list)
@@ -169,6 +181,9 @@ class SessionStats:
     #: ``(engine tick, new weight)`` per adaptive-weight change applied to
     #: this session (empty when no controller is installed)
     weight_timeline: list[tuple[int, float]] = field(default_factory=list)
+    #: ``(engine tick, health)`` per health transition (HEALTHY is implicit
+    #: at birth — the timeline only logs changes)
+    health_timeline: list[tuple[int, str]] = field(default_factory=list)
 
     def record_frame(
         self,
@@ -199,12 +214,17 @@ class SessionStats:
             "rejects": self.rejects,
             "drain_refusals": self.drain_refusals,
             "frames_dropped": self.frames_dropped,
+            "frames_quarantined": self.frames_quarantined,
+            "retrain_failures": self.retrain_failures,
+            "quarantine_refusals": self.quarantine_refusals,
+            "poison_rejected": self.poison_rejected,
             "trigger_seqs": list(self.trigger_seqs),
             "tier_timeline": list(self.tier_timeline),
             "pilot_ber_trajectory": list(self.pilot_ber_trajectory),
             "sigma2_trajectory": list(self.sigma2_trajectory),
             "queue_wait": self.queue_wait.snapshot(),
             "weight_timeline": list(self.weight_timeline),
+            "health_timeline": list(self.health_timeline),
         }
 
 
@@ -230,6 +250,21 @@ class EngineStats:
     #: retrain jobs whose session was removed before the job landed — the
     #: result is discarded instead of installed (hard churn during retrain)
     retrains_orphaned: int = 0
+    #: retrain jobs that raised or hung, fleet-wide (every one also appends
+    #: a record to ``failure_log`` — the satellite fix for the old poll()
+    #: keeping only the first exception)
+    retrain_failures: int = 0
+    #: the subset of failures that were hung jobs (deadline expiry or a
+    #: wait-timeout abandonment) rather than raising jobs
+    retrains_hung: int = 0
+    #: supervised retry submissions (backed-off re-launches after a failure)
+    retrains_retried: int = 0
+    #: sessions whose circuit breaker opened (moved to DEGRADED)
+    sessions_degraded: int = 0
+    #: sessions fenced off by the post-demap non-finite guard
+    sessions_quarantined: int = 0
+    #: frames fenced off fleet-wide (poison frames + frames queued behind them)
+    frames_quarantined: int = 0
     #: tracking-tier responses applied across the fleet
     tracks: int = 0
     #: sessions registered over the engine's lifetime (incl. the initial fleet)
@@ -245,6 +280,13 @@ class EngineStats:
     #: ``(engine tick, live session count)`` per join/leave — the fleet-size
     #: timeline; churn soaks assert against it, dashboards plot it
     fleet_timeline: list[tuple[int, int]] = field(default_factory=list)
+    #: every retrain failure / hang / poison event as a
+    #: :class:`~repro.serving.faults.FailureRecord` — the complete fault
+    #: ledger, in engine order (deterministic under a seeded FaultPlan)
+    failure_log: list = field(default_factory=list)
+    #: ``(engine tick, session id, health)`` per fleet health transition —
+    #: the engine-level mirror of each session's own ``health_timeline``
+    health_timeline: list[tuple[int, str, str]] = field(default_factory=list)
     occupancy: dict[int, int] = field(default_factory=dict)
     queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
     service_time: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -254,11 +296,20 @@ class EngineStats:
         """The simulated clock: total symbol ticks served so far."""
         return self.symbols_served
 
-    def record_batch(self, n_frames: int, n_symbols: int) -> None:
+    def record_batch(
+        self, n_frames: int, n_symbols: int, *, launched: int | None = None
+    ) -> None:
+        """Account one kernel launch.
+
+        ``n_frames``/``n_symbols`` are the frames *credited as served* (a
+        quarantined row is launched but never served); ``launched`` keys the
+        occupancy histogram with the true launch width when the two differ.
+        """
         self.batches += 1
         self.frames_served += n_frames
         self.symbols_served += n_symbols
-        self.occupancy[n_frames] = self.occupancy.get(n_frames, 0) + 1
+        width = n_frames if launched is None else launched
+        self.occupancy[width] = self.occupancy.get(width, 0) + 1
 
     def record_fleet_size(self, size: int) -> None:
         """Append one fleet-size sample at the current simulated tick.
@@ -284,6 +335,12 @@ class EngineStats:
             "retrains_started": self.retrains_started,
             "retrains_completed": self.retrains_completed,
             "retrains_orphaned": self.retrains_orphaned,
+            "retrain_failures": self.retrain_failures,
+            "retrains_hung": self.retrains_hung,
+            "retrains_retried": self.retrains_retried,
+            "sessions_degraded": self.sessions_degraded,
+            "sessions_quarantined": self.sessions_quarantined,
+            "frames_quarantined": self.frames_quarantined,
             "tracks": self.tracks,
             "joins": self.joins,
             "leaves": self.leaves,
@@ -291,6 +348,11 @@ class EngineStats:
             "drains_completed": self.drains_completed,
             "frames_dropped": self.frames_dropped,
             "fleet_timeline": list(self.fleet_timeline),
+            "failure_log": [
+                r.as_dict() if hasattr(r, "as_dict") else dict(r)
+                for r in self.failure_log
+            ],
+            "health_timeline": list(self.health_timeline),
             "mean_occupancy": self.mean_occupancy,
             "occupancy": {k: self.occupancy[k] for k in sorted(self.occupancy)},
             "queue_wait": self.queue_wait.snapshot(),

@@ -11,6 +11,23 @@ triggering session alone pauses (its frames stay queued) until
 :meth:`RetrainWorker.poll` installs the finished demapper via
 ``session.install`` — an atomic swap under the session lock.
 
+**Failure semantics.**  The worker never raises on behalf of a job.  Every
+job resolves into an *outcome* — ``(session, None)`` for an install,
+``(session, exception)`` for a failure — collected by the caller via
+:meth:`take_outcomes`; no outcome is ever dropped, merged or re-raised
+(the old contract surfaced only the *first* failure per poll and left the
+rest silently paused).  Deciding a failed session's fate — retry, degrade,
+resume on its last-good demapper — is the engine supervisor's job
+(:mod:`repro.serving.faults`), not the worker's.
+
+**Bounded waits.**  :meth:`wait_all` and :meth:`close` accept a timeout;
+jobs unfinished at expiry are *abandoned*: moved off the pending list with
+a :class:`~repro.serving.faults.RetrainHungError` outcome, never installed
+even if they finish later, and never blocked on again — shutdown cannot
+wedge on a hung thread.  (``discard`` — churn's *orphan* path — is
+different: an orphan's result is merely unwanted, so ``close`` may still
+wait for it; an abandoned job is presumed stuck, so nothing ever waits.)
+
 Determinism: the job's generator is spawned by the *engine thread* at
 trigger time (``session.begin_retrain()``), so the retrained demapper is a
 pure function of the session seed and the trigger timeline.  Worker threads
@@ -24,12 +41,15 @@ overlaps with the engine's demap launches.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from typing import Callable
 
 import numpy as np
 
 from repro.extraction.hybrid import HybridDemapper
+from repro.serving.faults import RetrainHungError
 from repro.serving.session import DemapperSession
 
 __all__ = ["RetrainWorker"]
@@ -61,6 +81,14 @@ class RetrainWorker:
         #: of installed, and a failure is swallowed — nobody is serving on
         #: that demapper, so there is no one to surface the error to
         self._orphaned: list[Future] = []
+        #: jobs presumed hung (deadline expiry / wait timeout): like
+        #: orphans their result is dropped, but *nothing ever blocks on
+        #: them* — a stuck thread must not be able to wedge close()
+        self._abandoned: list[Future] = []
+        #: resolved job outcomes awaiting the engine: ``(session, None)``
+        #: per install, ``(session, exc)`` per failure — every failure
+        #: surfaced, none re-raised
+        self._outcomes: list[tuple[DemapperSession, BaseException | None]] = []
 
     def submit(
         self,
@@ -69,9 +97,19 @@ class RetrainWorker:
         rng: np.random.Generator,
     ) -> int:
         """Schedule one retrain job; returns how many swaps landed *now*
-        (1 in inline mode, where the job runs and installs synchronously)."""
+        (1 for an inline success, where the job runs and installs
+        synchronously; an inline *failure* returns 0 and records the
+        outcome instead of raising — same contract as the threaded path,
+        one poll later).
+        """
         if self._pool is None:
-            session.install(job(rng))
+            try:
+                hybrid = job(rng)
+            except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                self._outcomes.append((session, exc))
+                return 0
+            session.install(hybrid)
+            self._outcomes.append((session, None))
             return 1
         self._pending.append((session, self._pool.submit(job, rng)))
         return 0
@@ -98,8 +136,34 @@ class RetrainWorker:
         self._pending = keep
         return orphaned
 
+    def abandon(self, session: DemapperSession) -> int:
+        """Abandon every in-flight job for a session presumed hung.
+
+        The supervision hook (deadline expiry): like :meth:`discard` the
+        job can never install, but unlike an orphan nothing will ever
+        *block* on it — not even :meth:`close` — because a hung thread is
+        exactly what a bounded shutdown must survive.  Returns the count
+        abandoned; the caller records the hung failure (the worker does
+        not synthesize an outcome — the engine already knows why).
+        """
+        keep: list[tuple[DemapperSession, Future]] = []
+        abandoned = 0
+        for owner, fut in self._pending:
+            if owner is session:
+                fut.cancel()  # a queued-not-started job can still be yanked
+                self._abandoned.append(fut)
+                abandoned += 1
+            else:
+                keep.append((owner, fut))
+        self._pending = keep
+        return abandoned
+
     def _reap_orphans(self, *, wait: bool = False) -> None:
-        """Drop finished orphaned futures (swallowing their exceptions)."""
+        """Drop finished orphaned/abandoned futures (swallowing exceptions).
+
+        ``wait=True`` blocks for *orphans only* — abandoned (hung) jobs are
+        reaped opportunistically if done and otherwise left behind.
+        """
         still: list[Future] = []
         for fut in self._orphaned:
             if not wait and not fut.done():
@@ -110,57 +174,112 @@ class RetrainWorker:
             except BaseException:  # noqa: BLE001 — orphan: nobody to tell
                 pass
         self._orphaned = still
+        still = []
+        for fut in self._abandoned:
+            if not fut.done():
+                still.append(fut)
+                continue
+            try:
+                fut.result()
+            except BaseException:  # noqa: BLE001 — abandoned: nobody to tell
+                pass
+        self._abandoned = still
+
+    def take_outcomes(self) -> list[tuple[DemapperSession, BaseException | None]]:
+        """Drain the resolved-outcome list (engine supervision hook).
+
+        Returns every job resolution since the last call, in resolution
+        order: ``(session, None)`` for each installed swap, ``(session,
+        exception)`` for each failure.  The caller owns the returned list.
+        """
+        outcomes, self._outcomes = self._outcomes, []
+        return outcomes
 
     def poll(self) -> int:
         """Install every finished job; returns how many swaps landed.
 
-        Called from the engine thread at the top of each serving round.  A
-        failed job re-raises here (on the engine thread, with the worker
-        traceback chained) rather than silently leaving the session paused —
-        but only after the pending list is consistent again: the failed job
-        is dropped (its session stays paused), every other finished job is
-        installed exactly once, and nothing is ever installed twice.
+        Called from the engine thread at the top of each serving round.
+        Never raises on a job's behalf: every finished job resolves into an
+        outcome (install or failure) for :meth:`take_outcomes`, every
+        failure is surfaced (not just the first), nothing is installed
+        twice, and a failed job's session stays paused only until the
+        engine's supervisor decides its fate.
         """
         self._reap_orphans()
         installed = 0
         still_pending = []
-        error: BaseException | None = None
         for session, fut in self._pending:
             if not fut.done():
                 still_pending.append((session, fut))
                 continue
             try:
                 hybrid = fut.result()
-            except BaseException as exc:  # noqa: BLE001 — re-raised below
-                if error is None:
-                    error = exc
+            except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                self._outcomes.append((session, exc))
                 continue
             session.install(hybrid)
             installed += 1
+            self._outcomes.append((session, None))
         self._pending = still_pending
-        if error is not None:
-            raise error
         return installed
 
-    def wait_all(self) -> int:
-        """Block until every pending job has finished and been installed.
+    def wait_all(self, timeout: float | None = None) -> int:
+        """Block until every pending job resolved; returns installs landed.
 
-        Each job is popped before its result is read, so a raising job is
-        consumed exactly once (no re-install, no re-raise on a later call).
-        Orphaned jobs are awaited too (their results dropped) so callers
-        get the quiesced worker they asked for.
+        Failures become outcomes (never raised).  With a ``timeout`` (in
+        seconds, over the whole call): jobs still unfinished at expiry are
+        *abandoned* — a :class:`RetrainHungError` outcome is recorded for
+        each, they can never install, and nothing ever blocks on them
+        again — so a hung job cannot wedge a drain or shutdown.  Orphaned
+        (churn-discarded) jobs are awaited too within the same budget.
         """
         installed = 0
-        while self._pending:
-            session, fut = self._pending.pop(0)
-            session.install(fut.result())
-            installed += 1
-        self._reap_orphans(wait=True)
+        if self._pending:
+            if timeout is None:
+                _futures_wait([fut for _, fut in self._pending])
+            else:
+                _futures_wait([fut for _, fut in self._pending], timeout=timeout)
+            still_hung: list[tuple[DemapperSession, Future]] = []
+            for session, fut in self._pending:
+                if not fut.done():
+                    still_hung.append((session, fut))
+                    continue
+                try:
+                    hybrid = fut.result()
+                except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                    self._outcomes.append((session, exc))
+                    continue
+                session.install(hybrid)
+                installed += 1
+                self._outcomes.append((session, None))
+            self._pending = []
+            for session, fut in still_hung:
+                fut.cancel()
+                self._abandoned.append(fut)
+                self._outcomes.append(
+                    (
+                        session,
+                        RetrainHungError(
+                            f"retrain job for {session.session_id!r} still running "
+                            f"after wait_all(timeout={timeout}); abandoned"
+                        ),
+                    )
+                )
+        if timeout is None:
+            self._reap_orphans(wait=True)
+        else:
+            # bounded reap: give orphans the same grace, then walk away
+            deadline = time.monotonic() + timeout
+            while self._orphaned and time.monotonic() < deadline:
+                if all(fut.done() for fut in self._orphaned):
+                    break
+                time.sleep(0.005)
+            self._reap_orphans()
         return installed
 
     @property
     def pending(self) -> int:
-        """Installable jobs submitted but not yet installed (excludes orphans)."""
+        """Installable jobs submitted but not yet resolved (excludes orphans)."""
         return len(self._pending)
 
     @property
@@ -168,17 +287,26 @@ class RetrainWorker:
         """Discarded in-flight jobs not yet reaped."""
         return len(self._orphaned)
 
-    def close(self) -> None:
+    @property
+    def abandoned(self) -> int:
+        """Hung jobs walked away from (never waited on, never installed)."""
+        return len(self._abandoned)
+
+    def close(self, timeout: float | None = None) -> None:
         """Finish outstanding jobs and shut the pool down.
 
-        The pool is shut down even when an outstanding job raises — no
-        thread leak on the error path.
+        With a ``timeout``, hung jobs are abandoned at expiry and the pool
+        is shut down without waiting for their threads (``cancel_futures``
+        yanks queued-not-started work) — shutdown can never wedge.  Without
+        one, pending and orphaned jobs are awaited in full (the legacy
+        contract) but already-*abandoned* jobs are still never blocked on.
         """
         try:
-            self.wait_all()
+            self.wait_all(timeout)
         finally:
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
+                lingering = any(not fut.done() for fut in self._abandoned)
+                self._pool.shutdown(wait=not lingering, cancel_futures=lingering)
 
     def __enter__(self) -> "RetrainWorker":
         return self

@@ -212,9 +212,10 @@ class TestAdaptationLoop:
 
 
 class TestRetrainWorker:
-    def test_failed_job_raises_once_and_other_installs_are_not_repeated(self, qam16):
-        """poll(): a raising job surfaces exactly once; finished jobs install
-        exactly once; the pool still shuts down on the error path."""
+    def test_failed_job_surfaces_as_outcome_and_installs_land_once(self, qam16):
+        """poll() never raises: a raising job becomes a ``(session, exc)``
+        outcome (surfaced exactly once via take_outcomes), finished jobs
+        install exactly once, and the pool still shuts down cleanly."""
         import time
 
         from repro.serving import RetrainWorker
@@ -230,17 +231,21 @@ class TestRetrainWorker:
             raise RuntimeError("retrain exploded")
 
         worker.submit(bad_session, boom, np.random.default_rng(1))
+        outcomes = []
         deadline = time.monotonic() + 10
         while worker.pending and time.monotonic() < deadline:
-            try:
-                worker.poll()
-            except RuntimeError as exc:
-                assert "retrain exploded" in str(exc)
+            worker.poll()  # must never raise on a job's behalf
+            outcomes += worker.take_outcomes()
             time.sleep(0.01)
+        outcomes += worker.take_outcomes()
         assert worker.pending == 0  # failed job consumed, not stuck
         assert ok_session.stats.retrains == 1  # installed exactly once
-        worker.poll()  # no re-raise, no re-install
+        by_session = {s.session_id: err for s, err in outcomes}
+        assert by_session[ok_session.session_id] is None
+        assert "retrain exploded" in str(by_session[bad_session.session_id])
+        worker.poll()  # no re-install
         assert ok_session.stats.retrains == 1
+        assert worker.take_outcomes() == []  # surfaced exactly once
         worker.close()  # pool shuts down cleanly after the failure
 
     def test_close_credits_late_swaps_to_telemetry(self, qam16):

@@ -1,0 +1,900 @@
+"""Fault tolerance: supervision, quarantine, degradation, chaos.
+
+Five layers of coverage:
+
+* **supervisor state machine** — hypothesis property tests for the
+  retry/backoff/circuit-breaker policy: never retries before the backoff
+  expires, opens after *exactly* ``max_failures``, re-arms on a successful
+  install, and flags in-flight jobs hung only past the deadline;
+* **worker failure surfacing** — every failed job becomes an outcome
+  (none re-raised, none swallowed), ``wait_all``/``close`` timeouts
+  abandon hung jobs instead of wedging;
+* **poison quarantine** — the opt-in submit-time finite check and the
+  always-on post-demap guard: the offending frame and session are fenced
+  off, counted, and never folded into BER/σ² state, while batchmates'
+  rows stay bit-identical;
+* **degraded serving** — a session whose retrains keep failing (or
+  hanging) ends up DEGRADED: still serving every frame on its last-good
+  demapper, triggers suppressed, never paused forever;
+* **chaos soak + fault isolation** — the PR 5 churn soak extended with a
+  seeded :class:`FaultPlan` storm (retrain exceptions, hangs, poison
+  frames): the engine never raises, ``accepted == served + dropped +
+  quarantined (+ pending)`` every round, and fault-free sessions'
+  LLR/σ²/trigger/tier timelines are bit-identical to a no-fault run at
+  every batch width and worker count.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import sigma2_from_snr
+from repro.channels.factories import (
+    AWGNFactory,
+    CompositeFactory,
+    IQImbalanceFactory,
+    PhaseOffsetFactory,
+)
+from repro.extraction import HybridDemapper
+from repro.extraction.monitor import PilotBERMonitor
+from repro.link.frames import FrameConfig
+from repro.modulation import qam_constellation
+from repro.serving import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    RETRAINING,
+    SERVING,
+    DemapperSession,
+    FaultPlan,
+    InjectedRetrainError,
+    RetrainHungError,
+    RetrainSupervisor,
+    RetrainWorker,
+    ServingEngine,
+    ServingFrame,
+    SessionConfig,
+    SteadyChannel,
+    SteppedChannel,
+    generate_traffic,
+)
+
+S10 = sigma2_from_snr(10.0, 4)
+FC = FrameConfig(pilot_symbols=8, payload_symbols=24)
+OFFSET = np.pi / 4
+
+
+@pytest.fixture(scope="module")
+def qam16():
+    return qam_constellation(16)
+
+
+class RotateStub:
+    """Deterministic-in-rng retrain stand-in (same canary as the churn
+    suite): corrected centroids plus an rng-drawn jitter."""
+
+    def __init__(self, qam, angle=OFFSET):
+        self.qam = qam
+        self.angle = angle
+
+    def __call__(self, rng):
+        angle = self.angle + rng.normal(scale=1e-3)
+        return HybridDemapper(
+            constellation=type(self.qam)(points=self.qam.points * np.exp(1j * angle)),
+            sigma2=S10,
+        )
+
+
+def make_session(qam, sid, *, seed=0, queue_depth=4, retrain=None, weight=1.0,
+                 threshold=0.9, tracking=False, validate=False):
+    return DemapperSession(
+        sid,
+        HybridDemapper(constellation=qam, sigma2=S10),
+        PilotBERMonitor(threshold, window=2, cooldown=2),
+        config=SessionConfig(
+            frame=FC, queue_depth=queue_depth, weight=weight,
+            sigma2_alpha=0.25, tracking=tracking, validate_frames=validate,
+        ),
+        retrain=retrain,
+        rng=seed,
+    )
+
+
+def clean_traffic(qam, n_frames, seed, *, snr=10.0):
+    return generate_traffic(qam, FC, n_frames, SteadyChannel(AWGNFactory(snr, 4)), seed)
+
+
+def jump_traffic(qam, n_frames, seed, *, step=4):
+    chan = SteppedChannel(
+        AWGNFactory(10.0, 4),
+        CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(10.0, 4))),
+        step_seq=step,
+    )
+    return generate_traffic(qam, FC, n_frames, chan, seed)
+
+
+def warp_traffic(qam, n_frames, seed, *, step=4):
+    """Jump into a non-rigid IQ warp: rigid tracking cannot explain it,
+    so a tracking session escalates to the retrain tier."""
+    chan = SteppedChannel(
+        AWGNFactory(10.0, 4),
+        CompositeFactory((IQImbalanceFactory(8.0, 0.8), AWGNFactory(10.0, 4))),
+        step_seq=step,
+    )
+    return generate_traffic(qam, FC, n_frames, chan, seed)
+
+
+def poison_frame(frame, pos=0):
+    """Copy a frame with one received sample replaced by NaN."""
+    received = np.array(frame.received, copy=True)
+    received[pos] = complex(float("nan"), float("nan"))
+    return ServingFrame(
+        seq=frame.seq, indices=frame.indices,
+        pilot_mask=frame.pilot_mask, received=received,
+    )
+
+
+# ---------------------------------------------------------------------------
+# supervisor state machine (hypothesis)
+# ---------------------------------------------------------------------------
+class TestSupervisorProperties:
+    """The backoff/circuit-breaker state machine, property-tested."""
+
+    @given(
+        max_failures=st.integers(min_value=1, max_value=6),
+        backoff_base=st.integers(min_value=0, max_value=4),
+        factor=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        gaps=st.lists(st.integers(min_value=0, max_value=9), min_size=6, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_opens_after_exactly_max_failures(
+        self, max_failures, backoff_base, factor, gaps
+    ):
+        sup = RetrainSupervisor(
+            max_failures=max_failures, backoff_base=backoff_base,
+            backoff_factor=factor,
+        )
+        now = 0
+        for n in range(1, max_failures + 1):
+            sup.on_submitted("s", now)
+            assert not sup.allows("s")  # in flight: no double-submit
+            rec = sup.on_failure("s", now, RuntimeError("boom"))
+            assert rec.failures == n
+            if n < max_failures:
+                assert rec.action == "retry"
+                assert sup.state("s") == "backoff"
+            else:
+                assert rec.action == "degrade"
+                assert sup.state("s") == "open"
+            assert not sup.allows("s")  # backoff or open: triggers gated
+            now += gaps[n % len(gaps)] + int(sup.backoff(n)) + 1
+        # open stays open: further failures never re-close it
+        assert sup.due_retries(now + 10_000) == []
+
+    @given(
+        backoff_base=st.integers(min_value=0, max_value=5),
+        factor=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        n_prior=st.integers(min_value=1, max_value=4),
+        fail_round=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_retries_before_backoff_expiry(
+        self, backoff_base, factor, n_prior, fail_round
+    ):
+        sup = RetrainSupervisor(
+            max_failures=n_prior + 1, backoff_base=backoff_base,
+            backoff_factor=factor,
+        )
+        now = fail_round
+        for _ in range(n_prior):  # n_prior-th failure schedules the retry
+            sup.on_submitted("s", now)
+            sup.on_failure("s", now, RuntimeError("boom"))
+        expiry = fail_round + sup.backoff(n_prior)
+        for t in range(fail_round, int(np.ceil(expiry)) + 2):
+            due = sup.due_retries(t)
+            if t < expiry:
+                assert due == [], f"retried at {t}, backoff expires at {expiry}"
+            else:
+                assert due == ["s"]
+
+    @given(
+        max_failures=st.integers(min_value=2, max_value=5),
+        n_failures=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_successful_install_rearms_the_breaker(self, max_failures, n_failures):
+        n_failures = min(n_failures, max_failures - 1)  # breaker must not open yet
+        sup = RetrainSupervisor(max_failures=max_failures, backoff_base=1)
+        now = 0
+        for _ in range(n_failures):
+            sup.on_submitted("s", now)
+            sup.on_failure("s", now, RuntimeError("boom"))
+            now += 100
+        sup.on_submitted("s", now)
+        sup.on_installed("s")
+        assert sup.allows("s")
+        assert sup.failures("s") == 0
+        # the count restarted: it takes max_failures *fresh* failures to open
+        for n in range(1, max_failures + 1):
+            sup.on_submitted("s", now)
+            rec = sup.on_failure("s", now, RuntimeError("boom"))
+            now += 100
+        assert rec.action == "degrade" and rec.failures == max_failures
+
+    @given(
+        deadline=st.integers(min_value=1, max_value=20),
+        submitted=st.integers(min_value=0, max_value=30),
+        age=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overdue_flags_in_flight_jobs_only_past_deadline(
+        self, deadline, submitted, age
+    ):
+        sup = RetrainSupervisor(deadline_rounds=deadline)
+        sup.on_submitted("s", submitted)
+        overdue = sup.overdue(submitted + age)
+        assert overdue == (["s"] if age >= deadline else [])
+        # without a deadline nothing is ever hung
+        relaxed = RetrainSupervisor(deadline_rounds=None)
+        relaxed.on_submitted("s", submitted)
+        assert relaxed.overdue(submitted + age) == []
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RetrainSupervisor(max_failures=0)
+        with pytest.raises(ValueError):
+            RetrainSupervisor(backoff_base=-1)
+        with pytest.raises(ValueError):
+            RetrainSupervisor(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetrainSupervisor(deadline_rounds=0)
+
+
+# ---------------------------------------------------------------------------
+# worker: failure surfacing + bounded waits
+# ---------------------------------------------------------------------------
+class TestWorkerFailures:
+    def test_every_failure_surfaces_not_just_the_first(self, qam16):
+        """The satellite fix: two raising jobs → two outcomes."""
+        engine = ServingEngine()
+        a = engine.add_session(make_session(qam16, "a"))
+        b = engine.add_session(make_session(qam16, "b"))
+        worker = RetrainWorker(2)
+
+        def boom_a(rng):
+            raise InjectedRetrainError("a exploded")
+
+        def boom_b(rng):
+            raise InjectedRetrainError("b exploded")
+
+        worker.submit(a, boom_a, np.random.default_rng(0))
+        worker.submit(b, boom_b, np.random.default_rng(1))
+        assert worker.wait_all() == 0  # never raises, installs nothing
+        errors = {s.session_id: str(e) for s, e in worker.take_outcomes()}
+        assert errors == {"a": "a exploded", "b": "b exploded"}
+        worker.close()
+
+    def test_inline_failure_is_an_outcome_not_a_raise(self, qam16):
+        engine = ServingEngine()
+        (session,) = [engine.add_session(make_session(qam16, "s"))]
+        worker = RetrainWorker(0)
+
+        def boom(rng):
+            raise InjectedRetrainError("inline boom")
+
+        assert worker.submit(session, boom, np.random.default_rng(0)) == 0
+        ((owner, err),) = worker.take_outcomes()
+        assert owner is session and "inline boom" in str(err)
+        assert session.stats.retrains == 0
+
+    def test_wait_all_timeout_abandons_hung_jobs(self, qam16):
+        engine = ServingEngine()
+        (session,) = [engine.add_session(make_session(qam16, "s"))]
+        release = threading.Event()
+        good = HybridDemapper(constellation=qam16, sigma2=S10)
+
+        def stuck(rng):
+            release.wait(timeout=30)
+            return good
+
+        worker = RetrainWorker(1)
+        worker.submit(session, stuck, np.random.default_rng(0))
+        t0 = time.monotonic()
+        installed = worker.wait_all(timeout=0.2)
+        assert time.monotonic() - t0 < 10
+        assert installed == 0
+        assert worker.pending == 0 and worker.abandoned == 1
+        ((owner, err),) = worker.take_outcomes()
+        assert owner is session and isinstance(err, RetrainHungError)
+        release.set()
+        worker.close(timeout=5)
+        # the abandoned job finished after release — but was never installed
+        assert session.stats.retrains == 0
+
+    def test_close_timeout_never_wedges_on_a_hung_job(self, qam16):
+        engine = ServingEngine()
+        (session,) = [engine.add_session(make_session(qam16, "s"))]
+        release = threading.Event()
+
+        def stuck(rng):
+            release.wait(timeout=30)
+            raise RuntimeError("released late")
+
+        worker = RetrainWorker(1)
+        worker.submit(session, stuck, np.random.default_rng(0))
+        t0 = time.monotonic()
+        worker.close(timeout=0.2)  # must return despite the stuck thread
+        assert time.monotonic() - t0 < 10
+        ((_, err),) = worker.take_outcomes()
+        assert isinstance(err, RetrainHungError)
+        release.set()  # let the thread die
+
+
+# ---------------------------------------------------------------------------
+# poison-frame quarantine
+# ---------------------------------------------------------------------------
+class TestPoisonQuarantine:
+    def test_validate_frames_refuses_poison_at_submit(self, qam16):
+        engine = ServingEngine()
+        session = engine.add_session(make_session(qam16, "s", validate=True))
+        frames = clean_traffic(qam16, 2, 1)
+        assert engine.submit("s", frames[0])
+        assert not engine.submit("s", poison_frame(frames[1]))
+        assert session.stats.poison_rejected == 1
+        assert session.pending == 1  # the poison frame was never accepted
+        assert session.health == HEALTHY  # refused at the door ≠ quarantined
+        engine.drain()
+        assert session.stats.frames_served == 1
+
+    def test_post_demap_guard_quarantines_frame_and_session(self, qam16):
+        engine = ServingEngine()
+        session = engine.add_session(make_session(qam16, "s"))
+        frames = clean_traffic(qam16, 4, 2)
+        engine.submit("s", frames[0])
+        engine.submit("s", poison_frame(frames[1], pos=5))
+        engine.submit("s", frames[2])
+        engine.submit("s", frames[3])
+        engine.step()  # serves frame 0
+        assert session.health == HEALTHY
+        engine.step()  # frame 1 is poison: quarantine
+        assert session.health == QUARANTINED
+        assert session.state == SERVING  # fenced, not paused
+        # offending frame + the 2 queued behind it, never the served one
+        assert session.stats.frames_quarantined == 3
+        assert session.pending == 0 and not session.ready
+        # σ²/BER state holds exactly one served frame — poison never landed
+        assert len(session.stats.sigma2_trajectory) == 1
+        assert len(session.stats.pilot_ber_trajectory) == 1
+        assert session.stats.frames_served == 1
+        # conservation: accepted(4) == served(1) + quarantined(3)
+        tele = engine.telemetry
+        assert tele.frames_served == 1
+        assert tele.frames_quarantined == 3
+        assert tele.sessions_quarantined == 1
+        (record,) = tele.failure_log
+        assert record.kind == "poison" and record.action == "quarantine"
+        assert record.session_id == "s"
+        assert tele.health_timeline == [(tele.now, "s", QUARANTINED)]
+        assert session.stats.health_timeline == [(tele.now, QUARANTINED)]
+        # submissions are refused from now on — final, like drain refusals
+        assert not engine.submit("s", frames[2])
+        assert session.stats.quarantine_refusals == 1
+        # scheduler: no credit for a fenced-off session
+        engine.step()
+        assert "s" not in engine.scheduler.credits()
+        engine.drain()  # completes despite the quarantined resident
+        engine.close()
+
+    def test_batchmate_rows_bit_identical_next_to_poison(self, qam16):
+        """Fault isolation at the kernel level: a healthy session coalesced
+        with a poison frame gets exactly the LLRs of a solo run."""
+
+        def run(with_poison):
+            got = []
+            engine = ServingEngine(
+                max_batch=64,
+                on_frame=lambda s, f, llrs, rep: (
+                    got.append(llrs.copy()) if s.session_id == "ok" else None
+                ),
+            )
+            ok = engine.add_session(make_session(qam16, "ok", seed=3))
+            frames = clean_traffic(qam16, 3, 7)
+            if with_poison:
+                bad = engine.add_session(make_session(qam16, "bad", seed=4))
+                bad_frames = clean_traffic(qam16, 3, 8)
+                for i, f in enumerate(bad_frames):
+                    engine.submit("bad", poison_frame(f) if i == 1 else f)
+            for f in frames:
+                engine.submit("ok", f)
+            engine.drain()
+            assert ok.stats.frames_served == 3
+            if with_poison:
+                assert engine.session("bad").health == QUARANTINED
+            timeline = (
+                tuple(ok.stats.sigma2_trajectory),
+                tuple(ok.stats.pilot_ber_trajectory),
+            )
+            return got, timeline
+
+        solo, solo_timeline = run(with_poison=False)
+        paired, paired_timeline = run(with_poison=True)
+        assert paired_timeline == solo_timeline
+        for a, b in zip(solo, paired):
+            assert np.array_equal(a, b)
+
+    def test_fault_plan_poison_is_seeded_and_pure(self, qam16):
+        plan_a = FaultPlan(seed=9, poison_rate=0.3)
+        plan_b = FaultPlan(seed=9, poison_rate=0.3)
+        frames = clean_traffic(qam16, 20, 5)
+        ca = plan_a.corrupt_traffic("sX", frames)
+        cb = plan_b.corrupt_traffic("sX", frames)
+        poisoned = [i for i, f in enumerate(ca) if not np.isfinite(f.received).all()]
+        assert 0 < len(poisoned) < len(frames)
+        for a, b in zip(ca, cb):
+            assert np.array_equal(a.received, b.received, equal_nan=True)
+        # decisions are per-(session, seq): another session differs
+        other = [
+            i
+            for i, f in enumerate(plan_a.corrupt_traffic("sY", frames))
+            if not np.isfinite(f.received).all()
+        ]
+        assert other != poisoned
+        assert plan_a.injected["poison"] == len(poisoned) + len(other)
+
+
+# ---------------------------------------------------------------------------
+# degraded serving (circuit breaker) + hung jobs
+# ---------------------------------------------------------------------------
+class TestDegradedServing:
+    def test_failing_retrains_degrade_but_never_stop_serving(self, qam16):
+        """max_failures exceeded → DEGRADED: every accepted frame is still
+        served on the last-good demapper, triggers stop escalating."""
+
+        def boom(rng):
+            raise InjectedRetrainError("no model for you")
+
+        engine = ServingEngine(
+            supervisor=RetrainSupervisor(max_failures=2, backoff_base=1),
+        )
+        session = engine.add_session(
+            make_session(qam16, "s", retrain=boom, threshold=0.12)
+        )
+        frames = jump_traffic(qam16, 12, 6, step=2)
+        offset = 0
+        for _ in range(60):
+            while offset < len(frames) and engine.submit("s", frames[offset]):
+                offset += 1
+            engine.step()
+            if offset == len(frames) and session.pending == 0:
+                break
+        tele = engine.telemetry
+        assert session.health == DEGRADED and session.state == SERVING
+        assert session.stats.frames_served == len(frames)  # nothing lost
+        assert session.stats.retrains == 0  # no install ever landed
+        assert session.stats.retrain_failures == 2
+        assert tele.retrain_failures == 2 and tele.sessions_degraded == 1
+        assert tele.retrains_started == 2 and tele.retrains_retried == 1
+        assert [r.action for r in tele.failure_log] == ["retry", "degrade"]
+        assert [r.kind for r in tele.failure_log] == ["error", "error"]
+        # breaker open: later triggers are recorded but never escalate
+        started_before = tele.retrains_started
+        assert session.stats.trigger_seqs  # the monitor did keep firing
+        assert tele.retrains_started == started_before
+        assert session.stats.health_timeline[-1][1] == DEGRADED
+        snap = tele.snapshot()
+        assert snap["sessions_degraded"] == 1
+        assert [r["action"] for r in snap["failure_log"]] == ["retry", "degrade"]
+        engine.close()
+
+    def test_trigger_during_backoff_does_not_jump_the_queue(self, qam16):
+        """Between failure and retry the session serves and may re-trigger;
+        the supervisor must gate those triggers (no double-submit)."""
+
+        calls = []
+
+        def boom(rng):
+            calls.append(1)
+            raise InjectedRetrainError("boom")
+
+        engine = ServingEngine(
+            supervisor=RetrainSupervisor(max_failures=10, backoff_base=4),
+        )
+        session = engine.add_session(
+            make_session(qam16, "s", retrain=boom, threshold=0.12)
+        )
+        frames = jump_traffic(qam16, 10, 6, step=1)
+        offset = 0
+        for _ in range(30):
+            while offset < len(frames) and engine.submit("s", frames[offset]):
+                offset += 1
+            engine.step()
+        # every submission was either the initial trigger or a due retry —
+        # never a trigger racing a backoff
+        assert len(calls) == engine.telemetry.retrains_started
+        assert engine.telemetry.retrains_retried == len(calls) - 1
+        assert session.health == HEALTHY  # max_failures=10: still retrying
+
+    def test_hung_job_expires_at_deadline_and_degrades(self, qam16):
+        release = threading.Event()
+
+        def stuck(rng):
+            release.wait(timeout=30)
+            raise RuntimeError("released late")
+
+        engine = ServingEngine(
+            retrain_workers=1,
+            supervisor=RetrainSupervisor(max_failures=1, deadline_rounds=3),
+        )
+        session = engine.add_session(
+            make_session(qam16, "s", retrain=stuck, threshold=0.12)
+        )
+        frames = jump_traffic(qam16, 8, 6, step=2)
+        offset = 0
+        for _ in range(40):
+            while offset < len(frames) and engine.submit("s", frames[offset]):
+                offset += 1
+            engine.step()
+            if offset == len(frames) and session.pending == 0:
+                break
+        tele = engine.telemetry
+        assert tele.retrains_hung == 1 and tele.retrain_failures == 1
+        assert engine.worker.abandoned == 1
+        assert session.health == DEGRADED
+        assert session.stats.frames_served == len(frames)  # kept serving
+        (record,) = tele.failure_log
+        assert record.kind == "hung" and record.action == "degrade"
+        release.set()
+        t0 = time.monotonic()
+        engine.close(timeout=5)
+        assert time.monotonic() - t0 < 10
+
+    def test_engine_drain_timeout_unwedges_a_hung_retrain(self, qam16):
+        """drain(timeout=) abandons the stuck job, the supervisor degrades
+        the session, and the drain completes — shutdown never wedges."""
+        release = threading.Event()
+
+        def stuck(rng):
+            release.wait(timeout=30)
+            raise RuntimeError("released late")
+
+        engine = ServingEngine(
+            retrain_workers=1,
+            supervisor=RetrainSupervisor(max_failures=1),  # no round deadline
+        )
+        session = engine.add_session(
+            make_session(qam16, "s", retrain=stuck, threshold=0.12)
+        )
+        for f in jump_traffic(qam16, 4, 6, step=1):
+            engine.submit("s", f)
+        t0 = time.monotonic()
+        engine.drain(timeout=0.2)
+        assert time.monotonic() - t0 < 30
+        assert session.health == DEGRADED
+        assert session.pending == 0
+        assert engine.telemetry.retrains_hung == 1
+        release.set()
+        engine.close(timeout=5)
+
+    def test_degraded_session_rearms_nothing_but_serves_cheap_tier(self, qam16):
+        """Tracking still applies to a DEGRADED session (it is a SERVING
+        session with retrain suppressed), mirroring the draining contract."""
+
+        def boom(rng):
+            raise InjectedRetrainError("boom")
+
+        engine = ServingEngine(
+            supervisor=RetrainSupervisor(max_failures=1, backoff_base=1),
+        )
+        session = engine.add_session(
+            make_session(qam16, "s", retrain=boom, threshold=0.12, tracking=True)
+        )
+        frames = warp_traffic(qam16, 14, 6, step=2)
+        offset = 0
+        for _ in range(60):
+            while offset < len(frames) and engine.submit("s", frames[offset]):
+                offset += 1
+            engine.step()
+            if offset == len(frames) and session.pending == 0:
+                break
+        assert session.health == DEGRADED
+        assert session.stats.frames_served == len(frames)
+        # the ladder's track responses kept coming after the breaker opened
+        retrain_seqs = [
+            seq for seq, tier in session.stats.tier_timeline if tier == "retrain"
+        ]
+        post_degrade_tiers = [
+            tier
+            for seq, tier in session.stats.tier_timeline
+            if seq > retrain_seqs[-1]
+        ]
+        assert post_degrade_tiers, "no triggers after the breaker opened"
+        assert all(t == "track" for t in post_degrade_tiers)
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# chaos soak: churn + faults, conservation every round
+# ---------------------------------------------------------------------------
+class TestChaosSoak:
+    """The PR 5 churn soak under a seeded fault storm: retrain exceptions,
+    hangs, poison frames.  The engine must never raise; accepted ==
+    served + dropped + quarantined (+ pending) must hold every round."""
+
+    N_ROUNDS = 210
+    MAX_FLEET = 10
+
+    def run_soak(self, qam, seed, *, retrain_workers=0, max_batch=64):
+        rng = np.random.default_rng(seed)
+        plan = FaultPlan(
+            seed=seed,
+            fail_rate=0.30,
+            hang_rate=0.10,
+            poison_rate=0.02,
+            blocking_hangs=retrain_workers > 0,
+            hang_timeout=5.0,
+        )
+        engine = ServingEngine(
+            max_batch=max_batch,
+            retrain_workers=retrain_workers,
+            supervisor=RetrainSupervisor(
+                max_failures=2,
+                backoff_base=1,
+                deadline_rounds=8 if retrain_workers else None,
+            ),
+        )
+        accepted: dict[str, int] = {}
+        live: dict[str, dict] = {}
+        all_sessions: list[DemapperSession] = []
+        draining_ids: set[str] = set()
+        hard_removed: list[str] = []
+        next_id = 0
+
+        def join():
+            nonlocal next_id
+            sid = f"c{next_id}"
+            next_id += 1
+            (srng,) = rng.spawn(1)
+            jumpy = rng.random() < 0.5
+            session = make_session(
+                qam, sid, seed=int(rng.integers(2**31)), queue_depth=2,
+                retrain=plan.wrap_retrain(sid, RotateStub(qam)) if jumpy else None,
+                threshold=0.12 if jumpy else 0.9,
+                weight=float(rng.choice([0.5, 1.0, 2.0])),
+            )
+            n_frames = int(rng.integers(8, 25))
+            frames = (
+                jump_traffic(qam, n_frames, srng, step=int(rng.integers(2, 6)))
+                if jumpy else clean_traffic(qam, n_frames, srng)
+            )
+            frames = plan.corrupt_traffic(sid, frames)
+            engine.add_session(session)
+            live[sid] = {"session": session, "frames": frames, "offset": 0}
+            accepted[sid] = 0
+            all_sessions.append(session)
+
+        for _ in range(4):
+            join()
+
+        for r in range(self.N_ROUNDS):
+            op = rng.random()
+            if op < 0.12 and len(live) < self.MAX_FLEET:
+                join()
+            elif op < 0.18 and len(live) > 2:
+                sid = str(rng.choice(sorted(set(live) - draining_ids) or sorted(live)))
+                if sid not in draining_ids:
+                    engine.remove_session(sid, drain=True)
+                    draining_ids.add(sid)
+            elif op < 0.22 and len(live) > 2:
+                sid = str(rng.choice(sorted(live)))
+                engine.remove_session(sid, drain=False)
+                live.pop(sid)
+                draining_ids.discard(sid)
+                hard_removed.append(sid)
+            for sid in sorted(set(live) - draining_ids):
+                entry = live[sid]
+                if entry["session"].health == QUARANTINED:
+                    continue  # fenced off: further submits only count refusals
+                for _ in range(int(rng.integers(0, 4))):
+                    o = entry["offset"]
+                    if o >= len(entry["frames"]):
+                        break
+                    if engine.submit(sid, entry["frames"][o]):
+                        entry["offset"] = o + 1
+                        accepted[sid] += 1
+            engine.step()  # must never raise, whatever the storm does
+            gone = [sid for sid in draining_ids
+                    if all(s.session_id != sid for s in engine.sessions)]
+            for sid in gone:
+                draining_ids.discard(sid)
+                live.pop(sid)
+            # -- invariants, every round --------------------------------------
+            live_ids = {s.session_id for s in engine.sessions}
+            credits = engine.scheduler.credits()
+            assert set(credits) <= live_ids, "credit leaked past a removal"
+            for session in engine.sessions:
+                sid = session.session_id
+                st_ = session.stats
+                assert (
+                    st_.frames_served + st_.frames_dropped
+                    + st_.frames_quarantined + session.pending
+                    == accepted[sid]
+                ), f"conservation broke for {sid} at round {r}"
+                if session.health == QUARANTINED:
+                    assert not session.ready
+                    assert sid not in credits
+                if session.health == DEGRADED:
+                    assert session.state == SERVING or session.pending >= 0
+
+        plan.release_hangs()
+        for sid in sorted(set(live) - draining_ids):
+            engine.remove_session(sid, drain=True)
+        engine.drain(max_rounds=10_000, timeout=2.0)
+        engine.close(timeout=5.0)
+        return engine, accepted, all_sessions, plan
+
+    @pytest.mark.parametrize("retrain_workers", [0, 2])
+    def test_soak_survives_the_storm_with_conservation(
+        self, qam16, retrain_workers
+    ):
+        engine, accepted, sessions, plan = self.run_soak(
+            qam16, seed=2027, retrain_workers=retrain_workers
+        )
+        tele = engine.telemetry
+        # the storm actually stormed
+        assert plan.injected["fail"] > 0
+        assert plan.injected["hang"] > 0
+        assert plan.injected["poison"] > 0
+        assert tele.retrain_failures > 0
+        assert tele.retrains_hung > 0
+        assert tele.sessions_degraded > 0
+        assert tele.sessions_quarantined > 0
+        assert tele.frames_quarantined > 0
+        assert len(tele.failure_log) == tele.retrain_failures + tele.sessions_quarantined
+        # fleet-wide conservation at the end: every accepted frame is
+        # served, dropped (hard removal) or quarantined — none vanished
+        total_accepted = sum(accepted.values())
+        total_served = sum(s.stats.frames_served for s in sessions)
+        total_dropped = sum(s.stats.frames_dropped for s in sessions)
+        total_quarantined = sum(s.stats.frames_quarantined for s in sessions)
+        assert all(s.pending == 0 for s in sessions)
+        assert total_accepted == total_served + total_dropped + total_quarantined
+        assert total_served == tele.frames_served
+        assert total_quarantined == tele.frames_quarantined
+        # degraded sessions were never paused forever: each one's ledger
+        # closes (everything it accepted was served or fenced)
+        for s in sessions:
+            if s.health == DEGRADED:
+                assert s.stats.frames_served > 0
+        assert engine.scheduler.credits() == {}
+        assert engine.worker.pending == 0
+
+    def test_soak_is_deterministic(self, qam16):
+        a = self.run_soak(qam16, seed=11)[0].telemetry.snapshot()
+        b = self.run_soak(qam16, seed=11)[0].telemetry.snapshot()
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# fault isolation: fault-free sessions bit-identical to a no-fault run
+# ---------------------------------------------------------------------------
+class TestFaultIsolation:
+    """The determinism contract's fault-isolation clause: a fault-free
+    session's LLR stream and σ²/trigger/tier timelines are bit-identical
+    whether or not a fault storm rages around it — at every batch width
+    and worker count."""
+
+    N_FRAMES = 14
+
+    def watch_traffic(self, qam):
+        return jump_traffic(qam, self.N_FRAMES, 4242, step=6)
+
+    def run(self, qam, *, faulted, max_batch=64, retrain_workers=0):
+        llrs: list[np.ndarray] = []
+        engine = ServingEngine(
+            max_batch=max_batch,
+            retrain_workers=retrain_workers,
+            supervisor=RetrainSupervisor(max_failures=2, backoff_base=1),
+            on_frame=lambda s, f, block, rep: (
+                llrs.append(block.copy()) if s.session_id == "watch" else None
+            ),
+        )
+        plan = FaultPlan(
+            seed=77,
+            fail_sessions=("f-fail",),
+            hang_sessions=("f-hang",),
+            poison_sessions=("f-poison",),
+            poison_rate=0.35,
+            blocking_hangs=retrain_workers > 0,
+            hang_timeout=1.0,
+        )
+        watch = make_session(
+            qam, "watch", seed=1234, queue_depth=3,
+            retrain=RotateStub(qam), threshold=0.12, tracking=True,
+        )
+        engine.add_session(watch)
+        storm: dict[str, list] = {}
+        for sid in ("f-fail", "f-hang", "f-poison", "f-clean"):
+            retrain = RotateStub(qam) if sid != "f-poison" else None
+            if faulted:
+                retrain = plan.wrap_retrain(sid, retrain)
+            engine.add_session(
+                make_session(
+                    qam, sid, seed=hash(sid) % 2**31, queue_depth=3,
+                    retrain=retrain, threshold=0.12,
+                )
+            )
+            frames = jump_traffic(qam, 18, abs(hash(sid)) % 2**31, step=3)
+            if faulted:
+                frames = plan.corrupt_traffic(sid, frames)
+            storm[sid] = [frames, 0]
+        frames = self.watch_traffic(qam)
+        offset = 0
+        guard = 0
+        while watch.stats.frames_served < self.N_FRAMES:
+            guard += 1
+            assert guard < 2000, "watched session starved"
+            for sid, entry in storm.items():
+                if engine.session(sid).health == QUARANTINED:
+                    continue
+                while entry[1] < len(entry[0]) and engine.submit(
+                    sid, entry[0][entry[1]]
+                ):
+                    entry[1] += 1
+            while offset < len(frames) and engine.submit("watch", frames[offset]):
+                offset += 1
+            engine.step()
+            if watch.state == RETRAINING and engine.worker.pending:
+                # poll-wait for the watch swap without blocking on a
+                # possibly-hung storm job
+                time.sleep(0.002)
+        plan.release_hangs()
+        engine.close(timeout=5)
+        if faulted:
+            assert engine.telemetry.retrain_failures > 0, "storm was a no-op"
+            assert engine.telemetry.sessions_quarantined >= 1
+        timeline = (
+            tuple(watch.stats.trigger_seqs),
+            tuple(watch.stats.tier_timeline),
+            tuple(watch.stats.sigma2_trajectory),
+            watch.stats.retrains,
+            watch.stats.tracks,
+            tuple(watch.stats.health_timeline),
+        )
+        return llrs, timeline
+
+    @pytest.fixture(scope="class")
+    def reference(self, qam16):
+        """The same fleet, no faults, sequential batches, inline worker."""
+        return self.run(qam16, faulted=False, max_batch=1)
+
+    def assert_identical(self, run, reference):
+        llrs, timeline = run
+        ref_llrs, ref_timeline = reference
+        assert timeline == ref_timeline
+        assert len(llrs) == len(ref_llrs) == self.N_FRAMES
+        for got, ref in zip(llrs, ref_llrs):
+            assert np.array_equal(got, ref)
+
+    def test_reference_scenario_adapts(self, reference):
+        _, timeline = reference
+        assert timeline[0], "watched session's monitor never fired"
+        assert timeline[5] == (), "watched session must stay HEALTHY"
+
+    @pytest.mark.parametrize("max_batch", [1, 64])
+    def test_invariant_to_fault_storm(self, qam16, reference, max_batch):
+        self.assert_identical(
+            self.run(qam16, faulted=True, max_batch=max_batch), reference
+        )
+
+    @pytest.mark.parametrize("retrain_workers", [2])
+    def test_invariant_to_worker_count_under_faults(
+        self, qam16, reference, retrain_workers
+    ):
+        self.assert_identical(
+            self.run(qam16, faulted=True, retrain_workers=retrain_workers),
+            reference,
+        )

@@ -14,6 +14,7 @@ from repro.extraction.monitor import DegradationMonitor
 from repro.link.frames import FrameConfig, build_frame
 from repro.modulation import qam_constellation
 from repro.serving import (
+    HEALTHY,
     DeficitRoundRobin,
     DemapperSession,
     ServingEngine,
@@ -129,13 +130,14 @@ class TestDeficitRoundRobin:
 
 class FakeSession:
     """The duck type ``DeficitRoundRobin.allocate`` reads: id, live weight,
-    queue depth, pause flag.  Keeps the hypothesis properties fast."""
+    queue depth, pause flag, health.  Keeps the hypothesis properties fast."""
 
     def __init__(self, sid, weight, pending=0):
         self.session_id = sid
         self.weight = weight
         self.pending = pending
         self.paused = False
+        self.health = HEALTHY
 
     @property
     def ready(self):
