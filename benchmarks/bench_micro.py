@@ -60,6 +60,7 @@ _CORE_BENCH_NAMES = frozenset(
         "sweep_maxlog_seq[numpy32]",
         "serving_batched[numpy]",
         "serving_sequential[numpy]",
+        "serving_traced[numpy]",
         "serving_control_plane[numpy]",
         "serving_churn[numpy]",
         "serving_churn_sequential[numpy]",
@@ -279,6 +280,14 @@ def _bench_sweep_tier(benchmark, sweep_stream, tier: str):
         sequential,
         rounds=SWEEP_ROUNDS,
     )
+    # record *both* sides of the check_bench ratio gate from this one
+    # interleaved run (the later multi entry overwrites the pedantic one in
+    # the artifact): mixing measurement phases adds several percent of
+    # phase noise on a throttling box, which a 1.0x floor has no room for
+    _record_timed(
+        f"sweep_maxlog_multi[{tier}]", multi_times, symbols=SWEEP_S * SWEEP_N,
+        extra={"backend": tier, "snr_points": SWEEP_S},
+    )
     _record_timed(
         f"sweep_maxlog_seq[{tier}]", seq_times, symbols=SWEEP_S * SWEEP_N,
         extra={"backend": tier, "snr_points": SWEEP_S},
@@ -432,6 +441,93 @@ def test_serving_batched_vs_sequential(benchmark, serving_setup):
     for s in sessions:
         f = frames[s.session_id]
         assert np.array_equal(caps[s.session_id], s.hybrid.llrs(f.received))
+
+
+def test_serving_traced_overhead(benchmark, serving_setup):
+    """Full observability attached (tracer + profiler + metrics registry)
+    vs the same engine untraced: the layer is passive, so a traced round
+    must stay within 10% of the untraced round (``check_bench.py`` gates
+    the recorded rates at the same ratio).
+
+    Both measurements run on the *one* fixture engine — attach/detach is
+    plain attribute assignment under the passivity contract — because two
+    separately-built engines differ by several percent on allocation
+    layout alone, which would drown a 10% bound.  Sharing the fixture
+    engine also means ``serving_traced`` / ``serving_batched`` in the
+    artifact are rates of the same instance, keeping the check_bench
+    ratio gate stable.
+    """
+    from repro.serving import MetricsRegistry, RoundProfiler, Tracer
+
+    engine, sessions, frames, fc = serving_setup
+    n = fc.total_symbols
+    symbols = SERVE_SESSIONS * n
+
+    # ring sized so the bench never evicts (eviction is cheap, but keep the
+    # measured path identical across rounds)
+    tracer = Tracer(capacity=1 << 15)
+    profiler = RoundProfiler()
+    engine.register_metrics(MetricsRegistry())
+
+    # both rounds go through engine.submit so the traced side pays for its
+    # frame.submit events — the overhead bound covers the whole surface
+    def traced_round():
+        engine.tracer, engine.profiler = tracer, profiler
+        for s in sessions:
+            engine.submit(s.session_id, frames[s.session_id])
+        return engine.step()
+
+    def bare_round():
+        engine.tracer = engine.profiler = None
+        for s in sessions:
+            engine.submit(s.session_id, frames[s.session_id])
+        return engine.step()
+
+    try:
+        assert traced_round() == SERVE_SESSIONS  # warm ring; full occupancy
+        assert bare_round() == SERVE_SESSIONS
+        benchmark.pedantic(
+            traced_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+        )
+        assert tracer.dropped == 0
+        events_per_round = len(tracer) / max(1, profiler.snapshot()["phases"]
+                                             .get("schedule", {}).get("count", 1))
+        rate = _record(
+            benchmark, "serving_traced[numpy]", symbols=symbols,
+            extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+                   "frame_symbols": n,
+                   "trace_events_per_round": events_per_round},
+        )
+        if rate is None:
+            return  # --benchmark-disable run: nothing to compare
+        traced_times, bare_times = _interleaved_min_times(traced_round, bare_round)
+        # record both sides of the check_bench ratio gate from this one
+        # interleaved run (the later entries overwrite the pedantic ones in
+        # the artifact): the bare rounds here *are* the serving_batched
+        # benchmark — same engine, same round shape — and a 0.9x floor has
+        # no room for cross-phase measurement noise
+        occupancy = engine.telemetry.snapshot()["mean_occupancy"]
+        _record_timed(
+            "serving_traced[numpy]", traced_times, symbols=symbols,
+            extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+                   "frame_symbols": n,
+                   "trace_events_per_round": events_per_round},
+        )
+        _record_timed(
+            "serving_batched[numpy]", bare_times, symbols=symbols,
+            extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+                   "frame_symbols": n, "mean_batch_occupancy": occupancy},
+        )
+        overhead = min(traced_times) / min(bare_times)
+        assert overhead <= 1.10, (
+            f"observability must cost <= 10% of an untraced round at "
+            f"N={SERVE_SESSIONS}: got {overhead:.3f}x "
+            f"({symbols / min(traced_times) / 1e6:.2f} vs "
+            f"{symbols / min(bare_times) / 1e6:.2f} Msym/s)"
+        )
+    finally:
+        # leave the shared fixture engine exactly as we found it
+        engine.tracer = engine.profiler = engine.registry = None
 
 
 def test_serving_control_plane_overhead(benchmark):

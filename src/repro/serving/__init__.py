@@ -33,7 +33,16 @@ into an online, *self-adapting* serving system:
   (frames, symbols/s, batch-occupancy histogram, retrain/track events,
   join/leave/drain counters with a fleet-size timeline, pilot-BER and σ²
   trajectories, queue-wait / service-time latency histograms on a
-  simulated symbol clock).
+  simulated symbol clock);
+* :mod:`repro.serving.observability` — the passive observability layer:
+  frame-lifecycle tracing on the symbol clock (``Tracer``, Chrome
+  ``trace_event`` + event-log exports), a unified ``MetricsRegistry``
+  (counters/gauges/histograms, Prometheus/JSON exporters, shard
+  ``merge()``) and per-stage round profiling (``RoundProfiler``) — none of
+  which changes a single per-session output bit;
+* :mod:`repro.serving.obs_report` — ``python -m repro.serving.obs_report``:
+  a text dashboard over an exported run (latency quantiles, health/tier
+  timelines, phase breakdown).
 
 Quick start (see ``examples/serving_multisession.py`` for the full demo)::
 
@@ -66,6 +75,12 @@ from repro.serving.loadgen import (
     generate_traffic,
     run_churn_load,
     run_load,
+)
+from repro.serving.observability import (
+    MetricsRegistry,
+    RoundProfiler,
+    TraceEvent,
+    Tracer,
 )
 from repro.serving.scheduler import DeficitRoundRobin
 from repro.serving.session import (
@@ -117,4 +132,8 @@ __all__ = [
     "SessionStats",
     "EngineStats",
     "LatencyHistogram",
+    "Tracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "RoundProfiler",
 ]

@@ -59,6 +59,8 @@ unrelated sessions join, drain or are hard-removed around it
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -89,6 +91,9 @@ from repro.serving.weights import WeightController
 from repro.serving.worker import RetrainWorker
 
 __all__ = ["ServingEngine"]
+
+#: shared no-op context — the cost of profiling when no profiler is attached
+_NULL_CTX = nullcontext()
 
 
 class ServingEngine:
@@ -122,6 +127,17 @@ class ServingEngine:
     on_frame:
         Optional per-frame hook ``(session, frame, llrs, report)``; ``llrs``
         is an engine-owned buffer valid only during the call (copy to keep).
+    tracer:
+        Optional :class:`~repro.serving.observability.Tracer` receiving the
+        frame-lifecycle / round-phase / fault event stream on the simulated
+        symbol clock.  Strictly observe-only: attaching one changes no
+        per-session output bit (the passivity contract pinned by
+        ``tests/serving/test_observability.py``).
+    profiler:
+        Optional :class:`~repro.serving.observability.RoundProfiler`
+        accumulating wall-clock per-phase and per-launch-width timings.
+        Observe-only like the tracer; with neither attached the hot path
+        pays only ``None`` checks.
     """
 
     def __init__(
@@ -135,6 +151,8 @@ class ServingEngine:
         supervisor: RetrainSupervisor | None = None,
         on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
         | None = None,
+        tracer=None,
+        profiler=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -147,6 +165,46 @@ class ServingEngine:
         self.supervisor = supervisor if supervisor is not None else RetrainSupervisor()
         self._sessions: dict[str, DemapperSession] = {}
         self.telemetry = EngineStats()
+        self.tracer = tracer
+        self.profiler = profiler
+        #: the registry handed to :meth:`register_metrics` (None until then);
+        #: kept so sessions joining later are registered automatically
+        self.registry = None
+
+    # -- observability -------------------------------------------------------
+    def _phase(self, name: str):
+        """Context manager timing one phase (shared no-op when unprofiled)."""
+        return _NULL_CTX if self.profiler is None else self.profiler.phase(name)
+
+    def _trace_failure(self, record) -> None:
+        """Mirror one :class:`FailureRecord` onto the trace (if tracing)."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                f"fault.{record.kind}",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=record.session_id,
+                action=record.action,
+                failures=record.failures,
+            )
+
+    def register_metrics(self, registry):
+        """Expose the engine's whole telemetry surface through ``registry``.
+
+        Registers live callback views for the engine counters/histograms,
+        the retrain worker's queue gauges, the supervisor's per-state
+        session counts, a fleet-size gauge and every current session
+        (newcomers via :meth:`add_session` are registered automatically
+        once a registry is attached).  Returns the registry for chaining.
+        """
+        self.registry = registry
+        self.telemetry.register_metrics(registry)
+        self.worker.register_metrics(registry)
+        self.supervisor.register_metrics(registry)
+        registry.gauge("serving_engine_sessions", fn=lambda: len(self._sessions))
+        for session in self._sessions.values():
+            session.register_metrics(registry)
+        return registry
 
     # -- session registry ----------------------------------------------------
     @property
@@ -180,6 +238,16 @@ class ServingEngine:
         self._sessions[session.session_id] = session
         self.telemetry.joins += 1
         self.telemetry.record_fleet_size(len(self._sessions))
+        if self.registry is not None:
+            session.register_metrics(self.registry)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session.join",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+                fleet=len(self._sessions),
+            )
         return session
 
     def remove_session(self, session_id: str, *, drain: bool = True) -> int:
@@ -208,6 +276,14 @@ class ServingEngine:
             if not session.draining:
                 session.draining = True
                 self.telemetry.drains_started += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "session.drain",
+                        ts=self.telemetry.now,
+                        round=self.telemetry.rounds,
+                        session_id=session_id,
+                        pending=session.pending,
+                    )
                 self._finish_drains()
             return 0
         dropped = session.discard_queue()
@@ -226,6 +302,22 @@ class ServingEngine:
         self.telemetry.frames_dropped += dropped
         self.telemetry.leaves += 1
         self.telemetry.record_fleet_size(len(self._sessions))
+        if self.tracer is not None:
+            if dropped:
+                self.tracer.emit(
+                    "frame.dropped",
+                    ts=self.telemetry.now,
+                    round=self.telemetry.rounds,
+                    session_id=session.session_id,
+                    count=dropped,
+                )
+            self.tracer.emit(
+                "session.leave",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+                fleet=len(self._sessions),
+            )
 
     def _finish_drains(self) -> None:
         """Remove every draining session that has nothing left to serve."""
@@ -253,7 +345,49 @@ class ServingEngine:
         id at the submission site — not a confusing failure rounds later,
         deep inside a serving batch.
         """
-        return self.session(session_id).submit(frame, now=self.telemetry.now)
+        session = self.session(session_id)
+        now = self.telemetry.now
+        if self.tracer is None:
+            return session.submit(frame, now=now)
+        # the refusal reason is derivable from which session counter moved —
+        # diffing them keeps submit()'s bool contract and stays fully passive
+        stats = session.stats
+        before = (
+            stats.rejects,
+            stats.drain_refusals,
+            stats.quarantine_refusals,
+            stats.poison_rejected,
+        )
+        accepted = session.submit(frame, now=now)
+        if accepted:
+            self.tracer.emit_instant(
+                "frame.submit",
+                now,
+                self.telemetry.rounds,
+                session_id,
+                frame.seq,
+                {"queued": session.pending},
+            )
+        else:
+            after = (
+                stats.rejects,
+                stats.drain_refusals,
+                stats.quarantine_refusals,
+                stats.poison_rejected,
+            )
+            reasons = ("backpressure", "draining", "quarantined", "poison")
+            reason = next(
+                (r for r, b, a in zip(reasons, before, after) if a > b), "unknown"
+            )
+            self.tracer.emit(
+                "frame.reject",
+                ts=now,
+                round=self.telemetry.rounds,
+                session_id=session_id,
+                seq=frame.seq,
+                reason=reason,
+            )
+        return accepted
 
     # -- serving -------------------------------------------------------------
     def _serve_batch(self, batch: MicroBatch, key: str = "serve") -> None:
@@ -280,9 +414,41 @@ class ServingEngine:
         k = first.bits_per_symbol
         batch_start = self.telemetry.now
         service_time = batch.n_symbols
-        llrs3, stacked_rx = batched_maxlog_llrs(
-            batch.requests, backend=be, key=key, with_received=True
-        )
+        if self.profiler is not None:
+            t0 = perf_counter()
+            llrs3, stacked_rx = batched_maxlog_llrs(
+                batch.requests, backend=be, key=key, with_received=True
+            )
+            dt = perf_counter() - t0
+            self.profiler.account("demap-launch", dt)
+            self.profiler.record_launch(s_count, dt)
+        else:
+            llrs3, stacked_rx = batched_maxlog_llrs(
+                batch.requests, backend=be, key=key, with_received=True
+            )
+        tracer = self.tracer
+        rnd = self.telemetry.rounds
+        if tracer is not None:
+            tracer.emit(
+                "phase.demap-launch",
+                ts=batch_start,
+                ph="X",
+                dur=service_time,
+                round=rnd,
+                width=s_count,
+                symbols=service_time,
+            )
+            emit = tracer.emit_instant
+            for row, (session, frame) in enumerate(zip(batch.sessions, batch.frames)):
+                emit(
+                    "frame.batched",
+                    batch_start,
+                    rnd,
+                    session.session_id,
+                    frame.seq,
+                    {"width": s_count, "row": row},
+                )
+        t_cp = perf_counter() if self.profiler is not None else 0.0
         # post-demap poison guard: a frame with a non-finite received sample
         # produces non-finite LLRs *in its own row only* (the kernels'
         # distance stage is row-local), so a per-row finite check fences the
@@ -351,8 +517,32 @@ class ServingEngine:
             self.telemetry.queue_wait.record(report.queue_wait)
             self.telemetry.service_time.record(service_time)
             session.stats.queue_wait.record(report.queue_wait)
+            if tracer is not None:
+                tracer.emit_instant(
+                    "frame.served",
+                    batch_start,
+                    rnd,
+                    session.session_id,
+                    frame.seq,
+                    {
+                        "pilot_ber": pilot_ber,
+                        "fired": fired,
+                        "tier": tier,
+                        "sigma2": session.sigma2,
+                        "queue_wait": report.queue_wait,
+                    },
+                )
             if self.on_frame is not None:
                 self.on_frame(session, frame, llrs3[row], report)
+        if self.profiler is not None:
+            self.profiler.account("control-plane", perf_counter() - t_cp)
+        if tracer is not None:
+            tracer.emit(
+                "phase.control-plane",
+                ts=batch_start,
+                round=rnd,
+                frames=s_count,
+            )
         # quarantined rows rode the launch (occupancy keys on the true
         # width) but are not credited as served — and the symbol clock only
         # advances for served work, so a fault-free run's clock is
@@ -418,29 +608,54 @@ class ServingEngine:
 
     def _submit_retrain(self, session: DemapperSession) -> None:
         """Hand one retrain job to the worker under supervision."""
-        job_rng = session.begin_retrain()
-        self.supervisor.on_submitted(session.session_id, self.telemetry.rounds)
-        self.telemetry.retrains_completed += self.worker.submit(
-            session, session.retrain, job_rng
-        )
-        self.telemetry.retrains_started += 1
+        with self._phase("retrain-submit"):
+            job_rng = session.begin_retrain()
+            self.supervisor.on_submitted(session.session_id, self.telemetry.rounds)
+            self.telemetry.retrains_completed += self.worker.submit(
+                session, session.retrain, job_rng
+            )
+            self.telemetry.retrains_started += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "phase.retrain-submit",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+            )
 
     def _quarantine(self, session: DemapperSession, frame: ServingFrame) -> None:
         """Fence off a session whose demap produced non-finite LLRs."""
         now = self.telemetry.now
-        self.telemetry.frames_quarantined += session.quarantine(now=now)
+        lost = session.quarantine(now=now)
+        self.telemetry.frames_quarantined += lost
         self.telemetry.sessions_quarantined += 1
         self.telemetry.health_timeline.append((now, session.session_id, QUARANTINED))
-        self.telemetry.failure_log.append(
-            FailureRecord(
+        record = FailureRecord(
+            round=self.telemetry.rounds,
+            session_id=session.session_id,
+            kind="poison",
+            error=f"non-finite LLRs from frame seq={frame.seq}",
+            failures=0,
+            action="quarantine",
+        )
+        self.telemetry.failure_log.append(record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "frame.quarantined",
+                ts=now,
                 round=self.telemetry.rounds,
                 session_id=session.session_id,
-                kind="poison",
-                error=f"non-finite LLRs from frame seq={frame.seq}",
-                failures=0,
-                action="quarantine",
+                seq=frame.seq,
+                lost=lost,
             )
-        )
+            self.tracer.emit(
+                "session.health",
+                ts=now,
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+                health=QUARANTINED,
+            )
+        self._trace_failure(record)
         # a pending backoff/retry dies with the quarantine — the supervisor
         # must not re-launch a retrain for a fenced-off session
         self.supervisor.forget(session.session_id)
@@ -455,21 +670,30 @@ class ServingEngine:
             sid = session.session_id
             if error is None:
                 self.supervisor.on_installed(sid)
+                if self.tracer is not None:
+                    # worker threads never touch the tracer — the install is
+                    # traced here, when the engine thread absorbs it
+                    self.tracer.emit(
+                        "retrain.install",
+                        ts=self.telemetry.now,
+                        round=self.telemetry.rounds,
+                        session_id=sid,
+                    )
                 continue
             if sid not in self._sessions or self._sessions[sid] is not session:
                 # the session left (or its id was reused) between the job's
                 # resolution and this round: log the failure, touch nothing
                 self.telemetry.retrain_failures += 1
-                self.telemetry.failure_log.append(
-                    FailureRecord(
-                        round=self.telemetry.rounds,
-                        session_id=sid,
-                        kind="error",
-                        error=f"{type(error).__name__}: {error} (session departed)",
-                        failures=0,
-                        action="retry",
-                    )
+                record = FailureRecord(
+                    round=self.telemetry.rounds,
+                    session_id=sid,
+                    kind="error",
+                    error=f"{type(error).__name__}: {error} (session departed)",
+                    failures=0,
+                    action="retry",
                 )
+                self.telemetry.failure_log.append(record)
+                self._trace_failure(record)
                 self.supervisor.forget(sid)
                 continue
             self._handle_retrain_failure(session, error)
@@ -494,6 +718,7 @@ class ServingEngine:
         if kind == "hung":
             self.telemetry.retrains_hung += 1
         self.telemetry.failure_log.append(record)
+        self._trace_failure(record)
         session.stats.retrain_failures += 1
         if session.state == RETRAINING:
             session.resume_serving()
@@ -502,6 +727,14 @@ class ServingEngine:
             session.set_health(DEGRADED, now=now)
             self.telemetry.sessions_degraded += 1
             self.telemetry.health_timeline.append((now, session.session_id, DEGRADED))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "session.health",
+                    ts=now,
+                    round=self.telemetry.rounds,
+                    session_id=session.session_id,
+                    health=DEGRADED,
+                )
 
     def _expire_hung_jobs(self) -> None:
         """Abandon in-flight jobs older than the supervisor's deadline."""
@@ -511,6 +744,14 @@ class ServingEngine:
                 self.supervisor.forget(sid)
                 continue
             self.worker.abandon(session)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "retrain.hung",
+                    ts=self.telemetry.now,
+                    round=self.telemetry.rounds,
+                    session_id=sid,
+                    deadline_rounds=self.supervisor.deadline_rounds,
+                )
             self._handle_retrain_failure(
                 session,
                 RetrainHungError(
@@ -530,6 +771,13 @@ class ServingEngine:
                 self.supervisor.forget(sid)
                 continue
             self.telemetry.retrains_retried += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "retrain.retry",
+                    ts=self.telemetry.now,
+                    round=self.telemetry.rounds,
+                    session_id=sid,
+                )
             self._submit_retrain(session)
 
     def step(self) -> int:
@@ -553,25 +801,50 @@ class ServingEngine:
         outcome is absorbed again before allocation and a failing-fast
         session still serves its frames this very round.
         """
-        self.telemetry.retrains_completed += self.worker.poll()
-        self._absorb_worker_outcomes()
-        self._expire_hung_jobs()
-        self._launch_due_retries()
-        self._absorb_worker_outcomes()
-        self._finish_drains()
-        quotas = self.scheduler.allocate(self.sessions)
+        tracer = self.tracer
+        rnd = self.telemetry.rounds
+        if tracer is not None:
+            tracer.emit(
+                "round.begin", ts=self.telemetry.now, round=rnd,
+                sessions=len(self._sessions),
+            )
+        with self._phase("absorb-outcomes"):
+            self.telemetry.retrains_completed += self.worker.poll()
+            self._absorb_worker_outcomes()
+            self._expire_hung_jobs()
+            self._launch_due_retries()
+            self._absorb_worker_outcomes()
+            self._finish_drains()
+        if tracer is not None:
+            tracer.emit("phase.absorb-outcomes", ts=self.telemetry.now, round=rnd)
+        with self._phase("schedule"):
+            quotas = self.scheduler.allocate(self.sessions)
+        if tracer is not None:
+            tracer.emit(
+                "phase.schedule", ts=self.telemetry.now, round=rnd,
+                quota=sum(quotas.values()),
+            )
         served = 0
         wave = 0
         while True:
             pulls = []
-            for session in self.sessions:
-                if quotas.get(session.session_id, 0) > 0 and session.ready:
-                    frame, tick = session.pop()
-                    quotas[session.session_id] -= 1
-                    pulls.append((session, frame, tick))
+            with self._phase("coalesce"):
+                for session in self.sessions:
+                    if quotas.get(session.session_id, 0) > 0 and session.ready:
+                        frame, tick = session.pop()
+                        quotas[session.session_id] -= 1
+                        pulls.append((session, frame, tick))
+                batches = (
+                    coalesce(pulls, max_batch=self.max_batch) if pulls else []
+                )
             if not pulls:
                 break
-            for i, batch in enumerate(coalesce(pulls, max_batch=self.max_batch)):
+            if tracer is not None:
+                tracer.emit(
+                    "phase.coalesce", ts=self.telemetry.now, round=rnd,
+                    wave=wave, pulls=len(pulls), batches=len(batches),
+                )
+            for i, batch in enumerate(batches):
                 # per-(wave, position) scratch keys: rounds with several
                 # differently shaped groups must not thrash the shape-keyed
                 # workspace, and wave widths differ systematically
@@ -579,9 +852,15 @@ class ServingEngine:
             served += len(pulls)
             wave += 1
         self._finish_drains()
-        if self.weight_controller is not None:
-            self.weight_controller.on_round(self.sessions, now=self.telemetry.now)
+        with self._phase("control-plane"):
+            if self.weight_controller is not None:
+                self.weight_controller.on_round(self.sessions, now=self.telemetry.now)
         self.telemetry.rounds += 1
+        if tracer is not None:
+            tracer.emit(
+                "round.end", ts=self.telemetry.now, round=rnd,
+                served=served, waves=wave,
+            )
         return served
 
     def _stuck_session_ids(self) -> list[str]:

@@ -267,6 +267,22 @@ class RetrainSupervisor:
             for sid, sup in sorted(self._sessions.items())
         }
 
+    def register_metrics(self, registry, *, prefix: str = "serving_supervisor_") -> None:
+        """Expose per-state supervised-session counts as live gauges.
+
+        One ``<prefix>sessions{state=...}`` gauge per supervision state —
+        the circuit-breaker population at a glance (``open`` = breakers
+        tripped, ``backoff`` = retries scheduled).
+        """
+        for st in (_IDLE, _IN_FLIGHT, _BACKOFF, _OPEN):
+            registry.gauge(
+                prefix + "sessions",
+                {"state": st},
+                fn=lambda s=st: sum(
+                    1 for sup in self._sessions.values() if sup.state == s
+                ),
+            )
+
 
 class _FaultyRetrain:
     """A retrain policy wrapped with seeded fault injection (plan-internal)."""

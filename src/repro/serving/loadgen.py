@@ -257,6 +257,13 @@ def _drive(
         if served:
             continue
         if engine.worker.pending:
+            if engine.tracer is not None:
+                engine.tracer.emit(
+                    "driver.wait-retrains",
+                    ts=engine.telemetry.now,
+                    round=engine.telemetry.rounds,
+                    pending=engine.worker.pending,
+                )
             engine.telemetry.retrains_completed += engine.worker.wait_all(wait_timeout)
             continue
         if any(s.ready for s in engine.sessions):

@@ -1,0 +1,334 @@
+"""A unified metrics registry: named, labelled counters/gauges/histograms.
+
+The serving stack's telemetry lives as plain attributes on
+``EngineStats``/``SessionStats``/``RetrainWorker`` — ideal for tests, opaque
+to a monitoring system.  :class:`MetricsRegistry` puts one interface in
+front of all of it:
+
+* **counters** — monotone totals (frames served, retrains started);
+* **gauges** — point-in-time values (queue depth, live weight, σ²);
+* **histograms** — :class:`~repro.serving.telemetry.LatencyHistogram`
+  distributions (queue wait, service time), exported in Prometheus's
+  cumulative-bucket form.
+
+Instruments are keyed by ``(name, labels)`` — asking again returns the
+same instrument, so registration is idempotent — and a name's kind is
+fixed at first registration (a ``counter`` cannot later come back as a
+``gauge``: one ``# TYPE`` per name, the Prometheus rule).
+
+**Callback instruments.**  Passing ``fn=`` (or ``source=`` for
+histograms) registers a *live view* over existing state instead of a new
+accumulator — ``EngineStats.register_metrics`` re-registers every existing
+field this way without breaking a single ``snapshot()`` consumer, and a
+scrape always reads current values.  Re-registering a labelled callback
+rebinds it (last writer wins), which is what lets a churned-out session id
+be reused by a later arrival without an error.
+
+**Exporters.**  :meth:`MetricsRegistry.to_prometheus` renders the
+text-based exposition format; :meth:`MetricsRegistry.to_json` a schema'd
+JSON dict.  Both materialize callbacks at call time.
+
+**Sharding.**  :meth:`MetricsRegistry.merge` folds another registry's
+*values* into this one — counters add, gauges take the incoming value,
+histograms bucket-merge exactly (``LatencyHistogram.merge``) — so N
+per-shard registries combine into one fleet view identical to having
+recorded everything in one place (the contract a future sharded engine
+leans on, tested like the histogram merge suite).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.serving.telemetry import LatencyHistogram
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _label_key(labels: dict | None) -> tuple:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _escape(value) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: dict, extra: tuple[str, str] | None = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{_escape(v)}"' for k, v in items) + "}"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if v != v:
+        return "NaN"
+    return repr(v)
+
+
+class _Instrument:
+    """Name + labels shared by every instrument kind."""
+
+    kind = ""
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, labels={self.labels})"
+
+
+class Counter(_Instrument):
+    """Monotone total: either a stored accumulator or a live ``fn`` view."""
+
+    kind = "counter"
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, name: str, labels: dict, fn: Callable[[], float] | None = None):
+        super().__init__(name, labels)
+        self._fn = fn
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if self._fn is not None:
+            raise TypeError(
+                f"counter {self.name!r} is callback-backed; it reads live state "
+                "and cannot be incremented"
+            )
+        if amount < 0:
+            raise ValueError("counters only go up (amount must be >= 0)")
+        self._value += amount
+
+    @property
+    def value(self):
+        return self._fn() if self._fn is not None else self._value
+
+
+class Gauge(_Instrument):
+    """Point-in-time value: either stored via :meth:`set` or a live ``fn``."""
+
+    kind = "gauge"
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, name: str, labels: dict, fn: Callable[[], float] | None = None):
+        super().__init__(name, labels)
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise TypeError(
+                f"gauge {self.name!r} is callback-backed; it reads live state "
+                "and cannot be set"
+            )
+        self._value = value
+
+    @property
+    def value(self):
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram(_Instrument):
+    """A labelled :class:`LatencyHistogram` — owned, or a live ``source``."""
+
+    kind = "histogram"
+    __slots__ = ("_source", "_hist")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict,
+        source: Callable[[], LatencyHistogram] | None = None,
+    ):
+        super().__init__(name, labels)
+        self._source = source
+        self._hist = LatencyHistogram() if source is None else None
+
+    def record(self, ticks: int) -> None:
+        if self._source is not None:
+            raise TypeError(
+                f"histogram {self.name!r} is source-backed; it views live state "
+                "and cannot record directly"
+            )
+        self._hist.record(ticks)
+
+    @property
+    def hist(self) -> LatencyHistogram:
+        return self._source() if self._source is not None else self._hist
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments with exporters.
+
+    ``counter(name, labels)`` / ``gauge(...)`` / ``histogram(...)`` return
+    the instrument for that exact ``(name, labels)`` pair, creating it on
+    first use.  Passing ``fn=``/``source=`` registers (or rebinds — last
+    writer wins) a live callback view instead of an accumulator.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, _Instrument] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict | None, callback):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labels = dict(labels or {})
+        for k in labels:
+            if not _LABEL_RE.match(k):
+                raise ValueError(f"invalid label name {k!r} on metric {name!r}")
+        kind = self._kinds.get(name)
+        if kind is not None and kind != cls.kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {kind}, "
+                f"not a {cls.kind}"
+            )
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is not None:
+            if callback is not None:
+                # rebind the live view: a re-registered session id (churn
+                # then reuse) must point at the *new* object's state
+                if cls is Histogram:
+                    inst._source = callback
+                    inst._hist = None
+                else:
+                    inst._fn = callback
+            return inst
+        inst = cls(name, labels, callback)
+        self._instruments[key] = inst
+        self._kinds[name] = cls.kind
+        return inst
+
+    def counter(
+        self, name: str, labels: dict | None = None, *, fn: Callable | None = None
+    ) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
+        return self._get(Counter, name, labels, fn)
+
+    def gauge(
+        self, name: str, labels: dict | None = None, *, fn: Callable | None = None
+    ) -> Gauge:
+        """Get or create the gauge for ``(name, labels)``."""
+        return self._get(Gauge, name, labels, fn)
+
+    def histogram(
+        self, name: str, labels: dict | None = None, *, source: Callable | None = None
+    ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``."""
+        return self._get(Histogram, name, labels, source)
+
+    def collect(self) -> list[_Instrument]:
+        """Every instrument, sorted by ``(name, labels)`` — export order."""
+        return [
+            self._instruments[k]
+            for k in sorted(self._instruments, key=lambda k: (k[0], k[1]))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- exporters -----------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (one ``# TYPE`` per name).
+
+        Histograms render in the standard cumulative form:
+        ``<name>_bucket{le="..."}`` per power-of-two upper bound plus
+        ``le="+Inf"``, then ``<name>_sum`` and ``<name>_count``.
+        """
+        lines: list[str] = []
+        last_name = None
+        for inst in self.collect():
+            if inst.name != last_name:
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+                last_name = inst.name
+            if inst.kind == "histogram":
+                snap = inst.hist.snapshot()
+                cum = 0
+                for ub in sorted(snap["buckets"]):
+                    cum += snap["buckets"][ub]
+                    lines.append(
+                        f"{inst.name}_bucket"
+                        f"{_fmt_labels(inst.labels, ('le', str(ub)))} {cum}"
+                    )
+                lines.append(
+                    f"{inst.name}_bucket"
+                    f"{_fmt_labels(inst.labels, ('le', '+Inf'))} {snap['count']}"
+                )
+                lines.append(
+                    f"{inst.name}_sum{_fmt_labels(inst.labels)} {snap['total']}"
+                )
+                lines.append(
+                    f"{inst.name}_count{_fmt_labels(inst.labels)} {snap['count']}"
+                )
+            else:
+                lines.append(
+                    f"{inst.name}{_fmt_labels(inst.labels)} {_fmt_value(inst.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """Schema'd JSON dict of every instrument's current value.
+
+        Histogram bucket keys are stringified so a ``json.dumps`` →
+        ``json.loads`` round trip reproduces the dict exactly.
+        """
+        metrics = []
+        for inst in self.collect():
+            entry: dict = {
+                "name": inst.name,
+                "kind": inst.kind,
+                "labels": dict(inst.labels),
+            }
+            if inst.kind == "histogram":
+                snap = inst.hist.snapshot()
+                snap["buckets"] = {str(k): v for k, v in snap["buckets"].items()}
+                entry.update(snap)
+            else:
+                entry["value"] = inst.value
+            metrics.append(entry)
+        return {"schema": 1, "metrics": metrics}
+
+    # -- sharding ------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's current values into this one (in place).
+
+        Counters add, gauges take the incoming value (last writer wins),
+        histograms bucket-merge exactly — so merging per-shard registries
+        equals having recorded everything in one registry.  The *other*
+        registry is read (callbacks materialized), never mutated.  The
+        merge targets in ``self`` must be plain accumulators — merging
+        onto a callback-backed instrument raises, because a live view has
+        no storage to fold into.  Returns ``self`` for chaining.
+        """
+        for inst in other.collect():
+            if inst.kind == "counter":
+                self.counter(inst.name, inst.labels).inc(inst.value)
+            elif inst.kind == "gauge":
+                self.gauge(inst.name, inst.labels).set(inst.value)
+            else:
+                mine = self.histogram(inst.name, inst.labels)
+                if mine._source is not None:
+                    raise TypeError(
+                        f"histogram {inst.name!r} is source-backed here; "
+                        "merge needs an owned accumulator"
+                    )
+                mine._hist.merge(inst.hist)
+        return self

@@ -509,6 +509,18 @@ class DemapperSession:
         """Snapshot of the session's monitor (no private-deque reaching)."""
         return self.monitor.state()
 
+    def register_metrics(self, registry, *, prefix: str = "serving_session_") -> None:
+        """Expose this session's stats plus live queue/weight/σ² gauges.
+
+        Everything is labelled ``{"session": <id>}``; re-registering after
+        churn (a reused id) rebinds the views to the new session object.
+        """
+        labels = {"session": self.session_id}
+        self.stats.register_metrics(registry, labels=labels, prefix=prefix)
+        registry.gauge(prefix + "queue_depth", labels, fn=lambda: self.pending)
+        registry.gauge(prefix + "weight", labels, fn=lambda: self.weight)
+        registry.gauge(prefix + "sigma2", labels, fn=lambda: self.sigma2)
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"DemapperSession({self.session_id!r}, state={self.state}, "

@@ -20,6 +20,15 @@ them assertable in tests and comparable across benchmark commits.
 
 Everything here is plain counters updated from the engine thread; snapshots
 are cheap dict copies safe to hand to logging/benchmark code.
+
+**Snapshot schema.**  ``EngineStats.snapshot()`` and
+``SessionStats.snapshot()`` carry ``"schema": 3`` — version 3 is the
+fault-era shape (failure summary, health counters, quarantine counts all
+present) — so exporters and ``check_bench.py`` can evolve the contract
+without guessing.  Both classes also re-register every field through a
+:class:`~repro.serving.observability.metrics.MetricsRegistry` via
+:meth:`register_metrics` (live callback views — nothing is double-counted
+and no ``snapshot()`` consumer changes).
 """
 
 from __future__ import annotations
@@ -27,6 +36,50 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = ["ServedFrame", "SessionStats", "EngineStats", "LatencyHistogram"]
+
+#: Snapshot schema version shared by ``EngineStats``/``SessionStats``:
+#: 1 = PR 3 counters, 2 = churn/control-plane era, 3 = fault era (failure
+#: summary, health counters, quarantine counts).
+SNAPSHOT_SCHEMA = 3
+
+#: SessionStats integer counters, in snapshot order — the fields
+#: :meth:`SessionStats.register_metrics` exposes as live counters.
+_SESSION_COUNTER_FIELDS = (
+    "frames_served",
+    "symbols_served",
+    "retrains",
+    "tracks",
+    "rejects",
+    "drain_refusals",
+    "frames_dropped",
+    "frames_quarantined",
+    "retrain_failures",
+    "quarantine_refusals",
+    "poison_rejected",
+)
+
+#: EngineStats integer counters, in snapshot order.
+_ENGINE_COUNTER_FIELDS = (
+    "rounds",
+    "batches",
+    "frames_served",
+    "symbols_served",
+    "retrains_started",
+    "retrains_completed",
+    "retrains_orphaned",
+    "retrain_failures",
+    "retrains_hung",
+    "retrains_retried",
+    "sessions_degraded",
+    "sessions_quarantined",
+    "frames_quarantined",
+    "tracks",
+    "joins",
+    "leaves",
+    "drains_started",
+    "drains_completed",
+    "frames_dropped",
+)
 
 
 @dataclass(frozen=True)
@@ -204,9 +257,30 @@ class SessionStats:
         if tier is not None:
             self.tier_timeline.append((seq, tier))
 
+    def register_metrics(
+        self,
+        registry,
+        *,
+        labels: dict | None = None,
+        prefix: str = "serving_session_",
+    ) -> None:
+        """Expose every counter through a ``MetricsRegistry`` as live views.
+
+        Callback-backed registration: scrapes read current values straight
+        off this object, nothing is double-counted, and ``snapshot()``
+        consumers are untouched.  Re-registering (e.g. a reused session id
+        after churn) rebinds the views to the new object.
+        """
+        labels = dict(labels or {})
+        for name in _SESSION_COUNTER_FIELDS:
+            registry.counter(prefix + name, labels, fn=lambda f=name: getattr(self, f))
+        registry.histogram(prefix + "queue_wait", labels, source=lambda: self.queue_wait)
+        registry.gauge(prefix + "triggers", labels, fn=lambda: len(self.trigger_seqs))
+
     def snapshot(self) -> dict:
         """Plain-dict copy (lists copied) for logging/JSON."""
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "frames_served": self.frames_served,
             "symbols_served": self.symbols_served,
             "retrains": self.retrains,
@@ -325,9 +399,53 @@ class EngineStats:
         """Average frames per kernel launch (NaN before the first batch)."""
         return self.frames_served / self.batches if self.batches else float("nan")
 
+    def failure_summary(self) -> dict:
+        """The failure log aggregated: total plus per-kind/per-action counts.
+
+        The compact form for dashboards and snapshots — the full per-record
+        ledger stays in ``failure_log``.
+        """
+        by_kind: dict[str, int] = {}
+        by_action: dict[str, int] = {}
+        for r in self.failure_log:
+            d = r.as_dict() if hasattr(r, "as_dict") else dict(r)
+            kind = str(d.get("kind"))
+            action = str(d.get("action"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            by_action[action] = by_action.get(action, 0) + 1
+        return {
+            "total": len(self.failure_log),
+            "by_kind": {k: by_kind[k] for k in sorted(by_kind)},
+            "by_action": {k: by_action[k] for k in sorted(by_action)},
+        }
+
+    def register_metrics(
+        self,
+        registry,
+        *,
+        labels: dict | None = None,
+        prefix: str = "serving_engine_",
+    ) -> None:
+        """Expose every engine counter/histogram through a ``MetricsRegistry``.
+
+        Live callback views over this object (see
+        ``SessionStats.register_metrics``); the latency histograms are
+        source-backed so a scrape sees the same buckets ``snapshot()`` does.
+        """
+        labels = dict(labels or {})
+        for name in _ENGINE_COUNTER_FIELDS:
+            registry.counter(prefix + name, labels, fn=lambda f=name: getattr(self, f))
+        registry.counter(prefix + "failures", labels, fn=lambda: len(self.failure_log))
+        registry.gauge(prefix + "mean_occupancy", labels, fn=lambda: self.mean_occupancy)
+        registry.histogram(prefix + "queue_wait", labels, source=lambda: self.queue_wait)
+        registry.histogram(
+            prefix + "service_time", labels, source=lambda: self.service_time
+        )
+
     def snapshot(self) -> dict:
         """Plain-dict copy for logging/JSON (occupancy keys sorted)."""
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "rounds": self.rounds,
             "batches": self.batches,
             "frames_served": self.frames_served,
@@ -352,6 +470,7 @@ class EngineStats:
                 r.as_dict() if hasattr(r, "as_dict") else dict(r)
                 for r in self.failure_log
             ],
+            "failure_summary": self.failure_summary(),
             "health_timeline": list(self.health_timeline),
             "mean_occupancy": self.mean_occupancy,
             "occupancy": {k: self.occupancy[k] for k in sorted(self.occupancy)},

@@ -89,6 +89,13 @@ class RetrainWorker:
         #: per install, ``(session, exc)`` per failure — every failure
         #: surfaced, none re-raised
         self._outcomes: list[tuple[DemapperSession, BaseException | None]] = []
+        #: lifetime totals (monotone, unlike the point-in-time ``pending``/
+        #: ``orphaned``/``abandoned`` properties) — the worker's own ledger
+        #: for a metrics scrape
+        self.jobs_submitted = 0
+        self.jobs_installed = 0
+        self.jobs_failed = 0
+        self.jobs_abandoned = 0
 
     def submit(
         self,
@@ -102,13 +109,16 @@ class RetrainWorker:
         outcome instead of raising — same contract as the threaded path,
         one poll later).
         """
+        self.jobs_submitted += 1
         if self._pool is None:
             try:
                 hybrid = job(rng)
             except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                self.jobs_failed += 1
                 self._outcomes.append((session, exc))
                 return 0
             session.install(hybrid)
+            self.jobs_installed += 1
             self._outcomes.append((session, None))
             return 1
         self._pending.append((session, self._pool.submit(job, rng)))
@@ -156,6 +166,7 @@ class RetrainWorker:
             else:
                 keep.append((owner, fut))
         self._pending = keep
+        self.jobs_abandoned += abandoned
         return abandoned
 
     def _reap_orphans(self, *, wait: bool = False) -> None:
@@ -215,10 +226,12 @@ class RetrainWorker:
             try:
                 hybrid = fut.result()
             except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                self.jobs_failed += 1
                 self._outcomes.append((session, exc))
                 continue
             session.install(hybrid)
             installed += 1
+            self.jobs_installed += 1
             self._outcomes.append((session, None))
         self._pending = still_pending
         return installed
@@ -247,15 +260,18 @@ class RetrainWorker:
                 try:
                     hybrid = fut.result()
                 except BaseException as exc:  # noqa: BLE001 — surfaced as outcome
+                    self.jobs_failed += 1
                     self._outcomes.append((session, exc))
                     continue
                 session.install(hybrid)
                 installed += 1
+                self.jobs_installed += 1
                 self._outcomes.append((session, None))
             self._pending = []
             for session, fut in still_hung:
                 fut.cancel()
                 self._abandoned.append(fut)
+                self.jobs_abandoned += 1
                 self._outcomes.append(
                     (
                         session,
@@ -288,9 +304,30 @@ class RetrainWorker:
         return len(self._orphaned)
 
     @property
+    def in_flight(self) -> int:
+        """Pending jobs actually executing on a thread right now (a subset
+        of :attr:`pending` — the rest are queued behind the pool)."""
+        return sum(1 for _, fut in self._pending if fut.running())
+
+    @property
     def abandoned(self) -> int:
         """Hung jobs walked away from (never waited on, never installed)."""
         return len(self._abandoned)
+
+    def register_metrics(self, registry, *, prefix: str = "serving_retrain_") -> None:
+        """Expose queue depth, in-flight count and job totals as live views.
+
+        Gauges read the point-in-time properties (queue depth rises and
+        falls); counters read the monotone ``jobs_*`` ledger.
+        """
+        registry.gauge(prefix + "queue_depth", fn=lambda: self.pending)
+        registry.gauge(prefix + "in_flight", fn=lambda: self.in_flight)
+        registry.gauge(prefix + "orphaned", fn=lambda: self.orphaned)
+        registry.gauge(prefix + "abandoned", fn=lambda: self.abandoned)
+        registry.counter(prefix + "jobs_submitted", fn=lambda: self.jobs_submitted)
+        registry.counter(prefix + "jobs_installed", fn=lambda: self.jobs_installed)
+        registry.counter(prefix + "jobs_failed", fn=lambda: self.jobs_failed)
+        registry.counter(prefix + "jobs_abandoned", fn=lambda: self.jobs_abandoned)
 
     def close(self, timeout: float | None = None) -> None:
         """Finish outstanding jobs and shut the pool down.
