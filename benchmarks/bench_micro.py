@@ -41,7 +41,15 @@ _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
 _RESULTS: list[dict] = []
 
 #: Record names environment-conditional benchmarks may add (skipped tiers).
-_ENV_BENCH_NAMES = frozenset({"maxlog_llrs[numba]"})
+#: The fleet pair needs >= 4 cores, so laptops/CI runners below that record
+#: neither entry and check_bench skips the fleet scaling gate.
+_ENV_BENCH_NAMES = frozenset(
+    {
+        "maxlog_llrs[numba]",
+        "serving_fleet[numpy]",
+        "serving_fleet_single[numpy]",
+    }
+)
 
 #: Every record name a full run produces on this machine-independent core
 #: set; environment-conditional benchmarks (skipped tiers) are excluded so
@@ -360,6 +368,7 @@ def serving_setup():
     from repro.extraction import HybridDemapper, PilotBERMonitor
     from repro.link.frames import FrameConfig
     from repro.serving import (
+        EngineConfig,
         ServingEngine,
         SessionConfig,
         SteadyChannel,
@@ -370,7 +379,7 @@ def serving_setup():
     fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
     qam = qam_constellation(16)
     sigma2 = sigma2_from_snr(8.0, 4)
-    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    engine = ServingEngine(config=EngineConfig(max_batch=SERVE_SESSIONS))
     sessions = build_fleet(
         engine,
         SERVE_SESSIONS,
@@ -541,6 +550,7 @@ def test_serving_control_plane_overhead(benchmark):
     from repro.extraction import HybridDemapper, PilotBERMonitor
     from repro.link.frames import FrameConfig
     from repro.serving import (
+        EngineConfig,
         ServingEngine,
         SessionConfig,
         SteadyChannel,
@@ -551,7 +561,7 @@ def test_serving_control_plane_overhead(benchmark):
     fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
     qam = qam_constellation(16)
     sigma2 = sigma2_from_snr(8.0, 4)
-    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    engine = ServingEngine(config=EngineConfig(max_batch=SERVE_SESSIONS))
     sessions = build_fleet(
         engine,
         SERVE_SESSIONS,
@@ -616,6 +626,7 @@ def test_serving_churn_soak(benchmark):
     from repro.link.frames import FrameConfig
     from repro.serving import (
         DemapperSession,
+        EngineConfig,
         ServingEngine,
         SessionConfig,
         SteadyChannel,
@@ -631,7 +642,7 @@ def test_serving_churn_soak(benchmark):
     hybrid = HybridDemapper(constellation=qam, sigma2=sigma2)
     config = SessionConfig(frame=fc, queue_depth=2)
     monitor = lambda: PilotBERMonitor(0.5, window=4)  # noqa: E731 — never fires
-    engine = ServingEngine(max_batch=SERVE_SESSIONS)
+    engine = ServingEngine(config=EngineConfig(max_batch=SERVE_SESSIONS))
     residents = build_fleet(
         engine, n_residents, hybrid,
         monitor_factory=monitor, config=config, seed=3, prefix="r",
@@ -732,6 +743,7 @@ def test_serving_faulted_overhead(benchmark):
     from repro.link.frames import FrameConfig
     from repro.serving import (
         DemapperSession,
+        EngineConfig,
         InjectedRetrainError,
         RetrainSupervisor,
         ServingEngine,
@@ -752,12 +764,12 @@ def test_serving_faulted_overhead(benchmark):
     def failing_retrain(rng):
         raise InjectedRetrainError("injected: no model for you")
 
-    engine = ServingEngine(
+    engine = ServingEngine(config=EngineConfig(
         max_batch=SERVE_SESSIONS,
         supervisor=RetrainSupervisor(
             max_failures=10**9, backoff_base=0, backoff_factor=1.0
         ),
-    )
+    ))
     sessions = build_fleet(
         engine, n_steady, hybrid,
         monitor_factory=lambda: PilotBERMonitor(0.5, window=4),
@@ -827,6 +839,127 @@ def test_serving_faulted_overhead(benchmark):
     # every failure was recorded (none raised, none dropped)
     assert all(s.health == "healthy" for s in sessions)
     assert engine.telemetry.retrain_failures == len(engine.telemetry.failure_log)
+
+
+def _fleet_and_round(n_shards, *, parallel, fc, qams, sigma2):
+    """Build one fleet (own session objects) and its submit-all+step round."""
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.serving import (
+        DemapperSession,
+        EngineConfig,
+        FleetFrontEnd,
+        SessionConfig,
+        SteadyChannel,
+        generate_traffic,
+    )
+
+    fleet = FleetFrontEnd(
+        n_shards,
+        config=EngineConfig(max_batch=SERVE_SESSIONS),
+        parallel=parallel,
+    )
+    master = np.random.default_rng(5)
+    sessions = []
+    for i in range(SERVE_SESSIONS):
+        (srng,) = master.spawn(1)
+        sessions.append(
+            DemapperSession(
+                f"s{i:03d}",
+                HybridDemapper(constellation=qams[i % len(qams)], sigma2=sigma2),
+                PilotBERMonitor(0.5, window=4),
+                config=SessionConfig(frame=fc, queue_depth=2),
+                rng=srng,
+            )
+        )
+        fleet.add_session(sessions[-1])
+    rng = np.random.default_rng(11)
+    chan = SteadyChannel(AWGNFactory(8.0, 4))
+    frames = {
+        s.session_id: generate_traffic(
+            qams[int(s.session_id[1:]) % len(qams)], fc, 1, chan, r
+        )[0]
+        for s, r in zip(sessions, rng.spawn(SERVE_SESSIONS))
+    }
+
+    def fleet_round():
+        for s in sessions:
+            s.submit(frames[s.session_id])
+        return fleet.step()
+
+    return fleet, fleet_round
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="fleet scaling bench needs >= 4 cores (thread-per-shard)",
+)
+def test_serving_fleet_scaling(benchmark):
+    """4 engine shards behind one FleetFrontEnd vs the same fleet on 1 shard.
+
+    64 sessions striped over 4 distinct (rotated) constellations, so
+    affinity placement spreads the groups and each shard fuses its own
+    micro-batch.  The NumPy demap kernels release the GIL, so 4 shard
+    threads overlap; the larger frame keeps the round kernel-bound.  The
+    acceptance bar (and the check_bench ratio gate) is >= 1.8x aggregate
+    sym/s over the single-shard fleet serving the identical workload.
+    """
+    from repro.channels import sigma2_from_snr
+    from repro.link.frames import FrameConfig
+
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=992)
+    base = qam_constellation(16)
+    qams = tuple(
+        type(base)(points=base.points * np.exp(1j * g * 0.03)) for g in range(4)
+    )
+    sigma2 = sigma2_from_snr(8.0, 4)
+    n = fc.total_symbols
+    symbols = SERVE_SESSIONS * n
+
+    fleet4, fleet4_round = _fleet_and_round(
+        4, parallel=True, fc=fc, qams=qams, sigma2=sigma2
+    )
+    fleet1, fleet1_round = _fleet_and_round(
+        1, parallel=False, fc=fc, qams=qams, sigma2=sigma2
+    )
+    try:
+        # affinity placement must actually spread the work
+        occupied = {fleet4.shard_of(s.session_id) for s in fleet4.sessions}
+        assert len(occupied) == 4, f"groups collapsed onto shards {occupied}"
+        assert fleet4_round() == SERVE_SESSIONS  # warm per-shard workspaces
+        assert fleet1_round() == SERVE_SESSIONS
+        benchmark.pedantic(
+            fleet4_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+        )
+        rate = _record(
+            benchmark, "serving_fleet[numpy]", symbols=symbols,
+            extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+                   "shards": 4, "frame_symbols": n},
+        )
+        if rate is None:
+            return  # --benchmark-disable run: nothing to compare
+        fleet4_times, fleet1_times = _interleaved_min_times(
+            fleet4_round, fleet1_round
+        )
+        _record_timed(
+            "serving_fleet_single[numpy]", fleet1_times, symbols=symbols,
+            extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+                   "shards": 1, "frame_symbols": n},
+        )
+        speedup = min(fleet1_times) / min(fleet4_times)
+        assert speedup >= 1.8, (
+            f"4-shard fleet must serve >= 1.8x the single-shard fleet at "
+            f"N={SERVE_SESSIONS}: got {speedup:.2f}x "
+            f"({symbols / min(fleet4_times) / 1e6:.2f} vs "
+            f"{symbols / min(fleet1_times) / 1e6:.2f} Msym/s)"
+        )
+        # sharding never changes a bit: merged fleet counters agree
+        assert (
+            fleet4.stats().frames_served == fleet1.stats().frames_served
+        )
+    finally:
+        fleet4.close()
+        fleet1.close()
 
 
 def test_exact_logmap_throughput(benchmark, stream):

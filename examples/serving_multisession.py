@@ -73,6 +73,7 @@ from repro.serving import (
     DEGRADED,
     AnnRetrainPolicy,
     DemapperSession,
+    EngineConfig,
     FaultPlan,
     MetricsRegistry,
     RetrainSupervisor,
@@ -163,7 +164,7 @@ def main() -> None:
     # The SLO sits at ~4 rounds: steady streaming meets it comfortably and
     # only a session whose frames aged behind a retrain pause gets boosted.
     slo_ticks = 4 * (N_SESSIONS + N_NEWCOMERS) * FRAME.total_symbols
-    engine = ServingEngine(
+    engine = ServingEngine(config=EngineConfig(
         max_batch=N_SESSIONS + N_NEWCOMERS,
         retrain_workers=2,
         weight_controller=WeightController(
@@ -176,7 +177,7 @@ def main() -> None:
         # tracing + per-stage profiling — passive, no output bit changes
         tracer=Tracer(),
         profiler=RoundProfiler(),
-    )
+    ))
     engine.register_metrics(MetricsRegistry())
 
     master = np.random.default_rng(SEED)

@@ -16,9 +16,14 @@ into an online, *self-adapting* serving system:
 * :mod:`repro.serving.batching` — cross-session micro-batching onto the
   multi-sigma backend kernels (sessions sharing a centroid set share one
   fused launch);
+* :mod:`repro.serving.config` — ``EngineConfig``, the one frozen
+  construction config an engine (or every shard of a fleet) is built from;
 * :mod:`repro.serving.engine` — the serving loop: schedule, coalesce,
   demap, estimate σ², monitor, climb the adaptation ladder
   (track → retrain);
+* :mod:`repro.serving.fleet` — ``FleetFrontEnd``: N engine shards behind
+  one facade, with constellation-affinity placement, live migration
+  (drain-handover, zero frame loss) and fleet-merged telemetry;
 * :mod:`repro.serving.worker` — background retrain/re-extract jobs with
   atomic per-session demapper swaps (no global stall); every job failure
   surfaces as an outcome, never a raise, and waits are boundable;
@@ -28,12 +33,14 @@ into an online, *self-adapting* serving system:
   seeded ``FaultPlan`` chaos-injection harness;
 * :mod:`repro.serving.loadgen` — deterministic seeded traffic over the
   channel-zoo factories, including churn schedules (``SessionPlan`` /
-  ``run_churn_load``: sessions arrive, stream and depart under load);
+  ``run_churn_load``) and fleet runs with scheduled migrations
+  (``MigrationPlan`` / ``run_fleet_load``);
 * :mod:`repro.serving.telemetry` — per-session and engine-level counters
   (frames, symbols/s, batch-occupancy histogram, retrain/track events,
-  join/leave/drain counters with a fleet-size timeline, pilot-BER and σ²
-  trajectories, queue-wait / service-time latency histograms on a
-  simulated symbol clock);
+  join/leave/drain/migration counters with a fleet-size timeline,
+  pilot-BER and σ² trajectories, queue-wait / service-time latency
+  histograms on a simulated symbol clock), all snapshotted under the one
+  ``SCHEMA_VERSION``;
 * :mod:`repro.serving.observability` — the passive observability layer:
   frame-lifecycle tracing on the symbol clock (``Tracer``, Chrome
   ``trace_event`` + event-log exports), a unified ``MetricsRegistry``
@@ -46,15 +53,27 @@ into an online, *self-adapting* serving system:
 
 Quick start (see ``examples/serving_multisession.py`` for the full demo)::
 
-    engine = ServingEngine(max_batch=64, retrain_workers=2)
+    engine = ServingEngine(config=EngineConfig(max_batch=64, retrain_workers=2))
     build_fleet(engine, 64, hybrid,
                 monitor_factory=lambda: PilotBERMonitor(0.08),
                 config=SessionConfig(sigma2_alpha=0.3, tracking=True))
     traffic = {s.session_id: generate_traffic(...) for s in engine.sessions}
     stats = run_load(engine, traffic)
+
+Sharded, with live migration::
+
+    fleet = FleetFrontEnd(4, config=EngineConfig(max_batch=64))
+    for session in sessions:
+        fleet.add_session(session)          # constellation-affinity placement
+    stats = run_fleet_load(fleet, traffic,
+                           migrations=[MigrationPlan("s001", round=3, dest_shard=2)])
+
+``from repro.serving import *`` is a supported, stable surface: ``__all__``
+below is the package's public API, tiered by subsystem.
 """
 
 from repro.serving.batching import MicroBatch, coalesce, collect_microbatches
+from repro.serving.config import EngineConfig
 from repro.serving.engine import ServingEngine
 from repro.serving.faults import (
     DEGRADED,
@@ -66,14 +85,17 @@ from repro.serving.faults import (
     RetrainHungError,
     RetrainSupervisor,
 )
+from repro.serving.fleet import FleetFrontEnd
 from repro.serving.loadgen import (
     AnnRetrainPolicy,
+    MigrationPlan,
     SessionPlan,
     SteadyChannel,
     SteppedChannel,
     build_fleet,
     generate_traffic,
     run_churn_load,
+    run_fleet_load,
     run_load,
 )
 from repro.serving.observability import (
@@ -91,6 +113,7 @@ from repro.serving.session import (
     SessionConfig,
 )
 from repro.serving.telemetry import (
+    SCHEMA_VERSION,
     EngineStats,
     LatencyHistogram,
     ServedFrame,
@@ -99,27 +122,32 @@ from repro.serving.telemetry import (
 from repro.serving.weights import WeightController
 from repro.serving.worker import RetrainWorker
 
+#: The public API, tiered by subsystem.  ``from repro.serving import *``
+#: imports exactly this surface — internal helpers stay underscore-private
+#: in their modules (``engine._phase``, the tracer's packed-tuple ring,
+#: ``batching._session_request``).
 __all__ = [
+    # engine + fleet
+    "ServingEngine",
+    "FleetFrontEnd",
+    "EngineConfig",
+    # session state machine
     "SERVING",
     "RETRAINING",
     "HEALTHY",
     "DEGRADED",
     "QUARANTINED",
-    "FailureRecord",
-    "FaultPlan",
-    "InjectedRetrainError",
-    "RetrainHungError",
-    "RetrainSupervisor",
     "SessionConfig",
     "ServingFrame",
     "DemapperSession",
+    # scheduling + batching
     "MicroBatch",
     "coalesce",
     "collect_microbatches",
     "DeficitRoundRobin",
     "WeightController",
-    "ServingEngine",
     "RetrainWorker",
+    # load generation (traffic, churn, fleet migration)
     "SteadyChannel",
     "SteppedChannel",
     "AnnRetrainPolicy",
@@ -128,6 +156,16 @@ __all__ = [
     "run_load",
     "SessionPlan",
     "run_churn_load",
+    "MigrationPlan",
+    "run_fleet_load",
+    # faults
+    "FailureRecord",
+    "FaultPlan",
+    "InjectedRetrainError",
+    "RetrainHungError",
+    "RetrainSupervisor",
+    # telemetry + observability
+    "SCHEMA_VERSION",
     "ServedFrame",
     "SessionStats",
     "EngineStats",

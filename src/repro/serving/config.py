@@ -1,0 +1,79 @@
+"""Engine construction config: one frozen object instead of keyword sprawl.
+
+``EngineConfig`` consolidates every :class:`~repro.serving.engine.
+ServingEngine` construction knob into a single immutable value.  The fleet
+front-end (:mod:`repro.serving.fleet`) replicates one config per shard —
+``ServingEngine(config=...)`` is the one constructor path it uses — and a
+frozen dataclass makes "same config on every shard" a checkable property
+instead of a convention.
+
+The legacy keyword form (``ServingEngine(max_batch=..., ...)``) keeps
+working through a deprecation shim on the engine itself; this module is
+deliberately dependency-light (no engine import) so the config can be
+built, validated and compared without touching the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable
+
+__all__ = ["EngineConfig"]
+
+#: config fields that hold live/stateful collaborators — a fleet must not
+#: replicate one of these across shards (shared mutable state), so
+#: :class:`~repro.serving.fleet.FleetFrontEnd` refuses a multi-shard
+#: replication of a config with any of them set (use ``config_factory``).
+STATEFUL_FIELDS = (
+    "scheduler",
+    "weight_controller",
+    "supervisor",
+    "tracer",
+    "profiler",
+    "on_frame",
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable construction-time configuration of a ``ServingEngine``.
+
+    Parameters mirror the engine's historical keywords one-for-one —
+    see :class:`~repro.serving.engine.ServingEngine` for the semantics of
+    each field.  Validation happens here (at config build time) so a bad
+    knob fails before any engine state exists.
+    """
+
+    max_batch: int = 64
+    retrain_workers: int = 0
+    backend: Any = None
+    scheduler: Any = None
+    weight_controller: Any = None
+    supervisor: Any = None
+    on_frame: Callable | None = None
+    tracer: Any = None
+    profiler: Any = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.retrain_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+
+    def stateful_fields_set(self) -> tuple[str, ...]:
+        """Names of the live-collaborator fields that are non-None.
+
+        A config with any of these set cannot be replicated across fleet
+        shards — the shards would share one scheduler/supervisor/tracer.
+        """
+        return tuple(f for f in STATEFUL_FIELDS if getattr(self, f) is not None)
+
+    def build(self):
+        """Construct a :class:`~repro.serving.engine.ServingEngine`."""
+        from repro.serving.engine import ServingEngine
+
+        return ServingEngine(config=self)
+
+    def as_kwargs(self) -> dict[str, Any]:
+        """The config as a keyword dict (field order preserved)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

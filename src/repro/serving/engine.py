@@ -59,6 +59,7 @@ unrelated sessions join, drain or are hard-removed around it
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from time import perf_counter
 from typing import Callable
@@ -71,6 +72,7 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.extraction.monitor import TIER_RETRAIN, TIER_TRACK
 from repro.link.estimation import estimate_noise_sigma2_batch
 from repro.serving.batching import MicroBatch, coalesce
+from repro.serving.config import EngineConfig
 from repro.serving.faults import (
     FailureRecord,
     RetrainHungError,
@@ -95,12 +97,29 @@ __all__ = ["ServingEngine"]
 #: shared no-op context — the cost of profiling when no profiler is attached
 _NULL_CTX = nullcontext()
 
+#: sentinel distinguishing "keyword not passed" from an explicit None —
+#: ``backend=None`` etc. are meaningful legacy values
+_UNSET = object()
+
 
 class ServingEngine:
     """Pulls frames from per-session queues and serves them in micro-batches.
 
+    Construct with a single frozen config::
+
+        engine = ServingEngine(config=EngineConfig(max_batch=32))
+
+    The historical keyword form (``ServingEngine(max_batch=32, ...)``)
+    still works through a deprecation shim — the keywords are folded into
+    an :class:`~repro.serving.config.EngineConfig` with a single
+    ``DeprecationWarning`` — but mixing ``config=`` with legacy keywords
+    is an error.  The resolved config is kept as ``engine.config``.
+
     Parameters
     ----------
+    config:
+        The :class:`~repro.serving.config.EngineConfig` describing every
+        construction knob below.
     max_batch:
         Maximum frames coalesced into one kernel launch.
     retrain_workers:
@@ -143,33 +162,71 @@ class ServingEngine:
     def __init__(
         self,
         *,
-        max_batch: int = 64,
-        retrain_workers: int = 0,
-        backend: NumpyBackend | None = None,
-        scheduler: DeficitRoundRobin | None = None,
-        weight_controller: WeightController | None = None,
-        supervisor: RetrainSupervisor | None = None,
+        config: EngineConfig | None = None,
+        max_batch: int = _UNSET,
+        retrain_workers: int = _UNSET,
+        backend: NumpyBackend | None = _UNSET,
+        scheduler: DeficitRoundRobin | None = _UNSET,
+        weight_controller: WeightController | None = _UNSET,
+        supervisor: RetrainSupervisor | None = _UNSET,
         on_frame: Callable[[DemapperSession, ServingFrame, np.ndarray, ServedFrame], None]
-        | None = None,
-        tracer=None,
-        profiler=None,
+        | None = _UNSET,
+        tracer=_UNSET,
+        profiler=_UNSET,
     ):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        self.max_batch = int(max_batch)
-        self._backend = backend
-        self.on_frame = on_frame
-        self.worker = RetrainWorker(retrain_workers)
-        self.scheduler = scheduler if scheduler is not None else DeficitRoundRobin()
-        self.weight_controller = weight_controller
-        self.supervisor = supervisor if supervisor is not None else RetrainSupervisor()
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_batch", max_batch),
+                ("retrain_workers", retrain_workers),
+                ("backend", backend),
+                ("scheduler", scheduler),
+                ("weight_controller", weight_controller),
+                ("supervisor", supervisor),
+                ("on_frame", on_frame),
+                ("tracer", tracer),
+                ("profiler", profiler),
+            )
+            if value is not _UNSET
+        }
+        if legacy and config is not None:
+            raise TypeError(
+                "pass either config=EngineConfig(...) or legacy keywords, "
+                f"not both (got config= and {sorted(legacy)})"
+            )
+        if legacy:
+            warnings.warn(
+                "ServingEngine(**kwargs) is deprecated; use "
+                "ServingEngine(config=EngineConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig(**legacy)
+        elif config is None:
+            config = EngineConfig()
+        #: the resolved (frozen) construction config
+        self.config = config
+        self.max_batch = int(config.max_batch)
+        self._backend = config.backend
+        self.on_frame = config.on_frame
+        self.worker = RetrainWorker(config.retrain_workers)
+        self.scheduler = (
+            config.scheduler if config.scheduler is not None else DeficitRoundRobin()
+        )
+        self.weight_controller = config.weight_controller
+        self.supervisor = (
+            config.supervisor if config.supervisor is not None else RetrainSupervisor()
+        )
         self._sessions: dict[str, DemapperSession] = {}
         self.telemetry = EngineStats()
-        self.tracer = tracer
-        self.profiler = profiler
+        self.tracer = config.tracer
+        self.profiler = config.profiler
         #: the registry handed to :meth:`register_metrics` (None until then);
         #: kept so sessions joining later are registered automatically
         self.registry = None
+        #: label set attached to every metric this engine registers (the
+        #: fleet sets ``{"shard": i}`` so merged registries stay distinct)
+        self._metric_labels: dict[str, str] | None = None
 
     # -- observability -------------------------------------------------------
     def _phase(self, name: str):
@@ -188,22 +245,30 @@ class ServingEngine:
                 failures=record.failures,
             )
 
-    def register_metrics(self, registry):
+    def register_metrics(self, registry, *, labels: dict[str, str] | None = None):
         """Expose the engine's whole telemetry surface through ``registry``.
 
         Registers live callback views for the engine counters/histograms,
         the retrain worker's queue gauges, the supervisor's per-state
         session counts, a fleet-size gauge and every current session
         (newcomers via :meth:`add_session` are registered automatically
-        once a registry is attached).  Returns the registry for chaining.
+        once a registry is attached).  ``labels`` (e.g. ``{"shard": "2"}``
+        from the fleet front-end) are attached to every instrument so
+        per-shard registries merge without collisions.  Returns the
+        registry for chaining.
         """
         self.registry = registry
-        self.telemetry.register_metrics(registry)
-        self.worker.register_metrics(registry)
-        self.supervisor.register_metrics(registry)
-        registry.gauge("serving_engine_sessions", fn=lambda: len(self._sessions))
+        self._metric_labels = dict(labels) if labels else None
+        self.telemetry.register_metrics(registry, labels=self._metric_labels)
+        self.worker.register_metrics(registry, labels=self._metric_labels)
+        self.supervisor.register_metrics(registry, labels=self._metric_labels)
+        registry.gauge(
+            "serving_engine_sessions",
+            self._metric_labels,
+            fn=lambda: len(self._sessions),
+        )
         for session in self._sessions.values():
-            session.register_metrics(registry)
+            session.register_metrics(registry, labels=self._metric_labels)
         return registry
 
     # -- session registry ----------------------------------------------------
@@ -239,7 +304,7 @@ class ServingEngine:
         self.telemetry.joins += 1
         self.telemetry.record_fleet_size(len(self._sessions))
         if self.registry is not None:
-            session.register_metrics(self.registry)
+            session.register_metrics(self.registry, labels=self._metric_labels)
         if self.tracer is not None:
             self.tracer.emit(
                 "session.join",
@@ -325,6 +390,100 @@ class ServingEngine:
             if session.pending == 0 and session.state != RETRAINING:
                 self._remove_now(session)
                 self.telemetry.drains_completed += 1
+
+    # -- live migration ------------------------------------------------------
+    def export_session(self, session_id: str):
+        """Detach a session for migration; returns ``(session, carried)``.
+
+        The handover sibling of hard removal: the session leaves this
+        engine *now*, but nothing is dropped — its queue rides along inside
+        the session object, its scheduler credit, supervision state
+        (failure count / breaker / backoff, rebased to the destination's
+        round clock) and any in-flight or undelivered retrain job outcomes
+        are packed into ``carried`` for :meth:`import_session` on the
+        destination.  A draining session is refused (``ValueError``): a
+        drain is a promise to finish *here*, and migrating it would race
+        the drain bookkeeping.
+        """
+        session = self.session(session_id)
+        if session.draining:
+            raise ValueError(
+                f"session {session_id!r} is draining — finish the drain "
+                "instead of migrating it"
+            )
+        carried = {
+            "now": int(self.telemetry.now),
+            "credit": self.scheduler.credit(session_id),
+            "supervision": self.supervisor.export(
+                session_id, now=self.telemetry.rounds
+            ),
+            "jobs": self.worker.transfer(session),
+        }
+        del self._sessions[session_id]
+        self.scheduler.forget(session_id)
+        self.supervisor.forget(session_id)
+        if self.weight_controller is not None:
+            self.weight_controller.forget(session_id)
+        self.telemetry.migrations_out += 1
+        self.telemetry.leaves += 1
+        self.telemetry.record_fleet_size(len(self._sessions))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session.migrate-out",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=session_id,
+                pending=session.pending,
+            )
+        return session, carried
+
+    def import_session(self, session: DemapperSession, carried=None) -> DemapperSession:
+        """Adopt a session exported from another shard.
+
+        Queued frames travel inside the session (served here in order —
+        zero frame loss), scheduler credit is restored, the supervision
+        state is adopted onto this engine's round clock, and handed-over
+        retrain futures/outcomes are re-homed on this engine's worker so
+        an install or failure resolves *here*, never on the source.
+        """
+        if session.session_id in self._sessions:
+            raise ValueError(f"duplicate session id {session.session_id!r}")
+        if session.draining:
+            raise ValueError(
+                f"session {session.session_id!r} is draining — it cannot "
+                "be imported"
+            )
+        self._sessions[session.session_id] = session
+        self.telemetry.migrations_in += 1
+        self.telemetry.joins += 1
+        self.telemetry.record_fleet_size(len(self._sessions))
+        if carried:
+            if "now" in carried:
+                # the shards' symbol clocks are unrelated; shifting each
+                # queued frame's enqueue stamp by the clock difference
+                # preserves the wait it has already accrued (and keeps
+                # queue_wait non-negative when this clock runs behind)
+                session.rebase_queue(int(self.telemetry.now) - carried["now"])
+            self.scheduler.restore(session.session_id, carried.get("credit", 0.0))
+            supervision = carried.get("supervision")
+            if supervision is not None:
+                self.supervisor.adopt(
+                    session.session_id, supervision, now=self.telemetry.rounds
+                )
+            jobs = carried.get("jobs")
+            if jobs:
+                self.worker.adopt(session, jobs)
+        if self.registry is not None:
+            session.register_metrics(self.registry, labels=self._metric_labels)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session.migrate-in",
+                ts=self.telemetry.now,
+                round=self.telemetry.rounds,
+                session_id=session.session_id,
+                pending=session.pending,
+            )
+        return session
 
     def session(self, session_id: str) -> DemapperSession:
         try:

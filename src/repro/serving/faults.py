@@ -249,6 +249,36 @@ class RetrainSupervisor:
         """Drop a session's supervision (removal/quarantine hook)."""
         self._sessions.pop(session_id, None)
 
+    # -- migration -----------------------------------------------------------
+    def export(self, session_id: str, *, now: int) -> dict | None:
+        """Pack a session's supervision for migration (None if untracked).
+
+        Round clocks differ per shard, so the absolute ``submitted_at`` /
+        ``retry_at`` rounds are rebased to *relative* ages/delays
+        (``job_age`` rounds since submission, ``retry_in`` rounds until the
+        retry is due) that :meth:`adopt` re-anchors on the destination's
+        clock — the breaker state, failure count, remaining backoff and
+        hung-deadline progress all travel intact.
+        """
+        sup = self._sessions.get(session_id)
+        if sup is None:
+            return None
+        return {
+            "state": sup.state,
+            "failures": sup.failures,
+            "job_age": int(now) - sup.submitted_at,
+            "retry_in": sup.retry_at - int(now),
+        }
+
+    def adopt(self, session_id: str, exported: dict, *, now: int) -> None:
+        """Re-anchor supervision exported from another shard at round ``now``."""
+        self._sessions[session_id] = _Supervision(
+            state=exported["state"],
+            failures=exported["failures"],
+            submitted_at=int(now) - exported["job_age"],
+            retry_at=int(now) + exported["retry_in"],
+        )
+
     # -- telemetry -----------------------------------------------------------
     def state(self, session_id: str) -> str:
         """Supervision state: ``idle`` / ``in_flight`` / ``backoff`` / ``open``."""
@@ -267,17 +297,25 @@ class RetrainSupervisor:
             for sid, sup in sorted(self._sessions.items())
         }
 
-    def register_metrics(self, registry, *, prefix: str = "serving_supervisor_") -> None:
+    def register_metrics(
+        self,
+        registry,
+        *,
+        labels: dict | None = None,
+        prefix: str = "serving_supervisor_",
+    ) -> None:
         """Expose per-state supervised-session counts as live gauges.
 
         One ``<prefix>sessions{state=...}`` gauge per supervision state —
         the circuit-breaker population at a glance (``open`` = breakers
-        tripped, ``backoff`` = retries scheduled).
+        tripped, ``backoff`` = retries scheduled).  Extra ``labels`` (e.g.
+        a fleet shard id) are merged into each gauge's label set.
         """
+        base = dict(labels or {})
         for st in (_IDLE, _IN_FLIGHT, _BACKOFF, _OPEN):
             registry.gauge(
                 prefix + "sessions",
-                {"state": st},
+                {**base, "state": st},
                 fn=lambda s=st: sum(
                     1 for sup in self._sessions.values() if sup.state == s
                 ),

@@ -53,6 +53,8 @@ __all__ = [
     "run_load",
     "SessionPlan",
     "run_churn_load",
+    "MigrationPlan",
+    "run_fleet_load",
 ]
 
 
@@ -361,6 +363,100 @@ class SessionPlan:
             raise ValueError("join_round must be >= 0")
         if self.leave_round is not None and self.leave_round <= self.join_round:
             raise ValueError("leave_round must be > join_round")
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """One scheduled live migration in a fleet run.
+
+    At the start of ``round`` (before that round's submissions),
+    :func:`run_fleet_load` moves ``session_id`` to ``dest_shard`` via
+    :meth:`~repro.serving.fleet.FleetFrontEnd.migrate`.  A migration whose
+    session has already left (or was quarantined and removed) is skipped —
+    the schedule is advisory about sessions, strict about rounds.
+    """
+
+    session_id: str
+    round: int
+    dest_shard: int
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if self.dest_shard < 0:
+            raise ValueError("dest_shard must be >= 0")
+
+
+def run_fleet_load(
+    fleet,
+    traffic: Mapping[str, Sequence[ServingFrame]],
+    *,
+    migrations: Sequence[MigrationPlan] = (),
+    max_rounds: int | None = None,
+    wait_timeout: float | None = None,
+) -> EngineStats:
+    """Feed per-session traffic through a fleet until fully drained.
+
+    The fleet sibling of :func:`run_load`: each round first applies every
+    migration due this round (in ``(round, session_id)`` order — a total
+    order, so the run is a pure function of the schedule), then submits as
+    much traffic per session as backpressure allows, then serves one fleet
+    round (all shards).  Returns the merged fleet-wide
+    :class:`EngineStats` once every frame is served, no retrain is in
+    flight on any shard, and no migration remains scheduled.  Sessions
+    that get quarantined or leave mid-run abandon their remaining traffic,
+    exactly as in :func:`run_load`.
+    """
+    offsets = {sid: 0 for sid in traffic}
+    due: dict[int, list[MigrationPlan]] = {}
+    for plan in migrations:
+        due.setdefault(plan.round, []).append(plan)
+    for round_plans in due.values():
+        round_plans.sort(key=lambda p: p.session_id)
+    remaining_migrations = len(migrations)
+
+    def fenced(sid):
+        return (
+            not fleet.has_session(sid)
+            or fleet.session(sid).health == QUARANTINED
+        )
+
+    rounds = 0
+    while True:
+        for plan in due.pop(rounds, ()):
+            remaining_migrations -= 1
+            if fleet.has_session(plan.session_id):
+                fleet.migrate(plan.session_id, plan.dest_shard)
+        for sid, frames in traffic.items():
+            if fenced(sid):
+                continue
+            o = offsets[sid]
+            while o < len(frames) and fleet.submit(sid, frames[o]):
+                o += 1
+            offsets[sid] = o
+        served = fleet.step()
+        rounds += 1
+        done = all(
+            offsets[sid] == len(traffic[sid]) or fenced(sid) for sid in traffic
+        ) and not any(s.pending for s in fleet.sessions)
+        if done and not fleet.pending_retrains() and not remaining_migrations:
+            return fleet.stats()
+        if max_rounds is not None and rounds >= max_rounds:
+            raise RuntimeError(
+                f"fleet load did not complete within max_rounds={max_rounds}"
+            )
+        if served:
+            continue
+        if fleet.pending_retrains():
+            for shard in fleet.shards:
+                if shard.worker.pending:
+                    shard.telemetry.retrains_completed += shard.worker.wait_all(
+                        wait_timeout
+                    )
+            continue
+        if any(s.ready for s in fleet.sessions) or remaining_migrations:
+            continue  # credit accruing, or the schedule still has events
+        raise RuntimeError("fleet load stalled: frames pending but nothing servable")
 
 
 def run_churn_load(

@@ -26,10 +26,13 @@ import argparse
 import json
 import sys
 
+from repro.serving.telemetry import SCHEMA_VERSION
+
 __all__ = ["export_run", "render_dashboard", "main"]
 
-#: schema version of the exported run document
-EXPORT_SCHEMA = 1
+#: schema version of the exported run document — the one serving-wide
+#: constant (engine/session snapshots and fleet snapshots carry it too)
+EXPORT_SCHEMA = SCHEMA_VERSION
 
 
 def export_run(engine, *, sessions=None, path=None, indent=None) -> dict:

@@ -125,6 +125,18 @@ class DeficitRoundRobin:
         """
         self._credit.pop(session_id, None)
 
+    def restore(self, session_id: str, credit: float) -> None:
+        """Seed a session's credit directly (the migration adoption hook).
+
+        A migrated session carries its earned-but-unspent credit to the
+        destination shard so the handover neither grants a free burst nor
+        taxes the session a round of accrual.  The burst cap is re-applied
+        at the next ``allocate`` (credit accrues through the normal path);
+        restoring zero or a negative value is a no-op.
+        """
+        if credit > 0.0:
+            self._credit[session_id] = float(credit)
+
     def credit(self, session_id: str) -> float:
         """Current stored credit (0.0 for unknown sessions) — telemetry."""
         return self._credit.get(session_id, 0.0)

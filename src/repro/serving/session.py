@@ -486,6 +486,18 @@ class DemapperSession:
         self.stats.frames_dropped += dropped
         return dropped
 
+    def rebase_queue(self, delta: int) -> None:
+        """Shift every queued frame's enqueue stamp by ``delta`` ticks.
+
+        Live migration hands the session to an engine whose simulated
+        symbol clock is unrelated to the source's; the importing engine
+        shifts each stamp by (its now − source now) so the wait a frame
+        has already accrued carries over instead of going negative (or
+        ballooning) against the new clock.
+        """
+        if delta and self._queue:
+            self._queue = deque((f, t + delta) for f, t in self._queue)
+
     @property
     def pending(self) -> int:
         """Frames waiting in the queue."""
@@ -509,13 +521,20 @@ class DemapperSession:
         """Snapshot of the session's monitor (no private-deque reaching)."""
         return self.monitor.state()
 
-    def register_metrics(self, registry, *, prefix: str = "serving_session_") -> None:
+    def register_metrics(
+        self,
+        registry,
+        *,
+        labels: dict | None = None,
+        prefix: str = "serving_session_",
+    ) -> None:
         """Expose this session's stats plus live queue/weight/σ² gauges.
 
-        Everything is labelled ``{"session": <id>}``; re-registering after
-        churn (a reused id) rebinds the views to the new session object.
+        Everything is labelled ``{"session": <id>}`` (extra ``labels``, e.g.
+        a fleet shard id, are merged in); re-registering after churn (a
+        reused id) rebinds the views to the new session object.
         """
-        labels = {"session": self.session_id}
+        labels = {**(labels or {}), "session": self.session_id}
         self.stats.register_metrics(registry, labels=labels, prefix=prefix)
         registry.gauge(prefix + "queue_depth", labels, fn=lambda: self.pending)
         registry.gauge(prefix + "weight", labels, fn=lambda: self.weight)

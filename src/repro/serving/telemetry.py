@@ -21,26 +21,38 @@ them assertable in tests and comparable across benchmark commits.
 Everything here is plain counters updated from the engine thread; snapshots
 are cheap dict copies safe to hand to logging/benchmark code.
 
-**Snapshot schema.**  ``EngineStats.snapshot()`` and
-``SessionStats.snapshot()`` carry ``"schema": 3`` — version 3 is the
-fault-era shape (failure summary, health counters, quarantine counts all
-present) — so exporters and ``check_bench.py`` can evolve the contract
-without guessing.  Both classes also re-register every field through a
-:class:`~repro.serving.observability.metrics.MetricsRegistry` via
-:meth:`register_metrics` (live callback views — nothing is double-counted
-and no ``snapshot()`` consumer changes).
+**Snapshot schema.**  Every serving snapshot — ``EngineStats.snapshot()``,
+``SessionStats.snapshot()``, ``obs_report.export_run`` and
+``FleetFrontEnd.snapshot()`` — carries the one shared
+:data:`SCHEMA_VERSION` so exporters and ``check_bench.py`` can evolve the
+contract without guessing.  Both stats classes also re-register every
+field through a :class:`~repro.serving.observability.metrics.
+MetricsRegistry` via :meth:`register_metrics` (live callback views —
+nothing is double-counted and no ``snapshot()`` consumer changes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ServedFrame", "SessionStats", "EngineStats", "LatencyHistogram"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ServedFrame",
+    "SessionStats",
+    "EngineStats",
+    "LatencyHistogram",
+]
 
-#: Snapshot schema version shared by ``EngineStats``/``SessionStats``:
-#: 1 = PR 3 counters, 2 = churn/control-plane era, 3 = fault era (failure
-#: summary, health counters, quarantine counts).
-SNAPSHOT_SCHEMA = 3
+#: The one snapshot/export schema version shared by ``EngineStats``,
+#: ``SessionStats``, ``obs_report.export_run`` and
+#: ``FleetFrontEnd.snapshot()``: 1 = PR 3 counters, 2 = churn/control-plane
+#: era, 3 = fault era (failure summary, health counters, quarantine
+#: counts), 4 = fleet era (migration counters, merged fleet snapshots, one
+#: unified version across engine snapshots and run exports).
+SCHEMA_VERSION = 4
+
+#: Backwards-compatible alias (pre-fleet name for the same constant).
+SNAPSHOT_SCHEMA = SCHEMA_VERSION
 
 #: SessionStats integer counters, in snapshot order — the fields
 #: :meth:`SessionStats.register_metrics` exposes as live counters.
@@ -79,6 +91,8 @@ _ENGINE_COUNTER_FIELDS = (
     "drains_started",
     "drains_completed",
     "frames_dropped",
+    "migrations_in",
+    "migrations_out",
 )
 
 
@@ -351,6 +365,12 @@ class EngineStats:
     drains_completed: int = 0
     #: queued frames discarded by hard removals across the fleet
     frames_dropped: int = 0
+    #: sessions adopted from another shard (``import_session``) — counted
+    #: as a join too, so join/leave conservation still balances per shard
+    migrations_in: int = 0
+    #: sessions handed over to another shard (``export_session``) — counted
+    #: as a leave too; nothing is dropped on this path
+    migrations_out: int = 0
     #: ``(engine tick, live session count)`` per join/leave — the fleet-size
     #: timeline; churn soaks assert against it, dashboards plot it
     fleet_timeline: list[tuple[int, int]] = field(default_factory=list)
@@ -419,6 +439,28 @@ class EngineStats:
             "by_action": {k: by_action[k] for k in sorted(by_action)},
         }
 
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another engine's stats into this one (in place).
+
+        The fleet aggregation primitive: counters add, the occupancy
+        histogram adds bucket-wise, latency histograms merge bucket-exactly
+        (:meth:`LatencyHistogram.merge`), and the event ledgers
+        (fleet/health timelines, failure log) concatenate — each shard's
+        ledger is internally ordered on its own simulated clock, so the
+        concatenation is a per-shard-ordered union, not a global total
+        order.  Returns ``self`` for chaining.
+        """
+        for name in _ENGINE_COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for width, n in other.occupancy.items():
+            self.occupancy[width] = self.occupancy.get(width, 0) + n
+        self.queue_wait.merge(other.queue_wait)
+        self.service_time.merge(other.service_time)
+        self.fleet_timeline.extend(other.fleet_timeline)
+        self.failure_log.extend(other.failure_log)
+        self.health_timeline.extend(other.health_timeline)
+        return self
+
     def register_metrics(
         self,
         registry,
@@ -465,6 +507,8 @@ class EngineStats:
             "drains_started": self.drains_started,
             "drains_completed": self.drains_completed,
             "frames_dropped": self.frames_dropped,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
             "fleet_timeline": list(self.fleet_timeline),
             "failure_log": [
                 r.as_dict() if hasattr(r, "as_dict") else dict(r)

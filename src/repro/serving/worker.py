@@ -169,6 +169,49 @@ class RetrainWorker:
         self.jobs_abandoned += abandoned
         return abandoned
 
+    def transfer(self, session: DemapperSession) -> dict:
+        """Hand a migrating session's jobs over; returns the carried state.
+
+        The migration sibling of :meth:`discard`: instead of orphaning an
+        in-flight job, its future is *moved* to the destination worker
+        (:meth:`adopt`) so the retrained demapper still installs — into the
+        same session object, now living on another shard — and its outcome
+        resolves there, never here.  Undelivered outcomes for the session
+        travel too (an inline job may have installed this very round and
+        its outcome must reach the *destination* supervisor).  The returned
+        dict is opaque to everything but :meth:`adopt`.
+        """
+        keep: list[tuple[DemapperSession, Future]] = []
+        moved: list[Future] = []
+        for owner, fut in self._pending:
+            if owner is session:
+                moved.append(fut)
+            else:
+                keep.append((owner, fut))
+        self._pending = keep
+        kept_outcomes: list[tuple[DemapperSession, BaseException | None]] = []
+        moved_outcomes: list[BaseException | None] = []
+        for owner, exc in self._outcomes:
+            if owner is session:
+                moved_outcomes.append(exc)
+            else:
+                kept_outcomes.append((owner, exc))
+        self._outcomes = kept_outcomes
+        return {"pending": moved, "outcomes": moved_outcomes}
+
+    def adopt(self, session: DemapperSession, carried: dict) -> None:
+        """Adopt jobs/outcomes handed over by another worker's ``transfer``.
+
+        Pending futures join this worker's pending list (their threads keep
+        running on the source pool — only bookkeeping moves; a future is a
+        thread-safe handle) and undelivered outcomes are re-queued so this
+        engine's next ``take_outcomes`` delivers them.
+        """
+        for fut in carried.get("pending", ()):
+            self._pending.append((session, fut))
+        for exc in carried.get("outcomes", ()):
+            self._outcomes.append((session, exc))
+
     def _reap_orphans(self, *, wait: bool = False) -> None:
         """Drop finished orphaned/abandoned futures (swallowing exceptions).
 
@@ -314,20 +357,28 @@ class RetrainWorker:
         """Hung jobs walked away from (never waited on, never installed)."""
         return len(self._abandoned)
 
-    def register_metrics(self, registry, *, prefix: str = "serving_retrain_") -> None:
+    def register_metrics(
+        self,
+        registry,
+        *,
+        labels: dict | None = None,
+        prefix: str = "serving_retrain_",
+    ) -> None:
         """Expose queue depth, in-flight count and job totals as live views.
 
         Gauges read the point-in-time properties (queue depth rises and
-        falls); counters read the monotone ``jobs_*`` ledger.
+        falls); counters read the monotone ``jobs_*`` ledger.  ``labels``
+        (e.g. a fleet shard id) are attached to every instrument.
         """
-        registry.gauge(prefix + "queue_depth", fn=lambda: self.pending)
-        registry.gauge(prefix + "in_flight", fn=lambda: self.in_flight)
-        registry.gauge(prefix + "orphaned", fn=lambda: self.orphaned)
-        registry.gauge(prefix + "abandoned", fn=lambda: self.abandoned)
-        registry.counter(prefix + "jobs_submitted", fn=lambda: self.jobs_submitted)
-        registry.counter(prefix + "jobs_installed", fn=lambda: self.jobs_installed)
-        registry.counter(prefix + "jobs_failed", fn=lambda: self.jobs_failed)
-        registry.counter(prefix + "jobs_abandoned", fn=lambda: self.jobs_abandoned)
+        labels = dict(labels or {})
+        registry.gauge(prefix + "queue_depth", labels, fn=lambda: self.pending)
+        registry.gauge(prefix + "in_flight", labels, fn=lambda: self.in_flight)
+        registry.gauge(prefix + "orphaned", labels, fn=lambda: self.orphaned)
+        registry.gauge(prefix + "abandoned", labels, fn=lambda: self.abandoned)
+        registry.counter(prefix + "jobs_submitted", labels, fn=lambda: self.jobs_submitted)
+        registry.counter(prefix + "jobs_installed", labels, fn=lambda: self.jobs_installed)
+        registry.counter(prefix + "jobs_failed", labels, fn=lambda: self.jobs_failed)
+        registry.counter(prefix + "jobs_abandoned", labels, fn=lambda: self.jobs_abandoned)
 
     def close(self, timeout: float | None = None) -> None:
         """Finish outstanding jobs and shut the pool down.

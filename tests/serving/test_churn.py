@@ -27,6 +27,7 @@ from repro.extraction.monitor import PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
+    EngineConfig,
     RETRAINING,
     DeficitRoundRobin,
     DemapperSession,
@@ -110,9 +111,9 @@ class ForgetSpy(DeficitRoundRobin):
 class TestRemoveSession:
     def test_drained_session_serves_accepted_frames_then_leaves(self, qam16):
         served = []
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: served.append((s.session_id, f.seq))
-        )
+        ))
         session = engine.add_session(make_session(qam16, "leaver", seed=1))
         frames = clean_traffic(qam16, 3, 5)
         for f in frames:
@@ -179,7 +180,7 @@ class TestRemoveSession:
 
     def test_forget_called_exactly_once_and_credit_dropped(self, qam16):
         spy = ForgetSpy()
-        engine = ServingEngine(scheduler=spy)
+        engine = ServingEngine(config=EngineConfig(scheduler=spy))
         engine.add_session(make_session(qam16, "drained", weight=0.5))
         engine.add_session(make_session(qam16, "hard", weight=0.5))
         for sid in ("drained", "hard"):
@@ -234,7 +235,7 @@ class TestRemoveSession:
             release.wait(timeout=30)
             return corrected
 
-        engine = ServingEngine(retrain_workers=1)
+        engine = ServingEngine(config=EngineConfig(retrain_workers=1))
         session = engine.add_session(
             make_session(qam16, "s0", retrain=slow_policy, threshold=0.12)
         )
@@ -265,7 +266,7 @@ class TestRemoveSession:
             release.wait(timeout=30)
             raise RuntimeError("retrain exploded after its session left")
 
-        engine = ServingEngine(retrain_workers=1)
+        engine = ServingEngine(config=EngineConfig(retrain_workers=1))
         session = engine.add_session(
             make_session(qam16, "s0", retrain=slow_failing_policy, threshold=0.12)
         )
@@ -350,11 +351,11 @@ class TestChurnSoak:
 
     def run_soak(self, qam, seed, *, retrain_workers=0, max_batch=64):
         rng = np.random.default_rng(seed)
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             max_batch=max_batch,
             retrain_workers=retrain_workers,
             weight_controller=WeightController(slo=FC.total_symbols * 6, interval=4),
-        )
+        ))
         accepted: dict[str, int] = {}
         live: dict[str, dict] = {}      # sid -> {"session", "frames", "offset"}
         removed_drained: list[DemapperSession] = []
@@ -496,13 +497,13 @@ class TestSurvivorInvariance:
     def run(self, qam, churn_seed, *, max_batch=64, retrain_workers=0):
         """One run: the watched survivor plus a churn storm around it."""
         llrs: list[np.ndarray] = []
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             max_batch=max_batch,
             retrain_workers=retrain_workers,
             on_frame=lambda s, f, block, rep: (
                 llrs.append(block.copy()) if s.session_id == "watch" else None
             ),
-        )
+        ))
         survivor = make_session(
             qam, "watch", seed=1234, queue_depth=3,
             retrain=RotateStub(qam), threshold=0.12, tracking=True,

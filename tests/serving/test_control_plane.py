@@ -28,6 +28,7 @@ from repro.extraction import HybridDemapper, PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
+    EngineConfig,
     LatencyHistogram,
     ServingEngine,
     SessionConfig,
@@ -103,9 +104,9 @@ class TestSigma2Loop:
     def test_updated_sigma2_scales_next_frames_llrs(self, qam16):
         """Frame n is demapped with the σ² left by frames < n (causal loop)."""
         caps = {}
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: caps.__setitem__(f.seq, (llrs.copy(), rep))
-        )
+        ))
         (session,) = build_fleet(
             engine, 1, HybridDemapper(constellation=qam16, sigma2=S10),
             monitor_factory=lambda: PilotBERMonitor(0.9, window=4),
@@ -280,13 +281,13 @@ class TestControlPlaneDeterminism:
 
     def serve(self, qam, *, max_batch, queue_depth, retrain_workers, weights=None):
         llrs: dict[str, list[np.ndarray]] = {}
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             max_batch=max_batch,
             retrain_workers=retrain_workers,
             on_frame=lambda s, f, block, rep: llrs.setdefault(s.session_id, []).append(
                 block.copy()
             ),
-        )
+        ))
         weights = weights if weights is not None else [1.0] * self.N_SESSIONS
         sessions = build_fleet(
             engine,
@@ -410,7 +411,9 @@ class TestLatencyTelemetry:
         """Co-batched frames share a service time (the launch width); a
         frame waiting a round accrues the symbols served in between."""
         reports = []
-        engine = ServingEngine(on_frame=lambda s, f, llrs, rep: reports.append(rep))
+        engine = ServingEngine(config=EngineConfig(
+            on_frame=lambda s, f, llrs, rep: reports.append(rep)
+        ))
         sessions = build_fleet(
             engine, 2, HybridDemapper(constellation=qam16, sigma2=S10),
             monitor_factory=lambda: PilotBERMonitor(0.9, window=4),
@@ -438,9 +441,9 @@ class TestLatencyTelemetry:
         """Frames queued behind a retrain keep aging on the symbol clock
         while other sessions are served."""
         reports = {}
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: reports.setdefault(s.session_id, []).append(rep)
-        )
+        ))
         paused, busy = build_fleet(
             engine, 2, HybridDemapper(constellation=qam16, sigma2=S10),
             monitor_factory=lambda: PilotBERMonitor(0.9, window=4),

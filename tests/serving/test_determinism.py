@@ -24,6 +24,7 @@ from repro.extraction.monitor import PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
+    EngineConfig,
     ServingEngine,
     SessionConfig,
     SteadyChannel,
@@ -76,13 +77,13 @@ def make_traffic(qam, session_ids, *, jump=True, seed=17):
 def serve(qam, *, max_batch, queue_depth, retrain_workers, with_policy=True):
     """One full serving run; returns (per-session LLR streams, timelines)."""
     llrs: dict[str, list[np.ndarray]] = {}
-    engine = ServingEngine(
+    engine = ServingEngine(config=EngineConfig(
         max_batch=max_batch,
         retrain_workers=retrain_workers,
         on_frame=lambda s, f, block, rep: llrs.setdefault(s.session_id, []).append(
             block.copy()
         ),
-    )
+    ))
     sessions = build_fleet(
         engine,
         N_SESSIONS,
@@ -162,12 +163,12 @@ class TestServingDeterminism:
 
         def run_with(extra_sessions):
             llrs = {}
-            engine = ServingEngine(
+            engine = ServingEngine(config=EngineConfig(
                 max_batch=64,
                 on_frame=lambda s, f, block, rep: llrs.setdefault(
                     s.session_id, []
                 ).append(block.copy()),
-            )
+            ))
             hybrid = HybridDemapper(constellation=qam16, sigma2=SIGMA2)
             sessions = build_fleet(
                 engine,

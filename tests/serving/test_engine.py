@@ -10,6 +10,7 @@ from repro.extraction.monitor import PilotBERMonitor
 from repro.link.frames import FrameConfig, frame_bers
 from repro.modulation import qam_constellation
 from repro.serving import (
+    EngineConfig,
     ServingEngine,
     SessionConfig,
     SteadyChannel,
@@ -53,11 +54,11 @@ class TestServingCorrectness:
     def test_llrs_and_bers_match_sequential_reference(self, qam16):
         """Batched serving == per-frame hybrid.llrs + frame_bers, bit for bit."""
         captured = {}
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: captured.__setitem__(
                 (s.session_id, f.seq), (llrs.copy(), rep)
             )
-        )
+        ))
         sessions = fleet(engine, qam16, 5)
         traffic = awgn_traffic(qam16, sessions, 3)
         run_load(engine, traffic)
@@ -76,9 +77,9 @@ class TestServingCorrectness:
                 assert rep.payload_ber == payload
 
     def test_per_session_sigma2_scales_llrs(self, qam16):
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: caps.__setitem__(s.session_id, llrs.copy())
-        )
+        ))
         caps = {}
         hybrid = HybridDemapper(constellation=qam16, sigma2=SIGMA2)
         sessions = build_fleet(
@@ -95,7 +96,7 @@ class TestServingCorrectness:
         assert np.allclose(a, 2 * b)
 
     def test_telemetry_counters(self, qam16):
-        engine = ServingEngine(max_batch=3)
+        engine = ServingEngine(config=EngineConfig(max_batch=3))
         sessions = fleet(engine, qam16, 4)
         traffic = awgn_traffic(qam16, sessions, 2)
         stats = run_load(engine, traffic)
@@ -181,7 +182,7 @@ class TestAdaptationLoop:
             release.wait(timeout=30)
             return corrected
 
-        engine = ServingEngine(retrain_workers=1)
+        engine = ServingEngine(config=EngineConfig(retrain_workers=1))
         sessions = fleet(
             engine, qam16, 3, retrain_factory=lambda i: slow_policy if i == 0 else None
         )
@@ -259,7 +260,7 @@ class TestRetrainWorker:
             release.wait(timeout=30)
             return good
 
-        engine = ServingEngine(retrain_workers=1)
+        engine = ServingEngine(config=EngineConfig(retrain_workers=1))
         (session,) = fleet(engine, qam16, 1, retrain_factory=lambda i: slow)
         session.monitor.observe(0.5)  # fill the window so the next frame fires
         engine.telemetry.retrains_started += 1
@@ -294,7 +295,7 @@ class TestDrainGuard:
             def allocate(self, sessions):
                 return {}  # pathological: never grants a quota
 
-        engine = ServingEngine(scheduler=StuckScheduler())
+        engine = ServingEngine(config=EngineConfig(scheduler=StuckScheduler()))
         (session,) = fleet(engine, qam16, 1)
         engine.submit(session.session_id, awgn_traffic(qam16, [session], 1)[
             session.session_id][0])
@@ -357,11 +358,11 @@ class TestEngineApi:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ServingEngine(max_batch=0)
+            ServingEngine(config=EngineConfig(max_batch=0))
         with pytest.raises(ValueError):
-            ServingEngine(retrain_workers=-1)
+            ServingEngine(config=EngineConfig(retrain_workers=-1))
 
     def test_context_manager_closes_worker(self, qam16):
-        with ServingEngine(retrain_workers=1) as engine:
+        with ServingEngine(config=EngineConfig(retrain_workers=1)) as engine:
             fleet(engine, qam16, 1)
         assert engine.worker.pending == 0

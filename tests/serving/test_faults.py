@@ -45,6 +45,7 @@ from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
     DEGRADED,
+    EngineConfig,
     HEALTHY,
     QUARANTINED,
     RETRAINING,
@@ -395,12 +396,12 @@ class TestPoisonQuarantine:
 
         def run(with_poison):
             got = []
-            engine = ServingEngine(
+            engine = ServingEngine(config=EngineConfig(
                 max_batch=64,
                 on_frame=lambda s, f, llrs, rep: (
                     got.append(llrs.copy()) if s.session_id == "ok" else None
                 ),
-            )
+            ))
             ok = engine.add_session(make_session(qam16, "ok", seed=3))
             frames = clean_traffic(qam16, 3, 7)
             if with_poison:
@@ -457,9 +458,9 @@ class TestDegradedServing:
         def boom(rng):
             raise InjectedRetrainError("no model for you")
 
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             supervisor=RetrainSupervisor(max_failures=2, backoff_base=1),
-        )
+        ))
         session = engine.add_session(
             make_session(qam16, "s", retrain=boom, threshold=0.12)
         )
@@ -500,9 +501,9 @@ class TestDegradedServing:
             calls.append(1)
             raise InjectedRetrainError("boom")
 
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             supervisor=RetrainSupervisor(max_failures=10, backoff_base=4),
-        )
+        ))
         session = engine.add_session(
             make_session(qam16, "s", retrain=boom, threshold=0.12)
         )
@@ -525,10 +526,10 @@ class TestDegradedServing:
             release.wait(timeout=30)
             raise RuntimeError("released late")
 
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             retrain_workers=1,
             supervisor=RetrainSupervisor(max_failures=1, deadline_rounds=3),
-        )
+        ))
         session = engine.add_session(
             make_session(qam16, "s", retrain=stuck, threshold=0.12)
         )
@@ -561,10 +562,10 @@ class TestDegradedServing:
             release.wait(timeout=30)
             raise RuntimeError("released late")
 
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             retrain_workers=1,
             supervisor=RetrainSupervisor(max_failures=1),  # no round deadline
-        )
+        ))
         session = engine.add_session(
             make_session(qam16, "s", retrain=stuck, threshold=0.12)
         )
@@ -586,9 +587,9 @@ class TestDegradedServing:
         def boom(rng):
             raise InjectedRetrainError("boom")
 
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             supervisor=RetrainSupervisor(max_failures=1, backoff_base=1),
-        )
+        ))
         session = engine.add_session(
             make_session(qam16, "s", retrain=boom, threshold=0.12, tracking=True)
         )
@@ -637,7 +638,7 @@ class TestChaosSoak:
             blocking_hangs=retrain_workers > 0,
             hang_timeout=5.0,
         )
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             max_batch=max_batch,
             retrain_workers=retrain_workers,
             supervisor=RetrainSupervisor(
@@ -645,7 +646,7 @@ class TestChaosSoak:
                 backoff_base=1,
                 deadline_rounds=8 if retrain_workers else None,
             ),
-        )
+        ))
         accepted: dict[str, int] = {}
         live: dict[str, dict] = {}
         all_sessions: list[DemapperSession] = []
@@ -794,14 +795,14 @@ class TestFaultIsolation:
 
     def run(self, qam, *, faulted, max_batch=64, retrain_workers=0):
         llrs: list[np.ndarray] = []
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             max_batch=max_batch,
             retrain_workers=retrain_workers,
             supervisor=RetrainSupervisor(max_failures=2, backoff_base=1),
             on_frame=lambda s, f, block, rep: (
                 llrs.append(block.copy()) if s.session_id == "watch" else None
             ),
-        )
+        ))
         plan = FaultPlan(
             seed=77,
             fail_sessions=("f-fail",),

@@ -1,0 +1,722 @@
+"""Fleet front-end: sharding, affinity placement, live migration, config API.
+
+The determinism contract one level up: a session's LLR/trigger/σ²/tier
+timelines are a pure function of its own frame order, so they are
+bit-identical at any shard count {1, 2, 4}, any placement seed and any
+migration schedule.  Plus the PR's API-redesign satellites: the frozen
+``EngineConfig`` construction path (legacy keywords via a single-warning
+deprecation shim), the curated ``from repro.serving import *`` surface,
+and the one ``SCHEMA_VERSION`` across every serving snapshot.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.channels import sigma2_from_snr
+from repro.channels.factories import AWGNFactory, CompositeFactory, PhaseOffsetFactory
+from repro.extraction import HybridDemapper
+from repro.extraction.monitor import PilotBERMonitor
+from repro.link.frames import FrameConfig
+from repro.modulation import qam_constellation
+from repro.serving import (
+    DEGRADED,
+    QUARANTINED,
+    SCHEMA_VERSION,
+    SERVING,
+    DemapperSession,
+    EngineConfig,
+    FleetFrontEnd,
+    MetricsRegistry,
+    MigrationPlan,
+    RetrainSupervisor,
+    ServingEngine,
+    SessionConfig,
+    generate_traffic,
+    run_fleet_load,
+)
+from repro.serving.loadgen import SteadyChannel, SteppedChannel
+from repro.serving.obs_report import export_run
+
+SIGMA2 = sigma2_from_snr(8.0, 4)
+FC = FrameConfig(pilot_symbols=16, payload_symbols=48)
+N_SESSIONS = 8
+N_GROUPS = 4
+N_FRAMES = 8
+OFFSET = np.pi / 4
+
+
+class RotatePolicy:
+    """Deterministic-in-rng retrain stand-in (see test_determinism)."""
+
+    def __init__(self, qam):
+        self.qam = qam
+
+    def __call__(self, rng):
+        angle = OFFSET + rng.normal(scale=1e-3)
+        return HybridDemapper(
+            constellation=type(self.qam)(points=self.qam.points * np.exp(1j * angle)),
+            sigma2=SIGMA2,
+        )
+
+
+@pytest.fixture(scope="module")
+def qam_groups():
+    """Four distinct centroid sets — four affinity-placement keys."""
+    base = qam_constellation(16)
+    return tuple(
+        type(base)(points=base.points * np.exp(1j * g * 0.03)) for g in range(N_GROUPS)
+    )
+
+
+def build_sessions(qam_groups, *, with_policy=True, seed=99):
+    """N sessions striped across the constellation groups."""
+    master = np.random.default_rng(seed)
+    sessions = []
+    for i in range(N_SESSIONS):
+        (srng,) = master.spawn(1)
+        qam = qam_groups[i % N_GROUPS]
+        sessions.append(
+            DemapperSession(
+                f"s{i:03d}",
+                HybridDemapper(constellation=qam, sigma2=SIGMA2),
+                PilotBERMonitor(0.12, window=2, cooldown=2),
+                config=SessionConfig(frame=FC, queue_depth=4),
+                retrain=RotatePolicy(qam) if with_policy else None,
+                rng=srng,
+            )
+        )
+    return sessions
+
+
+def make_traffic(qam_groups, session_ids, *, seed=17):
+    """Deterministic per-session traffic; half the fleet sees a phase jump."""
+    chan_clean = SteadyChannel(AWGNFactory(8.0, 4))
+    chan_jump = SteppedChannel(
+        AWGNFactory(8.0, 4),
+        CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(8.0, 4))),
+        step_seq=4,
+    )
+    rng = np.random.default_rng(seed)
+    traffic = {}
+    for i, sid in enumerate(session_ids):
+        (srng,) = rng.spawn(1)
+        chan = chan_jump if i % 2 == 0 else chan_clean
+        traffic[sid] = generate_traffic(qam_groups[i % N_GROUPS], FC, N_FRAMES, chan, srng)
+    return traffic
+
+
+def fleet_serve(
+    qam_groups,
+    *,
+    n_shards,
+    placement_seed=0,
+    migrations=(),
+    parallel=False,
+):
+    """One full fleet run; returns (per-session LLRs, timelines, fleet stats)."""
+    llrs: dict[str, list[np.ndarray]] = {}
+
+    def on_frame(s, f, block, rep):
+        llrs.setdefault(s.session_id, []).append(block.copy())
+
+    fleet = FleetFrontEnd(
+        n_shards,
+        config_factory=lambda i: EngineConfig(max_batch=64, on_frame=on_frame),
+        placement_seed=placement_seed,
+        parallel=parallel,
+    )
+    sessions = build_sessions(qam_groups)
+    for s in sessions:
+        fleet.add_session(s)
+    traffic = make_traffic(qam_groups, [s.session_id for s in sessions])
+    with fleet:
+        stats = run_fleet_load(fleet, traffic, migrations=migrations, max_rounds=500)
+    timelines = {
+        s.session_id: (
+            tuple(s.stats.trigger_seqs),
+            s.stats.retrains,
+            tuple(s.stats.tier_timeline),
+            tuple(s.stats.sigma2_trajectory),
+        )
+        for s in sessions
+    }
+    return llrs, timelines, stats
+
+
+def assert_identical(run, reference):
+    llrs, timelines, _ = run
+    ref_llrs, ref_timelines, _ = reference
+    assert timelines == ref_timelines
+    assert set(llrs) == set(ref_llrs)
+    for sid in ref_llrs:
+        assert len(llrs[sid]) == len(ref_llrs[sid]) == N_FRAMES
+        for got, ref in zip(llrs[sid], ref_llrs[sid]):
+            assert np.array_equal(got, ref)
+
+
+@pytest.fixture(scope="module")
+def reference(qam_groups):
+    """The single-shard run every other placement must reproduce."""
+    return fleet_serve(qam_groups, n_shards=1)
+
+
+# ---------------------------------------------------------------------------
+# EngineConfig: the redesigned construction API
+
+
+class TestEngineConfig:
+    def test_config_and_legacy_build_identical_engines(self):
+        sched_args = dict(max_batch=7, retrain_workers=2)
+        cfg_engine = ServingEngine(config=EngineConfig(**sched_args))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_engine = ServingEngine(**sched_args)
+        try:
+            assert cfg_engine.max_batch == legacy_engine.max_batch == 7
+            assert cfg_engine.worker.n_workers == legacy_engine.worker.n_workers == 2
+            assert cfg_engine.config == legacy_engine.config == EngineConfig(**sched_args)
+        finally:
+            cfg_engine.close()
+            legacy_engine.close()
+
+    def test_legacy_keywords_warn_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = ServingEngine(max_batch=4, retrain_workers=0)
+        engine.close()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "EngineConfig" in str(deprecations[0].message)
+
+    def test_config_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ServingEngine(config=EngineConfig(max_batch=4)).close()
+            ServingEngine().close()  # all-defaults path is the config path
+
+    def test_mixing_config_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            ServingEngine(config=EngineConfig(), max_batch=4)
+
+    def test_validation_lives_in_the_config(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            EngineConfig(max_batch=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            EngineConfig(retrain_workers=-1)
+        # and the legacy shim still surfaces the same errors
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="max_batch"):
+                ServingEngine(max_batch=0)
+
+    def test_config_is_frozen_and_buildable(self):
+        cfg = EngineConfig(max_batch=3)
+        with pytest.raises(AttributeError):
+            cfg.max_batch = 5
+        engine = cfg.build()
+        try:
+            assert engine.config is cfg
+            assert engine.max_batch == 3
+        finally:
+            engine.close()
+
+    def test_stateful_fields_detected(self):
+        assert EngineConfig().stateful_fields_set() == ()
+        cfg = EngineConfig(supervisor=RetrainSupervisor(), on_frame=lambda *a: None)
+        assert cfg.stateful_fields_set() == ("supervisor", "on_frame")
+
+
+# ---------------------------------------------------------------------------
+# Package surface
+
+
+class TestPackageSurface:
+    def test_star_import_is_supported(self):
+        ns: dict = {}
+        exec("from repro.serving import *", ns)  # noqa: S102 — the contract itself
+        import repro.serving as pkg
+
+        for name in pkg.__all__:
+            assert name in ns, f"__all__ name {name!r} not importable"
+        public = {k for k in ns if not k.startswith("_")}
+        assert public == set(pkg.__all__)
+
+    def test_fleet_tier_is_exported(self):
+        import repro.serving as pkg
+
+        for name in ("FleetFrontEnd", "EngineConfig", "MigrationPlan",
+                     "run_fleet_load", "SCHEMA_VERSION"):
+            assert name in pkg.__all__
+            assert getattr(pkg, name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Snapshot schema unification
+
+
+class TestSchemaUnification:
+    def test_one_schema_constant_everywhere(self, qam_groups):
+        engine = ServingEngine(config=EngineConfig(max_batch=4))
+        session = build_sessions(qam_groups, with_policy=False)[0]
+        engine.add_session(session)
+        doc = export_run(engine)
+        assert engine.telemetry.snapshot()["schema"] == SCHEMA_VERSION
+        assert session.stats.snapshot()["schema"] == SCHEMA_VERSION
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["engine"]["schema"] == SCHEMA_VERSION
+        engine.close()
+        with FleetFrontEnd(2, config=EngineConfig(), parallel=False) as fleet:
+            snap = fleet.snapshot()
+        assert snap["schema"] == SCHEMA_VERSION
+        assert snap["merged"]["schema"] == SCHEMA_VERSION
+        assert all(s["schema"] == SCHEMA_VERSION for s in snap["shards"])
+
+    def test_legacy_alias_still_points_at_it(self):
+        from repro.serving.telemetry import SNAPSHOT_SCHEMA
+
+        assert SNAPSHOT_SCHEMA == SCHEMA_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Constellation-affinity placement
+
+
+class TestPlacement:
+    def test_shared_constellation_lands_on_one_shard(self, qam_groups):
+        with FleetFrontEnd(4, config=EngineConfig(), parallel=False) as fleet:
+            sessions = build_sessions(qam_groups, with_policy=False)
+            for s in sessions:
+                fleet.add_session(s)
+            by_group: dict[int, set[int]] = {}
+            for i, s in enumerate(sessions):
+                by_group.setdefault(i % N_GROUPS, set()).add(
+                    fleet.shard_of(s.session_id)
+                )
+            for group, shards in by_group.items():
+                assert len(shards) == 1, f"group {group} split across {shards}"
+
+    def test_distinct_constellations_spread(self, qam_groups):
+        """Some placement seed spreads 4 groups over more than one shard."""
+        for seed in range(8):
+            fleet = FleetFrontEnd(
+                4, config=EngineConfig(), placement_seed=seed, parallel=False
+            )
+            sessions = build_sessions(qam_groups, with_policy=False)
+            shards = {fleet.place(s) for s in sessions}
+            fleet.close()
+            if len(shards) > 1:
+                return
+        pytest.fail("no placement seed in range(8) spread the groups at all")
+
+    def test_placement_seed_reshuffles(self, qam_groups):
+        sessions = build_sessions(qam_groups, with_policy=False)
+        placements = set()
+        for seed in range(8):
+            fleet = FleetFrontEnd(
+                4, config=EngineConfig(), placement_seed=seed, parallel=False
+            )
+            placements.add(tuple(fleet.place(s) for s in sessions))
+            fleet.close()
+        assert len(placements) > 1
+
+    def test_explicit_shard_override_and_bounds(self, qam_groups):
+        with FleetFrontEnd(2, config=EngineConfig(), parallel=False) as fleet:
+            session = build_sessions(qam_groups, with_policy=False)[0]
+            fleet.add_session(session, shard=1)
+            assert fleet.shard_of(session.session_id) == 1
+            assert fleet.session(session.session_id) is session
+            assert fleet.has_session(session.session_id)
+            with pytest.raises(ValueError, match="duplicate"):
+                fleet.add_session(session)
+            other = build_sessions(qam_groups, with_policy=False, seed=7)[1]
+            with pytest.raises(ValueError, match="shard must be"):
+                fleet.add_session(other, shard=5)
+            with pytest.raises(KeyError):
+                fleet.shard_of("nope")
+
+    def test_replicated_config_must_be_stateless(self):
+        with pytest.raises(ValueError, match="supervisor"):
+            FleetFrontEnd(2, config=EngineConfig(supervisor=RetrainSupervisor()))
+        # a single shard may carry collaborators (nothing is shared)
+        FleetFrontEnd(
+            1, config=EngineConfig(supervisor=RetrainSupervisor()), parallel=False
+        ).close()
+        with pytest.raises(ValueError, match="not both"):
+            FleetFrontEnd(2, config=EngineConfig(), config_factory=lambda i: EngineConfig())
+        with pytest.raises(ValueError, match="n_shards"):
+            FleetFrontEnd(0)
+
+
+# ---------------------------------------------------------------------------
+# The tentpole invariance: shard count x placement seed x migration schedule
+
+
+class TestPlacementInvariance:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    @pytest.mark.parametrize("placement_seed", [0, 3])
+    def test_invariant_to_shard_count_and_placement(
+        self, qam_groups, reference, n_shards, placement_seed
+    ):
+        assert_identical(
+            fleet_serve(
+                qam_groups, n_shards=n_shards, placement_seed=placement_seed
+            ),
+            reference,
+        )
+
+    def test_invariant_to_migration_schedule(self, qam_groups, reference):
+        migrations = [
+            MigrationPlan("s000", round=1, dest_shard=3),
+            MigrationPlan("s003", round=2, dest_shard=0),
+            MigrationPlan("s000", round=4, dest_shard=1),
+            MigrationPlan("s005", round=3, dest_shard=2),
+        ]
+        run = fleet_serve(qam_groups, n_shards=4, migrations=migrations)
+        assert_identical(run, reference)
+        assert run[2].migrations_in == run[2].migrations_out == len(migrations)
+
+    def test_parallel_stepping_matches_reference(self, qam_groups, reference):
+        assert_identical(
+            fleet_serve(qam_groups, n_shards=2, parallel=True), reference
+        )
+
+    def test_triggers_actually_fire(self, reference):
+        _, timelines, _ = reference
+        fired = [sid for sid, (seqs, *_rest) in timelines.items() if seqs]
+        assert len(fired) == N_SESSIONS // 2  # the phase-jump half
+
+
+# ---------------------------------------------------------------------------
+# Live migration mechanics
+
+
+def two_shard_fleet(qam_groups, **session_kwargs):
+    fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+    session = build_sessions(qam_groups, **session_kwargs)[0]
+    fleet.add_session(session, shard=0)
+    return fleet, session
+
+
+class TestMigration:
+    def test_queued_frames_survive_in_order(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        traffic = generate_traffic(
+            qam_groups[0], FC, 4, SteadyChannel(AWGNFactory(8.0, 4)), 3
+        )
+        with fleet:
+            for frame in traffic:
+                assert fleet.submit(sid, frame)
+            fleet.migrate(sid, 1)
+            assert fleet.shard_of(sid) == 1
+            assert session.pending == 4  # nothing lost in transit
+            served = []
+            fleet.shards[1].on_frame = lambda s, f, block, rep: served.append(f.seq)
+            fleet.drain(max_rounds=50)
+        assert served == [f.seq for f in traffic]  # destination, in order
+        assert fleet.shards[0].telemetry.frames_served == 0
+        assert fleet.shards[1].telemetry.frames_served == 4
+        assert fleet.shards[0].telemetry.migrations_out == 1
+        assert fleet.shards[1].telemetry.migrations_in == 1
+        assert fleet.migrations == 1
+
+    def test_queued_stamps_rebased_across_clock_skew(self, qam_groups):
+        """Frames stamped on a source clock that runs AHEAD of the
+        destination must not surface negative queue waits there."""
+        fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+        helper, mover = build_sessions(qam_groups, with_policy=False)[:2]
+        fleet.add_session(helper, shard=0)
+        fleet.add_session(mover, shard=0)
+        chan = SteadyChannel(AWGNFactory(8.0, 4))
+        with fleet:
+            for f in generate_traffic(qam_groups[0], FC, 3, chan, 3):
+                fleet.submit(helper.session_id, f)
+            fleet.step()  # shard 0's symbol clock advances; shard 1 stays at 0
+            assert fleet.shards[0].telemetry.now > fleet.shards[1].telemetry.now
+            for f in generate_traffic(qam_groups[1], FC, 2, chan, 4):
+                fleet.submit(mover.session_id, f)  # stamped on shard 0's clock
+            fleet.migrate(mover.session_id, 1)
+            fleet.drain(max_rounds=50)  # served on shard 1: wait must be >= 0
+        assert mover.stats.frames_served == 2
+        assert mover.stats.queue_wait.count == 2
+
+    def test_migrate_to_current_shard_is_noop(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        with fleet:
+            assert fleet.migrate(session.session_id, 0) is session
+            assert fleet.migrations == 0
+            assert fleet.shards[0].telemetry.migrations_out == 0
+            with pytest.raises(ValueError, match="dest must be"):
+                fleet.migrate(session.session_id, 2)
+
+    def test_draining_session_refuses_migration(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        with fleet:
+            frame = generate_traffic(
+                qam_groups[0], FC, 1, SteadyChannel(AWGNFactory(8.0, 4)), 3
+            )[0]
+            fleet.submit(sid, frame)
+            fleet.remove_session(sid, drain=True)  # queue nonempty: still live
+            assert fleet.has_session(sid)
+            with pytest.raises(ValueError, match="draining"):
+                fleet.migrate(sid, 1)
+
+    def test_scheduler_credit_travels(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        with fleet:
+            fleet.shards[0].scheduler.restore(sid, 0.75)
+            fleet.migrate(sid, 1)
+            assert fleet.shards[0].scheduler.credit(sid) == 0.0
+            assert fleet.shards[1].scheduler.credit(sid) == 0.75
+
+    def test_quarantined_health_travels(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        frames = generate_traffic(
+            qam_groups[0], FC, 2, SteadyChannel(AWGNFactory(8.0, 4)), 3
+        )
+        poisoned = frames[0].received.copy()
+        poisoned[0] = complex(float("nan"), 0.0)
+        from repro.serving import ServingFrame
+
+        with fleet:
+            fleet.submit(
+                sid,
+                ServingFrame(
+                    seq=0,
+                    indices=frames[0].indices,
+                    pilot_mask=frames[0].pilot_mask,
+                    received=poisoned,
+                ),
+            )
+            fleet.step()
+            assert session.health == QUARANTINED
+            refusals_before = session.stats.quarantine_refusals
+            fleet.migrate(sid, 1)
+            assert session.health == QUARANTINED  # health travelled
+            assert not fleet.submit(sid, frames[1])  # still fenced off
+            assert session.stats.quarantine_refusals == refusals_before + 1
+
+    def test_degraded_breaker_state_travels(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        with fleet:
+            src, dst = fleet.shards
+            # open the breaker by hand: one submission, failures to the max
+            src.supervisor.on_submitted(sid, 0)
+            record = src.supervisor.on_failure(sid, 1, RuntimeError("boom"))
+            record = src.supervisor.on_failure(sid, 2, RuntimeError("boom"))
+            record = src.supervisor.on_failure(sid, 3, RuntimeError("boom"))
+            assert record.action == "degrade"
+            session.set_health(DEGRADED, now=0)
+            fleet.migrate(sid, 1)
+            assert session.health == DEGRADED
+            assert dst.supervisor.state(sid) == "open"
+            assert dst.supervisor.failures(sid) == 3
+            assert not dst.supervisor.allows(sid)  # triggers stay suppressed
+            assert src.supervisor.state(sid) == "idle"  # source forgot
+
+    def test_backoff_clock_is_rebased(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        sid = session.session_id
+        with fleet:
+            src, dst = fleet.shards
+            # destination clock runs ahead of the source clock
+            dst.telemetry.rounds = 10
+            src.supervisor.on_submitted(sid, 0)
+            src.supervisor.on_failure(sid, 0, RuntimeError("boom"))
+            # retry_at = 0 + backoff(1) = 1 on the source clock (1 round out)
+            assert src.supervisor.due_retries(1) == [sid]
+            fleet.migrate(sid, 1)
+            assert dst.supervisor.state(sid) == "backoff"
+            assert dst.supervisor.due_retries(10) == []  # not due immediately…
+            assert dst.supervisor.due_retries(11) == [sid]  # …one round out
+
+    def test_in_flight_retrain_lands_on_destination(self, qam_groups):
+        gate = threading.Event()
+        done = HybridDemapper(constellation=qam_groups[0], sigma2=SIGMA2)
+
+        def gated_retrain(rng):
+            gate.wait(10.0)
+            return done
+
+        master = np.random.default_rng(1)
+        session = DemapperSession(
+            "mig",
+            HybridDemapper(constellation=qam_groups[0], sigma2=SIGMA2),
+            PilotBERMonitor(0.12, window=2),
+            config=SessionConfig(frame=FC),
+            retrain=gated_retrain,
+            rng=master,
+        )
+        fleet = FleetFrontEnd(
+            2,
+            config_factory=lambda i: EngineConfig(max_batch=8, retrain_workers=1),
+            parallel=False,
+        )
+        fleet.add_session(session, shard=0)
+        src, dst = fleet.shards
+        try:
+            src._submit_retrain(session)
+            assert src.worker.pending == 1
+            fleet.migrate("mig", 1)
+            # the job moved: source can never install into the wrong shard
+            assert src.worker.pending == 0
+            assert dst.worker.pending == 1
+            assert dst.supervisor.state("mig") == "in_flight"
+            gate.set()
+            dst.worker.wait_all(10.0)
+            dst.step()  # absorbs the install outcome
+            assert session.hybrid is done
+            assert session.state == SERVING
+            assert session.stats.retrains == 1
+            assert dst.supervisor.state("mig") == "idle"  # breaker re-armed here
+            assert src.worker.take_outcomes() == []  # nothing leaked back
+        finally:
+            gate.set()
+            fleet.close()
+
+    def test_undelivered_outcomes_travel(self, qam_groups):
+        """An inline install whose outcome the source never absorbed must
+        reach the destination supervisor, not vanish."""
+        fleet, session = two_shard_fleet(qam_groups, with_policy=True)
+        sid = session.session_id
+        with fleet:
+            src, dst = fleet.shards
+            src._submit_retrain(session)  # inline: installs synchronously
+            assert session.stats.retrains == 1
+            # outcome still queued on the source worker; migrate before a step
+            fleet.migrate(sid, 1)
+            assert src.worker.take_outcomes() == []
+            dst.step()
+            assert dst.supervisor.state(sid) == "idle"  # install absorbed here
+
+    def test_import_refuses_duplicates_and_draining(self, qam_groups):
+        fleet, session = two_shard_fleet(qam_groups, with_policy=False)
+        with fleet:
+            other = build_sessions(qam_groups, with_policy=False, seed=7)[0]
+            fleet.shards[1].add_session(other)
+            with pytest.raises(ValueError, match="duplicate"):
+                fleet.shards[1].import_session(other)
+            exported = build_sessions(qam_groups, with_policy=False, seed=8)[2]
+            exported.draining = True
+            with pytest.raises(ValueError, match="draining"):
+                fleet.shards[1].import_session(exported)
+
+
+# ---------------------------------------------------------------------------
+# Fleet load driver
+
+
+class TestFleetLoad:
+    def test_migration_plan_validates(self):
+        with pytest.raises(ValueError, match="round"):
+            MigrationPlan("s", round=-1, dest_shard=0)
+        with pytest.raises(ValueError, match="dest_shard"):
+            MigrationPlan("s", round=0, dest_shard=-1)
+
+    def test_departed_session_migration_is_skipped(self, qam_groups):
+        fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+        sessions = build_sessions(qam_groups, with_policy=False)[:2]
+        for s in sessions:
+            fleet.add_session(s)
+        traffic = make_traffic(qam_groups, [s.session_id for s in sessions])
+        with fleet:
+            stats = run_fleet_load(
+                fleet,
+                traffic,
+                migrations=[MigrationPlan("not-there", round=1, dest_shard=1)],
+                max_rounds=200,
+            )
+        assert fleet.migrations == 0
+        assert stats.frames_served == 2 * N_FRAMES
+
+    def test_conservation_across_shards(self, qam_groups, reference):
+        run = fleet_serve(qam_groups, n_shards=4, placement_seed=3)
+        assert run[2].frames_served == reference[2].frames_served
+        assert run[2].symbols_served == reference[2].symbols_served
+        assert run[2].frames_dropped == 0
+
+    def test_stall_raises(self, qam_groups):
+        fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+        session = build_sessions(qam_groups, with_policy=False)[0]
+        fleet.add_session(session)
+        frame = generate_traffic(
+            qam_groups[0], FC, 1, SteadyChannel(AWGNFactory(8.0, 4)), 3
+        )[0]
+        with fleet:
+            fleet.submit(session.session_id, frame)
+            session.state = "retraining"  # wedged outside SERVING, no job
+            with pytest.raises(RuntimeError, match="stalled"):
+                run_fleet_load(fleet, {session.session_id: []}, max_rounds=50)
+            session.state = SERVING  # unwedge so close() drains cleanly
+
+
+# ---------------------------------------------------------------------------
+# Fleet telemetry: merge, metrics, snapshot
+
+
+class TestFleetTelemetry:
+    def test_merged_stats_equal_shard_sums(self, qam_groups):
+        llrs, _, stats = fleet_serve(qam_groups, n_shards=4, placement_seed=3)
+        assert stats.frames_served == N_SESSIONS * N_FRAMES
+        assert stats.joins == N_SESSIONS
+        assert sum(len(v) for v in llrs.values()) == N_SESSIONS * N_FRAMES
+        assert stats.queue_wait.count == N_SESSIONS * N_FRAMES
+
+    def test_snapshot_breakdown(self, qam_groups):
+        fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+        sessions = build_sessions(qam_groups, with_policy=False)[:2]
+        for s in sessions:
+            fleet.add_session(s)
+        traffic = make_traffic(qam_groups, [s.session_id for s in sessions])
+        with fleet:
+            run_fleet_load(fleet, traffic, max_rounds=200)
+            snap = fleet.snapshot()
+        assert snap["n_shards"] == 2
+        assert len(snap["shards"]) == 2
+        assert snap["merged"]["frames_served"] == sum(
+            s["frames_served"] for s in snap["shards"]
+        )
+        assert snap["sessions"] == 2
+
+    def test_shard_labelled_metrics_merge(self, qam_groups):
+        fleet = FleetFrontEnd(2, config=EngineConfig(max_batch=8), parallel=False)
+        sessions = build_sessions(qam_groups, with_policy=False)[:2]
+        for i, s in enumerate(sessions):
+            fleet.add_session(s, shard=i)
+        traffic = make_traffic(qam_groups, [s.session_id for s in sessions])
+        with fleet:
+            registries = fleet.register_metrics()
+            assert len(registries) == 2
+            run_fleet_load(fleet, traffic, max_rounds=200)
+            merged = fleet.metrics()
+        rows = {
+            (inst.name, tuple(sorted(inst.labels.items()))): inst.value
+            for inst in merged.collect()
+            if inst.kind != "histogram"
+        }
+        per_shard = [
+            rows[("serving_engine_frames_served", (("shard", str(i)),))]
+            for i in range(2)
+        ]
+        assert sum(per_shard) == 2 * N_FRAMES
+        assert all(v > 0 for v in per_shard)
+        # session instruments carry the shard label too
+        assert any(
+            name == "serving_session_frames_served"
+            and dict(labels).get("shard") == "0"
+            for (name, labels) in rows
+        )
+
+    def test_metrics_requires_registration(self):
+        with FleetFrontEnd(1, parallel=False) as fleet:
+            with pytest.raises(RuntimeError, match="register_metrics"):
+                fleet.metrics()

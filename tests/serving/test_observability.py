@@ -33,6 +33,7 @@ from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
     DEGRADED,
+    EngineConfig,
     MetricsRegistry,
     RetrainSupervisor,
     RoundProfiler,
@@ -96,7 +97,7 @@ def serve(qam, *, max_batch, retrain_workers, tracer=None, profiler=None,
           registry=None, jump=True, with_policy=True):
     """One full serving run; returns outputs, timelines and the engine."""
     llrs = {}
-    engine = ServingEngine(
+    engine = ServingEngine(config=EngineConfig(
         max_batch=max_batch,
         retrain_workers=retrain_workers,
         tracer=tracer,
@@ -104,7 +105,7 @@ def serve(qam, *, max_batch, retrain_workers, tracer=None, profiler=None,
         on_frame=lambda s, f, block, rep: llrs.setdefault(s.session_id, []).append(
             block.copy()
         ),
-    )
+    ))
     if registry is not None:
         engine.register_metrics(registry)
     sessions = build_fleet(
@@ -357,9 +358,11 @@ class TestMetricsRegistry:
 # stats re-registration + snapshot schema (satellite a)
 # ---------------------------------------------------------------------------
 class TestStatsRegistration:
-    def test_snapshots_carry_schema_3(self):
-        assert SessionStats().snapshot()["schema"] == 3
-        assert EngineStats().snapshot()["schema"] == 3
+    def test_snapshots_carry_the_schema_version(self):
+        from repro.serving import SCHEMA_VERSION
+
+        assert SessionStats().snapshot()["schema"] == SCHEMA_VERSION
+        assert EngineStats().snapshot()["schema"] == SCHEMA_VERSION
 
     def test_failure_summary_aggregates_the_log(self):
         from repro.serving import FailureRecord
@@ -580,7 +583,7 @@ class TestProfilerAndFaultEvents:
 
     def test_hard_removal_traces_drop_and_leave(self, qam16):
         tracer = Tracer()
-        engine = ServingEngine(tracer=tracer)
+        engine = ServingEngine(config=EngineConfig(tracer=tracer))
         sessions = build_fleet(
             engine, 2, HybridDemapper(constellation=qam16, sigma2=SIGMA2),
             monitor_factory=lambda: PilotBERMonitor(0.5, window=2),
@@ -613,11 +616,11 @@ class TestProfilerAndFaultEvents:
             raise RuntimeError("released late")
 
         tracer = Tracer()
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             retrain_workers=1,
             supervisor=RetrainSupervisor(max_failures=1, deadline_rounds=3),
             tracer=tracer,
-        )
+        ))
         registry = engine.register_metrics(MetricsRegistry())
         session = engine.add_session(
             DemapperSession(
@@ -665,7 +668,7 @@ class TestProfilerAndFaultEvents:
         from repro.serving import DemapperSession
 
         tracer = Tracer()
-        engine = ServingEngine(tracer=tracer)
+        engine = ServingEngine(config=EngineConfig(tracer=tracer))
         engine.add_session(
             DemapperSession(
                 "s",
@@ -720,8 +723,10 @@ class TestObsReport:
 
     def test_export_structure_and_round_trip(self, run_doc):
         doc, path, engine = run_doc
-        assert doc["schema"] == 1
-        assert doc["engine"]["schema"] == 3
+        from repro.serving import SCHEMA_VERSION
+
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["engine"]["schema"] == SCHEMA_VERSION
         assert len(doc["sessions"]) == N_SESSIONS
         assert set(doc["health"]) == set(doc["sessions"])
         assert doc["trace"]["events"] and doc["profile"]["phases"]
@@ -733,7 +738,7 @@ class TestObsReport:
 
     def test_export_includes_departed_sessions_when_passed(self, qam16):
         tracer = Tracer()
-        engine = ServingEngine(tracer=tracer)
+        engine = ServingEngine(config=EngineConfig(tracer=tracer))
         sessions = build_fleet(
             engine, 2, HybridDemapper(constellation=qam16, sigma2=SIGMA2),
             monitor_factory=lambda: PilotBERMonitor(0.5, window=2),

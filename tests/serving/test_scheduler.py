@@ -14,6 +14,7 @@ from repro.extraction.monitor import DegradationMonitor
 from repro.link.frames import FrameConfig, build_frame
 from repro.modulation import qam_constellation
 from repro.serving import (
+    EngineConfig,
     HEALTHY,
     DeficitRoundRobin,
     DemapperSession,
@@ -326,7 +327,7 @@ class TestAdaptiveWeightsInEngine:
     """End-to-end: the controller steers a backlogged session's share."""
 
     def build(self, *, controller):
-        engine = ServingEngine(weight_controller=controller)
+        engine = ServingEngine(config=EngineConfig(weight_controller=controller))
         qam = qam_constellation(16)
         hot = engine.add_session(make_session("hot", queue_depth=16, const=qam))
         cold = engine.add_session(make_session("cold", queue_depth=16, const=qam))
@@ -381,9 +382,9 @@ class TestAdaptiveWeightsInEngine:
 class TestWeightedEngineRounds:
     def test_weighted_round_serves_proportionally_in_order(self):
         served = []
-        engine = ServingEngine(
+        engine = ServingEngine(config=EngineConfig(
             on_frame=lambda s, f, llrs, rep: served.append((s.session_id, f.seq))
-        )
+        ))
         qam = qam_constellation(16)
         heavy = engine.add_session(make_session("h", weight=3.0, const=qam))
         light = engine.add_session(make_session("l", weight=1.0, const=qam))
