@@ -46,6 +46,7 @@ _RESULTS: list[dict] = []
 _ENV_BENCH_NAMES = frozenset(
     {
         "maxlog_llrs[numba]",
+        "viterbi_decode[numba]",
         "serving_fleet[numpy]",
         "serving_fleet_single[numpy]",
     }
@@ -73,6 +74,9 @@ _CORE_BENCH_NAMES = frozenset(
         "serving_churn[numpy]",
         "serving_churn_sequential[numpy]",
         "serving_faulted[numpy]",
+        "serving_coded[numpy]",
+        "viterbi_decode[python]",
+        "viterbi_decode[numpy]",
         "ann_forward",
         "quantized_hard_bits",
         "e2e_train_step",
@@ -319,6 +323,67 @@ def test_sweep_multi_vs_sequential_numpy(benchmark, sweep_stream):
 
 def test_sweep_multi_vs_sequential_numpy32(benchmark, sweep_stream):
     _bench_sweep_tier(benchmark, sweep_stream, "numpy32")
+
+
+# -- Viterbi decoding section -------------------------------------------------
+# The coded serving path's ACS inner loop: soft-decision Viterbi on the
+# K=7 (171,133) industry-standard rate-1/2 code, ~1 kbit of info per decode.
+# Three tiers share the trellis tables: the pure-python reference ACS,
+# the vectorised NumPy kernel, and (when installed) the numba kernel —
+# check_bench gates numba at >= 5x pure python.
+
+VIT_INFO_BITS = 1024
+VIT_GENERATORS = (0o171, 0o133)
+VIT_K = 7
+
+
+@pytest.fixture(scope="module")
+def viterbi_workload():
+    from repro.ecc import ConvolutionalCode
+
+    code = ConvolutionalCode(VIT_GENERATORS, VIT_K)
+    rng = np.random.default_rng(21)
+    bits = rng.integers(0, 2, VIT_INFO_BITS).astype(np.int8)
+    coded = code.encode(bits).astype(np.float64)
+    # mildly noisy LLRs: the decode is still exact, so every tier's result
+    # can be verified against the transmitted bits before it is timed
+    llrs = (2.0 * coded - 1.0) * 4.0 + rng.normal(scale=1.0, size=coded.size)
+    return code, llrs.reshape(-1, code.n_out), bits
+
+
+def _bench_viterbi_tier(benchmark, viterbi_workload, tier, backend):
+    code, llrs, bits = viterbi_workload
+    res = code.decode_soft(llrs, backend=backend)  # warm trellis/JIT caches
+    assert np.array_equal(res.data, bits)
+    benchmark(code.decode_soft, llrs, backend=backend)
+    _record(
+        benchmark, f"viterbi_decode[{tier}]", symbols=VIT_INFO_BITS,
+        extra={"backend": tier, "unit": "info_bits",
+               "constraint_length": VIT_K, "n_out": code.n_out},
+    )
+
+
+def test_viterbi_decode_python(benchmark, viterbi_workload):
+    """The pure-python reference ACS (the parity baseline every kernel
+    must match bit-for-bit)."""
+    _bench_viterbi_tier(benchmark, viterbi_workload, "python", None)
+
+
+def test_viterbi_decode_numpy(benchmark, viterbi_workload):
+    from repro.backend import backend_from_name
+
+    _bench_viterbi_tier(
+        benchmark, viterbi_workload, "numpy", backend_from_name("numpy")
+    )
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+def test_viterbi_decode_numba(benchmark, viterbi_workload):
+    from repro.backend import backend_from_name
+
+    _bench_viterbi_tier(
+        benchmark, viterbi_workload, "numba", backend_from_name("numba")
+    )
 
 
 # -- serving section ----------------------------------------------------------
@@ -839,6 +904,72 @@ def test_serving_faulted_overhead(benchmark):
     # every failure was recorded (none raised, none dropped)
     assert all(s.health == "healthy" for s in sessions)
     assert engine.telemetry.retrain_failures == len(engine.telemetry.failure_log)
+
+
+def test_serving_coded_throughput(benchmark):
+    """Coded serving round: demap + batched per-code Viterbi + CRC.
+
+    The full fleet carries a shared ``CodedFrameConfig`` (K=3 (7,5) code,
+    CRC-16, interleaved), so every round coalesces the demap *and* the
+    64 sessions' decodes share one trellis-table dispatch.  Records the
+    aggregate decoded info bits/s — ``check_bench.py`` holds an absolute
+    floor on it — and asserts the decode stage is live and clean at 8 dB.
+    """
+    from repro.channels import sigma2_from_snr
+    from repro.channels.factories import AWGNFactory
+    from repro.extraction import HybridDemapper, PilotBERMonitor
+    from repro.link.frames import FrameConfig
+    from repro.serving import (
+        CodedFrameConfig,
+        EngineConfig,
+        ServingEngine,
+        SessionConfig,
+        SteadyChannel,
+        build_fleet,
+        coded_layout,
+        generate_traffic,
+    )
+
+    fc = FrameConfig(pilot_symbols=32, payload_symbols=224)
+    qam = qam_constellation(16)
+    sigma2 = sigma2_from_snr(8.0, 4)
+    coded = CodedFrameConfig()
+    layout = coded_layout(coded, fc.payload_symbols * 4)
+    engine = ServingEngine(config=EngineConfig(max_batch=SERVE_SESSIONS))
+    sessions = build_fleet(
+        engine,
+        SERVE_SESSIONS,
+        HybridDemapper(constellation=qam, sigma2=sigma2),
+        monitor_factory=lambda: PilotBERMonitor(0.5, window=4),
+        config=SessionConfig(frame=fc, queue_depth=2, coded=coded),
+        seed=3,
+    )
+    rng = np.random.default_rng(11)
+    chan = SteadyChannel(AWGNFactory(8.0, 4))
+    frames = {
+        s.session_id: generate_traffic(qam, fc, 1, chan, r, coded=coded)[0]
+        for s, r in zip(sessions, rng.spawn(SERVE_SESSIONS))
+    }
+    info_bits = SERVE_SESSIONS * layout.n_info
+
+    def coded_round():
+        for s in sessions:
+            s.submit(frames[s.session_id])
+        return engine.step()
+
+    assert coded_round() == SERVE_SESSIONS  # warm workspace; full occupancy
+    assert engine.telemetry.frames_decoded == SERVE_SESSIONS  # decode is live
+    assert engine.telemetry.crc_failures == 0  # 8 dB AWGN: clean decodes
+    benchmark.pedantic(
+        coded_round, rounds=SERVE_ROUNDS, iterations=1, warmup_rounds=1
+    )
+    _record(
+        benchmark, "serving_coded[numpy]", symbols=info_bits,
+        extra={"backend": "numpy", "sessions": SERVE_SESSIONS,
+               "unit": "info_bits", "info_bits_per_frame": layout.n_info,
+               "frame_symbols": fc.total_symbols,
+               "constraint_length": coded.constraint_length},
+    )
 
 
 def _fleet_and_round(n_shards, *, parallel, fc, qams, sigma2):

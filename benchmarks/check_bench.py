@@ -22,12 +22,16 @@ micro-benchmark suite (which rewrites the artifact in place), and compares:
      untraced engine — observability overhead capped at ~10%,
    * batched multi-sigma sweep >= sequential per-SNR launches (both tiers),
    * max-log demapping >= 1e6 sym/s (the historical floor, generous on any
-     hardware this decade).
+     hardware this decade),
+   * coded serving >= 2e4 decoded info bits/s (absolute floor on the
+     ``serving_coded[numpy]`` round: demap + batched Viterbi + CRC).
 3. **Environment-conditional ratio gates** — same invariant style, but the
    underlying benchmark only runs on capable machines, so an absent pair is
    a skip, not a failure:
    * 4-shard ``FleetFrontEnd`` >= 1.8x the single-shard fleet on the same
-     64-session workload (recorded only on >= 4-core machines).
+     64-session workload (recorded only on >= 4-core machines),
+   * numba ``viterbi_decode`` >= 5x the pure-python reference ACS
+     (recorded only where numba is installed).
 
 Exit code 0 = gate passed; 1 = regression (or missing artifact/benchmark).
 
@@ -67,6 +71,7 @@ RATIO_GATES = [
 #: failed: a <4-core runner never records the fleet pair.
 ENV_RATIO_GATES = [
     ("serving_fleet[numpy]", "serving_fleet_single[numpy]", 1.8),
+    ("viterbi_decode[numba]", "viterbi_decode[python]", 5.0),
 ]
 
 #: Benchmark names that only capable environments record; their absence from
@@ -75,15 +80,18 @@ ENV_RATIO_GATES = [
 ENV_BENCH_NAMES = frozenset(
     {
         "maxlog_llrs[numba]",
+        "viterbi_decode[numba]",
         "serving_fleet[numpy]",
         "serving_fleet_single[numpy]",
     }
 )
 
 #: (benchmark, sym/s floor) — absolute floors low enough to be
-#: machine-independent in practice.
+#: machine-independent in practice.  ``serving_coded`` counts decoded info
+#: bits: the measured rate is ~1e5/s, the floor leaves 5x headroom.
 ABSOLUTE_FLOORS = [
     ("maxlog_llrs[numpy]", 1e6),
+    ("serving_coded[numpy]", 2e4),
 ]
 
 

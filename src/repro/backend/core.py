@@ -17,6 +17,12 @@ numba    Numba-JIT fused kernels; **silently** falls back to ``numpy`` when
 :func:`set_backend`/:func:`use_backend` override it for the process /
 a scope.  Backend instances are cached per tier so their workspaces (and
 Numba's compiled kernels) are shared across all call sites.
+
+Every tier serves the same kernel surface: the demapping kernels
+(``maxlog_llrs``/``logmap_llrs`` and their multi-sigma forms,
+``hard_indices``), the decoding kernel (``viterbi_decode`` — the soft
+Viterbi ACS the coded serving path dispatches), and the dense-algebra
+helpers (``linear``/``gemm``/``gemm_i64``).
 """
 
 from __future__ import annotations

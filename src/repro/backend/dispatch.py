@@ -30,7 +30,13 @@ import numpy as np
 from repro.backend.bitsets import PaddedBitSets
 from repro.backend.core import get_backend
 
-__all__ = ["DemapRequest", "group_requests", "batched_maxlog_llrs", "grouped_maxlog_llrs"]
+__all__ = [
+    "DemapRequest",
+    "group_requests",
+    "batched_maxlog_llrs",
+    "grouped_maxlog_llrs",
+    "grouped_viterbi_decode",
+]
 
 
 @dataclass(frozen=True)
@@ -205,4 +211,61 @@ def grouped_maxlog_llrs(
                 results[i] = outs[i]
             else:
                 results[i] = llrs[row].copy()
+    return results
+
+
+def grouped_viterbi_decode(
+    code,
+    llr_blocks: np.ndarray,
+    *,
+    backend=None,
+    key: str = "vit",
+) -> list[tuple[np.ndarray, float]]:
+    """Soft-decision Viterbi over a stack of equal-geometry LLR blocks.
+
+    The coded sibling of :func:`batched_maxlog_llrs`: callers (the serving
+    engine) group coalesced frames by their
+    :class:`~repro.serving.coding.CodedFrameConfig`, so every block of a
+    launch shares ``code``'s trellis — the (cached) transition/output
+    tables are fetched once and the per-block branch metrics land in one
+    ``key``-namespaced workspace tensor, not one allocation per frame.
+
+    Parameters
+    ----------
+    code:
+        A :class:`~repro.ecc.convolutional.ConvolutionalCode` (anything
+        with ``trellis_tables()``, ``n_states`` and ``n_out``).
+    llr_blocks:
+        ``(R, n_steps, n_out)`` deinterleaved LLR stack — row ``r`` is one
+        frame's coded payload in trellis-step order.
+    backend:
+        Backend instance to dispatch ``viterbi_decode`` on (default: the
+        process-wide one).
+
+    Returns
+    -------
+    Per-block ``(bits, path_metric)`` tuples in row order, where ``bits``
+    is the full int8 decoded path (termination tail included — callers
+    slice ``bits[:n_steps - (K - 1)]``).  Each row's result is a pure
+    function of that row's LLRs alone (the ACS never mixes rows), and on
+    every tier it is bit-identical to ``code.decode_soft`` on the single
+    block — the decode analogue of the demap grouping contract.
+    """
+    be = backend if backend is not None else get_backend()
+    blocks = np.asarray(llr_blocks, dtype=np.float64)
+    if blocks.ndim != 3:
+        raise ValueError(
+            f"llr_blocks must be (R, n_steps, n_out), got shape {blocks.shape}"
+        )
+    r, n_steps, n_out = blocks.shape
+    if n_out != code.n_out:
+        raise ValueError(f"blocks carry {n_out} LLRs per step, code emits {code.n_out}")
+    src, inb, outputs = code.trellis_tables()
+    bm = be.scratch(f"{key}_bm", (r, n_steps, code.n_states, 2), dtype=np.float64)
+    results: list[tuple[np.ndarray, float]] = []
+    for row in range(r):
+        # per-row einsum: exactly the reference decode_soft contraction, so
+        # batch composition can never perturb a block's branch metrics
+        np.einsum("tj,sbj->tsb", blocks[row], outputs, out=bm[row])
+        results.append(be.viterbi_decode(bm[row], src, inb, key=key))
     return results

@@ -171,6 +171,38 @@ def _get_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba install
             out[i] = arg
 
     @njit(cache=True)
+    def viterbi(bm, src, inb, prev, bits):
+        # terminated-trellis ACS + traceback; strict `>` on arrival 1
+        # replicates the NumPy reference's first-wins argmax tie-breaking,
+        # and each arrival is the same single IEEE double add
+        n_steps = bm.shape[0]
+        n_states = bm.shape[1]
+        metric = np.empty(n_states, dtype=np.float64)
+        nxt = np.empty(n_states, dtype=np.float64)
+        for s in range(n_states):
+            metric[s] = -np.inf
+        metric[0] = 0.0
+        for t in range(n_steps):
+            for s in range(n_states):
+                s0 = src[s, 0]
+                s1 = src[s, 1]
+                a0 = metric[s0] + bm[t, s0, inb[s, 0]]
+                a1 = metric[s1] + bm[t, s1, inb[s, 1]]
+                if a1 > a0:
+                    nxt[s] = a1
+                    prev[t, s] = s1
+                else:
+                    nxt[s] = a0
+                    prev[t, s] = s0
+            for s in range(n_states):
+                metric[s] = nxt[s]
+        state = 0
+        for t in range(n_steps - 1, -1, -1):
+            bits[t] = state & 1
+            state = prev[t, state]
+        return metric[0]
+
+    @njit(cache=True)
     def gemm_i64(x, w, bias, out):
         n, kin = x.shape
         kout = w.shape[0]
@@ -187,6 +219,7 @@ def _get_kernels() -> SimpleNamespace:  # pragma: no cover - needs numba install
         maxlog_multi=maxlog_multi,
         logmap_multi=logmap_multi,
         hard=hard,
+        viterbi=viterbi,
         gemm_i64=gemm_i64,
     )
     return _kernels
@@ -259,6 +292,20 @@ class NumbaBackend(NumpyBackend):
         out = np.empty(yr.size, dtype=np.intp)
         self._k.hard(yr, yi, c_re, c_im, out)
         return out.reshape(y.shape) if y.ndim != 1 else out
+
+    def viterbi_decode(self, branch_metrics, src, inb, *, key="viterbi"):  # pragma: no cover - needs numba
+        bm = np.ascontiguousarray(np.asarray(branch_metrics, dtype=np.float64))
+        if bm.ndim != 3 or bm.shape[2] != 2:
+            raise ValueError(
+                f"branch_metrics must be (n_steps, n_states, 2), got {bm.shape}"
+            )
+        n_steps, n_states = bm.shape[0], bm.shape[1]
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        inb = np.ascontiguousarray(inb, dtype=np.int64)
+        prev = self.scratch(key + "_prev", (n_steps, n_states), dtype=np.int64)
+        bits = np.empty(n_steps, dtype=np.int8)
+        metric = self._k.viterbi(bm, src, inb, prev, bits)
+        return bits, float(metric)
 
     def gemm_i64(self, x, weight, bias=None):  # pragma: no cover - needs numba
         x = np.ascontiguousarray(x, dtype=np.int64)

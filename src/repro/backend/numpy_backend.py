@@ -370,6 +370,79 @@ class NumpyBackend:
             np.argmin(d2, axis=0, out=out[start:stop])
         return out.reshape(y.shape) if y.ndim != 1 else out
 
+    # -- decoding kernels ----------------------------------------------------
+    def viterbi_decode(
+        self,
+        branch_metrics: np.ndarray,
+        src: np.ndarray,
+        inb: np.ndarray,
+        *,
+        key: str = "viterbi",
+    ) -> tuple[np.ndarray, float]:
+        """Terminated-trellis Viterbi ACS + traceback over branch metrics.
+
+        ``branch_metrics[t, s, b]`` is the (finite) metric of leaving state
+        ``s`` with input bit ``b`` at step ``t``; ``src``/``inb`` are the
+        destination-grouped ``(n_states, 2)`` arrival tables
+        (:meth:`repro.ecc.convolutional.ConvolutionalCode.trellis_tables`).
+        Starts and ends in state 0; the input bit that led into a state is
+        its LSB, so traceback only needs predecessor states.  Returns
+        ``(bits, path_metric)`` — the full decoded path as int8 ``(T,)``
+        (termination tail included; callers slice it off) and the winning
+        terminated metric.
+
+        Bit-identical to ``ConvolutionalCode._viterbi`` on both NumPy
+        tiers: the ACS intermediates are pinned to float64 scratch (the
+        float32 tier inherits the method unchanged), each arrival is the
+        same single IEEE add, and ties select arrival 0 exactly like the
+        reference's first-wins ``argmax``.  Everything but the returned bit
+        vector lives in ``key``-namespaced workspace scratch.
+        """
+        bm = np.ascontiguousarray(np.asarray(branch_metrics, dtype=np.float64))
+        if bm.ndim != 3 or bm.shape[2] != 2:
+            raise ValueError(
+                f"branch_metrics must be (n_steps, n_states, 2), got {bm.shape}"
+            )
+        n_steps, n_states = bm.shape[0], bm.shape[1]
+        src = np.asarray(src, dtype=np.int64)
+        inb = np.asarray(inb, dtype=np.int64)
+        if src.shape != (n_states, 2) or inb.shape != (n_states, 2):
+            raise ValueError(
+                f"src/inb must be ({n_states}, 2) arrival tables, "
+                f"got {src.shape} and {inb.shape}"
+            )
+        metric = self.scratch(key + "_m0", (n_states,), dtype=np.float64)
+        nxt = self.scratch(key + "_m1", (n_states,), dtype=np.float64)
+        arr = self.scratch(key + "_arr", (n_states, 2), dtype=np.float64)
+        gat = self.scratch(key + "_gat", (n_states, 2), dtype=np.float64)
+        win = self.scratch(key + "_win", (n_states,), dtype=np.bool_)
+        prev = self.scratch(key + "_prev", (n_steps, n_states), dtype=np.int64)
+        flat = self.scratch(key + "_flat", (n_states, 2), dtype=np.int64)
+        # flattened (state, bit) gather index into one step's (S, 2) page
+        np.multiply(src, 2, out=flat)
+        np.add(flat, inb, out=flat)
+        metric.fill(-np.inf)
+        metric[0] = 0.0
+        src0, src1 = src[:, 0], src[:, 1]
+        bm_flat = bm.reshape(n_steps, -1)
+        for t in range(n_steps):
+            np.take(metric, src, out=arr)
+            np.take(bm_flat[t], flat, out=gat)
+            np.add(arr, gat, out=arr)                 # arrivals (S, 2)
+            # first-wins argmax: arrival 1 only on a strict improvement
+            np.greater(arr[:, 1], arr[:, 0], out=win)
+            np.copyto(nxt, arr[:, 0])
+            np.copyto(nxt, arr[:, 1], where=win)
+            np.copyto(prev[t], src0)
+            np.copyto(prev[t], src1, where=win)
+            metric, nxt = nxt, metric
+        state = 0
+        bits = np.empty(n_steps, dtype=np.int8)
+        for t in range(n_steps - 1, -1, -1):
+            bits[t] = state & 1
+            state = int(prev[t, state])
+        return bits, float(metric[0])
+
     # -- dense-algebra kernels ----------------------------------------------
     def linear(
         self,

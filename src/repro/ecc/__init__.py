@@ -10,6 +10,15 @@ package provides the outer code machinery:
 * :class:`ExtendedHammingCode` — SECDED variant (detects double errors).
 * :class:`RepetitionCode` — trivial majority-vote code (testing/teaching).
 * CRC-8/16 frame checks, block/random interleavers.
+
+The convolutional code + CRC + interleaver trio is also the substrate of
+the serving stack's coded-traffic path
+(:mod:`repro.serving.coding`): the soft Viterbi ACS there runs through the
+``viterbi_decode`` backend kernel, bit-identical to
+:meth:`ConvolutionalCode.decode_soft`'s pure-NumPy reference.
+
+``from repro.ecc import *`` is a supported, stable surface: ``__all__``
+below is the package's public API, tiered by code family.
 """
 
 from repro.ecc.convolutional import ConvolutionalCode, ViterbiResult
@@ -19,14 +28,18 @@ from repro.ecc.interleaver import BlockInterleaver, RandomInterleaver
 from repro.ecc.repetition import RepetitionCode
 
 __all__ = [
+    # convolutional coding (hard/soft Viterbi — the serving coded path)
     "ConvolutionalCode",
     "ViterbiResult",
+    # block codes (retraining-trigger statistics)
     "HammingCode",
     "ExtendedHammingCode",
     "RepetitionCode",
+    # frame integrity
     "Crc",
     "CRC8_CCITT",
     "CRC16_CCITT",
+    # interleaving (burst-error decorrelation)
     "BlockInterleaver",
     "RandomInterleaver",
 ]

@@ -11,6 +11,13 @@ and max-log on extracted centroids (see ``benchmarks/bench_ext_coded_ber.py``).
 LLR convention matches :mod:`repro.modulation.demapper`: ``llr > 0`` ⇒ bit 1,
 so the correlation metric for a branch emitting coded bits ``c ∈ {0,1}ⁿ``
 is ``Σ_j c_j · llr_j`` (the constant term is path-independent).
+
+The add-compare-select inner loop has two homes: :meth:`ConvolutionalCode.
+_viterbi` is the pure-NumPy reference (a Python loop over trellis steps),
+and ``backend.viterbi_decode`` (:mod:`repro.backend`) is the kernel form
+the serving engine dispatches — same IEEE operations per state, so
+``decode_soft(llrs, backend=...)`` is bit-identical to the reference on
+every tier (pinned by ``tests/backend/test_backend_parity.py``).
 """
 
 from __future__ import annotations
@@ -77,6 +84,10 @@ class ConvolutionalCode:
                     parity ^= t & 1
                     t >>= 1
                 self._outputs[:, b, j] = parity.astype(np.int8)
+        # trellis tables are derived lazily (and cached) — batch decoders
+        # fetch them once per launch instead of re-sorting per block
+        self._trellis: tuple[np.ndarray, np.ndarray] | None = None
+        self._outputs_f64: np.ndarray | None = None
 
     # -- encode -----------------------------------------------------------------
     @property
@@ -109,15 +120,38 @@ class ConvolutionalCode:
         """Transitions grouped by destination: for every next state exactly
         two (source state, input bit) arrivals.  Returns ``(src, inb)`` of
         shape ``(n_states, 2)`` such that
-        ``next_state[src[ns, i], inb[ns, i]] == ns``."""
-        states = np.arange(self.n_states)
-        src_all = np.repeat(states, 2)
-        inb_all = np.tile(np.array([0, 1]), self.n_states)
-        dst_all = self._next_state[src_all, inb_all]
-        order = np.argsort(dst_all, kind="stable")
-        src = src_all[order].reshape(self.n_states, 2)
-        inb = inb_all[order].reshape(self.n_states, 2)
-        return src, inb
+        ``next_state[src[ns, i], inb[ns, i]] == ns``.  Cached: the tables
+        depend only on the (immutable) generator set, and batch decoders
+        share them across every block of a launch."""
+        if self._trellis is None:
+            states = np.arange(self.n_states)
+            src_all = np.repeat(states, 2)
+            inb_all = np.tile(np.array([0, 1]), self.n_states)
+            dst_all = self._next_state[src_all, inb_all]
+            order = np.argsort(dst_all, kind="stable")
+            src = src_all[order].reshape(self.n_states, 2)
+            inb = inb_all[order].reshape(self.n_states, 2)
+            self._trellis = (
+                np.ascontiguousarray(src, dtype=np.int64),
+                np.ascontiguousarray(inb, dtype=np.int64),
+            )
+        return self._trellis
+
+    def trellis_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The kernel decoder's view of the trellis: ``(src, inb, outputs)``.
+
+        ``src``/``inb`` are the destination-grouped ``(n_states, 2)`` int64
+        arrival tables of :meth:`_transition_tables`; ``outputs`` is the
+        per-(state, input) coded-bit table as float64 ``(n_states, 2, n_out)``
+        — the operand ``decode_soft`` contracts LLRs against.  All three are
+        cached and must be treated as read-only (``backend.viterbi_decode``
+        and :func:`repro.backend.dispatch.grouped_viterbi_decode` take them
+        verbatim, so sessions sharing a code share one table set).
+        """
+        src, inb = self._transition_tables()
+        if self._outputs_f64 is None:
+            self._outputs_f64 = self._outputs.astype(np.float64)
+        return src, inb, self._outputs_f64
 
     def _viterbi(self, branch_metrics: np.ndarray) -> ViterbiResult:
         """Max-metric Viterbi over per-step branch metrics.
@@ -158,8 +192,15 @@ class ConvolutionalCode:
         # metric = agreements: Σ_j [c_j == r_j] = Σ_j (2r-1)(2c-1)/2 + const
         return self.decode_soft((2.0 * r - 1.0) * 4.0)  # pseudo-LLRs, llr>0 <=> bit 1
 
-    def decode_soft(self, llrs: np.ndarray) -> ViterbiResult:
-        """Soft-decision Viterbi from LLRs (llr > 0 ⇒ coded bit 1)."""
+    def decode_soft(self, llrs: np.ndarray, *, backend=None) -> ViterbiResult:
+        """Soft-decision Viterbi from LLRs (llr > 0 ⇒ coded bit 1).
+
+        ``backend=None`` runs the pure-NumPy reference ACS
+        (:meth:`_viterbi`); passing a :mod:`repro.backend` instance routes
+        the inner loop through its ``viterbi_decode`` kernel instead —
+        bit-identical decoded bits and path metric on every tier (the
+        backend-parity contract), just faster.
+        """
         l = np.asarray(llrs, dtype=np.float64)
         if l.ndim != 1 and not (l.ndim == 2 and l.shape[1] == self.n_out):
             l = l.ravel()
@@ -169,7 +210,11 @@ class ConvolutionalCode:
             l = l.reshape(-1, self.n_out)
         n_steps = l.shape[0]
         # branch metric: Σ_j out_bit * llr_j  (out_bits precomputed per (s,b))
-        out = self._outputs.astype(np.float64)  # (S, 2, n)
+        src, inb, out = self.trellis_tables()
         bm = np.einsum("tj,sbj->tsb", l, out)
-        result = self._viterbi(bm)
-        return result
+        if backend is None:
+            return self._viterbi(bm)
+        bits, path_metric = backend.viterbi_decode(bm, src, inb)
+        return ViterbiResult(
+            data=bits[: n_steps - (self.k - 1)], path_metric=path_metric
+        )

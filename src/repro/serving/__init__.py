@@ -18,6 +18,11 @@ into an online, *self-adapting* serving system:
   fused launch);
 * :mod:`repro.serving.config` — ``EngineConfig``, the one frozen
   construction config an engine (or every shard of a fleet) is built from;
+* :mod:`repro.serving.coding` — coded traffic: ``CodedFrameConfig``
+  declares a session's payload as an interleaved, CRC-protected
+  convolutional codeword; the shared ``CodedLayout`` (via
+  ``coded_layout``) owns the encode/decode geometry — one trellis table
+  set and one interleaver permutation per (config, frame shape) fleet-wide;
 * :mod:`repro.serving.engine` — the serving loop: schedule, coalesce,
   demap, estimate σ², monitor, climb the adaptation ladder
   (track → retrain);
@@ -68,11 +73,30 @@ Sharded, with live migration::
     stats = run_fleet_load(fleet, traffic,
                            migrations=[MigrationPlan("s001", round=3, dest_shard=2)])
 
+Coded traffic (CRC-triggered adaptation, per-session FER telemetry)::
+
+    coded = CodedFrameConfig()              # K=3 (7,5) code, CRC-16, interleaved
+    config = SessionConfig(coded=coded)
+    build_fleet(engine, 8, hybrid, monitor_factory=..., config=config)
+    traffic = {s.session_id: generate_traffic(..., coded=coded)
+               for s in engine.sessions}
+    stats = run_load(engine, traffic)
+    engine.session("s000").stats.frame_error_rate   # post-FEC FER
+
+The engine routes each coded frame's payload LLRs through deinterleave →
+soft Viterbi (the ``viterbi_decode`` backend kernel, batched per code) →
+CRC check.  A window of CRC failures fires the adaptation ladder exactly
+like pilot-BER degradation — payload-aware triggering — and a failed CRC
+marks the frame *served-with-decode-failure* (still the served leg of the
+conservation ledger, never silently dropped), with ``frame.decoded`` /
+``frame.crc_fail`` trace events and FER / post-FEC-BER telemetry.
+
 ``from repro.serving import *`` is a supported, stable surface: ``__all__``
 below is the package's public API, tiered by subsystem.
 """
 
 from repro.serving.batching import MicroBatch, coalesce, collect_microbatches
+from repro.serving.coding import CodedFrameConfig, CodedLayout, coded_layout
 from repro.serving.config import EngineConfig
 from repro.serving.engine import ServingEngine
 from repro.serving.faults import (
@@ -140,6 +164,10 @@ __all__ = [
     "SessionConfig",
     "ServingFrame",
     "DemapperSession",
+    # coded traffic (FEC layout shared across sessions)
+    "CodedFrameConfig",
+    "CodedLayout",
+    "coded_layout",
     # scheduling + batching
     "MicroBatch",
     "coalesce",

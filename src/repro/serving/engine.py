@@ -26,6 +26,16 @@ channel.  One serving *round* (:meth:`ServingEngine.step`):
    degradation persists — the retraining session pauses, everyone else
    keeps streaming.
 
+Sessions declaring a :class:`~repro.serving.coding.CodedFrameConfig` add a
+decode stage to step 4: the frame's payload LLRs are routed through
+deinterleave → soft Viterbi (the ``viterbi_decode`` backend kernel, one
+launch per coded group so sessions sharing a code share the trellis
+tables) → CRC check.  The verdict feeds a second degradation monitor —
+payload integrity can fire the adaptation ladder even when pilots look
+clean — and per-session FER / post-FEC BER join the telemetry.  A failed
+CRC marks the frame *served-with-decode-failure*: it stays in the served
+leg of the conservation ledger, never silently dropped.
+
 Waves are what reconcile multi-frame quotas with per-frame state: a
 session's *n*-th frame of a round is always demapped with the σ², centroid
 and monitor state left by its frame *n−1*, exactly as if the frames had
@@ -72,6 +82,7 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.extraction.monitor import TIER_RETRAIN, TIER_TRACK
 from repro.link.estimation import estimate_noise_sigma2_batch
 from repro.serving.batching import MicroBatch, coalesce
+from repro.serving.coding import coded_layout
 from repro.serving.config import EngineConfig
 from repro.serving.faults import (
     FailureRecord,
@@ -640,6 +651,30 @@ class ServingEngine:
             ref = be.workspace.scratch(key + "_ref", (s_count, n), dtype=np.complex128)
             np.take(first.points, idx.reshape(-1), out=ref.reshape(-1))
             sigma2_est = estimate_noise_sigma2_batch(ref, stacked_rx, pmask)
+        # coded decode stage: group rows by (coded config, payload bit
+        # budget) so every group shares one CodedLayout — hence one cached
+        # trellis table set and one workspace branch-metric tensor per
+        # launch.  Row-pure (each row's decode sees only its own LLRs), so
+        # the decoded timeline inherits the batching-invariance contract.
+        # Quarantined rows are excluded: non-finite LLRs never reach the ACS.
+        decoded: dict[int, tuple[np.ndarray, bool, float]] = {}
+        coded_groups: dict[tuple, list[int]] = {}
+        for row, session in enumerate(batch.sessions):
+            if session.config.coded is not None and row_ok[row]:
+                plen = (n - int(pilot_syms[row])) * k
+                coded_groups.setdefault((session.config.coded, plen), []).append(row)
+        for gi, ((coded_cfg, plen), rows_) in enumerate(coded_groups.items()):
+            layout = coded_layout(coded_cfg, plen)
+            buf = be.workspace.scratch(
+                f"{key}_coded{gi}", (len(rows_), plen), dtype=np.float64
+            )
+            for i, row in enumerate(rows_):
+                # payload LLRs in symbol-major/bit-minor order — exactly the
+                # order the load generator mapped the coded bits in
+                buf[i] = llrs3[row][~pmask[row]].ravel()
+            results = layout.decode_rows(buf, backend=be, key=f"{key}_vit{gi}")
+            for i, row in enumerate(rows_):
+                decoded[row] = results[i]
         served_frames = s_count
         served_symbols = batch.n_symbols
         for row, (session, frame) in enumerate(zip(batch.sessions, batch.frames)):
@@ -653,13 +688,26 @@ class ServingEngine:
             pe, te = int(pilot_errs[row]), int(total_errs[row])
             pilot_ber = pe / (n_pilot * k) if n_pilot else float("nan")
             payload_ber = (te - pe) / (n_payload * k) if n_payload else float("nan")
+            crc_ok: bool | None = None
+            post_fec_ber = float("nan")
+            if row in decoded:
+                info_hat, crc_ok, _metric = decoded[row]
+                if frame.info_bits is not None:
+                    post_fec_ber = int(
+                        np.count_nonzero(info_hat != np.asarray(frame.info_bits))
+                    ) / info_hat.size
+                self.telemetry.frames_decoded += 1
+                if not crc_ok:
+                    self.telemetry.crc_failures += 1
             fired, tier = self._control_plane(
                 session, frame,
                 pilot_ber,
                 sigma2_est[row] if sigma2_est is not None else None,
+                crc_ok=crc_ok,
             )
             session.stats.record_frame(
-                frame.seq, n, pilot_ber, fired, tier=tier, sigma2=session.sigma2
+                frame.seq, n, pilot_ber, fired, tier=tier, sigma2=session.sigma2,
+                crc_ok=crc_ok, post_fec_ber=post_fec_ber,
             )
             report = ServedFrame(
                 session_id=session.session_id,
@@ -672,11 +720,31 @@ class ServingEngine:
                 sigma2=session.sigma2,
                 queue_wait=batch_start - batch.enqueued_at[row],
                 service_time=service_time,
+                crc_ok=crc_ok,
+                post_fec_ber=post_fec_ber,
             )
             self.telemetry.queue_wait.record(report.queue_wait)
             self.telemetry.service_time.record(service_time)
             session.stats.queue_wait.record(report.queue_wait)
             if tracer is not None:
+                if crc_ok is not None:
+                    tracer.emit_instant(
+                        "frame.decoded",
+                        batch_start,
+                        rnd,
+                        session.session_id,
+                        frame.seq,
+                        {"crc_ok": crc_ok, "post_fec_ber": post_fec_ber},
+                    )
+                    if not crc_ok:
+                        tracer.emit_instant(
+                            "frame.crc_fail",
+                            batch_start,
+                            rnd,
+                            session.session_id,
+                            frame.seq,
+                            {"post_fec_ber": post_fec_ber},
+                        )
                 tracer.emit_instant(
                     "frame.served",
                     batch_start,
@@ -714,11 +782,15 @@ class ServingEngine:
         frame: ServingFrame,
         pilot_ber: float,
         sigma2_est: float | None,
+        *,
+        crc_ok: bool | None = None,
     ) -> tuple[bool, str | None]:
         """Per-frame receiver-state updates: σ² loop, monitor, tier ladder.
 
-        Returns ``(fired, tier)``: whether the monitor fired on this frame,
-        and the adaptation tier chosen for the trigger (``"track"`` /
+        Returns ``(fired, tier)``: whether a trigger fired on this frame —
+        the pilot-BER monitor OR (for coded sessions) the CRC-failure
+        monitor, a payload-aware trigger that fires even when pilots look
+        clean — and the adaptation tier chosen for it (``"track"`` /
         ``"retrain"``, or None when the trigger had no tier to respond
         with).  Runs on the engine thread in the session's own frame order
         — every update is a pure function of the session's traffic, which
@@ -736,9 +808,13 @@ class ServingEngine:
             and sigma2_est == sigma2_est
         ):
             session.observe_sigma2(sigma2_est)
-        # 2. degradation monitor + tiered response
+        # 2. degradation monitors + tiered response.  Both monitors always
+        # observe (their windows/cooldowns must advance frame-by-frame
+        # regardless of the other's verdict), then the triggers are OR-ed:
+        # a CRC-failure window answers with the same ladder as pilot BER.
         fired = session.monitor.observe(pilot_ber)
-        if not fired:
+        crc_fired = session.observe_crc(crc_ok) if crc_ok is not None else False
+        if not fired and not crc_fired:
             monitor = session.monitor
             if (
                 session.config.tracking

@@ -477,6 +477,7 @@ class FaultPlan:
             indices=frame.indices,
             pilot_mask=frame.pilot_mask,
             received=received,
+            info_bits=frame.info_bits,
         )
 
     def corrupt_traffic(

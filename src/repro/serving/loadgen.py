@@ -37,7 +37,9 @@ from repro.channels.base import Channel
 from repro.extraction.hybrid import HybridDemapper
 from repro.extraction.monitor import DegradationMonitor
 from repro.link.frames import build_frame
+from repro.modulation.bits import bits_to_indices, random_bits
 from repro.modulation.constellations import Constellation
+from repro.serving.coding import CodedFrameConfig, coded_layout
 from repro.serving.engine import ServingEngine
 from repro.serving.faults import FaultPlan
 from repro.serving.session import QUARANTINED, DemapperSession, ServingFrame, SessionConfig
@@ -93,6 +95,7 @@ def generate_traffic(
     rng: np.random.Generator | int | None,
     *,
     start_seq: int = 0,
+    coded: CodedFrameConfig | None = None,
 ) -> list[ServingFrame]:
     """Build one session's deterministic frame sequence.
 
@@ -100,22 +103,45 @@ def generate_traffic(
     in :class:`SteadyChannel`).  Two generators are spawned per frame in seq
     order — identical streams whether or not earlier frames were ever
     served, so traffic content never depends on engine behaviour.
+
+    With a ``coded`` config the payload symbols carry an interleaved,
+    CRC-protected convolutional codeword instead of uniform random labels:
+    per frame, random information bits are drawn (from the same per-frame
+    bits generator, after the frame build — the spawn discipline is
+    untouched), encoded through the shared
+    :class:`~repro.serving.coding.CodedLayout`, and mapped onto the payload
+    positions symbol-major/bit-minor.  Pilot symbols keep their
+    frame-builder labels.  The transmitted information bits ride along in
+    ``ServingFrame.info_bits`` for post-FEC BER telemetry.  Pass the same
+    config on the sessions' :class:`~repro.serving.session.SessionConfig`
+    so the engine decodes what was encoded.
     """
     if n_frames < 1:
         raise ValueError("n_frames must be >= 1")
     rng = as_generator(rng)
+    k = constellation.bits_per_symbol
     frames: list[ServingFrame] = []
     for seq in range(start_seq, start_seq + n_frames):
         bits_rng, noise_rng = rng.spawn(2)
         frame = build_frame(frame_config, constellation.order, bits_rng)
+        indices = frame.indices
+        info = None
+        if coded is not None:
+            payload_mask = ~frame.pilot_mask
+            layout = coded_layout(coded, int(payload_mask.sum()) * k)
+            info = random_bits(bits_rng, layout.n_info)
+            payload = layout.encode(info)
+            indices = indices.copy()
+            indices[payload_mask] = bits_to_indices(payload.reshape(-1, k))
         ch = channel(noise_rng, seq)
-        received = ch.forward(constellation.points[frame.indices])
+        received = ch.forward(constellation.points[indices])
         frames.append(
             ServingFrame(
                 seq=seq,
-                indices=frame.indices,
+                indices=indices,
                 pilot_mask=frame.pilot_mask,
                 received=received,
+                info_bits=info,
             )
         )
     return frames

@@ -2,8 +2,10 @@
 
 The serving runtime's counters (:mod:`repro.serving.telemetry`) answer
 "how many?"; the :class:`Tracer` answers "when, and in what order?": every
-frame's lifecycle (``frame.submit`` → ``frame.batched`` → ``frame.served``
-/ ``frame.dropped`` / ``frame.quarantined``), every engine round phase
+frame's lifecycle (``frame.submit`` → ``frame.batched`` →
+``frame.decoded`` (+ ``frame.crc_fail`` on a failed CRC, coded sessions
+only) → ``frame.served`` / ``frame.dropped`` / ``frame.quarantined``),
+every engine round phase
 (``phase.absorb-outcomes`` / ``phase.schedule`` / ``phase.coalesce`` /
 ``phase.demap-launch`` / ``phase.control-plane`` /
 ``phase.retrain-submit``), the retrain lifecycle (``retrain.install`` /

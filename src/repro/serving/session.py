@@ -79,6 +79,7 @@ from repro.extraction.monitor import (
 )
 from repro.extraction.tracking import CentroidTracker
 from repro.link.frames import FrameConfig
+from repro.serving.coding import CodedFrameConfig
 from repro.serving.telemetry import SessionStats
 from repro.utils.rng import as_generator
 
@@ -150,6 +151,13 @@ class SessionConfig:
         ``stats.poison_rejected``) instead of reaching the kernels.  Off by
         default — the check walks every sample, and the post-demap guard
         already quarantines anything that slips through.
+    ``coded``
+        Declare this session's payload symbols as coded traffic
+        (:class:`~repro.serving.coding.CodedFrameConfig`): the engine
+        routes each served frame's payload LLRs through deinterleave →
+        soft Viterbi → CRC check, CRC failures feed a second degradation
+        monitor alongside pilot BER, and per-session FER / post-FEC BER
+        join the telemetry.  ``None`` (the default) serves uncoded.
     """
 
     frame: FrameConfig = FrameConfig()
@@ -160,6 +168,7 @@ class SessionConfig:
     track_attempts: int = 1
     track_residual: float = 0.35
     validate_frames: bool = False
+    coded: CodedFrameConfig | None = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -181,12 +190,19 @@ class ServingFrame:
     ``indices`` are the transmitted symbol labels (known for pilots by
     design; known for payload only because this is a simulation — the engine
     uses payload truth solely for telemetry, never for demapping).
+
+    ``info_bits`` carries the pre-encoding information bits of a *coded*
+    frame (see :class:`~repro.serving.coding.CodedFrameConfig`), again
+    simulation truth used only for post-FEC BER telemetry — the decoder
+    works from LLRs and checks the CRC, never this field.  ``None`` for
+    uncoded traffic.
     """
 
     seq: int
     indices: np.ndarray     # (n,) int symbol labels
     pilot_mask: np.ndarray  # (n,) bool, True where pilot
     received: np.ndarray    # (n,) complex received samples
+    info_bits: np.ndarray | None = None  # coded traffic: transmitted info bits
 
     def __post_init__(self) -> None:
         n = np.asarray(self.received).size
@@ -264,6 +280,20 @@ class DemapperSession:
         self.weight = float(self.config.weight)
         self.stats = SessionStats()
         self.ladder = AdaptationLadder(track_attempts=self.config.track_attempts)
+        #: CRC-failure monitor for coded sessions (None when uncoded): each
+        #: decoded frame contributes 0/1 (pass/fail), windowed exactly like
+        #: pilot BER, so payload integrity can fire the adaptation ladder
+        #: even when pilots still look clean.
+        coded = self.config.coded
+        self.crc_monitor = (
+            DegradationMonitor(
+                coded.crc_fail_threshold,
+                window=coded.crc_fail_window,
+                cooldown=coded.crc_fail_cooldown,
+            )
+            if coded is not None
+            else None
+        )
 
     # -- demapper access / atomic swap --------------------------------------
     @property
@@ -283,6 +313,8 @@ class DemapperSession:
         with self._lock:
             self._hybrid = hybrid
             self.monitor.reset()
+            if self.crc_monitor is not None:
+                self.crc_monitor.reset()
             self.ladder.reset()
             self.state = SERVING
             self.stats.retrains += 1
@@ -310,6 +342,21 @@ class DemapperSession:
         with self._lock:
             self.sigma2 = (1.0 - alpha) * self.sigma2 + alpha * estimate
             return self.sigma2
+
+    def observe_crc(self, crc_ok: bool) -> bool:
+        """Feed one decoded frame's CRC verdict into the payload monitor.
+
+        Contributes 0.0 (pass) or 1.0 (fail) to the session's CRC-failure
+        :class:`~repro.extraction.monitor.DegradationMonitor`; returns True
+        when the windowed failure rate fires — the payload-aware trigger
+        the engine ORs with the pilot-BER trigger.  Called by the engine
+        once per decoded frame, in frame order, so the trigger timeline is
+        a pure function of the session's own traffic.  Always False for
+        uncoded sessions.
+        """
+        if self.crc_monitor is None:
+            return False
+        return self.crc_monitor.observe(0.0 if crc_ok else 1.0)
 
     def set_weight(self, weight: float, *, now: int = 0) -> float:
         """Update the live scheduler weight; records the change in stats.

@@ -29,6 +29,13 @@ contract without guessing.  Both stats classes also re-register every
 field through a :class:`~repro.serving.observability.metrics.
 MetricsRegistry` via :meth:`register_metrics` (live callback views —
 nothing is double-counted and no ``snapshot()`` consumer changes).
+
+**Coded traffic.**  Sessions declaring a
+:class:`~repro.serving.coding.CodedFrameConfig` add a decode dimension:
+``frames_decoded``/``crc_failures`` counters, the per-frame post-FEC BER
+trajectory, the CRC-failure sequence list, and the derived
+``frame_error_rate`` — all per-session in frame order (so they are part of
+the determinism contract) plus fleet-wide on :class:`EngineStats`.
 """
 
 from __future__ import annotations
@@ -48,8 +55,9 @@ __all__ = [
 #: ``FleetFrontEnd.snapshot()``: 1 = PR 3 counters, 2 = churn/control-plane
 #: era, 3 = fault era (failure summary, health counters, quarantine
 #: counts), 4 = fleet era (migration counters, merged fleet snapshots, one
-#: unified version across engine snapshots and run exports).
-SCHEMA_VERSION = 4
+#: unified version across engine snapshots and run exports), 5 = coded era
+#: (decode counters, FER, post-FEC BER trajectory, CRC-failure seqs).
+SCHEMA_VERSION = 5
 
 #: Backwards-compatible alias (pre-fleet name for the same constant).
 SNAPSHOT_SCHEMA = SCHEMA_VERSION
@@ -68,6 +76,8 @@ _SESSION_COUNTER_FIELDS = (
     "retrain_failures",
     "quarantine_refusals",
     "poison_rejected",
+    "frames_decoded",
+    "crc_failures",
 )
 
 #: EngineStats integer counters, in snapshot order.
@@ -93,6 +103,8 @@ _ENGINE_COUNTER_FIELDS = (
     "frames_dropped",
     "migrations_in",
     "migrations_out",
+    "frames_decoded",
+    "crc_failures",
 )
 
 
@@ -105,6 +117,13 @@ class ServedFrame:
     is the session's noise estimate *after* this frame's in-loop pilot
     update.  ``queue_wait``/``service_time`` are simulated-clock symbol
     ticks (see the module docstring).
+
+    Coded sessions additionally carry the decode verdict: ``crc_ok`` is
+    the frame's CRC check (None for uncoded traffic) and ``post_fec_ber``
+    the information-bit error rate after FEC (NaN when uncoded or when the
+    frame carried no truth bits).  A failed CRC does *not* make the frame
+    dropped — it is served-with-decode-failure and stays in the served leg
+    of the conservation ledger.
     """
 
     session_id: str
@@ -117,6 +136,8 @@ class ServedFrame:
     sigma2: float = float("nan")
     queue_wait: int = 0
     service_time: int = 0
+    crc_ok: bool | None = None
+    post_fec_ber: float = float("nan")
 
 
 class LatencyHistogram:
@@ -235,12 +256,23 @@ class SessionStats:
     quarantine_refusals: int = 0
     #: submissions refused by the opt-in ``validate_frames`` finite check
     poison_rejected: int = 0
+    #: served frames that went through the FEC decode path (coded sessions
+    #: only — equals ``frames_served`` there, 0 for uncoded traffic)
+    frames_decoded: int = 0
+    #: decoded frames whose CRC check failed — served-with-decode-failure,
+    #: still in the served leg of the conservation ledger, never dropped
+    crc_failures: int = 0
     trigger_seqs: list[int] = field(default_factory=list)
     #: ``(seq, tier)`` per trigger that got an adaptation response
     tier_timeline: list[tuple[int, str]] = field(default_factory=list)
     pilot_ber_trajectory: list[float] = field(default_factory=list)
     #: session σ² estimate after each served frame's in-loop pilot update
     sigma2_trajectory: list[float] = field(default_factory=list)
+    #: seqs of decoded frames whose CRC failed (frame order, like
+    #: ``trigger_seqs`` — part of the coded determinism contract)
+    crc_fail_seqs: list[int] = field(default_factory=list)
+    #: post-FEC information-bit error rate per decoded frame, frame order
+    post_fec_ber_trajectory: list[float] = field(default_factory=list)
     #: this session's own queue-wait histogram (symbol ticks) — the signal
     #: the engine's :class:`~repro.serving.weights.WeightController` steers
     #: scheduler weights from
@@ -261,6 +293,8 @@ class SessionStats:
         *,
         tier: str | None = None,
         sigma2: float = float("nan"),
+        crc_ok: bool | None = None,
+        post_fec_ber: float = float("nan"),
     ) -> None:
         self.frames_served += 1
         self.symbols_served += n_symbols
@@ -270,6 +304,21 @@ class SessionStats:
             self.trigger_seqs.append(seq)
         if tier is not None:
             self.tier_timeline.append((seq, tier))
+        if crc_ok is not None:
+            self.frames_decoded += 1
+            self.post_fec_ber_trajectory.append(post_fec_ber)
+            if not crc_ok:
+                self.crc_failures += 1
+                self.crc_fail_seqs.append(seq)
+
+    @property
+    def frame_error_rate(self) -> float:
+        """Post-FEC FER: CRC failures per decoded frame (NaN before any)."""
+        return (
+            self.crc_failures / self.frames_decoded
+            if self.frames_decoded
+            else float("nan")
+        )
 
     def register_metrics(
         self,
@@ -290,6 +339,7 @@ class SessionStats:
             registry.counter(prefix + name, labels, fn=lambda f=name: getattr(self, f))
         registry.histogram(prefix + "queue_wait", labels, source=lambda: self.queue_wait)
         registry.gauge(prefix + "triggers", labels, fn=lambda: len(self.trigger_seqs))
+        registry.gauge(prefix + "fer", labels, fn=lambda: self.frame_error_rate)
 
     def snapshot(self) -> dict:
         """Plain-dict copy (lists copied) for logging/JSON."""
@@ -306,10 +356,15 @@ class SessionStats:
             "retrain_failures": self.retrain_failures,
             "quarantine_refusals": self.quarantine_refusals,
             "poison_rejected": self.poison_rejected,
+            "frames_decoded": self.frames_decoded,
+            "crc_failures": self.crc_failures,
+            "frame_error_rate": self.frame_error_rate,
             "trigger_seqs": list(self.trigger_seqs),
             "tier_timeline": list(self.tier_timeline),
             "pilot_ber_trajectory": list(self.pilot_ber_trajectory),
             "sigma2_trajectory": list(self.sigma2_trajectory),
+            "crc_fail_seqs": list(self.crc_fail_seqs),
+            "post_fec_ber_trajectory": list(self.post_fec_ber_trajectory),
             "queue_wait": self.queue_wait.snapshot(),
             "weight_timeline": list(self.weight_timeline),
             "health_timeline": list(self.health_timeline),
@@ -371,6 +426,10 @@ class EngineStats:
     #: sessions handed over to another shard (``export_session``) — counted
     #: as a leave too; nothing is dropped on this path
     migrations_out: int = 0
+    #: served frames routed through the FEC decode path, fleet-wide
+    frames_decoded: int = 0
+    #: decoded frames whose CRC failed, fleet-wide (served, never dropped)
+    crc_failures: int = 0
     #: ``(engine tick, live session count)`` per join/leave — the fleet-size
     #: timeline; churn soaks assert against it, dashboards plot it
     fleet_timeline: list[tuple[int, int]] = field(default_factory=list)
@@ -509,6 +568,8 @@ class EngineStats:
             "frames_dropped": self.frames_dropped,
             "migrations_in": self.migrations_in,
             "migrations_out": self.migrations_out,
+            "frames_decoded": self.frames_decoded,
+            "crc_failures": self.crc_failures,
             "fleet_timeline": list(self.fleet_timeline),
             "failure_log": [
                 r.as_dict() if hasattr(r, "as_dict") else dict(r)

@@ -1,0 +1,112 @@
+"""Unit tests for the coded-traffic substrate (repro.serving.coding).
+
+The serving suites exercise the happy path end-to-end; these pin the
+config/layout contracts: validation errors, the bit-budget arithmetic,
+the shared-layout cache, and the interleaver on/off geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.coding import CodedFrameConfig, CodedLayout, coded_layout
+
+
+class TestCodedFrameConfig:
+    def test_defaults_are_valid_and_frozen(self):
+        cfg = CodedFrameConfig()
+        assert cfg.generators == (0b111, 0b101)
+        assert cfg.constraint_length == 3
+        assert cfg.crc == "crc16"
+        with pytest.raises(AttributeError):
+            cfg.crc = "crc8"
+
+    def test_generators_normalised_to_int_tuple(self):
+        cfg = CodedFrameConfig(generators=[7.0, 5])
+        assert cfg.generators == (7, 5)
+        assert all(isinstance(g, int) for g in cfg.generators)
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            CodedFrameConfig(generators=(0b111,))  # needs >= 2 generators
+        with pytest.raises(ValueError):
+            CodedFrameConfig(generators=(0, 5))  # zero polynomial
+        with pytest.raises(ValueError):
+            CodedFrameConfig(constraint_length=1)
+
+    def test_unknown_crc_rejected(self):
+        with pytest.raises(ValueError, match="crc"):
+            CodedFrameConfig(crc="crc32")
+
+    def test_monitor_knobs_validated(self):
+        with pytest.raises(ValueError):
+            CodedFrameConfig(crc_fail_threshold=1.5)
+        with pytest.raises(ValueError):
+            CodedFrameConfig(crc_fail_window=0)
+        with pytest.raises(ValueError):
+            CodedFrameConfig(crc_fail_cooldown=-1)
+
+    def test_hashable_and_value_equal(self):
+        a = CodedFrameConfig(generators=(7, 5))
+        b = CodedFrameConfig(generators=[7, 5])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestCodedLayout:
+    def test_bit_budget_arithmetic(self):
+        # 896 payload bits, rate-1/2 K=3, CRC-16: 424 info bits, 12 pad
+        layout = CodedLayout(CodedFrameConfig(), 896)
+        assert layout.n_info == 424
+        assert layout.n_steps == 424 + 16 + 2
+        assert layout.coded_len == 884
+        assert layout.pad == 12
+        assert layout.n_info % 8 == 0
+
+    def test_too_small_payload_rejected(self):
+        with pytest.raises(ValueError, match="payload"):
+            CodedLayout(CodedFrameConfig(), 40)  # < 8 info bits of room
+
+    def test_encode_validates_shape(self):
+        layout = CodedLayout(CodedFrameConfig(), 192)
+        with pytest.raises(ValueError):
+            layout.encode(np.zeros(layout.n_info + 8, dtype=np.int8))
+
+    def test_decode_rows_validates_shape(self):
+        layout = CodedLayout(CodedFrameConfig(), 192)
+        with pytest.raises(ValueError):
+            layout.decode_rows(np.zeros((2, 191)))
+
+    def test_interleave_off_is_plain_codeword_order(self):
+        cfg = CodedFrameConfig(interleave=False)
+        layout = CodedLayout(cfg, 192)
+        assert layout.interleaver is None
+        info = np.random.default_rng(3).integers(0, 2, layout.n_info)
+        payload = layout.encode(info.astype(np.int8))
+        raw = layout.code.encode(layout.crc.append(info.astype(np.int8)))
+        assert np.array_equal(payload[: layout.coded_len], raw)
+        assert not payload[layout.coded_len :].any()  # zero filler
+
+    def test_interleaver_seed_changes_payload_not_result(self):
+        info = np.random.default_rng(4).integers(0, 2, 72).astype(np.int8)
+        a = CodedLayout(CodedFrameConfig(interleaver_seed=1), 192)
+        b = CodedLayout(CodedFrameConfig(interleaver_seed=2), 192)
+        pa, pb = a.encode(info), b.encode(info)
+        assert not np.array_equal(pa, pb)  # different permutations
+        for layout, payload in ((a, pa), (b, pb)):
+            pseudo = (2.0 * payload.astype(np.float64) - 1.0) * 4.0
+            dec, crc_ok, _ = layout.decode(pseudo)
+            assert crc_ok and np.array_equal(dec, info)
+
+    def test_crc_failure_reported_not_raised(self):
+        layout = CodedLayout(CodedFrameConfig(), 192)
+        info = np.random.default_rng(5).integers(0, 2, layout.n_info).astype(np.int8)
+        pseudo = (2.0 * layout.encode(info).astype(np.float64) - 1.0) * 4.0
+        # garble enough payload LLRs that the decode cannot recover
+        pseudo[: layout.coded_len // 2] *= -1.0
+        _, crc_ok, _ = layout.decode(pseudo)
+        assert crc_ok is False
+
+    def test_shared_layout_cache(self):
+        cfg_a = CodedFrameConfig()
+        cfg_b = CodedFrameConfig()  # equal by value
+        assert coded_layout(cfg_a, 896) is coded_layout(cfg_b, 896)
+        assert coded_layout(cfg_a, 896) is not coded_layout(cfg_a, 192)

@@ -24,6 +24,7 @@ from repro.extraction.monitor import PilotBERMonitor
 from repro.link.frames import FrameConfig
 from repro.modulation import qam_constellation
 from repro.serving import (
+    CodedFrameConfig,
     EngineConfig,
     ServingEngine,
     SessionConfig,
@@ -196,3 +197,111 @@ class TestServingDeterminism:
         assert len(alone) == len(crowded) == 4
         for a, c in zip(alone, crowded):
             assert np.array_equal(a, c)
+
+
+# -- coded traffic ------------------------------------------------------------
+
+#: fast-firing CRC monitor so the payload-aware trigger path is exercised
+CODED = CodedFrameConfig(crc_fail_window=2, crc_fail_cooldown=2)
+
+
+def serve_coded(qam, *, max_batch, queue_depth, retrain_workers):
+    """One coded serving run; returns per-session decoded timelines.
+
+    The timeline pins every decoded-bit-derived output: per-frame
+    ``(seq, crc_ok, post_fec_ber)`` reports (post-FEC BER is an exact
+    function of the decoded bits vs the transmitted info bits), the
+    CRC-failure sequence numbers, FER, and the trigger timeline.
+    """
+    reports: dict[str, list] = {}
+    engine = ServingEngine(config=EngineConfig(
+        max_batch=max_batch,
+        retrain_workers=retrain_workers,
+        on_frame=lambda s, f, block, rep: reports.setdefault(
+            s.session_id, []
+        ).append((rep.seq, rep.crc_ok, rep.post_fec_ber)),
+    ))
+    sessions = build_fleet(
+        engine,
+        N_SESSIONS,
+        HybridDemapper(constellation=qam, sigma2=SIGMA2),
+        monitor_factory=lambda: PilotBERMonitor(0.12, window=2, cooldown=2),
+        config=SessionConfig(frame=FC, queue_depth=queue_depth, coded=CODED),
+        retrain_factory=lambda i: RotatePolicy(qam),
+        seed=99,
+    )
+    traffic = {}
+    rng = np.random.default_rng(31)
+    chan_clean = SteadyChannel(AWGNFactory(8.0, 4))
+    chan_jump = SteppedChannel(
+        AWGNFactory(8.0, 4),
+        CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(8.0, 4))),
+        step_seq=4,
+    )
+    for i, s in enumerate(sessions):
+        (srng,) = rng.spawn(1)
+        chan = chan_jump if i % 2 == 0 else chan_clean
+        traffic[s.session_id] = generate_traffic(
+            qam, FC, N_FRAMES, chan, srng, coded=CODED
+        )
+    with engine:
+        run_load(engine, traffic)
+    timelines = {}
+    for s in sessions:
+        st = s.stats
+        timelines[s.session_id] = (
+            tuple(reports[s.session_id]),
+            tuple(st.trigger_seqs),
+            st.retrains,
+            st.frames_decoded,
+            st.crc_failures,
+            tuple(st.crc_fail_seqs),
+            tuple(st.post_fec_ber_trajectory),
+            st.frame_error_rate,
+        )
+    return timelines
+
+
+@pytest.fixture(scope="module")
+def coded_reference(qam16):
+    """Sequential coded reference: inline workers, single-frame batches."""
+    return serve_coded(qam16, max_batch=1, queue_depth=1, retrain_workers=0)
+
+
+class TestCodedServingDeterminism:
+    """Coded sessions inherit the determinism contract unchanged: the
+    decoded-bit timeline (post-FEC BER per frame), CRC-failure seqs, FER
+    and trigger timeline are a pure function of the traffic seed,
+    regardless of micro-batch width, queue depth or worker count."""
+
+    def test_coded_path_actually_exercised(self, coded_reference):
+        """Sanity: the jump half fails CRCs and fires the ladder; the
+        clean half decodes everything (coverage of both trigger legs)."""
+        jump = [t for i, t in enumerate(coded_reference.values()) if i % 2 == 0]
+        clean = [t for i, t in enumerate(coded_reference.values()) if i % 2 == 1]
+        for (_, triggers, _, decoded, failures, fail_seqs, traj, fer) in jump:
+            assert decoded == N_FRAMES and failures > 0 and triggers
+            assert len(fail_seqs) == failures and fer == failures / decoded
+            assert len(traj) == N_FRAMES
+        for (_, _, _, decoded, failures, fail_seqs, traj, fer) in clean:
+            assert decoded == N_FRAMES and failures == 0 and not fail_seqs
+            assert fer == 0.0 and all(b == 0.0 for b in traj)
+
+    @pytest.mark.parametrize("max_batch", [2, 3, 64])
+    def test_invariant_to_micro_batch_width(self, qam16, coded_reference, max_batch):
+        got = serve_coded(qam16, max_batch=max_batch, queue_depth=1, retrain_workers=0)
+        assert got == coded_reference
+
+    @pytest.mark.parametrize("queue_depth", [4, 16])
+    def test_invariant_to_queue_depth(self, qam16, coded_reference, queue_depth):
+        got = serve_coded(
+            qam16, max_batch=64, queue_depth=queue_depth, retrain_workers=0
+        )
+        assert got == coded_reference
+
+    @pytest.mark.parametrize("retrain_workers", [1, 4])
+    def test_invariant_to_worker_threads(self, qam16, coded_reference, retrain_workers):
+        got = serve_coded(
+            qam16, max_batch=64, queue_depth=4, retrain_workers=retrain_workers
+        )
+        assert got == coded_reference

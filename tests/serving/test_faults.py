@@ -50,6 +50,7 @@ from repro.serving import (
     QUARANTINED,
     RETRAINING,
     SERVING,
+    CodedFrameConfig,
     DemapperSession,
     FaultPlan,
     InjectedRetrainError,
@@ -67,6 +68,7 @@ from repro.serving import (
 S10 = sigma2_from_snr(10.0, 4)
 FC = FrameConfig(pilot_symbols=8, payload_symbols=24)
 OFFSET = np.pi / 4
+CODED = CodedFrameConfig()  # K=3 (7,5), CRC-16: 24 info bits in this FC
 
 
 @pytest.fixture(scope="module")
@@ -91,7 +93,7 @@ class RotateStub:
 
 
 def make_session(qam, sid, *, seed=0, queue_depth=4, retrain=None, weight=1.0,
-                 threshold=0.9, tracking=False, validate=False):
+                 threshold=0.9, tracking=False, validate=False, coded=None):
     return DemapperSession(
         sid,
         HybridDemapper(constellation=qam, sigma2=S10),
@@ -99,23 +101,26 @@ def make_session(qam, sid, *, seed=0, queue_depth=4, retrain=None, weight=1.0,
         config=SessionConfig(
             frame=FC, queue_depth=queue_depth, weight=weight,
             sigma2_alpha=0.25, tracking=tracking, validate_frames=validate,
+            coded=coded,
         ),
         retrain=retrain,
         rng=seed,
     )
 
 
-def clean_traffic(qam, n_frames, seed, *, snr=10.0):
-    return generate_traffic(qam, FC, n_frames, SteadyChannel(AWGNFactory(snr, 4)), seed)
+def clean_traffic(qam, n_frames, seed, *, snr=10.0, coded=None):
+    return generate_traffic(
+        qam, FC, n_frames, SteadyChannel(AWGNFactory(snr, 4)), seed, coded=coded
+    )
 
 
-def jump_traffic(qam, n_frames, seed, *, step=4):
+def jump_traffic(qam, n_frames, seed, *, step=4, coded=None):
     chan = SteppedChannel(
         AWGNFactory(10.0, 4),
         CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(10.0, 4))),
         step_seq=step,
     )
-    return generate_traffic(qam, FC, n_frames, chan, seed)
+    return generate_traffic(qam, FC, n_frames, chan, seed, coded=coded)
 
 
 def warp_traffic(qam, n_frames, seed, *, step=4):
@@ -136,6 +141,7 @@ def poison_frame(frame, pos=0):
     return ServingFrame(
         seq=frame.seq, indices=frame.indices,
         pilot_mask=frame.pilot_mask, received=received,
+        info_bits=frame.info_bits,
     )
 
 
@@ -660,16 +666,19 @@ class TestChaosSoak:
             next_id += 1
             (srng,) = rng.spawn(1)
             jumpy = rng.random() < 0.5
+            coded = CODED if rng.random() < 0.4 else None
             session = make_session(
                 qam, sid, seed=int(rng.integers(2**31)), queue_depth=2,
                 retrain=plan.wrap_retrain(sid, RotateStub(qam)) if jumpy else None,
                 threshold=0.12 if jumpy else 0.9,
                 weight=float(rng.choice([0.5, 1.0, 2.0])),
+                coded=coded,
             )
             n_frames = int(rng.integers(8, 25))
             frames = (
-                jump_traffic(qam, n_frames, srng, step=int(rng.integers(2, 6)))
-                if jumpy else clean_traffic(qam, n_frames, srng)
+                jump_traffic(qam, n_frames, srng, step=int(rng.integers(2, 6)),
+                             coded=coded)
+                if jumpy else clean_traffic(qam, n_frames, srng, coded=coded)
             )
             frames = plan.corrupt_traffic(sid, frames)
             engine.add_session(session)
@@ -724,6 +733,17 @@ class TestChaosSoak:
                     + st_.frames_quarantined + session.pending
                     == accepted[sid]
                 ), f"conservation broke for {sid} at round {r}"
+                if session.config.coded is not None:
+                    # CRC-fail frames are served-with-decode-failure: every
+                    # served frame was decoded, failures never leave the
+                    # served leg of the ledger (and never join dropped)
+                    assert st_.frames_decoded == st_.frames_served, (
+                        f"decode ledger broke for {sid} at round {r}"
+                    )
+                    assert st_.crc_failures <= st_.frames_decoded
+                    assert len(st_.crc_fail_seqs) == st_.crc_failures
+                else:
+                    assert st_.frames_decoded == 0 and st_.crc_failures == 0
                 if session.health == QUARANTINED:
                     assert not session.ready
                     assert sid not in credits
@@ -765,6 +785,18 @@ class TestChaosSoak:
         assert total_accepted == total_served + total_dropped + total_quarantined
         assert total_served == tele.frames_served
         assert total_quarantined == tele.frames_quarantined
+        # coded traffic rode through the storm: decode counters reconcile
+        # and CRC failures stayed on the served leg of the ledger
+        coded_sessions = [s for s in sessions if s.config.coded is not None]
+        assert coded_sessions, "no coded session ever joined the soak"
+        assert tele.frames_decoded == sum(
+            s.stats.frames_decoded for s in sessions
+        )
+        assert tele.crc_failures == sum(s.stats.crc_failures for s in sessions)
+        assert tele.frames_decoded == sum(
+            s.stats.frames_served for s in coded_sessions
+        )
+        assert tele.crc_failures > 0  # the storm broke some payloads too
         # degraded sessions were never paused forever: each one's ledger
         # closes (everything it accepted was served or fenced)
         for s in sessions:

@@ -26,6 +26,7 @@ from repro.serving import (
     QUARANTINED,
     SCHEMA_VERSION,
     SERVING,
+    CodedFrameConfig,
     DemapperSession,
     EngineConfig,
     FleetFrontEnd,
@@ -720,3 +721,120 @@ class TestFleetTelemetry:
         with FleetFrontEnd(1, parallel=False) as fleet:
             with pytest.raises(RuntimeError, match="register_metrics"):
                 fleet.metrics()
+
+
+# ---------------------------------------------------------------------------
+# Coded traffic across shards and migrations
+
+#: fast-firing CRC monitor so the payload-aware trigger path is exercised
+CODED = CodedFrameConfig(crc_fail_window=2, crc_fail_cooldown=2)
+
+
+def coded_fleet_serve(qam_groups, *, n_shards, placement_seed=0, migrations=()):
+    """One coded fleet run; returns (per-session decoded timelines, stats).
+
+    Same shape as :func:`fleet_serve`, but every session carries a
+    ``CodedFrameConfig`` and every timeline is decoded-bit-derived:
+    per-frame ``(seq, crc_ok, post_fec_ber)`` reports plus CRC-failure
+    seqs, decode counters and the trigger timeline.
+    """
+    reports: dict[str, list] = {}
+
+    def on_frame(s, f, block, rep):
+        reports.setdefault(s.session_id, []).append(
+            (rep.seq, rep.crc_ok, rep.post_fec_ber)
+        )
+
+    fleet = FleetFrontEnd(
+        n_shards,
+        config_factory=lambda i: EngineConfig(max_batch=64, on_frame=on_frame),
+        placement_seed=placement_seed,
+        parallel=False,
+    )
+    master = np.random.default_rng(43)
+    sessions = []
+    for i in range(N_SESSIONS):
+        (srng,) = master.spawn(1)
+        qam = qam_groups[i % N_GROUPS]
+        sessions.append(
+            DemapperSession(
+                f"s{i:03d}",
+                HybridDemapper(constellation=qam, sigma2=SIGMA2),
+                PilotBERMonitor(0.12, window=2, cooldown=2),
+                config=SessionConfig(frame=FC, queue_depth=4, coded=CODED),
+                retrain=RotatePolicy(qam),
+                rng=srng,
+            )
+        )
+    for s in sessions:
+        fleet.add_session(s)
+    chan_clean = SteadyChannel(AWGNFactory(8.0, 4))
+    chan_jump = SteppedChannel(
+        AWGNFactory(8.0, 4),
+        CompositeFactory((PhaseOffsetFactory(OFFSET), AWGNFactory(8.0, 4))),
+        step_seq=4,
+    )
+    rng = np.random.default_rng(59)
+    traffic = {}
+    for i, s in enumerate(sessions):
+        (srng,) = rng.spawn(1)
+        chan = chan_jump if i % 2 == 0 else chan_clean
+        traffic[s.session_id] = generate_traffic(
+            qam_groups[i % N_GROUPS], FC, N_FRAMES, chan, srng, coded=CODED
+        )
+    with fleet:
+        stats = run_fleet_load(fleet, traffic, migrations=migrations, max_rounds=500)
+    timelines = {
+        s.session_id: (
+            tuple(reports[s.session_id]),
+            tuple(s.stats.trigger_seqs),
+            s.stats.retrains,
+            s.stats.frames_decoded,
+            s.stats.crc_failures,
+            tuple(s.stats.crc_fail_seqs),
+            tuple(s.stats.post_fec_ber_trajectory),
+        )
+        for s in sessions
+    }
+    return timelines, stats
+
+
+@pytest.fixture(scope="module")
+def coded_reference(qam_groups):
+    """The single-shard coded run every sharded placement must reproduce."""
+    return coded_fleet_serve(qam_groups, n_shards=1)
+
+
+class TestCodedFleetInvariance:
+    """Coded sessions inherit the fleet determinism contract unchanged:
+    decoded-bit timelines are invariant to shard count, placement seed and
+    a mid-run migration schedule."""
+
+    def test_coded_path_exercised_and_merged(self, coded_reference):
+        timelines, stats = coded_reference
+        assert stats.frames_decoded == N_SESSIONS * N_FRAMES
+        assert stats.crc_failures == sum(t[4] for t in timelines.values())
+        fired = [t for t in timelines.values() if t[4] > 0]
+        assert len(fired) == N_SESSIONS // 2  # the phase-jump half
+
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_invariant_to_shard_count(self, qam_groups, coded_reference, n_shards):
+        timelines, stats = coded_fleet_serve(
+            qam_groups, n_shards=n_shards, placement_seed=3
+        )
+        assert timelines == coded_reference[0]
+        assert stats.frames_decoded == coded_reference[1].frames_decoded
+        assert stats.crc_failures == coded_reference[1].crc_failures
+
+    def test_invariant_to_migration_schedule(self, qam_groups, coded_reference):
+        migrations = [
+            MigrationPlan("s000", round=1, dest_shard=2),
+            MigrationPlan("s003", round=2, dest_shard=0),
+            MigrationPlan("s000", round=4, dest_shard=1),
+        ]
+        timelines, stats = coded_fleet_serve(
+            qam_groups, n_shards=3, migrations=migrations
+        )
+        assert timelines == coded_reference[0]
+        assert stats.migrations_in == stats.migrations_out == len(migrations)
+        assert stats.frames_decoded == coded_reference[1].frames_decoded
